@@ -1,0 +1,285 @@
+// Ablation: consistency model strength — why Hyperion implements *Java*
+// consistency instead of sequential consistency.
+//
+// DSM-PM2 hosts multiple protocols (§1); this harness runs the same
+// neighbour-exchange workload (each node writes its own block, then reads
+// its neighbours' — the Jacobi/ASP communication skeleton) under:
+//   * seqc     — sequentially consistent single-writer (Li/Hudak style):
+//                every producer write must reclaim exclusive ownership,
+//                recalling and invalidating reader replicas eagerly;
+//   * java_ic  — Java consistency with in-line checks: writes are local,
+//                consistency happens wholesale at acquire/release;
+//   * java_pf  — Java consistency with page faults.
+// Expectation: both Java-consistency protocols beat seqc by a wide margin —
+// the relaxation is the point, detection choice is second-order.
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "dsm/access.hpp"
+#include "dsm/dsm.hpp"
+#include "dsm/erc.hpp"
+#include "dsm/seqc.hpp"
+#include "sim/sync.hpp"
+
+using namespace hyp;
+
+namespace {
+
+constexpr std::size_t kRegion = std::size_t{64} << 20;
+
+struct Outcome {
+  double seconds;
+  std::uint64_t messages;
+  std::uint64_t fetches;
+};
+
+// Each node owns `cells` int64 cells; per iteration: write own block, then
+// read both ring neighbours' blocks.
+template <typename AccessFns>
+Outcome neighbour_exchange(cluster::Cluster& c, int nodes, int cells, int iters,
+                           AccessFns fns) {
+  sim::SimBarrier barrier(&c.engine(), nodes);
+  for (int w = 0; w < nodes; ++w) {
+    c.spawn_thread(w, "node" + std::to_string(w), [&, w] {
+      auto ctx = fns.make_ctx(w);
+      const auto own = fns.block(w);
+      const auto left = fns.block((w + nodes - 1) % nodes);
+      const auto right = fns.block((w + 1) % nodes);
+      std::int64_t acc = 0;
+      for (int it = 0; it < iters; ++it) {
+        for (int i = 0; i < cells; ++i) {
+          fns.write(ctx, own + static_cast<dsm::Gva>(i) * 8,
+                    static_cast<std::int64_t>(it * cells + i));
+          fns.charge(ctx, 20);
+        }
+        fns.release(ctx);
+        barrier.arrive_and_wait();
+        fns.acquire(ctx);
+        for (int i = 0; i < cells; ++i) {
+          acc += fns.read(ctx, left + static_cast<dsm::Gva>(i) * 8);
+          acc += fns.read(ctx, right + static_cast<dsm::Gva>(i) * 8);
+          fns.charge(ctx, 20);
+        }
+        barrier.arrive_and_wait();
+      }
+      (void)acc;
+    });
+  }
+  c.run();
+  const auto stats = c.total_stats();
+  return {to_seconds(c.engine().now()), stats.get(Counter::kMessages),
+          stats.get(Counter::kPageFetches)};
+}
+
+Outcome run_java(dsm::ProtocolKind kind, int nodes, int cells, int iters) {
+  cluster::Cluster c(cluster::ClusterParams::myrinet200(), nodes);
+  dsm::DsmSystem d(&c, kRegion, kind);
+  struct Fns {
+    dsm::DsmSystem* d;
+    std::vector<dsm::Gva> blocks;
+    std::unique_ptr<dsm::ThreadCtx> make_ctx(int w) const { return d->make_thread(w); }
+    dsm::Gva block(int w) const { return blocks[static_cast<std::size_t>(w)]; }
+    std::int64_t read(std::unique_ptr<dsm::ThreadCtx>& t, dsm::Gva a) const {
+      return d->kind() == dsm::ProtocolKind::kJavaIc
+                 ? dsm::IcPolicy::get<std::int64_t>(*t, a)
+                 : dsm::PfPolicy::get<std::int64_t>(*t, a);
+    }
+    void write(std::unique_ptr<dsm::ThreadCtx>& t, dsm::Gva a, std::int64_t v) const {
+      if (d->kind() == dsm::ProtocolKind::kJavaIc) {
+        dsm::IcPolicy::put<std::int64_t>(*t, a, v);
+      } else {
+        dsm::PfPolicy::put<std::int64_t>(*t, a, v);
+      }
+    }
+    void charge(std::unique_ptr<dsm::ThreadCtx>& t, std::uint64_t n) const {
+      t->clock.charge_cycles(n);
+    }
+    void release(std::unique_ptr<dsm::ThreadCtx>& t) const { d->on_release(*t); }
+    void acquire(std::unique_ptr<dsm::ThreadCtx>& t) const { d->on_acquire(*t); }
+  } fns{&d, {}};
+  for (int w = 0; w < nodes; ++w) {
+    fns.blocks.push_back(d.alloc(w, static_cast<std::size_t>(cells) * 8, 4096));
+  }
+  return neighbour_exchange(c, nodes, cells, iters, fns);
+}
+
+Outcome run_erc(int nodes, int cells, int iters) {
+  cluster::Cluster c(cluster::ClusterParams::myrinet200(), nodes);
+  dsm::ErcDsm d(&c, kRegion);
+  struct Fns {
+    dsm::ErcDsm* d;
+    std::vector<dsm::Gva> blocks;
+    std::unique_ptr<dsm::ErcThreadCtx> make_ctx(int w) const { return d->make_thread(w); }
+    dsm::Gva block(int w) const { return blocks[static_cast<std::size_t>(w)]; }
+    std::int64_t read(std::unique_ptr<dsm::ErcThreadCtx>& t, dsm::Gva a) const {
+      return d->read<std::int64_t>(*t, a);
+    }
+    void write(std::unique_ptr<dsm::ErcThreadCtx>& t, dsm::Gva a, std::int64_t v) const {
+      d->write<std::int64_t>(*t, a, v);
+    }
+    void charge(std::unique_ptr<dsm::ErcThreadCtx>& t, std::uint64_t n) const {
+      t->clock.charge_cycles(n);
+    }
+    void release(std::unique_ptr<dsm::ErcThreadCtx>& t) const { d->on_release(*t); }
+    void acquire(std::unique_ptr<dsm::ErcThreadCtx>& t) const { d->on_acquire(*t); }
+  } fns{&d, {}};
+  for (int w = 0; w < nodes; ++w) {
+    fns.blocks.push_back(d.alloc(w, static_cast<std::size_t>(cells) * 8, 4096));
+  }
+  return neighbour_exchange(c, nodes, cells, iters, fns);
+}
+
+Outcome run_seqc(int nodes, int cells, int iters) {
+  cluster::Cluster c(cluster::ClusterParams::myrinet200(), nodes);
+  dsm::SeqDsm d(&c, kRegion);
+  struct Fns {
+    dsm::SeqDsm* d;
+    std::vector<dsm::Gva> blocks;
+    std::unique_ptr<dsm::SeqThreadCtx> make_ctx(int w) const { return d->make_thread(w); }
+    dsm::Gva block(int w) const { return blocks[static_cast<std::size_t>(w)]; }
+    std::int64_t read(std::unique_ptr<dsm::SeqThreadCtx>& t, dsm::Gva a) const {
+      return d->read<std::int64_t>(*t, a);
+    }
+    void write(std::unique_ptr<dsm::SeqThreadCtx>& t, dsm::Gva a, std::int64_t v) const {
+      d->write<std::int64_t>(*t, a, v);
+    }
+    void charge(std::unique_ptr<dsm::SeqThreadCtx>& t, std::uint64_t n) const {
+      t->clock.charge_cycles(n);
+    }
+    // Sequential consistency needs no acquire/release actions — coherence is
+    // eager and perpetual; that eagerness is exactly what costs.
+    void release(std::unique_ptr<dsm::SeqThreadCtx>& t) const { t->clock.flush(); }
+    void acquire(std::unique_ptr<dsm::SeqThreadCtx>& t) const { t->clock.flush(); }
+  } fns{&d, {}};
+  for (int w = 0; w < nodes; ++w) {
+    fns.blocks.push_back(d.alloc(w, static_cast<std::size_t>(cells) * 8, 4096));
+  }
+  return neighbour_exchange(c, nodes, cells, iters, fns);
+}
+
+// False-sharing scenario: every node repeatedly updates its own slot of ONE
+// shared page (homed on node 0). Sequential consistency must ping-pong
+// exclusive ownership for every burst; Java consistency lets each node write
+// its cached copy and merges the disjoint modifications at release.
+template <typename AccessFns>
+Outcome false_sharing(cluster::Cluster& c, int nodes, int reps, int iters, dsm::Gva page_base,
+                      AccessFns fns) {
+  sim::SimBarrier barrier(&c.engine(), nodes);
+  for (int w = 0; w < nodes; ++w) {
+    c.spawn_thread(w, "fs" + std::to_string(w), [&, w] {
+      auto ctx = fns.make_ctx(w);
+      const dsm::Gva slot = page_base + static_cast<dsm::Gva>(w) * 8;
+      for (int it = 0; it < iters; ++it) {
+        fns.acquire(ctx);
+        for (int r = 0; r < reps; ++r) {
+          fns.write(ctx, slot, static_cast<std::int64_t>(it * reps + r));
+          fns.charge(ctx, 20);
+        }
+        fns.release(ctx);
+        barrier.arrive_and_wait();
+      }
+    });
+  }
+  c.run();
+  const auto stats = c.total_stats();
+  return {to_seconds(c.engine().now()), stats.get(Counter::kMessages),
+          stats.get(Counter::kPageFetches)};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli("ablation_consistency — seqc vs java_ic vs java_pf on neighbour exchange");
+  cli.flag_int("nodes", 6, "cluster nodes")
+      .flag_int("cells", 1024, "int64 cells per node block")
+      .flag_int("iters", 20, "exchange iterations");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const int nodes = static_cast<int>(cli.get_int("nodes"));
+  const int cells = static_cast<int>(cli.get_int("cells"));
+  const int iters = static_cast<int>(cli.get_int("iters"));
+
+  std::printf("# ablation_consistency — why Hyperion implements Java consistency\n");
+  std::printf("# myri200, %d nodes, %d cells/block, %d iterations\n\n", nodes, cells, iters);
+
+  Table t({"protocol", "consistency", "seconds", "messages", "page fetches"});
+  const Outcome sc = run_seqc(nodes, cells, iters);
+  t.add_row({"seqc", "sequential (eager)", fmt_double(sc.seconds, 3), fmt_u64(sc.messages),
+             fmt_u64(sc.fetches)});
+  const Outcome ic = run_java(dsm::ProtocolKind::kJavaIc, nodes, cells, iters);
+  t.add_row({"java_ic", "Java (lazy, checks)", fmt_double(ic.seconds, 3), fmt_u64(ic.messages),
+             fmt_u64(ic.fetches)});
+  const Outcome pf = run_java(dsm::ProtocolKind::kJavaPf, nodes, cells, iters);
+  t.add_row({"java_pf", "Java (lazy, faults)", fmt_double(pf.seconds, 3), fmt_u64(pf.messages),
+             fmt_u64(pf.fetches)});
+  const Outcome erc = run_erc(nodes, cells, iters);
+  t.add_row({"erc", "eager release (update)", fmt_double(erc.seconds, 3),
+             fmt_u64(erc.messages), fmt_u64(erc.fetches)});
+  t.write_pretty(std::cout);
+  std::printf(
+      "\nblock exchange: single-writer ownership amortizes over a block, so seqc\n"
+      "and the Java protocols come out close; erc fetches each replica ONCE and\n"
+      "then patches it in place at every release — stable sharer sets are its\n"
+      "sweet spot.\n\n");
+
+  // --- false sharing: the sequential-consistency pathology ------------------
+  const int reps = 50;
+  const int fs_iters = 10;
+  std::printf("false sharing: %d nodes each updating their slot of ONE page, %d\n"
+              "updates per round, %d rounds\n\n",
+              nodes, reps, fs_iters);
+  Table t2({"protocol", "seconds", "messages", "page fetches"});
+  {
+    cluster::Cluster c(cluster::ClusterParams::myrinet200(), nodes);
+    dsm::SeqDsm d(&c, kRegion);
+    const dsm::Gva base = d.alloc(0, static_cast<std::size_t>(nodes) * 8, 4096);
+    struct Fns {
+      dsm::SeqDsm* d;
+      std::unique_ptr<dsm::SeqThreadCtx> make_ctx(int w) const { return d->make_thread(w); }
+      void write(std::unique_ptr<dsm::SeqThreadCtx>& t, dsm::Gva a, std::int64_t v) const {
+        d->write<std::int64_t>(*t, a, v);
+      }
+      void charge(std::unique_ptr<dsm::SeqThreadCtx>& t, std::uint64_t n) const {
+        t->clock.charge_cycles(n);
+      }
+      void release(std::unique_ptr<dsm::SeqThreadCtx>& t) const { t->clock.flush(); }
+      void acquire(std::unique_ptr<dsm::SeqThreadCtx>& t) const { t->clock.flush(); }
+    } fns{&d};
+    const Outcome o = false_sharing(c, nodes, reps, fs_iters, base, fns);
+    t2.add_row({"seqc", fmt_double(o.seconds, 3), fmt_u64(o.messages), fmt_u64(o.fetches)});
+  }
+  for (auto kind : {dsm::ProtocolKind::kJavaIc, dsm::ProtocolKind::kJavaPf}) {
+    cluster::Cluster c(cluster::ClusterParams::myrinet200(), nodes);
+    dsm::DsmSystem d(&c, kRegion, kind);
+    const dsm::Gva base = d.alloc(0, static_cast<std::size_t>(nodes) * 8, 4096);
+    struct Fns {
+      dsm::DsmSystem* d;
+      std::unique_ptr<dsm::ThreadCtx> make_ctx(int w) const { return d->make_thread(w); }
+      void write(std::unique_ptr<dsm::ThreadCtx>& t, dsm::Gva a, std::int64_t v) const {
+        if (d->kind() == dsm::ProtocolKind::kJavaIc) {
+          dsm::IcPolicy::put<std::int64_t>(*t, a, v);
+        } else {
+          dsm::PfPolicy::put<std::int64_t>(*t, a, v);
+        }
+      }
+      void charge(std::unique_ptr<dsm::ThreadCtx>& t, std::uint64_t n) const {
+        t->clock.charge_cycles(n);
+      }
+      void release(std::unique_ptr<dsm::ThreadCtx>& t) const { d->on_release(*t); }
+      void acquire(std::unique_ptr<dsm::ThreadCtx>& t) const { d->on_acquire(*t); }
+    } fns{&d};
+    const Outcome o = false_sharing(c, nodes, reps, fs_iters, base, fns);
+    t2.add_row({dsm::protocol_name(kind), fmt_double(o.seconds, 3), fmt_u64(o.messages),
+                fmt_u64(o.fetches)});
+  }
+  t2.write_pretty(std::cout);
+  std::printf(
+      "\nexpected shape: seqc ping-pongs exclusive ownership between the nodes\n"
+      "sharing the page (recall + invalidate per burst); Java consistency\n"
+      "writes locally and merges the disjoint fields at release — the model\n"
+      "relaxation, not the detection mechanism, is what wins here.\n");
+  return 0;
+}

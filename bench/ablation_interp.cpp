@@ -1,0 +1,129 @@
+// Ablation: compiling vs interpreting (§1: "we favor compiling rather than
+// interpreting, since we are interested in computationally intensive
+// programs ... We expect the cost of compiling to native code will be
+// recovered many times over").
+//
+// Runs the same Riemann-sum Pi once as compiled code (src/apps/pi, what
+// java2c output looks like) and once as interpreted JIR bytecode, on the
+// same cluster, and reports the slowdown — the quantity Hyperion's
+// compile-to-C design buys back.
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "apps/pi.hpp"
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "jir/assembler.hpp"
+#include "jir/interp.hpp"
+
+using namespace hyp;
+
+namespace {
+
+Time run_interpreted(dsm::ProtocolKind kind, int nodes, std::int64_t intervals) {
+  std::string src = "func main args=0 locals=1\n  lconst 1\n  newarray_d\n  store 0\n";
+  for (int w = 0; w < nodes; ++w) {
+    const std::int64_t begin = intervals * w / nodes;
+    const std::int64_t end = intervals * (w + 1) / nodes;
+    src += "  load 0\n  lconst " + std::to_string(begin) + "\n  lconst " + std::to_string(end) +
+           "\n  lconst " + std::to_string(intervals) + "\n  spawn worker\n";
+  }
+  src += "  joinall\n  lconst 0\n  ret\nend\n";
+  src += R"(
+func worker args=4 locals=7
+  dconst 0.0
+  store 6
+  load 1
+  store 4
+loop:
+  load 4
+  load 2
+  lcmp
+  ifge flush
+  load 4
+  l2d
+  dconst 0.5
+  dadd
+  load 3
+  l2d
+  ddiv
+  store 5
+  dconst 4.0
+  dconst 1.0
+  load 5
+  load 5
+  dmul
+  dadd
+  ddiv
+  load 6
+  dadd
+  store 6
+  charge 32
+  load 4
+  lconst 1
+  ladd
+  store 4
+  goto loop
+flush:
+  load 0
+  monitorenter
+  load 0
+  lconst 0
+  load 0
+  lconst 0
+  aload_d
+  load 6
+  dadd
+  astore_d
+  load 0
+  monitorexit
+  retvoid
+end
+)";
+  auto assembled = jir::assemble(src);
+  HYP_CHECK_MSG(assembled.ok(), assembled.error);
+
+  hyperion::VmConfig cfg;
+  cfg.cluster = cluster::ClusterParams::myrinet200();
+  cfg.nodes = nodes;
+  cfg.protocol = kind;
+  cfg.region_bytes = std::size_t{32} << 20;
+  hyperion::HyperionVM vm(cfg);
+  vm.run_main([&](hyperion::JavaEnv& main) {
+    jir::Interpreter interp(&assembled.program, &main);
+    interp.run("main");
+  });
+  return vm.elapsed();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli("ablation_interp — compiled (java2c-style) vs interpreted bytecode");
+  cli.flag_int("nodes", 4, "cluster nodes").flag_int("intervals", 500000, "Riemann intervals");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const int nodes = static_cast<int>(cli.get_int("nodes"));
+  const std::int64_t intervals = cli.get_int("intervals");
+  std::printf("# ablation_interp — §1: why Hyperion compiles instead of interpreting\n");
+  std::printf("# Pi, %lld intervals, myri200, %d nodes; per-insn dispatch modeled at %llu cycles\n\n",
+              static_cast<long long>(intervals), nodes,
+              static_cast<unsigned long long>(jir::kDispatchCycles));
+
+  Table t({"protocol", "compiled (s)", "interpreted (s)", "slowdown"});
+  for (auto kind : {dsm::ProtocolKind::kJavaIc, dsm::ProtocolKind::kJavaPf}) {
+    apps::PiParams params;
+    params.intervals = intervals;
+    const double compiled =
+        to_seconds(apps::pi_parallel(apps::make_config("myri200", kind, nodes), params).elapsed);
+    const double interpreted = to_seconds(run_interpreted(kind, nodes, intervals));
+    t.add_row({dsm::protocol_name(kind), fmt_double(compiled, 3), fmt_double(interpreted, 3),
+               fmt_double(interpreted / compiled, 1) + "x"});
+  }
+  t.write_pretty(std::cout);
+  std::printf(
+      "\nexpected shape: interpretation costs ~10x on this compute-bound kernel —\n"
+      "the margin Hyperion's bytecode-to-C translation recovers (§1).\n");
+  return 0;
+}

@@ -1,0 +1,25 @@
+// Figure 1: Pi — java_pf vs. java_ic on both clusters.
+// Paper result: the protocols perform essentially identically (Pi makes
+// very little use of objects).
+#include "apps/pi.hpp"
+#include "fig_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hyp;
+  Cli cli("fig1_pi — reproduces Figure 1 (Pi, 50M-interval Riemann sum)");
+  bench::add_sweep_flags(cli);
+  cli.flag_int("intervals", 2'000'000, "Riemann intervals (paper: 50000000)")
+      .flag_bool("full", false, "use the paper's problem size");
+  if (!cli.parse(argc, argv)) return 0;
+
+  apps::PiParams params;
+  params.intervals = cli.get_bool("full") ? 50'000'000 : cli.get_int("intervals");
+
+  bench::FigureSpec spec;
+  spec.id = "fig1";
+  spec.title = "Pi: java_pf vs. java_ic";
+  spec.workload = "Riemann sum, " + std::to_string(params.intervals) + " intervals";
+  spec.run = [params](const apps::VmConfig& cfg) { return apps::pi_parallel(cfg, params); };
+  bench::run_figure(spec, bench::sweep_from_cli(cli));
+  return 0;
+}

@@ -1,0 +1,28 @@
+// Figure 2: Jacobi — java_pf vs. java_ic on both clusters.
+// Paper result: java_pf wins by ~38% on Myrinet (the smallest of the four
+// object-intensive apps: double-precision fp work dilutes the checks).
+#include "apps/jacobi.hpp"
+#include "fig_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hyp;
+  Cli cli("fig2_jacobi — reproduces Figure 2 (Jacobi 1024x1024, 100 steps)");
+  bench::add_sweep_flags(cli);
+  cli.flag_int("n", 512, "mesh edge (paper: 1024)")
+      .flag_int("steps", 50, "time steps (paper: 100)")
+      .flag_bool("full", false, "use the paper's problem size");
+  if (!cli.parse(argc, argv)) return 0;
+
+  apps::JacobiParams params;
+  params.n = cli.get_bool("full") ? 1024 : static_cast<int>(cli.get_int("n"));
+  params.steps = cli.get_bool("full") ? 100 : static_cast<int>(cli.get_int("steps"));
+
+  bench::FigureSpec spec;
+  spec.id = "fig2";
+  spec.title = "Jacobi: java_pf vs. java_ic";
+  spec.workload = std::to_string(params.n) + "x" + std::to_string(params.n) + " mesh, " +
+                  std::to_string(params.steps) + " steps";
+  spec.run = [params](const apps::VmConfig& cfg) { return apps::jacobi_parallel(cfg, params); };
+  bench::run_figure(spec, bench::sweep_from_cli(cli));
+  return 0;
+}

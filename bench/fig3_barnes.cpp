@@ -1,0 +1,31 @@
+// Figure 3: Barnes-Hut — java_pf vs. java_ic on both clusters.
+// Paper result: java_pf wins, but the improvement decays (46% -> 28% on
+// Myrinet) as nodes grow: fault/mprotect counts rise with communication and
+// the curves flatten at high node counts.
+#include "apps/barnes.hpp"
+#include "fig_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hyp;
+  Cli cli("fig3_barnes — reproduces Figure 3 (Barnes-Hut, 16K bodies, 6 steps)");
+  bench::add_sweep_flags(cli);
+  cli.flag_int("bodies", 4096, "body count (paper: 16384)")
+      .flag_int("steps", 3, "time steps (paper: 6)")
+      .flag_int("chunk", 128, "work-queue granularity (bodies per unit)")
+      .flag_bool("full", false, "use the paper's problem size");
+  if (!cli.parse(argc, argv)) return 0;
+
+  apps::BarnesParams params;
+  params.bodies = cli.get_bool("full") ? 16384 : static_cast<int>(cli.get_int("bodies"));
+  params.steps = cli.get_bool("full") ? 6 : static_cast<int>(cli.get_int("steps"));
+  params.chunk = static_cast<int>(cli.get_int("chunk"));
+
+  bench::FigureSpec spec;
+  spec.id = "fig3";
+  spec.title = "Barnes Hut: java_pf vs. java_ic";
+  spec.workload = std::to_string(params.bodies) + " bodies, " + std::to_string(params.steps) +
+                  " timesteps";
+  spec.run = [params](const apps::VmConfig& cfg) { return apps::barnes_parallel(cfg, params); };
+  bench::run_figure(spec, bench::sweep_from_cli(cli));
+  return 0;
+}

@@ -1,0 +1,25 @@
+// Figure 4: TSP — java_pf vs. java_ic on both clusters.
+// Paper result: java_pf wins with a roughly node-count-independent margin
+// (communication is dwarfed by search compute).
+#include "apps/tsp.hpp"
+#include "fig_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hyp;
+  Cli cli("fig4_tsp — reproduces Figure 4 (17-city branch-and-bound TSP)");
+  bench::add_sweep_flags(cli);
+  cli.flag_int("cities", 14, "city count (paper: 17; >15 takes very long)")
+      .flag_bool("full", false, "use the paper's problem size (slow!)");
+  if (!cli.parse(argc, argv)) return 0;
+
+  apps::TspParams params;
+  params.cities = cli.get_bool("full") ? 17 : static_cast<int>(cli.get_int("cities"));
+
+  bench::FigureSpec spec;
+  spec.id = "fig4";
+  spec.title = "TSP: java_pf vs. java_ic";
+  spec.workload = std::to_string(params.cities) + "-city branch-and-bound";
+  spec.run = [params](const apps::VmConfig& cfg) { return apps::tsp_parallel(cfg, params); };
+  bench::run_figure(spec, bench::sweep_from_cli(cli));
+  return 0;
+}

@@ -1,0 +1,25 @@
+// Figure 5: ASP — java_pf vs. java_ic on both clusters.
+// Paper result: the largest java_pf improvement (64% on Myrinet): the inner
+// loop is an integer add + compare carrying three locality checks.
+#include "apps/asp.hpp"
+#include "fig_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hyp;
+  Cli cli("fig5_asp — reproduces Figure 5 (ASP, Floyd on a 2000-node graph)");
+  bench::add_sweep_flags(cli);
+  cli.flag_int("n", 400, "graph size (paper: 2000)")
+      .flag_bool("full", false, "use the paper's problem size (slow)");
+  if (!cli.parse(argc, argv)) return 0;
+
+  apps::AspParams params;
+  params.n = cli.get_bool("full") ? 2000 : static_cast<int>(cli.get_int("n"));
+
+  bench::FigureSpec spec;
+  spec.id = "fig5";
+  spec.title = "ASP: java_pf vs. java_ic";
+  spec.workload = "all-pairs shortest paths, " + std::to_string(params.n) + "-node graph";
+  spec.run = [params](const apps::VmConfig& cfg) { return apps::asp_parallel(cfg, params); };
+  bench::run_figure(spec, bench::sweep_from_cli(cli));
+  return 0;
+}

@@ -1,0 +1,164 @@
+#include "fig_common.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+
+#include "common/table.hpp"
+
+namespace hyp::bench {
+
+void add_sweep_flags(Cli& cli) {
+  cli.flag_bool("myri", true, "sweep the 200 MHz/Myrinet-BIP cluster (1-12 nodes)")
+      .flag_bool("sci", true, "sweep the 450 MHz/SCI-SISCI cluster (1-6 nodes)")
+      .flag_int("max-nodes", 0, "cap the node counts (0 = paper sweep)")
+      .flag_bool("quick", false, "coarse sweep (nodes 1,4,12 / 1,3,6) for smoke runs")
+      .flag_string("plot-dir", "", "write gnuplot <id>.dat/<id>.gp into this directory");
+}
+
+SweepOptions sweep_from_cli(const Cli& cli) {
+  SweepOptions opts;
+  opts.run_myri = cli.get_bool("myri");
+  opts.run_sci = cli.get_bool("sci");
+  if (cli.get_bool("quick")) {
+    opts.myri_nodes = {1, 4, 12};
+    opts.sci_nodes = {1, 3, 6};
+  }
+  opts.plot_dir = cli.get_string("plot-dir");
+  const auto cap = cli.get_int("max-nodes");
+  if (cap > 0) {
+    auto trim = [cap](std::vector<int>& v) {
+      std::vector<int> out;
+      for (int n : v) {
+        if (n <= cap) out.push_back(n);
+      }
+      v = std::move(out);
+    };
+    trim(opts.myri_nodes);
+    trim(opts.sci_nodes);
+  }
+  return opts;
+}
+
+namespace {
+
+const std::vector<std::string> kCounterColumns = {
+    "inline_checks", "page_faults",    "mprotect_calls", "page_fetches",
+    "updates_sent",  "invalidations",  "monitor_enters", "messages",
+    "message_bytes", "write_log_entries", "diff_words",
+};
+
+}  // namespace
+
+std::vector<SweepPoint> run_figure(const FigureSpec& spec, const SweepOptions& opts) {
+  std::printf("# %s — %s\n", spec.id.c_str(), spec.title.c_str());
+  std::printf("# workload: %s\n", spec.workload.c_str());
+  std::printf("# (reproduction of Antoniu & Hatcher, IPDPS'01 JavaPDC; virtual-time simulation)\n\n");
+
+  std::vector<SweepPoint> points;
+  auto sweep_cluster = [&](const std::string& cluster, const std::vector<int>& node_counts) {
+    for (int nodes : node_counts) {
+      for (auto kind : {dsm::ProtocolKind::kJavaIc, dsm::ProtocolKind::kJavaPf}) {
+        SweepPoint pt;
+        pt.cluster = cluster;
+        pt.protocol = dsm::protocol_name(kind);
+        pt.nodes = nodes;
+        pt.result = spec.run(apps::make_config(cluster, kind, nodes, spec.region_bytes));
+        points.push_back(std::move(pt));
+      }
+    }
+  };
+  if (opts.run_myri) sweep_cluster("myri200", opts.myri_nodes);
+  if (opts.run_sci) sweep_cluster("sci450", opts.sci_nodes);
+
+  // --- CSV block ------------------------------------------------------------
+  {
+    std::vector<std::string> header = {"figure", "cluster", "protocol", "nodes", "seconds",
+                                       "value"};
+    header.insert(header.end(), kCounterColumns.begin(), kCounterColumns.end());
+    Table csv(header);
+    for (const auto& pt : points) {
+      std::vector<std::string> row = {spec.id,
+                                      pt.cluster,
+                                      pt.protocol,
+                                      fmt_u64(static_cast<std::uint64_t>(pt.nodes)),
+                                      fmt_double(to_seconds(pt.result.elapsed), 6),
+                                      fmt_double(pt.result.value, 6)};
+      const auto counters = pt.result.stats.nonzero();
+      for (const auto& name : kCounterColumns) {
+        auto it = counters.find(name);
+        row.push_back(fmt_u64(it == counters.end() ? 0 : it->second));
+      }
+      csv.add_row(std::move(row));
+    }
+    csv.write_csv(std::cout);
+    std::printf("\n");
+  }
+
+  // --- paper-style series + improvement summary ------------------------------
+  for (const std::string& cluster : {std::string("myri200"), std::string("sci450")}) {
+    std::map<int, std::map<std::string, double>> by_nodes;
+    for (const auto& pt : points) {
+      if (pt.cluster == cluster) {
+        by_nodes[pt.nodes][pt.protocol] = to_seconds(pt.result.elapsed);
+      }
+    }
+    if (by_nodes.empty()) continue;
+
+    std::printf("%s (%s):\n", cluster.c_str(),
+                cluster == "myri200" ? "200 MHz Pentium Pro, Myrinet/BIP"
+                                     : "450 MHz Pentium II, SCI/SISCI");
+    Table table({"nodes", "java_ic (s)", "java_pf (s)", "pf improvement"});
+    double improvement_sum = 0;
+    int improvement_count = 0;
+    for (const auto& [nodes, series] : by_nodes) {
+      const double ic = series.at("java_ic");
+      const double pf = series.at("java_pf");
+      const double improvement = ic > 0 ? 1.0 - pf / ic : 0.0;
+      improvement_sum += improvement;
+      ++improvement_count;
+      table.add_row({fmt_u64(static_cast<std::uint64_t>(nodes)), fmt_double(ic, 3),
+                     fmt_double(pf, 3), fmt_percent(improvement)});
+    }
+    table.write_pretty(std::cout);
+    std::printf("average java_pf improvement on %s: %s\n\n", cluster.c_str(),
+                fmt_percent(improvement_sum / improvement_count).c_str());
+  }
+
+  // --- optional gnuplot emission --------------------------------------------
+  if (!opts.plot_dir.empty()) {
+    const std::string dat_path = opts.plot_dir + "/" + spec.id + ".dat";
+    const std::string gp_path = opts.plot_dir + "/" + spec.id + ".gp";
+    std::ofstream dat(dat_path);
+    dat << "# " << spec.id << " — " << spec.title << "\n";
+    dat << "# cluster protocol nodes seconds\n";
+    for (const auto& pt : points) {
+      dat << pt.cluster << " " << pt.protocol << " " << pt.nodes << " "
+          << fmt_double(to_seconds(pt.result.elapsed), 6) << "\n";
+    }
+    std::ofstream gp(gp_path);
+    gp << "# gnuplot script replicating the paper's figure axes\n"
+       << "set title '" << spec.title << "'\n"
+       << "set xlabel 'Number of nodes'\nset ylabel 'Execution time'\n"
+       << "set key top right\nset grid\n"
+       << "plot \\\n";
+    const char* styles[4] = {"lc 1 pt 5", "lc 1 pt 4", "lc 2 pt 7", "lc 2 pt 6"};
+    int i = 0;
+    for (const char* cl : {"myri200", "sci450"}) {
+      for (const char* proto : {"java_ic", "java_pf"}) {
+        gp << "  '" << spec.id << ".dat' using 3:(strcol(1) eq '" << cl
+           << "' && strcol(2) eq '" << proto << "' ? $4 : 1/0) with linespoints "
+           << styles[i] << " title '" << cl << ", " << proto << "'"
+           << (i == 3 ? "\n" : ", \\\n");
+        ++i;
+      }
+    }
+    std::printf("gnuplot artifacts written: %s, %s\n", dat_path.c_str(), gp_path.c_str());
+  }
+
+  return points;
+}
+
+}  // namespace hyp::bench

@@ -1,0 +1,54 @@
+// Shared harness for the figure-reproducing benchmarks (Figures 1-5).
+//
+// Each figure binary binds one application and its problem parameters, then
+// calls run_figure(): a sweep over both clusters (200 MHz/Myrinet with 1-12
+// nodes, 450 MHz/SCI with 1-6 — the paper's x-axes) and both protocols.
+// Output: a CSV block (one row per point, with event counters) followed by a
+// per-cluster table mirroring the paper's series and the java_pf improvement
+// summary quoted in §4.3.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "apps/app_common.hpp"
+#include "common/cli.hpp"
+
+namespace hyp::bench {
+
+struct SweepPoint {
+  std::string cluster;
+  std::string protocol;
+  int nodes = 0;
+  apps::RunResult result;
+};
+
+struct FigureSpec {
+  std::string id;          // e.g. "fig5"
+  std::string title;       // e.g. "ASP: java_pf vs. java_ic"
+  std::string workload;    // human-readable problem description
+  // Runs the application at one experiment point.
+  std::function<apps::RunResult(const apps::VmConfig&)> run;
+  std::size_t region_bytes = std::size_t{256} << 20;
+};
+
+struct SweepOptions {
+  std::vector<int> myri_nodes = {1, 2, 4, 6, 8, 10, 12};
+  std::vector<int> sci_nodes = {1, 2, 3, 4, 5, 6};
+  bool run_myri = true;
+  bool run_sci = true;
+  // When non-empty, a gnuplot data file (<id>.dat) and script (<id>.gp)
+  // replicating the paper figure's axes are written into this directory.
+  std::string plot_dir;
+};
+
+// Registers the sweep-control flags shared by all figure binaries.
+void add_sweep_flags(Cli& cli);
+SweepOptions sweep_from_cli(const Cli& cli);
+
+// Executes the sweep and prints CSV + tables + improvement summary.
+// Returns all measured points (for binaries that post-process).
+std::vector<SweepPoint> run_figure(const FigureSpec& spec, const SweepOptions& opts);
+
+}  // namespace hyp::bench

@@ -1,0 +1,115 @@
+// google-benchmark microbenchmarks of the simulator's *real* hot paths.
+//
+// These measure the reproduction itself (host nanoseconds per simulated
+// access), not the paper's quantities: they bound how large a --full run is
+// affordable and guard against accidental fast-path regressions. The
+// present-page access paths never yield, so they can run outside the engine.
+#include <benchmark/benchmark.h>
+
+#include "dsm/access.hpp"
+#include "dsm/dsm.hpp"
+#include "sim/engine.hpp"
+
+namespace {
+
+using namespace hyp;
+
+struct Fixture {
+  cluster::Cluster cluster{cluster::ClusterParams::myrinet200(), 2};
+  dsm::DsmSystem dsm;
+  std::unique_ptr<dsm::ThreadCtx> t;
+  dsm::Gva local_addr;
+
+  explicit Fixture(dsm::ProtocolKind kind)
+      : dsm(&cluster, std::size_t{16} << 20, kind), t(dsm.make_thread(0)) {
+    local_addr = dsm.alloc(0, 4096);
+  }
+};
+
+void BM_IcGetHomePage(benchmark::State& state) {
+  Fixture f(dsm::ProtocolKind::kJavaIc);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dsm::IcPolicy::get<std::int64_t>(*f.t, f.local_addr));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_IcGetHomePage);
+
+void BM_PfGetHomePage(benchmark::State& state) {
+  Fixture f(dsm::ProtocolKind::kJavaPf);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dsm::PfPolicy::get<std::int64_t>(*f.t, f.local_addr));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_PfGetHomePage);
+
+void BM_IcPutHomePage(benchmark::State& state) {
+  Fixture f(dsm::ProtocolKind::kJavaIc);
+  std::int64_t v = 0;
+  for (auto _ : state) {
+    dsm::IcPolicy::put<std::int64_t>(*f.t, f.local_addr, ++v);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_IcPutHomePage);
+
+void BM_FiberSwitchRoundTrip(benchmark::State& state) {
+  // Cost of one simulated scheduling decision: spawn a pair of fibers that
+  // yield to each other `n` times inside one engine run.
+  for (auto _ : state) {
+    state.PauseTiming();
+    sim::Engine eng;
+    constexpr int kYields = 1000;
+    for (int f = 0; f < 2; ++f) {
+      eng.spawn("ping" + std::to_string(f), [&eng] {
+        for (int i = 0; i < kYields; ++i) eng.yield();
+      });
+    }
+    state.ResumeTiming();
+    eng.run();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 2000);
+}
+BENCHMARK(BM_FiberSwitchRoundTrip);
+
+void BM_EventPostAndDispatch(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    sim::Engine eng;
+    constexpr int kEvents = 1000;
+    for (int i = 0; i < kEvents; ++i) {
+      eng.post(static_cast<Time>(i), [] {});
+    }
+    state.ResumeTiming();
+    eng.run();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 1000);
+}
+BENCHMARK(BM_EventPostAndDispatch);
+
+void BM_PageFetchRoundTrip(benchmark::State& state) {
+  // Host cost of one full simulated remote page fetch (RPC + copy + events).
+  for (auto _ : state) {
+    state.PauseTiming();
+    cluster::Cluster c(cluster::ClusterParams::myrinet200(), 2);
+    dsm::DsmSystem d(&c, std::size_t{16} << 20, dsm::ProtocolKind::kJavaPf);
+    constexpr int kPages = 64;
+    const dsm::Gva base = d.alloc(0, 64 * 4096, 4096);
+    c.spawn_thread(1, "fetcher", [&] {
+      auto t = d.make_thread(1);
+      for (int i = 0; i < kPages; ++i) {
+        benchmark::DoNotOptimize(
+            dsm::PfPolicy::get<std::int64_t>(*t, base + static_cast<dsm::Gva>(i) * 4096));
+      }
+    });
+    state.ResumeTiming();
+    c.run();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 64);
+}
+BENCHMARK(BM_PageFetchRoundTrip);
+
+}  // namespace
+
+BENCHMARK_MAIN();

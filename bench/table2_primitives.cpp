@@ -1,0 +1,122 @@
+// Table 2: the key DSM primitives of the Hyperion memory subsystem,
+// microbenchmarked in virtual time under both protocols on both clusters.
+//
+// Reported per primitive: the modeled cost one call adds to the calling
+// thread's timeline (loadIntoCache of a remote page, get/put hitting the
+// cache, get missing it, updateMainMemory after a burst of puts,
+// invalidateCache with a populated cache).
+#include <cstdio>
+#include <iostream>
+#include <functional>
+
+#include "common/table.hpp"
+#include "dsm/access.hpp"
+#include "hyperion/vm.hpp"
+
+namespace {
+
+using namespace hyp;
+
+struct PrimitiveCosts {
+  double load_into_cache_us;
+  double get_hit_us;
+  double get_miss_us;
+  double put_hit_us;
+  double update_main_memory_us;  // after 64 remote puts
+  double invalidate_us;          // with 8 cached pages
+};
+
+template <typename P>
+PrimitiveCosts measure(const cluster::ClusterParams& params) {
+  PrimitiveCosts out{};
+  cluster::Cluster c(params, 2);
+  dsm::DsmSystem dsm(&c, std::size_t{16} << 20, P::kKind);
+
+  c.spawn_thread(1, "probe", [&] {
+    auto t = dsm.make_thread(1);
+    auto& eng = c.engine();
+    const std::size_t page = dsm.layout().page_bytes();
+    auto elapsed_us = [&](const std::function<void()>& op) {
+      t->clock.flush();
+      const Time begin = eng.now();
+      op();
+      t->clock.flush();
+      return to_micros(eng.now() - begin);
+    };
+
+    // loadIntoCache: explicit fetch of a remote page.
+    const dsm::Gva prefetch_target = dsm.alloc(0, 8);
+    out.load_into_cache_us = elapsed_us([&] { dsm.load_into_cache(*t, prefetch_target); });
+
+    // get on a cached page (hit), averaged over a burst.
+    constexpr int kBurst = 1000;
+    out.get_hit_us = elapsed_us([&] {
+                       for (int i = 0; i < kBurst; ++i) {
+                         (void)P::template get<std::int64_t>(*t, prefetch_target);
+                       }
+                     }) /
+                     kBurst;
+
+    // get that misses (fresh remote page each time).
+    const dsm::Gva miss_target = dsm.alloc(0, 8, page);
+    out.get_miss_us = elapsed_us([&] { (void)P::template get<std::int64_t>(*t, miss_target); });
+
+    // put on a cached page.
+    out.put_hit_us = elapsed_us([&] {
+                       for (int i = 0; i < kBurst; ++i) {
+                         P::template put<std::int64_t>(*t, prefetch_target, std::int64_t(i));
+                       }
+                     }) /
+                     kBurst;
+
+    // updateMainMemory after 64 scattered remote puts.
+    const dsm::Gva burst_base = dsm.alloc(0, 64 * 8, page);
+    for (int i = 0; i < 64; ++i) {
+      P::template put<std::int64_t>(*t, burst_base + static_cast<dsm::Gva>(i) * 8,
+                                    std::int64_t(i));
+    }
+    out.update_main_memory_us = elapsed_us([&] { dsm.update_main_memory(*t); });
+
+    // invalidateCache with 8 cached pages.
+    for (int i = 0; i < 8; ++i) {
+      const dsm::Gva a = dsm.alloc(0, 8, page);
+      dsm.load_into_cache(*t, a);
+    }
+    out.invalidate_us = elapsed_us([&] { dsm.invalidate_cache(*t); });
+  });
+  c.run();
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("# table2 — key DSM primitives (paper Table 2), modeled cost per call\n");
+  std::printf("# get/put hit costs are per access; loadIntoCache/get-miss include the\n");
+  std::printf("# page transfer; java_pf get-miss additionally carries the page fault.\n\n");
+
+  Table t({"cluster", "protocol", "loadIntoCache (us)", "get hit (us)", "get miss (us)",
+           "put hit (us)", "updateMainMemory (us)", "invalidateCache (us)"});
+  for (const auto& params :
+       {cluster::ClusterParams::myrinet200(), cluster::ClusterParams::sci450()}) {
+    for (auto kind : {dsm::ProtocolKind::kJavaIc, dsm::ProtocolKind::kJavaPf}) {
+      PrimitiveCosts costs{};
+      dsm::with_policy(kind, [&](auto policy) {
+        using P = decltype(policy);
+        costs = measure<P>(params);
+      });
+      t.add_row({params.name, dsm::protocol_name(kind), fmt_double(costs.load_into_cache_us, 3),
+                 fmt_double(costs.get_hit_us, 4), fmt_double(costs.get_miss_us, 3),
+                 fmt_double(costs.put_hit_us, 4), fmt_double(costs.update_main_memory_us, 3),
+                 fmt_double(costs.invalidate_us, 3)});
+    }
+  }
+  t.write_pretty(std::cout);
+
+  std::printf(
+      "\nreading guide: java_ic pays ~check_cost on every hit and avoids faults on a miss;\n"
+      "java_pf hits are free and its miss carries the paper's %g/%g us fault constants.\n",
+      to_micros(cluster::ClusterParams::myrinet200().cpu.page_fault_cost),
+      to_micros(cluster::ClusterParams::sci450().cpu.page_fault_cost));
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Shared scaffolding for the five benchmark programs of §4.1.
+//
+// Each application is written the way Hyperion's java2c compiler emitted it:
+// a main "Java thread" that allocates shared objects and starts one
+// computation thread per processor (the paper's configuration), with every
+// shared access going through the protocol's get/put primitives. Apps are
+// templated over the access policy and report a numeric checksum validated
+// against a sequential reference implementation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/stats.hpp"
+#include "common/units.hpp"
+#include "hyperion/japi.hpp"
+#include "hyperion/vm.hpp"
+
+namespace hyp::apps {
+
+using hyperion::GArray;
+using hyperion::GRef;
+using hyperion::JavaEnv;
+using hyperion::JThread;
+using hyperion::Mem;
+using hyperion::VmConfig;
+
+// What every benchmark run reports: the program's numeric result (for
+// validation), the virtual execution time (the y-axis of Figures 1-5) and
+// the aggregated event counters.
+struct RunResult {
+  double value = 0;
+  Time elapsed = 0;
+  Stats stats;
+};
+
+// Builds the VmConfig for one experiment point.
+inline VmConfig make_config(const std::string& cluster_name, dsm::ProtocolKind protocol,
+                            int nodes, std::size_t region_bytes = std::size_t{256} << 20) {
+  VmConfig cfg;
+  cfg.cluster = cluster::ClusterParams::by_name(cluster_name);
+  cfg.nodes = nodes;
+  cfg.protocol = protocol;
+  cfg.region_bytes = region_bytes;
+  return cfg;
+}
+
+}  // namespace hyp::apps

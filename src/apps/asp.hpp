@@ -1,0 +1,36 @@
+// ASP (Figure 5): all-pairs shortest paths, Floyd's algorithm.
+//
+// "ASP uses a two-dimensional distance matrix... each thread owns a block of
+// contiguous rows of the matrix. During each iteration the 'current' row of
+// the matrix must be retrieved by all threads" (§4.1). The paper's problem
+// is a 2000-node graph; the innermost loop does an integer add and compare
+// while performing *three* object-locality checks — which is why ASP shows
+// the largest java_pf improvement (64% on Myrinet). Based on the Jackal
+// group's code, as in the paper.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "apps/app_common.hpp"
+
+namespace hyp::apps {
+
+struct AspParams {
+  int n = 256;              // graph size (paper: 2000)
+  std::uint64_t seed = 42;  // random edge weights
+  int threads = 0;          // 0 = one per node; >0 = extension-study override
+};
+
+// Integer add + compare + loop bookkeeping per inner iteration; small on
+// purpose — the three locality checks dominate under java_ic.
+inline constexpr std::uint64_t kAspIterCycles = 17;
+
+// Deterministic input graph: weight(i,j) in [1, 100], 0 on the diagonal.
+std::vector<std::int32_t> asp_make_graph(int n, std::uint64_t seed);
+
+RunResult asp_parallel(const VmConfig& cfg, const AspParams& params);
+// Checksum: sum of all finite distances after Floyd completion.
+double asp_serial(const AspParams& params);
+
+}  // namespace hyp::apps

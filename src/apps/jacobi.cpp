@@ -1,0 +1,148 @@
+#include "apps/jacobi.hpp"
+
+#include <vector>
+
+namespace hyp::apps {
+
+namespace {
+
+// Row ownership: interior rows 1..n-2 are split into contiguous blocks.
+struct Block {
+  int lo, hi;  // owned interior rows [lo, hi)
+};
+
+Block block_for(int worker, int workers, int n) {
+  const int interior = n - 2;
+  const int lo = 1 + interior * worker / workers;
+  const int hi = 1 + interior * (worker + 1) / workers;
+  return {lo, hi};
+}
+
+template <typename P>
+double run(hyperion::HyperionVM& vm, const JacobiParams& params) {
+  double checksum = 0;
+  vm.run_main([&](JavaEnv& main) {
+    const int n = params.n;
+    const int workers = params.threads > 0 ? params.threads : vm.nodes();
+    HYP_CHECK_MSG(n - 2 >= workers, "mesh too small for the thread count");
+
+    // double[][] as Java sees it: shared arrays of row handles.
+    auto rows_a = main.new_array<std::uint64_t>(n);
+    auto rows_b = main.new_array<std::uint64_t>(n);
+    auto global_sum = main.new_cell<double>(0.0);
+    auto barrier = hyperion::japi::JBarrier::create(main, workers);
+
+    std::vector<JThread> threads;
+    for (int w = 0; w < workers; ++w) {
+      const Block blk = block_for(w, workers, n);
+      threads.push_back(main.start_thread("jacobi" + std::to_string(w), [=](JavaEnv& env) {
+        Mem<P> mem(env.ctx());
+
+        // Allocate and initialize the owned rows (home = this node). The
+        // first worker also owns boundary row 0, the last row n-1.
+        const int alloc_lo = (w == 0) ? 0 : blk.lo;
+        const int alloc_hi = (w == workers - 1) ? n : blk.hi;
+        for (int i = alloc_lo; i < alloc_hi; ++i) {
+          auto row_a = env.new_array<double>(n);
+          auto row_b = env.new_array<double>(n);
+          const bool border_row = (i == 0 || i == n - 1);
+          for (int j = 0; j < n; ++j) {
+            const bool border = border_row || j == 0 || j == n - 1;
+            const double v = border ? params.boundary_temp : 0.0;
+            mem.aput(row_a, j, v);
+            mem.aput(row_b, j, v);
+            env.charge_cycles(4);
+          }
+          mem.aput(rows_a, i, row_a.header);
+          mem.aput(rows_b, i, row_b.header);
+        }
+        barrier.template await<P>(env);
+
+        // Time stepping: read `src`, write `dst`, swap.
+        bool a_is_src = true;
+        for (int step = 0; step < params.steps; ++step) {
+          const auto src_tbl = a_is_src ? rows_a : rows_b;
+          const auto dst_tbl = a_is_src ? rows_b : rows_a;
+          for (int i = blk.lo; i < blk.hi; ++i) {
+            // Row handles hoisted per row, as optimized generated code did.
+            GArray<double> north{mem.aget(src_tbl, i - 1)};
+            GArray<double> here{mem.aget(src_tbl, i)};
+            GArray<double> south{mem.aget(src_tbl, i + 1)};
+            GArray<double> out{mem.aget(dst_tbl, i)};
+            for (int j = 1; j < n - 1; ++j) {
+              const double v = 0.25 * (mem.aget(north, j) + mem.aget(south, j) +
+                                       mem.aget(here, j - 1) + mem.aget(here, j + 1));
+              mem.aput(out, j, v);
+              env.charge_cycles(kJacobiCellCycles);
+            }
+          }
+          barrier.template await<P>(env);
+          a_is_src = !a_is_src;
+        }
+
+        // Checksum of the owned block of the final mesh.
+        const auto final_tbl = a_is_src ? rows_a : rows_b;
+        double local = 0;
+        for (int i = blk.lo; i < blk.hi; ++i) {
+          GArray<double> row{mem.aget(final_tbl, i)};
+          for (int j = 1; j < n - 1; ++j) {
+            local += mem.aget(row, j);
+            env.charge_cycles(4);
+          }
+        }
+        env.synchronized(global_sum.addr,
+                         [&] { mem.put(global_sum, mem.get(global_sum) + local); });
+      }));
+    }
+    for (auto& t : threads) main.join(t);
+    Mem<P> mem(main.ctx());
+    checksum = mem.get(global_sum);
+  });
+  return checksum;
+}
+
+}  // namespace
+
+RunResult jacobi_parallel(const VmConfig& cfg, const JacobiParams& params) {
+  hyperion::HyperionVM vm(cfg);
+  RunResult out;
+  dsm::with_policy(cfg.protocol, [&](auto policy) {
+    using P = decltype(policy);
+    out.value = run<P>(vm, params);
+  });
+  out.elapsed = vm.elapsed();
+  out.stats = vm.stats();
+  return out;
+}
+
+double jacobi_serial(const JacobiParams& params) {
+  const int n = params.n;
+  std::vector<std::vector<double>> a(static_cast<std::size_t>(n),
+                                     std::vector<double>(static_cast<std::size_t>(n), 0.0));
+  std::vector<std::vector<double>> b = a;
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      if (i == 0 || i == n - 1 || j == 0 || j == n - 1) {
+        a[i][j] = b[i][j] = params.boundary_temp;
+      }
+    }
+  }
+  auto* src = &a;
+  auto* dst = &b;
+  for (int step = 0; step < params.steps; ++step) {
+    for (int i = 1; i < n - 1; ++i) {
+      for (int j = 1; j < n - 1; ++j) {
+        (*dst)[i][j] = 0.25 * ((*src)[i - 1][j] + (*src)[i + 1][j] + (*src)[i][j - 1] +
+                               (*src)[i][j + 1]);
+      }
+    }
+    std::swap(src, dst);
+  }
+  double sum = 0;
+  for (int i = 1; i < n - 1; ++i) {
+    for (int j = 1; j < n - 1; ++j) sum += (*src)[i][j];
+  }
+  return sum;
+}
+
+}  // namespace hyp::apps

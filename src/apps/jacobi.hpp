@@ -1,0 +1,34 @@
+// Jacobi (Figure 2): temperature distribution on an insulated plate.
+//
+// Paper configuration: 1024x1024 mesh, 100 time steps, each thread owning a
+// block of contiguous rows and fetching one "boundary" row from each
+// neighbour per step (§4.1). The mesh is a Java-style double[][]: a shared
+// array of row handles, each row allocated by its owning thread so that its
+// home is the owner's node. A monitor-based barrier separates time steps —
+// its cache invalidation is what forces the per-step boundary-row refetch.
+#pragma once
+
+#include "apps/app_common.hpp"
+
+namespace hyp::apps {
+
+struct JacobiParams {
+  int n = 256;      // mesh edge (paper: 1024)
+  int steps = 40;   // time steps (paper: 100)
+  double boundary_temp = 100.0;
+  // 0 = the paper's configuration (one computation thread per node); >0
+  // overrides the total thread count for the threads-per-node extension
+  // study (§4.3's future work).
+  int threads = 0;
+};
+
+// Core fp work per interior cell (4 adds, 1 multiply, address arithmetic)
+// on the era CPUs; the five accesses per cell additionally cost java_ic
+// five locality checks — the ratio the paper's §4.3 discusses.
+inline constexpr std::uint64_t kJacobiCellCycles = 80;
+
+RunResult jacobi_parallel(const VmConfig& cfg, const JacobiParams& params);
+// Returns the same checksum (sum over interior cells after `steps`).
+double jacobi_serial(const JacobiParams& params);
+
+}  // namespace hyp::apps

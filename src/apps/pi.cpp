@@ -1,0 +1,71 @@
+#include "apps/pi.hpp"
+
+#include <vector>
+
+namespace hyp::apps {
+
+namespace {
+
+// One thread's stripe [begin, end) of the Riemann sum; pure stack compute.
+double pi_partial(JavaEnv& env, std::int64_t begin, std::int64_t end, std::int64_t total) {
+  const double h = 1.0 / static_cast<double>(total);
+  double sum = 0.0;
+  for (std::int64_t i = begin; i < end; ++i) {
+    const double x = (static_cast<double>(i) + 0.5) * h;
+    sum += 4.0 / (1.0 + x * x);
+    env.charge_cycles(kPiIterCycles);
+  }
+  return sum * h;
+}
+
+template <typename P>
+double run(hyperion::HyperionVM& vm, const PiParams& params) {
+  double result = 0;
+  vm.run_main([&](JavaEnv& main) {
+    auto sum = main.new_cell<double>(0.0);
+    const int workers = vm.nodes();
+    const std::int64_t n = params.intervals;
+    std::vector<JThread> threads;
+    threads.reserve(static_cast<std::size_t>(workers));
+    for (int w = 0; w < workers; ++w) {
+      const std::int64_t begin = n * w / workers;
+      const std::int64_t end = n * (w + 1) / workers;
+      threads.push_back(main.start_thread("pi" + std::to_string(w), [=](JavaEnv& env) {
+        const double part = pi_partial(env, begin, end, n);
+        Mem<P> mem(env.ctx());
+        env.synchronized(sum.addr, [&] { mem.put(sum, mem.get(sum) + part); });
+      }));
+    }
+    for (auto& t : threads) main.join(t);
+    Mem<P> mem(main.ctx());
+    result = mem.get(sum);
+  });
+  return result;
+}
+
+}  // namespace
+
+RunResult pi_parallel(const VmConfig& cfg, const PiParams& params) {
+  hyperion::HyperionVM vm(cfg);
+  RunResult out;
+  dsm::with_policy(cfg.protocol, [&](auto policy) {
+    using P = decltype(policy);
+    out.value = run<P>(vm, params);
+  });
+  out.elapsed = vm.elapsed();
+  out.stats = vm.stats();
+  return out;
+}
+
+double pi_serial(const PiParams& params) {
+  const std::int64_t n = params.intervals;
+  const double h = 1.0 / static_cast<double>(n);
+  double sum = 0.0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    const double x = (static_cast<double>(i) + 0.5) * h;
+    sum += 4.0 / (1.0 + x * x);
+  }
+  return sum * h;
+}
+
+}  // namespace hyp::apps

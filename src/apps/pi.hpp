@@ -1,0 +1,26 @@
+// Pi (Figure 1): Riemann-sum estimate of pi.
+//
+// "Embarrassingly parallel, with threads coordinating only to compute a
+// global sum of the partial sums" (§4.1). Each thread integrates
+// 4/(1+x^2) over its stripe on its *stack* — no shared-object traffic — and
+// contributes once to a monitor-guarded shared accumulator. The paper uses
+// 50 million intervals; the default here is scaled for quick runs.
+#pragma once
+
+#include "apps/app_common.hpp"
+
+namespace hyp::apps {
+
+struct PiParams {
+  std::int64_t intervals = 2'000'000;  // paper: 50'000'000
+};
+
+// Modeled cost of one Riemann step (fp divide + multiply-adds) on the
+// cluster CPUs; calibrated so a 1-node 200 MHz run lands in the Figure-1
+// time range.
+inline constexpr std::uint64_t kPiIterCycles = 32;
+
+RunResult pi_parallel(const VmConfig& cfg, const PiParams& params);
+double pi_serial(const PiParams& params);
+
+}  // namespace hyp::apps

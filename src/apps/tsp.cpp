@@ -1,0 +1,221 @@
+#include "apps/tsp.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <string>
+
+#include "common/rng.hpp"
+
+namespace hyp::apps {
+
+std::vector<std::int32_t> tsp_make_distances(int n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::int32_t> d(static_cast<std::size_t>(n) * n, 0);
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      const auto w = static_cast<std::int32_t>(1 + rng.below(100));
+      d[static_cast<std::size_t>(i) * n + j] = w;
+      d[static_cast<std::size_t>(j) * n + i] = w;
+    }
+  }
+  return d;
+}
+
+namespace {
+
+int prefix_depth(int n) { return std::min(3, n - 2); }
+
+// Enumerates all tour prefixes (starting at city 0) of the given depth, in
+// lexicographic order. Each job is `depth` city ids.
+std::vector<std::int32_t> make_jobs(int n, int depth) {
+  std::vector<std::int32_t> jobs;
+  std::vector<std::int32_t> prefix;
+  auto emit = [&](auto&& self) -> void {
+    if (static_cast<int>(prefix.size()) == depth) {
+      jobs.insert(jobs.end(), prefix.begin(), prefix.end());
+      return;
+    }
+    for (std::int32_t c = 1; c < n; ++c) {
+      if (std::find(prefix.begin(), prefix.end(), c) != prefix.end()) continue;
+      prefix.push_back(c);
+      self(self);
+      prefix.pop_back();
+    }
+  };
+  emit(emit);
+  return jobs;
+}
+
+// Greedy nearest-neighbour tour: the initial global bound.
+std::int32_t greedy_bound(const std::vector<std::int32_t>& d, int n) {
+  std::vector<bool> used(static_cast<std::size_t>(n), false);
+  used[0] = true;
+  std::int32_t len = 0;
+  int cur = 0;
+  for (int step = 1; step < n; ++step) {
+    int best = -1;
+    std::int32_t best_w = std::numeric_limits<std::int32_t>::max();
+    for (int c = 1; c < n; ++c) {
+      if (used[static_cast<std::size_t>(c)]) continue;
+      const auto w = d[static_cast<std::size_t>(cur) * n + c];
+      if (w < best_w) {
+        best_w = w;
+        best = c;
+      }
+    }
+    used[static_cast<std::size_t>(best)] = true;
+    len += best_w;
+    cur = best;
+  }
+  return len + d[static_cast<std::size_t>(cur) * n];
+}
+
+template <typename P>
+struct Searcher {
+  JavaEnv& env;
+  Mem<P> mem;
+  GArray<std::int32_t> dist;       // central, on node 0
+  GRef<std::int32_t> best;         // central bound, monitor-guarded
+  GArray<std::int32_t> visited;    // this worker's, home-local
+  int n;
+  std::int32_t cached_bound;       // unsynchronized (possibly stale) copy
+
+  void dfs(int cur, int depth, std::int32_t len) {
+    if (len >= cached_bound) return;  // sound: stale bounds are >= true bound
+    if (depth == n) {
+      const std::int32_t total = len + mem.aget(dist, cur * n + 0);
+      env.charge_cycles(kTspStepCycles);
+      if (total < cached_bound) {
+        env.synchronized(best.addr, [&] {
+          const std::int32_t b = mem.get(best);
+          if (total < b) mem.put(best, total);
+        });
+        // The acquire refreshed our cache; re-read the now-exact bound.
+        cached_bound = mem.get(best);
+      }
+      return;
+    }
+    for (std::int32_t next = 1; next < n; ++next) {
+      env.charge_cycles(kTspStepCycles);
+      if (mem.aget(visited, next) != 0) continue;
+      const std::int32_t step = mem.aget(dist, cur * n + next);
+      if (len + step >= cached_bound) continue;
+      mem.aput(visited, next, 1);
+      dfs(next, depth + 1, len + step);
+      mem.aput(visited, next, 0);
+    }
+  }
+};
+
+template <typename P>
+double run(hyperion::HyperionVM& vm, const TspParams& params) {
+  double result = 0;
+  vm.run_main([&](JavaEnv& main) {
+    const int n = params.cities;
+    HYP_CHECK_MSG(n >= 4, "TSP needs at least 4 cities");
+    const int workers = vm.nodes();
+    const int depth = prefix_depth(n);
+    const auto d = tsp_make_distances(n, params.seed);
+    const auto jobs = make_jobs(n, depth);
+    const int job_count = static_cast<int>(jobs.size()) / depth;
+
+    Mem<P> mem(main.ctx());
+    // Central structures: allocated by main, homed on node 0 (§4.1).
+    auto dist = main.new_array<std::int32_t>(n * n);
+    for (int i = 0; i < n * n; ++i) mem.aput(dist, i, d[static_cast<std::size_t>(i)]);
+    auto job_tbl = main.new_array<std::int32_t>(static_cast<std::int64_t>(jobs.size()));
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      mem.aput(job_tbl, static_cast<std::int64_t>(i), jobs[i]);
+    }
+    auto next_job = main.new_cell<std::int32_t>(0);
+    auto best = main.new_cell<std::int32_t>(greedy_bound(d, n));
+
+    std::vector<JThread> threads;
+    for (int w = 0; w < workers; ++w) {
+      threads.push_back(main.start_thread("tsp" + std::to_string(w), [=](JavaEnv& env) {
+        Searcher<P> s{env, Mem<P>(env.ctx()), dist, best, env.new_array<std::int32_t>(n), n, 0};
+        for (;;) {
+          // Pop a work unit from the central queue.
+          std::int32_t job = -1;
+          env.synchronized(next_job.addr, [&] {
+            const std::int32_t idx = s.mem.get(next_job);
+            if (idx < job_count) {
+              s.mem.put(next_job, idx + 1);
+              job = idx;
+            }
+          });
+          if (job < 0) break;
+
+          // Rebuild the prefix state.
+          for (int c = 0; c < n; ++c) s.mem.aput(s.visited, c, 0);
+          s.mem.aput(s.visited, 0, 1);
+          std::int32_t len = 0;
+          int cur = 0;
+          bool viable = true;
+          for (int k = 0; k < depth; ++k) {
+            const std::int32_t city = s.mem.aget(job_tbl, job * depth + k);
+            len += s.mem.aget(s.dist, cur * n + city);
+            s.mem.aput(s.visited, city, 1);
+            cur = city;
+            env.charge_cycles(kTspStepCycles);
+          }
+          s.cached_bound = s.mem.get(best);  // refreshed by the pop's acquire
+          if (len >= s.cached_bound) viable = false;
+          if (viable) s.dfs(cur, depth + 1, len);
+        }
+      }));
+    }
+    for (auto& t : threads) main.join(t);
+    result = mem.get(best);
+  });
+  return result;
+}
+
+// Plain sequential branch-and-bound over the same matrix.
+struct SerialTsp {
+  const std::vector<std::int32_t>& d;
+  int n;
+  std::int32_t best;
+  std::vector<bool> visited;
+
+  void dfs(int cur, int depth, std::int32_t len) {
+    if (len >= best) return;
+    if (depth == n) {
+      best = std::min(best, len + d[static_cast<std::size_t>(cur) * n]);
+      return;
+    }
+    for (int next = 1; next < n; ++next) {
+      if (visited[static_cast<std::size_t>(next)]) continue;
+      const auto step = d[static_cast<std::size_t>(cur) * n + next];
+      if (len + step >= best) continue;
+      visited[static_cast<std::size_t>(next)] = true;
+      dfs(next, depth + 1, len + step);
+      visited[static_cast<std::size_t>(next)] = false;
+    }
+  }
+};
+
+}  // namespace
+
+RunResult tsp_parallel(const VmConfig& cfg, const TspParams& params) {
+  hyperion::HyperionVM vm(cfg);
+  RunResult out;
+  dsm::with_policy(cfg.protocol, [&](auto policy) {
+    using P = decltype(policy);
+    out.value = run<P>(vm, params);
+  });
+  out.elapsed = vm.elapsed();
+  out.stats = vm.stats();
+  return out;
+}
+
+std::int32_t tsp_serial(const TspParams& params) {
+  const int n = params.cities;
+  const auto d = tsp_make_distances(n, params.seed);
+  SerialTsp s{d, n, greedy_bound(d, n), std::vector<bool>(static_cast<std::size_t>(n), false)};
+  s.visited[0] = true;
+  s.dfs(0, 1, 0);
+  return s.best;
+}
+
+}  // namespace hyp::apps

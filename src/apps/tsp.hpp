@@ -1,0 +1,36 @@
+// TSP (Figure 4): branch-and-bound traveling salesperson.
+//
+// "TSP uses a central queue of work to be performed, as well as centrally
+// storing the best solution seen so far. These 'central' data structures are
+// stored on a single node, protected by a Java monitor, and must be fetched
+// by threads executing on other nodes" (§4.1). Work units are tour prefixes
+// of fixed depth; workers pop them from the monitor-guarded queue and search
+// the remainder depth-first, pruning against the (monitor-updated) global
+// bound. Unsynchronized bound reads may be stale — stale bounds are only
+// ever too large, so pruning stays sound; that staleness is precisely the
+// cached-object behaviour the protocols manage. The paper solves 17 cities.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "apps/app_common.hpp"
+
+namespace hyp::apps {
+
+struct TspParams {
+  int cities = 11;          // paper: 17 (hours of search at era speeds)
+  std::uint64_t seed = 7;   // random symmetric distance matrix
+};
+
+// Candidate-expansion core cost (distance add, compare, visited bookkeeping).
+inline constexpr std::uint64_t kTspStepCycles = 25;
+
+// Deterministic symmetric distance matrix, weights in [1, 100].
+std::vector<std::int32_t> tsp_make_distances(int n, std::uint64_t seed);
+
+RunResult tsp_parallel(const VmConfig& cfg, const TspParams& params);
+// Optimal tour length (exact, deterministic).
+std::int32_t tsp_serial(const TspParams& params);
+
+}  // namespace hyp::apps

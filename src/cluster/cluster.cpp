@@ -1,0 +1,155 @@
+#include "cluster/cluster.hpp"
+
+#include <utility>
+
+#include "common/assert.hpp"
+#include "common/log.hpp"
+
+namespace hyp::cluster {
+
+// ---------------------------------------------------------------------------
+// Node
+
+Node::Node(Cluster* cluster, NodeId id)
+    : cluster_(cluster), id_(id), service_(&cluster->engine()), app_cpu_(&cluster->engine()) {}
+
+void Node::register_service(ServiceId service, Handler handler) {
+  HYP_CHECK_MSG(handlers_.emplace(service, std::move(handler)).second,
+                "service already registered on this node");
+}
+
+Time Node::extend_service(TimeDelta duration) {
+  service_.reserve(duration);
+  return service_.free_at();
+}
+
+// ---------------------------------------------------------------------------
+// Cluster
+
+Cluster::Cluster(ClusterParams params, int nodes) : params_(std::move(params)) {
+  const int n = nodes > 0 ? nodes : params_.default_nodes;
+  HYP_CHECK_MSG(n > 0, "cluster must have at least one node");
+  nodes_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    nodes_.push_back(std::make_unique<Node>(this, i));
+  }
+}
+
+Node& Cluster::node(NodeId id) {
+  HYP_CHECK_MSG(id >= 0 && id < node_count(), "node id out of range");
+  return *nodes_[static_cast<std::size_t>(id)];
+}
+
+void Cluster::send(NodeId from, NodeId to, ServiceId service, Buffer payload) {
+  deliver(0, from, to, service, std::move(payload), /*reply_token=*/0);
+}
+
+void Cluster::send_after(TimeDelta depart_delay, NodeId from, NodeId to, ServiceId service,
+                         Buffer payload) {
+  deliver(depart_delay, from, to, service, std::move(payload), /*reply_token=*/0);
+}
+
+Buffer Cluster::call(NodeId from, NodeId to, ServiceId service, Buffer payload) {
+  sim::Engine* eng = &engine_;
+  HYP_CHECK_MSG(eng->in_fiber(), "Cluster::call must run on a fiber");
+  PendingReply slot;
+  slot.waiter = eng->current_fiber();
+  const std::uint64_t token = next_token_++;
+  pending_replies_[token] = &slot;
+  deliver(0, from, to, service, std::move(payload), token);
+  while (!slot.done) eng->park();
+  pending_replies_.erase(token);
+  return std::move(slot.payload);
+}
+
+void Cluster::reply(const Incoming& incoming, Buffer payload, TimeDelta depart_delay) {
+  HYP_CHECK_MSG(incoming.reply_token != 0, "reply() to a one-way message");
+  deliver_reply(depart_delay, incoming.to, incoming.from, incoming.reply_token,
+                std::move(payload));
+}
+
+void Cluster::reply_to(NodeId replier, NodeId requester, std::uint64_t reply_token,
+                       Buffer payload, TimeDelta depart_delay) {
+  HYP_CHECK_MSG(reply_token != 0, "reply_to() needs a call token");
+  deliver_reply(depart_delay, replier, requester, reply_token, std::move(payload));
+}
+
+void Cluster::deliver(TimeDelta depart_delay, NodeId from, NodeId to, ServiceId service,
+                      Buffer payload, std::uint64_t reply_token) {
+  Node& src = node(from);
+  Node& dst = node(to);
+  HYP_CHECK_MSG(from != to, "loopback RPC: callers handle the local case directly");
+
+  src.stats().add(Counter::kMessages);
+  src.stats().add(Counter::kMessageBytes, payload.size());
+
+  const std::uint64_t msg_seq = message_seq_++;
+  const Time depart = engine_.now() + depart_delay + params_.net.send_overhead;
+  const Time arrival =
+      depart + params_.net.wire_time(payload.size()) + params_.net.jitter_for(msg_seq);
+
+  engine_.post(arrival, [this, &dst, from, to, service, reply_token,
+                         moved = std::move(payload)]() mutable {
+    // Arrived: contend for the receiving node's service queue.
+    const Time begin = dst.service_queue().reserve(params_.net.recv_overhead);
+    const Time exec_at = begin + params_.net.recv_overhead;
+    engine_.post(exec_at, [this, &dst, from, to, service, reply_token,
+                           payload2 = std::move(moved)]() mutable {
+      auto it = dst.handlers_.find(service);
+      HYP_CHECK_MSG(it != dst.handlers_.end(),
+                    "no handler for service " + std::to_string(service) + " on node " +
+                        std::to_string(to));
+      Incoming incoming{from, to, BufferReader(payload2), reply_token};
+      it->second(incoming);
+    });
+  });
+}
+
+void Cluster::deliver_reply(TimeDelta depart_delay, NodeId from, NodeId to, std::uint64_t token,
+                            Buffer payload) {
+  Node& src = node(from);
+  src.stats().add(Counter::kMessages);
+  src.stats().add(Counter::kMessageBytes, payload.size());
+
+  const std::uint64_t msg_seq = message_seq_++;
+  const Time depart = engine_.now() + depart_delay + params_.net.send_overhead;
+  // Replies bypass the receiver's service queue: the destination fiber is
+  // blocked waiting, so only dispatch overhead applies.
+  const Time wakeup = depart + params_.net.wire_time(payload.size()) +
+                      params_.net.recv_overhead + params_.net.jitter_for(msg_seq);
+
+  engine_.post(wakeup, [this, token, moved = std::move(payload)]() mutable {
+    auto it = pending_replies_.find(token);
+    HYP_CHECK_MSG(it != pending_replies_.end(), "reply for unknown or completed call");
+    PendingReply* slot = it->second;
+    slot->payload = std::move(moved);
+    slot->done = true;
+    engine_.unpark(slot->waiter);
+  });
+}
+
+sim::Fiber* Cluster::spawn_thread(NodeId on, std::string name, UniqueFunction<void()> body) {
+  Node& target = node(on);
+  target.stats().add(Counter::kRemoteThreadSpawns);
+  return engine_.spawn(std::move(name), std::move(body));
+}
+
+void Cluster::run() {
+  auto stuck = engine_.run();
+  if (!stuck.empty()) {
+    std::string names;
+    for (const auto& n : stuck) {
+      if (!names.empty()) names += ", ";
+      names += n;
+    }
+    HYP_PANIC("cluster simulation deadlocked; blocked fibers: " + names);
+  }
+}
+
+Stats Cluster::total_stats() const {
+  Stats total;
+  for (const auto& n : nodes_) total.merge(n->stats_);
+  return total;
+}
+
+}  // namespace hyp::cluster

@@ -1,0 +1,206 @@
+// The simulated cluster and its PM2-like communication layer.
+//
+// PM2's communication subsystem exposes RPCs: "message handlers being
+// asynchronously invoked on the receiving end" (paper, Table 1). We model
+// exactly that: a node registers handlers for service ids; send() delivers a
+// payload after the network delay; handlers run as event-driven state
+// machines on the receiving node and may answer request/reply invocations
+// with reply(). call() gives the Hyperion runtime the blocking LRPC shape it
+// is built from.
+//
+// Timing model:
+//   departure  = now + send_overhead                 (sender NIC/stack)
+//   arrival    = departure + latency + bytes/bandwidth
+//   exec start = max(arrival, node service queue free) + recv_overhead
+// The per-node FIFO service queue makes hot homes a contention point, which
+// the paper's Barnes discussion depends on. Handlers must not block; they
+// queue state and reply later instead (see hyperion/monitor.cpp).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/params.hpp"
+#include "cluster/trace.hpp"
+#include "common/buffer.hpp"
+#include "common/stats.hpp"
+#include "sim/engine.hpp"
+#include "sim/sync.hpp"
+
+namespace hyp::cluster {
+
+using ServiceId = int;
+
+class Cluster;
+
+// An incoming RPC invocation as seen by a handler.
+struct Incoming {
+  NodeId from = -1;
+  NodeId to = -1;
+  BufferReader reader;        // positioned at the start of the payload
+  std::uint64_t reply_token;  // 0 for one-way sends
+};
+
+using Handler = std::function<void(Incoming&)>;
+
+// One machine of the cluster.
+class Node {
+ public:
+  Node(Cluster* cluster, NodeId id);
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  NodeId id() const { return id_; }
+  Cluster& cluster() { return *cluster_; }
+
+  // Registers the handler for `service` on this node. One handler per id.
+  void register_service(ServiceId service, Handler handler);
+
+  // Extends the current service occupancy (e.g. a page-copy memcpy performed
+  // by the DSM server). Returns the time at which the extended service ends;
+  // replies that depend on that work should be sent with that delay.
+  Time extend_service(TimeDelta duration);
+
+  sim::FifoServer& service_queue() { return service_; }
+  // The node's application CPU: threads of one node serialize their compute
+  // through this (one processor per node, as on the paper's testbeds), which
+  // is what makes the >1-thread-per-node extension study meaningful —
+  // extra threads can only overlap *communication*, not computation.
+  sim::FifoServer& app_cpu() { return app_cpu_; }
+  Stats& stats() { return stats_; }
+
+ private:
+  friend class Cluster;
+  Cluster* cluster_;
+  NodeId id_;
+  sim::FifoServer service_;
+  sim::FifoServer app_cpu_;
+  std::map<ServiceId, Handler> handlers_;
+  Stats stats_;
+};
+
+// Charges CPU time to the calling fiber, batched: hot paths accumulate into
+// a counter and flush() converts the total into one virtual-time sleep at
+// the next synchronization or communication point. Exact for data-race-free
+// programs (the only ones the Java Memory Model gives determinate answers
+// for anyway).
+class CpuClock {
+ public:
+  explicit CpuClock(const CpuParams* cpu) : cpu_(cpu) {}
+
+  void charge(Time t) { pending_ += t; }
+  // Application compute: subject to the sub-linear clock scaling.
+  void charge_cycles(std::uint64_t n) { pending_ += cpu_->app_cycles(n); }
+
+  // Binds the clock to a node CPU: flushes then contend for the processor
+  // FIFO instead of advancing free-running (multiple threads per node).
+  void bind_cpu(sim::FifoServer* cpu_server) { cpu_server_ = cpu_server; }
+
+  void flush() {
+    if (pending_ == 0) return;
+    total_ += pending_;
+    if (cpu_server_ == nullptr) {
+      sim::Engine::current()->sleep_for(pending_);
+      pending_ = 0;
+      return;
+    }
+    // Present the batch to the node CPU in timeslice quanta so co-resident
+    // threads interleave as they would under a preemptive scheduler.
+    const Time quantum = cpu_->timeslice > 0 ? cpu_->timeslice : pending_;
+    while (pending_ != 0) {
+      const Time slice = pending_ < quantum ? pending_ : quantum;
+      pending_ -= slice;
+      cpu_server_->serve(slice);
+    }
+  }
+
+  Time pending() const { return pending_; }
+  Time total_charged() const { return total_; }
+  const CpuParams& cpu() const { return *cpu_; }
+
+ private:
+  const CpuParams* cpu_;
+  sim::FifoServer* cpu_server_ = nullptr;
+  Time pending_ = 0;
+  Time total_ = 0;
+};
+
+class Cluster {
+ public:
+  // `nodes` <= 0 selects the preset's paper-figure size.
+  explicit Cluster(ClusterParams params, int nodes = 0);
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  int node_count() const { return static_cast<int>(nodes_.size()); }
+  Node& node(NodeId id);
+  const ClusterParams& params() const { return params_; }
+  sim::Engine& engine() { return engine_; }
+
+  // One-way asynchronous RPC (PM2 "RPC with no waiting").
+  void send(NodeId from, NodeId to, ServiceId service, Buffer payload);
+
+  // As send(), but the message departs `depart_delay` after now — used by
+  // handlers whose reply depends on service work they just reserved.
+  void send_after(TimeDelta depart_delay, NodeId from, NodeId to, ServiceId service,
+                  Buffer payload);
+
+  // Blocking request/reply (PM2 LRPC). Must be called from a fiber; the
+  // fiber sleeps in virtual time until the reply arrives.
+  Buffer call(NodeId from, NodeId to, ServiceId service, Buffer payload);
+
+  // Sends the reply for `incoming.reply_token`; `depart_delay` delays the
+  // departure (e.g. until reserved service work completes).
+  void reply(const Incoming& incoming, Buffer payload, TimeDelta depart_delay = 0);
+
+  // As reply(), for handlers that stored the caller's coordinates and answer
+  // long after the Incoming is gone (e.g. a monitor granting a queued enter).
+  void reply_to(NodeId replier, NodeId requester, std::uint64_t reply_token, Buffer payload,
+                TimeDelta depart_delay = 0);
+
+  // Runs `body` as a fiber logically placed on node `on`; PM2 remote thread
+  // creation. Returns the fiber for joining.
+  sim::Fiber* spawn_thread(NodeId on, std::string name, UniqueFunction<void()> body);
+
+  // Drives the simulation to quiescence; aborts on deadlocked fibers.
+  void run();
+
+  // Aggregated statistics over all nodes.
+  Stats total_stats() const;
+
+  // --- protocol event tracing (optional; nullptr = off) --------------------
+  void set_trace(TraceLog* trace) { trace_ = trace; }
+  TraceLog* trace() { return trace_; }
+  void trace_event(NodeId node, TraceKind kind, std::int64_t a = 0, std::int64_t b = 0) {
+    if (trace_ != nullptr) [[unlikely]] {
+      trace_->record(engine_.now(), node, kind, a, b);
+    }
+  }
+
+ private:
+  struct PendingReply {
+    sim::Fiber* waiter = nullptr;
+    Buffer payload;
+    bool done = false;
+  };
+
+  // Computes arrival and schedules handler execution.
+  void deliver(TimeDelta depart_delay, NodeId from, NodeId to, ServiceId service, Buffer payload,
+               std::uint64_t reply_token);
+  void deliver_reply(TimeDelta depart_delay, NodeId from, NodeId to, std::uint64_t token,
+                     Buffer payload);
+
+  ClusterParams params_;
+  sim::Engine engine_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::map<std::uint64_t, PendingReply*> pending_replies_;
+  std::uint64_t next_token_ = 1;
+  std::uint64_t message_seq_ = 0;  // drives deterministic jitter
+  TraceLog* trace_ = nullptr;
+};
+
+}  // namespace hyp::cluster

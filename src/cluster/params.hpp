@@ -1,0 +1,115 @@
+// Cluster cost-model parameters.
+//
+// The paper evaluates on two testbeds; their published constants anchor the
+// model. Constants the paper states directly:
+//   * 12x 200 MHz Pentium Pro, Myrinet/BIP, page fault cost 22 us
+//   * 6x 450 MHz Pentium II, SCI/SISCI,   page fault cost 12 us
+// Network figures come from the cited BIP paper (~10 us latency, ~125 MB/s)
+// and contemporary SISCI measurements (~4 us, ~80 MB/s). The in-line check
+// cost is expressed in CPU cycles so that it scales with the CPU clock the
+// way the paper's discussion requires ("the faster speed of the processors
+// ... makes the removal of the in-line checks relatively less important").
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/assert.hpp"
+#include "common/units.hpp"
+
+namespace hyp::cluster {
+
+using NodeId = int;
+
+struct NetworkParams {
+  Time latency = 0;                    // one-way wire + NIC latency
+  double bandwidth_bytes_per_sec = 0;  // payload streaming rate
+  Time send_overhead = 0;              // sender-side protocol stack cost
+  Time recv_overhead = 0;              // receiver-side dispatch cost
+
+  // Failure-injection knob: per-message latency jitter, up to this many
+  // picoseconds added deterministically (hashed from the message sequence
+  // number — two runs of the same program still produce identical traces,
+  // but message timing is no longer metronomic). 0 = off (default; the
+  // paper's interconnects were dedicated and quiet).
+  Time jitter_max = 0;
+
+  // Wire time for a message of `bytes` payload (excluding end-point
+  // overheads, which are charged to the respective CPUs/service queues).
+  Time wire_time(std::size_t bytes) const {
+    HYP_DCHECK(bandwidth_bytes_per_sec > 0);
+    const double ps = static_cast<double>(bytes) * 1e12 / bandwidth_bytes_per_sec;
+    return latency + static_cast<Time>(ps);
+  }
+
+  // Deterministic jitter for the message with this sequence number.
+  Time jitter_for(std::uint64_t seq) const {
+    if (jitter_max == 0) return 0;
+    // SplitMix64 finalizer as the hash.
+    std::uint64_t z = seq + 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    z ^= z >> 31;
+    return z % (jitter_max + 1);
+  }
+};
+
+struct CpuParams {
+  double hz = 0;                  // CPU clock
+  Time page_fault_cost = 0;       // trap + kernel + SIGSEGV dispatch (paper §4.2)
+  Time mprotect_page_cost = 0;    // mprotect(2) on a single page
+  Time mprotect_region_cost = 0;  // one mprotect spanning the whole DSM region
+  std::uint64_t check_cycles = 0; // java_ic in-line locality check
+
+  // Memory-subsystem work constants (cycles, scaled by the CPU clock).
+  double copy_cycles_per_byte = 0.25;    // page memcpy (fetch, twin, apply)
+  double diff_cycles_per_byte = 0.5;     // twin comparison at updateMainMemory
+  std::uint64_t update_entry_cycles = 12;   // pack/apply one write-log field
+  std::uint64_t invalidate_page_cycles = 2; // drop one cached page (bitmap)
+
+  // Application compute does not speed up linearly with the clock (memory
+  // stalls do not scale); charged app cycles are inflated by this factor.
+  // The in-line check itself is register/L1 work and stays at check_cycles.
+  // This is what makes check removal "relatively less important" on the
+  // faster CPUs (paper §4.3).
+  double app_cycle_scale = 1.0;
+
+  // Scheduler timeslice: batched compute is presented to the node CPU in
+  // slices of at most this length, so a co-resident thread's small burst is
+  // delayed by one quantum, not by a sibling's entire batch — the
+  // preemption real kernels provide.
+  Time timeslice = 100 * kMicrosecond;
+
+  Time cycles(std::uint64_t n) const { return cycles_at_hz(n, hz); }
+  // App-code cycles, including the sub-linear clock scaling.
+  Time app_cycles(std::uint64_t n) const {
+    return cycles_f(app_cycle_scale * static_cast<double>(n));
+  }
+  // Fractional cycle totals (per-byte constants) rounded once at the end.
+  Time cycles_f(double n) const {
+    return n <= 0 ? 0 : cycles_at_hz(static_cast<std::uint64_t>(n + 0.5), hz);
+  }
+  Time check_cost() const { return cycles(check_cycles); }
+  Time copy_cost(std::size_t bytes) const {
+    return cycles_f(copy_cycles_per_byte * static_cast<double>(bytes));
+  }
+  Time diff_cost(std::size_t bytes) const {
+    return cycles_f(diff_cycles_per_byte * static_cast<double>(bytes));
+  }
+};
+
+struct ClusterParams {
+  std::string name;
+  int default_nodes = 0;  // cluster size used in the paper's figures
+  NetworkParams net;
+  CpuParams cpu;
+  std::size_t page_bytes = 4096;
+
+  // The two testbeds of the paper.
+  static ClusterParams myrinet200();
+  static ClusterParams sci450();
+  // Resolves "myri200" / "sci450" by name (benchmark CLI).
+  static ClusterParams by_name(const std::string& name);
+};
+
+}  // namespace hyp::cluster

@@ -1,0 +1,47 @@
+#include "cluster/trace.hpp"
+
+#include <cstdio>
+
+namespace hyp::cluster {
+
+const char* trace_kind_name(TraceKind kind) {
+  switch (kind) {
+    case TraceKind::kPageFetch: return "page_fetch";
+    case TraceKind::kPageFault: return "page_fault";
+    case TraceKind::kInvalidate: return "invalidate";
+    case TraceKind::kUpdateSent: return "update_sent";
+    case TraceKind::kMonitorEnter: return "monitor_enter";
+    case TraceKind::kMonitorExit: return "monitor_exit";
+    case TraceKind::kMonitorWait: return "monitor_wait";
+    case TraceKind::kMonitorNotify: return "monitor_notify";
+    case TraceKind::kThreadStart: return "thread_start";
+    case TraceKind::kThreadMigrate: return "thread_migrate";
+  }
+  return "?";
+}
+
+std::size_t TraceLog::count(TraceKind kind) const {
+  std::size_t n = 0;
+  for (const auto& e : events_) n += (e.kind == kind);
+  return n;
+}
+
+void TraceLog::write_text(std::ostream& os, std::size_t limit) const {
+  std::size_t shown = 0;
+  for (const auto& e : events_) {
+    if (shown++ >= limit) break;
+    char line[160];
+    std::snprintf(line, sizeof(line), "%12.3f us  n%-2d %-14s a=%lld b=%lld\n",
+                  to_micros(e.at), e.node, trace_kind_name(e.kind),
+                  static_cast<long long>(e.a), static_cast<long long>(e.b));
+    os << line;
+  }
+  if (events_.size() > limit) {
+    os << "... (" << (events_.size() - limit) << " more events)\n";
+  }
+  if (dropped_ != 0) {
+    os << "... (" << dropped_ << " events dropped at capacity)\n";
+  }
+}
+
+}  // namespace hyp::cluster

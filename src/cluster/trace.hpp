@@ -1,0 +1,79 @@
+// Protocol event tracing.
+//
+// A lightweight, allocation-free-at-record-time event log with virtual
+// timestamps: each record is (time, node, kind, three integer arguments).
+// The DSM and monitor subsystems emit events when a TraceLog is attached to
+// the Cluster; with none attached the hooks cost one pointer test.
+// Deterministic simulations make traces diffable run-to-run — the primary
+// protocol-debugging tool of this repository (see protocol_tour --trace).
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace hyp::cluster {
+
+enum class TraceKind : std::uint8_t {
+  kPageFetch,      // a=page, b=home
+  kPageFault,      // a=page (java_pf detection)
+  kInvalidate,     // a=pages dropped
+  kUpdateSent,     // a=dest(home), b=bytes
+  kMonitorEnter,   // a=object gva, b=thread uid
+  kMonitorExit,    // a=object gva, b=thread uid
+  kMonitorWait,    // a=object gva, b=thread uid
+  kMonitorNotify,  // a=object gva, b=all?1:0
+  kThreadStart,    // a=thread uid
+  kThreadMigrate,  // a=from node, b=to node
+};
+
+const char* trace_kind_name(TraceKind kind);
+
+struct TraceEvent {
+  Time at;
+  int node;
+  TraceKind kind;
+  std::int64_t a = 0;
+  std::int64_t b = 0;
+};
+
+class TraceLog {
+ public:
+  // Bounded: recording beyond the capacity drops the oldest semantics are
+  // NOT wanted for debugging; instead recording stops (and drops are
+  // counted) so the beginning of the run — usually what matters — is kept.
+  explicit TraceLog(std::size_t capacity = 1 << 16) : capacity_(capacity) {
+    events_.reserve(capacity < 4096 ? capacity : 4096);
+  }
+
+  void record(Time at, int node, TraceKind kind, std::int64_t a, std::int64_t b) {
+    if (events_.size() >= capacity_) {
+      ++dropped_;
+      return;
+    }
+    events_.push_back({at, node, kind, a, b});
+  }
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  std::uint64_t dropped() const { return dropped_; }
+  void clear() {
+    events_.clear();
+    dropped_ = 0;
+  }
+
+  // Count of events of one kind (test convenience).
+  std::size_t count(TraceKind kind) const;
+
+  // Human-readable dump: one event per line, virtual microsecond timestamps.
+  void write_text(std::ostream& os, std::size_t limit = ~std::size_t{0}) const;
+
+ private:
+  std::size_t capacity_;
+  std::vector<TraceEvent> events_;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace hyp::cluster

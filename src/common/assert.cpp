@@ -1,0 +1,25 @@
+#include "common/assert.hpp"
+
+namespace hyp {
+
+void panic(const char* file, int line, const std::string& msg) {
+  std::fprintf(stderr, "[hyperion-repro PANIC] %s:%d: %s\n", file, line,
+               msg.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+namespace detail {
+
+std::string format_check_failure(const char* expr, std::string_view extra) {
+  std::string out = "check failed: ";
+  out += expr;
+  if (!extra.empty()) {
+    out += " — ";
+    out += extra;
+  }
+  return out;
+}
+
+}  // namespace detail
+}  // namespace hyp

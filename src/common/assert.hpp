@@ -1,0 +1,51 @@
+// Fatal-error and invariant-checking machinery used across the library.
+//
+// HYP_CHECK is always on (release builds included): in a DSM runtime a
+// violated invariant means silent memory corruption, which is strictly worse
+// than an abort. HYP_DCHECK compiles out in NDEBUG builds and is reserved for
+// hot paths (the in-line access checks measured by the benchmarks).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace hyp {
+
+// Prints a formatted fatal-error message and aborts. Marked cold so the
+// compiler keeps failure paths out of the hot instruction stream.
+[[noreturn]] void panic(const char* file, int line, const std::string& msg);
+
+namespace detail {
+std::string format_check_failure(const char* expr, std::string_view extra);
+}  // namespace detail
+
+}  // namespace hyp
+
+#define HYP_PANIC(msg) ::hyp::panic(__FILE__, __LINE__, (msg))
+
+#define HYP_CHECK(expr)                                                     \
+  do {                                                                      \
+    if (!(expr)) [[unlikely]] {                                             \
+      ::hyp::panic(__FILE__, __LINE__,                                      \
+                   ::hyp::detail::format_check_failure(#expr, {}));         \
+    }                                                                       \
+  } while (0)
+
+#define HYP_CHECK_MSG(expr, msg)                                            \
+  do {                                                                      \
+    if (!(expr)) [[unlikely]] {                                             \
+      ::hyp::panic(__FILE__, __LINE__,                                      \
+                   ::hyp::detail::format_check_failure(#expr, (msg)));      \
+    }                                                                       \
+  } while (0)
+
+#ifdef NDEBUG
+#define HYP_DCHECK(expr) \
+  do {                   \
+  } while (0)
+#else
+#define HYP_DCHECK(expr) HYP_CHECK(expr)
+#endif

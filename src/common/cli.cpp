@@ -1,0 +1,155 @@
+#include "common/cli.hpp"
+
+#include <cstdlib>
+#include <iostream>
+
+#include "common/assert.hpp"
+
+namespace hyp {
+
+Cli::Cli(std::string program_description) : description_(std::move(program_description)) {}
+
+Cli& Cli::flag_int(const std::string& name, std::int64_t default_value, const std::string& help) {
+  Flag f;
+  f.kind = Kind::kInt;
+  f.help = help;
+  f.int_value = default_value;
+  HYP_CHECK_MSG(flags_.emplace(name, std::move(f)).second, "duplicate flag");
+  order_.push_back(name);
+  return *this;
+}
+
+Cli& Cli::flag_double(const std::string& name, double default_value, const std::string& help) {
+  Flag f;
+  f.kind = Kind::kDouble;
+  f.help = help;
+  f.double_value = default_value;
+  HYP_CHECK_MSG(flags_.emplace(name, std::move(f)).second, "duplicate flag");
+  order_.push_back(name);
+  return *this;
+}
+
+Cli& Cli::flag_bool(const std::string& name, bool default_value, const std::string& help) {
+  Flag f;
+  f.kind = Kind::kBool;
+  f.help = help;
+  f.bool_value = default_value;
+  HYP_CHECK_MSG(flags_.emplace(name, std::move(f)).second, "duplicate flag");
+  order_.push_back(name);
+  return *this;
+}
+
+Cli& Cli::flag_string(const std::string& name, const std::string& default_value,
+                      const std::string& help) {
+  Flag f;
+  f.kind = Kind::kString;
+  f.help = help;
+  f.string_value = default_value;
+  HYP_CHECK_MSG(flags_.emplace(name, std::move(f)).second, "duplicate flag");
+  order_.push_back(name);
+  return *this;
+}
+
+bool Cli::parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      print_usage(std::cout);
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) fail("positional arguments are not accepted: " + arg);
+    arg = arg.substr(2);
+
+    std::string name = arg;
+    std::string value;
+    bool have_value = false;
+    if (auto eq = arg.find('='); eq != std::string::npos) {
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+      have_value = true;
+    }
+
+    bool negated = false;
+    auto it = flags_.find(name);
+    if (it == flags_.end() && name.rfind("no-", 0) == 0) {
+      it = flags_.find(name.substr(3));
+      if (it != flags_.end() && it->second.kind == Kind::kBool) negated = true;
+      else it = flags_.end();
+    }
+    if (it == flags_.end()) fail("unknown flag --" + name);
+    Flag& f = it->second;
+
+    if (f.kind == Kind::kBool) {
+      if (negated) {
+        if (have_value) fail("--no-" + it->first + " does not take a value");
+        f.bool_value = false;
+      } else if (have_value) {
+        if (value == "true" || value == "1") f.bool_value = true;
+        else if (value == "false" || value == "0") f.bool_value = false;
+        else fail("bad boolean for --" + name + ": " + value);
+      } else {
+        f.bool_value = true;
+      }
+      continue;
+    }
+
+    if (!have_value) {
+      if (i + 1 >= argc) fail("flag --" + name + " needs a value");
+      value = argv[++i];
+    }
+    char* end = nullptr;
+    switch (f.kind) {
+      case Kind::kInt:
+        f.int_value = std::strtoll(value.c_str(), &end, 10);
+        if (end == value.c_str() || *end != '\0') fail("bad integer for --" + name + ": " + value);
+        break;
+      case Kind::kDouble:
+        f.double_value = std::strtod(value.c_str(), &end);
+        if (end == value.c_str() || *end != '\0') fail("bad number for --" + name + ": " + value);
+        break;
+      case Kind::kString:
+        f.string_value = value;
+        break;
+      case Kind::kBool:
+        break;  // handled above
+    }
+  }
+  return true;
+}
+
+std::int64_t Cli::get_int(const std::string& name) const { return find(name, Kind::kInt).int_value; }
+double Cli::get_double(const std::string& name) const { return find(name, Kind::kDouble).double_value; }
+bool Cli::get_bool(const std::string& name) const { return find(name, Kind::kBool).bool_value; }
+const std::string& Cli::get_string(const std::string& name) const {
+  return find(name, Kind::kString).string_value;
+}
+
+const Cli::Flag& Cli::find(const std::string& name, Kind kind) const {
+  auto it = flags_.find(name);
+  HYP_CHECK_MSG(it != flags_.end(), "flag not registered: " + name);
+  HYP_CHECK_MSG(it->second.kind == kind, "flag accessed with wrong type: " + name);
+  return it->second;
+}
+
+void Cli::print_usage(std::ostream& os) const {
+  os << description_ << "\n\nFlags:\n";
+  for (const auto& name : order_) {
+    const Flag& f = flags_.at(name);
+    os << "  --" << name;
+    switch (f.kind) {
+      case Kind::kInt: os << "=<int> (default " << f.int_value << ")"; break;
+      case Kind::kDouble: os << "=<num> (default " << f.double_value << ")"; break;
+      case Kind::kBool: os << " / --no-" << name << " (default " << (f.bool_value ? "true" : "false") << ")"; break;
+      case Kind::kString: os << "=<str> (default \"" << f.string_value << "\")"; break;
+    }
+    os << "\n      " << f.help << "\n";
+  }
+}
+
+void Cli::fail(const std::string& message) const {
+  std::cerr << "error: " << message << "\n\n";
+  print_usage(std::cerr);
+  std::exit(2);
+}
+
+}  // namespace hyp

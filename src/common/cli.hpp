@@ -1,0 +1,56 @@
+// Tiny command-line flag parser for the benchmark and example binaries.
+//
+// Supports `--name=value`, `--name value`, and boolean `--name` /
+// `--no-name`. Unknown flags are an error (typos in a sweep silently running
+// the default experiment would poison recorded results).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace hyp {
+
+class Cli {
+ public:
+  Cli(std::string program_description);
+
+  // Registration. Returns *this for chaining.
+  Cli& flag_int(const std::string& name, std::int64_t default_value, const std::string& help);
+  Cli& flag_double(const std::string& name, double default_value, const std::string& help);
+  Cli& flag_bool(const std::string& name, bool default_value, const std::string& help);
+  Cli& flag_string(const std::string& name, const std::string& default_value,
+                   const std::string& help);
+
+  // Parses argv. On `--help` prints usage and returns false (caller exits 0).
+  // On bad input prints the problem + usage to stderr and calls exit(2).
+  bool parse(int argc, char** argv);
+
+  std::int64_t get_int(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  bool get_bool(const std::string& name) const;
+  const std::string& get_string(const std::string& name) const;
+
+  void print_usage(std::ostream& os) const;
+
+ private:
+  enum class Kind { kInt, kDouble, kBool, kString };
+  struct Flag {
+    Kind kind;
+    std::string help;
+    std::int64_t int_value = 0;
+    double double_value = 0;
+    bool bool_value = false;
+    std::string string_value;
+  };
+
+  const Flag& find(const std::string& name, Kind kind) const;
+  [[noreturn]] void fail(const std::string& message) const;
+
+  std::string description_;
+  std::map<std::string, Flag> flags_;
+  std::vector<std::string> order_;  // registration order for usage text
+};
+
+}  // namespace hyp

@@ -1,0 +1,59 @@
+// UniqueFunction: a minimal move-only std::function<void(Args...)>.
+//
+// Simulator events must own their payloads (a message Buffer moves through
+// the event queue exactly once); std::function requires copyable targets and
+// std::move_only_function is C++23. This is the small subset we need.
+#pragma once
+
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+#include "common/assert.hpp"
+
+namespace hyp {
+
+template <typename Signature>
+class UniqueFunction;
+
+template <typename R, typename... Args>
+class UniqueFunction<R(Args...)> {
+ public:
+  UniqueFunction() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, UniqueFunction> &&
+                std::is_invocable_r_v<R, std::decay_t<F>&, Args...>>>
+  UniqueFunction(F&& f) : impl_(std::make_unique<Model<std::decay_t<F>>>(std::forward<F>(f))) {}
+
+  UniqueFunction(UniqueFunction&&) noexcept = default;
+  UniqueFunction& operator=(UniqueFunction&&) noexcept = default;
+  UniqueFunction(const UniqueFunction&) = delete;
+  UniqueFunction& operator=(const UniqueFunction&) = delete;
+
+  explicit operator bool() const { return impl_ != nullptr; }
+
+  R operator()(Args... args) {
+    HYP_CHECK_MSG(impl_ != nullptr, "calling empty UniqueFunction");
+    return impl_->invoke(std::forward<Args>(args)...);
+  }
+
+ private:
+  struct Concept {
+    virtual ~Concept() = default;
+    virtual R invoke(Args&&... args) = 0;
+  };
+
+  template <typename F>
+  struct Model final : Concept {
+    explicit Model(F&& f) : fn(std::move(f)) {}
+    explicit Model(const F& f) : fn(f) {}
+    R invoke(Args&&... args) override { return fn(std::forward<Args>(args)...); }
+    F fn;
+  };
+
+  std::unique_ptr<Concept> impl_;
+};
+
+}  // namespace hyp

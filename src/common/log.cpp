@@ -1,0 +1,58 @@
+#include "common/log.hpp"
+
+#include <cstdio>
+#include <mutex>
+
+namespace hyp {
+namespace {
+
+std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+std::mutex g_emit_mutex;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel log_level() { return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed)); }
+
+void set_log_level(LogLevel level) { g_level.store(static_cast<int>(level), std::memory_order_relaxed); }
+
+bool parse_log_level(const std::string& text, LogLevel* out) {
+  if (text == "trace") *out = LogLevel::kTrace;
+  else if (text == "debug") *out = LogLevel::kDebug;
+  else if (text == "info") *out = LogLevel::kInfo;
+  else if (text == "warn") *out = LogLevel::kWarn;
+  else if (text == "error") *out = LogLevel::kError;
+  else if (text == "off") *out = LogLevel::kOff;
+  else return false;
+  return true;
+}
+
+namespace detail {
+
+bool log_enabled(LogLevel level) {
+  return static_cast<int>(level) >= g_level.load(std::memory_order_relaxed);
+}
+
+void log_emit(LogLevel level, const char* file, int line, const std::string& msg) {
+  // Strip directories from the path for terse output.
+  const char* base = file;
+  for (const char* p = file; *p; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  std::lock_guard<std::mutex> lock(g_emit_mutex);
+  std::fprintf(stderr, "[%s %s:%d] %s\n", level_name(level), base, line, msg.c_str());
+}
+
+}  // namespace detail
+}  // namespace hyp

@@ -1,0 +1,43 @@
+// Minimal leveled logger.
+//
+// The simulator is single-threaded (fibers), but the native backend logs from
+// several OS threads, so emission takes a process-wide lock. Log level is a
+// process-wide atomic read on the fast path; disabled levels cost one load
+// and a predictable branch.
+#pragma once
+
+#include <atomic>
+#include <sstream>
+#include <string>
+
+namespace hyp {
+
+enum class LogLevel : int { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, kOff = 5 };
+
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+// Parses "trace"/"debug"/"info"/"warn"/"error"/"off"; returns false on junk.
+bool parse_log_level(const std::string& text, LogLevel* out);
+
+namespace detail {
+void log_emit(LogLevel level, const char* file, int line, const std::string& msg);
+bool log_enabled(LogLevel level);
+}  // namespace detail
+
+}  // namespace hyp
+
+#define HYP_LOG(level, ...)                                                   \
+  do {                                                                        \
+    if (::hyp::detail::log_enabled(level)) {                                  \
+      std::ostringstream hyp_log_oss_;                                        \
+      hyp_log_oss_ << __VA_ARGS__;                                            \
+      ::hyp::detail::log_emit(level, __FILE__, __LINE__, hyp_log_oss_.str()); \
+    }                                                                         \
+  } while (0)
+
+#define HYP_TRACE(...) HYP_LOG(::hyp::LogLevel::kTrace, __VA_ARGS__)
+#define HYP_DEBUG(...) HYP_LOG(::hyp::LogLevel::kDebug, __VA_ARGS__)
+#define HYP_INFO(...) HYP_LOG(::hyp::LogLevel::kInfo, __VA_ARGS__)
+#define HYP_WARN(...) HYP_LOG(::hyp::LogLevel::kWarn, __VA_ARGS__)
+#define HYP_ERROR(...) HYP_LOG(::hyp::LogLevel::kError, __VA_ARGS__)

@@ -1,0 +1,67 @@
+#include "common/stats.hpp"
+
+#include <sstream>
+
+namespace hyp {
+
+const char* counter_name(Counter c) {
+  switch (c) {
+    case Counter::kInlineChecks: return "inline_checks";
+    case Counter::kPageFaults: return "page_faults";
+    case Counter::kMprotectCalls: return "mprotect_calls";
+    case Counter::kPageFetches: return "page_fetches";
+    case Counter::kPageFetchBytes: return "page_fetch_bytes";
+    case Counter::kWriteLogEntries: return "write_log_entries";
+    case Counter::kDiffWords: return "diff_words";
+    case Counter::kUpdatesSent: return "updates_sent";
+    case Counter::kUpdateBytes: return "update_bytes";
+    case Counter::kInvalidations: return "invalidations";
+    case Counter::kMonitorEnters: return "monitor_enters";
+    case Counter::kMonitorExits: return "monitor_exits";
+    case Counter::kMessages: return "messages";
+    case Counter::kMessageBytes: return "message_bytes";
+    case Counter::kRemoteThreadSpawns: return "remote_thread_spawns";
+    case Counter::kThreadMigrations: return "thread_migrations";
+    case Counter::kLocalHits: return "local_hits";
+    case Counter::kCount_: break;
+  }
+  return "?";
+}
+
+std::uint64_t Stats::get_named(const std::string& name) const {
+  auto it = named_.find(name);
+  return it == named_.end() ? 0 : it->second;
+}
+
+void Stats::reset() {
+  for (auto& v : fixed_) v = 0;
+  named_.clear();
+}
+
+void Stats::merge(const Stats& other) {
+  for (int i = 0; i < static_cast<int>(Counter::kCount_); ++i) {
+    fixed_[i] += other.fixed_[i];
+  }
+  for (const auto& [name, value] : other.named_) named_[name] += value;
+}
+
+std::string Stats::to_string() const {
+  std::ostringstream oss;
+  for (const auto& [name, value] : nonzero()) {
+    oss << name << "=" << value << "\n";
+  }
+  return oss.str();
+}
+
+std::map<std::string, std::uint64_t> Stats::nonzero() const {
+  std::map<std::string, std::uint64_t> out;
+  for (int i = 0; i < static_cast<int>(Counter::kCount_); ++i) {
+    if (fixed_[i] != 0) out[counter_name(static_cast<Counter>(i))] = fixed_[i];
+  }
+  for (const auto& [name, value] : named_) {
+    if (value != 0) out[name] = value;
+  }
+  return out;
+}
+
+}  // namespace hyp

@@ -1,0 +1,64 @@
+// Run statistics: named monotonic counters.
+//
+// The protocols under study differ in *which events they pay for* (in-line
+// checks vs page faults vs mprotect calls), so the evaluation reports event
+// counts alongside times — exactly the quantities the paper's §4.3 argues
+// from ("the number of page faults being handled by java_pf ... grows").
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace hyp {
+
+// Fixed, enumerated counters for the hot paths (array-indexed: incrementing
+// one is a single add), plus a free-form map for occasional counters.
+enum class Counter : int {
+  kInlineChecks = 0,     // java_ic locality checks executed
+  kPageFaults,           // java_pf simulated/real access faults
+  kMprotectCalls,        // page (re)protection operations
+  kPageFetches,          // pages copied from a home node
+  kPageFetchBytes,       // bytes of page payload moved
+  kWriteLogEntries,      // field-granularity put records (java_ic)
+  kDiffWords,            // words found modified by twin comparison (java_pf)
+  kUpdatesSent,          // updateMainMemory messages
+  kUpdateBytes,          // bytes of modification payload shipped home
+  kInvalidations,        // pages invalidated at monitor entry
+  kMonitorEnters,
+  kMonitorExits,
+  kMessages,             // network messages of any kind
+  kMessageBytes,
+  kRemoteThreadSpawns,
+  kThreadMigrations,     // PM2-style thread migrations between nodes
+  kLocalHits,            // accesses satisfied without communication
+  kCount_,
+};
+
+const char* counter_name(Counter c);
+
+class Stats {
+ public:
+  void add(Counter c, std::uint64_t n = 1) { fixed_[static_cast<int>(c)] += n; }
+  std::uint64_t get(Counter c) const { return fixed_[static_cast<int>(c)]; }
+
+  void add_named(const std::string& name, std::uint64_t n = 1) { named_[name] += n; }
+  std::uint64_t get_named(const std::string& name) const;
+
+  void reset();
+
+  // Merges `other` into this (used to aggregate per-node stats).
+  void merge(const Stats& other);
+
+  // "name=value" lines, fixed counters first, zero-valued ones skipped.
+  std::string to_string() const;
+
+  // All nonzero counters as a name->value map (for CSV emission).
+  std::map<std::string, std::uint64_t> nonzero() const;
+
+ private:
+  std::uint64_t fixed_[static_cast<int>(Counter::kCount_)] = {};
+  std::map<std::string, std::uint64_t> named_;
+};
+
+}  // namespace hyp

@@ -1,0 +1,37 @@
+// Text table and CSV emission for the benchmark harness.
+//
+// Every figure-reproducing benchmark prints (a) a CSV block that can be fed
+// straight to a plotting tool and (b) an aligned human-readable table that
+// mirrors the series of the corresponding paper figure.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace hyp {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  // Convenience for mixed cells built with format helpers below.
+  std::size_t rows() const { return rows_.size(); }
+
+  void write_csv(std::ostream& os) const;
+  void write_pretty(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Format helpers (locale-independent).
+std::string fmt_double(double v, int precision = 3);
+std::string fmt_u64(std::uint64_t v);
+std::string fmt_percent(double fraction, int precision = 1);  // 0.38 -> "38.0%"
+
+}  // namespace hyp

@@ -1,0 +1,108 @@
+// The get/put access primitives — the heart of the paper.
+//
+// Applications are templated over one of these policies, exactly as
+// Hyperion's java2c compiler emitted one access sequence per protocol:
+//
+//   IcPolicy (java_ic): every access executes an explicit locality check —
+//     we run a *real* presence test and additionally charge the modeled
+//     check cost (what the check cost on the paper's CPUs). Misses go
+//     through the checked fetch path. Non-home stores are recorded in the
+//     write log, field by field.
+//
+//   PfPolicy (java_pf): accesses compile to bare loads/stores. The presence
+//     test below plays the MMU: it costs nothing in virtual time when the
+//     page is present (hardware does it for free); when the page is absent
+//     it charges the paper's measured page-fault cost and runs the fault
+//     handler (fetch + mprotect + twin).
+//
+// Both policies operate on real bytes in the node's arena; a protocol bug
+// yields wrong program output, not just wrong timing.
+#pragma once
+
+#include <cstring>
+#include <type_traits>
+
+#include "common/stats.hpp"
+#include "dsm/dsm.hpp"
+
+namespace hyp::dsm {
+
+template <typename T>
+concept DsmScalar = std::is_trivially_copyable_v<T> &&
+                    (sizeof(T) == 1 || sizeof(T) == 2 || sizeof(T) == 4 || sizeof(T) == 8);
+
+struct IcPolicy {
+  static constexpr ProtocolKind kKind = ProtocolKind::kJavaIc;
+  static constexpr const char* kName = "java_ic";
+
+  template <DsmScalar T>
+  static T get(ThreadCtx& t, Gva a) {
+    t.clock.charge(t.check_cost);  // the in-line locality check, every access
+    t.stats->add(Counter::kInlineChecks);
+    const PageId p = t.dsm->layout().page_of(a);
+    if (!t.nd->present(p)) [[unlikely]] {
+      t.dsm->miss_ic(t, p);
+    }
+    T v;
+    std::memcpy(&v, t.base + a, sizeof(T));
+    return v;
+  }
+
+  template <DsmScalar T>
+  static void put(ThreadCtx& t, Gva a, T v) {
+    t.clock.charge(t.check_cost);
+    t.stats->add(Counter::kInlineChecks);
+    const PageId p = t.dsm->layout().page_of(a);
+    if (!t.nd->present(p)) [[unlikely]] {
+      t.dsm->miss_ic(t, p);
+    }
+    std::memcpy(t.base + a, &v, sizeof(T));
+    if (!t.nd->is_home(p)) {
+      // Record the modification with field granularity (Table 2, put).
+      std::uint64_t value = 0;
+      std::memcpy(&value, &v, sizeof(T));
+      t.wlog.record(a, sizeof(T), value);
+      t.stats->add(Counter::kWriteLogEntries);
+    }
+  }
+};
+
+struct PfPolicy {
+  static constexpr ProtocolKind kKind = ProtocolKind::kJavaPf;
+  static constexpr const char* kName = "java_pf";
+
+  template <DsmScalar T>
+  static T get(ThreadCtx& t, Gva a) {
+    const PageId p = t.dsm->layout().page_of(a);
+    if (!t.nd->present(p)) [[unlikely]] {
+      t.dsm->miss_pf(t, p);  // the simulated MMU trap
+    }
+    T v;
+    std::memcpy(&v, t.base + a, sizeof(T));
+    return v;
+  }
+
+  template <DsmScalar T>
+  static void put(ThreadCtx& t, Gva a, T v) {
+    const PageId p = t.dsm->layout().page_of(a);
+    if (!t.nd->present(p)) [[unlikely]] {
+      t.dsm->miss_pf(t, p);
+    }
+    // Direct store; updateMainMemory finds it by twin comparison.
+    std::memcpy(t.base + a, &v, sizeof(T));
+  }
+};
+
+// Calls fn<Policy>() with the policy matching the DSM's configured protocol.
+// This is the one runtime dispatch, made once per program, mirroring how a
+// Hyperion deployment linked one protocol or the other.
+template <typename Fn>
+decltype(auto) with_policy(ProtocolKind kind, Fn&& fn) {
+  switch (kind) {
+    case ProtocolKind::kJavaIc: return fn(IcPolicy{});
+    case ProtocolKind::kJavaPf: return fn(PfPolicy{});
+  }
+  HYP_PANIC("unreachable protocol kind");
+}
+
+}  // namespace hyp::dsm

@@ -1,0 +1,81 @@
+// Global addresses and the iso-address layout.
+//
+// PM2 allocates shared data at the same virtual address on every node
+// ("iso-address"), so pointers remain valid wherever a page or thread lands.
+// We reproduce that with a single global offset space: a Gva is an offset
+// into the DSM region; node `n` materializes it at `arena[n] + gva`. The
+// space is statically partitioned into one allocation zone per node, and a
+// page's home is the owner of its zone — matching Hyperion, where an object's
+// home is the node that allocated it.
+#pragma once
+
+#include <cstdint>
+
+#include "common/assert.hpp"
+
+namespace hyp::dsm {
+
+using Gva = std::uint64_t;     // offset into the shared region
+using PageId = std::uint32_t;
+using NodeId = int;
+
+inline constexpr Gva kNullGva = ~Gva{0};
+
+// Static geometry of the shared region.
+class Layout {
+ public:
+  Layout(std::size_t total_bytes, std::size_t page_bytes, int nodes)
+      : total_bytes_(total_bytes), page_bytes_(page_bytes), nodes_(nodes) {
+    HYP_CHECK(nodes > 0);
+    HYP_CHECK_MSG(page_bytes != 0 && (page_bytes & (page_bytes - 1)) == 0,
+                  "page size must be a power of two");
+    HYP_CHECK_MSG(total_bytes % page_bytes == 0, "region must be whole pages");
+    page_shift_ = 0;
+    while ((std::size_t{1} << page_shift_) != page_bytes) ++page_shift_;
+    total_pages_ = static_cast<PageId>(total_bytes / page_bytes);
+    pages_per_zone_ = total_pages_ / static_cast<PageId>(nodes);
+    HYP_CHECK_MSG(pages_per_zone_ > 0, "region too small for node count");
+  }
+
+  std::size_t total_bytes() const { return total_bytes_; }
+  std::size_t page_bytes() const { return page_bytes_; }
+  PageId total_pages() const { return total_pages_; }
+  int nodes() const { return nodes_; }
+
+  PageId page_of(Gva a) const {
+    HYP_DCHECK(a < total_bytes_);
+    return static_cast<PageId>(a >> page_shift_);
+  }
+  std::size_t offset_in_page(Gva a) const { return a & (page_bytes_ - 1); }
+  Gva page_base(PageId p) const { return static_cast<Gva>(p) << page_shift_; }
+
+  // Home node = owner of the allocation zone containing the page.
+  NodeId home_of_page(PageId p) const {
+    HYP_DCHECK(p < total_pages_);
+    const PageId zone = p / pages_per_zone_;
+    // Pages in the remainder tail (total not divisible by nodes) belong to
+    // the last node.
+    return static_cast<NodeId>(zone >= static_cast<PageId>(nodes_)
+                                   ? nodes_ - 1
+                                   : static_cast<int>(zone));
+  }
+  NodeId home_of(Gva a) const { return home_of_page(page_of(a)); }
+
+  // Allocation zone bounds for a node, in bytes.
+  Gva zone_begin(NodeId n) const {
+    return static_cast<Gva>(n) * pages_per_zone_ * page_bytes_;
+  }
+  Gva zone_end(NodeId n) const {
+    return n == nodes_ - 1 ? total_bytes_ : zone_begin(n + 1);
+  }
+
+ private:
+  std::size_t total_bytes_;
+  std::size_t page_bytes_;
+  int nodes_;
+  unsigned page_shift_ = 0;
+  PageId total_pages_ = 0;
+  PageId pages_per_zone_ = 0;
+};
+
+}  // namespace hyp::dsm

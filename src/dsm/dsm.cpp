@@ -1,0 +1,316 @@
+#include "dsm/dsm.hpp"
+
+#include <map>
+
+#include "common/assert.hpp"
+#include "common/log.hpp"
+
+namespace hyp::dsm {
+
+const char* protocol_name(ProtocolKind kind) {
+  switch (kind) {
+    case ProtocolKind::kJavaIc: return "java_ic";
+    case ProtocolKind::kJavaPf: return "java_pf";
+  }
+  return "?";
+}
+
+ProtocolKind protocol_by_name(const std::string& name) {
+  if (name == "java_ic") return ProtocolKind::kJavaIc;
+  if (name == "java_pf") return ProtocolKind::kJavaPf;
+  HYP_PANIC("unknown protocol: " + name + " (expected java_ic or java_pf)");
+}
+
+DsmSystem::DsmSystem(cluster::Cluster* cluster, std::size_t region_bytes, ProtocolKind kind)
+    : cluster_(cluster),
+      layout_(region_bytes, cluster->params().page_bytes, cluster->node_count()),
+      kind_(kind) {
+  const int n = cluster->node_count();
+  nodes_.reserve(static_cast<std::size_t>(n));
+  for (NodeId i = 0; i < n; ++i) {
+    nodes_.push_back(std::make_unique<NodeDsm>(&layout_, i));
+    cluster_->node(i).register_service(
+        svc::kPageRequest, [this, i](cluster::Incoming& in) { handle_page_request(in, i); });
+    cluster_->node(i).register_service(
+        svc::kUpdateFields, [this, i](cluster::Incoming& in) { handle_update_fields(in, i); });
+    cluster_->node(i).register_service(
+        svc::kUpdateRuns, [this, i](cluster::Incoming& in) { handle_update_runs(in, i); });
+  }
+}
+
+Gva DsmSystem::alloc(NodeId node, std::size_t bytes, std::size_t align) {
+  return node_dsm(node).alloc(bytes, align);
+}
+
+std::unique_ptr<ThreadCtx> DsmSystem::make_thread(NodeId node) {
+  auto t = std::make_unique<ThreadCtx>(&cluster_->params().cpu);
+  t->uid = next_thread_uid_++;
+  t->dsm = this;
+  t->node = node;
+  t->nd = &node_dsm(node);
+  t->base = t->nd->arena();
+  t->check_cost = cluster_->params().cpu.check_cost();
+  t->stats = &cluster_->node(node).stats();
+  // One processor per node: compute by this node's threads serializes.
+  t->clock.bind_cpu(&cluster_->node(node).app_cpu());
+  return t;
+}
+
+// ---------------------------------------------------------------------------
+// Page transfer
+
+void DsmSystem::fetch_page(ThreadCtx& t, PageId p) {
+  HYP_CHECK_MSG(!t.nd->is_home(p), "fetching a home page");
+  auto* eng = sim::Engine::current();
+  sim::Fiber* self = eng->current_fiber();
+
+  // At most one outstanding fetch per (node, page); later threads wait.
+  if (!t.nd->begin_fetch(p, self)) {
+    t.nd->wait_fetch(p, self);
+    return;
+  }
+
+  const NodeId home = layout_.home_of_page(p);
+  const std::size_t page_bytes = layout_.page_bytes();
+  const auto& cpu = cluster_->params().cpu;
+
+  Buffer req;
+  req.put<std::uint32_t>(p);
+  Buffer reply = cluster_->call(t.node, home, svc::kPageRequest, std::move(req));
+  HYP_CHECK_MSG(reply.size() == page_bytes, "page reply has wrong size");
+
+  // Install the replica (real bytes) and charge the local copy-in.
+  std::memcpy(t.nd->page_ptr(p), reply.data(), page_bytes);
+  t.clock.charge(cpu.copy_cost(page_bytes));
+  const bool with_twin = kind_ == ProtocolKind::kJavaPf;
+  t.nd->mark_cached(p, with_twin);
+  if (with_twin) t.clock.charge(cpu.copy_cost(page_bytes));  // twin snapshot
+  t.clock.flush();
+
+  t.stats->add(Counter::kPageFetches);
+  t.stats->add(Counter::kPageFetchBytes, page_bytes);
+  cluster_->trace_event(t.node, cluster::TraceKind::kPageFetch, p, home);
+  t.nd->finish_fetch(p);
+}
+
+void DsmSystem::handle_page_request(cluster::Incoming& in, NodeId self) {
+  const auto p = in.reader.get<std::uint32_t>();
+  NodeDsm& nd = node_dsm(self);
+  HYP_CHECK_MSG(nd.is_home(p), "page request reached a non-home node");
+
+  const std::size_t page_bytes = layout_.page_bytes();
+  // The home's CPU/service copies the page out; the reply departs when that
+  // work completes.
+  const Time done_at = cluster_->node(self).extend_service(
+      cluster_->params().cpu.copy_cost(page_bytes));
+  Buffer out;
+  out.put_bytes(nd.page_ptr(p), page_bytes);
+  cluster_->reply(in, std::move(out), done_at - cluster_->engine().now());
+}
+
+// ---------------------------------------------------------------------------
+// Protocol cold paths
+
+void DsmSystem::miss_ic(ThreadCtx& t, PageId p) {
+  // The in-line check already ran (and was charged) in the fast path.
+  t.clock.flush();
+  while (!t.nd->present(p)) fetch_page(t, p);
+}
+
+void DsmSystem::miss_pf(ThreadCtx& t, PageId p) {
+  const auto& cpu = cluster_->params().cpu;
+  // Hardware trap + kernel + SIGSEGV dispatch (the paper's 12/22 us), then
+  // the fetch, then mprotect to open the page READ/WRITE.
+  t.stats->add(Counter::kPageFaults);
+  cluster_->trace_event(t.node, cluster::TraceKind::kPageFault, p);
+  t.clock.charge(cpu.page_fault_cost);
+  t.clock.flush();
+  while (!t.nd->present(p)) fetch_page(t, p);
+  t.stats->add(Counter::kMprotectCalls);
+  t.clock.charge(cpu.mprotect_page_cost);
+  t.clock.flush();
+}
+
+// ---------------------------------------------------------------------------
+// Table 2 primitives
+
+void DsmSystem::load_into_cache(ThreadCtx& t, Gva addr) {
+  const PageId p = layout_.page_of(addr);
+  t.clock.flush();
+  while (!t.nd->present(p)) fetch_page(t, p);
+}
+
+void DsmSystem::invalidate_cache(ThreadCtx& t) {
+  const auto& cpu = cluster_->params().cpu;
+  const std::size_t cached = t.nd->cached_pages().size();
+  if (kind_ == ProtocolKind::kJavaPf) {
+    // One region-wide mprotect re-protects every non-home page (§3.3: "this
+    // protection is set on each entry to a monitor").
+    t.stats->add(Counter::kMprotectCalls);
+    t.clock.charge(cpu.mprotect_region_cost);
+  }
+  t.clock.charge(cpu.cycles(cpu.invalidate_page_cycles * cached));
+  const std::size_t dropped = t.nd->invalidate_all();
+  t.stats->add(Counter::kInvalidations, dropped);
+  cluster_->trace_event(t.node, cluster::TraceKind::kInvalidate,
+                        static_cast<std::int64_t>(dropped));
+  t.clock.flush();
+}
+
+void DsmSystem::update_main_memory(ThreadCtx& t) {
+  // A consistency action is a synchronization point: materialize the
+  // thread's batched compute first (otherwise pending time is silently
+  // dropped on paths that have nothing to flush, e.g. thread termination).
+  t.clock.flush();
+  if (kind_ == ProtocolKind::kJavaIc) {
+    flush_ic(t);
+  } else {
+    flush_pf(t);
+  }
+}
+
+void DsmSystem::on_acquire(ThreadCtx& t) {
+  // Conservative JMM: make our modifications visible, then drop all cached
+  // copies so subsequent reads see fresh home data.
+  update_main_memory(t);
+  invalidate_cache(t);
+}
+
+void DsmSystem::on_release(ThreadCtx& t) { update_main_memory(t); }
+
+// ---------------------------------------------------------------------------
+// java_ic: field-granularity write-log flush
+
+void DsmSystem::flush_ic(ThreadCtx& t) {
+  if (t.wlog.empty()) return;
+  const auto& cpu = cluster_->params().cpu;
+
+  // Last-writer-wins per field, grouped by home node, preserving first-touch
+  // order for determinism.
+  std::map<NodeId, std::vector<WriteLogEntry>> by_home;
+  std::map<Gva, std::pair<NodeId, std::size_t>> position;  // addr -> (home, idx)
+  for (const auto& e : t.wlog.entries()) {
+    const NodeId home = layout_.home_of(e.addr);
+    HYP_CHECK_MSG(home != t.node, "home-page writes are never logged");
+    auto it = position.find(e.addr);
+    if (it == position.end()) {
+      auto& vec = by_home[home];
+      position[e.addr] = {home, vec.size()};
+      vec.push_back(e);
+    } else {
+      by_home[it->second.first][it->second.second] = e;
+    }
+  }
+
+  t.clock.charge(cpu.cycles(cpu.update_entry_cycles * t.wlog.size()));
+  t.clock.flush();
+  for (auto& [home, entries] : by_home) {
+    Buffer msg;
+    WriteLog::encode(&msg, entries);
+    t.stats->add(Counter::kUpdatesSent);
+    t.stats->add(Counter::kUpdateBytes, msg.size());
+    cluster_->trace_event(t.node, cluster::TraceKind::kUpdateSent, home,
+                          static_cast<std::int64_t>(msg.size()));
+    Buffer ack = cluster_->call(t.node, home, svc::kUpdateFields, std::move(msg));
+    HYP_CHECK(ack.empty());
+  }
+  t.wlog.clear();
+}
+
+void DsmSystem::handle_update_fields(cluster::Incoming& in, NodeId self) {
+  NodeDsm& nd = node_dsm(self);
+  auto entries = WriteLog::decode(in.reader);
+  for (const auto& e : entries) {
+    HYP_CHECK_MSG(nd.is_home(layout_.page_of(e.addr)), "update reached a non-home node");
+    std::memcpy(nd.arena() + e.addr, &e.value, e.size);
+  }
+  const Time done_at = cluster_->node(self).extend_service(
+      cluster_->params().cpu.cycles(cluster_->params().cpu.update_entry_cycles * entries.size()));
+  cluster_->reply(in, Buffer{}, done_at - cluster_->engine().now());
+}
+
+// ---------------------------------------------------------------------------
+// java_pf: twin/diff flush
+//
+// Wire format per home: u32 run_count, then per run (u64 gva, u32 len, raw
+// bytes). Runs are maximal spans of modified 8-byte words.
+
+void DsmSystem::flush_pf(ThreadCtx& t) {
+  const auto& cpu = cluster_->params().cpu;
+  const std::size_t page_bytes = layout_.page_bytes();
+
+  struct Run {
+    Gva addr;
+    std::vector<std::byte> bytes;  // snapshot taken before any yield
+  };
+  std::map<NodeId, std::vector<Run>> by_home;
+  std::uint64_t diff_words = 0;
+
+  // Scan, snapshot and twin-refresh happen atomically in virtual time (no
+  // yields): a same-node thread writing during our later sends must see its
+  // own writes as fresh diffs against the refreshed twin, not have them
+  // silently absorbed.
+  for (PageId p : t.nd->cached_pages()) {
+    if (!t.nd->has_twin(p)) continue;
+    t.clock.charge(cpu.diff_cost(page_bytes));
+    const std::byte* cur = t.nd->page_ptr(p);
+    const std::byte* twin = t.nd->twin(p);
+    const std::size_t words = page_bytes / 8;
+    bool page_dirty = false;
+    std::size_t w = 0;
+    while (w < words) {
+      if (std::memcmp(cur + w * 8, twin + w * 8, 8) == 0) {
+        ++w;
+        continue;
+      }
+      std::size_t run_begin = w;
+      while (w < words && std::memcmp(cur + w * 8, twin + w * 8, 8) != 0) ++w;
+      const std::size_t run_words = w - run_begin;
+      diff_words += run_words;
+      page_dirty = true;
+      Run run;
+      run.addr = layout_.page_base(p) + run_begin * 8;
+      run.bytes.assign(cur + run_begin * 8, cur + w * 8);
+      by_home[layout_.home_of_page(p)].push_back(std::move(run));
+    }
+    if (page_dirty) t.nd->refresh_twin(p);
+  }
+
+  t.stats->add(Counter::kDiffWords, diff_words);
+  t.clock.flush();
+
+  for (auto& [home, runs] : by_home) {
+    Buffer msg;
+    msg.put<std::uint32_t>(static_cast<std::uint32_t>(runs.size()));
+    for (const Run& r : runs) {
+      msg.put<std::uint64_t>(r.addr);
+      msg.put<std::uint32_t>(static_cast<std::uint32_t>(r.bytes.size()));
+      msg.put_bytes(r.bytes.data(), r.bytes.size());
+    }
+    t.stats->add(Counter::kUpdatesSent);
+    t.stats->add(Counter::kUpdateBytes, msg.size());
+    cluster_->trace_event(t.node, cluster::TraceKind::kUpdateSent, home,
+                          static_cast<std::int64_t>(msg.size()));
+    Buffer ack = cluster_->call(t.node, home, svc::kUpdateRuns, std::move(msg));
+    HYP_CHECK(ack.empty());
+  }
+}
+
+void DsmSystem::handle_update_runs(cluster::Incoming& in, NodeId self) {
+  NodeDsm& nd = node_dsm(self);
+  const auto runs = in.reader.get<std::uint32_t>();
+  std::size_t total_bytes = 0;
+  for (std::uint32_t i = 0; i < runs; ++i) {
+    const auto addr = in.reader.get<std::uint64_t>();
+    const auto len = in.reader.get<std::uint32_t>();
+    auto bytes = in.reader.get_span(len);
+    HYP_CHECK_MSG(nd.is_home(layout_.page_of(addr)), "diff reached a non-home node");
+    std::memcpy(nd.arena() + addr, bytes.data(), len);
+    total_bytes += len;
+  }
+  const Time done_at =
+      cluster_->node(self).extend_service(cluster_->params().cpu.copy_cost(total_bytes));
+  cluster_->reply(in, Buffer{}, done_at - cluster_->engine().now());
+}
+
+}  // namespace hyp::dsm

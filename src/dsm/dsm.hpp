@@ -1,0 +1,140 @@
+// DsmSystem: the DSM-PM2-like distributed shared memory.
+//
+// Implements the home-based Java-consistency machinery shared by both
+// protocols of the paper (§3.1) and the two remote-object-detection variants:
+//
+//   java_ic (§3.2) — get/put perform an explicit locality check on *every*
+//     access (charged at CpuParams::check_cost); a miss fetches the page from
+//     its home. No page protection is ever used. Modifications to non-home
+//     pages are recorded field-by-field in a write log at put() time.
+//
+//   java_pf (§3.3) — accesses hit the local arena directly; absent pages
+//     trip the (simulated) MMU: the miss charges the paper's measured page
+//     fault cost plus an mprotect to open the page, and fetches it with a
+//     twin. updateMainMemory diffs cached pages against their twins and
+//     ships the modified words home. Monitor entry re-protects everything
+//     with one region-wide mprotect.
+//
+// Consistency actions (both protocols, per the paper):
+//   monitor exit  -> updateMainMemory (modifications reach the home copies
+//                    before the lock is released; each update is acked)
+//   monitor entry -> updateMainMemory + invalidateCache (whole node cache)
+// Flushing on entry as well as exit is slightly conservative but JMM-safe;
+// see DESIGN.md §7.
+#pragma once
+
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "common/stats.hpp"
+#include "dsm/address.hpp"
+#include "dsm/node_dsm.hpp"
+#include "dsm/write_log.hpp"
+
+namespace hyp::dsm {
+
+enum class ProtocolKind { kJavaIc, kJavaPf };
+
+const char* protocol_name(ProtocolKind kind);
+ProtocolKind protocol_by_name(const std::string& name);
+
+// RPC service ids used by the memory subsystem.
+namespace svc {
+inline constexpr cluster::ServiceId kPageRequest = 10;
+inline constexpr cluster::ServiceId kUpdateFields = 11;  // java_ic write log
+inline constexpr cluster::ServiceId kUpdateRuns = 12;    // java_pf diff runs
+}  // namespace svc
+
+class DsmSystem;
+
+// Per-Java-thread DSM context: the thread's node binding, its CPU clock, its
+// write log (java_ic) and cached hot-path constants. Created by
+// DsmSystem::make_thread and owned by the runtime's thread object.
+struct ThreadCtx {
+  DsmSystem* dsm = nullptr;
+  NodeId node = -1;
+  NodeDsm* nd = nullptr;
+  std::byte* base = nullptr;  // nd->arena()
+  std::uint64_t uid = 0;      // unique thread id (monitor ownership)
+  cluster::CpuClock clock;
+  Time check_cost = 0;  // CpuParams::check_cost(), cached
+  WriteLog wlog;
+  Stats* stats = nullptr;  // the node's stats (single-threaded simulation)
+
+  explicit ThreadCtx(const cluster::CpuParams* cpu) : clock(cpu) {}
+
+  void charge_cycles(std::uint64_t n) { clock.charge_cycles(n); }
+};
+
+class DsmSystem {
+ public:
+  // `region_bytes` is the size of the shared space (split into one
+  // allocation zone per node). Page size comes from the cluster params.
+  DsmSystem(cluster::Cluster* cluster, std::size_t region_bytes, ProtocolKind kind);
+
+  const Layout& layout() const { return layout_; }
+  ProtocolKind kind() const { return kind_; }
+  cluster::Cluster& cluster() { return *cluster_; }
+  NodeDsm& node_dsm(NodeId n) { return *nodes_[static_cast<std::size_t>(n)]; }
+
+  // Allocates `bytes` in `node`'s zone; that node becomes the home.
+  Gva alloc(NodeId node, std::size_t bytes, std::size_t align = 8);
+
+  std::unique_ptr<ThreadCtx> make_thread(NodeId node);
+
+  // --- Table 2 primitives -------------------------------------------------
+  // (get/put are the templated fast paths in dsm/access.hpp)
+
+  // Ensures the page holding `addr` is present locally (prefetch semantics;
+  // charges transfer costs but no detection cost).
+  void load_into_cache(ThreadCtx& t, Gva addr);
+
+  // Drops every cached page on the thread's node.
+  void invalidate_cache(ThreadCtx& t);
+
+  // Ships all local modifications to the home nodes and waits for acks.
+  void update_main_memory(ThreadCtx& t);
+
+  // --- consistency hooks wired to monitors (DSM-PM2 lock hooks) -----------
+  void on_acquire(ThreadCtx& t);  // flush, then invalidate
+  void on_release(ThreadCtx& t);  // flush
+
+  // --- protocol cold paths (called from the access policies) --------------
+  void miss_ic(ThreadCtx& t, PageId p);
+  void miss_pf(ThreadCtx& t, PageId p);
+
+  // --- direct home-copy access (initialization and tests) -----------------
+  template <typename T>
+  T read_home(Gva a) const {
+    const NodeId home = layout_.home_of(a);
+    T v;
+    std::memcpy(&v, nodes_[static_cast<std::size_t>(home)]->arena() + a, sizeof(T));
+    return v;
+  }
+  template <typename T>
+  void poke_home(Gva a, T v) {
+    const NodeId home = layout_.home_of(a);
+    std::memcpy(nodes_[static_cast<std::size_t>(home)]->arena() + a, &v, sizeof(T));
+  }
+
+ private:
+  // Transfers one page from its home into t's arena (no detection costs).
+  void fetch_page(ThreadCtx& t, PageId p);
+  void flush_ic(ThreadCtx& t);
+  void flush_pf(ThreadCtx& t);
+
+  void handle_page_request(cluster::Incoming& in, NodeId self);
+  void handle_update_fields(cluster::Incoming& in, NodeId self);
+  void handle_update_runs(cluster::Incoming& in, NodeId self);
+
+  cluster::Cluster* cluster_;
+  Layout layout_;
+  ProtocolKind kind_;
+  std::vector<std::unique_ptr<NodeDsm>> nodes_;
+  std::uint64_t next_thread_uid_ = 1;
+};
+
+}  // namespace hyp::dsm

@@ -1,0 +1,94 @@
+#include "dsm/node_dsm.hpp"
+
+#include <sys/mman.h>
+
+#include <algorithm>
+#include <cstring>
+
+#include "sim/engine.hpp"
+
+namespace hyp::dsm {
+
+NodeDsm::NodeDsm(const Layout* layout, NodeId node)
+    : layout_(layout),
+      node_(node),
+      cached_(layout->total_pages(), 0),
+      twins_(layout->total_pages()),
+      alloc_next_(layout->zone_begin(node)) {
+  void* mem = mmap(nullptr, layout_->total_bytes(), PROT_READ | PROT_WRITE,
+                   MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE, -1, 0);
+  HYP_CHECK_MSG(mem != MAP_FAILED, "DSM arena mmap failed");
+  arena_ = static_cast<std::byte*>(mem);
+}
+
+NodeDsm::~NodeDsm() {
+  if (arena_ != nullptr) munmap(arena_, layout_->total_bytes());
+}
+
+void NodeDsm::mark_cached(PageId p, bool with_twin) {
+  HYP_CHECK_MSG(!is_home(p), "home pages are never 'cached'");
+  HYP_CHECK_MSG(!cached_[p], "page already cached");
+  cached_[p] = 1;
+  cached_list_.push_back(p);
+  if (with_twin) {
+    auto twin = std::make_unique<std::byte[]>(layout_->page_bytes());
+    std::memcpy(twin.get(), page_ptr(p), layout_->page_bytes());
+    twins_[p] = std::move(twin);
+  }
+}
+
+std::size_t NodeDsm::invalidate_all() {
+  const std::size_t dropped = cached_list_.size();
+  for (PageId p : cached_list_) {
+    cached_[p] = 0;
+    twins_[p].reset();
+  }
+  cached_list_.clear();
+  return dropped;
+}
+
+void NodeDsm::refresh_twin(PageId p) {
+  HYP_CHECK(has_twin(p));
+  std::memcpy(twins_[p].get(), page_ptr(p), layout_->page_bytes());
+}
+
+Gva NodeDsm::alloc(std::size_t bytes, std::size_t align) {
+  HYP_CHECK_MSG(align != 0 && (align & (align - 1)) == 0, "alignment must be a power of two");
+  HYP_CHECK_MSG(bytes > 0, "zero-byte allocation");
+  Gva at = (alloc_next_ + align - 1) & ~static_cast<Gva>(align - 1);
+  HYP_CHECK_MSG(at + bytes <= layout_->zone_end(node_),
+                "node allocation zone exhausted; enlarge the DSM region");
+  alloc_next_ = at + bytes;
+  return at;
+}
+
+bool NodeDsm::begin_fetch(PageId p, sim::Fiber* self) {
+  (void)self;
+  for (auto& f : inflight_) {
+    if (f.page == p) return false;
+  }
+  inflight_.push_back({p, {}});
+  return true;
+}
+
+void NodeDsm::wait_fetch(PageId p, sim::Fiber* self) {
+  auto* eng = sim::Engine::current();
+  while (true) {
+    auto it = std::find_if(inflight_.begin(), inflight_.end(),
+                           [p](const Inflight& f) { return f.page == p; });
+    if (it == inflight_.end()) return;  // fetch completed
+    it->waiters.push_back(self);
+    eng->park();
+  }
+}
+
+void NodeDsm::finish_fetch(PageId p) {
+  auto it = std::find_if(inflight_.begin(), inflight_.end(),
+                         [p](const Inflight& f) { return f.page == p; });
+  HYP_CHECK(it != inflight_.end());
+  auto* eng = sim::Engine::current();
+  for (sim::Fiber* waiter : it->waiters) eng->unpark(waiter);
+  inflight_.erase(it);
+}
+
+}  // namespace hyp::dsm

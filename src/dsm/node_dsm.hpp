@@ -1,0 +1,95 @@
+// Per-node DSM state: the local arena and page metadata.
+//
+// Every node owns a full-size private mapping of the shared region
+// (MAP_NORESERVE — pages are committed lazily by first touch, so twelve
+// 256 MB arenas cost only what is actually used). A node's view of a page is
+// one of:
+//   * home page      — this node is the page's home; always valid, writes go
+//                      straight to the reference ("central memory") copy;
+//   * cached         — a replica fetched from the home (at most one per node,
+//                      shared by all the node's threads, per the paper);
+//   * absent         — any access must first load the page.
+// java_pf additionally keeps a *twin* (pristine copy at fetch time) per
+// cached page so updateMainMemory can diff out the modified words.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "dsm/address.hpp"
+
+namespace hyp::sim {
+class Fiber;
+}
+
+namespace hyp::dsm {
+
+class NodeDsm {
+ public:
+  NodeDsm(const Layout* layout, NodeId node);
+  ~NodeDsm();
+  NodeDsm(const NodeDsm&) = delete;
+  NodeDsm& operator=(const NodeDsm&) = delete;
+
+  NodeId node() const { return node_; }
+  const Layout& layout() const { return *layout_; }
+  std::byte* arena() { return arena_; }
+  const std::byte* arena() const { return arena_; }
+
+  std::byte* page_ptr(PageId p) { return arena_ + layout_->page_base(p); }
+  const std::byte* page_ptr(PageId p) const { return arena_ + layout_->page_base(p); }
+
+  bool is_home(PageId p) const { return layout_->home_of_page(p) == node_; }
+
+  // A page is accessible when it is a home page or a valid cached copy.
+  bool present(PageId p) const { return is_home(p) || cached_[p]; }
+
+  // Marks a freshly fetched page cached. `with_twin` snapshots a twin
+  // (java_pf). The caller has already copied the payload into the arena.
+  void mark_cached(PageId p, bool with_twin);
+
+  // Drops every cached page (monitor-entry invalidation). Returns how many
+  // pages were dropped.
+  std::size_t invalidate_all();
+
+  bool has_twin(PageId p) const { return p < twins_.size() && twins_[p] != nullptr; }
+  std::byte* twin(PageId p) { return twins_[p].get(); }
+
+  // Refreshes the twin of a cached page to match the current arena contents
+  // (after its diffs have been shipped home).
+  void refresh_twin(PageId p);
+
+  const std::vector<PageId>& cached_pages() const { return cached_list_; }
+
+  // --- allocation (only meaningful on the page's home node's zone) ---
+  // Bump allocation from this node's zone; 8-byte aligned by default.
+  Gva alloc(std::size_t bytes, std::size_t align = 8);
+  std::size_t allocated_bytes() const { return alloc_next_ - layout_->zone_begin(node_); }
+
+  // --- in-flight fetch deduplication ---
+  // Returns true if this fiber should perform the fetch; false means another
+  // fiber on this node is already fetching and the caller must wait_fetch().
+  bool begin_fetch(PageId p, sim::Fiber* self);
+  void wait_fetch(PageId p, sim::Fiber* self);
+  void finish_fetch(PageId p);
+
+ private:
+  const Layout* layout_;
+  NodeId node_;
+  std::byte* arena_ = nullptr;
+  std::vector<std::uint8_t> cached_;                 // indexed by page
+  std::vector<PageId> cached_list_;                  // pages with cached_[p]=1
+  std::vector<std::unique_ptr<std::byte[]>> twins_;  // indexed by page
+  Gva alloc_next_;
+
+  struct Inflight {
+    PageId page;
+    std::vector<sim::Fiber*> waiters;
+  };
+  std::vector<Inflight> inflight_;
+};
+
+}  // namespace hyp::dsm

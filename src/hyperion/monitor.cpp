@@ -1,0 +1,253 @@
+#include "hyperion/monitor.hpp"
+
+#include "common/assert.hpp"
+
+namespace hyp::hyperion {
+
+namespace {
+// Wire format helpers: every monitor message starts (u64 obj, u64 uid).
+Buffer encode_obj_uid(dsm::Gva obj, std::uint64_t uid) {
+  Buffer b;
+  b.put<std::uint64_t>(obj);
+  b.put<std::uint64_t>(uid);
+  return b;
+}
+}  // namespace
+
+MonitorSubsystem::MonitorSubsystem(cluster::Cluster* cluster, dsm::DsmSystem* dsm)
+    : cluster_(cluster), dsm_(dsm), monitors_(static_cast<std::size_t>(cluster->node_count())) {
+  for (cluster::NodeId n = 0; n < cluster->node_count(); ++n) {
+    auto& node = cluster_->node(n);
+    node.register_service(svc::kMonitorEnter,
+                          [this, n](cluster::Incoming& in) { handle_enter(in, n); });
+    node.register_service(svc::kMonitorExit,
+                          [this, n](cluster::Incoming& in) { handle_exit(in, n); });
+    node.register_service(svc::kMonitorWait,
+                          [this, n](cluster::Incoming& in) { handle_wait(in, n); });
+    node.register_service(svc::kMonitorNotify,
+                          [this, n](cluster::Incoming& in) { handle_notify(in, n); });
+  }
+}
+
+MonitorSubsystem::MonitorState& MonitorSubsystem::state(cluster::NodeId home, dsm::Gva obj) {
+  return monitors_[static_cast<std::size_t>(home)][obj];
+}
+
+// ---------------------------------------------------------------------------
+// Caller side
+
+void MonitorSubsystem::enter(dsm::ThreadCtx& t, dsm::Gva obj) {
+  t.stats->add(Counter::kMonitorEnters);
+  cluster_->trace_event(t.node, cluster::TraceKind::kMonitorEnter,
+                        static_cast<std::int64_t>(obj), static_cast<std::int64_t>(t.uid));
+  const cluster::NodeId home = dsm_->layout().home_of(obj);
+  if (home == t.node) {
+    t.clock.charge_cycles(kLocalLockCycles);
+    t.clock.flush();
+    bool granted = false;
+    Contender c;
+    c.uid = t.uid;
+    c.local = true;
+    c.fiber = sim::Engine::current()->current_fiber();
+    c.granted_flag = &granted;
+    do_enter(home, obj, std::move(c));
+    while (!granted) sim::Engine::current()->park();
+  } else {
+    t.clock.flush();
+    Buffer grant_msg =
+        cluster_->call(t.node, home, svc::kMonitorEnter, encode_obj_uid(obj, t.uid));
+    HYP_CHECK(grant_msg.empty());
+  }
+  dsm_->on_acquire(t);
+}
+
+void MonitorSubsystem::exit(dsm::ThreadCtx& t, dsm::Gva obj) {
+  t.stats->add(Counter::kMonitorExits);
+  cluster_->trace_event(t.node, cluster::TraceKind::kMonitorExit,
+                        static_cast<std::int64_t>(obj), static_cast<std::int64_t>(t.uid));
+  // Release semantics: modifications must reach central memory before the
+  // lock can be taken by anyone else (§3.1, updateMainMemory on exit).
+  dsm_->on_release(t);
+  const cluster::NodeId home = dsm_->layout().home_of(obj);
+  if (home == t.node) {
+    t.clock.charge_cycles(kLocalLockCycles);
+    t.clock.flush();
+    do_exit(home, obj, t.uid);
+  } else {
+    Buffer ack = cluster_->call(t.node, home, svc::kMonitorExit, encode_obj_uid(obj, t.uid));
+    HYP_CHECK(ack.empty());
+  }
+}
+
+void MonitorSubsystem::wait(dsm::ThreadCtx& t, dsm::Gva obj) {
+  cluster_->trace_event(t.node, cluster::TraceKind::kMonitorWait,
+                        static_cast<std::int64_t>(obj), static_cast<std::int64_t>(t.uid));
+  // wait() is a release followed (after notify) by an acquire.
+  dsm_->on_release(t);
+  const cluster::NodeId home = dsm_->layout().home_of(obj);
+  if (home == t.node) {
+    t.clock.charge_cycles(kLocalLockCycles);
+    t.clock.flush();
+    bool granted = false;
+    Contender c;
+    c.uid = t.uid;
+    c.local = true;
+    c.fiber = sim::Engine::current()->current_fiber();
+    c.granted_flag = &granted;
+    do_wait(home, obj, std::move(c));
+    while (!granted) sim::Engine::current()->park();
+  } else {
+    t.clock.flush();
+    // The reply arrives only after notify + re-grant.
+    Buffer grant_msg =
+        cluster_->call(t.node, home, svc::kMonitorWait, encode_obj_uid(obj, t.uid));
+    HYP_CHECK(grant_msg.empty());
+  }
+  dsm_->on_acquire(t);
+}
+
+void MonitorSubsystem::notify_one(dsm::ThreadCtx& t, dsm::Gva obj) {
+  cluster_->trace_event(t.node, cluster::TraceKind::kMonitorNotify,
+                        static_cast<std::int64_t>(obj), 0);
+  const cluster::NodeId home = dsm_->layout().home_of(obj);
+  if (home == t.node) {
+    t.clock.charge_cycles(kLocalLockCycles);
+    t.clock.flush();
+    do_notify(home, obj, t.uid, /*all=*/false);
+  } else {
+    Buffer req = encode_obj_uid(obj, t.uid);
+    req.put<std::uint8_t>(0);
+    t.clock.flush();
+    Buffer ack = cluster_->call(t.node, home, svc::kMonitorNotify, std::move(req));
+    HYP_CHECK(ack.empty());
+  }
+}
+
+void MonitorSubsystem::notify_all(dsm::ThreadCtx& t, dsm::Gva obj) {
+  cluster_->trace_event(t.node, cluster::TraceKind::kMonitorNotify,
+                        static_cast<std::int64_t>(obj), 1);
+  const cluster::NodeId home = dsm_->layout().home_of(obj);
+  if (home == t.node) {
+    t.clock.charge_cycles(kLocalLockCycles);
+    t.clock.flush();
+    do_notify(home, obj, t.uid, /*all=*/true);
+  } else {
+    Buffer req = encode_obj_uid(obj, t.uid);
+    req.put<std::uint8_t>(1);
+    t.clock.flush();
+    Buffer ack = cluster_->call(t.node, home, svc::kMonitorNotify, std::move(req));
+    HYP_CHECK(ack.empty());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Home-side state machine
+
+void MonitorSubsystem::do_enter(cluster::NodeId home, dsm::Gva obj, Contender c) {
+  MonitorState& m = state(home, obj);
+  if (m.owner_uid == c.uid) {  // reentrant acquisition
+    ++m.depth;
+    grant(home, m, std::move(c));
+    return;
+  }
+  m.queue.push_back(std::move(c));
+  grant_next_if_free(home, m);
+}
+
+void MonitorSubsystem::do_exit(cluster::NodeId home, dsm::Gva obj, std::uint64_t uid) {
+  MonitorState& m = state(home, obj);
+  HYP_CHECK_MSG(m.owner_uid == uid, "monitor exit by a thread that does not own it");
+  HYP_CHECK(m.depth > 0);
+  if (--m.depth == 0) {
+    m.owner_uid = 0;
+    grant_next_if_free(home, m);
+  }
+}
+
+void MonitorSubsystem::do_wait(cluster::NodeId home, dsm::Gva obj, Contender c) {
+  MonitorState& m = state(home, obj);
+  HYP_CHECK_MSG(m.owner_uid == c.uid, "Object.wait without owning the monitor");
+  c.grant_depth = m.depth;  // full release; depth restored on re-grant
+  m.wait_set.push_back(std::move(c));
+  m.owner_uid = 0;
+  m.depth = 0;
+  grant_next_if_free(home, m);
+}
+
+void MonitorSubsystem::do_notify(cluster::NodeId home, dsm::Gva obj, std::uint64_t uid,
+                                 bool all) {
+  MonitorState& m = state(home, obj);
+  HYP_CHECK_MSG(m.owner_uid == uid, "Object.notify without owning the monitor");
+  const std::size_t moved = all ? m.wait_set.size() : (m.wait_set.empty() ? 0 : 1);
+  for (std::size_t i = 0; i < moved; ++i) {
+    m.queue.push_back(std::move(m.wait_set[i]));
+  }
+  m.wait_set.erase(m.wait_set.begin(),
+                   m.wait_set.begin() + static_cast<std::ptrdiff_t>(moved));
+  // The notifier still holds the monitor; the moved threads are granted at
+  // its exit via grant_next_if_free.
+}
+
+void MonitorSubsystem::grant_next_if_free(cluster::NodeId home, MonitorState& m) {
+  if (m.owner_uid != 0 || m.queue.empty()) return;
+  Contender next = std::move(m.queue.front());
+  m.queue.pop_front();
+  m.owner_uid = next.uid;
+  m.depth = next.grant_depth;
+  grant(home, m, std::move(next));
+}
+
+void MonitorSubsystem::grant(cluster::NodeId home, MonitorState&, Contender c) {
+  if (c.local) {
+    *c.granted_flag = true;
+    sim::Engine::current()->unpark(c.fiber);
+  } else {
+    cluster_->reply_to(home, c.from, c.reply_token, Buffer{});
+  }
+}
+
+// ---------------------------------------------------------------------------
+// RPC handlers
+
+void MonitorSubsystem::handle_enter(cluster::Incoming& in, cluster::NodeId self) {
+  const auto obj = in.reader.get<std::uint64_t>();
+  const auto uid = in.reader.get<std::uint64_t>();
+  cluster_->node(self).extend_service(cluster_->params().cpu.cycles(kManagerCycles));
+  Contender c;
+  c.uid = uid;
+  c.local = false;
+  c.from = in.from;
+  c.reply_token = in.reply_token;
+  do_enter(self, obj, std::move(c));
+}
+
+void MonitorSubsystem::handle_exit(cluster::Incoming& in, cluster::NodeId self) {
+  const auto obj = in.reader.get<std::uint64_t>();
+  const auto uid = in.reader.get<std::uint64_t>();
+  cluster_->node(self).extend_service(cluster_->params().cpu.cycles(kManagerCycles));
+  do_exit(self, obj, uid);
+  cluster_->reply(in, Buffer{});
+}
+
+void MonitorSubsystem::handle_wait(cluster::Incoming& in, cluster::NodeId self) {
+  const auto obj = in.reader.get<std::uint64_t>();
+  const auto uid = in.reader.get<std::uint64_t>();
+  cluster_->node(self).extend_service(cluster_->params().cpu.cycles(kManagerCycles));
+  Contender c;
+  c.uid = uid;
+  c.local = false;
+  c.from = in.from;
+  c.reply_token = in.reply_token;  // answered on re-grant
+  do_wait(self, obj, std::move(c));
+}
+
+void MonitorSubsystem::handle_notify(cluster::Incoming& in, cluster::NodeId self) {
+  const auto obj = in.reader.get<std::uint64_t>();
+  const auto uid = in.reader.get<std::uint64_t>();
+  const bool all = in.reader.get<std::uint8_t>() != 0;
+  cluster_->node(self).extend_service(cluster_->params().cpu.cycles(kManagerCycles));
+  do_notify(self, obj, uid, all);
+  cluster_->reply(in, Buffer{});
+}
+
+}  // namespace hyp::hyperion

@@ -1,0 +1,97 @@
+// Object monitors (Java `synchronized`, wait/notify).
+//
+// Every shared object has a monitor managed at the object's home node,
+// matching Hyperion's centralized object management: entering a monitor from
+// a remote node is an RPC to the home; the home's manager is an event-driven
+// state machine (handlers never block) that queues contenders FIFO and
+// grants by deferred reply. Local threads use the same state machine
+// directly, paying a cycles-only cost.
+//
+// The memory subsystem's consistency hooks are driven from the caller side:
+//   enter: (grant) -> DsmSystem::on_acquire  (flush + invalidate)
+//   exit:  DsmSystem::on_release (flush) -> release message
+//   wait:  release-side flush, then blocks; acquire effects after re-grant
+// This is the §3.1 protocol skeleton shared by java_ic and java_pf.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "dsm/dsm.hpp"
+
+namespace hyp::hyperion {
+
+namespace svc {
+inline constexpr cluster::ServiceId kMonitorEnter = 20;
+inline constexpr cluster::ServiceId kMonitorExit = 21;
+inline constexpr cluster::ServiceId kMonitorWait = 22;
+inline constexpr cluster::ServiceId kMonitorNotify = 23;
+}  // namespace svc
+
+class MonitorSubsystem {
+ public:
+  MonitorSubsystem(cluster::Cluster* cluster, dsm::DsmSystem* dsm);
+  MonitorSubsystem(const MonitorSubsystem&) = delete;
+  MonitorSubsystem& operator=(const MonitorSubsystem&) = delete;
+
+  // Blocking caller-side operations (run on Java-thread fibers). `obj` is
+  // the object's global address; its monitor lives at the object's home.
+  void enter(dsm::ThreadCtx& t, dsm::Gva obj);
+  void exit(dsm::ThreadCtx& t, dsm::Gva obj);
+  // Java Object.wait(): caller must hold the monitor (any depth; fully
+  // released while waiting, restored on return).
+  void wait(dsm::ThreadCtx& t, dsm::Gva obj);
+  void notify_one(dsm::ThreadCtx& t, dsm::Gva obj);
+  void notify_all(dsm::ThreadCtx& t, dsm::Gva obj);
+
+ private:
+  // A thread waiting for a grant: either a local fiber to unpark or a remote
+  // caller to answer by token.
+  struct Contender {
+    std::uint64_t uid;   // thread uid (becomes the owner on grant)
+    bool local;
+    sim::Fiber* fiber = nullptr;       // local: fiber to unpark on grant
+    bool* granted_flag = nullptr;      // local: set true on grant
+    cluster::NodeId from = -1;         // remote
+    std::uint64_t reply_token = 0;     // remote
+    std::uint32_t grant_depth = 1;     // depth restored on grant (wait=saved)
+  };
+
+  struct MonitorState {
+    std::uint64_t owner_uid = 0;  // 0 = free
+    std::uint32_t depth = 0;
+    std::deque<Contender> queue;     // FIFO enter queue
+    std::vector<Contender> wait_set; // waiting for notify
+  };
+
+  // State-machine transitions (run at the home node).
+  void do_enter(cluster::NodeId home, dsm::Gva obj, Contender contender);
+  void do_exit(cluster::NodeId home, dsm::Gva obj, std::uint64_t uid);
+  void do_wait(cluster::NodeId home, dsm::Gva obj, Contender contender);
+  void do_notify(cluster::NodeId home, dsm::Gva obj, std::uint64_t uid, bool all);
+  void grant_next_if_free(cluster::NodeId home, MonitorState& m);
+  void grant(cluster::NodeId home, MonitorState& m, Contender contender);
+
+  // RPC handlers (home side).
+  void handle_enter(cluster::Incoming& in, cluster::NodeId self);
+  void handle_exit(cluster::Incoming& in, cluster::NodeId self);
+  void handle_wait(cluster::Incoming& in, cluster::NodeId self);
+  void handle_notify(cluster::Incoming& in, cluster::NodeId self);
+
+  MonitorState& state(cluster::NodeId home, dsm::Gva obj);
+
+  cluster::Cluster* cluster_;
+  dsm::DsmSystem* dsm_;
+  // monitors_[home] maps object address -> state.
+  std::vector<std::map<dsm::Gva, MonitorState>> monitors_;
+
+  // Cycle costs for the manager's bookkeeping (charged to the home service
+  // for remote callers, to the caller's clock for local ones).
+  static constexpr std::uint64_t kManagerCycles = 60;
+  static constexpr std::uint64_t kLocalLockCycles = 40;
+};
+
+}  // namespace hyp::hyperion

@@ -1,0 +1,88 @@
+// The Hyperion object model as seen by compiled Java code.
+//
+// java2c-generated code manipulates objects through typed references and the
+// get/put access primitives. We mirror that: a GRef<T> is a typed shared
+// cell (an object field), a GArray<T> is a Java array (32-bit length header
+// + elements), and Mem<Policy> binds a thread's DSM context to the access
+// primitives of the configured protocol. Objects allocated consecutively by
+// one thread share pages, giving the prefetch effect of §3.1.
+#pragma once
+
+#include <cstdint>
+
+#include "common/assert.hpp"
+#include "dsm/access.hpp"
+
+namespace hyp::hyperion {
+
+using dsm::Gva;
+
+// A typed reference to one shared scalar field.
+template <typename T>
+struct GRef {
+  Gva addr = dsm::kNullGva;
+  bool null() const { return addr == dsm::kNullGva; }
+};
+
+// A Java array: [ i32 length | 4 bytes pad | elements... ]. The header is
+// written once at allocation time (arrays are fixed-length in Java) and the
+// pad keeps elements 8-aligned.
+template <typename T>
+struct GArray {
+  static constexpr std::size_t kHeaderBytes = 8;
+
+  Gva header = dsm::kNullGva;
+  bool null() const { return header == dsm::kNullGva; }
+  Gva data() const { return header + kHeaderBytes; }
+  Gva elem(std::int64_t i) const { return data() + static_cast<Gva>(i) * sizeof(T); }
+  static std::size_t footprint(std::int64_t length) {
+    return kHeaderBytes + static_cast<std::size_t>(length) * sizeof(T);
+  }
+};
+
+// Protocol-bound accessor: what the body of a compiled Java method works
+// with. All methods are forwarding inlines over the policy fast paths.
+template <typename Policy>
+class Mem {
+ public:
+  explicit Mem(dsm::ThreadCtx& t) : t_(&t) {}
+
+  template <typename T>
+  T get(GRef<T> r) const {
+    HYP_DCHECK(!r.null());
+    return Policy::template get<T>(*t_, r.addr);
+  }
+  template <typename T>
+  void put(GRef<T> r, T v) const {
+    HYP_DCHECK(!r.null());
+    Policy::template put<T>(*t_, r.addr, v);
+  }
+
+  // Array element access. Bounds are checked in debug builds; in measured
+  // runs the bounds check is part of the (charged) application compute, the
+  // same for both protocols.
+  template <typename T>
+  T aget(GArray<T> a, std::int64_t i) const {
+    HYP_DCHECK(!a.null());
+    HYP_DCHECK(i >= 0 && i < alen(a));
+    return Policy::template get<T>(*t_, a.elem(i));
+  }
+  template <typename T>
+  void aput(GArray<T> a, std::int64_t i, T v) const {
+    HYP_DCHECK(!a.null());
+    HYP_DCHECK(i >= 0 && i < alen(a));
+    Policy::template put<T>(*t_, a.elem(i), v);
+  }
+
+  template <typename T>
+  std::int32_t alen(GArray<T> a) const {
+    return Policy::template get<std::int32_t>(*t_, a.header);
+  }
+
+  dsm::ThreadCtx& ctx() const { return *t_; }
+
+ private:
+  dsm::ThreadCtx* t_;
+};
+
+}  // namespace hyp::hyperion

@@ -1,0 +1,121 @@
+#include "hyperion/vm.hpp"
+
+#include <utility>
+
+#include "common/assert.hpp"
+#include "common/log.hpp"
+
+namespace hyp::hyperion {
+
+namespace {
+// Modeled cost of the allocation fast path (bump pointer + zeroing already
+// done by the OS; header write).
+constexpr std::uint64_t kAllocCycles = 40;
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// JavaEnv
+
+JavaEnv::JavaEnv(HyperionVM* vm, std::unique_ptr<dsm::ThreadCtx> ctx)
+    : vm_(vm), ctx_(std::move(ctx)) {}
+
+dsm::Gva JavaEnv::alloc_raw(std::size_t bytes, std::size_t align) {
+  ctx_->clock.charge_cycles(kAllocCycles);
+  return vm_->dsm_.alloc(ctx_->node, bytes, align);
+}
+
+void JavaEnv::monitor_enter(dsm::Gva obj) { vm_->monitors_.enter(*ctx_, obj); }
+void JavaEnv::monitor_exit(dsm::Gva obj) { vm_->monitors_.exit(*ctx_, obj); }
+void JavaEnv::wait(dsm::Gva obj) { vm_->monitors_.wait(*ctx_, obj); }
+void JavaEnv::notify(dsm::Gva obj) { vm_->monitors_.notify_one(*ctx_, obj); }
+void JavaEnv::notify_all(dsm::Gva obj) { vm_->monitors_.notify_all(*ctx_, obj); }
+
+Time JavaEnv::now() const { return vm_->cluster_.engine().now(); }
+
+void JavaEnv::migrate_to(NodeId target, std::size_t state_bytes) {
+  HYP_CHECK_MSG(target >= 0 && target < vm_->nodes(), "migration target out of range");
+  const NodeId source = ctx_->node;
+  if (target == source) return;
+
+  // Leaving: push working memory home (the thread may not revisit this node).
+  vm_->dsm_.on_release(*ctx_);
+  ctx_->clock.flush();
+
+  // The thread itself is the payload: sleep for the transfer of its state.
+  const auto& net = vm_->cluster_.params().net;
+  cluster::Node& src = vm_->cluster_.node(source);
+  vm_->cluster_.trace_event(source, cluster::TraceKind::kThreadMigrate, source, target);
+  src.stats().add(Counter::kThreadMigrations);
+  src.stats().add(Counter::kMessages);
+  src.stats().add(Counter::kMessageBytes, state_bytes);
+  sim::Engine::current()->sleep_for(net.send_overhead + net.wire_time(state_bytes) +
+                                    net.recv_overhead);
+
+  // Rebind the execution context to the target node. The fiber (the "stack")
+  // does not move in the simulation — iso-addressing made that a no-op in
+  // PM2 as well.
+  ctx_->node = target;
+  ctx_->nd = &vm_->dsm_.node_dsm(target);
+  ctx_->base = ctx_->nd->arena();
+  ctx_->stats = &vm_->cluster_.node(target).stats();
+  ctx_->clock.bind_cpu(&vm_->cluster_.node(target).app_cpu());
+
+  // Arriving: start with a coherent view (and flush the empty log state).
+  vm_->dsm_.on_acquire(*ctx_);
+}
+
+JThread JavaEnv::start_thread(std::string name, std::function<void(JavaEnv&)> body) {
+  // Thread.start() happens-before the thread body: push our modifications to
+  // central memory first.
+  vm_->dsm_.on_release(*ctx_);
+
+  const NodeId target = vm_->balancer_->place(vm_->threads_started_++, vm_->nodes());
+  HyperionVM* vm = vm_;
+  JThread handle;
+  handle.node_ = target;
+  handle.fiber_ = vm_->cluster_.spawn_thread(
+      target, std::move(name), [vm, target, fn = std::move(body)]() mutable {
+        JavaEnv env(vm, vm->dsm_.make_thread(target));
+        vm->cluster_.trace_event(target, cluster::TraceKind::kThreadStart,
+                                 static_cast<std::int64_t>(env.ctx().uid));
+        // Acquire side of the start() edge: begin with a clean cache.
+        vm->dsm_.on_acquire(env.ctx());
+        fn(env);
+        // Thread termination happens-before join(): flush working memory.
+        vm->dsm_.on_release(env.ctx());
+      });
+  return handle;
+}
+
+void JavaEnv::join(JThread& thread) {
+  HYP_CHECK_MSG(thread.valid(), "joining a thread that was never started");
+  ctx_->clock.flush();
+  sim::Engine::current()->join(thread.fiber_);
+  // Acquire side of the join() edge: see everything the thread wrote.
+  vm_->dsm_.on_acquire(*ctx_);
+}
+
+// ---------------------------------------------------------------------------
+// HyperionVM
+
+HyperionVM::HyperionVM(VmConfig config)
+    : config_(std::move(config)),
+      cluster_(config_.cluster, config_.nodes),
+      dsm_(&cluster_, config_.region_bytes, config_.protocol),
+      monitors_(&cluster_, &dsm_),
+      balancer_(std::make_unique<RoundRobinBalancer>()) {}
+
+Time HyperionVM::run_main(std::function<void(JavaEnv&)> main_fn) {
+  threads_started_ = 0;
+  HyperionVM* vm = this;
+  cluster_.spawn_thread(0, "java-main", [vm, fn = std::move(main_fn)]() mutable {
+    JavaEnv env(vm, vm->dsm_.make_thread(0));
+    fn(env);
+    env.ctx().clock.flush();
+    vm->elapsed_ = vm->cluster_.engine().now();
+  });
+  cluster_.run();
+  return elapsed_;
+}
+
+}  // namespace hyp::hyperion

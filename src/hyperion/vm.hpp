@@ -1,0 +1,155 @@
+// HyperionVM: the single JVM image spanning the cluster.
+//
+// "We view a cluster as executing a single Java Virtual Machine, where the
+// nodes are resources for the distributed execution of Java threads with
+// true concurrency" (§1). The VM owns the simulated cluster, the DSM, the
+// monitor subsystem and the load balancer; run_main() executes a program as
+// the primary Java thread and returns the virtual execution time — the
+// quantity plotted in Figures 1-5.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "cluster/cluster.hpp"
+#include "dsm/access.hpp"
+#include "dsm/dsm.hpp"
+#include "hyperion/load_balancer.hpp"
+#include "hyperion/monitor.hpp"
+#include "hyperion/object.hpp"
+
+namespace hyp::hyperion {
+
+using cluster::NodeId;
+
+struct VmConfig {
+  cluster::ClusterParams cluster = cluster::ClusterParams::myrinet200();
+  int nodes = 0;  // 0 = the preset's paper-figure size
+  dsm::ProtocolKind protocol = dsm::ProtocolKind::kJavaPf;
+  std::size_t region_bytes = std::size_t{256} << 20;
+};
+
+class HyperionVM;
+class JavaEnv;
+
+// Handle to a started Java thread.
+class JThread {
+ public:
+  JThread() = default;
+  bool valid() const { return fiber_ != nullptr; }
+  NodeId node() const { return node_; }
+
+ private:
+  friend class JavaEnv;
+  friend class HyperionVM;
+  sim::Fiber* fiber_ = nullptr;
+  NodeId node_ = -1;
+};
+
+// The execution environment of one running Java thread (its ThreadCtx plus
+// the VM services compiled code calls into).
+class JavaEnv {
+ public:
+  JavaEnv(HyperionVM* vm, std::unique_ptr<dsm::ThreadCtx> ctx);
+  JavaEnv(const JavaEnv&) = delete;
+  JavaEnv& operator=(const JavaEnv&) = delete;
+
+  dsm::ThreadCtx& ctx() { return *ctx_; }
+  NodeId node() const { return ctx_->node; }
+  HyperionVM& vm() { return *vm_; }
+
+  // --- allocation (home = this thread's node, as in Hyperion) -------------
+  dsm::Gva alloc_raw(std::size_t bytes, std::size_t align = 8);
+
+  // A shared scalar cell, initialized before publication.
+  template <typename T>
+  GRef<T> new_cell(T init) {
+    GRef<T> r{alloc_raw(sizeof(T), alignof(T) < 8 ? sizeof(T) : 8)};
+    ctx_->dsm->poke_home<T>(r.addr, init);
+    return r;
+  }
+
+  // A Java array (zeroed, with its length header), allocated contiguously so
+  // consecutive allocations share pages (§3.1 prefetch effect).
+  template <typename T>
+  GArray<T> new_array(std::int64_t length) {
+    HYP_CHECK(length >= 0);
+    GArray<T> a{alloc_raw(GArray<T>::footprint(length), 8)};
+    ctx_->dsm->poke_home<std::int32_t>(a.header, static_cast<std::int32_t>(length));
+    return a;
+  }
+
+  // --- monitors ------------------------------------------------------------
+  void monitor_enter(dsm::Gva obj);
+  void monitor_exit(dsm::Gva obj);
+  void wait(dsm::Gva obj);
+  void notify(dsm::Gva obj);
+  void notify_all(dsm::Gva obj);
+
+  template <typename Fn>
+  void synchronized(dsm::Gva obj, Fn&& fn) {
+    monitor_enter(obj);
+    fn();
+    monitor_exit(obj);
+  }
+
+  // --- threads ---------------------------------------------------------------
+  // Starts a Java thread; the load balancer picks its node. Thread start and
+  // join carry the JMM happens-before edges (flush on start, invalidate
+  // after join).
+  JThread start_thread(std::string name, std::function<void(JavaEnv&)> body);
+  void join(JThread& thread);
+
+  // --- thread migration (PM2's signature feature; paper §5 future work) ----
+  // Moves this thread to `target`: the working memory is flushed (release
+  // semantics), the thread state travels over the network, and execution
+  // resumes on the target node with a clean cache (acquire semantics).
+  // Iso-addressing means every GRef/GArray the thread holds stays valid —
+  // exactly PM2's "pointer validity under migration" guarantee (§3.1).
+  // `state_bytes` models the thread's stack + descriptor payload.
+  void migrate_to(NodeId target, std::size_t state_bytes = 8192);
+
+  // --- compute accounting ---------------------------------------------------
+  void charge_cycles(std::uint64_t n) { ctx_->clock.charge_cycles(n); }
+  Time now() const;
+
+ private:
+  HyperionVM* vm_;
+  std::unique_ptr<dsm::ThreadCtx> ctx_;
+};
+
+class HyperionVM {
+ public:
+  explicit HyperionVM(VmConfig config);
+  HyperionVM(const HyperionVM&) = delete;
+  HyperionVM& operator=(const HyperionVM&) = delete;
+
+  // Runs `main_fn` as the primary Java thread on node 0 and drives the
+  // simulation to completion. Returns the virtual time at which main (and
+  // everything it joined) finished.
+  Time run_main(std::function<void(JavaEnv&)> main_fn);
+
+  int nodes() const { return cluster_.node_count(); }
+  dsm::ProtocolKind protocol() const { return config_.protocol; }
+  cluster::Cluster& cluster() { return cluster_; }
+  dsm::DsmSystem& dsm() { return dsm_; }
+  MonitorSubsystem& monitors() { return monitors_; }
+  LoadBalancer& balancer() { return *balancer_; }
+  void set_balancer(std::unique_ptr<LoadBalancer> b) { balancer_ = std::move(b); }
+
+  Stats stats() const { return cluster_.total_stats(); }
+  Time elapsed() const { return elapsed_; }
+
+ private:
+  friend class JavaEnv;
+  VmConfig config_;
+  cluster::Cluster cluster_;
+  dsm::DsmSystem dsm_;
+  MonitorSubsystem monitors_;
+  std::unique_ptr<LoadBalancer> balancer_;
+  int threads_started_ = 0;
+  Time elapsed_ = 0;
+};
+
+}  // namespace hyp::hyperion

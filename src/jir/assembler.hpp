@@ -1,0 +1,32 @@
+// Text assembler for JIR programs.
+//
+// Grammar (line-oriented; `#` starts a comment):
+//   func <name> args=<n> locals=<n>
+//     <label>:
+//     <op> [operand]
+//   end
+// Branch operands are labels; call/spawn operands are function names
+// (forward references allowed). Numeric operands accept i64 or, for dconst,
+// a floating literal.
+#pragma once
+
+#include <string>
+
+#include "jir/code.hpp"
+
+namespace hyp::jir {
+
+struct AssembleResult {
+  Program program;
+  std::string error;  // empty on success (error includes a line number)
+  bool ok() const { return error.empty(); }
+};
+
+AssembleResult assemble(const std::string& source);
+
+// Inverse of assemble(): emits assembler text that re-assembles to an
+// identical program (labels are synthesized as L<index>). Useful for
+// inspecting generated programs and for round-trip testing.
+std::string disassemble(const Program& program);
+
+}  // namespace hyp::jir

@@ -1,0 +1,186 @@
+#include "jir/code.hpp"
+
+#include <deque>
+#include <map>
+
+namespace hyp::jir {
+
+const char* op_name(Op op) {
+  switch (op) {
+    case Op::kLConst: return "lconst";
+    case Op::kDConst: return "dconst";
+    case Op::kLoad: return "load";
+    case Op::kStore: return "store";
+    case Op::kPop: return "pop";
+    case Op::kDup: return "dup";
+    case Op::kLAdd: return "ladd";
+    case Op::kLSub: return "lsub";
+    case Op::kLMul: return "lmul";
+    case Op::kLDiv: return "ldiv";
+    case Op::kLRem: return "lrem";
+    case Op::kLNeg: return "lneg";
+    case Op::kLCmp: return "lcmp";
+    case Op::kDAdd: return "dadd";
+    case Op::kDSub: return "dsub";
+    case Op::kDMul: return "dmul";
+    case Op::kDDiv: return "ddiv";
+    case Op::kDNeg: return "dneg";
+    case Op::kDCmp: return "dcmp";
+    case Op::kL2D: return "l2d";
+    case Op::kD2L: return "d2l";
+    case Op::kGoto: return "goto";
+    case Op::kIfEq: return "ifeq";
+    case Op::kIfNe: return "ifne";
+    case Op::kIfLt: return "iflt";
+    case Op::kIfGe: return "ifge";
+    case Op::kNewArrayL: return "newarray_l";
+    case Op::kNewArrayD: return "newarray_d";
+    case Op::kALoadL: return "aload_l";
+    case Op::kAStoreL: return "astore_l";
+    case Op::kALoadD: return "aload_d";
+    case Op::kAStoreD: return "astore_d";
+    case Op::kArrayLen: return "arraylen";
+    case Op::kMonitorEnter: return "monitorenter";
+    case Op::kMonitorExit: return "monitorexit";
+    case Op::kWait: return "wait";
+    case Op::kNotify: return "notify";
+    case Op::kNotifyAll: return "notifyall";
+    case Op::kCall: return "call";
+    case Op::kRet: return "ret";
+    case Op::kRetVoid: return "retvoid";
+    case Op::kSpawn: return "spawn";
+    case Op::kJoinAll: return "joinall";
+    case Op::kChargeCycles: return "charge";
+  }
+  return "?";
+}
+
+namespace {
+
+// Net stack effect and minimum required depth per op; branch/terminal info.
+struct Effect {
+  int need;      // minimum stack depth before the instruction
+  int delta;     // stack growth after execution
+  bool branches; // has a branch target operand
+  bool terminal; // never falls through (ret / retvoid)
+  bool jumps_always;  // goto: falls through never, branch always
+};
+
+Effect effect_of(const Insn& insn, const Program& program, std::string* error) {
+  switch (insn.op) {
+    case Op::kLConst:
+    case Op::kDConst:
+    case Op::kLoad: return {0, +1, false, false, false};
+    case Op::kStore:
+    case Op::kPop: return {1, -1, false, false, false};
+    case Op::kDup: return {1, +1, false, false, false};
+    case Op::kLAdd: case Op::kLSub: case Op::kLMul: case Op::kLDiv: case Op::kLRem:
+    case Op::kLCmp:
+    case Op::kDAdd: case Op::kDSub: case Op::kDMul: case Op::kDDiv:
+    case Op::kDCmp: return {2, -1, false, false, false};
+    case Op::kLNeg: case Op::kDNeg: case Op::kL2D: case Op::kD2L:
+      return {1, 0, false, false, false};
+    case Op::kGoto: return {0, 0, true, false, true};
+    case Op::kIfEq: case Op::kIfNe: case Op::kIfLt: case Op::kIfGe:
+      return {1, -1, true, false, false};
+    case Op::kNewArrayL: case Op::kNewArrayD: return {1, 0, false, false, false};
+    case Op::kALoadL: case Op::kALoadD: return {2, -1, false, false, false};
+    case Op::kAStoreL: case Op::kAStoreD: return {3, -3, false, false, false};
+    case Op::kArrayLen: return {1, 0, false, false, false};
+    case Op::kMonitorEnter: case Op::kMonitorExit:
+    case Op::kWait: case Op::kNotify: case Op::kNotifyAll:
+      return {1, -1, false, false, false};
+    case Op::kCall: {
+      const auto target = insn.operand;
+      if (target < 0 || target >= static_cast<std::int64_t>(program.functions.size())) {
+        *error = "call to unknown function index";
+        return {0, 0, false, false, false};
+      }
+      const int nargs = program.functions[static_cast<std::size_t>(target)].args;
+      return {nargs, -nargs + 1, false, false, false};
+    }
+    case Op::kSpawn: {
+      const auto target = insn.operand;
+      if (target < 0 || target >= static_cast<std::int64_t>(program.functions.size())) {
+        *error = "spawn of unknown function index";
+        return {0, 0, false, false, false};
+      }
+      const int nargs = program.functions[static_cast<std::size_t>(target)].args;
+      return {nargs, -nargs, false, false, false};
+    }
+    case Op::kRet: return {1, -1, false, true, false};
+    case Op::kRetVoid: return {0, 0, false, true, false};
+    case Op::kJoinAll:
+    case Op::kChargeCycles: return {0, 0, false, false, false};
+  }
+  *error = "unknown opcode";
+  return {0, 0, false, false, false};
+}
+
+std::string verify_function(const Program& program, const Function& fn) {
+  if (fn.args < 0 || fn.locals < fn.args) return fn.name + ": locals < args";
+  if (fn.code.empty()) return fn.name + ": empty body";
+
+  const auto size = static_cast<std::int64_t>(fn.code.size());
+  std::map<std::int64_t, int> depth_at;  // instruction -> entry stack depth
+  std::deque<std::int64_t> worklist;
+  depth_at[0] = 0;
+  worklist.push_back(0);
+
+  while (!worklist.empty()) {
+    const std::int64_t pc = worklist.front();
+    worklist.pop_front();
+    const int depth = depth_at.at(pc);
+    const Insn& insn = fn.code[static_cast<std::size_t>(pc)];
+
+    std::string error;
+    const Effect e = effect_of(insn, program, &error);
+    if (!error.empty()) return fn.name + ": " + error;
+    if (depth < e.need) {
+      return fn.name + ": stack underflow at " + std::to_string(pc) + " (" +
+             op_name(insn.op) + ")";
+    }
+    if ((insn.op == Op::kLoad || insn.op == Op::kStore) &&
+        (insn.operand < 0 || insn.operand >= fn.locals)) {
+      return fn.name + ": local index out of range at " + std::to_string(pc);
+    }
+    const int after = depth + e.delta;
+
+    auto flow_to = [&](std::int64_t target) -> std::string {
+      if (target < 0 || target >= size) {
+        return fn.name + ": branch target out of range at " + std::to_string(pc);
+      }
+      auto it = depth_at.find(target);
+      if (it == depth_at.end()) {
+        depth_at[target] = after;
+        worklist.push_back(target);
+      } else if (it->second != after) {
+        return fn.name + ": inconsistent stack depth at " + std::to_string(target);
+      }
+      return {};
+    };
+
+    if (e.branches) {
+      if (auto err = flow_to(insn.operand); !err.empty()) return err;
+    }
+    if (!e.terminal && !e.jumps_always) {
+      if (pc + 1 >= size) {
+        return fn.name + ": control falls off the end";
+      }
+      if (auto err = flow_to(pc + 1); !err.empty()) return err;
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
+std::string verify(const Program& program) {
+  if (program.functions.empty()) return "program has no functions";
+  for (const Function& fn : program.functions) {
+    if (auto err = verify_function(program, fn); !err.empty()) return err;
+  }
+  return {};
+}
+
+}  // namespace hyp::jir

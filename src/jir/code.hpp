@@ -1,0 +1,99 @@
+// JIR — a small Java-flavoured stack bytecode for the cluster JVM.
+//
+// The paper's vision (§2.1): "programmers will push bytecode to the
+// high-performance server for remote execution". Hyperion translated that
+// bytecode to C; the five benchmark apps in src/apps are this repository's
+// stand-in for the translator's *output*. JIR closes the loop from the other
+// side: a verifiable stack bytecode whose interpreter executes against the
+// same runtime (policies, monitors, arrays, threads), demonstrating that the
+// runtime API is sufficient for Java semantics delivered as portable code.
+//
+// The machine: 64-bit value slots (long, double or array reference), typed
+// arithmetic (l* = integer, d* = floating), local variables, Java arrays in
+// the cluster-wide shared memory, monitorenter/exit, and thread spawn/join.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace hyp::jir {
+
+enum class Op : std::uint8_t {
+  // constants / locals
+  kLConst,   // push immediate i64 (operand)
+  kDConst,   // push immediate f64 (operand bit-cast)
+  kLoad,     // push locals[operand]
+  kStore,    // locals[operand] = pop
+  kPop,
+  kDup,
+  // long arithmetic / comparison
+  kLAdd, kLSub, kLMul, kLDiv, kLRem, kLNeg, kLCmp,  // lcmp: push -1/0/1
+  // double arithmetic
+  kDAdd, kDSub, kDMul, kDDiv, kDNeg, kDCmp,
+  // conversions
+  kL2D, kD2L,
+  // control flow (operand = absolute code index)
+  kGoto,
+  kIfEq,   // pop; branch if == 0
+  kIfNe,
+  kIfLt,
+  kIfGe,
+  // arrays in the DSM (Java arrays: long[] and double[])
+  kNewArrayL,  // pop length; push ref
+  kNewArrayD,
+  kALoadL,     // pop index, ref; push value
+  kAStoreL,    // pop value, index, ref
+  kALoadD,
+  kAStoreD,
+  kArrayLen,   // pop ref; push length
+  // synchronization (operand-less; object = popped array ref)
+  kMonitorEnter,
+  kMonitorExit,
+  kWait,
+  kNotify,
+  kNotifyAll,
+  // methods and threads
+  kCall,    // operand = function index; args: callee's first nargs locals
+            // popped from the stack (last arg on top); result pushed
+  kRet,     // pop return value, leave frame
+  kRetVoid,
+  kSpawn,   // operand = function index; pops nargs args; starts a Java thread
+  kJoinAll, // joins every thread this frame spawned
+  // miscellaneous
+  kChargeCycles,  // operand = cycles; models the compiled code's work
+};
+
+const char* op_name(Op op);
+
+struct Insn {
+  Op op;
+  std::int64_t operand = 0;
+};
+
+struct Function {
+  std::string name;
+  int args = 0;    // locals [0, args) are parameters
+  int locals = 0;  // total local slots (>= args)
+  std::vector<Insn> code;
+};
+
+struct Program {
+  std::vector<Function> functions;
+
+  int find(const std::string& name) const {
+    for (std::size_t i = 0; i < functions.size(); ++i) {
+      if (functions[i].name == name) return static_cast<int>(i);
+    }
+    return -1;
+  }
+};
+
+// Static verification: branch targets in range, stack depth consistent and
+// non-negative along every path, locals in range, call/spawn indices valid.
+// Returns an empty string when valid, else a diagnostic.
+std::string verify(const Program& program);
+
+}  // namespace hyp::jir

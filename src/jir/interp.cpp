@@ -1,0 +1,253 @@
+#include "jir/interp.hpp"
+
+#include <cstring>
+
+#include "hyperion/object.hpp"
+
+namespace hyp::jir {
+
+namespace {
+
+double as_double(std::int64_t bits) {
+  double d;
+  std::memcpy(&d, &bits, sizeof(d));
+  return d;
+}
+
+std::int64_t as_bits(double d) {
+  std::int64_t bits;
+  std::memcpy(&bits, &d, sizeof(bits));
+  return bits;
+}
+
+}  // namespace
+
+Interpreter::Interpreter(const Program* program, hyperion::JavaEnv* env)
+    : program_(program), env_(env) {
+  HYP_CHECK(program != nullptr && env != nullptr);
+}
+
+std::int64_t Interpreter::from_double(double d) { return as_bits(d); }
+double Interpreter::to_double(std::int64_t bits) { return as_double(bits); }
+
+std::int64_t Interpreter::run(int function, std::vector<std::int64_t> args) {
+  HYP_CHECK_MSG(function >= 0 &&
+                    function < static_cast<int>(program_->functions.size()),
+                "unknown function index");
+  const Function& fn = program_->functions[static_cast<std::size_t>(function)];
+  HYP_CHECK_MSG(static_cast<int>(args.size()) == fn.args, "argument count mismatch");
+  args.resize(static_cast<std::size_t>(fn.locals), 0);
+  return exec(function, std::move(args));
+}
+
+std::int64_t Interpreter::run(const std::string& function, std::vector<std::int64_t> args) {
+  const int idx = program_->find(function);
+  HYP_CHECK_MSG(idx >= 0, "unknown function: " + function);
+  return run(idx, std::move(args));
+}
+
+std::int64_t Interpreter::exec(int function, std::vector<std::int64_t> locals) {
+  const Function& fn = program_->functions[static_cast<std::size_t>(function)];
+  std::vector<std::int64_t> stack;
+  stack.reserve(16);
+  std::vector<hyperion::JThread> spawned;
+
+  const auto kind = env_->vm().protocol();
+  // Java array semantics: every access is bounds-checked at runtime (the
+  // verifier cannot see indices). A violation is an error, as
+  // ArrayIndexOutOfBoundsException would be.
+  auto check_bounds = [&](dsm::Gva header, std::int64_t i) {
+    hyperion::GArray<std::int64_t> a{header};
+    const auto len = dsm::with_policy(kind, [&](auto policy) {
+      using P = decltype(policy);
+      return static_cast<std::int64_t>(hyperion::Mem<P>(env_->ctx()).alen(a));
+    });
+    HYP_CHECK_MSG(i >= 0 && i < len,
+                  "array index out of bounds: " + std::to_string(i) + " not in [0, " +
+                      std::to_string(len) + ")");
+  };
+  auto aget_l = [&](dsm::Gva header, std::int64_t i) {
+    check_bounds(header, i);
+    hyperion::GArray<std::int64_t> a{header};
+    return dsm::with_policy(kind, [&](auto policy) {
+      using P = decltype(policy);
+      return hyperion::Mem<P>(env_->ctx()).aget(a, i);
+    });
+  };
+  auto aput_l = [&](dsm::Gva header, std::int64_t i, std::int64_t v) {
+    check_bounds(header, i);
+    hyperion::GArray<std::int64_t> a{header};
+    dsm::with_policy(kind, [&](auto policy) {
+      using P = decltype(policy);
+      hyperion::Mem<P>(env_->ctx()).aput(a, i, v);
+    });
+  };
+  auto aget_d = [&](dsm::Gva header, std::int64_t i) {
+    check_bounds(header, i);
+    hyperion::GArray<double> a{header};
+    return dsm::with_policy(kind, [&](auto policy) {
+      using P = decltype(policy);
+      return hyperion::Mem<P>(env_->ctx()).aget(a, i);
+    });
+  };
+  auto aput_d = [&](dsm::Gva header, std::int64_t i, double v) {
+    check_bounds(header, i);
+    hyperion::GArray<double> a{header};
+    dsm::with_policy(kind, [&](auto policy) {
+      using P = decltype(policy);
+      hyperion::Mem<P>(env_->ctx()).aput(a, i, v);
+    });
+  };
+  auto alen = [&](dsm::Gva header) {
+    hyperion::GArray<std::int64_t> a{header};
+    return dsm::with_policy(kind, [&](auto policy) {
+      using P = decltype(policy);
+      return static_cast<std::int64_t>(hyperion::Mem<P>(env_->ctx()).alen(a));
+    });
+  };
+
+  auto pop = [&] {
+    HYP_CHECK_MSG(!stack.empty(), "operand stack underflow (unverified code?)");
+    const std::int64_t v = stack.back();
+    stack.pop_back();
+    return v;
+  };
+  auto push = [&](std::int64_t v) { stack.push_back(v); };
+
+  std::int64_t pc = 0;
+  for (;;) {
+    HYP_CHECK_MSG(pc >= 0 && pc < static_cast<std::int64_t>(fn.code.size()),
+                  "pc out of range (unverified code?)");
+    const Insn& insn = fn.code[static_cast<std::size_t>(pc)];
+    env_->charge_cycles(kDispatchCycles);
+    std::int64_t next = pc + 1;
+
+    switch (insn.op) {
+      case Op::kLConst:
+      case Op::kDConst: push(insn.operand); break;
+      case Op::kLoad: push(locals[static_cast<std::size_t>(insn.operand)]); break;
+      case Op::kStore: locals[static_cast<std::size_t>(insn.operand)] = pop(); break;
+      case Op::kPop: pop(); break;
+      case Op::kDup: {
+        const auto v = pop();
+        push(v);
+        push(v);
+        break;
+      }
+      case Op::kLAdd: { const auto b = pop(), a = pop(); push(a + b); break; }
+      case Op::kLSub: { const auto b = pop(), a = pop(); push(a - b); break; }
+      case Op::kLMul: { const auto b = pop(), a = pop(); push(a * b); break; }
+      case Op::kLDiv: {
+        const auto b = pop(), a = pop();
+        HYP_CHECK_MSG(b != 0, "division by zero");
+        push(a / b);
+        break;
+      }
+      case Op::kLRem: {
+        const auto b = pop(), a = pop();
+        HYP_CHECK_MSG(b != 0, "remainder by zero");
+        push(a % b);
+        break;
+      }
+      case Op::kLNeg: push(-pop()); break;
+      case Op::kLCmp: {
+        const auto b = pop(), a = pop();
+        push(a < b ? -1 : (a > b ? 1 : 0));
+        break;
+      }
+      case Op::kDAdd: { const auto b = pop(), a = pop(); push(as_bits(as_double(a) + as_double(b))); break; }
+      case Op::kDSub: { const auto b = pop(), a = pop(); push(as_bits(as_double(a) - as_double(b))); break; }
+      case Op::kDMul: { const auto b = pop(), a = pop(); push(as_bits(as_double(a) * as_double(b))); break; }
+      case Op::kDDiv: { const auto b = pop(), a = pop(); push(as_bits(as_double(a) / as_double(b))); break; }
+      case Op::kDNeg: push(as_bits(-as_double(pop()))); break;
+      case Op::kDCmp: {
+        const auto b = as_double(pop()), a = as_double(pop());
+        push(a < b ? -1 : (a > b ? 1 : 0));
+        break;
+      }
+      case Op::kL2D: push(as_bits(static_cast<double>(pop()))); break;
+      case Op::kD2L: push(static_cast<std::int64_t>(as_double(pop()))); break;
+      case Op::kGoto: next = insn.operand; break;
+      case Op::kIfEq: if (pop() == 0) next = insn.operand; break;
+      case Op::kIfNe: if (pop() != 0) next = insn.operand; break;
+      case Op::kIfLt: if (pop() < 0) next = insn.operand; break;
+      case Op::kIfGe: if (pop() >= 0) next = insn.operand; break;
+      case Op::kNewArrayL: {
+        const auto n = pop();
+        push(static_cast<std::int64_t>(env_->new_array<std::int64_t>(n).header));
+        break;
+      }
+      case Op::kNewArrayD: {
+        const auto n = pop();
+        push(static_cast<std::int64_t>(env_->new_array<double>(n).header));
+        break;
+      }
+      case Op::kALoadL: {
+        const auto i = pop();
+        const auto ref = static_cast<dsm::Gva>(pop());
+        push(aget_l(ref, i));
+        break;
+      }
+      case Op::kAStoreL: {
+        const auto v = pop();
+        const auto i = pop();
+        const auto ref = static_cast<dsm::Gva>(pop());
+        aput_l(ref, i, v);
+        break;
+      }
+      case Op::kALoadD: {
+        const auto i = pop();
+        const auto ref = static_cast<dsm::Gva>(pop());
+        push(as_bits(aget_d(ref, i)));
+        break;
+      }
+      case Op::kAStoreD: {
+        const auto v = as_double(pop());
+        const auto i = pop();
+        const auto ref = static_cast<dsm::Gva>(pop());
+        aput_d(ref, i, v);
+        break;
+      }
+      case Op::kArrayLen: push(alen(static_cast<dsm::Gva>(pop()))); break;
+      case Op::kMonitorEnter: env_->monitor_enter(static_cast<dsm::Gva>(pop())); break;
+      case Op::kMonitorExit: env_->monitor_exit(static_cast<dsm::Gva>(pop())); break;
+      case Op::kWait: env_->wait(static_cast<dsm::Gva>(pop())); break;
+      case Op::kNotify: env_->notify(static_cast<dsm::Gva>(pop())); break;
+      case Op::kNotifyAll: env_->notify_all(static_cast<dsm::Gva>(pop())); break;
+      case Op::kCall: {
+        const auto callee = static_cast<int>(insn.operand);
+        const Function& target = program_->functions[static_cast<std::size_t>(callee)];
+        std::vector<std::int64_t> args(static_cast<std::size_t>(target.locals), 0);
+        for (int a = target.args - 1; a >= 0; --a) args[static_cast<std::size_t>(a)] = pop();
+        push(exec(callee, std::move(args)));
+        break;
+      }
+      case Op::kSpawn: {
+        const auto callee = static_cast<int>(insn.operand);
+        const Function& target = program_->functions[static_cast<std::size_t>(callee)];
+        std::vector<std::int64_t> args(static_cast<std::size_t>(target.args), 0);
+        for (int a = target.args - 1; a >= 0; --a) args[static_cast<std::size_t>(a)] = pop();
+        const Program* program = program_;
+        spawned.push_back(env_->start_thread(
+            "jir:" + target.name, [program, callee, moved = std::move(args)](
+                                      hyperion::JavaEnv& thread_env) mutable {
+              Interpreter child(program, &thread_env);
+              child.run(callee, std::move(moved));
+            }));
+        break;
+      }
+      case Op::kJoinAll:
+        for (auto& t : spawned) env_->join(t);
+        spawned.clear();
+        break;
+      case Op::kChargeCycles:
+        env_->charge_cycles(static_cast<std::uint64_t>(insn.operand));
+        break;
+      case Op::kRet: return pop();
+      case Op::kRetVoid: return 0;
+    }
+    pc = next;
+  }
+}
+
+}  // namespace hyp::jir

@@ -1,0 +1,43 @@
+// The JIR interpreter: executes verified bytecode on the cluster JVM.
+//
+// Every array access goes through the configured protocol's get/put
+// primitives (so interpreted code pays checks under java_ic and faults under
+// java_pf, like compiled code), monitorenter/exit drive the Java-consistency
+// actions, and spawn places threads through the VM's load balancer.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hyperion/vm.hpp"
+#include "jir/code.hpp"
+
+namespace hyp::jir {
+
+// Per-instruction dispatch cost modeled for interpreted execution; the
+// paper's argument for compiling ("we expect the cost of compiling to native
+// code will be recovered many times over") is visible as this constant.
+inline constexpr std::uint64_t kDispatchCycles = 12;
+
+class Interpreter {
+ public:
+  // The program must outlive the interpreter and every thread it spawns.
+  Interpreter(const Program* program, hyperion::JavaEnv* env);
+
+  // Runs `function` with the given arguments (raw 64-bit slots) to
+  // completion; returns the raw returned slot (0 for retvoid).
+  std::int64_t run(int function, std::vector<std::int64_t> args = {});
+  std::int64_t run(const std::string& function, std::vector<std::int64_t> args = {});
+
+  // Convenience bit casts for arguments/results.
+  static std::int64_t from_double(double d);
+  static double to_double(std::int64_t bits);
+
+ private:
+  std::int64_t exec(int function, std::vector<std::int64_t> locals);
+
+  const Program* program_;
+  hyperion::JavaEnv* env_;
+};
+
+}  // namespace hyp::jir

@@ -1,0 +1,292 @@
+#include "native/native_dsm.hpp"
+
+#include <signal.h>
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "common/assert.hpp"
+#include "common/log.hpp"
+
+namespace hyp::native {
+
+namespace {
+
+// The SIGSEGV handler needs to reach the live instance; one native DSM per
+// process at a time (checked below).
+std::atomic<NativeDsm*> g_instance{nullptr};
+struct sigaction g_previous_action;
+
+void segv_handler(int signo, siginfo_t* info, void* ucontext) {
+  NativeDsm* dsm = g_instance.load(std::memory_order_acquire);
+  void* addr = info->si_addr;
+  if (dsm != nullptr) {
+    const int node = dsm->node_of_address(addr);
+    if (node >= 0) {
+      const auto offset = static_cast<std::size_t>(static_cast<const std::byte*>(addr) -
+                                                   dsm->arena(node));
+      const PageId page = dsm->layout().page_of(offset);
+      if (dsm->layout().home_of_page(page) != node) {
+        // A legitimate java_pf access fault: service it and return; the
+        // faulting instruction re-executes against the now-open page.
+        dsm->bump(Counter::kPageFaults);
+        dsm->fetch_page(node, page, /*from_fault=*/true);
+        return;
+      }
+    }
+  }
+  // Not ours: restore the previous disposition and return; the instruction
+  // re-faults and the default action (or the previous handler) applies.
+  sigaction(SIGSEGV, &g_previous_action, nullptr);
+  (void)signo;
+  (void)ucontext;
+}
+
+void* map_region(std::size_t bytes) {
+  void* mem = mmap(nullptr, bytes, PROT_READ | PROT_WRITE,
+                   MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE, -1, 0);
+  HYP_CHECK_MSG(mem != MAP_FAILED, "native arena mmap failed");
+  return mem;
+}
+
+// One memfd, two views: [0] the access view, [1] the always-RW service view.
+std::pair<std::byte*, std::byte*> map_region_dual(std::size_t bytes) {
+  const int fd = memfd_create("hyp_native_arena", MFD_CLOEXEC);
+  HYP_CHECK_MSG(fd >= 0, "memfd_create failed");
+  HYP_CHECK(ftruncate(fd, static_cast<off_t>(bytes)) == 0);
+  void* access = mmap(nullptr, bytes, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+  void* service = mmap(nullptr, bytes, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+  HYP_CHECK_MSG(access != MAP_FAILED && service != MAP_FAILED, "dual arena mmap failed");
+  close(fd);
+  return {static_cast<std::byte*>(access), static_cast<std::byte*>(service)};
+}
+
+constexpr std::size_t kFetchStripes = 64;
+
+}  // namespace
+
+NativeDsm::NativeDsm(int nodes, std::size_t region_bytes, Protocol protocol,
+                     std::size_t page_bytes)
+    : nodes_(nodes),
+      layout_(region_bytes, page_bytes, nodes),
+      protocol_(protocol),
+      fetch_mutexes_(kFetchStripes),
+      home_apply_mutexes_(static_cast<std::size_t>(nodes)),
+      alloc_mutexes_(static_cast<std::size_t>(nodes)) {
+  const auto n = static_cast<std::size_t>(nodes);
+  arenas_.resize(n);
+  service_arenas_.resize(n);
+  twin_arenas_.resize(n);
+  present_.resize(n);
+  twin_valid_.resize(n);
+  alloc_next_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    auto [access, service] = map_region_dual(region_bytes);
+    arenas_[i] = access;
+    service_arenas_[i] = service;
+    if (protocol_ == Protocol::kJavaPf) {
+      twin_arenas_[i] = static_cast<std::byte*>(map_region(region_bytes));
+    }
+    present_[i] = std::make_unique<std::atomic<std::uint8_t>[]>(layout_.total_pages());
+    twin_valid_[i] = std::make_unique<std::atomic<std::uint8_t>[]>(layout_.total_pages());
+    alloc_next_[i] = layout_.zone_begin(static_cast<int>(i));
+  }
+
+  if (protocol_ == Protocol::kJavaPf) {
+    for (int node = 0; node < nodes_; ++node) protect_non_home_pages(node);
+
+    NativeDsm* expected = nullptr;
+    HYP_CHECK_MSG(g_instance.compare_exchange_strong(expected, this),
+                  "only one java_pf NativeDsm may be live per process");
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof(sa));
+    sa.sa_sigaction = &segv_handler;
+    sa.sa_flags = SA_SIGINFO;
+    sigemptyset(&sa.sa_mask);
+    HYP_CHECK(sigaction(SIGSEGV, &sa, &g_previous_action) == 0);
+  }
+}
+
+NativeDsm::~NativeDsm() {
+  if (protocol_ == Protocol::kJavaPf) {
+    sigaction(SIGSEGV, &g_previous_action, nullptr);
+    g_instance.store(nullptr, std::memory_order_release);
+  }
+  for (std::byte* arena : arenas_) {
+    if (arena != nullptr) munmap(arena, layout_.total_bytes());
+  }
+  for (std::byte* service : service_arenas_) {
+    if (service != nullptr) munmap(service, layout_.total_bytes());
+  }
+  for (std::byte* twin : twin_arenas_) {
+    if (twin != nullptr) munmap(twin, layout_.total_bytes());
+  }
+}
+
+void NativeDsm::protect_non_home_pages(int node) {
+  // The node's zone stays READ/WRITE; everything before and after is
+  // protected with two range mprotects (§3.3: protection per entry, here at
+  // initialization; invalidate_cache re-protects per page afterwards).
+  std::byte* arena = arenas_[static_cast<std::size_t>(node)];
+  const Gva zb = layout_.zone_begin(node);
+  const Gva ze = layout_.zone_end(node);
+  if (zb > 0) {
+    HYP_CHECK(mprotect(arena, zb, PROT_NONE) == 0);
+    bump(Counter::kMprotectCalls);
+  }
+  if (ze < layout_.total_bytes()) {
+    HYP_CHECK(mprotect(arena + ze, layout_.total_bytes() - ze, PROT_NONE) == 0);
+    bump(Counter::kMprotectCalls);
+  }
+}
+
+int NativeDsm::node_of_address(const void* addr) const {
+  const auto* p = static_cast<const std::byte*>(addr);
+  for (int node = 0; node < nodes_; ++node) {
+    const std::byte* base = arenas_[static_cast<std::size_t>(node)];
+    if (p >= base && p < base + layout_.total_bytes()) return node;
+  }
+  return -1;
+}
+
+Gva NativeDsm::alloc(int node, std::size_t bytes, std::size_t align) {
+  HYP_CHECK(align != 0 && (align & (align - 1)) == 0);
+  std::lock_guard<std::mutex> lock(alloc_mutexes_[static_cast<std::size_t>(node)]);
+  Gva at = (alloc_next_[static_cast<std::size_t>(node)] + align - 1) &
+           ~static_cast<Gva>(align - 1);
+  HYP_CHECK_MSG(at + bytes <= layout_.zone_end(node), "native zone exhausted");
+  alloc_next_[static_cast<std::size_t>(node)] = at + bytes;
+  return at;
+}
+
+NativeCtx NativeDsm::make_ctx(int node) {
+  NativeCtx ctx;
+  ctx.dsm = this;
+  ctx.node = node;
+  ctx.base = arenas_[static_cast<std::size_t>(node)];
+  return ctx;
+}
+
+bool NativeDsm::page_present(int node, PageId page) const {
+  if (layout_.home_of_page(page) == node) return true;
+  return present_[static_cast<std::size_t>(node)][page].load(std::memory_order_acquire) != 0;
+}
+
+std::mutex& NativeDsm::page_mutex(int node, PageId page) {
+  return fetch_mutexes_[(static_cast<std::size_t>(node) * 1000003 + page) % kFetchStripes];
+}
+
+void NativeDsm::fetch_page(int node, PageId page, bool from_fault) {
+  const auto ni = static_cast<std::size_t>(node);
+  std::lock_guard<std::mutex> lock(page_mutex(node, page));
+  if (present_[ni][page].load(std::memory_order_acquire) != 0) {
+    return;  // another thread of this node already installed it
+  }
+  const int home = layout_.home_of_page(page);
+  HYP_CHECK(home != node);
+  const std::size_t page_bytes = layout_.page_bytes();
+  std::byte* local_service = service_arenas_[ni] + layout_.page_base(page);
+
+  // Install the bytes through the always-RW service view FIRST, then open
+  // the access view: a sibling thread either faults (and waits on the page
+  // lock) or reads fully installed data — never a half-open page.
+  std::memcpy(local_service,
+              service_arenas_[static_cast<std::size_t>(home)] + layout_.page_base(page),
+              page_bytes);
+  if (protocol_ == Protocol::kJavaPf) {
+    std::memcpy(twin_arenas_[ni] + layout_.page_base(page), local_service, page_bytes);
+    twin_valid_[ni][page].store(1, std::memory_order_release);
+    HYP_CHECK(mprotect(arenas_[ni] + layout_.page_base(page), page_bytes,
+                       PROT_READ | PROT_WRITE) == 0);
+    bump(Counter::kMprotectCalls);
+  }
+  present_[ni][page].store(1, std::memory_order_release);
+  bump(Counter::kPageFetches);
+  bump(Counter::kPageFetchBytes, page_bytes);
+  (void)from_fault;
+}
+
+void NativeDsm::update_main_memory(NativeCtx& ctx) {
+  const auto ni = static_cast<std::size_t>(ctx.node);
+  if (protocol_ == Protocol::kJavaIc) {
+    if (ctx.wlog.empty()) return;
+    // Apply field-granularity records to the home arenas, grouped by home so
+    // each home's apply lock is taken once.
+    for (int home = 0; home < nodes_; ++home) {
+      bool touched = false;
+      for (const auto& e : ctx.wlog.entries()) {
+        if (layout_.home_of(e.addr) != home) continue;
+        if (!touched) {
+          home_apply_mutexes_[static_cast<std::size_t>(home)].lock();
+          touched = true;
+          bump(Counter::kUpdatesSent);
+        }
+        std::memcpy(service_arenas_[static_cast<std::size_t>(home)] + e.addr, &e.value, e.size);
+        bump(Counter::kUpdateBytes, e.size);
+      }
+      if (touched) home_apply_mutexes_[static_cast<std::size_t>(home)].unlock();
+    }
+    ctx.wlog.clear();
+    return;
+  }
+
+  // java_pf: word-diff every twinned page. Each differing word is read once;
+  // the same read value goes to the home copy and the twin, so a concurrent
+  // same-node writer's newer value stays diff-visible for its own flush.
+  const std::size_t words = layout_.page_bytes() / 8;
+  for (PageId p = 0; p < layout_.total_pages(); ++p) {
+    if (twin_valid_[ni][p].load(std::memory_order_acquire) == 0) continue;
+    std::lock_guard<std::mutex> lock(page_mutex(ctx.node, p));
+    if (twin_valid_[ni][p].load(std::memory_order_relaxed) == 0) continue;
+    auto* cur = reinterpret_cast<std::uint64_t*>(service_arenas_[ni] + layout_.page_base(p));
+    auto* twin = reinterpret_cast<std::uint64_t*>(twin_arenas_[ni] + layout_.page_base(p));
+    const int home = layout_.home_of_page(p);
+    auto* home_words =
+        reinterpret_cast<std::uint64_t*>(service_arenas_[static_cast<std::size_t>(home)] +
+                                         layout_.page_base(p));
+    bool locked_home = false;
+    for (std::size_t w = 0; w < words; ++w) {
+      const std::uint64_t value = cur[w];
+      if (value == twin[w]) continue;
+      if (!locked_home) {
+        home_apply_mutexes_[static_cast<std::size_t>(home)].lock();
+        locked_home = true;
+        bump(Counter::kUpdatesSent);
+      }
+      home_words[w] = value;
+      twin[w] = value;
+      bump(Counter::kDiffWords);
+      bump(Counter::kUpdateBytes, 8);
+    }
+    if (locked_home) home_apply_mutexes_[static_cast<std::size_t>(home)].unlock();
+  }
+}
+
+void NativeDsm::invalidate_cache(NativeCtx& ctx) {
+  const auto ni = static_cast<std::size_t>(ctx.node);
+  const std::size_t page_bytes = layout_.page_bytes();
+  for (PageId p = 0; p < layout_.total_pages(); ++p) {
+    if (present_[ni][p].load(std::memory_order_acquire) == 0) continue;
+    std::lock_guard<std::mutex> lock(page_mutex(ctx.node, p));
+    if (present_[ni][p].load(std::memory_order_relaxed) == 0) continue;
+    if (protocol_ == Protocol::kJavaPf) {
+      HYP_CHECK(mprotect(arenas_[ni] + layout_.page_base(p), page_bytes, PROT_NONE) == 0);
+      bump(Counter::kMprotectCalls);
+      twin_valid_[ni][p].store(0, std::memory_order_release);
+    }
+    present_[ni][p].store(0, std::memory_order_release);
+    bump(Counter::kInvalidations);
+  }
+}
+
+Stats NativeDsm::stats_snapshot() const {
+  Stats out;
+  for (int i = 0; i < static_cast<int>(Counter::kCount_); ++i) {
+    const auto v = counters_[i].load(std::memory_order_relaxed);
+    if (v != 0) out.add(static_cast<Counter>(i), v);
+  }
+  return out;
+}
+
+}  // namespace hyp::native

@@ -1,0 +1,191 @@
+// The native backend: real remote-object detection in one process.
+//
+// The simulator (src/sim, src/dsm) *models* the cost of the paper's two
+// detection mechanisms; this backend *executes* them. N "nodes" live in one
+// process, each owning a full-size private arena for the shared region.
+// Java threads are OS threads bound to a node.
+//
+//   java_pf: non-home pages are mprotect(PROT_NONE)-ed in the node's arena;
+//     the first access raises a real SIGSEGV. The handler maps the fault
+//     address back to (node, page), copies the page from the home node's
+//     arena, snapshots a twin, opens the page READ/WRITE and returns — the
+//     faulting instruction re-executes and succeeds. Exactly §3.3.
+//
+//   java_ic: every get/put runs an explicit presence check against the
+//     node's page bitmap; misses fetch the page without any protection
+//     changes, and puts append to a field-granularity write log. §3.2.
+//
+// Monitor entry/exit drive the same JMM actions as the simulator: flush
+// modifications to the home arena, invalidate (re-protect / bitmap-clear)
+// the node's cached pages.
+//
+// Threading notes: the SIGSEGV handler runs on the faulting thread and
+// takes regular mutexes — standard practice for user-level page-based DSMs
+// (TreadMarks et al.); the handler never allocates (twins live in a
+// dedicated pre-mapped arena). Reads of a home page concurrent with writes
+// by its home threads are data races Java permits for unsynchronized code;
+// properly synchronized programs serialize them through the flush/monitor
+// path.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <type_traits>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "dsm/address.hpp"
+#include "dsm/write_log.hpp"
+
+namespace hyp::native {
+
+using dsm::Gva;
+using dsm::Layout;
+using dsm::PageId;
+
+enum class Protocol { kJavaIc, kJavaPf };
+
+class NativeDsm;
+
+// Per-thread context (one per Java thread).
+struct NativeCtx {
+  NativeDsm* dsm = nullptr;
+  int node = -1;
+  std::byte* base = nullptr;  // the node's arena
+  dsm::WriteLog wlog;         // java_ic modification log
+
+  template <typename T>
+  T get(Gva a);
+  template <typename T>
+  void put(Gva a, T v);
+};
+
+class NativeDsm {
+ public:
+  NativeDsm(int nodes, std::size_t region_bytes, Protocol protocol,
+            std::size_t page_bytes = 4096);
+  ~NativeDsm();
+  NativeDsm(const NativeDsm&) = delete;
+  NativeDsm& operator=(const NativeDsm&) = delete;
+
+  const Layout& layout() const { return layout_; }
+  Protocol protocol() const { return protocol_; }
+  int nodes() const { return nodes_; }
+  std::byte* arena(int node) { return arenas_[static_cast<std::size_t>(node)]; }
+
+  // Allocation from a node's zone (thread-safe); home = that node.
+  Gva alloc(int node, std::size_t bytes, std::size_t align = 8);
+
+  NativeCtx make_ctx(int node);
+
+  // --- consistency actions (called by the monitor layer) -------------------
+  void update_main_memory(NativeCtx& ctx);  // flush log / diffs to homes
+  void invalidate_cache(NativeCtx& ctx);    // drop + re-protect cached pages
+  void on_acquire(NativeCtx& ctx) {
+    update_main_memory(ctx);
+    invalidate_cache(ctx);
+  }
+  void on_release(NativeCtx& ctx) { update_main_memory(ctx); }
+
+  // --- protocol internals ---------------------------------------------------
+  // Ensures (node, page) is locally accessible; used by the ic miss path and
+  // by the SIGSEGV handler (pf). Thread-safe and idempotent.
+  void fetch_page(int node, PageId page, bool from_fault);
+  bool page_present(int node, PageId page) const;
+
+  // Called by the signal handler: resolves a faulting address to a node.
+  // Returns -1 if the address is not in any arena (a genuine crash).
+  int node_of_address(const void* addr) const;
+
+  // Direct home-copy access for initialization and verification.
+  template <typename T>
+  T read_home(Gva a) const {
+    const int home = layout_.home_of(a);
+    T v;
+    std::memcpy(&v, service_arenas_[static_cast<std::size_t>(home)] + a, sizeof(T));
+    return v;
+  }
+  template <typename T>
+  void poke_home(Gva a, T v) {
+    const int home = layout_.home_of(a);
+    std::memcpy(service_arenas_[static_cast<std::size_t>(home)] + a, &v, sizeof(T));
+  }
+
+  std::uint64_t counter(Counter c) const {
+    return counters_[static_cast<int>(c)].load(std::memory_order_relaxed);
+  }
+  void bump(Counter c, std::uint64_t n = 1) {
+    counters_[static_cast<int>(c)].fetch_add(n, std::memory_order_relaxed);
+  }
+  Stats stats_snapshot() const;
+
+ private:
+  friend struct NativeCtx;
+
+  void protect_non_home_pages(int node);
+  std::mutex& page_mutex(int node, PageId page);
+
+  int nodes_;
+  Layout layout_;
+  Protocol protocol_;
+  // Each node's shared region is one memfd mapped twice: the *access* view
+  // (what threads dereference; java_pf flips its protection) and the
+  // *service* view (always READ/WRITE; the protocol installs and serves
+  // bytes through it). Installing through the service view closes the
+  // classic unprotect-before-copy window: a sibling thread can never read a
+  // page that is accessible but not yet filled.
+  std::vector<std::byte*> arenas_;          // access views (fault on these)
+  std::vector<std::byte*> service_arenas_;  // always-RW aliases
+  std::vector<std::byte*> twin_arenas_;     // java_pf twins (pf only), per node
+  // present_[node][page]: 1 when a non-home page holds a valid replica.
+  std::vector<std::unique_ptr<std::atomic<std::uint8_t>[]>> present_;
+  std::vector<std::unique_ptr<std::atomic<std::uint8_t>[]>> twin_valid_;
+  std::vector<std::mutex> fetch_mutexes_;  // striped page locks
+  std::vector<std::mutex> home_apply_mutexes_;  // one per node, serializes updates
+  std::vector<std::mutex> alloc_mutexes_;
+  std::vector<Gva> alloc_next_;
+  std::atomic<std::uint64_t> counters_[static_cast<int>(Counter::kCount_)] = {};
+};
+
+// --- access primitives (the native fast paths) ------------------------------
+
+template <typename T>
+T NativeCtx::get(Gva a) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  if (dsm->protocol() == Protocol::kJavaIc) {
+    dsm->bump(Counter::kInlineChecks);
+    const PageId p = dsm->layout().page_of(a);
+    if (!dsm->page_present(node, p)) [[unlikely]] {
+      dsm->fetch_page(node, p, /*from_fault=*/false);
+    }
+  }
+  // java_pf: plain load; a protected page traps into the SIGSEGV handler.
+  T v;
+  std::memcpy(&v, base + a, sizeof(T));
+  return v;
+}
+
+template <typename T>
+void NativeCtx::put(Gva a, T v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const PageId p = dsm->layout().page_of(a);
+  if (dsm->protocol() == Protocol::kJavaIc) {
+    dsm->bump(Counter::kInlineChecks);
+    if (!dsm->page_present(node, p)) [[unlikely]] {
+      dsm->fetch_page(node, p, /*from_fault=*/false);
+    }
+  }
+  std::memcpy(base + a, &v, sizeof(T));
+  if (dsm->protocol() == Protocol::kJavaIc && dsm->layout().home_of_page(p) != node) {
+    std::uint64_t raw = 0;
+    std::memcpy(&raw, &v, sizeof(T));
+    wlog.record(a, sizeof(T), raw);
+    dsm->bump(Counter::kWriteLogEntries);
+  }
+}
+
+}  // namespace hyp::native

@@ -1,0 +1,150 @@
+#include "native/native_vm.hpp"
+
+#include "common/assert.hpp"
+
+namespace hyp::native {
+
+// ---------------------------------------------------------------------------
+// NativeMonitor
+
+void NativeMonitor::acquire_locked(std::unique_lock<std::mutex>& lock, std::uint32_t depth) {
+  entry_cv_.wait(lock, [&] { return depth_ == 0; });
+  owner_ = std::this_thread::get_id();
+  depth_ = depth;
+}
+
+void NativeMonitor::enter() {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (depth_ != 0 && owner_ == std::this_thread::get_id()) {
+    ++depth_;  // reentrant
+    return;
+  }
+  acquire_locked(lock, 1);
+}
+
+void NativeMonitor::exit() {
+  std::unique_lock<std::mutex> lock(mu_);
+  HYP_CHECK_MSG(depth_ != 0 && owner_ == std::this_thread::get_id(),
+                "monitor exit by a thread that does not own it");
+  if (--depth_ == 0) {
+    owner_ = {};
+    entry_cv_.notify_one();
+  }
+}
+
+void NativeMonitor::wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  HYP_CHECK_MSG(depth_ != 0 && owner_ == std::this_thread::get_id(),
+                "Object.wait without owning the monitor");
+  const std::uint32_t saved_depth = depth_;
+  owner_ = {};
+  depth_ = 0;
+  entry_cv_.notify_one();
+
+  Waiter node;
+  wait_set_.push_back(&node);
+  wait_cv_.wait(lock, [&] { return node.signaled; });
+
+  acquire_locked(lock, saved_depth);
+}
+
+void NativeMonitor::notify_one() {
+  std::unique_lock<std::mutex> lock(mu_);
+  HYP_CHECK_MSG(depth_ != 0 && owner_ == std::this_thread::get_id(),
+                "Object.notify without owning the monitor");
+  if (!wait_set_.empty()) {
+    wait_set_.front()->signaled = true;
+    wait_set_.pop_front();
+    wait_cv_.notify_all();
+  }
+}
+
+void NativeMonitor::notify_all() {
+  std::unique_lock<std::mutex> lock(mu_);
+  HYP_CHECK_MSG(depth_ != 0 && owner_ == std::this_thread::get_id(),
+                "Object.notify without owning the monitor");
+  for (Waiter* w : wait_set_) w->signaled = true;
+  wait_set_.clear();
+  wait_cv_.notify_all();
+}
+
+// ---------------------------------------------------------------------------
+// NativeEnv
+
+NativeEnv::NativeEnv(NativeVm* vm, int node) : vm_(vm), ctx_(vm->dsm_.make_ctx(node)) {}
+
+Gva NativeEnv::alloc_raw(std::size_t bytes, std::size_t align) {
+  return vm_->dsm_.alloc(ctx_.node, bytes, align);
+}
+
+void NativeEnv::monitor_enter(Gva obj) {
+  vm_->dsm_.bump(Counter::kMonitorEnters);
+  vm_->monitor_for(obj).enter();
+  vm_->dsm_.on_acquire(ctx_);
+}
+
+void NativeEnv::monitor_exit(Gva obj) {
+  vm_->dsm_.bump(Counter::kMonitorExits);
+  vm_->dsm_.on_release(ctx_);
+  vm_->monitor_for(obj).exit();
+}
+
+void NativeEnv::wait(Gva obj) {
+  vm_->dsm_.on_release(ctx_);
+  vm_->monitor_for(obj).wait();
+  vm_->dsm_.on_acquire(ctx_);
+}
+
+void NativeEnv::notify(Gva obj) { vm_->monitor_for(obj).notify_one(); }
+void NativeEnv::notify_all(Gva obj) { vm_->monitor_for(obj).notify_all(); }
+
+// ---------------------------------------------------------------------------
+// NativeVm
+
+NativeVm::NativeVm(Config config)
+    : dsm_(config.nodes, config.region_bytes, config.protocol, config.page_bytes) {}
+
+NativeMonitor& NativeVm::monitor_for(Gva obj) {
+  std::lock_guard<std::mutex> lock(monitors_mu_);
+  auto& slot = monitors_[obj];
+  if (slot == nullptr) slot = std::make_unique<NativeMonitor>();
+  return *slot;
+}
+
+void NativeVm::start_thread(const std::function<void(NativeEnv&)>& body) {
+  const int node = next_node_.fetch_add(1, std::memory_order_relaxed) % dsm_.nodes();
+  dsm_.bump(Counter::kRemoteThreadSpawns);
+  std::lock_guard<std::mutex> lock(threads_mu_);
+  threads_.emplace_back([this, node, body] {
+    NativeEnv env(this, node);
+    // Thread start/termination edges: begin clean, end flushed.
+    dsm_.on_acquire(env.ctx());
+    body(env);
+    dsm_.on_release(env.ctx());
+  });
+}
+
+void NativeVm::join_all(NativeEnv& env) {
+  for (;;) {
+    std::thread t;
+    {
+      std::lock_guard<std::mutex> lock(threads_mu_);
+      if (threads_.empty()) break;
+      t = std::move(threads_.back());
+      threads_.pop_back();
+    }
+    t.join();
+  }
+  // join() edge for the caller.
+  dsm_.on_acquire(env.ctx());
+}
+
+void NativeVm::run_main(const std::function<void(NativeEnv&)>& main_fn) {
+  NativeEnv env(this, 0);
+  // start() edge for threads the main body creates.
+  dsm_.on_release(env.ctx());
+  main_fn(env);
+  join_all(env);
+}
+
+}  // namespace hyp::native

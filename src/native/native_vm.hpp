@@ -1,0 +1,137 @@
+// NativeVm: Java threads and object monitors over the native DSM.
+//
+// Completes the native backend into a runnable mini-Hyperion: OS threads
+// placed round-robin over the nodes, and per-object monitors with Java
+// enter/exit/wait/notify semantics that drive the DSM's acquire/release
+// actions (flush home, invalidate cache) exactly as the simulator's monitor
+// subsystem does. Used by the native tests and by the §4.2 detection-cost
+// microbenchmark.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "native/native_dsm.hpp"
+
+namespace hyp::native {
+
+// One Java object monitor: mutual exclusion + wait set, reentrant.
+class NativeMonitor {
+ public:
+  void enter();
+  void exit();
+  void wait();        // caller must hold; fully releases, restores on return
+  void notify_one();  // caller must hold
+  void notify_all();  // caller must hold
+
+ private:
+  void acquire_locked(std::unique_lock<std::mutex>& lock, std::uint32_t depth);
+
+  // Wait-set entries live on the waiting threads' stacks; notify marks only
+  // the members present at notify time (Java semantics — a later waiter must
+  // not steal an earlier signal).
+  struct Waiter {
+    bool signaled = false;
+  };
+
+  std::mutex mu_;
+  std::condition_variable entry_cv_;
+  std::condition_variable wait_cv_;
+  std::thread::id owner_{};
+  std::uint32_t depth_ = 0;
+  std::deque<Waiter*> wait_set_;
+};
+
+class NativeVm;
+
+// Per-thread execution environment.
+class NativeEnv {
+ public:
+  NativeEnv(NativeVm* vm, int node);
+
+  int node() const { return ctx_.node; }
+  NativeCtx& ctx() { return ctx_; }
+  NativeVm& vm() { return *vm_; }
+
+  Gva alloc_raw(std::size_t bytes, std::size_t align = 8);
+  template <typename T>
+  Gva new_cell(T init) {
+    const Gva a = alloc_raw(sizeof(T), alignof(T) < 8 ? sizeof(T) : 8);
+    // Allocation happens in this node's own zone: direct initialization.
+    std::memcpy(ctx_.base + a, &init, sizeof(T));
+    return a;
+  }
+
+  template <typename T>
+  T get(Gva a) {
+    return ctx_.get<T>(a);
+  }
+  template <typename T>
+  void put(Gva a, T v) {
+    ctx_.put<T>(a, v);
+  }
+
+  // Monitors with the JMM consistency actions attached.
+  void monitor_enter(Gva obj);
+  void monitor_exit(Gva obj);
+  void wait(Gva obj);
+  void notify(Gva obj);
+  void notify_all(Gva obj);
+
+  template <typename Fn>
+  void synchronized(Gva obj, Fn&& fn) {
+    monitor_enter(obj);
+    fn();
+    monitor_exit(obj);
+  }
+
+ private:
+  NativeVm* vm_;
+  NativeCtx ctx_;
+};
+
+class NativeVm {
+ public:
+  struct Config {
+    int nodes = 2;
+    Protocol protocol = Protocol::kJavaPf;
+    std::size_t region_bytes = std::size_t{64} << 20;
+    std::size_t page_bytes = 4096;
+  };
+
+  explicit NativeVm(Config config);
+  NativeVm(const NativeVm&) = delete;
+  NativeVm& operator=(const NativeVm&) = delete;
+
+  // Runs `main_fn` on the calling thread as the primary Java thread (node 0)
+  // and joins all started threads before returning.
+  void run_main(const std::function<void(NativeEnv&)>& main_fn);
+
+  // Starts a Java thread; placement is round-robin (paper's load balancer).
+  void start_thread(const std::function<void(NativeEnv&)>& body);
+
+  // Joins every started thread; the caller's env gets the join()
+  // happens-before edge (cache invalidated so it sees the threads' writes).
+  void join_all(NativeEnv& env);
+
+  NativeDsm& dsm() { return dsm_; }
+  NativeMonitor& monitor_for(Gva obj);
+  int nodes() const { return dsm_.nodes(); }
+
+ private:
+  friend class NativeEnv;
+  NativeDsm dsm_;
+  std::mutex monitors_mu_;
+  std::map<Gva, std::unique_ptr<NativeMonitor>> monitors_;
+  std::mutex threads_mu_;
+  std::vector<std::thread> threads_;
+  std::atomic<int> next_node_{0};
+};
+
+}  // namespace hyp::native

@@ -1,0 +1,92 @@
+// Timed message channel between fibers.
+//
+// The network layer delivers messages by pushing them with a future ready
+// time; receivers block until the earliest ready item. FIFO per channel by
+// (ready time, push order), matching an in-order network such as Myrinet/BIP
+// or SCI.
+#pragma once
+
+#include <deque>
+#include <optional>
+#include <utility>
+
+#include "common/assert.hpp"
+#include "sim/engine.hpp"
+
+namespace hyp::sim {
+
+template <typename T>
+class Channel {
+ public:
+  explicit Channel(Engine* engine) : engine_(engine) {}
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  // Item becomes visible to receivers immediately.
+  void push(T item) {
+    ready_.push_back(std::move(item));
+    wake_one();
+  }
+
+  // Item becomes visible at virtual time `when` (>= now).
+  void push_at(T item, Time when) {
+    ++in_flight_;
+    engine_->post(when, [this, moved = std::move(item)]() mutable {
+      --in_flight_;
+      ready_.push_back(std::move(moved));
+      wake_one();
+    });
+  }
+
+  // Blocks until an item is available or the channel is closed and drained.
+  // nullopt means closed-and-empty.
+  std::optional<T> pop() {
+    Fiber* self = engine_->current_fiber();
+    HYP_CHECK_MSG(self != nullptr, "Channel::pop outside a fiber");
+    while (ready_.empty()) {
+      if (closed_ && in_flight_ == 0) return std::nullopt;
+      waiters_.push_back(self);
+      engine_->park();
+    }
+    T item = std::move(ready_.front());
+    ready_.pop_front();
+    return item;
+  }
+
+  std::optional<T> try_pop() {
+    if (ready_.empty()) return std::nullopt;
+    T item = std::move(ready_.front());
+    ready_.pop_front();
+    return item;
+  }
+
+  // After close(), pops drain remaining (and in-flight) items, then return
+  // nullopt. Used to shut down dispatcher daemons.
+  void close() {
+    closed_ = true;
+    wake_all();
+  }
+
+  bool closed() const { return closed_; }
+  std::size_t ready_count() const { return ready_.size(); }
+
+ private:
+  void wake_one() {
+    if (waiters_.empty()) return;
+    Fiber* f = waiters_.front();
+    waiters_.pop_front();
+    engine_->unpark(f);
+  }
+  void wake_all() {
+    for (Fiber* f : waiters_) engine_->unpark(f);
+    waiters_.clear();
+  }
+
+  Engine* engine_;
+  std::deque<T> ready_;
+  std::deque<Fiber*> waiters_;
+  std::size_t in_flight_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace hyp::sim

@@ -1,0 +1,145 @@
+#include "sim/context.hpp"
+
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstring>
+
+#include "common/assert.hpp"
+
+#if !HYP_ASM_CONTEXT
+#include <ucontext.h>
+#endif
+
+namespace hyp::sim {
+
+#if HYP_ASM_CONTEXT
+
+extern "C" {
+void hyp_ctx_switch(void** save_sp, void* restore_sp);
+void hyp_ctx_trampoline();
+}
+
+void context_switch(Context* from, Context* to) {
+  hyp_ctx_switch(&from->sp, to->sp);
+}
+
+void context_make(Context* ctx, void* stack_base, std::size_t stack_size,
+                  void (*entry)(void*), void* arg) {
+  auto top = reinterpret_cast<std::uintptr_t>(stack_base) + stack_size;
+  top &= ~std::uintptr_t{15};  // 16-byte aligned "base" the trampoline runs on
+
+  auto* slots = reinterpret_cast<std::uint64_t*>(top);
+  slots[-1] = reinterpret_cast<std::uint64_t>(&hyp_ctx_trampoline);  // ret addr
+  slots[-2] = 0;                                                     // rbp
+  slots[-3] = 0;                                                     // rbx
+  slots[-4] = 0;                                                     // r12
+  slots[-5] = 0;                                                     // r13
+  slots[-6] = reinterpret_cast<std::uint64_t>(entry);                // r14
+  slots[-7] = reinterpret_cast<std::uint64_t>(arg);                  // r15
+
+  // FP control block: capture the caller's current control words so the
+  // fiber starts with sane rounding/exception masks.
+  std::uint32_t mxcsr;
+  std::uint16_t fcw;
+  asm volatile("stmxcsr %0" : "=m"(mxcsr));
+  asm volatile("fnstcw %0" : "=m"(fcw));
+  auto* fpblock = reinterpret_cast<std::uint8_t*>(top - 8 * 8);
+  std::memset(fpblock, 0, 8);
+  std::memcpy(fpblock + 0, &fcw, sizeof(fcw));
+  std::memcpy(fpblock + 4, &mxcsr, sizeof(mxcsr));
+
+  ctx->sp = fpblock;
+}
+
+void context_destroy(Context* ctx) { ctx->sp = nullptr; }
+
+#else  // ucontext fallback
+
+namespace {
+struct TrampolineArgs {
+  void (*entry)(void*);
+  void* arg;
+};
+// makecontext only passes ints portably; stash the call through a thread
+// local instead.
+thread_local TrampolineArgs t_pending{};
+
+void ucontext_trampoline() {
+  TrampolineArgs args = t_pending;
+  args.entry(args.arg);
+  HYP_PANIC("fiber entry returned");
+}
+}  // namespace
+
+void context_switch(Context* from, Context* to) {
+  auto* from_uc = static_cast<ucontext_t*>(from->impl);
+  auto* to_uc = static_cast<ucontext_t*>(to->impl);
+  HYP_CHECK(from_uc != nullptr && to_uc != nullptr);
+  HYP_CHECK(swapcontext(from_uc, to_uc) == 0);
+}
+
+void context_make(Context* ctx, void* stack_base, std::size_t stack_size,
+                  void (*entry)(void*), void* arg) {
+  auto* uc = new ucontext_t;
+  HYP_CHECK(getcontext(uc) == 0);
+  uc->uc_stack.ss_sp = stack_base;
+  uc->uc_stack.ss_size = stack_size;
+  uc->uc_link = nullptr;
+  t_pending = {entry, arg};
+  makecontext(uc, ucontext_trampoline, 0);
+  ctx->impl = uc;
+}
+
+void context_destroy(Context* ctx) {
+  delete static_cast<ucontext_t*>(ctx->impl);
+  ctx->impl = nullptr;
+}
+
+#endif  // HYP_ASM_CONTEXT
+
+StackAllocation stack_allocate(std::size_t usable_size) {
+  const auto page = static_cast<std::size_t>(sysconf(_SC_PAGESIZE));
+  usable_size = (usable_size + page - 1) / page * page;
+
+  StackAllocation out;
+  out.mapping_size = usable_size + page;  // one guard page below the stack
+  void* mem = mmap(nullptr, out.mapping_size, PROT_READ | PROT_WRITE,
+                   MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  HYP_CHECK_MSG(mem != MAP_FAILED, "fiber stack mmap failed");
+  HYP_CHECK(mprotect(mem, page, PROT_NONE) == 0);
+
+  out.mapping = mem;
+  out.usable_base = static_cast<std::byte*>(mem) + page;
+  out.usable_size = usable_size;
+  return out;
+}
+
+void stack_free(const StackAllocation& stack) {
+  if (stack.mapping != nullptr) {
+    HYP_CHECK(munmap(stack.mapping, stack.mapping_size) == 0);
+  }
+}
+
+#if !HYP_ASM_CONTEXT
+namespace {
+// The ucontext fallback also needs a context object for the scheduler's own
+// (OS-provided) context; ensure it is created lazily on first switch.
+}  // namespace
+#endif
+
+// The scheduler's context has no stack of its own to prepare: the first
+// context_switch() out of it captures whatever the OS thread is running on.
+// For the ucontext backend we still need a ucontext_t to swap into.
+void context_init_self(Context* ctx);
+
+void context_init_self(Context* ctx) {
+#if HYP_ASM_CONTEXT
+  ctx->sp = nullptr;  // filled in by the first switch out
+#else
+  if (ctx->impl == nullptr) ctx->impl = new ucontext_t;
+#endif
+}
+
+}  // namespace hyp::sim

@@ -1,0 +1,55 @@
+// Low-level cooperative context switching for simulator fibers.
+//
+// On x86-64 we use a hand-written System-V switch (context_x86_64.S) that
+// saves only callee-saved registers plus the FP control words — roughly two
+// orders of magnitude cheaper than swapcontext(3), which performs a
+// sigprocmask system call on every switch. Other architectures fall back to
+// ucontext. The engine performs one switch per simulated scheduling decision,
+// so this cost is the simulator's metronome.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace hyp::sim {
+
+#if defined(__x86_64__) && !defined(HYP_FORCE_UCONTEXT)
+#define HYP_ASM_CONTEXT 1
+#else
+#define HYP_ASM_CONTEXT 0
+#endif
+
+// An execution context is fully described by its stack pointer; everything
+// live is spilled to the stack by the switch primitive.
+struct Context {
+  void* sp = nullptr;
+#if !HYP_ASM_CONTEXT
+  void* impl = nullptr;  // ucontext_t*, owned
+#endif
+};
+
+// Transfers control from the running context (saved into `from`) to `to`.
+void context_switch(Context* from, Context* to);
+
+// Prepares `ctx` so the first switch into it invokes entry(arg) on the given
+// stack. `stack_base` is the lowest usable address; the stack grows down from
+// stack_base + stack_size.
+void context_make(Context* ctx, void* stack_base, std::size_t stack_size,
+                  void (*entry)(void*), void* arg);
+
+// Releases any per-context resources (a no-op for the asm implementation).
+void context_destroy(Context* ctx);
+
+// Stack allocation with a PROT_NONE guard page below the stack, so that a
+// fiber blowing its stack faults loudly instead of corrupting a neighbour.
+struct StackAllocation {
+  void* mapping = nullptr;      // base of the whole mapping (guard included)
+  std::size_t mapping_size = 0;
+  void* usable_base = nullptr;  // first usable byte (above the guard)
+  std::size_t usable_size = 0;
+};
+
+StackAllocation stack_allocate(std::size_t usable_size);
+void stack_free(const StackAllocation& stack);
+
+}  // namespace hyp::sim

@@ -1,0 +1,201 @@
+#include "sim/engine.hpp"
+
+#include <utility>
+
+#include "common/assert.hpp"
+#include "common/log.hpp"
+
+namespace hyp::sim {
+
+namespace {
+thread_local Engine* t_current_engine = nullptr;
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Fiber
+
+Fiber::Fiber(Engine* engine, std::string name, UniqueFunction<void()> body,
+             std::size_t stack_bytes, bool daemon)
+    : engine_(engine), name_(std::move(name)), body_(std::move(body)), daemon_(daemon) {
+  stack_ = stack_allocate(stack_bytes);
+  context_make(&context_, stack_.usable_base, stack_.usable_size, &Fiber::entry, this);
+}
+
+Fiber::~Fiber() {
+  context_destroy(&context_);
+  stack_free(stack_);
+}
+
+void Fiber::entry(void* self) {
+  auto* fiber = static_cast<Fiber*>(self);
+  Engine* engine = fiber->engine_;
+  {
+    // Move the body onto this fiber's stack so captured resources die with
+    // the invocation, not with the Fiber object.
+    UniqueFunction<void()> body = std::move(fiber->body_);
+    body();
+  }
+  fiber->state_ = FiberState::kDone;
+  for (Fiber* joiner : fiber->joiners_) engine->unpark(joiner);
+  fiber->joiners_.clear();
+  // Return control to the scheduler permanently.
+  context_switch(&fiber->context_, &engine->scheduler_context_);
+  HYP_PANIC("resumed a completed fiber");
+}
+
+// ---------------------------------------------------------------------------
+// Engine
+
+Engine::Engine() = default;
+
+Engine::~Engine() {
+  HYP_CHECK_MSG(!running_, "engine destroyed while running");
+}
+
+Engine* Engine::current() { return t_current_engine; }
+
+Fiber* Engine::spawn(std::string name, UniqueFunction<void()> body, std::size_t stack_bytes) {
+  std::unique_ptr<Fiber> fiber(
+      new Fiber(this, std::move(name), std::move(body), stack_bytes, /*daemon=*/false));
+  Fiber* raw = fiber.get();
+  fibers_.push_back(std::move(fiber));
+  schedule_wakeup(raw, now_, FiberState::kReadyQueued);
+  return raw;
+}
+
+Fiber* Engine::spawn_daemon(std::string name, UniqueFunction<void()> body,
+                            std::size_t stack_bytes) {
+  Fiber* raw = spawn(std::move(name), std::move(body), stack_bytes);
+  raw->daemon_ = true;
+  return raw;
+}
+
+void Engine::post(Time at, UniqueFunction<void()> fn) {
+  HYP_CHECK_MSG(at >= now_, "posting an event into the past");
+  auto event = std::make_unique<Event>();
+  event->at = at;
+  event->seq = next_seq_++;
+  event->fiber = nullptr;
+  event->callback = std::move(fn);
+  events_.push(std::move(event));
+}
+
+void Engine::schedule_wakeup(Fiber* fiber, Time at, FiberState pending_state) {
+  HYP_CHECK_MSG(at >= now_, "scheduling a wakeup into the past");
+  HYP_CHECK_MSG(fiber->state_ == FiberState::kRunning || fiber->state_ == FiberState::kParked,
+                "fiber already has a pending wakeup");
+  auto event = std::make_unique<Event>();
+  event->at = at;
+  event->seq = next_seq_++;
+  event->fiber = fiber;
+  events_.push(std::move(event));
+  fiber->state_ = pending_state;
+}
+
+std::vector<std::string> Engine::run() {
+  HYP_CHECK_MSG(!running_, "Engine::run is not reentrant");
+  HYP_CHECK_MSG(t_current_engine == nullptr, "another engine is running on this thread");
+  running_ = true;
+  t_current_engine = this;
+
+  while (!events_.empty()) {
+    // priority_queue::top() is const; the unique_ptr must be moved out via a
+    // const_cast-free route: copy the raw pointer, pop, then use it.
+    auto event = std::move(const_cast<std::unique_ptr<Event>&>(events_.top()));
+    events_.pop();
+    HYP_CHECK(event->at >= now_);
+    now_ = event->at;
+    ++events_processed_;
+
+    if (event->fiber != nullptr) {
+      Fiber* fiber = event->fiber;
+      HYP_CHECK_MSG(fiber->state_ == FiberState::kReadyQueued ||
+                        fiber->state_ == FiberState::kSleeping,
+                    "wakeup for a fiber in an unexpected state");
+      switch_to(fiber);
+    } else {
+      event->callback();
+    }
+  }
+
+  running_ = false;
+  t_current_engine = nullptr;
+
+  std::vector<std::string> stuck;
+  for (const auto& fiber : fibers_) {
+    if (!fiber->done() && !fiber->daemon_) stuck.push_back(fiber->name());
+  }
+  if (!stuck.empty()) {
+    HYP_WARN("simulation quiesced with " << stuck.size() << " blocked non-daemon fiber(s)");
+  }
+  return stuck;
+}
+
+void Engine::switch_to(Fiber* fiber) {
+  fiber->state_ = FiberState::kRunning;
+  current_ = fiber;
+  ++switches_;
+  context_switch(&scheduler_context_, &fiber->context_);
+  current_ = nullptr;
+}
+
+void Engine::switch_out() {
+  Fiber* fiber = current_;
+  ++switches_;
+  context_switch(&fiber->context_, &scheduler_context_);
+}
+
+void Engine::require_fiber_context(const char* what) const {
+  HYP_CHECK_MSG(current_ != nullptr, std::string(what) + " called outside a fiber");
+}
+
+void Engine::sleep_until(Time t) {
+  require_fiber_context("sleep_until");
+  HYP_CHECK_MSG(t >= now_, "sleeping into the past");
+  schedule_wakeup(current_, t, FiberState::kSleeping);
+  switch_out();
+}
+
+void Engine::yield() {
+  require_fiber_context("yield");
+  schedule_wakeup(current_, now_, FiberState::kReadyQueued);
+  switch_out();
+}
+
+void Engine::park() {
+  require_fiber_context("park");
+  Fiber* fiber = current_;
+  if (fiber->permit_) {
+    fiber->permit_ = false;
+    return;
+  }
+  fiber->state_ = FiberState::kParked;
+  switch_out();
+}
+
+void Engine::unpark(Fiber* fiber) {
+  HYP_CHECK(fiber != nullptr);
+  switch (fiber->state_) {
+    case FiberState::kParked:
+      schedule_wakeup(fiber, now_, FiberState::kReadyQueued);
+      break;
+    case FiberState::kRunning:
+    case FiberState::kReadyQueued:
+    case FiberState::kSleeping:
+      fiber->permit_ = true;
+      break;
+    case FiberState::kDone:
+      break;  // waking the dead is a no-op
+  }
+}
+
+void Engine::join(Fiber* fiber) {
+  require_fiber_context("join");
+  HYP_CHECK_MSG(fiber != current_, "a fiber cannot join itself");
+  while (!fiber->done()) {
+    fiber->joiners_.push_back(current_);
+    park();
+  }
+}
+
+}  // namespace hyp::sim

@@ -1,0 +1,156 @@
+// The discrete-event simulation engine.
+//
+// This is the "hardware" substitute for the paper's clusters: a virtual clock
+// in picoseconds, a priority queue of timed events, and cooperative fibers
+// standing in for node-local threads (PM2's Marcel threads). Everything runs
+// on one OS thread, so a simulation is a deterministic function of its inputs
+// — two runs of a benchmark produce bit-identical timings and statistics.
+//
+// Determinism contract: events fire in (time, creation sequence) order; all
+// randomness flows through seeded hyp::Rng instances.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "common/function.hpp"
+#include "common/units.hpp"
+#include "sim/context.hpp"
+
+namespace hyp::sim {
+
+class Engine;
+
+enum class FiberState {
+  kReadyQueued,  // has a pending wakeup event in the queue
+  kRunning,
+  kParked,       // blocked until unpark()
+  kSleeping,     // blocked until a timer event
+  kDone,
+};
+
+// A cooperative thread of execution inside the simulation. Created via
+// Engine::spawn; never instantiated directly.
+class Fiber {
+ public:
+  const std::string& name() const { return name_; }
+  bool done() const { return state_ == FiberState::kDone; }
+  FiberState state() const { return state_; }
+
+  Fiber(const Fiber&) = delete;
+  Fiber& operator=(const Fiber&) = delete;
+  ~Fiber();
+
+ private:
+  friend class Engine;
+  Fiber(Engine* engine, std::string name, UniqueFunction<void()> body, std::size_t stack_bytes,
+        bool daemon);
+
+  static void entry(void* self);
+
+  Engine* engine_;
+  std::string name_;
+  UniqueFunction<void()> body_;
+  StackAllocation stack_;
+  Context context_{};
+  FiberState state_ = FiberState::kParked;
+  bool permit_ = false;  // a wakeup that arrived while not parked
+  bool daemon_ = false;  // daemons may be parked at quiescence without error
+  std::vector<Fiber*> joiners_;
+};
+
+class Engine {
+ public:
+  static constexpr std::size_t kDefaultStackBytes = 256 * 1024;
+
+  Engine();
+  ~Engine();
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  // Creates a fiber that becomes runnable at the current virtual time.
+  // Callable both from outside run() (initial population) and from inside
+  // fibers (dynamic thread creation).
+  Fiber* spawn(std::string name, UniqueFunction<void()> body,
+               std::size_t stack_bytes = kDefaultStackBytes);
+
+  // Daemon fibers (message dispatchers, servers) are allowed to still be
+  // blocked when the simulation quiesces.
+  Fiber* spawn_daemon(std::string name, UniqueFunction<void()> body,
+                      std::size_t stack_bytes = kDefaultStackBytes);
+
+  // Schedules `fn` to run on the scheduler stack at time `at`. The callback
+  // must not block; it typically deposits a message and unparks a fiber.
+  void post(Time at, UniqueFunction<void()> fn);
+
+  // Runs the simulation until no events remain. Returns the names of
+  // non-daemon fibers that are still blocked (deadlock / lost wakeups);
+  // an empty vector means clean quiescence.
+  std::vector<std::string> run();
+
+  Time now() const { return now_; }
+  std::uint64_t context_switches() const { return switches_; }
+  std::uint64_t events_processed() const { return events_processed_; }
+
+  // --- Fiber-side API (must be called from inside a running fiber) ---
+  void sleep_until(Time t);
+  void sleep_for(TimeDelta dt) { sleep_until(now_ + dt); }
+  // Re-queues the caller behind already-pending same-time events.
+  void yield();
+  // Blocks until unpark(). A permit delivered while runnable makes the next
+  // park() return immediately (exactly once).
+  void park();
+  void unpark(Fiber* fiber);
+  // Blocks until `fiber` completes. Joining a done fiber returns immediately.
+  void join(Fiber* fiber);
+
+  Fiber* current_fiber() const { return current_; }
+  bool in_fiber() const { return current_ != nullptr; }
+
+  // The engine currently executing run() on this OS thread, if any.
+  static Engine* current();
+
+ private:
+  friend class Fiber;
+
+  struct Event {
+    Time at;
+    std::uint64_t seq;
+    Fiber* fiber;                 // nullptr for callback events
+    UniqueFunction<void()> callback;
+  };
+  struct EventCompare {
+    bool operator()(const std::unique_ptr<Event>& a, const std::unique_ptr<Event>& b) const {
+      if (a->at != b->at) return a->at > b->at;
+      return a->seq > b->seq;
+    }
+  };
+
+  void schedule_wakeup(Fiber* fiber, Time at, FiberState pending_state);
+  void switch_to(Fiber* fiber);
+  void switch_out();  // fiber -> scheduler
+  void require_fiber_context(const char* what) const;
+
+  Time now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t switches_ = 0;
+  std::uint64_t events_processed_ = 0;
+  bool running_ = false;
+  Fiber* current_ = nullptr;
+  Context scheduler_context_{};
+  std::priority_queue<std::unique_ptr<Event>, std::vector<std::unique_ptr<Event>>, EventCompare>
+      events_;
+  std::vector<std::unique_ptr<Fiber>> fibers_;
+};
+
+// Convenience accessors for code running inside fibers.
+inline Time now() { return Engine::current()->now(); }
+inline void sleep_for(TimeDelta dt) { Engine::current()->sleep_for(dt); }
+inline void sleep_until(Time t) { Engine::current()->sleep_until(t); }
+inline void yield() { Engine::current()->yield(); }
+
+}  // namespace hyp::sim

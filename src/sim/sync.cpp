@@ -1,0 +1,104 @@
+#include "sim/sync.hpp"
+
+#include <algorithm>
+
+namespace hyp::sim {
+
+// ---------------------------------------------------------------------------
+// SimMutex
+
+void SimMutex::lock() {
+  Fiber* self = engine_->current_fiber();
+  HYP_CHECK_MSG(self != nullptr, "SimMutex::lock outside a fiber");
+  HYP_CHECK_MSG(owner_ != self, "recursive SimMutex lock");
+  if (owner_ == nullptr) {
+    owner_ = self;
+    return;
+  }
+  waiters_.push_back(self);
+  // Direct handoff: unlock() transfers ownership to the FIFO head, so we
+  // loop only to absorb stray permits.
+  while (owner_ != self) engine_->park();
+}
+
+bool SimMutex::try_lock() {
+  Fiber* self = engine_->current_fiber();
+  HYP_CHECK_MSG(self != nullptr, "SimMutex::try_lock outside a fiber");
+  if (owner_ != nullptr) return false;
+  owner_ = self;
+  return true;
+}
+
+void SimMutex::unlock() {
+  HYP_CHECK_MSG(owner_ == engine_->current_fiber(), "unlock by non-owner");
+  if (waiters_.empty()) {
+    owner_ = nullptr;
+    return;
+  }
+  owner_ = waiters_.front();
+  waiters_.pop_front();
+  engine_->unpark(owner_);
+}
+
+// ---------------------------------------------------------------------------
+// SimCondVar
+
+void SimCondVar::wait(SimMutex& m) {
+  Fiber* self = engine_->current_fiber();
+  HYP_CHECK_MSG(self != nullptr, "SimCondVar::wait outside a fiber");
+  Waiter node{self};
+  waiters_.push_back(&node);
+  m.unlock();
+  while (!node.signaled) engine_->park();
+  m.lock();
+}
+
+void SimCondVar::notify_one() {
+  if (waiters_.empty()) return;
+  Waiter* w = waiters_.front();
+  waiters_.pop_front();
+  w->signaled = true;
+  engine_->unpark(w->fiber);
+}
+
+void SimCondVar::notify_all() {
+  while (!waiters_.empty()) notify_one();
+}
+
+// ---------------------------------------------------------------------------
+// SimBarrier
+
+void SimBarrier::arrive_and_wait() {
+  Fiber* self = engine_->current_fiber();
+  HYP_CHECK_MSG(self != nullptr, "SimBarrier outside a fiber");
+  ++arrived_;
+  if (arrived_ == parties_) {
+    arrived_ = 0;
+    ++generation_;
+    for (Fiber* f : waiters_) engine_->unpark(f);
+    waiters_.clear();
+    return;
+  }
+  const std::uint64_t my_generation = generation_;
+  waiters_.push_back(self);
+  while (generation_ == my_generation) engine_->park();
+}
+
+// ---------------------------------------------------------------------------
+// FifoServer
+
+Time FifoServer::serve(TimeDelta duration) {
+  const Time start = reserve(duration);
+  engine_->sleep_until(start + duration);
+  return start;
+}
+
+Time FifoServer::reserve(TimeDelta duration) {
+  const Time start = std::max(engine_->now(), free_at_);
+  free_at_ = start + duration;
+  ++jobs_;
+  busy_ += duration;
+  return start;
+}
+
+}  // namespace hyp::sim

@@ -1,0 +1,116 @@
+// Fiber synchronization primitives in virtual time.
+//
+// These model the node-local synchronization PM2's Marcel thread library
+// provided. They are *not* OS primitives: blocking suspends the fiber and
+// advances the simulation. All queues are FIFO, which together with the
+// engine's deterministic event ordering makes lock handoff reproducible.
+#pragma once
+
+#include <deque>
+
+#include "common/assert.hpp"
+#include "common/units.hpp"
+#include "sim/engine.hpp"
+
+namespace hyp::sim {
+
+class SimMutex {
+ public:
+  explicit SimMutex(Engine* engine) : engine_(engine) {}
+  SimMutex(const SimMutex&) = delete;
+  SimMutex& operator=(const SimMutex&) = delete;
+
+  void lock();
+  void unlock();
+  bool try_lock();
+  bool held_by_current() const { return owner_ == engine_->current_fiber(); }
+
+ private:
+  Engine* engine_;
+  Fiber* owner_ = nullptr;
+  std::deque<Fiber*> waiters_;
+};
+
+// RAII guard matching std::lock_guard's shape.
+class SimLockGuard {
+ public:
+  explicit SimLockGuard(SimMutex& m) : m_(m) { m_.lock(); }
+  ~SimLockGuard() { m_.unlock(); }
+  SimLockGuard(const SimLockGuard&) = delete;
+  SimLockGuard& operator=(const SimLockGuard&) = delete;
+
+ private:
+  SimMutex& m_;
+};
+
+class SimCondVar {
+ public:
+  explicit SimCondVar(Engine* engine) : engine_(engine) {}
+  SimCondVar(const SimCondVar&) = delete;
+  SimCondVar& operator=(const SimCondVar&) = delete;
+
+  // Atomically releases `m` and blocks; reacquires `m` before returning.
+  void wait(SimMutex& m);
+  void notify_one();
+  void notify_all();
+
+ private:
+  struct Waiter {
+    Fiber* fiber;
+    bool signaled = false;
+  };
+  Engine* engine_;
+  std::deque<Waiter*> waiters_;  // nodes live on the waiting fibers' stacks
+};
+
+class SimBarrier {
+ public:
+  SimBarrier(Engine* engine, int parties) : engine_(engine), parties_(parties) {
+    HYP_CHECK(parties > 0);
+  }
+  SimBarrier(const SimBarrier&) = delete;
+  SimBarrier& operator=(const SimBarrier&) = delete;
+
+  // Blocks until `parties` fibers have arrived; reusable across generations.
+  void arrive_and_wait();
+
+ private:
+  Engine* engine_;
+  int parties_;
+  int arrived_ = 0;
+  std::uint64_t generation_ = 0;
+  std::deque<Fiber*> waiters_;
+};
+
+// A FIFO service resource with a given service discipline: callers occupy the
+// server for a duration and block until their service completes. Models a
+// node's DSM/RPC service capacity — a hot home node makes later requests
+// queue behind earlier ones (the congestion effect in the paper's Barnes
+// discussion). Because the simulation is single-threaded and cooperative,
+// first-come-first-served falls directly out of the completion-time algebra.
+class FifoServer {
+ public:
+  explicit FifoServer(Engine* engine) : engine_(engine) {}
+  FifoServer(const FifoServer&) = delete;
+  FifoServer& operator=(const FifoServer&) = delete;
+
+  // Blocks the calling fiber until its service of length `duration`
+  // completes; returns the virtual time at which service started.
+  Time serve(TimeDelta duration);
+
+  // Accounts for service occupancy without blocking the caller (used when
+  // the "work" happens inside a handler fiber that is itself being timed).
+  Time reserve(TimeDelta duration);
+
+  Time free_at() const { return free_at_; }
+  std::uint64_t jobs_served() const { return jobs_; }
+  TimeDelta busy_time() const { return busy_; }
+
+ private:
+  Engine* engine_;
+  Time free_at_ = 0;
+  std::uint64_t jobs_ = 0;
+  TimeDelta busy_ = 0;
+};
+
+}  // namespace hyp::sim

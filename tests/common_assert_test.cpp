@@ -1,0 +1,37 @@
+#include "common/assert.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hyp {
+namespace {
+
+TEST(Check, PassingCheckIsSilent) {
+  HYP_CHECK(1 + 1 == 2);
+  HYP_CHECK_MSG(true, "never printed");
+  SUCCEED();
+}
+
+TEST(CheckDeath, FailingCheckAborts) {
+  EXPECT_DEATH(HYP_CHECK(1 == 2), "check failed: 1 == 2");
+}
+
+TEST(CheckDeath, FailingCheckMsgIncludesContext) {
+  EXPECT_DEATH(HYP_CHECK_MSG(false, "page 7 missing"), "page 7 missing");
+}
+
+TEST(CheckDeath, PanicAborts) {
+  EXPECT_DEATH(HYP_PANIC("unrecoverable"), "unrecoverable");
+}
+
+TEST(Check, SideEffectsEvaluatedExactlyOnce) {
+  int calls = 0;
+  auto bump = [&]() {
+    ++calls;
+    return true;
+  };
+  HYP_CHECK(bump());
+  EXPECT_EQ(calls, 1);
+}
+
+}  // namespace
+}  // namespace hyp

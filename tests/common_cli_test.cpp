@@ -1,0 +1,99 @@
+#include "common/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace hyp {
+namespace {
+
+// Builds a mutable argv from string literals.
+class Argv {
+ public:
+  explicit Argv(std::vector<std::string> args) : storage_(std::move(args)) {
+    for (auto& s : storage_) ptrs_.push_back(s.data());
+  }
+  int argc() const { return static_cast<int>(ptrs_.size()); }
+  char** argv() { return ptrs_.data(); }
+
+ private:
+  std::vector<std::string> storage_;
+  std::vector<char*> ptrs_;
+};
+
+Cli make_cli() {
+  Cli cli("test program");
+  cli.flag_int("nodes", 4, "node count")
+      .flag_double("scale", 1.5, "scaling factor")
+      .flag_bool("full", false, "paper-scale run")
+      .flag_string("cluster", "myri200", "cluster preset");
+  return cli;
+}
+
+TEST(Cli, DefaultsApplyWithoutArgs) {
+  Cli cli = make_cli();
+  Argv a({"prog"});
+  ASSERT_TRUE(cli.parse(a.argc(), a.argv()));
+  EXPECT_EQ(cli.get_int("nodes"), 4);
+  EXPECT_DOUBLE_EQ(cli.get_double("scale"), 1.5);
+  EXPECT_FALSE(cli.get_bool("full"));
+  EXPECT_EQ(cli.get_string("cluster"), "myri200");
+}
+
+TEST(Cli, EqualsSyntax) {
+  Cli cli = make_cli();
+  Argv a({"prog", "--nodes=12", "--scale=0.25", "--cluster=sci450"});
+  ASSERT_TRUE(cli.parse(a.argc(), a.argv()));
+  EXPECT_EQ(cli.get_int("nodes"), 12);
+  EXPECT_DOUBLE_EQ(cli.get_double("scale"), 0.25);
+  EXPECT_EQ(cli.get_string("cluster"), "sci450");
+}
+
+TEST(Cli, SpaceSeparatedValue) {
+  Cli cli = make_cli();
+  Argv a({"prog", "--nodes", "8"});
+  ASSERT_TRUE(cli.parse(a.argc(), a.argv()));
+  EXPECT_EQ(cli.get_int("nodes"), 8);
+}
+
+TEST(Cli, BoolForms) {
+  {
+    Cli cli = make_cli();
+    Argv a({"prog", "--full"});
+    ASSERT_TRUE(cli.parse(a.argc(), a.argv()));
+    EXPECT_TRUE(cli.get_bool("full"));
+  }
+  {
+    Cli cli = make_cli();
+    Argv a({"prog", "--full=true", "--no-full"});
+    ASSERT_TRUE(cli.parse(a.argc(), a.argv()));
+    EXPECT_FALSE(cli.get_bool("full"));
+  }
+}
+
+TEST(Cli, HelpReturnsFalse) {
+  Cli cli = make_cli();
+  Argv a({"prog", "--help"});
+  EXPECT_FALSE(cli.parse(a.argc(), a.argv()));
+}
+
+TEST(CliDeath, UnknownFlagExits) {
+  Cli cli = make_cli();
+  Argv a({"prog", "--bogus=1"});
+  EXPECT_EXIT(cli.parse(a.argc(), a.argv()), testing::ExitedWithCode(2), "unknown flag");
+}
+
+TEST(CliDeath, BadIntegerExits) {
+  Cli cli = make_cli();
+  Argv a({"prog", "--nodes=twelve"});
+  EXPECT_EXIT(cli.parse(a.argc(), a.argv()), testing::ExitedWithCode(2), "bad integer");
+}
+
+TEST(CliDeath, MissingValueExits) {
+  Cli cli = make_cli();
+  Argv a({"prog", "--nodes"});
+  EXPECT_EXIT(cli.parse(a.argc(), a.argv()), testing::ExitedWithCode(2), "needs a value");
+}
+
+}  // namespace
+}  // namespace hyp

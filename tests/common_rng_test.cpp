@@ -1,0 +1,78 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace hyp {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(1234), b(1234);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a.next() == b.next());
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, BelowStaysInBounds) {
+  Rng rng(77);
+  for (std::uint64_t bound : {1ull, 2ull, 7ull, 1000ull, (1ull << 40)}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.below(bound), bound);
+  }
+}
+
+TEST(Rng, BelowOneIsAlwaysZero) {
+  Rng rng(3);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(9);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    auto v = rng.range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all values hit over 2000 draws
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(5);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, BelowIsRoughlyUniform) {
+  Rng rng(11);
+  std::vector<int> histogram(10, 0);
+  const int draws = 100000;
+  for (int i = 0; i < draws; ++i) ++histogram[rng.below(10)];
+  for (int count : histogram) {
+    EXPECT_NEAR(count, draws / 10, draws / 100);
+  }
+}
+
+TEST(Rng, ReseedRestartsSequence) {
+  Rng rng(42);
+  std::uint64_t first = rng.next();
+  rng.next();
+  rng.reseed(42);
+  EXPECT_EQ(rng.next(), first);
+}
+
+}  // namespace
+}  // namespace hyp

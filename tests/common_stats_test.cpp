@@ -1,0 +1,74 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hyp {
+namespace {
+
+TEST(Stats, FixedCountersAccumulate) {
+  Stats s;
+  s.add(Counter::kPageFaults);
+  s.add(Counter::kPageFaults, 4);
+  EXPECT_EQ(s.get(Counter::kPageFaults), 5u);
+  EXPECT_EQ(s.get(Counter::kInlineChecks), 0u);
+}
+
+TEST(Stats, NamedCountersAccumulate) {
+  Stats s;
+  s.add_named("custom", 2);
+  s.add_named("custom");
+  EXPECT_EQ(s.get_named("custom"), 3u);
+  EXPECT_EQ(s.get_named("absent"), 0u);
+}
+
+TEST(Stats, MergeAddsBothKinds) {
+  Stats a, b;
+  a.add(Counter::kMessages, 10);
+  a.add_named("x", 1);
+  b.add(Counter::kMessages, 5);
+  b.add(Counter::kMonitorEnters, 2);
+  b.add_named("x", 3);
+  b.add_named("y", 7);
+  a.merge(b);
+  EXPECT_EQ(a.get(Counter::kMessages), 15u);
+  EXPECT_EQ(a.get(Counter::kMonitorEnters), 2u);
+  EXPECT_EQ(a.get_named("x"), 4u);
+  EXPECT_EQ(a.get_named("y"), 7u);
+}
+
+TEST(Stats, ResetClearsEverything) {
+  Stats s;
+  s.add(Counter::kInlineChecks, 3);
+  s.add_named("z", 1);
+  s.reset();
+  EXPECT_EQ(s.get(Counter::kInlineChecks), 0u);
+  EXPECT_EQ(s.get_named("z"), 0u);
+  EXPECT_TRUE(s.nonzero().empty());
+}
+
+TEST(Stats, NonzeroSkipsZeroes) {
+  Stats s;
+  s.add(Counter::kPageFetches, 1);
+  auto m = s.nonzero();
+  EXPECT_EQ(m.size(), 1u);
+  EXPECT_EQ(m.at("page_fetches"), 1u);
+}
+
+TEST(Stats, CounterNamesAreUniqueAndNonEmpty) {
+  std::set<std::string> names;
+  for (int i = 0; i < static_cast<int>(Counter::kCount_); ++i) {
+    std::string n = counter_name(static_cast<Counter>(i));
+    EXPECT_FALSE(n.empty());
+    EXPECT_NE(n, "?");
+    EXPECT_TRUE(names.insert(n).second) << "duplicate counter name " << n;
+  }
+}
+
+TEST(Stats, ToStringListsNonzero) {
+  Stats s;
+  s.add(Counter::kMonitorExits, 9);
+  EXPECT_NE(s.to_string().find("monitor_exits=9"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hyp

@@ -1,0 +1,56 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace hyp {
+namespace {
+
+TEST(Table, CsvOutput) {
+  Table t({"a", "b"});
+  t.add_row({"1", "x,y"});
+  t.add_row({"2", "plain"});
+  std::ostringstream oss;
+  t.write_csv(oss);
+  EXPECT_EQ(oss.str(), "a,b\n1,\"x,y\"\n2,plain\n");
+}
+
+TEST(Table, CsvEscapesQuotes) {
+  Table t({"v"});
+  t.add_row({"say \"hi\""});
+  std::ostringstream oss;
+  t.write_csv(oss);
+  EXPECT_EQ(oss.str(), "v\n\"say \"\"hi\"\"\"\n");
+}
+
+TEST(Table, PrettyAlignsColumns) {
+  Table t({"name", "t"});
+  t.add_row({"jacobi", "1.25"});
+  std::ostringstream oss;
+  t.write_pretty(oss);
+  const std::string out = oss.str();
+  EXPECT_NE(out.find("name    t"), std::string::npos);
+  EXPECT_NE(out.find("jacobi  1.25"), std::string::npos);
+  EXPECT_NE(out.find("------"), std::string::npos);
+}
+
+TEST(TableDeath, RowWidthMismatchAborts) {
+  Table t({"a", "b"});
+  EXPECT_DEATH(t.add_row({"only-one"}), "row width");
+}
+
+TEST(Format, Double) {
+  EXPECT_EQ(fmt_double(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_double(2.0, 0), "2");
+}
+
+TEST(Format, U64) { EXPECT_EQ(fmt_u64(18446744073709551615ull), "18446744073709551615"); }
+
+TEST(Format, Percent) {
+  EXPECT_EQ(fmt_percent(0.38), "38.0%");
+  EXPECT_EQ(fmt_percent(0.6421, 2), "64.21%");
+}
+
+}  // namespace
+}  // namespace hyp

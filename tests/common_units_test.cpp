@@ -1,0 +1,40 @@
+#include "common/units.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hyp {
+namespace {
+
+TEST(Units, ConversionConstants) {
+  EXPECT_EQ(kNanosecond, 1000u);
+  EXPECT_EQ(kMicrosecond, 1000000u);
+  EXPECT_EQ(kSecond, 1000000000000u);
+}
+
+TEST(Units, HelpersRoundTrip) {
+  EXPECT_EQ(microseconds(22), 22 * kMicrosecond);
+  EXPECT_DOUBLE_EQ(to_micros(microseconds(12)), 12.0);
+  EXPECT_DOUBLE_EQ(to_seconds(seconds(2.5)), 2.5);
+}
+
+TEST(Units, CyclesAt200MHz) {
+  // One cycle at 200 MHz is exactly 5 ns = 5000 ps.
+  EXPECT_EQ(cycles_at_hz(1, 200e6), 5000u);
+  EXPECT_EQ(cycles_at_hz(10, 200e6), 50000u);
+}
+
+TEST(Units, CyclesAt450MHz) {
+  // 1 / 450 MHz = 2222.2 ps; truncated once at conversion.
+  EXPECT_EQ(cycles_at_hz(1, 450e6), 2222u);
+  EXPECT_EQ(cycles_at_hz(9, 450e6), 20000u);
+}
+
+TEST(Units, ZeroCyclesIsFree) { EXPECT_EQ(cycles_at_hz(0, 200e6), 0u); }
+
+TEST(Units, NonzeroCyclesNeverVanish) {
+  // Even at absurd clock rates a nonzero cycle count costs >= 1 ps.
+  EXPECT_GE(cycles_at_hz(1, 1e13), 1u);
+}
+
+}  // namespace
+}  // namespace hyp

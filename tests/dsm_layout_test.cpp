@@ -1,0 +1,66 @@
+#include "dsm/address.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hyp::dsm {
+namespace {
+
+TEST(Layout, PageGeometry) {
+  Layout l(1 << 20, 4096, 4);
+  EXPECT_EQ(l.total_pages(), 256u);
+  EXPECT_EQ(l.page_of(0), 0u);
+  EXPECT_EQ(l.page_of(4095), 0u);
+  EXPECT_EQ(l.page_of(4096), 1u);
+  EXPECT_EQ(l.offset_in_page(4097), 1u);
+  EXPECT_EQ(l.page_base(3), 3u * 4096u);
+}
+
+TEST(Layout, ZonesPartitionTheRegion) {
+  Layout l(1 << 20, 4096, 4);
+  // 256 pages over 4 nodes -> 64 pages per zone.
+  EXPECT_EQ(l.zone_begin(0), 0u);
+  EXPECT_EQ(l.zone_end(0), 64u * 4096u);
+  EXPECT_EQ(l.zone_begin(3), 192u * 4096u);
+  EXPECT_EQ(l.zone_end(3), 1u << 20);
+}
+
+TEST(Layout, HomeFollowsZoneOwnership) {
+  Layout l(1 << 20, 4096, 4);
+  EXPECT_EQ(l.home_of_page(0), 0);
+  EXPECT_EQ(l.home_of_page(63), 0);
+  EXPECT_EQ(l.home_of_page(64), 1);
+  EXPECT_EQ(l.home_of_page(255), 3);
+  EXPECT_EQ(l.home_of(64u * 4096u), 1);
+}
+
+TEST(Layout, RemainderPagesBelongToLastNode) {
+  // 100 pages over 3 nodes: 33 per zone, pages 99.. belong to node 2.
+  Layout l(100 * 4096, 4096, 3);
+  EXPECT_EQ(l.home_of_page(32), 0);
+  EXPECT_EQ(l.home_of_page(33), 1);
+  EXPECT_EQ(l.home_of_page(98), 2);
+  EXPECT_EQ(l.home_of_page(99), 2);  // remainder tail
+  EXPECT_EQ(l.zone_end(2), 100u * 4096u);
+}
+
+TEST(Layout, SingleNodeOwnsEverything) {
+  Layout l(1 << 20, 4096, 1);
+  EXPECT_EQ(l.home_of_page(0), 0);
+  EXPECT_EQ(l.home_of_page(255), 0);
+  EXPECT_EQ(l.zone_end(0), 1u << 20);
+}
+
+TEST(LayoutDeath, RejectsNonPowerOfTwoPages) {
+  EXPECT_DEATH(Layout(1 << 20, 3000, 2), "power of two");
+}
+
+TEST(LayoutDeath, RejectsPartialPages) {
+  EXPECT_DEATH(Layout((1 << 20) + 1, 4096, 2), "whole pages");
+}
+
+TEST(LayoutDeath, RejectsTooManyNodes) {
+  EXPECT_DEATH(Layout(4096, 4096, 2), "too small");
+}
+
+}  // namespace
+}  // namespace hyp::dsm
