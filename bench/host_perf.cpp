@@ -1,0 +1,223 @@
+// Host-side throughput harness: how fast does the SIMULATOR itself run?
+//
+// Every paper figure is a sweep of full-cluster simulations, so `--full`
+// paper-size runs live or die on host wall-clock throughput — a quantity no
+// other bench binary measures (they all report *virtual* time). This harness
+// times the four host hot loops the PERFORMANCE.md overhaul targets:
+//
+//   events/sec    — engine event queue churn (fiber sleep/wakeup storm)
+//   accesses/sec  — get() fast path under both policies (hit path only)
+//   diff pages/s  — java_pf twin diff + run emission + update shipping
+//   e2e seconds   — wall time of a combined Jacobi + ASP simulation load
+//
+// Results append as one JSON object per line to BENCH_host_perf.json (see
+// scripts/bench_host.sh), so the perf trajectory is tracked PR over PR.
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "apps/asp.hpp"
+#include "apps/jacobi.hpp"
+#include "common/cli.hpp"
+#include "dsm/access.hpp"
+#include "dsm/dsm.hpp"
+#include "sim/engine.hpp"
+
+namespace hyp::bench {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+// --- events/sec: N fibers, each sleeping `rounds` times -----------------------
+
+double bench_events_per_sec(int fibers, int rounds) {
+  sim::Engine eng;
+  for (int f = 0; f < fibers; ++f) {
+    eng.spawn("storm" + std::to_string(f), [&eng, rounds] {
+      for (int i = 0; i < rounds; ++i) eng.sleep_for(1000);  // 1 ns hops
+    });
+  }
+  const auto t0 = Clock::now();
+  eng.run();
+  const double dt = seconds_since(t0);
+  return static_cast<double>(eng.events_processed()) / dt;
+}
+
+// --- accesses/sec: policy fast path on present pages -------------------------
+
+template <typename P>
+double bench_accesses_per_sec(dsm::ProtocolKind kind, std::uint64_t accesses) {
+  auto params = cluster::ClusterParams::myrinet200();
+  cluster::Cluster c(params, 2);
+  dsm::DsmSystem dsm(&c, std::size_t{1} << 20, kind);
+  double rate = 0;
+  c.spawn_thread(1, "reader", [&] {
+    auto t = dsm.make_thread(1);
+    // Touch a remote page once so the loop below runs entirely on hits, and
+    // one home page so both presence classes are exercised.
+    const dsm::Gva remote = dsm.alloc(0, 4096, 8);
+    const dsm::Gva home = dsm.alloc(1, 4096, 8);
+    dsm.load_into_cache(*t, remote);
+    std::uint64_t sink = 0;
+    const auto t0 = Clock::now();
+    for (std::uint64_t i = 0; i < accesses; i += 4) {
+      sink += P::template get<std::uint32_t>(*t, remote + (i % 512) * 8);
+      sink += P::template get<std::uint32_t>(*t, home + (i % 512) * 8);
+      P::template put<std::uint32_t>(*t, home + (i % 512) * 8,
+                                     static_cast<std::uint32_t>(i));
+      sink += P::template get<std::uint32_t>(*t, remote + ((i + 1) % 512) * 8);
+    }
+    const double dt = seconds_since(t0);
+    rate = static_cast<double>(accesses) / dt;
+    if (sink == 0xdeadbeef) std::cerr << "";  // keep the loop alive
+    t->clock.flush();
+  });
+  c.run();
+  return rate;
+}
+
+// --- diff pages/sec: twin comparison + run emission + shipping ---------------
+
+double bench_diff_pages_per_sec(int pages, int iters) {
+  auto params = cluster::ClusterParams::myrinet200();
+  cluster::Cluster c(params, 2);
+  dsm::DsmSystem dsm(&c, std::size_t{4} << 20, dsm::ProtocolKind::kJavaPf);
+  double rate = 0;
+  c.spawn_thread(1, "flusher", [&] {
+    auto t = dsm.make_thread(1);
+    const std::size_t page_bytes = dsm.layout().page_bytes();
+    // Cache `pages` remote pages (with twins).
+    const dsm::Gva base = dsm.alloc(0, static_cast<std::size_t>(pages) * page_bytes, 8);
+    for (int p = 0; p < pages; ++p) {
+      dsm.load_into_cache(*t, base + static_cast<std::size_t>(p) * page_bytes);
+    }
+    const auto t0 = Clock::now();
+    for (int it = 0; it < iters; ++it) {
+      // Dirty a sparse, alternating word pattern directly in the arena (the
+      // twin machinery sees it at flush time, like any java_pf store).
+      for (int p = 0; p < pages; ++p) {
+        std::byte* pg = t->base + base + static_cast<std::size_t>(p) * page_bytes;
+        for (std::size_t w = 0; w < page_bytes / 8; w += 16) {
+          std::uint64_t v = static_cast<std::uint64_t>(it + 1) * 1000003u + w;
+          std::memcpy(pg + w * 8, &v, 8);
+        }
+      }
+      dsm.update_main_memory(*t);
+    }
+    const double dt = seconds_since(t0);
+    rate = static_cast<double>(pages) * iters / dt;
+  });
+  c.run();
+  return rate;
+}
+
+// --- end-to-end: Jacobi + ASP, both protocols --------------------------------
+
+struct E2e {
+  double jacobi_ic_s = 0, jacobi_pf_s = 0, asp_ic_s = 0, asp_pf_s = 0;
+  double total() const { return jacobi_ic_s + jacobi_pf_s + asp_ic_s + asp_pf_s; }
+};
+
+E2e bench_e2e(int jacobi_n, int jacobi_steps, int asp_n) {
+  E2e r;
+  apps::JacobiParams jp;
+  jp.n = jacobi_n;
+  jp.steps = jacobi_steps;
+  apps::AspParams ap;
+  ap.n = asp_n;
+  const auto time_run = [&](auto&& fn) {
+    const auto t0 = Clock::now();
+    fn();
+    return seconds_since(t0);
+  };
+  const auto cfg = [&](dsm::ProtocolKind k) {
+    return apps::make_config("myri200", k, 4, std::size_t{64} << 20);
+  };
+  r.jacobi_ic_s = time_run([&] { apps::jacobi_parallel(cfg(dsm::ProtocolKind::kJavaIc), jp); });
+  r.jacobi_pf_s = time_run([&] { apps::jacobi_parallel(cfg(dsm::ProtocolKind::kJavaPf), jp); });
+  r.asp_ic_s = time_run([&] { apps::asp_parallel(cfg(dsm::ProtocolKind::kJavaIc), ap); });
+  r.asp_pf_s = time_run([&] { apps::asp_parallel(cfg(dsm::ProtocolKind::kJavaPf), ap); });
+  return r;
+}
+
+int run(int argc, char** argv) {
+  Cli cli("host_perf: wall-clock throughput of the simulator's host hot paths");
+  cli.flag_string("label", "dev", "tag recorded with the JSON entry (e.g. before/after)")
+      .flag_string("out", "", "append one JSON line to this file (empty = stdout only)")
+      .flag_bool("quick", false, "small sizes for smoke runs")
+      .flag_int("repeat", 1, "repeat each microbench, keep the best");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const bool quick = cli.get_bool("quick");
+  const int repeat = static_cast<int>(cli.get_int("repeat"));
+  const int fibers = quick ? 64 : 256;
+  const int rounds = quick ? 500 : 4000;
+  const std::uint64_t accesses = quick ? 400'000 : 8'000'000;
+  const int diff_pages = quick ? 32 : 128;
+  const int diff_iters = quick ? 20 : 120;
+  const int jn = quick ? 96 : 256;
+  const int jsteps = quick ? 8 : 40;
+  const int an = quick ? 96 : 256;
+
+  double events_s = 0, ic_s = 0, pf_s = 0, diff_s = 0;
+  for (int i = 0; i < repeat; ++i) {
+    events_s = std::max(events_s, bench_events_per_sec(fibers, rounds));
+    ic_s = std::max(ic_s, bench_accesses_per_sec<dsm::IcPolicy>(dsm::ProtocolKind::kJavaIc,
+                                                                accesses));
+    pf_s = std::max(pf_s, bench_accesses_per_sec<dsm::PfPolicy>(dsm::ProtocolKind::kJavaPf,
+                                                                accesses));
+    diff_s = std::max(diff_s, bench_diff_pages_per_sec(diff_pages, diff_iters));
+  }
+  const E2e e2e = bench_e2e(jn, jsteps, an);
+
+  std::ostringstream js;
+  js.setf(std::ios::fixed);
+  js.precision(1);
+  js << "{\"label\":\"" << cli.get_string("label") << "\""
+     << ",\"quick\":" << (quick ? "true" : "false")
+     << ",\"events_per_sec\":" << events_s
+     << ",\"ic_accesses_per_sec\":" << ic_s
+     << ",\"pf_accesses_per_sec\":" << pf_s
+     << ",\"diff_pages_per_sec\":" << diff_s;
+  js.precision(3);
+  js << ",\"jacobi_ic_wall_s\":" << e2e.jacobi_ic_s
+     << ",\"jacobi_pf_wall_s\":" << e2e.jacobi_pf_s
+     << ",\"asp_ic_wall_s\":" << e2e.asp_ic_s
+     << ",\"asp_pf_wall_s\":" << e2e.asp_pf_s
+     << ",\"e2e_wall_s\":" << e2e.total() << "}";
+
+  std::cout << "host_perf [" << cli.get_string("label") << "]\n"
+            << "  events/sec        : " << static_cast<std::uint64_t>(events_s) << "\n"
+            << "  ic accesses/sec   : " << static_cast<std::uint64_t>(ic_s) << "\n"
+            << "  pf accesses/sec   : " << static_cast<std::uint64_t>(pf_s) << "\n"
+            << "  diff pages/sec    : " << static_cast<std::uint64_t>(diff_s) << "\n"
+            << "  jacobi ic/pf wall : " << e2e.jacobi_ic_s << " / " << e2e.jacobi_pf_s << " s\n"
+            << "  asp    ic/pf wall : " << e2e.asp_ic_s << " / " << e2e.asp_pf_s << " s\n"
+            << "  e2e wall          : " << e2e.total() << " s\n"
+            << js.str() << "\n";
+
+  const std::string out = cli.get_string("out");
+  if (!out.empty()) {
+    std::ofstream f(out, std::ios::app);
+    if (!f.good()) {
+      std::cerr << "host_perf: cannot open " << out << "\n";
+      return 1;
+    }
+    f << js.str() << "\n";
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace hyp::bench
+
+int main(int argc, char** argv) { return hyp::bench::run(argc, argv); }

@@ -26,13 +26,24 @@ using hyperion::Mem;
 using hyperion::VmConfig;
 
 // What every benchmark run reports: the program's numeric result (for
-// validation), the virtual execution time (the y-axis of Figures 1-5) and
-// the aggregated event counters.
+// validation), the virtual execution time (the y-axis of Figures 1-5), the
+// aggregated event counters, and the engine's internal tallies (event count
+// and context switches) — the latter pin down the *schedule* itself, which
+// the determinism golden test asserts bit-for-bit across host-side
+// optimisations (see docs/PERFORMANCE.md).
 struct RunResult {
   double value = 0;
   Time elapsed = 0;
   Stats stats;
+  std::uint64_t events_processed = 0;
+  std::uint64_t context_switches = 0;
 };
+
+// Fills the engine tallies of `out` from a finished VM.
+inline void capture_engine_tallies(RunResult& out, hyperion::HyperionVM& vm) {
+  out.events_processed = vm.cluster().engine().events_processed();
+  out.context_switches = vm.cluster().engine().context_switches();
+}
 
 // Builds the VmConfig for one experiment point.
 inline VmConfig make_config(const std::string& cluster_name, dsm::ProtocolKind protocol,

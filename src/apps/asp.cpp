@@ -105,6 +105,7 @@ RunResult asp_parallel(const VmConfig& cfg, const AspParams& params) {
   });
   out.elapsed = vm.elapsed();
   out.stats = vm.stats();
+  capture_engine_tallies(out, vm);
   return out;
 }
 

@@ -624,6 +624,7 @@ RunResult barnes_parallel(const VmConfig& cfg, const BarnesParams& params) {
   });
   out.elapsed = vm.elapsed();
   out.stats = vm.stats();
+  capture_engine_tallies(out, vm);
   return out;
 }
 

@@ -112,6 +112,7 @@ RunResult jacobi_parallel(const VmConfig& cfg, const JacobiParams& params) {
   });
   out.elapsed = vm.elapsed();
   out.stats = vm.stats();
+  capture_engine_tallies(out, vm);
   return out;
 }
 

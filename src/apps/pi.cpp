@@ -54,6 +54,7 @@ RunResult pi_parallel(const VmConfig& cfg, const PiParams& params) {
   });
   out.elapsed = vm.elapsed();
   out.stats = vm.stats();
+  capture_engine_tallies(out, vm);
   return out;
 }
 

@@ -206,6 +206,7 @@ RunResult tsp_parallel(const VmConfig& cfg, const TspParams& params) {
   });
   out.elapsed = vm.elapsed();
   out.stats = vm.stats();
+  capture_engine_tallies(out, vm);
   return out;
 }
 
