@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Builds Release and appends a host-throughput sample to BENCH_host_perf.json.
+#
+# Usage: scripts/bench_host.sh [label] [extra host_perf flags...]
+#   scripts/bench_host.sh after            # full sizes, labeled "after"
+#   scripts/bench_host.sh smoke --quick    # fast smoke sample
+#
+# Each run appends ONE JSON line to BENCH_host_perf.json at the repo root, so
+# the file is the PR-over-PR perf trajectory (see docs/PERFORMANCE.md).
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+label="${1:-dev}"
+shift || true
+
+build_dir="$repo_root/build-bench"
+cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release \
+  -DHYP_BUILD_TESTS=OFF -DHYP_BUILD_EXAMPLES=OFF
+cmake --build "$build_dir" -j "$(nproc)" --target host_perf
+
+"$build_dir/bench/host_perf" \
+  --label="$label" \
+  --out="$repo_root/BENCH_host_perf.json" \
+  "$@"
+
+echo "appended to $repo_root/BENCH_host_perf.json:"
+tail -n 1 "$repo_root/BENCH_host_perf.json"

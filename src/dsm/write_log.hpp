@@ -36,13 +36,17 @@ class WriteLog {
   const std::vector<WriteLogEntry>& entries() const { return entries_; }
 
   // Wire format for one update message: u32 count, then per entry
-  // (u64 addr, u8 size, u64 value).
+  // (u64 addr, u8 size, `size` payload bytes). Shipping exactly `size`
+  // bytes keeps kUpdateBytes and the bandwidth charge honest for 1/2/4-byte
+  // fields — a fixed u64 payload would inflate both by up to 7 bytes per
+  // entry.
   static void encode(Buffer* out, const std::vector<WriteLogEntry>& entries) {
     out->put<std::uint32_t>(static_cast<std::uint32_t>(entries.size()));
     for (const auto& e : entries) {
+      HYP_DCHECK(e.size == 1 || e.size == 2 || e.size == 4 || e.size == 8);
       out->put<std::uint64_t>(e.addr);
       out->put<std::uint8_t>(e.size);
-      out->put<std::uint64_t>(e.value);
+      out->put_bytes(&e.value, e.size);  // low `size` bytes (host-endian wire)
     }
   }
 
@@ -54,7 +58,10 @@ class WriteLog {
       WriteLogEntry e;
       e.addr = in.get<std::uint64_t>();
       e.size = in.get<std::uint8_t>();
-      e.value = in.get<std::uint64_t>();
+      HYP_CHECK_MSG(e.size == 1 || e.size == 2 || e.size == 4 || e.size == 8,
+                    "corrupt write-log entry size");
+      e.value = 0;
+      in.get_bytes(&e.value, e.size);
       entries.push_back(e);
     }
     return entries;
