@@ -14,8 +14,11 @@ Node::Node(Cluster* cluster, NodeId id)
     : cluster_(cluster), id_(id), service_(&cluster->engine()), app_cpu_(&cluster->engine()) {}
 
 void Node::register_service(ServiceId service, Handler handler) {
-  HYP_CHECK_MSG(handlers_.emplace(service, std::move(handler)).second,
-                "service already registered on this node");
+  HYP_CHECK_MSG(service >= 0, "service ids must be non-negative");
+  const auto idx = static_cast<std::size_t>(service);
+  if (idx >= handlers_.size()) handlers_.resize(idx + 1);
+  HYP_CHECK_MSG(!handlers_[idx], "service already registered on this node");
+  handlers_[idx] = std::move(handler);
 }
 
 Time Node::extend_service(TimeDelta duration) {
@@ -54,11 +57,20 @@ Buffer Cluster::call(NodeId from, NodeId to, ServiceId service, Buffer payload) 
   HYP_CHECK_MSG(eng->in_fiber(), "Cluster::call must run on a fiber");
   PendingReply slot;
   slot.waiter = eng->current_fiber();
-  const std::uint64_t token = next_token_++;
-  pending_replies_[token] = &slot;
-  deliver(0, from, to, service, std::move(payload), token);
+  // Recycle a reply slot index; the token is index+1 so 0 stays "one-way".
+  std::uint32_t idx;
+  if (!reply_free_.empty()) {
+    idx = reply_free_.back();
+    reply_free_.pop_back();
+    reply_slots_[idx] = &slot;
+  } else {
+    idx = static_cast<std::uint32_t>(reply_slots_.size());
+    reply_slots_.push_back(&slot);
+  }
+  deliver(0, from, to, service, std::move(payload), idx + 1);
   while (!slot.done) eng->park();
-  pending_replies_.erase(token);
+  reply_slots_[idx] = nullptr;
+  reply_free_.push_back(idx);
   return std::move(slot.payload);
 }
 
@@ -95,12 +107,12 @@ void Cluster::deliver(TimeDelta depart_delay, NodeId from, NodeId to, ServiceId 
     const Time exec_at = begin + params_.net.recv_overhead;
     engine_.post(exec_at, [this, &dst, from, to, service, reply_token,
                            payload2 = std::move(moved)]() mutable {
-      auto it = dst.handlers_.find(service);
-      HYP_CHECK_MSG(it != dst.handlers_.end(),
+      const auto idx = static_cast<std::size_t>(service);
+      HYP_CHECK_MSG(idx < dst.handlers_.size() && dst.handlers_[idx],
                     "no handler for service " + std::to_string(service) + " on node " +
                         std::to_string(to));
       Incoming incoming{from, to, BufferReader(payload2), reply_token};
-      it->second(incoming);
+      dst.handlers_[idx](incoming);
     });
   });
 }
@@ -119,9 +131,10 @@ void Cluster::deliver_reply(TimeDelta depart_delay, NodeId from, NodeId to, std:
                       params_.net.recv_overhead + params_.net.jitter_for(msg_seq);
 
   engine_.post(wakeup, [this, token, moved = std::move(payload)]() mutable {
-    auto it = pending_replies_.find(token);
-    HYP_CHECK_MSG(it != pending_replies_.end(), "reply for unknown or completed call");
-    PendingReply* slot = it->second;
+    HYP_CHECK_MSG(token >= 1 && token <= reply_slots_.size(),
+                  "reply for unknown or completed call");
+    PendingReply* slot = reply_slots_[token - 1];
+    HYP_CHECK_MSG(slot != nullptr, "reply for unknown or completed call");
     slot->payload = std::move(moved);
     slot->done = true;
     engine_.unpark(slot->waiter);

@@ -19,10 +19,68 @@
 
 namespace hyp {
 
+namespace detail {
+
+// Recycles byte-vector backings between Buffer lifetimes so the steady-state
+// RPC path (request out, page/ack back, millions of times per run) stops
+// hitting the allocator once capacities warm up (docs/PERFORMANCE.md).
+// thread_local because the native backend runs real std::threads; capacity
+// handed back on a different thread simply lands in that thread's pool.
+// Pooling changes capacity provenance only — never a buffer's size or
+// contents — so simulated message sizes and timings are untouched.
+class ByteVecPool {
+ public:
+  std::vector<std::byte> acquire() {
+    if (!free_.empty()) {
+      std::vector<std::byte> v = std::move(free_.back());
+      free_.pop_back();
+      v.clear();
+      return v;
+    }
+    return {};
+  }
+
+  void release(std::vector<std::byte>&& v) {
+    if (v.capacity() == 0) return;  // nothing worth keeping
+    if (free_.size() < kMaxPooled) free_.push_back(std::move(v));
+  }
+
+  std::size_t pooled() const { return free_.size(); }
+
+  static ByteVecPool& local() {
+    thread_local ByteVecPool pool;
+    return pool;
+  }
+
+ private:
+  // Enough for the deepest in-flight fan-out we see (per-home updates on a
+  // 12-node cluster plus nested replies); beyond this, just free.
+  static constexpr std::size_t kMaxPooled = 64;
+  std::vector<std::vector<std::byte>> free_;
+};
+
+}  // namespace detail
+
 class Buffer {
  public:
   Buffer() = default;
-  explicit Buffer(std::size_t reserve_bytes) { bytes_.reserve(reserve_bytes); }
+  explicit Buffer(std::size_t reserve_bytes) {
+    bytes_ = detail::ByteVecPool::local().acquire();
+    bytes_.reserve(reserve_bytes);
+  }
+
+  Buffer(Buffer&& other) noexcept = default;
+  Buffer& operator=(Buffer&& other) noexcept {
+    if (this != &other) {
+      detail::ByteVecPool::local().release(std::move(bytes_));
+      bytes_ = std::move(other.bytes_);
+    }
+    return *this;
+  }
+  Buffer(const Buffer&) = delete;
+  Buffer& operator=(const Buffer&) = delete;
+
+  ~Buffer() { detail::ByteVecPool::local().release(std::move(bytes_)); }
 
   std::size_t size() const { return bytes_.size(); }
   bool empty() const { return bytes_.empty(); }
@@ -33,14 +91,12 @@ class Buffer {
   template <typename T>
   void put(const T& value) {
     static_assert(std::is_trivially_copyable_v<T>);
-    const std::size_t at = bytes_.size();
-    bytes_.resize(at + sizeof(T));
+    const std::size_t at = grow(sizeof(T));
     std::memcpy(bytes_.data() + at, &value, sizeof(T));
   }
 
   void put_bytes(const void* src, std::size_t n) {
-    const std::size_t at = bytes_.size();
-    bytes_.resize(at + n);
+    const std::size_t at = grow(n);
     if (n != 0) std::memcpy(bytes_.data() + at, src, n);
   }
 
@@ -52,6 +108,14 @@ class Buffer {
   std::span<const std::byte> span() const { return {bytes_.data(), bytes_.size()}; }
 
  private:
+  // Extends the buffer by n bytes, adopting a pooled backing on first write.
+  std::size_t grow(std::size_t n) {
+    if (bytes_.capacity() == 0) bytes_ = detail::ByteVecPool::local().acquire();
+    const std::size_t at = bytes_.size();
+    bytes_.resize(at + n);
+    return at;
+  }
+
   std::vector<std::byte> bytes_;
 };
 

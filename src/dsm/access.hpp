@@ -31,6 +31,14 @@ template <typename T>
 concept DsmScalar = std::is_trivially_copyable_v<T> &&
                     (sizeof(T) == 1 || sizeof(T) == 2 || sizeof(T) == 4 || sizeof(T) == 8);
 
+// The fast paths read ThreadCtx::presence directly: one indexed byte load
+// answers both "present?" (bit 0) and "home?" (bit 1), with no NodeDsm call
+// and no home_of_page division (docs/PERFORMANCE.md). The page id comes from
+// ThreadCtx::page_shift (cached from Layout), so address-to-page is a single
+// shift with no dsm->layout() chase. The miss branches only ever run for
+// non-home pages (home pages are always present), so a presence byte loaded
+// before the miss still gives the correct home answer after it.
+
 struct IcPolicy {
   static constexpr ProtocolKind kKind = ProtocolKind::kJavaIc;
   static constexpr const char* kName = "java_ic";
@@ -39,8 +47,8 @@ struct IcPolicy {
   static T get(ThreadCtx& t, Gva a) {
     t.clock.charge(t.check_cost);  // the in-line locality check, every access
     t.stats->add(Counter::kInlineChecks);
-    const PageId p = t.dsm->layout().page_of(a);
-    if (!t.nd->present(p)) [[unlikely]] {
+    const PageId p = static_cast<PageId>(a >> t.page_shift);
+    if ((t.presence[p] & NodeDsm::kPresentBit) == 0) [[unlikely]] {
       t.dsm->miss_ic(t, p);
     }
     T v;
@@ -52,12 +60,13 @@ struct IcPolicy {
   static void put(ThreadCtx& t, Gva a, T v) {
     t.clock.charge(t.check_cost);
     t.stats->add(Counter::kInlineChecks);
-    const PageId p = t.dsm->layout().page_of(a);
-    if (!t.nd->present(p)) [[unlikely]] {
-      t.dsm->miss_ic(t, p);
+    const PageId p = static_cast<PageId>(a >> t.page_shift);
+    const std::uint8_t st = t.presence[p];
+    if ((st & NodeDsm::kPresentBit) == 0) [[unlikely]] {
+      t.dsm->miss_ic(t, p);  // absent => not home; st == 0 stays correct below
     }
     std::memcpy(t.base + a, &v, sizeof(T));
-    if (!t.nd->is_home(p)) {
+    if ((st & NodeDsm::kHomeBit) == 0) {
       // Record the modification with field granularity (Table 2, put).
       std::uint64_t value = 0;
       std::memcpy(&value, &v, sizeof(T));
@@ -73,8 +82,8 @@ struct PfPolicy {
 
   template <DsmScalar T>
   static T get(ThreadCtx& t, Gva a) {
-    const PageId p = t.dsm->layout().page_of(a);
-    if (!t.nd->present(p)) [[unlikely]] {
+    const PageId p = static_cast<PageId>(a >> t.page_shift);
+    if ((t.presence[p] & NodeDsm::kPresentBit) == 0) [[unlikely]] {
       t.dsm->miss_pf(t, p);  // the simulated MMU trap
     }
     T v;
@@ -84,8 +93,8 @@ struct PfPolicy {
 
   template <DsmScalar T>
   static void put(ThreadCtx& t, Gva a, T v) {
-    const PageId p = t.dsm->layout().page_of(a);
-    if (!t.nd->present(p)) [[unlikely]] {
+    const PageId p = static_cast<PageId>(a >> t.page_shift);
+    if ((t.presence[p] & NodeDsm::kPresentBit) == 0) [[unlikely]] {
       t.dsm->miss_pf(t, p);
     }
     // Direct store; updateMainMemory finds it by twin comparison.

@@ -46,6 +46,9 @@ class Layout {
     HYP_DCHECK(a < total_bytes_);
     return static_cast<PageId>(a >> page_shift_);
   }
+  // log2(page_bytes): hot callers cache this (ThreadCtx) so page_of is one
+  // shift with no Layout pointer chase.
+  unsigned page_shift() const { return page_shift_; }
   std::size_t offset_in_page(Gva a) const { return a & (page_bytes_ - 1); }
   Gva page_base(PageId p) const { return static_cast<Gva>(p) << page_shift_; }
 

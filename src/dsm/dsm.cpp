@@ -1,6 +1,6 @@
 #include "dsm/dsm.hpp"
 
-#include <map>
+#include <cstring>
 
 #include "common/assert.hpp"
 #include "common/log.hpp"
@@ -49,6 +49,8 @@ std::unique_ptr<ThreadCtx> DsmSystem::make_thread(NodeId node) {
   t->node = node;
   t->nd = &node_dsm(node);
   t->base = t->nd->arena();
+  t->presence = t->nd->presence_data();
+  t->page_shift = layout_.page_shift();
   t->check_cost = cluster_->params().cpu.check_cost();
   t->stats = &cluster_->node(node).stats();
   // One processor per node: compute by this node's threads serializes.
@@ -184,27 +186,35 @@ void DsmSystem::on_release(ThreadCtx& t) { update_main_memory(t); }
 void DsmSystem::flush_ic(ThreadCtx& t) {
   if (t.wlog.empty()) return;
   const auto& cpu = cluster_->params().cpu;
+  const std::size_t homes = static_cast<std::size_t>(cluster_->node_count());
 
   // Last-writer-wins per field, grouped by home node, preserving first-touch
-  // order for determinism.
-  std::map<NodeId, std::vector<WriteLogEntry>> by_home;
-  std::map<Gva, std::pair<NodeId, std::size_t>> position;  // addr -> (home, idx)
+  // order for determinism. The scratch dedup table and per-home flat vectors
+  // reproduce the old std::map semantics exactly — first-touch order within a
+  // home, homes sent in ascending id order — without per-flush allocation.
+  FlushScratch& s = t.scratch;
+  s.begin_ic(homes, t.wlog.size());
   for (const auto& e : t.wlog.entries()) {
-    const NodeId home = layout_.home_of(e.addr);
-    HYP_CHECK_MSG(home != t.node, "home-page writes are never logged");
-    auto it = position.find(e.addr);
-    if (it == position.end()) {
-      auto& vec = by_home[home];
-      position[e.addr] = {home, vec.size()};
+    bool fresh = false;
+    IcDedupTable::Slot* slot = s.dedup.find_or_insert(e.addr, &fresh);
+    if (fresh) {
+      const NodeId home = layout_.home_of(e.addr);
+      HYP_CHECK_MSG(home != t.node, "home-page writes are never logged");
+      auto& vec = s.ic_by_home[static_cast<std::size_t>(home)];
+      slot->home = static_cast<std::uint32_t>(home);
+      slot->index = static_cast<std::uint32_t>(vec.size());
       vec.push_back(e);
     } else {
-      by_home[it->second.first][it->second.second] = e;
+      s.ic_by_home[slot->home][slot->index] = e;
     }
   }
 
   t.clock.charge(cpu.cycles(cpu.update_entry_cycles * t.wlog.size()));
   t.clock.flush();
-  for (auto& [home, entries] : by_home) {
+  for (std::size_t h = 0; h < homes; ++h) {
+    auto& entries = s.ic_by_home[h];
+    if (entries.empty()) continue;
+    const NodeId home = static_cast<NodeId>(h);
     Buffer msg;
     WriteLog::encode(&msg, entries);
     t.stats->add(Counter::kUpdatesSent);
@@ -219,13 +229,13 @@ void DsmSystem::flush_ic(ThreadCtx& t) {
 
 void DsmSystem::handle_update_fields(cluster::Incoming& in, NodeId self) {
   NodeDsm& nd = node_dsm(self);
-  auto entries = WriteLog::decode(in.reader);
-  for (const auto& e : entries) {
+  // Streaming apply: no per-message entry vector (zero-allocation path).
+  const std::size_t count = WriteLog::decode_each(in.reader, [&](const WriteLogEntry& e) {
     HYP_CHECK_MSG(nd.is_home(layout_.page_of(e.addr)), "update reached a non-home node");
     std::memcpy(nd.arena() + e.addr, &e.value, e.size);
-  }
+  });
   const Time done_at = cluster_->node(self).extend_service(
-      cluster_->params().cpu.cycles(cluster_->params().cpu.update_entry_cycles * entries.size()));
+      cluster_->params().cpu.cycles(cluster_->params().cpu.update_entry_cycles * count));
   cluster_->reply(in, Buffer{}, done_at - cluster_->engine().now());
 }
 
@@ -235,21 +245,35 @@ void DsmSystem::handle_update_fields(cluster::Incoming& in, NodeId self) {
 // Wire format per home: u32 run_count, then per run (u64 gva, u32 len, raw
 // bytes). Runs are maximal spans of modified 8-byte words.
 
+namespace {
+// Both the arena page and the twin are at least 8-byte aligned; memcpy of a
+// u64 compiles to one plain load.
+inline std::uint64_t load_word(const std::byte* base, std::size_t w) {
+  std::uint64_t v;
+  std::memcpy(&v, base + w * 8, 8);
+  return v;
+}
+}  // namespace
+
 void DsmSystem::flush_pf(ThreadCtx& t) {
   const auto& cpu = cluster_->params().cpu;
   const std::size_t page_bytes = layout_.page_bytes();
+  const std::size_t homes = static_cast<std::size_t>(cluster_->node_count());
 
-  struct Run {
-    Gva addr;
-    std::vector<std::byte> bytes;  // snapshot taken before any yield
-  };
-  std::map<NodeId, std::vector<Run>> by_home;
+  FlushScratch& s = t.scratch;
+  s.begin_pf(homes);
   std::uint64_t diff_words = 0;
 
   // Scan, snapshot and twin-refresh happen atomically in virtual time (no
   // yields): a same-node thread writing during our later sends must see its
   // own writes as fresh diffs against the refreshed twin, not have them
-  // silently absorbed.
+  // silently absorbed. Run payloads are snapshotted into the shared scratch
+  // arena (offsets, not pointers: the arena may grow mid-scan).
+  //
+  // The scan compares aligned u64 words, skipping clean 64-byte chunks with
+  // one OR-of-XORs test. Run boundaries are identical to a word-at-a-time
+  // scan — a chunk is skipped only when all eight words match — so emitted
+  // messages are bit-identical to the old memcmp loop.
   for (PageId p : t.nd->cached_pages()) {
     if (!t.nd->has_twin(p)) continue;
     t.clock.charge(cpu.diff_cost(page_bytes));
@@ -257,21 +281,32 @@ void DsmSystem::flush_pf(ThreadCtx& t) {
     const std::byte* twin = t.nd->twin(p);
     const std::size_t words = page_bytes / 8;
     bool page_dirty = false;
+    auto& runs = s.pf_by_home[static_cast<std::size_t>(layout_.home_of_page(p))];
     std::size_t w = 0;
     while (w < words) {
-      if (std::memcmp(cur + w * 8, twin + w * 8, 8) == 0) {
+      if ((w & 7) == 0 && w + 8 <= words) {
+        std::uint64_t acc = 0;
+        for (std::size_t k = 0; k < 8; ++k) {
+          acc |= load_word(cur, w + k) ^ load_word(twin, w + k);
+        }
+        if (acc == 0) {
+          w += 8;
+          continue;
+        }
+      }
+      if (load_word(cur, w) == load_word(twin, w)) {
         ++w;
         continue;
       }
-      std::size_t run_begin = w;
-      while (w < words && std::memcmp(cur + w * 8, twin + w * 8, 8) != 0) ++w;
+      const std::size_t run_begin = w;
+      while (w < words && load_word(cur, w) != load_word(twin, w)) ++w;
       const std::size_t run_words = w - run_begin;
       diff_words += run_words;
       page_dirty = true;
-      Run run;
-      run.addr = layout_.page_base(p) + run_begin * 8;
-      run.bytes.assign(cur + run_begin * 8, cur + w * 8);
-      by_home[layout_.home_of_page(p)].push_back(std::move(run));
+      const auto offset = static_cast<std::uint32_t>(s.run_bytes.size());
+      s.run_bytes.insert(s.run_bytes.end(), cur + run_begin * 8, cur + w * 8);
+      runs.push_back(DiffRun{layout_.page_base(p) + run_begin * 8, offset,
+                             static_cast<std::uint32_t>(run_words * 8)});
     }
     if (page_dirty) t.nd->refresh_twin(p);
   }
@@ -279,13 +314,16 @@ void DsmSystem::flush_pf(ThreadCtx& t) {
   t.stats->add(Counter::kDiffWords, diff_words);
   t.clock.flush();
 
-  for (auto& [home, runs] : by_home) {
+  for (std::size_t h = 0; h < homes; ++h) {
+    auto& runs = s.pf_by_home[h];
+    if (runs.empty()) continue;
+    const NodeId home = static_cast<NodeId>(h);
     Buffer msg;
     msg.put<std::uint32_t>(static_cast<std::uint32_t>(runs.size()));
-    for (const Run& r : runs) {
+    for (const DiffRun& r : runs) {
       msg.put<std::uint64_t>(r.addr);
-      msg.put<std::uint32_t>(static_cast<std::uint32_t>(r.bytes.size()));
-      msg.put_bytes(r.bytes.data(), r.bytes.size());
+      msg.put<std::uint32_t>(r.len);
+      msg.put_bytes(s.run_bytes.data() + r.offset, r.len);
     }
     t.stats->add(Counter::kUpdatesSent);
     t.stats->add(Counter::kUpdateBytes, msg.size());

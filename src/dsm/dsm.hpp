@@ -31,6 +31,7 @@
 #include "cluster/cluster.hpp"
 #include "common/stats.hpp"
 #include "dsm/address.hpp"
+#include "dsm/flush_scratch.hpp"
 #include "dsm/node_dsm.hpp"
 #include "dsm/write_log.hpp"
 
@@ -58,10 +59,18 @@ struct ThreadCtx {
   NodeId node = -1;
   NodeDsm* nd = nullptr;
   std::byte* base = nullptr;  // nd->arena()
-  std::uint64_t uid = 0;      // unique thread id (monitor ownership)
+  // nd's presence table (one byte per page; see NodeDsm::kPresentBit). Cached
+  // here so the get/put fast paths are a single indexed load + branch with no
+  // NodeDsm indirection. Stable: the table never reallocates.
+  const std::uint8_t* presence = nullptr;
+  // layout().page_shift(), cached: the get/put fast paths compute the page
+  // id with one shift instead of chasing dsm -> layout.
+  unsigned page_shift = 0;
+  std::uint64_t uid = 0;  // unique thread id (monitor ownership)
   cluster::CpuClock clock;
   Time check_cost = 0;  // CpuParams::check_cost(), cached
   WriteLog wlog;
+  FlushScratch scratch;    // reusable updateMainMemory state (host-perf only)
   Stats* stats = nullptr;  // the node's stats (single-threaded simulation)
 
   explicit ThreadCtx(const cluster::CpuParams* cpu) : clock(cpu) {}

@@ -1,0 +1,121 @@
+// Reusable per-thread scratch state for the consistency flush hot paths.
+//
+// updateMainMemory runs at EVERY monitor entry/exit (§3.1), so its host cost
+// is paid millions of times per paper-size run. The original implementation
+// built fresh std::maps and per-run byte vectors on each flush; this scratch
+// keeps the equivalent structures alive on the ThreadCtx and recycles them:
+//
+//   * java_ic — an open-addressing, generation-stamped dedup table
+//     (addr -> (home, index)) plus one flat entry vector per home node.
+//     First-touch order within a home and ascending-home send order exactly
+//     match the old std::map semantics, so messages are bit-identical.
+//   * java_pf — per-home flat run vectors whose payload bytes all land in
+//     one shared append-only arena (offsets, not pointers, survive arena
+//     growth).
+//
+// Nothing here is visible in simulated time: the scratch only changes how
+// fast the host computes the same messages (docs/PERFORMANCE.md).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "dsm/address.hpp"
+#include "dsm/write_log.hpp"
+
+namespace hyp::dsm {
+
+// Open-addressing hash table: Gva -> (home, index-in-home-vector), cleared
+// in O(1) by bumping a generation stamp. Linear probing, power-of-two
+// capacity kept at least 2x the expected entry count.
+class IcDedupTable {
+ public:
+  struct Slot {
+    Gva addr = 0;
+    std::uint32_t gen = 0;
+    std::uint32_t home = 0;
+    std::uint32_t index = 0;
+  };
+
+  // Starts a new flush expecting up to `expected` distinct addresses.
+  void begin(std::size_t expected) {
+    std::size_t want = 16;
+    while (want < expected * 2) want <<= 1;
+    if (want > slots_.size()) {
+      slots_.assign(want, Slot{});
+      gen_ = 0;
+    }
+    if (++gen_ == 0) {  // stamp wrapped: wipe and restart
+      for (Slot& s : slots_) s.gen = 0;
+      gen_ = 1;
+    }
+    mask_ = slots_.size() - 1;
+  }
+
+  // Returns the slot for `addr`; `*fresh` reports whether it was vacant.
+  // The caller fills home/index on fresh insertion.
+  Slot* find_or_insert(Gva addr, bool* fresh) {
+    std::size_t i = hash(addr) & mask_;
+    while (true) {
+      Slot& s = slots_[i];
+      if (s.gen != gen_) {  // vacant this generation
+        s.addr = addr;
+        s.gen = gen_;
+        *fresh = true;
+        return &s;
+      }
+      if (s.addr == addr) {
+        *fresh = false;
+        return &s;
+      }
+      i = (i + 1) & mask_;
+    }
+  }
+
+  std::size_t capacity() const { return slots_.size(); }
+
+ private:
+  static std::size_t hash(Gva a) {
+    // Fibonacci scrambling; addresses are 8-byte aligned so mix the high bits.
+    return static_cast<std::size_t>((a >> 3) * 0x9E3779B97F4A7C15ull >> 17);
+  }
+
+  std::vector<Slot> slots_;
+  std::size_t mask_ = 0;
+  std::uint32_t gen_ = 0;
+};
+
+// One modified-word run found by the java_pf twin diff: `len` payload bytes
+// at `offset` in the shared `run_bytes` arena, destined for `addr`.
+struct DiffRun {
+  Gva addr;
+  std::uint32_t offset;
+  std::uint32_t len;
+};
+
+struct FlushScratch {
+  // --- java_ic -------------------------------------------------------------
+  IcDedupTable dedup;
+  std::vector<std::vector<WriteLogEntry>> ic_by_home;
+
+  // --- java_pf -------------------------------------------------------------
+  std::vector<std::vector<DiffRun>> pf_by_home;
+  std::vector<std::byte> run_bytes;  // shared payload arena, reset per flush
+
+  // Clears per-home state for a new flush without releasing capacity.
+  void begin_ic(std::size_t homes, std::size_t expected_entries) {
+    if (ic_by_home.size() < homes) ic_by_home.resize(homes);
+    for (auto& v : ic_by_home) v.clear();
+    dedup.begin(expected_entries);
+  }
+
+  void begin_pf(std::size_t homes) {
+    if (pf_by_home.size() < homes) pf_by_home.resize(homes);
+    for (auto& v : pf_by_home) v.clear();
+    run_bytes.clear();
+  }
+};
+
+}  // namespace hyp::dsm

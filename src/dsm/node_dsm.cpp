@@ -12,9 +12,15 @@ namespace hyp::dsm {
 NodeDsm::NodeDsm(const Layout* layout, NodeId node)
     : layout_(layout),
       node_(node),
-      cached_(layout->total_pages(), 0),
+      presence_(layout->total_pages(), 0),
       twins_(layout->total_pages()),
       alloc_next_(layout->zone_begin(node)) {
+  // Pre-fold home-ness into the presence table: the zone split is static, so
+  // the expensive home_of_page division runs once per page here instead of
+  // once per access on the hot path.
+  for (PageId p = 0; p < layout->total_pages(); ++p) {
+    if (layout->home_of_page(p) == node) presence_[p] = kPresentBit | kHomeBit;
+  }
   void* mem = mmap(nullptr, layout_->total_bytes(), PROT_READ | PROT_WRITE,
                    MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE, -1, 0);
   HYP_CHECK_MSG(mem != MAP_FAILED, "DSM arena mmap failed");
@@ -26,9 +32,10 @@ NodeDsm::~NodeDsm() {
 }
 
 void NodeDsm::mark_cached(PageId p, bool with_twin) {
+  HYP_DCHECK(p < presence_.size());
   HYP_CHECK_MSG(!is_home(p), "home pages are never 'cached'");
-  HYP_CHECK_MSG(!cached_[p], "page already cached");
-  cached_[p] = 1;
+  HYP_CHECK_MSG(presence_[p] == 0, "page already cached");
+  presence_[p] = kPresentBit;
   cached_list_.push_back(p);
   if (with_twin) {
     auto twin = std::make_unique<std::byte[]>(layout_->page_bytes());
@@ -40,7 +47,7 @@ void NodeDsm::mark_cached(PageId p, bool with_twin) {
 std::size_t NodeDsm::invalidate_all() {
   const std::size_t dropped = cached_list_.size();
   for (PageId p : cached_list_) {
-    cached_[p] = 0;
+    presence_[p] = 0;
     twins_[p].reset();
   }
   cached_list_.clear();

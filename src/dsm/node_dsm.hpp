@@ -29,6 +29,14 @@ namespace hyp::dsm {
 
 class NodeDsm {
  public:
+  // Presence-table byte per page: home pages are 3 (present|home), cached
+  // replicas are 1 (present), absent pages are 0. Folding home-ness into the
+  // same byte makes both hot-path questions — "can I touch this page?" and
+  // "must I log this store?" — a single indexed load, replacing the integer
+  // division inside Layout::home_of_page on every access (docs/PERFORMANCE.md).
+  static constexpr std::uint8_t kPresentBit = 1;
+  static constexpr std::uint8_t kHomeBit = 2;
+
   NodeDsm(const Layout* layout, NodeId node);
   ~NodeDsm();
   NodeDsm(const NodeDsm&) = delete;
@@ -42,10 +50,20 @@ class NodeDsm {
   std::byte* page_ptr(PageId p) { return arena_ + layout_->page_base(p); }
   const std::byte* page_ptr(PageId p) const { return arena_ + layout_->page_base(p); }
 
-  bool is_home(PageId p) const { return layout_->home_of_page(p) == node_; }
+  bool is_home(PageId p) const {
+    HYP_DCHECK(p < presence_.size());
+    return (presence_[p] & kHomeBit) != 0;
+  }
 
   // A page is accessible when it is a home page or a valid cached copy.
-  bool present(PageId p) const { return is_home(p) || cached_[p]; }
+  bool present(PageId p) const {
+    HYP_DCHECK(p < presence_.size());
+    return (presence_[p] & kPresentBit) != 0;
+  }
+
+  // Raw presence table, cached on ThreadCtx so the access fast paths skip
+  // the NodeDsm indirection. The table never reallocates after construction.
+  const std::uint8_t* presence_data() const { return presence_.data(); }
 
   // Marks a freshly fetched page cached. `with_twin` snapshots a twin
   // (java_pf). The caller has already copied the payload into the arena.
@@ -56,7 +74,10 @@ class NodeDsm {
   std::size_t invalidate_all();
 
   bool has_twin(PageId p) const { return p < twins_.size() && twins_[p] != nullptr; }
-  std::byte* twin(PageId p) { return twins_[p].get(); }
+  std::byte* twin(PageId p) {
+    HYP_DCHECK(p < twins_.size());
+    return twins_[p].get();
+  }
 
   // Refreshes the twin of a cached page to match the current arena contents
   // (after its diffs have been shipped home).
@@ -80,8 +101,8 @@ class NodeDsm {
   const Layout* layout_;
   NodeId node_;
   std::byte* arena_ = nullptr;
-  std::vector<std::uint8_t> cached_;                 // indexed by page
-  std::vector<PageId> cached_list_;                  // pages with cached_[p]=1
+  std::vector<std::uint8_t> presence_;               // indexed by page; see bits above
+  std::vector<PageId> cached_list_;                  // pages with presence_[p]==kPresentBit
   std::vector<std::unique_ptr<std::byte[]>> twins_;  // indexed by page
   Gva alloc_next_;
 

@@ -50,10 +50,13 @@ class WriteLog {
     }
   }
 
-  static std::vector<WriteLogEntry> decode(BufferReader& in) {
+  // Streaming decode: invokes `fn(entry)` per entry without materializing a
+  // vector (the home-side apply loop runs on every flush; allocating there
+  // would break the steady-state zero-allocation property). Returns the
+  // entry count.
+  template <typename Fn>
+  static std::size_t decode_each(BufferReader& in, Fn&& fn) {
     const auto count = in.get<std::uint32_t>();
-    std::vector<WriteLogEntry> entries;
-    entries.reserve(count);
     for (std::uint32_t i = 0; i < count; ++i) {
       WriteLogEntry e;
       e.addr = in.get<std::uint64_t>();
@@ -62,8 +65,14 @@ class WriteLog {
                     "corrupt write-log entry size");
       e.value = 0;
       in.get_bytes(&e.value, e.size);
-      entries.push_back(e);
+      fn(e);
     }
+    return count;
+  }
+
+  static std::vector<WriteLogEntry> decode(BufferReader& in) {
+    std::vector<WriteLogEntry> entries;
+    decode_each(in, [&](const WriteLogEntry& e) { entries.push_back(e); });
     return entries;
   }
 

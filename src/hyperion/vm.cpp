@@ -57,6 +57,7 @@ void JavaEnv::migrate_to(NodeId target, std::size_t state_bytes) {
   ctx_->node = target;
   ctx_->nd = &vm_->dsm_.node_dsm(target);
   ctx_->base = ctx_->nd->arena();
+  ctx_->presence = ctx_->nd->presence_data();
   ctx_->stats = &vm_->cluster_.node(target).stats();
   ctx_->clock.bind_cpu(&vm_->cluster_.node(target).app_cpu());
 

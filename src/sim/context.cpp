@@ -8,6 +8,23 @@
 
 #include "common/assert.hpp"
 
+// AddressSanitizer support (-DHYP_SANITIZE=address): instrumented code
+// running on a fiber stack leaves redzone poison in ASan's shadow memory.
+// munmap does not clear shadow, so a later fiber whose stack mmap lands on
+// the same addresses would inherit stale poison and report false
+// stack-buffer-overflows. Explicitly unpoison stacks on both allocate and
+// free.
+#if defined(__SANITIZE_ADDRESS__)
+#define HYP_ASAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define HYP_ASAN 1
+#endif
+#endif
+#ifdef HYP_ASAN
+#include <sanitizer/asan_interface.h>
+#endif
+
 #if !HYP_ASM_CONTEXT
 #include <ucontext.h>
 #endif
@@ -113,11 +130,17 @@ StackAllocation stack_allocate(std::size_t usable_size) {
   out.mapping = mem;
   out.usable_base = static_cast<std::byte*>(mem) + page;
   out.usable_size = usable_size;
+#ifdef HYP_ASAN
+  __asan_unpoison_memory_region(out.usable_base, out.usable_size);
+#endif
   return out;
 }
 
 void stack_free(const StackAllocation& stack) {
   if (stack.mapping != nullptr) {
+#ifdef HYP_ASAN
+    __asan_unpoison_memory_region(stack.usable_base, stack.usable_size);
+#endif
     HYP_CHECK(munmap(stack.mapping, stack.mapping_size) == 0);
   }
 }

@@ -70,26 +70,36 @@ Fiber* Engine::spawn_daemon(std::string name, UniqueFunction<void()> body,
   return raw;
 }
 
-void Engine::post(Time at, UniqueFunction<void()> fn) {
-  HYP_CHECK_MSG(at >= now_, "posting an event into the past");
-  auto event = std::make_unique<Event>();
-  event->at = at;
-  event->seq = next_seq_++;
-  event->fiber = nullptr;
-  event->callback = std::move(fn);
-  events_.push(std::move(event));
-}
+// ---------------------------------------------------------------------------
+// Event heap + callback pool
+//
+// A flat binary min-heap of by-value 32-byte events replaces the old
+// priority_queue<unique_ptr<Event>>: no per-event `new`, no pointer chase
+// per comparison, and fiber wakeups (the overwhelming majority of events)
+// carry no callback state at all. Posted callbacks are parked in a slot
+// pool recycled through a free list, so the steady-state event path is
+// allocation-free (docs/PERFORMANCE.md).
 
-void Engine::schedule_wakeup(Fiber* fiber, Time at, FiberState pending_state) {
-  HYP_CHECK_MSG(at >= now_, "scheduling a wakeup into the past");
-  HYP_CHECK_MSG(fiber->state_ == FiberState::kRunning || fiber->state_ == FiberState::kParked,
-                "fiber already has a pending wakeup");
-  auto event = std::make_unique<Event>();
-  event->at = at;
-  event->seq = next_seq_++;
-  event->fiber = fiber;
-  events_.push(std::move(event));
-  fiber->state_ = pending_state;
+Engine::Event Engine::heap_pop() {
+  const Event top = heap_.front();
+  const Event last = heap_.back();
+  heap_.pop_back();
+  const std::size_t n = heap_.size();
+  if (n != 0) {
+    // Sift the former last element down from the root.
+    std::size_t i = 0;
+    while (true) {
+      const std::size_t l = 2 * i + 1;
+      if (l >= n) break;
+      const std::size_t r = l + 1;
+      std::size_t best = (r < n && event_before(heap_[r], heap_[l])) ? r : l;
+      if (!event_before(heap_[best], last)) break;
+      heap_[i] = heap_[best];
+      i = best;
+    }
+    heap_[i] = last;
+  }
+  return top;
 }
 
 std::vector<std::string> Engine::run() {
@@ -98,23 +108,24 @@ std::vector<std::string> Engine::run() {
   running_ = true;
   t_current_engine = this;
 
-  while (!events_.empty()) {
-    // priority_queue::top() is const; the unique_ptr must be moved out via a
-    // const_cast-free route: copy the raw pointer, pop, then use it.
-    auto event = std::move(const_cast<std::unique_ptr<Event>&>(events_.top()));
-    events_.pop();
-    HYP_CHECK(event->at >= now_);
-    now_ = event->at;
+  while (!heap_.empty()) {
+    const Event event = heap_pop();
+    HYP_CHECK(event.at >= now_);
+    now_ = event.at;
     ++events_processed_;
 
-    if (event->fiber != nullptr) {
-      Fiber* fiber = event->fiber;
+    if (event.fiber != nullptr) {
+      Fiber* fiber = event.fiber;
       HYP_CHECK_MSG(fiber->state_ == FiberState::kReadyQueued ||
                         fiber->state_ == FiberState::kSleeping,
                     "wakeup for a fiber in an unexpected state");
       switch_to(fiber);
     } else {
-      event->callback();
+      // Move the callback out and recycle its slot BEFORE invoking: the
+      // callback may post new events that reuse the (now empty) slot.
+      UniqueFunction<void()> callback = std::move(cb_slots_[event.cb]);
+      cb_free_.push_back(event.cb);
+      callback();
     }
   }
 
@@ -145,21 +156,8 @@ void Engine::switch_out() {
   context_switch(&fiber->context_, &scheduler_context_);
 }
 
-void Engine::require_fiber_context(const char* what) const {
-  HYP_CHECK_MSG(current_ != nullptr, std::string(what) + " called outside a fiber");
-}
-
-void Engine::sleep_until(Time t) {
-  require_fiber_context("sleep_until");
-  HYP_CHECK_MSG(t >= now_, "sleeping into the past");
-  schedule_wakeup(current_, t, FiberState::kSleeping);
-  switch_out();
-}
-
-void Engine::yield() {
-  require_fiber_context("yield");
-  schedule_wakeup(current_, now_, FiberState::kReadyQueued);
-  switch_out();
+void Engine::fail_no_fiber(const char* what) {
+  HYP_PANIC(std::string(what) + " called outside a fiber");
 }
 
 void Engine::park() {

@@ -13,10 +13,10 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <queue>
 #include <string>
 #include <vector>
 
+#include "common/assert.hpp"
 #include "common/function.hpp"
 #include "common/units.hpp"
 #include "sim/context.hpp"
@@ -85,7 +85,15 @@ class Engine {
 
   // Schedules `fn` to run on the scheduler stack at time `at`. The callback
   // must not block; it typically deposits a message and unparks a fiber.
-  void post(Time at, UniqueFunction<void()> fn);
+  //
+  // post/sleep/yield are defined inline below: they run once or more per
+  // simulated event (millions per benchmark) and most callers live in other
+  // translation units (sync.cpp, cluster.cpp), so out-of-line definitions
+  // would put a call on the hottest path in the program.
+  void post(Time at, UniqueFunction<void()> fn) {
+    HYP_CHECK_MSG(at >= now_, "posting an event into the past");
+    heap_push(Event{at, next_seq_++, nullptr, cb_acquire(std::move(fn))});
+  }
 
   // Runs the simulation until no events remain. Returns the names of
   // non-daemon fibers that are still blocked (deadlock / lost wakeups);
@@ -97,10 +105,19 @@ class Engine {
   std::uint64_t events_processed() const { return events_processed_; }
 
   // --- Fiber-side API (must be called from inside a running fiber) ---
-  void sleep_until(Time t);
+  void sleep_until(Time t) {
+    require_fiber_context("sleep_until");
+    HYP_CHECK_MSG(t >= now_, "sleeping into the past");
+    schedule_wakeup(current_, t, FiberState::kSleeping);
+    switch_out();
+  }
   void sleep_for(TimeDelta dt) { sleep_until(now_ + dt); }
   // Re-queues the caller behind already-pending same-time events.
-  void yield();
+  void yield() {
+    require_fiber_context("yield");
+    schedule_wakeup(current_, now_, FiberState::kReadyQueued);
+    switch_out();
+  }
   // Blocks until unpark(). A permit delivered while runnable makes the next
   // park() return immediately (exactly once).
   void park();
@@ -114,26 +131,68 @@ class Engine {
   // The engine currently executing run() on this OS thread, if any.
   static Engine* current();
 
+  // --- event-pool introspection (tests / host-perf diagnostics) -----------
+  std::size_t pending_events() const { return heap_.size(); }
+  std::size_t event_heap_capacity() const { return heap_.capacity(); }
+  std::size_t callback_pool_slots() const { return cb_slots_.size(); }
+  std::size_t callback_pool_free() const { return cb_free_.size(); }
+
  private:
   friend class Fiber;
 
+  // By-value heap entry: 32 bytes, trivially copyable. Fiber wakeups carry
+  // no callback at all; posted callbacks live in the pooled slot `cb`, so
+  // pushing/popping/sifting never allocates and never runs a destructor.
   struct Event {
     Time at;
     std::uint64_t seq;
-    Fiber* fiber;                 // nullptr for callback events
-    UniqueFunction<void()> callback;
+    Fiber* fiber;       // nullptr for callback events
+    std::uint32_t cb;   // index into cb_slots_, kNoCallback for wakeups
   };
-  struct EventCompare {
-    bool operator()(const std::unique_ptr<Event>& a, const std::unique_ptr<Event>& b) const {
-      if (a->at != b->at) return a->at > b->at;
-      return a->seq > b->seq;
-    }
-  };
+  static constexpr std::uint32_t kNoCallback = 0xffffffffu;
 
-  void schedule_wakeup(Fiber* fiber, Time at, FiberState pending_state);
+  static bool event_before(const Event& a, const Event& b) {
+    if (a.at != b.at) return a.at < b.at;
+    return a.seq < b.seq;  // the determinism tiebreak: creation order
+  }
+
+  void heap_push(const Event& e) {
+    heap_.push_back(e);
+    std::size_t i = heap_.size() - 1;
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / 2;
+      if (!event_before(heap_[i], heap_[parent])) break;
+      std::swap(heap_[i], heap_[parent]);
+      i = parent;
+    }
+  }
+  Event heap_pop();
+  std::uint32_t cb_acquire(UniqueFunction<void()> fn) {
+    std::uint32_t idx;
+    if (!cb_free_.empty()) {
+      idx = cb_free_.back();
+      cb_free_.pop_back();
+      cb_slots_[idx] = std::move(fn);
+    } else {
+      idx = static_cast<std::uint32_t>(cb_slots_.size());
+      cb_slots_.push_back(std::move(fn));
+    }
+    return idx;
+  }
+
+  void schedule_wakeup(Fiber* fiber, Time at, FiberState pending_state) {
+    HYP_CHECK_MSG(at >= now_, "scheduling a wakeup into the past");
+    HYP_CHECK_MSG(fiber->state_ == FiberState::kRunning || fiber->state_ == FiberState::kParked,
+                  "fiber already has a pending wakeup");
+    heap_push(Event{at, next_seq_++, fiber, kNoCallback});
+    fiber->state_ = pending_state;
+  }
   void switch_to(Fiber* fiber);
   void switch_out();  // fiber -> scheduler
-  void require_fiber_context(const char* what) const;
+  void require_fiber_context(const char* what) const {
+    if (current_ == nullptr) [[unlikely]] fail_no_fiber(what);
+  }
+  [[noreturn]] static void fail_no_fiber(const char* what);
 
   Time now_ = 0;
   std::uint64_t next_seq_ = 0;
@@ -142,8 +201,13 @@ class Engine {
   bool running_ = false;
   Fiber* current_ = nullptr;
   Context scheduler_context_{};
-  std::priority_queue<std::unique_ptr<Event>, std::vector<std::unique_ptr<Event>>, EventCompare>
-      events_;
+  // Flat binary min-heap ordered by (at, seq); see event_before.
+  std::vector<Event> heap_;
+  // Free-list pool of callback slots: a slot is acquired by post(), released
+  // (and its UniqueFunction moved out) when the event fires. Steady state
+  // recycles slots with no allocation; SBO callbacks never touch the heap.
+  std::vector<UniqueFunction<void()>> cb_slots_;
+  std::vector<std::uint32_t> cb_free_;
   std::vector<std::unique_ptr<Fiber>> fibers_;
 };
 

@@ -1,7 +1,5 @@
 #include "sim/sync.hpp"
 
-#include <algorithm>
-
 namespace hyp::sim {
 
 // ---------------------------------------------------------------------------
@@ -84,21 +82,8 @@ void SimBarrier::arrive_and_wait() {
   while (generation_ == my_generation) engine_->park();
 }
 
-// ---------------------------------------------------------------------------
-// FifoServer
-
-Time FifoServer::serve(TimeDelta duration) {
-  const Time start = reserve(duration);
-  engine_->sleep_until(start + duration);
-  return start;
-}
-
-Time FifoServer::reserve(TimeDelta duration) {
-  const Time start = std::max(engine_->now(), free_at_);
-  free_at_ = start + duration;
-  ++jobs_;
-  busy_ += duration;
-  return start;
-}
+// FifoServer::serve / reserve are defined inline in sync.hpp: CpuClock
+// presents batched compute in timeslice quanta, so serve() runs once per
+// quantum and sits on the hottest scheduling path.
 
 }  // namespace hyp::sim
