@@ -15,6 +15,7 @@
 #include "apps/jacobi.hpp"
 #include "common/cli.hpp"
 #include "common/table.hpp"
+#include "fig_common.hpp"
 
 using namespace hyp;
 
@@ -32,7 +33,10 @@ int main(int argc, char** argv) {
       .flag_int("asp-n", 256, "ASP graph size")
       .flag_int("jacobi-n", 256, "Jacobi mesh edge")
       .flag_int("jacobi-steps", 30, "Jacobi steps");
+  bench::ObsRecorder::add_flags(cli);
   if (!cli.parse(argc, argv)) return 0;
+  bench::ObsRecorder obs;
+  obs.configure(cli, "ablation_checkcost");
 
   const int nodes = static_cast<int>(cli.get_int("nodes"));
   std::printf("# ablation_checkcost — §4.3: improvement tracks check/compute ratio\n");
@@ -43,16 +47,21 @@ int main(int argc, char** argv) {
     auto cluster = cluster::ClusterParams::myrinet200();
     cluster.cpu.check_cycles = cycles;
 
-    auto run_pair = [&](auto&& runner) {
+    auto run_pair = [&](const char* app, auto&& runner) {
       hyperion::VmConfig cfg;
       cfg.cluster = cluster;
       cfg.nodes = nodes;
       cfg.region_bytes = std::size_t{128} << 20;
+      const std::string label = std::string(app) + " check_cycles=" + std::to_string(cycles);
       cfg.protocol = dsm::ProtocolKind::kJavaIc;
-      const double ic = to_seconds(runner(cfg).elapsed);
+      obs.attach(cfg);
+      const auto ic_result = runner(cfg);
+      obs.capture_run(label, ic_result, "java_ic", nodes);
       cfg.protocol = dsm::ProtocolKind::kJavaPf;
-      const double pf = to_seconds(runner(cfg).elapsed);
-      return improvement(ic, pf);
+      obs.attach(cfg);
+      const auto pf_result = runner(cfg);
+      obs.capture_run(label, pf_result, "java_pf", nodes);
+      return improvement(to_seconds(ic_result.elapsed), to_seconds(pf_result.elapsed));
     };
 
     apps::AspParams asp;
@@ -61,13 +70,14 @@ int main(int argc, char** argv) {
     jac.n = static_cast<int>(cli.get_int("jacobi-n"));
     jac.steps = static_cast<int>(cli.get_int("jacobi-steps"));
 
-    const double asp_gain =
-        run_pair([&](const hyperion::VmConfig& cfg) { return apps::asp_parallel(cfg, asp); });
-    const double jac_gain =
-        run_pair([&](const hyperion::VmConfig& cfg) { return apps::jacobi_parallel(cfg, jac); });
+    const double asp_gain = run_pair(
+        "asp", [&](const hyperion::VmConfig& cfg) { return apps::asp_parallel(cfg, asp); });
+    const double jac_gain = run_pair(
+        "jacobi", [&](const hyperion::VmConfig& cfg) { return apps::jacobi_parallel(cfg, jac); });
     t.add_row({fmt_u64(cycles), fmt_percent(asp_gain), fmt_percent(jac_gain)});
   }
   t.write_pretty(std::cout);
+  obs.finish();
   std::printf(
       "\nexpected shape: ~0%% at zero-cost checks; monotonic growth; ASP above\n"
       "Jacobi (3 checks over a ~17-cycle loop vs 5 checks over ~80 fp cycles).\n");

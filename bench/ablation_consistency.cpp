@@ -22,6 +22,7 @@
 #include "dsm/dsm.hpp"
 #include "dsm/erc.hpp"
 #include "dsm/seqc.hpp"
+#include "fig_common.hpp"
 #include "sim/sync.hpp"
 
 using namespace hyp;
@@ -74,9 +75,11 @@ Outcome neighbour_exchange(cluster::Cluster& c, int nodes, int cells, int iters,
           stats.get(Counter::kPageFetches)};
 }
 
-Outcome run_java(dsm::ProtocolKind kind, int nodes, int cells, int iters) {
+Outcome run_java(dsm::ProtocolKind kind, int nodes, int cells, int iters,
+                 bench::ObsRecorder& obs) {
   cluster::Cluster c(cluster::ClusterParams::myrinet200(), nodes);
   dsm::DsmSystem d(&c, kRegion, kind);
+  obs.attach_cluster(c, &d);
   struct Fns {
     dsm::DsmSystem* d;
     std::vector<dsm::Gva> blocks;
@@ -103,12 +106,15 @@ Outcome run_java(dsm::ProtocolKind kind, int nodes, int cells, int iters) {
   for (int w = 0; w < nodes; ++w) {
     fns.blocks.push_back(d.alloc(w, static_cast<std::size_t>(cells) * 8, 4096));
   }
-  return neighbour_exchange(c, nodes, cells, iters, fns);
+  const Outcome o = neighbour_exchange(c, nodes, cells, iters, fns);
+  obs.capture_cluster(std::string("exchange ") + dsm::protocol_name(kind), c);
+  return o;
 }
 
-Outcome run_erc(int nodes, int cells, int iters) {
+Outcome run_erc(int nodes, int cells, int iters, bench::ObsRecorder& obs) {
   cluster::Cluster c(cluster::ClusterParams::myrinet200(), nodes);
   dsm::ErcDsm d(&c, kRegion);
+  obs.attach_cluster(c);
   struct Fns {
     dsm::ErcDsm* d;
     std::vector<dsm::Gva> blocks;
@@ -129,12 +135,15 @@ Outcome run_erc(int nodes, int cells, int iters) {
   for (int w = 0; w < nodes; ++w) {
     fns.blocks.push_back(d.alloc(w, static_cast<std::size_t>(cells) * 8, 4096));
   }
-  return neighbour_exchange(c, nodes, cells, iters, fns);
+  const Outcome o = neighbour_exchange(c, nodes, cells, iters, fns);
+  obs.capture_cluster("exchange erc", c);
+  return o;
 }
 
-Outcome run_seqc(int nodes, int cells, int iters) {
+Outcome run_seqc(int nodes, int cells, int iters, bench::ObsRecorder& obs) {
   cluster::Cluster c(cluster::ClusterParams::myrinet200(), nodes);
   dsm::SeqDsm d(&c, kRegion);
+  obs.attach_cluster(c);
   struct Fns {
     dsm::SeqDsm* d;
     std::vector<dsm::Gva> blocks;
@@ -157,7 +166,9 @@ Outcome run_seqc(int nodes, int cells, int iters) {
   for (int w = 0; w < nodes; ++w) {
     fns.blocks.push_back(d.alloc(w, static_cast<std::size_t>(cells) * 8, 4096));
   }
-  return neighbour_exchange(c, nodes, cells, iters, fns);
+  const Outcome o = neighbour_exchange(c, nodes, cells, iters, fns);
+  obs.capture_cluster("exchange seqc", c);
+  return o;
 }
 
 // False-sharing scenario: every node repeatedly updates its own slot of ONE
@@ -196,7 +207,10 @@ int main(int argc, char** argv) {
   cli.flag_int("nodes", 6, "cluster nodes")
       .flag_int("cells", 1024, "int64 cells per node block")
       .flag_int("iters", 20, "exchange iterations");
+  bench::ObsRecorder::add_flags(cli);
   if (!cli.parse(argc, argv)) return 0;
+  bench::ObsRecorder obs;
+  obs.configure(cli, "ablation_consistency");
 
   const int nodes = static_cast<int>(cli.get_int("nodes"));
   const int cells = static_cast<int>(cli.get_int("cells"));
@@ -206,16 +220,16 @@ int main(int argc, char** argv) {
   std::printf("# myri200, %d nodes, %d cells/block, %d iterations\n\n", nodes, cells, iters);
 
   Table t({"protocol", "consistency", "seconds", "messages", "page fetches"});
-  const Outcome sc = run_seqc(nodes, cells, iters);
+  const Outcome sc = run_seqc(nodes, cells, iters, obs);
   t.add_row({"seqc", "sequential (eager)", fmt_double(sc.seconds, 3), fmt_u64(sc.messages),
              fmt_u64(sc.fetches)});
-  const Outcome ic = run_java(dsm::ProtocolKind::kJavaIc, nodes, cells, iters);
+  const Outcome ic = run_java(dsm::ProtocolKind::kJavaIc, nodes, cells, iters, obs);
   t.add_row({"java_ic", "Java (lazy, checks)", fmt_double(ic.seconds, 3), fmt_u64(ic.messages),
              fmt_u64(ic.fetches)});
-  const Outcome pf = run_java(dsm::ProtocolKind::kJavaPf, nodes, cells, iters);
+  const Outcome pf = run_java(dsm::ProtocolKind::kJavaPf, nodes, cells, iters, obs);
   t.add_row({"java_pf", "Java (lazy, faults)", fmt_double(pf.seconds, 3), fmt_u64(pf.messages),
              fmt_u64(pf.fetches)});
-  const Outcome erc = run_erc(nodes, cells, iters);
+  const Outcome erc = run_erc(nodes, cells, iters, obs);
   t.add_row({"erc", "eager release (update)", fmt_double(erc.seconds, 3),
              fmt_u64(erc.messages), fmt_u64(erc.fetches)});
   t.write_pretty(std::cout);
@@ -235,6 +249,7 @@ int main(int argc, char** argv) {
   {
     cluster::Cluster c(cluster::ClusterParams::myrinet200(), nodes);
     dsm::SeqDsm d(&c, kRegion);
+    obs.attach_cluster(c);
     const dsm::Gva base = d.alloc(0, static_cast<std::size_t>(nodes) * 8, 4096);
     struct Fns {
       dsm::SeqDsm* d;
@@ -249,11 +264,13 @@ int main(int argc, char** argv) {
       void acquire(std::unique_ptr<dsm::SeqThreadCtx>& t) const { t->clock.flush(); }
     } fns{&d};
     const Outcome o = false_sharing(c, nodes, reps, fs_iters, base, fns);
+    obs.capture_cluster("false_sharing seqc", c);
     t2.add_row({"seqc", fmt_double(o.seconds, 3), fmt_u64(o.messages), fmt_u64(o.fetches)});
   }
   for (auto kind : {dsm::ProtocolKind::kJavaIc, dsm::ProtocolKind::kJavaPf}) {
     cluster::Cluster c(cluster::ClusterParams::myrinet200(), nodes);
     dsm::DsmSystem d(&c, kRegion, kind);
+    obs.attach_cluster(c, &d);
     const dsm::Gva base = d.alloc(0, static_cast<std::size_t>(nodes) * 8, 4096);
     struct Fns {
       dsm::DsmSystem* d;
@@ -272,10 +289,12 @@ int main(int argc, char** argv) {
       void acquire(std::unique_ptr<dsm::ThreadCtx>& t) const { d->on_acquire(*t); }
     } fns{&d};
     const Outcome o = false_sharing(c, nodes, reps, fs_iters, base, fns);
+    obs.capture_cluster(std::string("false_sharing ") + dsm::protocol_name(kind), c);
     t2.add_row({dsm::protocol_name(kind), fmt_double(o.seconds, 3), fmt_u64(o.messages),
                 fmt_u64(o.fetches)});
   }
   t2.write_pretty(std::cout);
+  obs.finish();
   std::printf(
       "\nexpected shape: seqc ping-pongs exclusive ownership between the nodes\n"
       "sharing the page (recall + invalidate per burst); Java consistency\n"

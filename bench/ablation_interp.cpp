@@ -14,6 +14,7 @@
 #include "apps/pi.hpp"
 #include "common/cli.hpp"
 #include "common/table.hpp"
+#include "fig_common.hpp"
 #include "jir/assembler.hpp"
 #include "jir/interp.hpp"
 
@@ -21,7 +22,8 @@ using namespace hyp;
 
 namespace {
 
-Time run_interpreted(dsm::ProtocolKind kind, int nodes, std::int64_t intervals) {
+Time run_interpreted(dsm::ProtocolKind kind, int nodes, std::int64_t intervals,
+                     bench::ObsRecorder& obs) {
   std::string src = "func main args=0 locals=1\n  lconst 1\n  newarray_d\n  store 0\n";
   for (int w = 0; w < nodes; ++w) {
     const std::int64_t begin = intervals * w / nodes;
@@ -89,11 +91,16 @@ end
   cfg.nodes = nodes;
   cfg.protocol = kind;
   cfg.region_bytes = std::size_t{32} << 20;
+  obs.attach(cfg);
   hyperion::HyperionVM vm(cfg);
   vm.run_main([&](hyperion::JavaEnv& main) {
     jir::Interpreter interp(&assembled.program, &main);
     interp.run("main");
   });
+  apps::RunResult rr;
+  rr.elapsed = vm.elapsed();
+  rr.stats = vm.stats();
+  obs.capture_run("interpreted", rr, dsm::protocol_name(kind), nodes);
   return vm.elapsed();
 }
 
@@ -102,7 +109,10 @@ end
 int main(int argc, char** argv) {
   Cli cli("ablation_interp — compiled (java2c-style) vs interpreted bytecode");
   cli.flag_int("nodes", 4, "cluster nodes").flag_int("intervals", 500000, "Riemann intervals");
+  bench::ObsRecorder::add_flags(cli);
   if (!cli.parse(argc, argv)) return 0;
+  bench::ObsRecorder obs;
+  obs.configure(cli, "ablation_interp");
 
   const int nodes = static_cast<int>(cli.get_int("nodes"));
   const std::int64_t intervals = cli.get_int("intervals");
@@ -115,13 +125,17 @@ int main(int argc, char** argv) {
   for (auto kind : {dsm::ProtocolKind::kJavaIc, dsm::ProtocolKind::kJavaPf}) {
     apps::PiParams params;
     params.intervals = intervals;
-    const double compiled =
-        to_seconds(apps::pi_parallel(apps::make_config("myri200", kind, nodes), params).elapsed);
-    const double interpreted = to_seconds(run_interpreted(kind, nodes, intervals));
+    auto cfg = apps::make_config("myri200", kind, nodes);
+    obs.attach(cfg);
+    const auto compiled_result = apps::pi_parallel(cfg, params);
+    obs.capture_run("compiled", compiled_result, dsm::protocol_name(kind), nodes);
+    const double compiled = to_seconds(compiled_result.elapsed);
+    const double interpreted = to_seconds(run_interpreted(kind, nodes, intervals, obs));
     t.add_row({dsm::protocol_name(kind), fmt_double(compiled, 3), fmt_double(interpreted, 3),
                fmt_double(interpreted / compiled, 1) + "x"});
   }
   t.write_pretty(std::cout);
+  obs.finish();
   std::printf(
       "\nexpected shape: interpretation costs ~10x on this compute-bound kernel —\n"
       "the margin Hyperion's bytecode-to-C translation recovers (§1).\n");

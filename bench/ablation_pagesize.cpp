@@ -12,6 +12,7 @@
 
 #include "common/cli.hpp"
 #include "common/table.hpp"
+#include "fig_common.hpp"
 #include "hyperion/japi.hpp"
 #include "hyperion/vm.hpp"
 
@@ -27,13 +28,14 @@ struct Outcome {
 };
 
 Outcome stream_objects(std::size_t page_bytes, int objects, int passes,
-                       dsm::ProtocolKind protocol) {
+                       dsm::ProtocolKind protocol, bench::ObsRecorder& obs) {
   hyperion::VmConfig cfg;
   cfg.cluster = cluster::ClusterParams::myrinet200();
   cfg.cluster.page_bytes = page_bytes;
   cfg.nodes = 2;
   cfg.protocol = protocol;
   cfg.region_bytes = std::size_t{64} << 20;
+  obs.attach(cfg);
   hyperion::HyperionVM vm(cfg);
   // The objects are homed on node 0 (main); pin the reader to node 1 so
   // every first touch is remote.
@@ -64,6 +66,11 @@ Outcome stream_objects(std::size_t page_bytes, int objects, int passes,
   });
 
   const auto stats = vm.stats();
+  apps::RunResult rr;
+  rr.elapsed = vm.elapsed();
+  rr.stats = stats;
+  obs.capture_run("page_bytes=" + std::to_string(page_bytes), rr,
+                  dsm::protocol_name(protocol), cfg.nodes);
   return {to_seconds(vm.elapsed()), stats.get(Counter::kPageFetches),
           stats.get(Counter::kPageFetchBytes), stats.get(Counter::kPageFaults)};
 }
@@ -75,7 +82,10 @@ int main(int argc, char** argv) {
   cli.flag_int("objects", 4096, "32-byte objects allocated consecutively")
       .flag_int("passes", 4, "cold passes over the object set")
       .flag_string("protocol", "java_pf", "java_ic or java_pf");
+  bench::ObsRecorder::add_flags(cli);
   if (!cli.parse(argc, argv)) return 0;
+  bench::ObsRecorder obs;
+  obs.configure(cli, "ablation_pagesize");
 
   const auto protocol = dsm::protocol_by_name(cli.get_string("protocol"));
   const int objects = static_cast<int>(cli.get_int("objects"));
@@ -88,7 +98,7 @@ int main(int argc, char** argv) {
   Table t({"page bytes", "seconds", "page fetches", "bytes moved", "faults",
            "objects/fetch"});
   for (std::size_t page : {512ul, 1024ul, 2048ul, 4096ul, 8192ul, 16384ul}) {
-    const Outcome o = stream_objects(page, objects, passes, protocol);
+    const Outcome o = stream_objects(page, objects, passes, protocol, obs);
     const double per_fetch =
         o.fetches != 0 ? static_cast<double>(objects) * passes / static_cast<double>(o.fetches)
                        : 0.0;
@@ -96,6 +106,7 @@ int main(int argc, char** argv) {
                fmt_u64(o.faults), fmt_double(per_fetch, 1)});
   }
   t.write_pretty(std::cout);
+  obs.finish();
   std::printf("\nexpected shape: fetches (and faults) halve as the page doubles —\n"
               "the same-page neighbours ride along for free.\n");
   return 0;

@@ -11,6 +11,7 @@
 
 #include "common/cli.hpp"
 #include "common/table.hpp"
+#include "fig_common.hpp"
 #include "hyperion/japi.hpp"
 #include "hyperion/vm.hpp"
 
@@ -19,12 +20,13 @@ using namespace hyp;
 namespace {
 
 Time run_walk(const std::string& cluster, dsm::ProtocolKind kind, int cells, bool migrate,
-              int passes) {
+              int passes, bench::ObsRecorder& obs) {
   hyperion::VmConfig cfg;
   cfg.cluster = cluster::ClusterParams::by_name(cluster);
   cfg.nodes = 2;
   cfg.protocol = kind;
   cfg.region_bytes = std::size_t{128} << 20;
+  obs.attach(cfg);
   hyperion::HyperionVM vm(cfg);
   Time elapsed = 0;
   dsm::with_policy(kind, [&](auto policy) {
@@ -52,6 +54,13 @@ Time run_walk(const std::string& cluster, dsm::ProtocolKind kind, int cells, boo
       main.join(t);
     });
   });
+  apps::RunResult rr;
+  rr.elapsed = vm.elapsed();
+  rr.value = to_seconds(elapsed);
+  rr.stats = vm.stats();
+  obs.capture_run(std::string(migrate ? "migrate" : "remote") + " cells=" +
+                      std::to_string(cells),
+                  rr, dsm::protocol_name(kind), cfg.nodes);
   return elapsed;
 }
 
@@ -62,7 +71,10 @@ int main(int argc, char** argv) {
   cli.flag_string("cluster", "myri200", "myri200 or sci450")
       .flag_string("protocol", "java_pf", "java_ic or java_pf")
       .flag_int("passes", 1, "walks over the block per measurement");
+  bench::ObsRecorder::add_flags(cli);
   if (!cli.parse(argc, argv)) return 0;
+  bench::ObsRecorder obs;
+  obs.configure(cli, "ext_migration");
 
   const auto cluster = cli.get_string("cluster");
   const auto kind = dsm::protocol_by_name(cli.get_string("protocol"));
@@ -74,12 +86,13 @@ int main(int argc, char** argv) {
 
   Table t({"block bytes", "remote walk (ms)", "migrate+walk (ms)", "winner"});
   for (int cells : {1024, 4096, 16384, 65536, 262144}) {
-    const double remote = to_seconds(run_walk(cluster, kind, cells, false, passes)) * 1e3;
-    const double migrated = to_seconds(run_walk(cluster, kind, cells, true, passes)) * 1e3;
+    const double remote = to_seconds(run_walk(cluster, kind, cells, false, passes, obs)) * 1e3;
+    const double migrated = to_seconds(run_walk(cluster, kind, cells, true, passes, obs)) * 1e3;
     t.add_row({fmt_u64(static_cast<std::uint64_t>(cells) * 8), fmt_double(remote, 3),
                fmt_double(migrated, 3), migrated < remote ? "migrate" : "remote"});
   }
   t.write_pretty(std::cout);
+  obs.finish();
   std::printf(
       "\nexpected shape: pulling pages costs per-page transfers that grow with\n"
       "the block; migration costs one 8 KiB state transfer plus local reads —\n"

@@ -14,6 +14,7 @@
 #include "apps/jacobi.hpp"
 #include "common/cli.hpp"
 #include "common/table.hpp"
+#include "fig_common.hpp"
 
 using namespace hyp;
 
@@ -23,7 +24,10 @@ int main(int argc, char** argv) {
       .flag_int("asp-n", 256, "ASP graph size")
       .flag_int("jacobi-n", 256, "Jacobi mesh edge")
       .flag_int("jacobi-steps", 30, "Jacobi steps");
+  bench::ObsRecorder::add_flags(cli);
   if (!cli.parse(argc, argv)) return 0;
+  bench::ObsRecorder obs;
+  obs.configure(cli, "ext_threads_per_node");
 
   const int nodes = static_cast<int>(cli.get_int("nodes"));
   std::printf("# ext_threads_per_node — paper §4.3 future work (overlap via extra threads)\n");
@@ -42,18 +46,27 @@ int main(int argc, char** argv) {
       jac.n = static_cast<int>(cli.get_int("jacobi-n"));
       jac.steps = static_cast<int>(cli.get_int("jacobi-steps"));
       jac.threads = nodes * tpn;
-      const double jac_s = to_seconds(apps::jacobi_parallel(cfg, jac).elapsed);
+      obs.attach(cfg);
+      const auto jac_result = apps::jacobi_parallel(cfg, jac);
+      obs.capture_run("jacobi threads_per_node=" + std::to_string(tpn), jac_result,
+                      dsm::protocol_name(kind), nodes);
+      const double jac_s = to_seconds(jac_result.elapsed);
 
       apps::AspParams asp;
       asp.n = static_cast<int>(cli.get_int("asp-n"));
       asp.threads = nodes * tpn;
-      const double asp_s = to_seconds(apps::asp_parallel(cfg, asp).elapsed);
+      obs.attach(cfg);
+      const auto asp_result = apps::asp_parallel(cfg, asp);
+      obs.capture_run("asp threads_per_node=" + std::to_string(tpn), asp_result,
+                      dsm::protocol_name(kind), nodes);
+      const double asp_s = to_seconds(asp_result.elapsed);
 
       t.add_row({fmt_u64(static_cast<std::uint64_t>(tpn)), dsm::protocol_name(kind),
                  fmt_double(jac_s, 3), fmt_double(asp_s, 3)});
     }
   }
   t.write_pretty(std::cout);
+  obs.finish();
   std::printf(
       "\nreading guide: gains beyond 1 thread/node can only come from hiding\n"
       "communication behind a sibling's compute; once the node CPU saturates,\n"

@@ -8,6 +8,7 @@ int main(int argc, char** argv) {
   using namespace hyp;
   Cli cli("fig1_pi — reproduces Figure 1 (Pi, 50M-interval Riemann sum)");
   bench::add_sweep_flags(cli);
+  bench::ObsRecorder::add_flags(cli);
   cli.flag_int("intervals", 2'000'000, "Riemann intervals (paper: 50000000)")
       .flag_bool("full", false, "use the paper's problem size");
   if (!cli.parse(argc, argv)) return 0;
@@ -20,6 +21,8 @@ int main(int argc, char** argv) {
   spec.title = "Pi: java_pf vs. java_ic";
   spec.workload = "Riemann sum, " + std::to_string(params.intervals) + " intervals";
   spec.run = [params](const apps::VmConfig& cfg) { return apps::pi_parallel(cfg, params); };
-  bench::run_figure(spec, bench::sweep_from_cli(cli));
+  bench::ObsRecorder obs;
+  obs.configure(cli, "fig1");
+  bench::run_figure(spec, bench::sweep_from_cli(cli), &obs);
   return 0;
 }

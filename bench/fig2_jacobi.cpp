@@ -8,6 +8,7 @@ int main(int argc, char** argv) {
   using namespace hyp;
   Cli cli("fig2_jacobi — reproduces Figure 2 (Jacobi 1024x1024, 100 steps)");
   bench::add_sweep_flags(cli);
+  bench::ObsRecorder::add_flags(cli);
   cli.flag_int("n", 512, "mesh edge (paper: 1024)")
       .flag_int("steps", 50, "time steps (paper: 100)")
       .flag_bool("full", false, "use the paper's problem size");
@@ -23,6 +24,8 @@ int main(int argc, char** argv) {
   spec.workload = std::to_string(params.n) + "x" + std::to_string(params.n) + " mesh, " +
                   std::to_string(params.steps) + " steps";
   spec.run = [params](const apps::VmConfig& cfg) { return apps::jacobi_parallel(cfg, params); };
-  bench::run_figure(spec, bench::sweep_from_cli(cli));
+  bench::ObsRecorder obs;
+  obs.configure(cli, "fig2");
+  bench::run_figure(spec, bench::sweep_from_cli(cli), &obs);
   return 0;
 }

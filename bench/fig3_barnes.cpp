@@ -9,6 +9,7 @@ int main(int argc, char** argv) {
   using namespace hyp;
   Cli cli("fig3_barnes — reproduces Figure 3 (Barnes-Hut, 16K bodies, 6 steps)");
   bench::add_sweep_flags(cli);
+  bench::ObsRecorder::add_flags(cli);
   cli.flag_int("bodies", 4096, "body count (paper: 16384)")
       .flag_int("steps", 3, "time steps (paper: 6)")
       .flag_int("chunk", 128, "work-queue granularity (bodies per unit)")
@@ -26,6 +27,8 @@ int main(int argc, char** argv) {
   spec.workload = std::to_string(params.bodies) + " bodies, " + std::to_string(params.steps) +
                   " timesteps";
   spec.run = [params](const apps::VmConfig& cfg) { return apps::barnes_parallel(cfg, params); };
-  bench::run_figure(spec, bench::sweep_from_cli(cli));
+  bench::ObsRecorder obs;
+  obs.configure(cli, "fig3");
+  bench::run_figure(spec, bench::sweep_from_cli(cli), &obs);
   return 0;
 }

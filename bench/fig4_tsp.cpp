@@ -8,6 +8,7 @@ int main(int argc, char** argv) {
   using namespace hyp;
   Cli cli("fig4_tsp — reproduces Figure 4 (17-city branch-and-bound TSP)");
   bench::add_sweep_flags(cli);
+  bench::ObsRecorder::add_flags(cli);
   cli.flag_int("cities", 14, "city count (paper: 17; >15 takes very long)")
       .flag_bool("full", false, "use the paper's problem size (slow!)");
   if (!cli.parse(argc, argv)) return 0;
@@ -20,6 +21,8 @@ int main(int argc, char** argv) {
   spec.title = "TSP: java_pf vs. java_ic";
   spec.workload = std::to_string(params.cities) + "-city branch-and-bound";
   spec.run = [params](const apps::VmConfig& cfg) { return apps::tsp_parallel(cfg, params); };
-  bench::run_figure(spec, bench::sweep_from_cli(cli));
+  bench::ObsRecorder obs;
+  obs.configure(cli, "fig4");
+  bench::run_figure(spec, bench::sweep_from_cli(cli), &obs);
   return 0;
 }

@@ -8,6 +8,7 @@ int main(int argc, char** argv) {
   using namespace hyp;
   Cli cli("fig5_asp — reproduces Figure 5 (ASP, Floyd on a 2000-node graph)");
   bench::add_sweep_flags(cli);
+  bench::ObsRecorder::add_flags(cli);
   cli.flag_int("n", 400, "graph size (paper: 2000)")
       .flag_bool("full", false, "use the paper's problem size (slow)");
   if (!cli.parse(argc, argv)) return 0;
@@ -20,6 +21,8 @@ int main(int argc, char** argv) {
   spec.title = "ASP: java_pf vs. java_ic";
   spec.workload = "all-pairs shortest paths, " + std::to_string(params.n) + "-node graph";
   spec.run = [params](const apps::VmConfig& cfg) { return apps::asp_parallel(cfg, params); };
-  bench::run_figure(spec, bench::sweep_from_cli(cli));
+  bench::ObsRecorder obs;
+  obs.configure(cli, "fig5");
+  bench::run_figure(spec, bench::sweep_from_cli(cli), &obs);
   return 0;
 }

@@ -7,8 +7,132 @@
 #include <sstream>
 
 #include "common/table.hpp"
+#include "obs/perfetto.hpp"
 
 namespace hyp::bench {
+
+// ---------------------------------------------------------------------------
+// ObsRecorder
+
+namespace {
+// Hottest pages kept per metrics point (plenty to see a false-sharing page
+// or a prefetch train without bloating the JSON).
+constexpr std::size_t kHeatTopN = 16;
+}  // namespace
+
+void ObsRecorder::add_flags(Cli& cli) {
+  cli.flag_string("trace-out", "",
+                  "write a Perfetto trace_events JSON of the last run to FILE")
+      .flag_string("metrics-out", "",
+                   "write hyp-metrics-v1 JSON (counters, histograms, page heat, phases) to FILE")
+      .flag_int("trace-capacity", 1 << 16,
+                "max trace events retained (recording stops and drops are counted beyond)");
+}
+
+void ObsRecorder::configure(const Cli& cli, std::string tool) {
+  tool_ = std::move(tool);
+  trace_path_ = cli.get_string("trace-out");
+  metrics_path_ = cli.get_string("metrics-out");
+  if (trace_wanted()) {
+    trace_ = std::make_unique<cluster::TraceLog>(
+        static_cast<std::size_t>(cli.get_int("trace-capacity")));
+  }
+}
+
+void ObsRecorder::attach(hyperion::VmConfig& cfg) {
+  if (!active()) return;
+  if (trace_ != nullptr) {
+    trace_->clear();  // the exported trace is the last attached run
+    cfg.trace = trace_.get();
+  }
+  cfg.heat = &heat_;      // re-initialized by the VM constructor
+  cfg.phases = &phases_;  // likewise
+}
+
+void ObsRecorder::capture(obs::MetricsPoint mp) {
+  if (!active()) return;
+  if (heat_.initialized()) obs::fill_heat(mp, heat_, kHeatTopN);
+  if (phases_.initialized()) obs::fill_phases(mp, phases_);
+  if (trace_ != nullptr) {
+    mp.has_trace = true;
+    mp.trace_events = trace_->events().size();
+    mp.trace_dropped = trace_->dropped();
+    for (int k = 0; k < cluster::kTraceKindCount; ++k) {
+      const auto kind = static_cast<cluster::TraceKind>(k);
+      if (trace_->dropped(kind) != 0) {
+        mp.trace_dropped_by_kind[cluster::trace_kind_name(kind)] = trace_->dropped(kind);
+      }
+    }
+  }
+  points_.push_back(std::move(mp));
+}
+
+void ObsRecorder::capture_run(const std::string& label, const apps::RunResult& result,
+                              const std::string& protocol, int nodes) {
+  if (!active()) return;
+  obs::MetricsPoint mp;
+  mp.label = label;
+  mp.protocol = protocol;
+  mp.nodes = nodes;
+  mp.elapsed = result.elapsed;
+  mp.value = result.value;
+  mp.has_value = true;
+  mp.stats = result.stats;
+  capture(std::move(mp));
+}
+
+void ObsRecorder::attach_cluster(cluster::Cluster& c, dsm::DsmSystem* d) {
+  if (!active()) return;
+  if (trace_ != nullptr) {
+    trace_->clear();
+    c.set_trace(trace_.get());
+  }
+  phases_.init(c.node_count());
+  c.set_phases(&phases_);
+  if (d != nullptr) {
+    heat_.init(d->layout().total_pages(), d->layout().page_bytes());
+    d->set_heat(&heat_);
+  } else {
+    heat_.init(0, 0);  // drop any heat left over from a previous attachment
+  }
+}
+
+void ObsRecorder::capture_cluster(const std::string& label, cluster::Cluster& c) {
+  if (!active()) return;
+  obs::MetricsPoint mp;
+  mp.label = label;
+  mp.nodes = c.node_count();
+  mp.elapsed = c.engine().now();
+  mp.stats = c.total_stats();
+  capture(std::move(mp));
+}
+
+void ObsRecorder::finish() {
+  if (finished_) return;
+  finished_ = true;
+  if (metrics_wanted()) {
+    std::ofstream out(metrics_path_);
+    if (!out) {
+      std::fprintf(stderr, "obs: cannot open --metrics-out %s\n", metrics_path_.c_str());
+    } else {
+      obs::write_metrics_json(out, tool_, points_);
+      std::printf("metrics written: %s (%zu points)\n", metrics_path_.c_str(), points_.size());
+    }
+  }
+  if (trace_wanted()) {
+    std::ofstream out(trace_path_);
+    if (!out) {
+      std::fprintf(stderr, "obs: cannot open --trace-out %s\n", trace_path_.c_str());
+    } else if (trace_ != nullptr) {
+      obs::write_perfetto_trace(out, *trace_);
+      // A saturated trace must never pass for a quiet run: always say what
+      // was dropped (the JSON carries the same numbers in otherData).
+      std::printf("trace written: %s (%zu events, %llu dropped)\n", trace_path_.c_str(),
+                  trace_->events().size(),
+                  static_cast<unsigned long long>(trace_->dropped()));
+    }
+  }
+}
 
 void add_sweep_flags(Cli& cli) {
   cli.flag_bool("myri", true, "sweep the 200 MHz/Myrinet-BIP cluster (1-12 nodes)")
@@ -52,7 +176,8 @@ const std::vector<std::string> kCounterColumns = {
 
 }  // namespace
 
-std::vector<SweepPoint> run_figure(const FigureSpec& spec, const SweepOptions& opts) {
+std::vector<SweepPoint> run_figure(const FigureSpec& spec, const SweepOptions& opts,
+                                   ObsRecorder* obs) {
   std::printf("# %s — %s\n", spec.id.c_str(), spec.title.c_str());
   std::printf("# workload: %s\n", spec.workload.c_str());
   std::printf("# (reproduction of Antoniu & Hatcher, IPDPS'01 JavaPDC; virtual-time simulation)\n\n");
@@ -65,7 +190,20 @@ std::vector<SweepPoint> run_figure(const FigureSpec& spec, const SweepOptions& o
         pt.cluster = cluster;
         pt.protocol = dsm::protocol_name(kind);
         pt.nodes = nodes;
-        pt.result = spec.run(apps::make_config(cluster, kind, nodes, spec.region_bytes));
+        apps::VmConfig cfg = apps::make_config(cluster, kind, nodes, spec.region_bytes);
+        if (obs != nullptr) obs->attach(cfg);
+        pt.result = spec.run(cfg);
+        if (obs != nullptr) {
+          obs::MetricsPoint mp;
+          mp.cluster = pt.cluster;
+          mp.protocol = pt.protocol;
+          mp.nodes = pt.nodes;
+          mp.elapsed = pt.result.elapsed;
+          mp.value = pt.result.value;
+          mp.has_value = true;
+          mp.stats = pt.result.stats;
+          obs->capture(std::move(mp));
+        }
         points.push_back(std::move(pt));
       }
     }
@@ -158,6 +296,7 @@ std::vector<SweepPoint> run_figure(const FigureSpec& spec, const SweepOptions& o
     std::printf("gnuplot artifacts written: %s, %s\n", dat_path.c_str(), gp_path.c_str());
   }
 
+  if (obs != nullptr) obs->finish();
   return points;
 }
 

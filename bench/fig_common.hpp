@@ -9,11 +9,16 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "apps/app_common.hpp"
+#include "cluster/trace.hpp"
 #include "common/cli.hpp"
+#include "obs/heat.hpp"
+#include "obs/metrics.hpp"
+#include "obs/phase.hpp"
 
 namespace hyp::bench {
 
@@ -47,8 +52,74 @@ struct SweepOptions {
 void add_sweep_flags(Cli& cli);
 SweepOptions sweep_from_cli(const Cli& cli);
 
+// Uniform observability wiring for the bench binaries:
+//
+//   --trace-out FILE    Perfetto/Chrome trace_events JSON of the *last*
+//                       attached run (openable in ui.perfetto.dev);
+//   --metrics-out FILE  hyp-metrics-v1 JSON: one point per run with every
+//                       nonzero counter, the log2 latency/size histograms,
+//                       the hottest pages and the per-node phase split.
+//
+// run_figure() drives attach/capture/finish automatically when given a
+// recorder; binaries that build VmConfigs by hand (ablation_*, ext_*) call
+// attach() before each run and capture_run() after, then finish() once.
+// All attachments observe without perturbing: a run's virtual time is
+// bit-identical with or without them (tests/determinism_golden_test.cpp).
+class ObsRecorder {
+ public:
+  // Registers --trace-out / --metrics-out / --trace-capacity.
+  static void add_flags(Cli& cli);
+
+  // Reads the flags; `tool` names the producing binary in the metrics JSON.
+  void configure(const Cli& cli, std::string tool);
+
+  bool trace_wanted() const { return !trace_path_.empty(); }
+  bool metrics_wanted() const { return !metrics_path_.empty(); }
+  bool active() const { return trace_wanted() || metrics_wanted(); }
+
+  // Wires the trace/heat/phase attachments into `cfg` (the trace is cleared,
+  // heat/phases are re-initialized by the VM constructor), so the next VM
+  // built from `cfg` is observed. No-op when inactive.
+  void attach(hyperion::VmConfig& cfg);
+
+  // Records one finished experiment point. The caller fills identity and
+  // result fields; the heat / phase / trace sections are appended from the
+  // current attachments. No-op when inactive.
+  void capture(obs::MetricsPoint mp);
+
+  // One-line capture for hand-rolled sweeps: label + RunResult (+ optional
+  // protocol/nodes identity).
+  void capture_run(const std::string& label, const apps::RunResult& result,
+                   const std::string& protocol = "", int nodes = -1);
+
+  // For harnesses that drive a Cluster (+ optionally a DsmSystem) without a
+  // HyperionVM (ablation_consistency): wires the trace and phase table into
+  // the cluster and the heat table into the DSM.
+  void attach_cluster(cluster::Cluster& c, dsm::DsmSystem* d = nullptr);
+  // Captures a finished cluster-level run: elapsed = engine().now(),
+  // stats = total_stats().
+  void capture_cluster(const std::string& label, cluster::Cluster& c);
+
+  // Writes the requested files (and prints their paths). run_figure() calls
+  // this; hand-rolled sweeps call it once after the last capture.
+  void finish();
+
+ private:
+  std::string tool_;
+  std::string trace_path_;
+  std::string metrics_path_;
+  std::unique_ptr<cluster::TraceLog> trace_;
+  obs::PageHeatTable heat_;
+  obs::PhaseAccounting phases_;
+  std::vector<obs::MetricsPoint> points_;
+  bool finished_ = false;
+};
+
 // Executes the sweep and prints CSV + tables + improvement summary.
-// Returns all measured points (for binaries that post-process).
-std::vector<SweepPoint> run_figure(const FigureSpec& spec, const SweepOptions& opts);
+// Returns all measured points (for binaries that post-process). When `obs`
+// is non-null, every point is run with the recorder attached and captured,
+// and obs->finish() is called before returning.
+std::vector<SweepPoint> run_figure(const FigureSpec& spec, const SweepOptions& opts,
+                                   ObsRecorder* obs = nullptr);
 
 }  // namespace hyp::bench

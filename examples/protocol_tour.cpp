@@ -110,6 +110,11 @@ int main(int argc, char** argv) {
   if (cli.get_bool("trace")) {
     std::printf("\nfirst java_pf protocol events (deterministic; --trace):\n");
     trace.write_text(std::cout, 40);
+    // Always surface the capacity accounting: a saturated log that silently
+    // stopped recording would otherwise masquerade as a quiet run.
+    std::printf("trace: %zu events recorded (capacity %zu), %llu dropped\n",
+                trace.events().size(), trace.capacity(),
+                static_cast<unsigned long long>(trace.dropped()));
   }
 
   const double improvement = 1.0 - to_seconds(pf.elapsed) / to_seconds(ic.elapsed);

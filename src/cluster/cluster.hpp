@@ -27,6 +27,7 @@
 #include "cluster/trace.hpp"
 #include "common/buffer.hpp"
 #include "common/stats.hpp"
+#include "obs/phase.hpp"
 #include "sim/engine.hpp"
 #include "sim/sync.hpp"
 
@@ -196,6 +197,18 @@ class Cluster {
     }
   }
 
+  // --- phase accounting (optional; nullptr = off) ---------------------------
+  // Same attachment discipline as tracing: a nullptr pointer costs one test
+  // on the hook path, and an attached table only *accumulates* (obs/phase.hpp)
+  // so virtual time is unperturbed either way.
+  void set_phases(obs::PhaseAccounting* phases) { phases_ = phases; }
+  obs::PhaseAccounting* phases() { return phases_; }
+  void phase_add(NodeId node, obs::Phase phase, TimeDelta dt) {
+    if (phases_ != nullptr) [[unlikely]] {
+      phases_->add(node, phase, dt);
+    }
+  }
+
  private:
   struct PendingReply {
     sim::Fiber* waiter = nullptr;
@@ -220,6 +233,7 @@ class Cluster {
   std::vector<std::uint32_t> reply_free_;
   std::uint64_t message_seq_ = 0;  // drives deterministic jitter
   TraceLog* trace_ = nullptr;
+  obs::PhaseAccounting* phases_ = nullptr;
 };
 
 }  // namespace hyp::cluster

@@ -4,6 +4,9 @@
 
 namespace hyp::cluster {
 
+static_assert(static_cast<int>(TraceKind::kMonitorAcquired) + 1 == kTraceKindCount,
+              "kTraceKindCount out of sync with TraceKind");
+
 const char* trace_kind_name(TraceKind kind) {
   switch (kind) {
     case TraceKind::kPageFetch: return "page_fetch";
@@ -16,11 +19,12 @@ const char* trace_kind_name(TraceKind kind) {
     case TraceKind::kMonitorNotify: return "monitor_notify";
     case TraceKind::kThreadStart: return "thread_start";
     case TraceKind::kThreadMigrate: return "thread_migrate";
+    case TraceKind::kMonitorAcquired: return "monitor_acquired";
   }
   return "?";
 }
 
-std::size_t TraceLog::count(TraceKind kind) const {
+std::size_t TraceLog::recorded(TraceKind kind) const {
   std::size_t n = 0;
   for (const auto& e : events_) n += (e.kind == kind);
   return n;
@@ -31,7 +35,7 @@ void TraceLog::write_text(std::ostream& os, std::size_t limit) const {
   for (const auto& e : events_) {
     if (shown++ >= limit) break;
     char line[160];
-    std::snprintf(line, sizeof(line), "%12.3f us  n%-2d %-14s a=%lld b=%lld\n",
+    std::snprintf(line, sizeof(line), "%12.3f us  n%-2d %-16s a=%lld b=%lld\n",
                   to_micros(e.at), e.node, trace_kind_name(e.kind),
                   static_cast<long long>(e.a), static_cast<long long>(e.b));
     os << line;
@@ -40,7 +44,14 @@ void TraceLog::write_text(std::ostream& os, std::size_t limit) const {
     os << "... (" << (events_.size() - limit) << " more events)\n";
   }
   if (dropped_ != 0) {
-    os << "... (" << dropped_ << " events dropped at capacity)\n";
+    os << "... (" << dropped_ << " events dropped at capacity:";
+    for (int k = 0; k < kTraceKindCount; ++k) {
+      if (dropped_by_kind_[k] != 0) {
+        os << ' ' << trace_kind_name(static_cast<TraceKind>(k)) << '='
+           << dropped_by_kind_[k];
+      }
+    }
+    os << ")\n";
   }
 }
 

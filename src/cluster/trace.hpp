@@ -6,6 +6,10 @@
 // the Cluster; with none attached the hooks cost one pointer test.
 // Deterministic simulations make traces diffable run-to-run — the primary
 // protocol-debugging tool of this repository (see protocol_tour --trace).
+//
+// Consumers: write_text() for human eyes, obs::write_perfetto_trace() for a
+// Chrome/Perfetto trace_events JSON openable in ui.perfetto.dev
+// (docs/OBSERVABILITY.md).
 #pragma once
 
 #include <cstdint>
@@ -18,17 +22,22 @@
 namespace hyp::cluster {
 
 enum class TraceKind : std::uint8_t {
-  kPageFetch,      // a=page, b=home
-  kPageFault,      // a=page (java_pf detection)
-  kInvalidate,     // a=pages dropped
-  kUpdateSent,     // a=dest(home), b=bytes
-  kMonitorEnter,   // a=object gva, b=thread uid
-  kMonitorExit,    // a=object gva, b=thread uid
-  kMonitorWait,    // a=object gva, b=thread uid
-  kMonitorNotify,  // a=object gva, b=all?1:0
-  kThreadStart,    // a=thread uid
-  kThreadMigrate,  // a=from node, b=to node
+  kPageFetch,        // a=page, b=home
+  kPageFault,        // a=page (java_pf detection)
+  kInvalidate,       // a=pages dropped
+  kUpdateSent,       // a=dest(home), b=bytes
+  kMonitorEnter,     // a=object gva, b=thread uid (request issued)
+  kMonitorExit,      // a=object gva, b=thread uid
+  kMonitorWait,      // a=object gva, b=thread uid
+  kMonitorNotify,    // a=object gva, b=all?1:0
+  kThreadStart,      // a=thread uid
+  kThreadMigrate,    // a=from node, b=to node
+  kMonitorAcquired,  // a=object gva, b=thread uid (grant received; pairs
+                     // with kMonitorEnter for acquire-wait slices)
 };
+
+// Keep in sync with the enum above (drop accounting is per kind).
+inline constexpr int kTraceKindCount = 11;
 
 const char* trace_kind_name(TraceKind kind);
 
@@ -42,38 +51,53 @@ struct TraceEvent {
 
 class TraceLog {
  public:
-  // Bounded: recording beyond the capacity drops the oldest semantics are
-  // NOT wanted for debugging; instead recording stops (and drops are
-  // counted) so the beginning of the run — usually what matters — is kept.
+  // Bounded: recording beyond the capacity drops the *newest* events —
+  // oldest-first semantics are NOT wanted for debugging; instead recording
+  // stops (and drops are counted, totals and per kind) so the beginning of
+  // the run — usually what matters — is kept. The backing store is reserved
+  // up front so record() never allocates (tests/obs_alloc_test.cpp).
   explicit TraceLog(std::size_t capacity = 1 << 16) : capacity_(capacity) {
-    events_.reserve(capacity < 4096 ? capacity : 4096);
+    events_.reserve(capacity);
   }
 
   void record(Time at, int node, TraceKind kind, std::int64_t a, std::int64_t b) {
     if (events_.size() >= capacity_) {
       ++dropped_;
+      ++dropped_by_kind_[static_cast<int>(kind)];
       return;
     }
     events_.push_back({at, node, kind, a, b});
   }
 
   const std::vector<TraceEvent>& events() const { return events_; }
+  std::size_t capacity() const { return capacity_; }
   std::uint64_t dropped() const { return dropped_; }
+  std::uint64_t dropped(TraceKind kind) const {
+    return dropped_by_kind_[static_cast<int>(kind)];
+  }
   void clear() {
     events_.clear();
     dropped_ = 0;
+    for (auto& d : dropped_by_kind_) d = 0;
   }
 
-  // Count of events of one kind (test convenience).
-  std::size_t count(TraceKind kind) const;
+  // Count of events of one kind *observed*, including any dropped at
+  // capacity — a saturated trace must not silently skew event totals.
+  // recorded() gives just the events retained in the log.
+  std::size_t count(TraceKind kind) const {
+    return recorded(kind) + static_cast<std::size_t>(dropped(kind));
+  }
+  std::size_t recorded(TraceKind kind) const;
 
   // Human-readable dump: one event per line, virtual microsecond timestamps.
+  // Always ends with the drop count when any event was dropped.
   void write_text(std::ostream& os, std::size_t limit = ~std::size_t{0}) const;
 
  private:
   std::size_t capacity_;
   std::vector<TraceEvent> events_;
   std::uint64_t dropped_ = 0;
+  std::uint64_t dropped_by_kind_[kTraceKindCount] = {};
 };
 
 }  // namespace hyp::cluster

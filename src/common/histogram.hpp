@@ -1,0 +1,97 @@
+// Log2Histogram: fixed-size power-of-two-bucket histogram.
+//
+// The observability layer (src/obs, docs/OBSERVABILITY.md) records latencies
+// and payload sizes at the same hook points that bump the Stats counters.
+// Distributions matter where flat counters mislead: one hot home node shows
+// up as a fat tail in page-fetch latency long before it moves the mean.
+//
+// Design constraints (shared with the rest of the record-side observability
+// code):
+//   - zero heap allocation on record(): the buckets are a fixed array, so a
+//     Log2Histogram can be embedded in Stats and bumped from simulation hot
+//     paths (asserted by tests/obs_alloc_test.cpp);
+//   - pure accumulation: record() never reads the clock or yields, so an
+//     attached histogram cannot perturb virtual time (the determinism-golden
+//     contract of docs/PERFORMANCE.md);
+//   - exact merging: per-node histograms aggregate by bucket-wise addition.
+//
+// Bucketing: value 0 lands in bucket 0; a nonzero value v lands in bucket
+// bit_width(v), i.e. bucket k holds [2^(k-1), 2^k). The largest uint64 value
+// lands in bucket 64, so kBuckets = 65 covers the full domain with no
+// overflow bucket.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+namespace hyp {
+
+class Log2Histogram {
+ public:
+  static constexpr int kBuckets = 65;
+
+  static constexpr int bucket_of(std::uint64_t v) {
+    return v == 0 ? 0 : std::bit_width(v);
+  }
+  // Inclusive lower bound of bucket i (0 for buckets 0 and... bucket 1 is
+  // exactly [1,2)); callers labeling buckets use [lower, upper) bounds.
+  static constexpr std::uint64_t bucket_lower(int i) {
+    return i <= 0 ? 0 : (std::uint64_t{1} << (i - 1));
+  }
+  // Exclusive upper bound; bucket 64's upper bound saturates to UINT64_MAX.
+  static constexpr std::uint64_t bucket_upper(int i) {
+    if (i <= 0) return 1;
+    if (i >= 64) return ~std::uint64_t{0};
+    return std::uint64_t{1} << i;
+  }
+
+  void record(std::uint64_t v) {
+    ++buckets_[bucket_of(v)];
+    ++count_;
+    sum_ += v;
+    if (count_ == 1) {
+      min_ = v;
+      max_ = v;
+    } else {
+      if (v < min_) min_ = v;
+      if (v > max_) max_ = v;
+    }
+  }
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t sum() const { return sum_; }
+  // min/max are only meaningful when count() > 0.
+  std::uint64_t min() const { return min_; }
+  std::uint64_t max() const { return max_; }
+  std::uint64_t bucket(int i) const { return buckets_[i]; }
+  bool empty() const { return count_ == 0; }
+
+  double mean() const {
+    return count_ == 0 ? 0.0 : static_cast<double>(sum_) / static_cast<double>(count_);
+  }
+
+  void merge(const Log2Histogram& other) {
+    if (other.count_ == 0) return;
+    for (int i = 0; i < kBuckets; ++i) buckets_[i] += other.buckets_[i];
+    if (count_ == 0) {
+      min_ = other.min_;
+      max_ = other.max_;
+    } else {
+      if (other.min_ < min_) min_ = other.min_;
+      if (other.max_ > max_) max_ = other.max_;
+    }
+    count_ += other.count_;
+    sum_ += other.sum_;
+  }
+
+  void reset() { *this = Log2Histogram{}; }
+
+ private:
+  std::uint64_t buckets_[kBuckets] = {};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = 0;
+  std::uint64_t max_ = 0;
+};
+
+}  // namespace hyp

@@ -28,6 +28,16 @@ const char* counter_name(Counter c) {
   return "?";
 }
 
+const char* hist_name(Hist h) {
+  switch (h) {
+    case Hist::kPageFetchLatency: return "page_fetch_latency_ps";
+    case Hist::kMonitorAcquireWait: return "monitor_acquire_wait_ps";
+    case Hist::kUpdatePayloadBytes: return "update_payload_bytes";
+    case Hist::kCount_: break;
+  }
+  return "?";
+}
+
 std::uint64_t Stats::get_named(const std::string& name) const {
   auto it = named_.find(name);
   return it == named_.end() ? 0 : it->second;
@@ -35,12 +45,16 @@ std::uint64_t Stats::get_named(const std::string& name) const {
 
 void Stats::reset() {
   for (auto& v : fixed_) v = 0;
+  for (auto& h : hists_) h.reset();
   named_.clear();
 }
 
 void Stats::merge(const Stats& other) {
   for (int i = 0; i < static_cast<int>(Counter::kCount_); ++i) {
     fixed_[i] += other.fixed_[i];
+  }
+  for (int i = 0; i < static_cast<int>(Hist::kCount_); ++i) {
+    hists_[i].merge(other.hists_[i]);
   }
   for (const auto& [name, value] : other.named_) named_[name] += value;
 }

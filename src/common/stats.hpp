@@ -10,6 +10,8 @@
 #include <map>
 #include <string>
 
+#include "common/histogram.hpp"
+
 namespace hyp {
 
 // Fixed, enumerated counters for the hot paths (array-indexed: incrementing
@@ -37,20 +39,41 @@ enum class Counter : int {
 
 const char* counter_name(Counter c);
 
+// Log2-bucket distributions recorded at the same hook points that bump the
+// corresponding counters (see docs/OBSERVABILITY.md). Latencies are virtual
+// picoseconds (the simulator's Time unit); sizes are bytes. Recording is
+// allocation-free pure accumulation, so the histograms never perturb virtual
+// time — the determinism goldens hold with or without anyone reading them.
+enum class Hist : int {
+  kPageFetchLatency = 0,  // ps from miss detection to page present (per miss)
+  kMonitorAcquireWait,    // ps from monitor-enter request to grant
+  kUpdatePayloadBytes,    // bytes per updateMainMemory message shipped home
+  kCount_,
+};
+
+const char* hist_name(Hist h);
+
 class Stats {
  public:
   void add(Counter c, std::uint64_t n = 1) { fixed_[static_cast<int>(c)] += n; }
   std::uint64_t get(Counter c) const { return fixed_[static_cast<int>(c)]; }
+
+  Log2Histogram& hist(Hist h) { return hists_[static_cast<int>(h)]; }
+  const Log2Histogram& hist(Hist h) const { return hists_[static_cast<int>(h)]; }
+  void record(Hist h, std::uint64_t v) { hists_[static_cast<int>(h)].record(v); }
 
   void add_named(const std::string& name, std::uint64_t n = 1) { named_[name] += n; }
   std::uint64_t get_named(const std::string& name) const;
 
   void reset();
 
-  // Merges `other` into this (used to aggregate per-node stats).
+  // Merges `other` into this (used to aggregate per-node stats). Histograms
+  // merge bucket-wise.
   void merge(const Stats& other);
 
   // "name=value" lines, fixed counters first, zero-valued ones skipped.
+  // Histograms are intentionally NOT included (the determinism goldens pin
+  // this output; distributions are exported via obs::write_metrics_json).
   std::string to_string() const;
 
   // All nonzero counters as a name->value map (for CSV emission).
@@ -58,6 +81,7 @@ class Stats {
 
  private:
   std::uint64_t fixed_[static_cast<int>(Counter::kCount_)] = {};
+  Log2Histogram hists_[static_cast<int>(Hist::kCount_)];
   std::map<std::string, std::uint64_t> named_;
 };
 

@@ -91,8 +91,20 @@ void DsmSystem::fetch_page(ThreadCtx& t, PageId p) {
 
   t.stats->add(Counter::kPageFetches);
   t.stats->add(Counter::kPageFetchBytes, page_bytes);
+  if (heat_ != nullptr) [[unlikely]] heat_->record_fetch(p);
   cluster_->trace_event(t.node, cluster::TraceKind::kPageFetch, p, home);
   t.nd->finish_fetch(p);
+}
+
+void DsmSystem::fetch_until_present(ThreadCtx& t, PageId p) {
+  // Observation wrapper around the fetch loop: the histogram/phase records
+  // are pure accumulation plus two clock reads, so attaching them can never
+  // shift virtual time (determinism_golden pins this).
+  const Time t0 = cluster_->engine().now();
+  while (!t.nd->present(p)) fetch_page(t, p);
+  const TimeDelta waited = cluster_->engine().now() - t0;
+  t.stats->record(Hist::kPageFetchLatency, waited);
+  cluster_->phase_add(t.node, obs::Phase::kBlockedFetch, waited);
 }
 
 void DsmSystem::handle_page_request(cluster::Incoming& in, NodeId self) {
@@ -116,7 +128,7 @@ void DsmSystem::handle_page_request(cluster::Incoming& in, NodeId self) {
 void DsmSystem::miss_ic(ThreadCtx& t, PageId p) {
   // The in-line check already ran (and was charged) in the fast path.
   t.clock.flush();
-  while (!t.nd->present(p)) fetch_page(t, p);
+  fetch_until_present(t, p);
 }
 
 void DsmSystem::miss_pf(ThreadCtx& t, PageId p) {
@@ -124,10 +136,11 @@ void DsmSystem::miss_pf(ThreadCtx& t, PageId p) {
   // Hardware trap + kernel + SIGSEGV dispatch (the paper's 12/22 us), then
   // the fetch, then mprotect to open the page READ/WRITE.
   t.stats->add(Counter::kPageFaults);
+  if (heat_ != nullptr) [[unlikely]] heat_->record_fault(p);
   cluster_->trace_event(t.node, cluster::TraceKind::kPageFault, p);
   t.clock.charge(cpu.page_fault_cost);
   t.clock.flush();
-  while (!t.nd->present(p)) fetch_page(t, p);
+  fetch_until_present(t, p);
   t.stats->add(Counter::kMprotectCalls);
   t.clock.charge(cpu.mprotect_page_cost);
   t.clock.flush();
@@ -139,7 +152,8 @@ void DsmSystem::miss_pf(ThreadCtx& t, PageId p) {
 void DsmSystem::load_into_cache(ThreadCtx& t, Gva addr) {
   const PageId p = layout_.page_of(addr);
   t.clock.flush();
-  while (!t.nd->present(p)) fetch_page(t, p);
+  if (t.nd->present(p)) return;  // prefetch of a present page: nothing to log
+  fetch_until_present(t, p);
 }
 
 void DsmSystem::invalidate_cache(ThreadCtx& t) {
@@ -219,6 +233,10 @@ void DsmSystem::flush_ic(ThreadCtx& t) {
     WriteLog::encode(&msg, entries);
     t.stats->add(Counter::kUpdatesSent);
     t.stats->add(Counter::kUpdateBytes, msg.size());
+    t.stats->record(Hist::kUpdatePayloadBytes, msg.size());
+    if (heat_ != nullptr) [[unlikely]] {
+      for (const auto& e : entries) heat_->record_update(layout_.page_of(e.addr), e.size);
+    }
     cluster_->trace_event(t.node, cluster::TraceKind::kUpdateSent, home,
                           static_cast<std::int64_t>(msg.size()));
     Buffer ack = cluster_->call(t.node, home, svc::kUpdateFields, std::move(msg));
@@ -327,6 +345,10 @@ void DsmSystem::flush_pf(ThreadCtx& t) {
     }
     t.stats->add(Counter::kUpdatesSent);
     t.stats->add(Counter::kUpdateBytes, msg.size());
+    t.stats->record(Hist::kUpdatePayloadBytes, msg.size());
+    if (heat_ != nullptr) [[unlikely]] {
+      for (const DiffRun& r : runs) heat_->record_update(layout_.page_of(r.addr), r.len);
+    }
     cluster_->trace_event(t.node, cluster::TraceKind::kUpdateSent, home,
                           static_cast<std::int64_t>(msg.size()));
     Buffer ack = cluster_->call(t.node, home, svc::kUpdateRuns, std::move(msg));

@@ -31,6 +31,7 @@
 #include "cluster/cluster.hpp"
 #include "common/stats.hpp"
 #include "dsm/address.hpp"
+#include "obs/heat.hpp"
 #include "dsm/flush_scratch.hpp"
 #include "dsm/node_dsm.hpp"
 #include "dsm/write_log.hpp"
@@ -115,6 +116,14 @@ class DsmSystem {
   void miss_ic(ThreadCtx& t, PageId p);
   void miss_pf(ThreadCtx& t, PageId p);
 
+  // --- page-heat attachment (optional; nullptr = off) ----------------------
+  // Same discipline as Cluster::set_trace: one pointer test when detached;
+  // when attached, record_*() is pure accumulation (obs/heat.hpp) so virtual
+  // time is unperturbed. The caller owns the table and should init() it for
+  // layout().total_pages() before attaching.
+  void set_heat(obs::PageHeatTable* heat) { heat_ = heat; }
+  obs::PageHeatTable* heat() { return heat_; }
+
   // --- direct home-copy access (initialization and tests) -----------------
   template <typename T>
   T read_home(Gva a) const {
@@ -132,6 +141,10 @@ class DsmSystem {
  private:
   // Transfers one page from its home into t's arena (no detection costs).
   void fetch_page(ThreadCtx& t, PageId p);
+  // Loops fetch_page until `p` is present and attributes the elapsed virtual
+  // time to Hist::kPageFetchLatency and Phase::kBlockedFetch (observation
+  // only: the waits themselves are unchanged).
+  void fetch_until_present(ThreadCtx& t, PageId p);
   void flush_ic(ThreadCtx& t);
   void flush_pf(ThreadCtx& t);
 
@@ -144,6 +157,7 @@ class DsmSystem {
   ProtocolKind kind_;
   std::vector<std::unique_ptr<NodeDsm>> nodes_;
   std::uint64_t next_thread_uid_ = 1;
+  obs::PageHeatTable* heat_ = nullptr;
 };
 
 }  // namespace hyp::dsm

@@ -41,9 +41,15 @@ void MonitorSubsystem::enter(dsm::ThreadCtx& t, dsm::Gva obj) {
   cluster_->trace_event(t.node, cluster::TraceKind::kMonitorEnter,
                         static_cast<std::int64_t>(obj), static_cast<std::int64_t>(t.uid));
   const cluster::NodeId home = dsm_->layout().home_of(obj);
+  // Acquire-wait observation: measured from after the thread's batched
+  // compute is materialized (so pending cycles are not misattributed to lock
+  // contention) until the grant arrives. Recording is pure accumulation plus
+  // clock reads — attaching it cannot shift virtual time.
+  Time requested_at;
   if (home == t.node) {
     t.clock.charge_cycles(kLocalLockCycles);
     t.clock.flush();
+    requested_at = cluster_->engine().now();
     bool granted = false;
     Contender c;
     c.uid = t.uid;
@@ -54,10 +60,16 @@ void MonitorSubsystem::enter(dsm::ThreadCtx& t, dsm::Gva obj) {
     while (!granted) sim::Engine::current()->park();
   } else {
     t.clock.flush();
+    requested_at = cluster_->engine().now();
     Buffer grant_msg =
         cluster_->call(t.node, home, svc::kMonitorEnter, encode_obj_uid(obj, t.uid));
     HYP_CHECK(grant_msg.empty());
   }
+  const TimeDelta waited = cluster_->engine().now() - requested_at;
+  t.stats->record(Hist::kMonitorAcquireWait, waited);
+  cluster_->phase_add(t.node, obs::Phase::kBlockedMonitor, waited);
+  cluster_->trace_event(t.node, cluster::TraceKind::kMonitorAcquired,
+                        static_cast<std::int64_t>(obj), static_cast<std::int64_t>(t.uid));
   dsm_->on_acquire(t);
 }
 
@@ -85,9 +97,13 @@ void MonitorSubsystem::wait(dsm::ThreadCtx& t, dsm::Gva obj) {
   // wait() is a release followed (after notify) by an acquire.
   dsm_->on_release(t);
   const cluster::NodeId home = dsm_->layout().home_of(obj);
+  // Object.wait is how every §4.1 application builds its barriers: the time
+  // from release to re-grant is attributed to Phase::kBarrier.
+  Time requested_at;
   if (home == t.node) {
     t.clock.charge_cycles(kLocalLockCycles);
     t.clock.flush();
+    requested_at = cluster_->engine().now();
     bool granted = false;
     Contender c;
     c.uid = t.uid;
@@ -98,11 +114,14 @@ void MonitorSubsystem::wait(dsm::ThreadCtx& t, dsm::Gva obj) {
     while (!granted) sim::Engine::current()->park();
   } else {
     t.clock.flush();
+    requested_at = cluster_->engine().now();
     // The reply arrives only after notify + re-grant.
     Buffer grant_msg =
         cluster_->call(t.node, home, svc::kMonitorWait, encode_obj_uid(obj, t.uid));
     HYP_CHECK(grant_msg.empty());
   }
+  cluster_->phase_add(t.node, obs::Phase::kBarrier,
+                      cluster_->engine().now() - requested_at);
   dsm_->on_acquire(t);
 }
 

@@ -84,6 +84,11 @@ JThread JavaEnv::start_thread(std::string name, std::function<void(JavaEnv&)> bo
         fn(env);
         // Thread termination happens-before join(): flush working memory.
         vm->dsm_.on_release(env.ctx());
+        // Everything this thread ever charged to its CPU clock is compute
+        // (app cycles + protocol in-line costs); attributed to the node the
+        // thread ended on (migration moves the attribution with the thread).
+        vm->cluster_.phase_add(env.ctx().node, obs::Phase::kCompute,
+                               env.ctx().clock.total_charged());
       });
   return handle;
 }
@@ -91,7 +96,10 @@ JThread JavaEnv::start_thread(std::string name, std::function<void(JavaEnv&)> bo
 void JavaEnv::join(JThread& thread) {
   HYP_CHECK_MSG(thread.valid(), "joining a thread that was never started");
   ctx_->clock.flush();
+  const Time join_begin = vm_->cluster_.engine().now();
   sim::Engine::current()->join(thread.fiber_);
+  vm_->cluster_.phase_add(ctx_->node, obs::Phase::kBarrier,
+                          vm_->cluster_.engine().now() - join_begin);
   // Acquire side of the join() edge: see everything the thread wrote.
   vm_->dsm_.on_acquire(*ctx_);
 }
@@ -104,7 +112,19 @@ HyperionVM::HyperionVM(VmConfig config)
       cluster_(config_.cluster, config_.nodes),
       dsm_(&cluster_, config_.region_bytes, config_.protocol),
       monitors_(&cluster_, &dsm_),
-      balancer_(std::make_unique<RoundRobinBalancer>()) {}
+      balancer_(std::make_unique<RoundRobinBalancer>()) {
+  // Observability attachments (see VmConfig): sized here so callers only
+  // declare the objects and the VM binds them to the run's actual layout.
+  if (config_.trace != nullptr) cluster_.set_trace(config_.trace);
+  if (config_.heat != nullptr) {
+    config_.heat->init(dsm_.layout().total_pages(), dsm_.layout().page_bytes());
+    dsm_.set_heat(config_.heat);
+  }
+  if (config_.phases != nullptr) {
+    config_.phases->init(cluster_.node_count());
+    cluster_.set_phases(config_.phases);
+  }
+}
 
 Time HyperionVM::run_main(std::function<void(JavaEnv&)> main_fn) {
   threads_started_ = 0;
@@ -113,6 +133,8 @@ Time HyperionVM::run_main(std::function<void(JavaEnv&)> main_fn) {
     JavaEnv env(vm, vm->dsm_.make_thread(0));
     fn(env);
     env.ctx().clock.flush();
+    vm->cluster_.phase_add(env.ctx().node, obs::Phase::kCompute,
+                           env.ctx().clock.total_charged());
     vm->elapsed_ = vm->cluster_.engine().now();
   });
   cluster_.run();

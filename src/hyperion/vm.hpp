@@ -28,6 +28,16 @@ struct VmConfig {
   int nodes = 0;  // 0 = the preset's paper-figure size
   dsm::ProtocolKind protocol = dsm::ProtocolKind::kJavaPf;
   std::size_t region_bytes = std::size_t{256} << 20;
+
+  // --- observability attachments (optional; nullptr = off) -----------------
+  // All three observe without perturbing: attaching them cannot change the
+  // virtual time of a run (tests/determinism_golden_test.cpp pins this).
+  // The caller owns the objects and must keep them alive for the VM's
+  // lifetime; heat/phases are (re)initialized by the VM constructor to the
+  // run's region layout and node count.
+  cluster::TraceLog* trace = nullptr;     // protocol event log
+  obs::PageHeatTable* heat = nullptr;     // per-page fetch/fault/update heat
+  obs::PhaseAccounting* phases = nullptr; // per-node thread-time phase split
 };
 
 class HyperionVM;

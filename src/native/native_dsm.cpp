@@ -36,10 +36,27 @@ void segv_handler(int signo, siginfo_t* info, void* ucontext) {
       }
     }
   }
-  // Not ours: restore the previous disposition and return; the instruction
-  // re-faults and the default action (or the previous handler) applies.
+  // Not ours: chain to the previous handler for THIS signal only, keeping
+  // our own handler installed so subsequent java_pf access faults are still
+  // serviced. (The old code uninstalled us permanently here, killing remote
+  // detection for the rest of the run after one foreign fault.)
+  if ((g_previous_action.sa_flags & SA_SIGINFO) != 0) {
+    if (g_previous_action.sa_sigaction != nullptr) {
+      g_previous_action.sa_sigaction(signo, info, ucontext);
+    }
+    return;
+  }
+  if (g_previous_action.sa_handler == SIG_IGN) {
+    return;  // the previous disposition ignored SIGSEGV; honor that and retry
+  }
+  if (g_previous_action.sa_handler != SIG_DFL && g_previous_action.sa_handler != nullptr) {
+    g_previous_action.sa_handler(signo);
+    return;
+  }
+  // Previous disposition was SIG_DFL: restore it and return; the instruction
+  // re-faults and the default action (core dump) applies. The process dies
+  // here, so losing our handler no longer matters.
   sigaction(SIGSEGV, &g_previous_action, nullptr);
-  (void)signo;
   (void)ucontext;
 }
 
@@ -133,11 +150,14 @@ void NativeDsm::protect_non_home_pages(int node) {
   const Gva ze = layout_.zone_end(node);
   if (zb > 0) {
     HYP_CHECK(mprotect(arena, zb, PROT_NONE) == 0);
-    bump(Counter::kMprotectCalls);
+    // Count one protection change per page covered, not per mprotect(2)
+    // range call, so the counter matches the per-page accounting used by
+    // fetch_page/invalidate_cache (§3.3 charges protection per page).
+    bump(Counter::kMprotectCalls, zb / layout_.page_bytes());
   }
   if (ze < layout_.total_bytes()) {
     HYP_CHECK(mprotect(arena + ze, layout_.total_bytes() - ze, PROT_NONE) == 0);
-    bump(Counter::kMprotectCalls);
+    bump(Counter::kMprotectCalls, (layout_.total_bytes() - ze) / layout_.page_bytes());
   }
 }
 

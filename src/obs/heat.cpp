@@ -1,0 +1,59 @@
+#include "obs/heat.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace hyp::obs {
+
+std::vector<PageHeatTable::Row> PageHeatTable::top(std::size_t n) const {
+  std::vector<Row> rows;
+  for (std::size_t p = 0; p < fetches_.size(); ++p) {
+    if (fetches_[p] == 0 && faults_[p] == 0 && update_bytes_[p] == 0) continue;
+    rows.push_back({p, fetches_[p], faults_[p], update_bytes_[p]});
+  }
+  auto hotter = [](const Row& a, const Row& b) {
+    const std::uint64_t ea = a.fetches + a.faults;
+    const std::uint64_t eb = b.fetches + b.faults;
+    if (ea != eb) return ea > eb;
+    if (a.update_bytes != b.update_bytes) return a.update_bytes > b.update_bytes;
+    return a.page < b.page;
+  };
+  if (rows.size() > n) {
+    std::partial_sort(rows.begin(), rows.begin() + static_cast<std::ptrdiff_t>(n), rows.end(),
+                      hotter);
+    rows.resize(n);
+  } else {
+    std::sort(rows.begin(), rows.end(), hotter);
+  }
+  return rows;
+}
+
+void PageHeatTable::write_report(std::ostream& os, std::size_t n) const {
+  char line[160];
+  std::snprintf(line, sizeof(line), "%-10s %10s %10s %14s\n", "page", "fetches", "faults",
+                "update bytes");
+  os << line;
+  std::uint64_t tf = 0, tp = 0, tb = 0;
+  std::size_t active = 0;
+  for (std::size_t p = 0; p < fetches_.size(); ++p) {
+    tf += fetches_[p];
+    tp += faults_[p];
+    tb += update_bytes_[p];
+    active += (fetches_[p] != 0 || faults_[p] != 0 || update_bytes_[p] != 0);
+  }
+  for (const Row& r : top(n)) {
+    std::snprintf(line, sizeof(line), "%-10llu %10llu %10llu %14llu\n",
+                  static_cast<unsigned long long>(r.page),
+                  static_cast<unsigned long long>(r.fetches),
+                  static_cast<unsigned long long>(r.faults),
+                  static_cast<unsigned long long>(r.update_bytes));
+    os << line;
+  }
+  std::snprintf(line, sizeof(line), "%-10s %10llu %10llu %14llu  (%zu active pages)\n",
+                "all", static_cast<unsigned long long>(tf),
+                static_cast<unsigned long long>(tp), static_cast<unsigned long long>(tb),
+                active);
+  os << line;
+}
+
+}  // namespace hyp::obs

@@ -1,0 +1,74 @@
+// Per-page protocol heat: fetches / faults / update-bytes by page.
+//
+// The §3.1 prefetch claim ("fetching a whole page prefetches the rest of its
+// objects") and false sharing both live *below* the flat counters: a run with
+// few fetches but one page absorbing most update traffic is a false-sharing
+// run; a run whose fetches concentrate on consecutively allocated pages is
+// the prefetch effect working. This table makes both visible per benchmark.
+//
+// Recording discipline: init() preallocates three flat arrays (one slot per
+// page of the shared region); record_*() is a bounds check plus an indexed
+// add — no allocation, no clock access, no perturbation of virtual time.
+// DsmSystem holds an optional pointer; detached cost is one pointer test.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <ostream>
+#include <vector>
+
+namespace hyp::obs {
+
+class PageHeatTable {
+ public:
+  struct Row {
+    std::uint64_t page = 0;
+    std::uint64_t fetches = 0;
+    std::uint64_t faults = 0;
+    std::uint64_t update_bytes = 0;
+  };
+
+  // (Re)sizes for a region of `total_pages` pages and zeroes all heat. The
+  // only allocating call; record_*() never allocates.
+  void init(std::size_t total_pages, std::size_t page_bytes) {
+    fetches_.assign(total_pages, 0);
+    faults_.assign(total_pages, 0);
+    update_bytes_.assign(total_pages, 0);
+    page_bytes_ = page_bytes;
+  }
+
+  bool initialized() const { return !fetches_.empty(); }
+  std::size_t total_pages() const { return fetches_.size(); }
+  std::size_t page_bytes() const { return page_bytes_; }
+
+  void record_fetch(std::uint64_t page) {
+    if (page < fetches_.size()) ++fetches_[page];
+  }
+  void record_fault(std::uint64_t page) {
+    if (page < faults_.size()) ++faults_[page];
+  }
+  void record_update(std::uint64_t page, std::uint64_t bytes) {
+    if (page < update_bytes_.size()) update_bytes_[page] += bytes;
+  }
+
+  std::uint64_t fetches(std::uint64_t page) const { return fetches_[page]; }
+  std::uint64_t faults(std::uint64_t page) const { return faults_[page]; }
+  std::uint64_t update_bytes(std::uint64_t page) const { return update_bytes_[page]; }
+
+  // The `n` hottest pages, hottest first. Ordering: coherence events
+  // (fetches + faults) descending, then update_bytes descending, then page
+  // ascending — deterministic, so reports are diffable run-to-run. Pages
+  // with zero activity are excluded (the table may return fewer than n).
+  std::vector<Row> top(std::size_t n) const;
+
+  // Pretty top-N report (plus a totals line) for terminal consumption.
+  void write_report(std::ostream& os, std::size_t n) const;
+
+ private:
+  std::vector<std::uint64_t> fetches_;
+  std::vector<std::uint64_t> faults_;
+  std::vector<std::uint64_t> update_bytes_;
+  std::size_t page_bytes_ = 0;
+};
+
+}  // namespace hyp::obs

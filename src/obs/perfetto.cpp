@@ -1,0 +1,231 @@
+#include "obs/perfetto.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <map>
+#include <set>
+#include <string>
+#include <tuple>
+#include <utility>
+
+namespace hyp::obs {
+
+namespace {
+
+using cluster::TraceEvent;
+using cluster::TraceKind;
+using cluster::TraceLog;
+
+// tid hosting the derived page-fetch slices (clear of real thread uids,
+// which are small dense integers).
+constexpr int kFetchTid = 999;
+
+// ts in virtual microseconds with picosecond fraction, integer arithmetic
+// only: byte-stable across platforms/compilers.
+std::string format_ts(Time at) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64 ".%06" PRIu64, at / kMicrosecond,
+                at % kMicrosecond);
+  return buf;
+}
+
+// Decoded args for one raw event, as a ready-to-embed JSON object body.
+std::string event_args(const TraceEvent& e) {
+  char buf[96];
+  const auto a = static_cast<long long>(e.a);
+  const auto b = static_cast<long long>(e.b);
+  switch (e.kind) {
+    case TraceKind::kPageFetch:
+      std::snprintf(buf, sizeof(buf), "{\"page\":%lld,\"home\":%lld}", a, b);
+      break;
+    case TraceKind::kPageFault:
+      std::snprintf(buf, sizeof(buf), "{\"page\":%lld}", a);
+      break;
+    case TraceKind::kInvalidate:
+      std::snprintf(buf, sizeof(buf), "{\"pages\":%lld}", a);
+      break;
+    case TraceKind::kUpdateSent:
+      std::snprintf(buf, sizeof(buf), "{\"home\":%lld,\"bytes\":%lld}", a, b);
+      break;
+    case TraceKind::kMonitorEnter:
+    case TraceKind::kMonitorExit:
+    case TraceKind::kMonitorWait:
+    case TraceKind::kMonitorAcquired:
+      std::snprintf(buf, sizeof(buf), "{\"object\":%lld,\"thread\":%lld}", a, b);
+      break;
+    case TraceKind::kMonitorNotify:
+      std::snprintf(buf, sizeof(buf), "{\"object\":%lld,\"all\":%lld}", a, b);
+      break;
+    case TraceKind::kThreadStart:
+      std::snprintf(buf, sizeof(buf), "{\"thread\":%lld}", a);
+      break;
+    case TraceKind::kThreadMigrate:
+      std::snprintf(buf, sizeof(buf), "{\"from\":%lld,\"to\":%lld}", a, b);
+      break;
+    default:
+      std::snprintf(buf, sizeof(buf), "{\"a\":%lld,\"b\":%lld}", a, b);
+      break;
+  }
+  return buf;
+}
+
+const char* event_category(TraceKind kind) {
+  switch (kind) {
+    case TraceKind::kPageFetch:
+    case TraceKind::kPageFault:
+    case TraceKind::kInvalidate:
+    case TraceKind::kUpdateSent:
+      return "dsm";
+    case TraceKind::kMonitorEnter:
+    case TraceKind::kMonitorExit:
+    case TraceKind::kMonitorWait:
+    case TraceKind::kMonitorNotify:
+    case TraceKind::kMonitorAcquired:
+      return "monitor";
+    case TraceKind::kThreadStart:
+    case TraceKind::kThreadMigrate:
+      return "thread";
+  }
+  return "protocol";
+}
+
+class Emitter {
+ public:
+  explicit Emitter(std::ostream& os) : os_(os) {}
+
+  void raw(const std::string& json_object) {
+    os_ << (first_ ? "\n  " : ",\n  ") << json_object;
+    first_ = false;
+  }
+
+  void metadata(int pid, int tid, const char* what, const std::string& name) {
+    char buf[160];
+    if (tid < 0) {
+      std::snprintf(buf, sizeof(buf),
+                    "{\"name\":\"%s\",\"ph\":\"M\",\"pid\":%d,\"args\":{\"name\":\"%s\"}}",
+                    what, pid, name.c_str());
+    } else {
+      std::snprintf(
+          buf, sizeof(buf),
+          "{\"name\":\"%s\",\"ph\":\"M\",\"pid\":%d,\"tid\":%d,\"args\":{\"name\":\"%s\"}}",
+          what, pid, tid, name.c_str());
+    }
+    raw(buf);
+  }
+
+  void instant(const TraceEvent& e) {
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"i\",\"s\":\"t\",\"ts\":%s,"
+                  "\"pid\":%d,\"tid\":0,\"args\":%s}",
+                  trace_kind_name(e.kind), event_category(e.kind),
+                  format_ts(e.at).c_str(), e.node, event_args(e).c_str());
+    raw(buf);
+  }
+
+  void slice(const char* name, const char* cat, Time begin, Time end, int pid, int tid,
+             const std::string& args) {
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%s,\"dur\":%s,"
+                  "\"pid\":%d,\"tid\":%d,\"args\":%s}",
+                  name, cat, format_ts(begin).c_str(), format_ts(end - begin).c_str(), pid,
+                  tid, args.c_str());
+    raw(buf);
+  }
+
+ private:
+  std::ostream& os_;
+  bool first_ = true;
+};
+
+}  // namespace
+
+void write_perfetto_trace(std::ostream& os, const TraceLog& log, const PerfettoOptions& opts) {
+  os << "{\"displayTimeUnit\":\"ns\",\n\"otherData\":{";
+  os << "\"generator\":\"hyperion-repro obs (virtual time)\"";
+  os << ",\"events_recorded\":" << log.events().size();
+  os << ",\"trace_dropped\":" << log.dropped();
+  {
+    bool any = false;
+    for (int k = 0; k < cluster::kTraceKindCount; ++k) {
+      const auto kind = static_cast<TraceKind>(k);
+      if (log.dropped(kind) == 0) continue;
+      os << (any ? "," : ",\"trace_dropped_by_kind\":{");
+      os << '"' << trace_kind_name(kind) << "\":" << log.dropped(kind);
+      any = true;
+    }
+    if (any) os << '}';
+  }
+  os << "},\n\"traceEvents\":[";
+
+  Emitter emit(os);
+
+  // --- track metadata -------------------------------------------------------
+  std::set<int> nodes;
+  std::set<std::pair<int, std::int64_t>> monitor_threads;  // (node, uid)
+  bool any_fault = false;
+  for (const TraceEvent& e : log.events()) {
+    nodes.insert(e.node);
+    if (e.kind == TraceKind::kPageFault) any_fault = true;
+    if (e.kind == TraceKind::kMonitorEnter || e.kind == TraceKind::kMonitorAcquired) {
+      monitor_threads.insert({e.node, e.b});
+    }
+  }
+  for (int n : nodes) {
+    emit.metadata(n, -1, "process_name", "node " + std::to_string(n));
+    emit.metadata(n, 0, "thread_name", "protocol events");
+    if (opts.derive_slices && any_fault) {
+      emit.metadata(n, kFetchTid, "thread_name", "dsm fetch");
+    }
+  }
+  if (opts.derive_slices) {
+    for (const auto& [node, uid] : monitor_threads) {
+      emit.metadata(node, static_cast<int>(uid), "thread_name",
+                    "java thread " + std::to_string(uid));
+    }
+  }
+
+  // --- instants + derived slices, in event order ----------------------------
+  // page_fetch slice: last unmatched kPageFault on (node, page) -> kPageFetch.
+  // monitor_acquire slice: kMonitorEnter -> kMonitorAcquired on
+  // (node, object, uid).
+  std::map<std::pair<int, std::int64_t>, Time> pending_fault;
+  std::map<std::tuple<int, std::int64_t, std::int64_t>, Time> pending_enter;
+  for (const TraceEvent& e : log.events()) {
+    emit.instant(e);
+    if (!opts.derive_slices) continue;
+    switch (e.kind) {
+      case TraceKind::kPageFault:
+        pending_fault[{e.node, e.a}] = e.at;
+        break;
+      case TraceKind::kPageFetch: {
+        auto it = pending_fault.find({e.node, e.a});
+        if (it != pending_fault.end()) {
+          emit.slice("page_fetch", "dsm", it->second, e.at, e.node, kFetchTid,
+                     event_args(e));
+          pending_fault.erase(it);
+        }
+        break;
+      }
+      case TraceKind::kMonitorEnter:
+        pending_enter[{e.node, e.a, e.b}] = e.at;
+        break;
+      case TraceKind::kMonitorAcquired: {
+        auto it = pending_enter.find({e.node, e.a, e.b});
+        if (it != pending_enter.end()) {
+          emit.slice("monitor_acquire", "monitor", it->second, e.at, e.node,
+                     static_cast<int>(e.b), event_args(e));
+          pending_enter.erase(it);
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+  os << "\n]}\n";
+}
+
+}  // namespace hyp::obs

@@ -1,0 +1,38 @@
+// Perfetto / Chrome trace_events JSON export for TraceLog.
+//
+// Converts the protocol event log into the Chrome trace-event JSON format
+// (the `traceEvents` array form), directly openable in ui.perfetto.dev or
+// chrome://tracing. Layout:
+//
+//   - one "process" per cluster node (pid = node id, named "node N");
+//   - tid 0 "protocol": every raw TraceLog event as an instant, with its
+//     payload decoded into named args (page/home/object/thread/bytes/...);
+//   - tid = thread uid: "monitor_acquire" duration slices derived by pairing
+//     kMonitorEnter with kMonitorAcquired (same node, object, uid) — lock
+//     contention becomes visible as slice width;
+//   - tid 999 "dsm fetch": "page_fetch" duration slices derived by pairing
+//     kPageFault with the kPageFetch that services it (same node, page) —
+//     java_pf remote-object detection latency as slice width. java_ic runs
+//     have no fault events, so they produce instants only.
+//
+// Timestamps are virtual microseconds with picosecond fractions, printed
+// with fixed-width integer arithmetic: the same TraceLog always serializes
+// to byte-identical JSON (pinned by tests/goldens/perfetto_golden.json).
+// The drop count (total and per kind) is always emitted in `otherData` so a
+// saturated trace is never mistaken for a quiet run.
+#pragma once
+
+#include <ostream>
+
+#include "cluster/trace.hpp"
+
+namespace hyp::obs {
+
+struct PerfettoOptions {
+  bool derive_slices = true;  // emit the paired duration slices
+};
+
+void write_perfetto_trace(std::ostream& os, const cluster::TraceLog& log,
+                          const PerfettoOptions& opts = {});
+
+}  // namespace hyp::obs

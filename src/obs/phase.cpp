@@ -1,0 +1,36 @@
+#include "obs/phase.hpp"
+
+#include <cstdio>
+
+namespace hyp::obs {
+
+const char* phase_name(Phase p) {
+  switch (p) {
+    case Phase::kCompute: return "compute";
+    case Phase::kBlockedFetch: return "blocked_fetch";
+    case Phase::kBlockedMonitor: return "blocked_monitor";
+    case Phase::kBarrier: return "barrier";
+    case Phase::kCount_: break;
+  }
+  return "?";
+}
+
+void PhaseAccounting::write_report(std::ostream& os) const {
+  char line[192];
+  std::snprintf(line, sizeof(line), "%-6s %14s %14s %16s %14s\n", "node", "compute (ms)",
+                "fetch (ms)", "monitor (ms)", "barrier (ms)");
+  os << line;
+  auto ms = [](Time t) { return static_cast<double>(t) / static_cast<double>(kMillisecond); };
+  for (int n = 0; n < nodes_; ++n) {
+    std::snprintf(line, sizeof(line), "n%-5d %14.3f %14.3f %16.3f %14.3f\n", n,
+                  ms(get(n, Phase::kCompute)), ms(get(n, Phase::kBlockedFetch)),
+                  ms(get(n, Phase::kBlockedMonitor)), ms(get(n, Phase::kBarrier)));
+    os << line;
+  }
+  std::snprintf(line, sizeof(line), "%-6s %14.3f %14.3f %16.3f %14.3f\n", "total",
+                ms(total(Phase::kCompute)), ms(total(Phase::kBlockedFetch)),
+                ms(total(Phase::kBlockedMonitor)), ms(total(Phase::kBarrier)));
+  os << line;
+}
+
+}  // namespace hyp::obs

@@ -1,0 +1,80 @@
+// Per-thread virtual-time phase accounting, aggregated per node.
+//
+// The paper argues from *where virtual time goes* (§4.3: faults vs in-line
+// checks, communication growth with node count); this module splits every
+// node's thread-time into four phases so that argument can be made from one
+// report instead of from counter archaeology:
+//
+//   compute         — CPU cycles charged through CpuClock (app + protocol
+//                     in-line costs), attributed when a thread finishes;
+//   blocked_fetch   — waiting for a remote page (miss detection to install);
+//   blocked_monitor — waiting for a monitor-enter grant (lock contention);
+//   barrier         — waiting in Object.wait / thread join (the monitor-based
+//                     barriers every §4.1 application is built from).
+//
+// Recording discipline (shared with Log2Histogram, see common/histogram.hpp):
+// add() is pure accumulation into a preallocated table — no clock reads, no
+// yields, no allocation — so an attached PhaseAccounting cannot shift virtual
+// time. The Cluster holds an optional pointer; detached cost is one pointer
+// test (Cluster::phase_add).
+//
+// Phases are wall-clock *thread* time, so with >1 thread per node the phase
+// sum exceeds the node's elapsed time — that overlap is exactly what the
+// ext_threads_per_node study measures.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace hyp::obs {
+
+enum class Phase : int {
+  kCompute = 0,
+  kBlockedFetch,
+  kBlockedMonitor,
+  kBarrier,
+  kCount_,
+};
+
+inline constexpr int kPhaseCount = static_cast<int>(Phase::kCount_);
+
+const char* phase_name(Phase p);
+
+class PhaseAccounting {
+ public:
+  // (Re)initializes for `nodes` nodes; all accumulators reset to zero. The
+  // only allocating call — record-side add() touches preallocated slots.
+  void init(int nodes) {
+    per_node_.assign(static_cast<std::size_t>(nodes) * kPhaseCount, 0);
+    nodes_ = nodes;
+  }
+
+  bool initialized() const { return nodes_ > 0; }
+  int nodes() const { return nodes_; }
+
+  void add(int node, Phase phase, TimeDelta dt) {
+    per_node_[static_cast<std::size_t>(node) * kPhaseCount + static_cast<int>(phase)] += dt;
+  }
+
+  Time get(int node, Phase phase) const {
+    return per_node_[static_cast<std::size_t>(node) * kPhaseCount + static_cast<int>(phase)];
+  }
+
+  Time total(Phase phase) const {
+    Time t = 0;
+    for (int n = 0; n < nodes_; ++n) t += get(n, phase);
+    return t;
+  }
+
+  // Pretty per-node table with a totals row (virtual milliseconds).
+  void write_report(std::ostream& os) const;
+
+ private:
+  int nodes_ = 0;
+  std::vector<Time> per_node_;  // [node * kPhaseCount + phase]
+};
+
+}  // namespace hyp::obs

@@ -1,0 +1,169 @@
+// Regression tests for two native-backend accounting/robustness bugs:
+//
+// 1. segv_handler used to react to a fault OUTSIDE every DSM arena by
+//    permanently uninstalling itself (sigaction back to the previous
+//    disposition) without ever invoking the previous handler. One foreign
+//    SIGSEGV — e.g. from a host application's own protected region — killed
+//    remote-object detection for the rest of the run: every later java_pf
+//    access fault went to the foreign handler (or the default action)
+//    instead of fetch_page. The fix chains: the foreign signal is forwarded
+//    to the previously installed handler while our handler stays installed.
+//
+// 2. protect_non_home_pages counted kMprotectCalls once per mprotect(2)
+//    RANGE (always 2 per node) instead of once per page covered, skewing
+//    the §3.3 protection-cost accounting that fetch_page/invalidate_cache
+//    maintain per page.
+#include <setjmp.h>
+#include <signal.h>
+#include <sys/mman.h>
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+
+#include "native/native_vm.hpp"
+
+namespace hyp::native {
+namespace {
+
+// ---- foreign-fault plumbing -------------------------------------------------
+// The "host application" handler that was installed before the DSM: counts
+// hits and longjmps out so the faulting access does not retry forever.
+std::atomic<int> g_foreign_hits{0};
+sigjmp_buf g_foreign_jump;
+
+void counting_handler(int /*signo*/, siginfo_t* /*info*/, void* /*ucontext*/) {
+  g_foreign_hits.fetch_add(1, std::memory_order_relaxed);
+  siglongjmp(g_foreign_jump, 1);
+}
+
+struct ScopedUserSegvHandler {
+  ScopedUserSegvHandler() {
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof(sa));
+    sa.sa_sigaction = &counting_handler;
+    sa.sa_flags = SA_SIGINFO;
+    sigemptyset(&sa.sa_mask);
+    installed_ = sigaction(SIGSEGV, &sa, &saved_) == 0;
+  }
+  ~ScopedUserSegvHandler() {
+    if (installed_) sigaction(SIGSEGV, &saved_, nullptr);
+  }
+  bool installed_ = false;
+  struct sigaction saved_;
+};
+
+NativeVm::Config pf_cfg(int nodes) {
+  NativeVm::Config c;
+  c.protocol = Protocol::kJavaPf;
+  c.nodes = nodes;
+  c.region_bytes = std::size_t{16} << 20;
+  return c;
+}
+
+TEST(NativeSegvChain, ForeignFaultChainsAndDetectionStaysAlive) {
+  g_foreign_hits.store(0);
+  // A host application installed its own SIGSEGV handler BEFORE the DSM came
+  // up; NativeDsm's installation saves it as the previous action.
+  ScopedUserSegvHandler user_handler;
+  ASSERT_TRUE(user_handler.installed_);
+
+  // A page the DSM knows nothing about — faulting on it is "foreign".
+  void* forbidden = mmap(nullptr, 4096, PROT_NONE,
+                         MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  ASSERT_NE(forbidden, MAP_FAILED);
+
+  {
+    NativeVm vm(pf_cfg(2));
+    vm.run_main([&](NativeEnv& env) {
+      const Gva a = env.new_cell<std::int64_t>(4242);  // homed on node 0
+
+      // Foreign fault mid-run: must be forwarded to the user handler, once.
+      if (sigsetjmp(g_foreign_jump, 1) == 0) {
+        volatile const char* p = static_cast<const char*>(forbidden);
+        [[maybe_unused]] volatile char c = *p;
+        FAIL() << "access to PROT_NONE page did not fault";
+      }
+      EXPECT_EQ(g_foreign_hits.load(), 1);
+
+      // ...and remote-object detection must still work afterwards: the DSM
+      // handler has to still be installed, not uninstalled by the foreign
+      // fault. (Before the fix this deadlocked/crashed: the remote access
+      // below re-raised into the user handler instead of fetch_page.)
+      std::int64_t seen = 0;
+      vm.start_thread([a, &seen](NativeEnv& remote) {
+        if (remote.node() != 0) seen = remote.get<std::int64_t>(a);
+      });
+      vm.start_thread([a, &seen](NativeEnv& remote) {
+        if (remote.node() != 0) seen = remote.get<std::int64_t>(a);
+      });
+      vm.join_all(env);
+      EXPECT_EQ(seen, 4242);
+    });
+    // The post-foreign-fault remote read went through SIGSEGV detection.
+    EXPECT_GE(vm.dsm().counter(Counter::kPageFaults), 1u);
+    EXPECT_GE(vm.dsm().counter(Counter::kPageFetches), 1u);
+    // The foreign fault hit the user handler exactly once — not zero (the
+    // old behavior silently swallowed it on first occurrence) and not many.
+    EXPECT_EQ(g_foreign_hits.load(), 1);
+  }
+}
+
+TEST(NativeSegvChain, SecondForeignFaultStillChains) {
+  g_foreign_hits.store(0);
+  ScopedUserSegvHandler user_handler;
+  ASSERT_TRUE(user_handler.installed_);
+
+  void* forbidden = mmap(nullptr, 4096, PROT_NONE,
+                         MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  ASSERT_NE(forbidden, MAP_FAILED);
+
+  {
+    NativeVm vm(pf_cfg(2));
+    vm.run_main([&](NativeEnv& env) {
+      const Gva a = env.new_cell<std::int64_t>(7);
+      for (int round = 0; round < 2; ++round) {
+        if (sigsetjmp(g_foreign_jump, 1) == 0) {
+          volatile const char* p = static_cast<const char*>(forbidden);
+          [[maybe_unused]] volatile char c = *p;
+          FAIL() << "access to PROT_NONE page did not fault";
+        }
+      }
+      EXPECT_EQ(g_foreign_hits.load(), 2);
+      // Detection still alive after two foreign signals.
+      std::int64_t seen = 0;
+      vm.start_thread([a, &seen](NativeEnv& remote) {
+        if (remote.node() != 0) seen = remote.get<std::int64_t>(a);
+      });
+      vm.start_thread([a, &seen](NativeEnv& remote) {
+        if (remote.node() != 0) seen = remote.get<std::int64_t>(a);
+      });
+      vm.join_all(env);
+      EXPECT_EQ(seen, 7);
+    });
+    EXPECT_GE(vm.dsm().counter(Counter::kPageFaults), 1u);
+  }
+}
+
+// ---- per-page mprotect accounting ------------------------------------------
+
+TEST(NativeMprotectAccounting, InitialProtectionCountsPerPageCovered) {
+  // 2 nodes x 1 MiB region / 4 KiB pages: 256 pages total, 128 per zone.
+  // Each node protects the other node's 128 pages at startup, so the §3.3
+  // protection counter must start at (nodes-1) * total_pages = 256 — not 2
+  // range-mprotect calls per node.
+  NativeDsm dsm(2, std::size_t{1} << 20, Protocol::kJavaPf);
+  const auto total_pages = static_cast<std::uint64_t>(dsm.layout().total_pages());
+  EXPECT_EQ(dsm.counter(Counter::kMprotectCalls), (2 - 1) * total_pages);
+}
+
+TEST(NativeMprotectAccounting, FourNodeInitialProtectionMatchesGeometry) {
+  NativeDsm dsm(4, std::size_t{1} << 20, Protocol::kJavaPf);
+  const auto total_pages = static_cast<std::uint64_t>(dsm.layout().total_pages());
+  // Every node protects all pages outside its own zone.
+  EXPECT_EQ(dsm.counter(Counter::kMprotectCalls), (4 - 1) * total_pages);
+}
+
+}  // namespace
+}  // namespace hyp::native
