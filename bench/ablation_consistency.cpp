@@ -31,6 +31,14 @@ namespace {
 
 constexpr std::size_t kRegion = std::size_t{64} << 20;
 
+// Base cluster params with the recorder's --fault-profile merged in (no-op
+// when the flag is absent; docs/FAULTS.md).
+cluster::ClusterParams myri_params(const bench::ObsRecorder& obs) {
+  cluster::ClusterParams p = cluster::ClusterParams::myrinet200();
+  obs.apply_fault(p);
+  return p;
+}
+
 struct Outcome {
   double seconds;
   std::uint64_t messages;
@@ -77,7 +85,7 @@ Outcome neighbour_exchange(cluster::Cluster& c, int nodes, int cells, int iters,
 
 Outcome run_java(dsm::ProtocolKind kind, int nodes, int cells, int iters,
                  bench::ObsRecorder& obs) {
-  cluster::Cluster c(cluster::ClusterParams::myrinet200(), nodes);
+  cluster::Cluster c(myri_params(obs), nodes);
   dsm::DsmSystem d(&c, kRegion, kind);
   obs.attach_cluster(c, &d);
   struct Fns {
@@ -112,7 +120,7 @@ Outcome run_java(dsm::ProtocolKind kind, int nodes, int cells, int iters,
 }
 
 Outcome run_erc(int nodes, int cells, int iters, bench::ObsRecorder& obs) {
-  cluster::Cluster c(cluster::ClusterParams::myrinet200(), nodes);
+  cluster::Cluster c(myri_params(obs), nodes);
   dsm::ErcDsm d(&c, kRegion);
   obs.attach_cluster(c);
   struct Fns {
@@ -141,7 +149,7 @@ Outcome run_erc(int nodes, int cells, int iters, bench::ObsRecorder& obs) {
 }
 
 Outcome run_seqc(int nodes, int cells, int iters, bench::ObsRecorder& obs) {
-  cluster::Cluster c(cluster::ClusterParams::myrinet200(), nodes);
+  cluster::Cluster c(myri_params(obs), nodes);
   dsm::SeqDsm d(&c, kRegion);
   obs.attach_cluster(c);
   struct Fns {
@@ -247,7 +255,7 @@ int main(int argc, char** argv) {
               nodes, reps, fs_iters);
   Table t2({"protocol", "seconds", "messages", "page fetches"});
   {
-    cluster::Cluster c(cluster::ClusterParams::myrinet200(), nodes);
+    cluster::Cluster c(myri_params(obs), nodes);
     dsm::SeqDsm d(&c, kRegion);
     obs.attach_cluster(c);
     const dsm::Gva base = d.alloc(0, static_cast<std::size_t>(nodes) * 8, 4096);
@@ -268,7 +276,7 @@ int main(int argc, char** argv) {
     t2.add_row({"seqc", fmt_double(o.seconds, 3), fmt_u64(o.messages), fmt_u64(o.fetches)});
   }
   for (auto kind : {dsm::ProtocolKind::kJavaIc, dsm::ProtocolKind::kJavaPf}) {
-    cluster::Cluster c(cluster::ClusterParams::myrinet200(), nodes);
+    cluster::Cluster c(myri_params(obs), nodes);
     dsm::DsmSystem d(&c, kRegion, kind);
     obs.attach_cluster(c, &d);
     const dsm::Gva base = d.alloc(0, static_cast<std::size_t>(nodes) * 8, 4096);

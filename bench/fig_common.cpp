@@ -26,20 +26,37 @@ void ObsRecorder::add_flags(Cli& cli) {
       .flag_string("metrics-out", "",
                    "write hyp-metrics-v1 JSON (counters, histograms, page heat, phases) to FILE")
       .flag_int("trace-capacity", 1 << 16,
-                "max trace events retained (recording stops and drops are counted beyond)");
+                "max trace events retained (recording stops and drops are counted beyond)")
+      .flag_string("fault-profile", "",
+                   "deterministic network fault injection, e.g. "
+                   "drop2%,dup1%,reorder5us,seed=7 (docs/FAULTS.md; default off)");
 }
 
 void ObsRecorder::configure(const Cli& cli, std::string tool) {
   tool_ = std::move(tool);
   trace_path_ = cli.get_string("trace-out");
   metrics_path_ = cli.get_string("metrics-out");
+  const std::string fault_spec = cli.get_string("fault-profile");
+  if (!fault_spec.empty()) {
+    fault_ = cluster::FaultProfile::parse(fault_spec);
+    if (fault_.any()) {
+      std::printf("# fault profile: %s\n", fault_.to_string().c_str());
+    }
+  }
   if (trace_wanted()) {
     trace_ = std::make_unique<cluster::TraceLog>(
         static_cast<std::size_t>(cli.get_int("trace-capacity")));
   }
 }
 
+void ObsRecorder::apply_fault(cluster::ClusterParams& params) const {
+  if (fault_wanted()) params.fault = fault_;
+}
+
 void ObsRecorder::attach(hyperion::VmConfig& cfg) {
+  // The fault profile is part of the experiment, not of the observation: it
+  // must land in the ClusterParams even when no trace/metrics were requested.
+  apply_fault(cfg.cluster);
   if (!active()) return;
   if (trace_ != nullptr) {
     trace_->clear();  // the exported trace is the last attached run

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "apps/app_common.hpp"
+#include "cluster/params.hpp"
 #include "cluster/trace.hpp"
 #include "common/cli.hpp"
 #include "obs/heat.hpp"
@@ -59,6 +60,9 @@ SweepOptions sweep_from_cli(const Cli& cli);
 //   --metrics-out FILE  hyp-metrics-v1 JSON: one point per run with every
 //                       nonzero counter, the log2 latency/size histograms,
 //                       the hottest pages and the per-node phase split.
+//   --fault-profile S   deterministic network fault injection for every run
+//                       (docs/FAULTS.md grammar, e.g.
+//                       "drop2%,dup1%,reorder5us,seed=7"; default off).
 //
 // run_figure() drives attach/capture/finish automatically when given a
 // recorder; binaries that build VmConfigs by hand (ablation_*, ext_*) call
@@ -76,6 +80,14 @@ class ObsRecorder {
   bool trace_wanted() const { return !trace_path_.empty(); }
   bool metrics_wanted() const { return !metrics_path_.empty(); }
   bool active() const { return trace_wanted() || metrics_wanted(); }
+
+  // True when --fault-profile was given (and is not "off").
+  bool fault_wanted() const { return fault_.any(); }
+  const cluster::FaultProfile& fault() const { return fault_; }
+  // Merges the configured fault profile into `params` (no-op when the flag
+  // was absent). attach() does this for VmConfig-driven runs; harnesses that
+  // construct a Cluster by hand call this on their ClusterParams first.
+  void apply_fault(cluster::ClusterParams& params) const;
 
   // Wires the trace/heat/phase attachments into `cfg` (the trace is cleared,
   // heat/phases are re-initialized by the VM constructor), so the next VM
@@ -108,6 +120,7 @@ class ObsRecorder {
   std::string tool_;
   std::string trace_path_;
   std::string metrics_path_;
+  cluster::FaultProfile fault_;  // default: off
   std::unique_ptr<cluster::TraceLog> trace_;
   obs::PageHeatTable heat_;
   obs::PhaseAccounting phases_;

@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# Fault-injection soak: runs every paper-figure benchmark under several
+# deterministic fault profiles (docs/FAULTS.md) and asserts that
+#
+#   1. the computed answers (the CSV `value` column, keyed by
+#      cluster/protocol/nodes) are byte-identical to the fault-free run —
+#      faults may cost virtual time but must never change results; and
+#   2. a same-seed rerun of each faulty sweep is byte-identical end to end
+#      (timings included) — the injection itself is deterministic.
+#
+# Usage: scripts/soak_faults.sh [build-dir]          (default: build)
+#        SOAK_SMOKE=1 scripts/soak_faults.sh         (fig1 only, one profile;
+#                                                     the ctest smoke entry)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD="${1:-build}"
+[[ -x "$BUILD/bench/fig1_pi" ]] || {
+  echo "soak_faults: $BUILD/bench/fig1_pi not built (run cmake --build $BUILD)" >&2
+  exit 2
+}
+
+FIGS=(fig1_pi fig2_jacobi fig3_barnes fig4_tsp fig5_asp)
+PROFILES=(
+  'drop2%,seed=7'
+  'dup1%,reorder5us,seed=7'
+  'drop1%,dup1%,corrupt0.5%,stall0@300us+150us,seed=9'
+)
+if [[ "${SOAK_SMOKE:-0}" == "1" ]]; then
+  FIGS=(fig1_pi)
+  PROFILES=('drop2%,dup1%,reorder5us,seed=7')
+fi
+
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+# Extracts "cluster,protocol,nodes,value" from a figure binary's CSV block.
+answers() {
+  awk -F, '/^fig[0-9]+,/ { print $2 "," $3 "," $4 "," $6 }' "$1"
+}
+
+fail=0
+for fig in "${FIGS[@]}"; do
+  base="$WORK/$fig.base.txt"
+  "$BUILD"/bench/"$fig" --quick > "$base"
+  answers "$base" > "$WORK/$fig.base.ans"
+  n_points=$(wc -l < "$WORK/$fig.base.ans")
+  for i in "${!PROFILES[@]}"; do
+    prof="${PROFILES[$i]}"
+    out="$WORK/$fig.p$i.txt"
+    "$BUILD"/bench/"$fig" --quick --fault-profile="$prof" > "$out"
+    answers "$out" > "$WORK/$fig.p$i.ans"
+    if ! cmp -s "$WORK/$fig.base.ans" "$WORK/$fig.p$i.ans"; then
+      echo "FAIL: $fig answers diverged under '$prof'" >&2
+      diff "$WORK/$fig.base.ans" "$WORK/$fig.p$i.ans" >&2 || true
+      fail=1
+      continue
+    fi
+    # Determinism: same seed, same bytes (including timings).
+    "$BUILD"/bench/"$fig" --quick --fault-profile="$prof" > "$out.rerun"
+    if ! cmp -s "$out" "$out.rerun"; then
+      echo "FAIL: $fig same-seed rerun not byte-identical under '$prof'" >&2
+      diff "$out" "$out.rerun" >&2 || true
+      fail=1
+      continue
+    fi
+    echo "ok: $fig under '$prof' ($n_points points, answers exact, rerun identical)"
+  done
+done
+
+if [[ $fail -ne 0 ]]; then
+  echo "soak_faults: FAILURES above" >&2
+  exit 1
+fi
+echo "soak_faults: all figures produce fault-free answers under every profile"

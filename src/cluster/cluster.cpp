@@ -7,6 +7,27 @@
 
 namespace hyp::cluster {
 
+namespace {
+
+// Buffers are move-only (pooled backings); the reliable transport retains the
+// payload for retransmission and ships copies onto the wire.
+Buffer clone_buffer(const Buffer& b) {
+  Buffer out(b.size());
+  out.put_bytes(b.data(), b.size());
+  return out;
+}
+
+}  // namespace
+
+const char* rpc_status_name(RpcStatus s) {
+  switch (s) {
+    case RpcStatus::kOk: return "ok";
+    case RpcStatus::kBudgetExhausted: return "budget_exhausted";
+    case RpcStatus::kTimeout: return "timeout";
+  }
+  return "?";
+}
+
 // ---------------------------------------------------------------------------
 // Node
 
@@ -19,6 +40,11 @@ void Node::register_service(ServiceId service, Handler handler) {
   if (idx >= handlers_.size()) handlers_.resize(idx + 1);
   HYP_CHECK_MSG(!handlers_[idx], "service already registered on this node");
   handlers_[idx] = std::move(handler);
+}
+
+void Node::register_service(ServiceId service, const char* name, Handler handler) {
+  register_service(service, std::move(handler));
+  cluster_->record_service_name(service, name);
 }
 
 Time Node::extend_service(TimeDelta duration) {
@@ -36,6 +62,27 @@ Cluster::Cluster(ClusterParams params, int nodes) : params_(std::move(params)) {
   for (int i = 0; i < n; ++i) {
     nodes_.push_back(std::make_unique<Node>(this, i));
   }
+  // Fold the legacy NetworkParams::jitter_max alias into the fault profile:
+  // all network perturbation lives behind one seeded interface now.
+  if (params_.fault.reorder_max == 0) params_.fault.reorder_max = params_.net.jitter_max;
+  lossy_ = params_.fault.lossy();
+  if (lossy_) {
+    pairs_.resize(static_cast<std::size_t>(n) * static_cast<std::size_t>(n));
+  }
+}
+
+void Cluster::record_service_name(ServiceId service, const char* name) {
+  const auto idx = static_cast<std::size_t>(service);
+  if (idx >= service_names_.size()) service_names_.resize(idx + 1);
+  if (service_names_[idx].empty()) service_names_[idx] = name;
+}
+
+std::string Cluster::service_label(ServiceId service) const {
+  const auto idx = static_cast<std::size_t>(service);
+  if (service >= 0 && idx < service_names_.size() && !service_names_[idx].empty()) {
+    return service_names_[idx];
+  }
+  return "service " + std::to_string(service);
 }
 
 Node& Cluster::node(NodeId id) {
@@ -53,25 +100,80 @@ void Cluster::send_after(TimeDelta depart_delay, NodeId from, NodeId to, Service
 }
 
 Buffer Cluster::call(NodeId from, NodeId to, ServiceId service, Buffer payload) {
+  RpcResult result = call_result(from, to, service, std::move(payload));
+  if (!result.ok()) HYP_PANIC(result.error.message);
+  return std::move(result.payload);
+}
+
+RpcResult Cluster::call_result(NodeId from, NodeId to, ServiceId service, Buffer payload) {
   sim::Engine* eng = &engine_;
   HYP_CHECK_MSG(eng->in_fiber(), "Cluster::call must run on a fiber");
-  PendingReply slot;
-  slot.waiter = eng->current_fiber();
-  // Recycle a reply slot index; the token is index+1 so 0 stays "one-way".
-  std::uint32_t idx;
-  if (!reply_free_.empty()) {
-    idx = reply_free_.back();
-    reply_free_.pop_back();
-    reply_slots_[idx] = &slot;
-  } else {
-    idx = static_cast<std::uint32_t>(reply_slots_.size());
-    reply_slots_.push_back(&slot);
+
+  if (!lossy_) {
+    // Historical lossless path, preserved event-for-event: recycled reply
+    // slots, no transport state, cannot fail (the determinism goldens pin
+    // this exact event sequence).
+    PendingReply slot;
+    slot.waiter = eng->current_fiber();
+    // Recycle a reply slot index; the token is index+1 so 0 stays "one-way".
+    std::uint32_t idx;
+    if (!reply_free_.empty()) {
+      idx = reply_free_.back();
+      reply_free_.pop_back();
+      reply_slots_[idx] = &slot;
+    } else {
+      idx = static_cast<std::uint32_t>(reply_slots_.size());
+      reply_slots_.push_back(&slot);
+    }
+    deliver(0, from, to, service, std::move(payload), idx + 1);
+    while (!slot.done) eng->park();
+    reply_slots_[idx] = nullptr;
+    reply_free_.push_back(idx);
+    RpcResult out;
+    out.payload = std::move(slot.payload);
+    return out;
   }
-  deliver(0, from, to, service, std::move(payload), idx + 1);
-  while (!slot.done) eng->park();
-  reply_slots_[idx] = nullptr;
-  reply_free_.push_back(idx);
-  return std::move(slot.payload);
+
+  // Lossy path: monotonically increasing tokens are never recycled, so a
+  // reply that limps in after its call has failed can only miss the map.
+  PendingCall pc;
+  pc.waiter = eng->current_fiber();
+  pc.from = from;
+  pc.to = to;
+  pc.service = service;
+  pc.started = engine_.now();
+  const std::uint64_t token = next_call_token_++;
+  pending_calls_[token] = &pc;
+  pc.req_seq = tx_enqueue(0, from, to, service, token, /*is_reply=*/false, std::move(payload));
+
+  if (params_.fault.call_timeout > 0) {
+    engine_.post(pc.started + params_.fault.call_timeout, [this, token]() {
+      auto it = pending_calls_.find(token);
+      if (it == pending_calls_.end() || it->second->done) return;
+      PendingCall& timed_out = *it->second;
+      // Cancel the request packet so its retransmit timers become no-ops.
+      PairState& ps = pair(timed_out.from, timed_out.to);
+      std::uint32_t retransmits = 0;
+      auto pit = ps.outstanding.find(timed_out.req_seq);
+      if (pit != ps.outstanding.end()) {
+        retransmits = pit->second.retransmits;
+        ps.outstanding.erase(pit);
+      }
+      fail_call(timed_out, token, RpcStatus::kTimeout, retransmits);
+    });
+  }
+
+  while (!pc.done) eng->park();
+  pending_calls_.erase(token);
+
+  RpcResult out;
+  out.status = pc.error.status;
+  if (pc.error.ok()) {
+    out.payload = std::move(pc.payload);
+  } else {
+    out.error = std::move(pc.error);
+  }
+  return out;
 }
 
 void Cluster::reply(const Incoming& incoming, Buffer payload, TimeDelta depart_delay) {
@@ -92,13 +194,19 @@ void Cluster::deliver(TimeDelta depart_delay, NodeId from, NodeId to, ServiceId 
   Node& dst = node(to);
   HYP_CHECK_MSG(from != to, "loopback RPC: callers handle the local case directly");
 
+  if (lossy_) {
+    tx_enqueue(depart_delay, from, to, service, reply_token, /*is_reply=*/false,
+               std::move(payload));
+    return;
+  }
+
   src.stats().add(Counter::kMessages);
   src.stats().add(Counter::kMessageBytes, payload.size());
 
   const std::uint64_t msg_seq = message_seq_++;
   const Time depart = engine_.now() + depart_delay + params_.net.send_overhead;
   const Time arrival =
-      depart + params_.net.wire_time(payload.size()) + params_.net.jitter_for(msg_seq);
+      depart + params_.net.wire_time(payload.size()) + params_.fault.extra_delay(msg_seq);
 
   engine_.post(arrival, [this, &dst, from, to, service, reply_token,
                          moved = std::move(payload)]() mutable {
@@ -119,6 +227,12 @@ void Cluster::deliver(TimeDelta depart_delay, NodeId from, NodeId to, ServiceId 
 
 void Cluster::deliver_reply(TimeDelta depart_delay, NodeId from, NodeId to, std::uint64_t token,
                             Buffer payload) {
+  if (lossy_) {
+    tx_enqueue(depart_delay, from, to, /*service=*/-1, token, /*is_reply=*/true,
+               std::move(payload));
+    return;
+  }
+
   Node& src = node(from);
   src.stats().add(Counter::kMessages);
   src.stats().add(Counter::kMessageBytes, payload.size());
@@ -128,7 +242,7 @@ void Cluster::deliver_reply(TimeDelta depart_delay, NodeId from, NodeId to, std:
   // Replies bypass the receiver's service queue: the destination fiber is
   // blocked waiting, so only dispatch overhead applies.
   const Time wakeup = depart + params_.net.wire_time(payload.size()) +
-                      params_.net.recv_overhead + params_.net.jitter_for(msg_seq);
+                      params_.net.recv_overhead + params_.fault.extra_delay(msg_seq);
 
   engine_.post(wakeup, [this, token, moved = std::move(payload)]() mutable {
     HYP_CHECK_MSG(token >= 1 && token <= reply_slots_.size(),
@@ -140,6 +254,283 @@ void Cluster::deliver_reply(TimeDelta depart_delay, NodeId from, NodeId to, std:
     engine_.unpark(slot->waiter);
   });
 }
+
+// ---------------------------------------------------------------------------
+// Reliable transport (docs/FAULTS.md). Only reached when lossy_.
+
+std::uint64_t Cluster::tx_enqueue(TimeDelta depart_delay, NodeId from, NodeId to,
+                                  ServiceId service, std::uint64_t token, bool is_reply,
+                                  Buffer payload) {
+  HYP_CHECK_MSG(from != to, "loopback RPC: callers handle the local case directly");
+  PairState& ps = pair(from, to);
+  const std::uint64_t seq = ps.next_seq++;
+  TxPacket p;
+  p.from = from;
+  p.to = to;
+  p.service = service;
+  p.token = token;
+  p.is_reply = is_reply;
+  p.payload = std::move(payload);
+  p.seq = seq;
+  p.first_sent = engine_.now() + depart_delay;
+  p.rto = params_.fault.rto_initial;
+  ps.outstanding.emplace(seq, std::move(p));
+  tx_transmit(from, to, seq, depart_delay);
+  return seq;
+}
+
+void Cluster::tx_transmit(NodeId from, NodeId to, std::uint64_t seq, TimeDelta depart_delay) {
+  PairState& ps = pair(from, to);
+  auto it = ps.outstanding.find(seq);
+  if (it == ps.outstanding.end()) return;  // acked or cancelled meanwhile
+  TxPacket& p = it->second;
+
+  Node& src = node(from);
+  src.stats().add(Counter::kMessages);
+  src.stats().add(Counter::kMessageBytes, p.payload.size());
+
+  const FaultProfile& f = params_.fault;
+  const std::uint64_t key = FaultProfile::packet_key(from, to, seq, p.retransmits);
+  const Time depart = engine_.now() + depart_delay + params_.net.send_overhead;
+
+  // Arm the retransmit timer no matter what the wire does to this attempt:
+  // the sender cannot observe drops, only missing acks.
+  engine_.post(depart + p.rto, [this, from, to, seq]() { tx_on_timer(from, to, seq); });
+
+  // Corruption is detected by the receiver checksum and counts as a drop.
+  if (f.roll(f.corrupt_ppm, key, FaultProfile::kSaltCorrupt) ||
+      f.roll(f.drop_ppm, key, FaultProfile::kSaltDrop)) {
+    src.stats().add(Counter::kNetDrops);
+    trace_event(from, TraceKind::kNetDrop, to, static_cast<std::int64_t>(seq));
+    return;
+  }
+
+  const Time base_arrival = depart + params_.net.wire_time(p.payload.size()) + f.extra_delay(key);
+  const Time arrival = f.apply_windows(to, base_arrival);
+  if (arrival == FaultProfile::kDropped) {
+    src.stats().add(Counter::kNetDrops);
+    trace_event(from, TraceKind::kNetDrop, to, static_cast<std::int64_t>(seq));
+  } else {
+    tx_schedule_arrival(p, arrival, /*injected_dup=*/false);
+  }
+
+  if (f.roll(f.dup_ppm, key, FaultProfile::kSaltDup)) {
+    src.stats().add(Counter::kNetDupes);
+    // The duplicate trails the original by a hash-derived gap so the receiver
+    // sees genuinely reordered copies, then runs the same window gauntlet.
+    const Time window = f.reorder_max > 0 ? f.reorder_max : 10 * kMicrosecond;
+    const Time gap = 1 + static_cast<Time>(f.hash(key, FaultProfile::kSaltDupDelay) %
+                                           static_cast<std::uint64_t>(window));
+    const Time dup_arrival = f.apply_windows(to, base_arrival + gap);
+    if (dup_arrival != FaultProfile::kDropped) {
+      tx_schedule_arrival(p, dup_arrival, /*injected_dup=*/true);
+    }
+  }
+}
+
+void Cluster::tx_schedule_arrival(const TxPacket& p, Time arrival, bool /*injected_dup*/) {
+  // The packet may be acked (erased) before this event fires; ship a copy.
+  Buffer copy = clone_buffer(p.payload);
+  engine_.post(arrival, [this, from = p.from, to = p.to, service = p.service, token = p.token,
+                         is_reply = p.is_reply, seq = p.seq, moved = std::move(copy)]() mutable {
+    tx_on_arrival(from, to, service, token, is_reply, std::move(moved), seq);
+  });
+}
+
+void Cluster::tx_on_arrival(NodeId from, NodeId to, ServiceId service, std::uint64_t token,
+                            bool is_reply, Buffer payload, std::uint64_t seq) {
+  Node& dst = node(to);
+  PairState& ps = pair(from, to);
+
+  // Receiver-side dedup: everything below the watermark was delivered;
+  // sparse seqs at/above it live in the ordered set.
+  const bool duplicate = seq < ps.seen_watermark || ps.seen_above.count(seq) != 0;
+  if (duplicate) {
+    dst.stats().add(Counter::kDupSuppressed);
+    trace_event(to, TraceKind::kDupSuppressed, from, static_cast<std::int64_t>(seq));
+    // Re-ack: the original ack may be what got lost.
+    tx_send_ack(to, from, seq);
+    return;
+  }
+  if (seq == ps.seen_watermark) {
+    ++ps.seen_watermark;
+    while (!ps.seen_above.empty() && *ps.seen_above.begin() == ps.seen_watermark) {
+      ps.seen_above.erase(ps.seen_above.begin());
+      ++ps.seen_watermark;
+    }
+  } else {
+    ps.seen_above.insert(seq);
+  }
+  tx_send_ack(to, from, seq);
+
+  if (is_reply) {
+    // Replies bypass the service queue (the caller fiber is parked); only
+    // dispatch overhead applies — mirrors the lossless path's shape.
+    engine_.post(engine_.now() + params_.net.recv_overhead,
+                 [this, token, moved = std::move(payload)]() mutable {
+                   complete_call(token, std::move(moved));
+                 });
+    return;
+  }
+
+  // Request: contend for the receiving node's service queue, then dispatch.
+  const Time begin = dst.service_queue().reserve(params_.net.recv_overhead);
+  const Time exec_at = begin + params_.net.recv_overhead;
+  engine_.post(exec_at, [this, &dst, from, to, service, token,
+                         payload2 = std::move(payload)]() mutable {
+    const auto idx = static_cast<std::size_t>(service);
+    HYP_CHECK_MSG(idx < dst.handlers_.size() && dst.handlers_[idx],
+                  "no handler for service " + std::to_string(service) + " on node " +
+                      std::to_string(to));
+    Incoming incoming{from, to, BufferReader(payload2), token};
+    dst.handlers_[idx](incoming);
+  });
+}
+
+void Cluster::tx_send_ack(NodeId from, NodeId to, std::uint64_t seq) {
+  // `from` is the ack sender (= the data receiver); the acked data packet
+  // travelled (to -> from). Acks are fire-and-forget control packets: they
+  // run the same fault gauntlet but are never themselves acked — a lost ack
+  // is recovered by the data sender's retransmit.
+  Node& src = node(from);
+  src.stats().add(Counter::kAcksSent);
+
+  const FaultProfile& f = params_.fault;
+  // Keyed off the global message sequence (attempt field tagged) so every
+  // ack transmission rolls independently of data packets.
+  const std::uint64_t key =
+      FaultProfile::packet_key(from, to, message_seq_++, /*attempt=*/0x80000000u);
+  if (f.roll(f.corrupt_ppm, key, FaultProfile::kSaltCorrupt) ||
+      f.roll(f.drop_ppm, key, FaultProfile::kSaltDrop)) {
+    src.stats().add(Counter::kNetDrops);
+    trace_event(from, TraceKind::kNetDrop, to, static_cast<std::int64_t>(seq));
+    return;
+  }
+  Time arrival =
+      engine_.now() + params_.net.send_overhead + params_.net.wire_time(0) + f.extra_delay(key);
+  arrival = f.apply_windows(to, arrival);
+  if (arrival == FaultProfile::kDropped) {
+    src.stats().add(Counter::kNetDrops);
+    trace_event(from, TraceKind::kNetDrop, to, static_cast<std::int64_t>(seq));
+    return;
+  }
+  // Ack for data direction (to -> from).
+  engine_.post(arrival, [this, to, from, seq]() { tx_on_ack(to, from, seq); });
+}
+
+void Cluster::tx_on_ack(NodeId from, NodeId to, std::uint64_t seq) {
+  PairState& ps = pair(from, to);
+  auto it = ps.outstanding.find(seq);
+  if (it == ps.outstanding.end()) return;  // stale or duplicate ack
+  TxPacket& p = it->second;
+  if (p.retransmits > 0) {
+    const Time waited = engine_.now() - p.first_sent;
+    node(from).stats().record(Hist::kRetryLatency, static_cast<std::uint64_t>(waited));
+  }
+  ps.outstanding.erase(it);
+}
+
+void Cluster::tx_on_timer(NodeId from, NodeId to, std::uint64_t seq) {
+  PairState& ps = pair(from, to);
+  auto it = ps.outstanding.find(seq);
+  if (it == ps.outstanding.end()) return;  // acked or cancelled: timer is moot
+  TxPacket& p = it->second;
+  if (p.retransmits >= params_.fault.max_retries) {
+    TxPacket packet = std::move(p);
+    ps.outstanding.erase(it);
+    tx_give_up(std::move(packet));
+    return;
+  }
+  ++p.retransmits;
+  p.rto *= params_.fault.rto_backoff;
+  node(from).stats().add(Counter::kRetransmits);
+  trace_event(from, TraceKind::kRetransmit, to, static_cast<std::int64_t>(seq));
+  tx_transmit(from, to, seq, /*depart_delay=*/0);
+}
+
+void Cluster::tx_give_up(TxPacket packet) {
+  if (!packet.is_reply) {
+    if (packet.token != 0) {
+      // Request packet of a blocking call: surface a typed failure to the
+      // parked caller instead of letting the run end in a generic deadlock.
+      auto it = pending_calls_.find(packet.token);
+      if (it != pending_calls_.end() && !it->second->done) {
+        fail_call(*it->second, packet.token, RpcStatus::kBudgetExhausted, packet.retransmits);
+      }
+      return;
+    }
+    // One-way send: no caller to inform, and protocol state on the receiver
+    // now diverges irrecoverably — abort naming the coordinates.
+    HYP_PANIC("one-way rpc from node " + std::to_string(packet.from) + " to node " +
+              std::to_string(packet.to) + " service " + service_label(packet.service) +
+              ": retry budget exhausted after " + std::to_string(packet.retransmits) +
+              " retransmits (node unreachable?)");
+  }
+
+  // Reply packet: the replier cannot reach the caller. Fail the caller's
+  // pending call (the simulator sees both ends) so the fiber wakes with a
+  // typed error instead of parking forever.
+  auto it = pending_calls_.find(packet.token);
+  if (it != pending_calls_.end() && !it->second->done) {
+    PendingCall& pc = *it->second;
+    fail_call(pc, packet.token, RpcStatus::kTimeout, packet.retransmits);
+    pc.error.message +=
+        " (reply from node " + std::to_string(packet.from) + " was undeliverable)";
+  } else {
+    // Caller already gone (deadline fired first); account the give-up here.
+    node(packet.from).stats().add(Counter::kRpcTimeouts);
+    trace_event(packet.from, TraceKind::kRpcTimeout, packet.to, packet.service);
+  }
+}
+
+void Cluster::complete_call(std::uint64_t token, Buffer payload) {
+  auto it = pending_calls_.find(token);
+  if (it == pending_calls_.end() || it->second->done) return;  // stale reply: call failed
+  PendingCall& pc = *it->second;
+  pc.payload = std::move(payload);
+  pc.done = true;
+  engine_.unpark(pc.waiter);
+}
+
+void Cluster::fail_call(PendingCall& call, std::uint64_t token, RpcStatus status,
+                        std::uint32_t retransmits) {
+  (void)token;
+  call.error =
+      make_error(status, call.from, call.to, call.service, retransmits,
+                 engine_.now() - call.started);
+  call.done = true;
+  node(call.from).stats().add(Counter::kRpcTimeouts);
+  trace_event(call.from, TraceKind::kRpcTimeout, call.to, call.service);
+  engine_.unpark(call.waiter);
+}
+
+RpcError Cluster::make_error(RpcStatus status, NodeId from, NodeId to, ServiceId service,
+                             std::uint32_t retransmits, Time waited) const {
+  RpcError e;
+  e.status = status;
+  e.from = from;
+  e.to = to;
+  e.service = service;
+  e.retransmits = retransmits;
+  e.waited = waited;
+  std::string reason;
+  switch (status) {
+    case RpcStatus::kBudgetExhausted:
+      reason = "retry budget exhausted after " + std::to_string(retransmits) + " retransmits";
+      break;
+    case RpcStatus::kTimeout:
+      reason = "timed out after " + std::to_string(to_micros(waited)) + " us";
+      break;
+    case RpcStatus::kOk:
+      reason = "ok";
+      break;
+  }
+  e.message = "rpc from node " + std::to_string(from) + " to node " + std::to_string(to) +
+              " service " + service_label(service) + ": " + reason;
+  return e;
+}
+
+// ---------------------------------------------------------------------------
 
 sim::Fiber* Cluster::spawn_thread(NodeId on, std::string name, UniqueFunction<void()> body) {
   Node& target = node(on);
@@ -155,7 +546,16 @@ void Cluster::run() {
       if (!names.empty()) names += ", ";
       names += n;
     }
-    HYP_PANIC("cluster simulation deadlocked; blocked fibers: " + names);
+    // Name any still-pending RPCs: "which node/service is stuck" is the
+    // question a deadlock under fault injection actually poses.
+    std::string detail;
+    for (const auto& [token, pc] : pending_calls_) {
+      if (pc->done) continue;
+      detail += "\n  pending rpc: node " + std::to_string(pc->from) + " -> node " +
+                std::to_string(pc->to) + " service " + service_label(pc->service) +
+                " (waiting " + std::to_string(to_micros(engine_.now() - pc->started)) + " us)";
+    }
+    HYP_PANIC("cluster simulation deadlocked; blocked fibers: " + names + detail);
   }
 }
 

@@ -19,7 +19,9 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -47,6 +49,41 @@ struct Incoming {
 
 using Handler = std::function<void(Incoming&)>;
 
+// --- typed RPC failure (docs/FAULTS.md) -------------------------------------
+//
+// On a lossless network (FaultProfile off) RPCs cannot fail and call() keeps
+// its historical always-succeeds contract. Under an active fault profile a
+// blocking call can fail in bounded, *typed* ways instead of hanging the
+// fiber or tripping the engine's generic deadlock abort.
+enum class RpcStatus : std::uint8_t {
+  kOk = 0,
+  kBudgetExhausted,  // request packet unacked after max_retries retransmits
+  kTimeout,          // FaultProfile::call_timeout elapsed without a reply
+};
+
+const char* rpc_status_name(RpcStatus s);
+
+struct RpcError {
+  RpcStatus status = RpcStatus::kOk;
+  NodeId from = -1;
+  NodeId to = -1;
+  ServiceId service = -1;
+  std::uint32_t retransmits = 0;  // transport attempts burned on the request
+  Time waited = 0;                // virtual time from call start to failure
+  std::string message;            // human diagnostic naming node + service
+
+  bool ok() const { return status == RpcStatus::kOk; }
+};
+
+// Result of a non-aborting blocking call. `error` is meaningful iff !ok().
+struct RpcResult {
+  RpcStatus status = RpcStatus::kOk;
+  Buffer payload;
+  RpcError error;
+
+  bool ok() const { return status == RpcStatus::kOk; }
+};
+
 // One machine of the cluster.
 class Node {
  public:
@@ -58,7 +95,10 @@ class Node {
   Cluster& cluster() { return *cluster_; }
 
   // Registers the handler for `service` on this node. One handler per id.
+  // The named overload also records a cluster-wide human label for the id,
+  // used by RPC failure diagnostics ("monitor_enter" beats "service 20").
   void register_service(ServiceId service, Handler handler);
+  void register_service(ServiceId service, const char* name, Handler handler);
 
   // Extends the current service occupancy (e.g. a page-copy memcpy performed
   // by the DSM server). Returns the time at which the extended service ends;
@@ -166,8 +206,23 @@ class Cluster {
                   Buffer payload);
 
   // Blocking request/reply (PM2 LRPC). Must be called from a fiber; the
-  // fiber sleeps in virtual time until the reply arrives.
+  // fiber sleeps in virtual time until the reply arrives. Under an active
+  // lossy fault profile a failed call (retry budget exhausted / deadline)
+  // aborts with a diagnostic naming the peer node and service; callers that
+  // can degrade gracefully use call_result() instead.
   Buffer call(NodeId from, NodeId to, ServiceId service, Buffer payload);
+
+  // As call(), but failures come back as a typed RpcError instead of
+  // aborting. On a lossless network this is exactly call() (it cannot fail,
+  // and compiles to the same event sequence — the determinism goldens hold).
+  RpcResult call_result(NodeId from, NodeId to, ServiceId service, Buffer payload);
+
+  // Human label for a service id ("page_request", or "service 17" when the
+  // registrant did not name it).
+  std::string service_label(ServiceId service) const;
+
+  // True when the configured fault profile engages the reliable transport.
+  bool transport_active() const { return lossy_; }
 
   // Sends the reply for `incoming.reply_token`; `depart_delay` delays the
   // departure (e.g. until reserved service work completes).
@@ -222,6 +277,77 @@ class Cluster {
   void deliver_reply(TimeDelta depart_delay, NodeId from, NodeId to, std::uint64_t token,
                      Buffer payload);
 
+  // --- reliable transport (engaged only when the fault profile is lossy) ---
+  //
+  // Beneath send()/call(), every logical message becomes a transport packet
+  // with a per-(src,dst) sequence number. The sender keeps the payload until
+  // the receiver's ack arrives, retransmitting on a timer with exponential
+  // backoff up to FaultProfile::max_retries; the receiver suppresses
+  // duplicates with a per-pair watermark + sparse-set window and re-acks
+  // them (the original ack may itself have been lost). Quiet networks never
+  // reach this code: deliver()/deliver_reply() keep the historical
+  // one-event-per-message path, bit-identical to the goldens.
+  struct PendingCall {
+    sim::Fiber* waiter = nullptr;
+    Buffer payload;
+    bool done = false;
+    RpcError error;  // status != kOk on failure
+    // Identity + request-packet coordinates, for deadlines and diagnostics.
+    NodeId from = -1;
+    NodeId to = -1;
+    ServiceId service = -1;
+    Time started = 0;
+    std::uint64_t req_seq = 0;  // request packet seq in pair (from,to)
+  };
+
+  struct TxPacket {
+    NodeId from = -1;
+    NodeId to = -1;
+    ServiceId service = -1;        // -1 for reply packets
+    std::uint64_t token = 0;       // call token (request) / reply token (reply)
+    bool is_reply = false;
+    Buffer payload;                // retained for retransmission
+    std::uint64_t seq = 0;         // per-(from,to) sequence number
+    std::uint32_t retransmits = 0;
+    Time first_sent = 0;
+    Time rto = 0;                  // current retransmit timeout
+  };
+
+  struct PairState {
+    std::uint64_t next_seq = 0;  // sender side
+    // seq -> packet, ordered (deterministic iteration for diagnostics).
+    std::map<std::uint64_t, TxPacket> outstanding;
+    // Receiver-side dedup window: everything below the watermark has been
+    // delivered; sparse seqs at/above it live in the ordered set.
+    std::uint64_t seen_watermark = 0;
+    std::set<std::uint64_t> seen_above;
+  };
+
+  PairState& pair(NodeId from, NodeId to) {
+    return pairs_[static_cast<std::size_t>(from) * nodes_.size() +
+                  static_cast<std::size_t>(to)];
+  }
+  // Enqueues a packet on the reliable transport and transmits it. Returns the
+  // per-pair sequence number assigned (callers needing cancellation keep it).
+  std::uint64_t tx_enqueue(TimeDelta depart_delay, NodeId from, NodeId to, ServiceId service,
+                           std::uint64_t token, bool is_reply, Buffer payload);
+  // One physical transmission attempt (first send and retransmits).
+  void tx_transmit(NodeId from, NodeId to, std::uint64_t seq, TimeDelta depart_delay);
+  void tx_schedule_arrival(const TxPacket& p, Time arrival, bool injected_dup);
+  void tx_on_arrival(NodeId from, NodeId to, ServiceId service, std::uint64_t token,
+                     bool is_reply, Buffer payload, std::uint64_t seq);
+  void tx_send_ack(NodeId from, NodeId to, std::uint64_t seq);
+  void tx_on_ack(NodeId from, NodeId to, std::uint64_t seq);
+  void tx_on_timer(NodeId from, NodeId to, std::uint64_t seq);
+  void tx_give_up(TxPacket packet);
+  void complete_call(std::uint64_t token, Buffer payload);
+  void fail_call(PendingCall& call, std::uint64_t token, RpcStatus status,
+                 std::uint32_t retransmits);
+  RpcError make_error(RpcStatus status, NodeId from, NodeId to, ServiceId service,
+                      std::uint32_t retransmits, Time waited) const;
+  void record_service_name(ServiceId service, const char* name);
+  friend class Node;
+
   ClusterParams params_;
   sim::Engine engine_;
   std::vector<std::unique_ptr<Node>> nodes_;
@@ -234,6 +360,16 @@ class Cluster {
   std::uint64_t message_seq_ = 0;  // drives deterministic jitter
   TraceLog* trace_ = nullptr;
   obs::PhaseAccounting* phases_ = nullptr;
+
+  // Reliable-transport state (empty/idle unless lossy_).
+  bool lossy_ = false;
+  std::vector<PairState> pairs_;  // [from * n + to]
+  // Lossy-mode call matching: monotonically increasing tokens are never
+  // recycled, so a reply that limps in after its call failed can only miss
+  // the map (and be suppressed) — it can never corrupt an unrelated call.
+  std::uint64_t next_call_token_ = 1;
+  std::map<std::uint64_t, PendingCall*> pending_calls_;
+  std::vector<std::string> service_names_;  // [service id] -> label ("" = unnamed)
 };
 
 }  // namespace hyp::cluster

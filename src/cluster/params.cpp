@@ -1,6 +1,173 @@
 #include "cluster/params.hpp"
 
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
 namespace hyp::cluster {
+
+// ---------------------------------------------------------------------------
+// FaultProfile grammar (docs/FAULTS.md)
+//
+//   profile   := token (',' token)*            (empty string = off)
+//   token     := rate | reorder | window | tuning
+//   rate      := ('drop'|'dup'|'corrupt') FLOAT '%'
+//   reorder   := 'reorder' FLOAT ('us'|'ms')
+//   window    := ('stall'|'blackout') INT '@' FLOAT ('us'|'ms')
+//                                       '+' FLOAT ('us'|'ms')
+//   tuning    := 'seed=' INT | 'retries=' INT | 'backoff=' INT
+//              | 'rto=' FLOAT ('us'|'ms') | 'timeout=' FLOAT ('us'|'ms')
+
+namespace {
+
+[[noreturn]] void bad_profile(const std::string& spec, const std::string& token,
+                              const char* why) {
+  HYP_PANIC("malformed --fault-profile '" + spec + "' at token '" + token + "': " + why +
+            "\n  grammar: drop2%,dup1%,corrupt0.5%,reorder5us,stall1@300us+200us,"
+            "blackout0@1ms+500us,seed=N,retries=N,backoff=N,rto=100us,timeout=5ms");
+}
+
+// Parses "<float><us|ms>" starting at `s`; panics via bad_profile on junk.
+Time parse_duration(const std::string& spec, const std::string& token, const char* s,
+                    const char** rest) {
+  char* end = nullptr;
+  const double v = std::strtod(s, &end);
+  if (end == s || v < 0) bad_profile(spec, token, "expected a duration");
+  Time unit;
+  if (end[0] == 'u' && end[1] == 's') {
+    unit = kMicrosecond;
+    end += 2;
+  } else if (end[0] == 'm' && end[1] == 's') {
+    unit = kMillisecond;
+    end += 2;
+  } else {
+    bad_profile(spec, token, "duration needs a us/ms suffix");
+  }
+  if (rest != nullptr) *rest = end;
+  return static_cast<Time>(v * static_cast<double>(unit) + 0.5);
+}
+
+// Parses "<float>%" into parts-per-million.
+std::uint32_t parse_percent_ppm(const std::string& spec, const std::string& token,
+                                const char* s) {
+  char* end = nullptr;
+  const double v = std::strtod(s, &end);
+  if (end == s || *end != '%' || end[1] != '\0' || v < 0 || v > 100) {
+    bad_profile(spec, token, "expected a percentage like 2% or 0.5%");
+  }
+  return static_cast<std::uint32_t>(v * 10000.0 + 0.5);
+}
+
+bool starts_with(const std::string& s, const char* prefix, std::size_t* len) {
+  std::size_t i = 0;
+  while (prefix[i] != '\0') {
+    if (i >= s.size() || s[i] != prefix[i]) return false;
+    ++i;
+  }
+  *len = i;
+  return true;
+}
+
+}  // namespace
+
+FaultProfile FaultProfile::parse(const std::string& spec) {
+  FaultProfile p;
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    const std::size_t comma = spec.find(',', pos);
+    const std::string token =
+        spec.substr(pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    pos = comma == std::string::npos ? spec.size() + 1 : comma + 1;
+    if (token.empty()) continue;
+
+    std::size_t n = 0;
+    char* end = nullptr;
+    if (starts_with(token, "seed=", &n)) {
+      p.seed = std::strtoull(token.c_str() + n, &end, 10);
+      if (*end != '\0') bad_profile(spec, token, "seed wants an integer");
+    } else if (starts_with(token, "retries=", &n)) {
+      p.max_retries = static_cast<std::uint32_t>(std::strtoul(token.c_str() + n, &end, 10));
+      if (*end != '\0') bad_profile(spec, token, "retries wants an integer");
+    } else if (starts_with(token, "backoff=", &n)) {
+      p.rto_backoff = static_cast<std::uint32_t>(std::strtoul(token.c_str() + n, &end, 10));
+      if (*end != '\0' || p.rto_backoff == 0) bad_profile(spec, token, "backoff wants >= 1");
+    } else if (starts_with(token, "rto=", &n)) {
+      const char* rest = nullptr;
+      p.rto_initial = parse_duration(spec, token, token.c_str() + n, &rest);
+      if (*rest != '\0') bad_profile(spec, token, "trailing junk");
+    } else if (starts_with(token, "timeout=", &n)) {
+      const char* rest = nullptr;
+      p.call_timeout = parse_duration(spec, token, token.c_str() + n, &rest);
+      if (*rest != '\0') bad_profile(spec, token, "trailing junk");
+    } else if (starts_with(token, "drop", &n)) {
+      p.drop_ppm = parse_percent_ppm(spec, token, token.c_str() + n);
+    } else if (starts_with(token, "dup", &n)) {
+      p.dup_ppm = parse_percent_ppm(spec, token, token.c_str() + n);
+    } else if (starts_with(token, "corrupt", &n)) {
+      p.corrupt_ppm = parse_percent_ppm(spec, token, token.c_str() + n);
+    } else if (starts_with(token, "reorder", &n)) {
+      const char* rest = nullptr;
+      p.reorder_max = parse_duration(spec, token, token.c_str() + n, &rest);
+      if (*rest != '\0') bad_profile(spec, token, "trailing junk");
+    } else if (starts_with(token, "stall", &n) || starts_with(token, "blackout", &n)) {
+      FaultWindow w;
+      w.blackout = token[0] == 'b';
+      w.node = static_cast<NodeId>(std::strtol(token.c_str() + n, &end, 10));
+      if (end == token.c_str() + n || *end != '@' || w.node < 0) {
+        bad_profile(spec, token, "expected <node>@<start><us|ms>+<dur><us|ms>");
+      }
+      const char* rest = nullptr;
+      w.start = parse_duration(spec, token, end + 1, &rest);
+      if (*rest != '+') bad_profile(spec, token, "expected '+<dur>' after the window start");
+      w.duration = parse_duration(spec, token, rest + 1, &rest);
+      if (*rest != '\0' || w.duration <= 0) bad_profile(spec, token, "bad window duration");
+      p.windows.push_back(w);
+    } else {
+      bad_profile(spec, token, "unknown token");
+    }
+  }
+  return p;
+}
+
+std::string FaultProfile::to_string() const {
+  auto pct = [](std::uint32_t ppm) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%g%%", static_cast<double>(ppm) / 10000.0);
+    return std::string(buf);
+  };
+  auto dur = [](Time t) {
+    char buf[48];
+    if (t % kMillisecond == 0 && t >= kMillisecond) {
+      std::snprintf(buf, sizeof(buf), "%llums",
+                    static_cast<unsigned long long>(t / kMillisecond));
+    } else {
+      std::snprintf(buf, sizeof(buf), "%gus",
+                    static_cast<double>(t) / static_cast<double>(kMicrosecond));
+    }
+    return std::string(buf);
+  };
+  std::string out;
+  auto add = [&out](const std::string& tok) {
+    if (!out.empty()) out += ',';
+    out += tok;
+  };
+  if (drop_ppm != 0) add("drop" + pct(drop_ppm));
+  if (dup_ppm != 0) add("dup" + pct(dup_ppm));
+  if (corrupt_ppm != 0) add("corrupt" + pct(corrupt_ppm));
+  if (reorder_max != 0) add("reorder" + dur(reorder_max));
+  for (const FaultWindow& w : windows) {
+    add((w.blackout ? "blackout" : "stall") + std::to_string(w.node) + "@" + dur(w.start) +
+        "+" + dur(w.duration));
+  }
+  if (seed != 0) add("seed=" + std::to_string(seed));
+  if (lossy()) {
+    add("rto=" + dur(rto_initial));
+    add("retries=" + std::to_string(max_retries));
+    if (rto_backoff != 2) add("backoff=" + std::to_string(rto_backoff));
+    if (call_timeout != 0) add("timeout=" + dur(call_timeout));
+  }
+  return out.empty() ? "off" : out;
+}
 
 ClusterParams ClusterParams::myrinet200() {
   ClusterParams p;

@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/assert.hpp"
 #include "common/units.hpp"
@@ -27,11 +28,10 @@ struct NetworkParams {
   Time send_overhead = 0;              // sender-side protocol stack cost
   Time recv_overhead = 0;              // receiver-side dispatch cost
 
-  // Failure-injection knob: per-message latency jitter, up to this many
-  // picoseconds added deterministically (hashed from the message sequence
-  // number — two runs of the same program still produce identical traces,
-  // but message timing is no longer metronomic). 0 = off (default; the
-  // paper's interconnects were dedicated and quiet).
+  // Legacy failure-injection knob, kept as an alias: per-message latency
+  // jitter up to this many picoseconds. The Cluster constructor folds it into
+  // FaultProfile::reorder_max, where all network perturbation now lives
+  // behind one seeded interface (docs/FAULTS.md). 0 = off (default).
   Time jitter_max = 0;
 
   // Wire time for a message of `bytes` payload (excluding end-point
@@ -41,17 +41,116 @@ struct NetworkParams {
     const double ps = static_cast<double>(bytes) * 1e12 / bandwidth_bytes_per_sec;
     return latency + static_cast<Time>(ps);
   }
+};
 
-  // Deterministic jitter for the message with this sequence number.
-  Time jitter_for(std::uint64_t seq) const {
-    if (jitter_max == 0) return 0;
-    // SplitMix64 finalizer as the hash.
-    std::uint64_t z = seq + 0x9e3779b97f4a7c15ULL;
+// One scheduled service-degradation window on a node: while it is open the
+// node's NIC either delays every arriving packet to the window's end (stall)
+// or drops them outright (blackout). Deterministic by construction: windows
+// are explicit virtual-time intervals, not sampled.
+struct FaultWindow {
+  NodeId node = -1;
+  Time start = 0;
+  Time duration = 0;
+  bool blackout = false;  // false = stall (delay to end), true = drop
+  Time end() const { return start + duration; }
+  bool covers(Time at) const { return at >= start && at < end(); }
+};
+
+// Deterministic fault-injection profile for the cluster's network layer.
+//
+// Every probabilistic decision is hash-derived (SplitMix64 finalizer) from
+// (seed, endpoints, per-pair sequence number, transmission attempt, salt), so
+// a faulty run is exactly as reproducible as a quiet one: the same seed gives
+// byte-identical traces, a different seed gives an independent schedule of
+// drops/dups/delays. All knobs default to off; a default-constructed profile
+// leaves the delivery path bit-identical to the paper's lossless testbeds.
+//
+// Parsed from the `--fault-profile` grammar (docs/FAULTS.md), e.g.
+//   drop2%,dup1%,reorder5us,seed=7
+//   corrupt0.5%,retries=6,rto=100us
+//   blackout2@300us+150us,stall0@1ms+200us
+struct FaultProfile {
+  // Per-transmission perturbation rates in parts-per-million (integers keep
+  // parsing and cross-platform arithmetic exact).
+  std::uint32_t drop_ppm = 0;     // message vanishes on the wire
+  std::uint32_t dup_ppm = 0;      // message is delivered twice
+  std::uint32_t corrupt_ppm = 0;  // payload corrupted; checksum drops it
+  Time reorder_max = 0;           // extra delivery delay in [0, reorder_max]
+  std::uint64_t seed = 0;
+  std::vector<FaultWindow> windows;  // node stall/blackout intervals
+
+  // Reliable-transport tuning (engaged only when lossy()).
+  Time rto_initial = 200 * kMicrosecond;  // first retransmit timeout
+  std::uint32_t rto_backoff = 2;          // exponential backoff factor
+  std::uint32_t max_retries = 10;         // retransmits before giving up
+  // Optional end-to-end deadline on blocking call(); 0 = rely on the
+  // per-packet retry budget alone (a contended monitor may legitimately be
+  // granted arbitrarily late, so this is off by default).
+  Time call_timeout = 0;
+
+  // Lossy features require the ack/retransmit transport; pure reorder (the
+  // old jitter knob) is delay-only and keeps the one-event-per-message path.
+  bool lossy() const {
+    return drop_ppm != 0 || dup_ppm != 0 || corrupt_ppm != 0 || !windows.empty();
+  }
+  bool any() const { return lossy() || reorder_max != 0; }
+
+  // SplitMix64 finalizer — the same deterministic hash jitter_for used.
+  static std::uint64_t mix(std::uint64_t z) {
+    z += 0x9e3779b97f4a7c15ULL;
     z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
     z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-    z ^= z >> 31;
-    return z % (jitter_max + 1);
+    return z ^ (z >> 31);
   }
+  std::uint64_t hash(std::uint64_t key, std::uint64_t salt) const {
+    return mix(mix(key ^ seed) + salt);
+  }
+  // One hash key per physical transmission attempt of one packet.
+  static std::uint64_t packet_key(NodeId from, NodeId to, std::uint64_t seq,
+                                  std::uint32_t attempt) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(from)) << 48) ^
+           (static_cast<std::uint64_t>(static_cast<std::uint32_t>(to)) << 40) ^
+           (static_cast<std::uint64_t>(attempt) << 32) ^ mix(seq);
+  }
+
+  bool roll(std::uint32_t ppm, std::uint64_t key, std::uint64_t salt) const {
+    if (ppm == 0) return false;
+    return hash(key, salt) % 1000000u < ppm;
+  }
+  // Extra hash-derived delivery delay (the reorder / legacy-jitter knob).
+  Time extra_delay(std::uint64_t key) const {
+    if (reorder_max == 0) return 0;
+    return static_cast<Time>(hash(key, kSaltReorder) %
+                             static_cast<std::uint64_t>(reorder_max + 1));
+  }
+
+  // Sentinel returned by apply_windows when a blackout eats the packet
+  // (Time is unsigned, so a negative sentinel cannot exist).
+  static constexpr Time kDropped = ~Time{0};
+
+  // Window adjustment for a packet arriving at `node` at `arrival`.
+  // Returns the adjusted arrival time, or kDropped if a blackout eats it.
+  Time apply_windows(NodeId node, Time arrival) const {
+    for (const FaultWindow& w : windows) {
+      if (w.node != node || !w.covers(arrival)) continue;
+      if (w.blackout) return kDropped;
+      arrival = w.end();  // stalled NICs deliver at window end; re-check
+    }
+    return arrival;
+  }
+
+  // Salts for the independent decision streams.
+  static constexpr std::uint64_t kSaltDrop = 0x01;
+  static constexpr std::uint64_t kSaltDup = 0x02;
+  static constexpr std::uint64_t kSaltCorrupt = 0x03;
+  static constexpr std::uint64_t kSaltReorder = 0x04;
+  static constexpr std::uint64_t kSaltDupDelay = 0x05;
+
+  // Parses the --fault-profile grammar; HYP_PANICs on malformed specs with a
+  // message citing the grammar. An empty spec yields the default (off).
+  static FaultProfile parse(const std::string& spec);
+  // Canonical round-trippable rendering (diagnostics, bench banners).
+  std::string to_string() const;
 };
 
 struct CpuParams {
@@ -103,6 +202,10 @@ struct ClusterParams {
   int default_nodes = 0;  // cluster size used in the paper's figures
   NetworkParams net;
   CpuParams cpu;
+  // Deterministic network fault injection; default-off (the paper's
+  // interconnects were dedicated and lossless). The Cluster constructor
+  // folds the legacy net.jitter_max alias into fault.reorder_max.
+  FaultProfile fault;
   std::size_t page_bytes = 4096;
 
   // The two testbeds of the paper.

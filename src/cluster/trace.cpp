@@ -4,7 +4,7 @@
 
 namespace hyp::cluster {
 
-static_assert(static_cast<int>(TraceKind::kMonitorAcquired) + 1 == kTraceKindCount,
+static_assert(static_cast<int>(TraceKind::kRpcTimeout) + 1 == kTraceKindCount,
               "kTraceKindCount out of sync with TraceKind");
 
 const char* trace_kind_name(TraceKind kind) {
@@ -20,6 +20,11 @@ const char* trace_kind_name(TraceKind kind) {
     case TraceKind::kThreadStart: return "thread_start";
     case TraceKind::kThreadMigrate: return "thread_migrate";
     case TraceKind::kMonitorAcquired: return "monitor_acquired";
+    case TraceKind::kUpdateApplied: return "update_applied";
+    case TraceKind::kNetDrop: return "net_drop";
+    case TraceKind::kDupSuppressed: return "dup_suppressed";
+    case TraceKind::kRetransmit: return "retransmit";
+    case TraceKind::kRpcTimeout: return "rpc_timeout";
   }
   return "?";
 }

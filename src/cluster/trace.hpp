@@ -34,10 +34,17 @@ enum class TraceKind : std::uint8_t {
   kThreadMigrate,    // a=from node, b=to node
   kMonitorAcquired,  // a=object gva, b=thread uid (grant received; pairs
                      // with kMonitorEnter for acquire-wait slices)
+  kUpdateApplied,    // a=src node, b=bytes/entries applied (home side; pairs
+                     // with kUpdateSent for cross-node flow events)
+  // --- fault-injection / reliable transport (docs/FAULTS.md) ---------------
+  kNetDrop,          // a=dst node, b=pair seq (injected drop/corrupt/blackout)
+  kDupSuppressed,    // a=src node, b=pair seq (receiver dedup hit)
+  kRetransmit,       // a=dst node, b=pair seq (sender timer fired)
+  kRpcTimeout,       // a=peer node, b=service (call deadline or retry budget)
 };
 
 // Keep in sync with the enum above (drop accounting is per kind).
-inline constexpr int kTraceKindCount = 11;
+inline constexpr int kTraceKindCount = 16;
 
 const char* trace_kind_name(TraceKind kind);
 

@@ -23,6 +23,12 @@ const char* counter_name(Counter c) {
     case Counter::kRemoteThreadSpawns: return "remote_thread_spawns";
     case Counter::kThreadMigrations: return "thread_migrations";
     case Counter::kLocalHits: return "local_hits";
+    case Counter::kNetDrops: return "net_drops";
+    case Counter::kNetDupes: return "net_dupes";
+    case Counter::kDupSuppressed: return "dup_suppressed";
+    case Counter::kRetransmits: return "retransmits";
+    case Counter::kAcksSent: return "acks_sent";
+    case Counter::kRpcTimeouts: return "rpc_timeouts";
     case Counter::kCount_: break;
   }
   return "?";
@@ -33,6 +39,7 @@ const char* hist_name(Hist h) {
     case Hist::kPageFetchLatency: return "page_fetch_latency_ps";
     case Hist::kMonitorAcquireWait: return "monitor_acquire_wait_ps";
     case Hist::kUpdatePayloadBytes: return "update_payload_bytes";
+    case Hist::kRetryLatency: return "retry_latency_ps";
     case Hist::kCount_: break;
   }
   return "?";

@@ -34,6 +34,15 @@ enum class Counter : int {
   kRemoteThreadSpawns,
   kThreadMigrations,     // PM2-style thread migrations between nodes
   kLocalHits,            // accesses satisfied without communication
+  // --- fault injection / reliable transport (docs/FAULTS.md). All of these
+  // are exactly zero when the FaultProfile is off — asserted by tests and by
+  // the determinism goldens (no new nonzero counters on quiet runs). --------
+  kNetDrops,             // packets the fault layer discarded (incl. corrupt)
+  kNetDupes,             // packets the fault layer delivered twice
+  kDupSuppressed,        // duplicate deliveries the dedup window absorbed
+  kRetransmits,          // sender retransmissions (ack timer fired)
+  kAcksSent,             // transport-level acknowledgements
+  kRpcTimeouts,          // calls/replies that exhausted deadline or budget
   kCount_,
 };
 
@@ -48,6 +57,8 @@ enum class Hist : int {
   kPageFetchLatency = 0,  // ps from miss detection to page present (per miss)
   kMonitorAcquireWait,    // ps from monitor-enter request to grant
   kUpdatePayloadBytes,    // bytes per updateMainMemory message shipped home
+  kRetryLatency,          // ps from first transmission to ack, for packets
+                          // that needed >= 1 retransmit (faulty runs only)
   kCount_,
 };
 

@@ -30,11 +30,14 @@ DsmSystem::DsmSystem(cluster::Cluster* cluster, std::size_t region_bytes, Protoc
   for (NodeId i = 0; i < n; ++i) {
     nodes_.push_back(std::make_unique<NodeDsm>(&layout_, i));
     cluster_->node(i).register_service(
-        svc::kPageRequest, [this, i](cluster::Incoming& in) { handle_page_request(in, i); });
+        svc::kPageRequest, "page_request",
+        [this, i](cluster::Incoming& in) { handle_page_request(in, i); });
     cluster_->node(i).register_service(
-        svc::kUpdateFields, [this, i](cluster::Incoming& in) { handle_update_fields(in, i); });
+        svc::kUpdateFields, "update_fields",
+        [this, i](cluster::Incoming& in) { handle_update_fields(in, i); });
     cluster_->node(i).register_service(
-        svc::kUpdateRuns, [this, i](cluster::Incoming& in) { handle_update_runs(in, i); });
+        svc::kUpdateRuns, "update_runs",
+        [this, i](cluster::Incoming& in) { handle_update_runs(in, i); });
   }
 }
 
@@ -59,6 +62,34 @@ std::unique_ptr<ThreadCtx> DsmSystem::make_thread(NodeId node) {
 }
 
 // ---------------------------------------------------------------------------
+// Transport-failure degradation
+
+namespace {
+Buffer clone_payload(const Buffer& b) {
+  Buffer out(b.size());
+  out.put_bytes(b.data(), b.size());
+  return out;
+}
+}  // namespace
+
+Buffer DsmSystem::rpc_with_retry(NodeId from, NodeId to, cluster::ServiceId service, Buffer msg,
+                                 const char* what) {
+  if (!cluster_->transport_active()) {
+    // Lossless network: exactly the historical path, no payload copy.
+    return cluster_->call(from, to, service, std::move(msg));
+  }
+  for (int attempt = 1;; ++attempt) {
+    cluster::RpcResult r = cluster_->call_result(
+        from, to, service, attempt < kRpcAttempts ? clone_payload(msg) : std::move(msg));
+    if (r.ok()) return std::move(r.payload);
+    if (attempt >= kRpcAttempts) {
+      HYP_PANIC(std::string(what) + " abandoned after " + std::to_string(attempt) +
+                " attempts: " + r.error.message);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Page transfer
 
 void DsmSystem::fetch_page(ThreadCtx& t, PageId p) {
@@ -78,7 +109,7 @@ void DsmSystem::fetch_page(ThreadCtx& t, PageId p) {
 
   Buffer req;
   req.put<std::uint32_t>(p);
-  Buffer reply = cluster_->call(t.node, home, svc::kPageRequest, std::move(req));
+  Buffer reply = rpc_with_retry(t.node, home, svc::kPageRequest, std::move(req), "page fetch");
   HYP_CHECK_MSG(reply.size() == page_bytes, "page reply has wrong size");
 
   // Install the replica (real bytes) and charge the local copy-in.
@@ -239,7 +270,8 @@ void DsmSystem::flush_ic(ThreadCtx& t) {
     }
     cluster_->trace_event(t.node, cluster::TraceKind::kUpdateSent, home,
                           static_cast<std::int64_t>(msg.size()));
-    Buffer ack = cluster_->call(t.node, home, svc::kUpdateFields, std::move(msg));
+    Buffer ack =
+        rpc_with_retry(t.node, home, svc::kUpdateFields, std::move(msg), "write-log flush");
     HYP_CHECK(ack.empty());
   }
   t.wlog.clear();
@@ -254,6 +286,10 @@ void DsmSystem::handle_update_fields(cluster::Incoming& in, NodeId self) {
   });
   const Time done_at = cluster_->node(self).extend_service(
       cluster_->params().cpu.cycles(cluster_->params().cpu.update_entry_cycles * count));
+  // Home-side confirmation of the flush; pairs with the sender's kUpdateSent
+  // for cross-node Perfetto flow arrows (docs/OBSERVABILITY.md).
+  cluster_->trace_event(self, cluster::TraceKind::kUpdateApplied, in.from,
+                        static_cast<std::int64_t>(count));
   cluster_->reply(in, Buffer{}, done_at - cluster_->engine().now());
 }
 
@@ -351,7 +387,7 @@ void DsmSystem::flush_pf(ThreadCtx& t) {
     }
     cluster_->trace_event(t.node, cluster::TraceKind::kUpdateSent, home,
                           static_cast<std::int64_t>(msg.size()));
-    Buffer ack = cluster_->call(t.node, home, svc::kUpdateRuns, std::move(msg));
+    Buffer ack = rpc_with_retry(t.node, home, svc::kUpdateRuns, std::move(msg), "diff flush");
     HYP_CHECK(ack.empty());
   }
 }
@@ -370,6 +406,8 @@ void DsmSystem::handle_update_runs(cluster::Incoming& in, NodeId self) {
   }
   const Time done_at =
       cluster_->node(self).extend_service(cluster_->params().cpu.copy_cost(total_bytes));
+  cluster_->trace_event(self, cluster::TraceKind::kUpdateApplied, in.from,
+                        static_cast<std::int64_t>(total_bytes));
   cluster_->reply(in, Buffer{}, done_at - cluster_->engine().now());
 }
 

@@ -152,6 +152,17 @@ class DsmSystem {
   void handle_update_fields(cluster::Incoming& in, NodeId self);
   void handle_update_runs(cluster::Incoming& in, NodeId self);
 
+  // Blocking RPC with whole-call re-request on typed transport failure
+  // (docs/FAULTS.md). Every DSM RPC is idempotent — page reads obviously,
+  // updates because re-applying the same bytes is a no-op — so when the
+  // reliable transport gives up (budget exhausted / reply undeliverable) the
+  // call is simply reissued, up to kRpcAttempts times; then the run aborts
+  // with the transport's diagnostic naming the peer node and service. On a
+  // lossless network this is exactly cluster::call().
+  Buffer rpc_with_retry(NodeId from, NodeId to, cluster::ServiceId service, Buffer msg,
+                        const char* what);
+  static constexpr int kRpcAttempts = 3;
+
   cluster::Cluster* cluster_;
   Layout layout_;
   ProtocolKind kind_;

@@ -4,29 +4,108 @@
 
 namespace hyp::hyperion {
 
-namespace {
-// Wire format helpers: every monitor message starts (u64 obj, u64 uid).
-Buffer encode_obj_uid(dsm::Gva obj, std::uint64_t uid) {
-  Buffer b;
-  b.put<std::uint64_t>(obj);
-  b.put<std::uint64_t>(uid);
-  return b;
-}
-}  // namespace
+// Wire format: every monitor message starts (u64 obj, u64 uid); under an
+// active lossy transport a u64 op id follows (remote_invoke/op_already_applied
+// below); notify appends a one/all byte.
 
 MonitorSubsystem::MonitorSubsystem(cluster::Cluster* cluster, dsm::DsmSystem* dsm)
-    : cluster_(cluster), dsm_(dsm), monitors_(static_cast<std::size_t>(cluster->node_count())) {
+    : cluster_(cluster),
+      dsm_(dsm),
+      monitors_(static_cast<std::size_t>(cluster->node_count())),
+      applied_ops_(static_cast<std::size_t>(cluster->node_count())) {
   for (cluster::NodeId n = 0; n < cluster->node_count(); ++n) {
     auto& node = cluster_->node(n);
-    node.register_service(svc::kMonitorEnter,
+    node.register_service(svc::kMonitorEnter, "monitor_enter",
                           [this, n](cluster::Incoming& in) { handle_enter(in, n); });
-    node.register_service(svc::kMonitorExit,
+    node.register_service(svc::kMonitorExit, "monitor_exit",
                           [this, n](cluster::Incoming& in) { handle_exit(in, n); });
-    node.register_service(svc::kMonitorWait,
+    node.register_service(svc::kMonitorWait, "monitor_wait",
                           [this, n](cluster::Incoming& in) { handle_wait(in, n); });
-    node.register_service(svc::kMonitorNotify,
+    node.register_service(svc::kMonitorNotify, "monitor_notify",
                           [this, n](cluster::Incoming& in) { handle_notify(in, n); });
   }
+}
+
+// ---------------------------------------------------------------------------
+// Transport-failure degradation (docs/FAULTS.md)
+
+Buffer MonitorSubsystem::remote_invoke(dsm::ThreadCtx& t, cluster::NodeId home,
+                                       cluster::ServiceId service, dsm::Gva obj, int all_flag) {
+  const bool lossy = cluster_->transport_active();
+  const std::uint64_t op = lossy ? next_op_id_++ : 0;
+  auto build = [&]() {
+    Buffer b;
+    b.put<std::uint64_t>(obj);
+    b.put<std::uint64_t>(t.uid);
+    if (lossy) b.put<std::uint64_t>(op);
+    if (all_flag >= 0) b.put<std::uint8_t>(static_cast<std::uint8_t>(all_flag));
+    return b;
+  };
+  if (!lossy) {
+    // Lossless network: the historical always-succeeds path, byte-identical
+    // wire format (no op id).
+    return cluster_->call(t.node, home, service, build());
+  }
+  for (int attempt = 1;; ++attempt) {
+    cluster::RpcResult r = cluster_->call_result(t.node, home, service, build());
+    if (r.ok()) return std::move(r.payload);
+    if (attempt >= kRpcAttempts) {
+      HYP_PANIC("monitor operation abandoned after " + std::to_string(attempt) +
+                " attempts: " + r.error.message);
+    }
+  }
+}
+
+bool MonitorSubsystem::op_already_applied(cluster::Incoming& in, cluster::NodeId self) {
+  if (!cluster_->transport_active()) return false;
+  const auto op = in.reader.get<std::uint64_t>();
+  return !applied_ops_[static_cast<std::size_t>(self)].insert(op).second;
+}
+
+void MonitorSubsystem::reattach_enter(cluster::Incoming& in, cluster::NodeId self, dsm::Gva obj,
+                                      std::uint64_t uid) {
+  // The original enter was applied but its grant (or queue position) was cut
+  // off from the caller; the caller is still parked in the retried call.
+  MonitorState& m = state(self, obj);
+  if (m.owner_uid == uid) {
+    cluster_->reply(in, Buffer{});  // the lost grant, re-issued
+    return;
+  }
+  for (Contender& c : m.queue) {
+    if (!c.local && c.uid == uid) {
+      c.from = in.from;
+      c.reply_token = in.reply_token;  // grant will answer the live call
+      return;
+    }
+  }
+  HYP_PANIC("monitor enter retry from uid " + std::to_string(uid) +
+            " found neither ownership nor a queued contender (home node " +
+            std::to_string(self) + ")");
+}
+
+void MonitorSubsystem::reattach_wait(cluster::Incoming& in, cluster::NodeId self, dsm::Gva obj,
+                                     std::uint64_t uid) {
+  MonitorState& m = state(self, obj);
+  if (m.owner_uid == uid) {
+    cluster_->reply(in, Buffer{});  // notify + re-grant already happened
+    return;
+  }
+  for (Contender& c : m.queue) {
+    if (!c.local && c.uid == uid) {
+      c.from = in.from;
+      c.reply_token = in.reply_token;
+      return;
+    }
+  }
+  for (Contender& c : m.wait_set) {
+    if (!c.local && c.uid == uid) {
+      c.from = in.from;
+      c.reply_token = in.reply_token;
+      return;
+    }
+  }
+  HYP_PANIC("monitor wait retry from uid " + std::to_string(uid) +
+            " found no waiting contender (home node " + std::to_string(self) + ")");
 }
 
 MonitorSubsystem::MonitorState& MonitorSubsystem::state(cluster::NodeId home, dsm::Gva obj) {
@@ -61,8 +140,7 @@ void MonitorSubsystem::enter(dsm::ThreadCtx& t, dsm::Gva obj) {
   } else {
     t.clock.flush();
     requested_at = cluster_->engine().now();
-    Buffer grant_msg =
-        cluster_->call(t.node, home, svc::kMonitorEnter, encode_obj_uid(obj, t.uid));
+    Buffer grant_msg = remote_invoke(t, home, svc::kMonitorEnter, obj);
     HYP_CHECK(grant_msg.empty());
   }
   const TimeDelta waited = cluster_->engine().now() - requested_at;
@@ -86,7 +164,7 @@ void MonitorSubsystem::exit(dsm::ThreadCtx& t, dsm::Gva obj) {
     t.clock.flush();
     do_exit(home, obj, t.uid);
   } else {
-    Buffer ack = cluster_->call(t.node, home, svc::kMonitorExit, encode_obj_uid(obj, t.uid));
+    Buffer ack = remote_invoke(t, home, svc::kMonitorExit, obj);
     HYP_CHECK(ack.empty());
   }
 }
@@ -116,8 +194,7 @@ void MonitorSubsystem::wait(dsm::ThreadCtx& t, dsm::Gva obj) {
     t.clock.flush();
     requested_at = cluster_->engine().now();
     // The reply arrives only after notify + re-grant.
-    Buffer grant_msg =
-        cluster_->call(t.node, home, svc::kMonitorWait, encode_obj_uid(obj, t.uid));
+    Buffer grant_msg = remote_invoke(t, home, svc::kMonitorWait, obj);
     HYP_CHECK(grant_msg.empty());
   }
   cluster_->phase_add(t.node, obs::Phase::kBarrier,
@@ -134,10 +211,8 @@ void MonitorSubsystem::notify_one(dsm::ThreadCtx& t, dsm::Gva obj) {
     t.clock.flush();
     do_notify(home, obj, t.uid, /*all=*/false);
   } else {
-    Buffer req = encode_obj_uid(obj, t.uid);
-    req.put<std::uint8_t>(0);
     t.clock.flush();
-    Buffer ack = cluster_->call(t.node, home, svc::kMonitorNotify, std::move(req));
+    Buffer ack = remote_invoke(t, home, svc::kMonitorNotify, obj, /*all_flag=*/0);
     HYP_CHECK(ack.empty());
   }
 }
@@ -151,10 +226,8 @@ void MonitorSubsystem::notify_all(dsm::ThreadCtx& t, dsm::Gva obj) {
     t.clock.flush();
     do_notify(home, obj, t.uid, /*all=*/true);
   } else {
-    Buffer req = encode_obj_uid(obj, t.uid);
-    req.put<std::uint8_t>(1);
     t.clock.flush();
-    Buffer ack = cluster_->call(t.node, home, svc::kMonitorNotify, std::move(req));
+    Buffer ack = remote_invoke(t, home, svc::kMonitorNotify, obj, /*all_flag=*/1);
     HYP_CHECK(ack.empty());
   }
 }
@@ -231,7 +304,12 @@ void MonitorSubsystem::grant(cluster::NodeId home, MonitorState&, Contender c) {
 void MonitorSubsystem::handle_enter(cluster::Incoming& in, cluster::NodeId self) {
   const auto obj = in.reader.get<std::uint64_t>();
   const auto uid = in.reader.get<std::uint64_t>();
+  const bool retry = op_already_applied(in, self);
   cluster_->node(self).extend_service(cluster_->params().cpu.cycles(kManagerCycles));
+  if (retry) {
+    reattach_enter(in, self, obj, uid);
+    return;
+  }
   Contender c;
   c.uid = uid;
   c.local = false;
@@ -243,15 +321,21 @@ void MonitorSubsystem::handle_enter(cluster::Incoming& in, cluster::NodeId self)
 void MonitorSubsystem::handle_exit(cluster::Incoming& in, cluster::NodeId self) {
   const auto obj = in.reader.get<std::uint64_t>();
   const auto uid = in.reader.get<std::uint64_t>();
+  const bool retry = op_already_applied(in, self);
   cluster_->node(self).extend_service(cluster_->params().cpu.cycles(kManagerCycles));
-  do_exit(self, obj, uid);
+  if (!retry) do_exit(self, obj, uid);  // retry of an applied exit: just re-ack
   cluster_->reply(in, Buffer{});
 }
 
 void MonitorSubsystem::handle_wait(cluster::Incoming& in, cluster::NodeId self) {
   const auto obj = in.reader.get<std::uint64_t>();
   const auto uid = in.reader.get<std::uint64_t>();
+  const bool retry = op_already_applied(in, self);
   cluster_->node(self).extend_service(cluster_->params().cpu.cycles(kManagerCycles));
+  if (retry) {
+    reattach_wait(in, self, obj, uid);
+    return;
+  }
   Contender c;
   c.uid = uid;
   c.local = false;
@@ -263,9 +347,10 @@ void MonitorSubsystem::handle_wait(cluster::Incoming& in, cluster::NodeId self) 
 void MonitorSubsystem::handle_notify(cluster::Incoming& in, cluster::NodeId self) {
   const auto obj = in.reader.get<std::uint64_t>();
   const auto uid = in.reader.get<std::uint64_t>();
+  const bool retry = op_already_applied(in, self);
   const bool all = in.reader.get<std::uint8_t>() != 0;
   cluster_->node(self).extend_service(cluster_->params().cpu.cycles(kManagerCycles));
-  do_notify(self, obj, uid, all);
+  if (!retry) do_notify(self, obj, uid, all);  // applied already: just re-ack
   cluster_->reply(in, Buffer{});
 }
 

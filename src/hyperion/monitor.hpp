@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <deque>
 #include <map>
+#include <set>
 #include <vector>
 
 #include "cluster/cluster.hpp"
@@ -83,10 +84,38 @@ class MonitorSubsystem {
 
   MonitorState& state(cluster::NodeId home, dsm::Gva obj);
 
+  // --- transport-failure degradation (docs/FAULTS.md) -----------------------
+  //
+  // Monitor transitions are NOT naturally idempotent (a doubled exit corrupts
+  // the depth count), so under an active lossy transport every remote op
+  // carries a cluster-unique op id; the home records applied ids and treats a
+  // retried-but-applied op as "re-attach": re-grant to the owner, repoint a
+  // queued/waiting contender's reply coordinates at the live call, or re-ack.
+  // Quiet networks keep the historical wire format byte-for-byte (the op id
+  // is only appended when Cluster::transport_active()).
+  //
+  // `all_flag` >= 0 appends the notify one/all byte. Retries the whole call
+  // up to kRpcAttempts times on typed transport failure, then aborts with the
+  // transport's diagnostic naming the home node and service.
+  Buffer remote_invoke(dsm::ThreadCtx& t, cluster::NodeId home, cluster::ServiceId service,
+                       dsm::Gva obj, int all_flag = -1);
+  // Parses the op id (lossy runs only) and dedups it. Returns true when the
+  // message is a retry of an op the home has already applied.
+  bool op_already_applied(cluster::Incoming& in, cluster::NodeId self);
+  void reattach_enter(cluster::Incoming& in, cluster::NodeId self, dsm::Gva obj,
+                      std::uint64_t uid);
+  void reattach_wait(cluster::Incoming& in, cluster::NodeId self, dsm::Gva obj,
+                     std::uint64_t uid);
+
   cluster::Cluster* cluster_;
   dsm::DsmSystem* dsm_;
   // monitors_[home] maps object address -> state.
   std::vector<std::map<dsm::Gva, MonitorState>> monitors_;
+  // Lossy-transport idempotence state (empty on quiet networks): the next
+  // cluster-unique op id, and per home node the set of applied op ids.
+  std::uint64_t next_op_id_ = 1;
+  std::vector<std::set<std::uint64_t>> applied_ops_;
+  static constexpr int kRpcAttempts = 3;
 
   // Cycle costs for the manager's bookkeeping (charged to the home service
   // for remote callers, to the caller's clock for local ones).

@@ -2,6 +2,7 @@
 
 #include <cinttypes>
 #include <cstdio>
+#include <deque>
 #include <map>
 #include <set>
 #include <string>
@@ -62,6 +63,19 @@ std::string event_args(const TraceEvent& e) {
     case TraceKind::kThreadMigrate:
       std::snprintf(buf, sizeof(buf), "{\"from\":%lld,\"to\":%lld}", a, b);
       break;
+    case TraceKind::kUpdateApplied:
+      std::snprintf(buf, sizeof(buf), "{\"src\":%lld,\"bytes\":%lld}", a, b);
+      break;
+    case TraceKind::kNetDrop:
+    case TraceKind::kRetransmit:
+      std::snprintf(buf, sizeof(buf), "{\"dst\":%lld,\"seq\":%lld}", a, b);
+      break;
+    case TraceKind::kDupSuppressed:
+      std::snprintf(buf, sizeof(buf), "{\"src\":%lld,\"seq\":%lld}", a, b);
+      break;
+    case TraceKind::kRpcTimeout:
+      std::snprintf(buf, sizeof(buf), "{\"peer\":%lld,\"service\":%lld}", a, b);
+      break;
     default:
       std::snprintf(buf, sizeof(buf), "{\"a\":%lld,\"b\":%lld}", a, b);
       break;
@@ -75,7 +89,13 @@ const char* event_category(TraceKind kind) {
     case TraceKind::kPageFault:
     case TraceKind::kInvalidate:
     case TraceKind::kUpdateSent:
+    case TraceKind::kUpdateApplied:
       return "dsm";
+    case TraceKind::kNetDrop:
+    case TraceKind::kDupSuppressed:
+    case TraceKind::kRetransmit:
+    case TraceKind::kRpcTimeout:
+      return "fault";
     case TraceKind::kMonitorEnter:
     case TraceKind::kMonitorExit:
     case TraceKind::kMonitorWait:
@@ -131,6 +151,20 @@ class Emitter {
                   "\"pid\":%d,\"tid\":%d,\"args\":%s}",
                   name, cat, format_ts(begin).c_str(), format_ts(end - begin).c_str(), pid,
                   tid, args.c_str());
+    raw(buf);
+  }
+
+  // Flow event endpoints (ph "s"/"f"): an arrow from the sender's track to
+  // the receiver's track with a shared numeric id. The finish carries
+  // bp:"e" so Perfetto binds it to the enclosing instant/slice.
+  void flow(const char* name, const char* cat, char phase, std::uint64_t id, Time at, int pid,
+            int tid) {
+    char buf[224];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"%c\",%s\"id\":%" PRIu64
+                  ",\"ts\":%s,\"pid\":%d,\"tid\":%d}",
+                  name, cat, phase, phase == 'f' ? "\"bp\":\"e\"," : "", id,
+                  format_ts(at).c_str(), pid, tid);
     raw(buf);
   }
 
@@ -190,11 +224,29 @@ void write_perfetto_trace(std::ostream& os, const TraceLog& log, const PerfettoO
   // page_fetch slice: last unmatched kPageFault on (node, page) -> kPageFetch.
   // monitor_acquire slice: kMonitorEnter -> kMonitorAcquired on
   // (node, object, uid).
+  // update_flow arrows: each kUpdateSent on node S toward home H opens a flow
+  // that the next kUpdateApplied on H from S closes. The cluster's per-pair
+  // delivery is FIFO in virtual time, so a per-(src,home) id queue pairs them
+  // exactly; an unmatched tail (trace capacity cut) simply leaves open flows.
+  std::map<std::pair<int, int>, std::deque<std::uint64_t>> update_flows;
+  std::uint64_t next_flow_id = 1;
   std::map<std::pair<int, std::int64_t>, Time> pending_fault;
   std::map<std::tuple<int, std::int64_t, std::int64_t>, Time> pending_enter;
   for (const TraceEvent& e : log.events()) {
     emit.instant(e);
     if (!opts.derive_slices) continue;
+    if (e.kind == TraceKind::kUpdateSent) {
+      const std::uint64_t id = next_flow_id++;
+      update_flows[{e.node, static_cast<int>(e.a)}].push_back(id);
+      emit.flow("update_flow", "dsm", 's', id, e.at, e.node, 0);
+    } else if (e.kind == TraceKind::kUpdateApplied) {
+      auto it = update_flows.find({static_cast<int>(e.a), e.node});
+      if (it != update_flows.end() && !it->second.empty()) {
+        const std::uint64_t id = it->second.front();
+        it->second.pop_front();
+        emit.flow("update_flow", "dsm", 'f', id, e.at, e.node, 0);
+      }
+    }
     switch (e.kind) {
       case TraceKind::kPageFault:
         pending_fault[{e.node, e.a}] = e.at;

@@ -91,7 +91,8 @@ class Engine {
   // translation units (sync.cpp, cluster.cpp), so out-of-line definitions
   // would put a call on the hottest path in the program.
   void post(Time at, UniqueFunction<void()> fn) {
-    HYP_CHECK_MSG(at >= now_, "posting an event into the past");
+    HYP_CHECK_MSG(at >= now_, "posting an event into the past (at=" + std::to_string(at) +
+                                  " now=" + std::to_string(now_) + ")");
     heap_push(Event{at, next_seq_++, nullptr, cb_acquire(std::move(fn))});
   }
 

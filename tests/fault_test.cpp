@@ -1,0 +1,402 @@
+// Deterministic fault injection + reliable transport (docs/FAULTS.md).
+//
+// Four layers of contract:
+//   1. the --fault-profile grammar parses, round-trips, and rejects junk;
+//   2. the hash primitives are deterministic, seeded, and bounded;
+//   3. the ack/retransmit transport delivers exactly-once under drop/dup/
+//      corrupt/window chaos, with typed failures when a peer is unreachable,
+//      and stays completely out of the way on quiet networks;
+//   4. the full VM (DSM + monitors) computes exact answers under chaos.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "hyperion/japi.hpp"
+#include "hyperion/vm.hpp"
+
+namespace hyp::cluster {
+namespace {
+
+constexpr ServiceId kEcho = 1;
+constexpr ServiceId kOneWay = 2;
+constexpr ServiceId kBlackHole = 3;  // registered, never replies
+
+ClusterParams tiny_params() {
+  ClusterParams p;
+  p.name = "test";
+  p.default_nodes = 4;
+  p.net.latency = 10 * kMicrosecond;
+  p.net.bandwidth_bytes_per_sec = 100e6;
+  p.net.send_overhead = 1 * kMicrosecond;
+  p.net.recv_overhead = 2 * kMicrosecond;
+  p.cpu.hz = 100e6;
+  p.cpu.check_cycles = 10;
+  return p;
+}
+
+// --- 1. profile grammar -----------------------------------------------------
+
+TEST(FaultProfileParse, EmptySpecIsOff) {
+  FaultProfile p = FaultProfile::parse("");
+  EXPECT_FALSE(p.any());
+  EXPECT_FALSE(p.lossy());
+}
+
+TEST(FaultProfileParse, RatesAreExactPpm) {
+  EXPECT_EQ(FaultProfile::parse("drop2%").drop_ppm, 20000u);
+  EXPECT_EQ(FaultProfile::parse("dup1%").dup_ppm, 10000u);
+  EXPECT_EQ(FaultProfile::parse("corrupt0.5%").corrupt_ppm, 5000u);
+}
+
+TEST(FaultProfileParse, FullSpec) {
+  FaultProfile p =
+      FaultProfile::parse("drop2%,dup1%,reorder5us,seed=7,retries=6,backoff=3,"
+                          "rto=100us,timeout=5ms");
+  EXPECT_EQ(p.drop_ppm, 20000u);
+  EXPECT_EQ(p.dup_ppm, 10000u);
+  EXPECT_EQ(p.reorder_max, 5 * kMicrosecond);
+  EXPECT_EQ(p.seed, 7u);
+  EXPECT_EQ(p.max_retries, 6u);
+  EXPECT_EQ(p.rto_backoff, 3u);
+  EXPECT_EQ(p.rto_initial, 100 * kMicrosecond);
+  EXPECT_EQ(p.call_timeout, 5 * kMillisecond);
+  EXPECT_TRUE(p.lossy());
+}
+
+TEST(FaultProfileParse, Windows) {
+  FaultProfile p = FaultProfile::parse("stall1@300us+200us,blackout0@1ms+500us");
+  ASSERT_EQ(p.windows.size(), 2u);
+  EXPECT_EQ(p.windows[0].node, 1);
+  EXPECT_EQ(p.windows[0].start, 300 * kMicrosecond);
+  EXPECT_EQ(p.windows[0].duration, 200 * kMicrosecond);
+  EXPECT_FALSE(p.windows[0].blackout);
+  EXPECT_EQ(p.windows[1].node, 0);
+  EXPECT_EQ(p.windows[1].start, 1 * kMillisecond);
+  EXPECT_TRUE(p.windows[1].blackout);
+  EXPECT_TRUE(p.lossy());  // windows require the reliable transport
+}
+
+TEST(FaultProfileParse, ToStringRoundTrips) {
+  const std::string spec =
+      "drop2%,dup1%,corrupt0.5%,reorder5us,stall1@300us+200us,seed=9,"
+      "retries=6";
+  FaultProfile a = FaultProfile::parse(spec);
+  FaultProfile b = FaultProfile::parse(a.to_string());
+  EXPECT_EQ(a.drop_ppm, b.drop_ppm);
+  EXPECT_EQ(a.dup_ppm, b.dup_ppm);
+  EXPECT_EQ(a.corrupt_ppm, b.corrupt_ppm);
+  EXPECT_EQ(a.reorder_max, b.reorder_max);
+  EXPECT_EQ(a.seed, b.seed);
+  EXPECT_EQ(a.max_retries, b.max_retries);
+  ASSERT_EQ(a.windows.size(), b.windows.size());
+  EXPECT_EQ(a.windows[0].node, b.windows[0].node);
+  EXPECT_EQ(a.windows[0].start, b.windows[0].start);
+}
+
+TEST(FaultProfileParseDeath, RejectsJunkCitingGrammar) {
+  EXPECT_DEATH(FaultProfile::parse("frobnicate"), "grammar");
+  EXPECT_DEATH(FaultProfile::parse("drop2"), "grammar");      // missing %
+  EXPECT_DEATH(FaultProfile::parse("stall1@5us"), "grammar"); // missing +dur
+}
+
+// --- 2. primitives ----------------------------------------------------------
+
+TEST(FaultProfilePrimitives, ExtraDelayOffByDefault) {
+  FaultProfile p;
+  for (std::uint64_t k = 0; k < 64; ++k) EXPECT_EQ(p.extra_delay(k), 0);
+}
+
+TEST(FaultProfilePrimitives, ExtraDelayDeterministicSeededBounded) {
+  FaultProfile a, b, c;
+  a.reorder_max = b.reorder_max = c.reorder_max = 5 * kMicrosecond;
+  a.seed = b.seed = 7;
+  c.seed = 8;
+  bool seed_differs = false;
+  for (std::uint64_t k = 0; k < 256; ++k) {
+    const Time d = a.extra_delay(k);
+    EXPECT_EQ(d, b.extra_delay(k));  // same seed -> same schedule
+    EXPECT_LE(d, a.reorder_max);
+    if (d != c.extra_delay(k)) seed_differs = true;
+  }
+  EXPECT_TRUE(seed_differs);  // different seed -> independent schedule
+}
+
+TEST(FaultProfilePrimitives, WindowsAdjustArrivals) {
+  FaultProfile p;
+  p.windows.push_back({1, 100 * kMicrosecond, 50 * kMicrosecond, false});
+  p.windows.push_back({2, 100 * kMicrosecond, 50 * kMicrosecond, true});
+  // Stall: inside the window -> delayed to the end; outside -> untouched.
+  EXPECT_EQ(p.apply_windows(1, 120 * kMicrosecond), 150 * kMicrosecond);
+  EXPECT_EQ(p.apply_windows(1, 99 * kMicrosecond), 99 * kMicrosecond);
+  EXPECT_EQ(p.apply_windows(1, 150 * kMicrosecond), 150 * kMicrosecond);
+  // Blackout: inside -> dropped; other nodes unaffected.
+  EXPECT_EQ(p.apply_windows(2, 120 * kMicrosecond), FaultProfile::kDropped);
+  EXPECT_EQ(p.apply_windows(0, 120 * kMicrosecond), 120 * kMicrosecond);
+}
+
+TEST(FaultProfilePrimitives, LegacyJitterAliasFoldsIntoReorder) {
+  ClusterParams p = tiny_params();
+  p.net.jitter_max = 3 * kMicrosecond;
+  Cluster c(p, 2);
+  EXPECT_EQ(c.params().fault.reorder_max, 3 * kMicrosecond);
+  EXPECT_FALSE(c.transport_active());  // reorder alone stays on the fast path
+}
+
+// --- 3. reliable transport --------------------------------------------------
+
+// Registers an echo (+1) service on `node`.
+void register_echo(Cluster& c, NodeId node) {
+  c.node(node).register_service(kEcho, "echo_test", [&c](Incoming& in) {
+    auto v = in.reader.get<std::uint32_t>();
+    Buffer out;
+    out.put<std::uint32_t>(v + 1);
+    c.reply(in, std::move(out));
+  });
+}
+
+TEST(FaultTransport, EchoSurvivesHeavyChaos) {
+  ClusterParams p = tiny_params();
+  p.fault = FaultProfile::parse("drop20%,dup10%,corrupt2%,reorder3us,seed=3");
+  Cluster c(p, 2);
+  ASSERT_TRUE(c.transport_active());
+  register_echo(c, 1);
+  int good = 0;
+  c.spawn_thread(0, "caller", [&] {
+    for (std::uint32_t i = 0; i < 25; ++i) {
+      Buffer req;
+      req.put<std::uint32_t>(i);
+      Buffer resp = c.call(0, 1, kEcho, std::move(req));
+      BufferReader r(resp);
+      if (r.get<std::uint32_t>() == i + 1) ++good;
+    }
+  });
+  c.run();
+  EXPECT_EQ(good, 25);
+  const Stats s = c.total_stats();
+  // The profile must have actually bitten, and the transport recovered.
+  EXPECT_GT(s.get(Counter::kNetDrops), 0u);
+  EXPECT_GT(s.get(Counter::kRetransmits), 0u);
+  EXPECT_GT(s.get(Counter::kAcksSent), 0u);
+  EXPECT_EQ(s.get(Counter::kRpcTimeouts), 0u);
+}
+
+TEST(FaultTransport, OneWaySendsDeliverExactlyOnceUnderDup) {
+  ClusterParams p = tiny_params();
+  p.fault = FaultProfile::parse("dup30%,seed=5");
+  Cluster c(p, 2);
+  int invocations = 0;
+  c.node(1).register_service(kOneWay, "one_way_test",
+                             [&](Incoming&) { ++invocations; });
+  c.spawn_thread(0, "sender", [&] {
+    for (int i = 0; i < 30; ++i) {
+      Buffer b;
+      b.put<std::uint8_t>(1);
+      c.send(0, 1, kOneWay, std::move(b));
+    }
+  });
+  c.run();
+  EXPECT_EQ(invocations, 30);  // every dup absorbed by the dedup window
+  const Stats s = c.total_stats();
+  EXPECT_GT(s.get(Counter::kNetDupes), 0u);
+  EXPECT_EQ(s.get(Counter::kDupSuppressed), s.get(Counter::kNetDupes));
+}
+
+// One chaotic workload, summarized for determinism comparison.
+struct ChaosRunSummary {
+  Time elapsed = 0;
+  std::uint64_t drops = 0, dupes = 0, retransmits = 0, messages = 0;
+  bool operator==(const ChaosRunSummary&) const = default;
+};
+
+ChaosRunSummary chaos_run(std::uint64_t seed) {
+  ClusterParams p = tiny_params();
+  p.fault = FaultProfile::parse("drop15%,dup5%,reorder4us,seed=" +
+                                std::to_string(seed));
+  Cluster c(p, 3);
+  register_echo(c, 1);
+  register_echo(c, 2);
+  for (NodeId src : {0, 1}) {
+    c.spawn_thread(src, "caller" + std::to_string(src), [&c, src] {
+      for (std::uint32_t i = 0; i < 15; ++i) {
+        Buffer req;
+        req.put<std::uint32_t>(i);
+        Buffer resp = c.call(src, src + 1, kEcho, std::move(req));
+        BufferReader r(resp);
+        EXPECT_EQ(r.get<std::uint32_t>(), i + 1);
+      }
+    });
+  }
+  c.run();
+  const Stats s = c.total_stats();
+  return {c.engine().now(), s.get(Counter::kNetDrops), s.get(Counter::kNetDupes),
+          s.get(Counter::kRetransmits), s.get(Counter::kMessages)};
+}
+
+TEST(FaultTransport, SameSeedIsBitIdenticalDifferentSeedIsNot) {
+  const ChaosRunSummary a1 = chaos_run(5);
+  const ChaosRunSummary a2 = chaos_run(5);
+  const ChaosRunSummary b = chaos_run(6);
+  EXPECT_EQ(a1, a2);       // reproducible chaos
+  EXPECT_NE(a1, b);        // independent schedule per seed
+  EXPECT_GT(a1.drops, 0u);  // and the chaos was real
+}
+
+TEST(FaultTransport, QuietNetworkTouchesNoFaultMachinery) {
+  Cluster c(tiny_params(), 2);
+  EXPECT_FALSE(c.transport_active());
+  register_echo(c, 1);
+  c.spawn_thread(0, "caller", [&] {
+    for (std::uint32_t i = 0; i < 10; ++i) {
+      Buffer req;
+      req.put<std::uint32_t>(i);
+      c.call(0, 1, kEcho, std::move(req));
+    }
+  });
+  c.run();
+  const Stats s = c.total_stats();
+  EXPECT_EQ(s.get(Counter::kNetDrops), 0u);
+  EXPECT_EQ(s.get(Counter::kNetDupes), 0u);
+  EXPECT_EQ(s.get(Counter::kDupSuppressed), 0u);
+  EXPECT_EQ(s.get(Counter::kRetransmits), 0u);
+  EXPECT_EQ(s.get(Counter::kAcksSent), 0u);
+  EXPECT_EQ(s.get(Counter::kRpcTimeouts), 0u);
+}
+
+TEST(FaultTransport, StallWindowDelaysDelivery) {
+  ClusterParams p = tiny_params();
+  // Everything arriving at node 1 before t=1ms is held until t=1ms.
+  p.fault.windows.push_back({1, 0, 1 * kMillisecond, false});
+  Cluster c(p, 2);
+  Time handled_at = 0;
+  c.node(1).register_service(kOneWay, [&](Incoming&) { handled_at = c.engine().now(); });
+  c.spawn_thread(0, "sender", [&] {
+    Buffer b;
+    b.put<std::uint8_t>(1);
+    c.send(0, 1, kOneWay, std::move(b));
+  });
+  c.run();
+  // Without the window this lands at ~13us (cluster_test); the stalled NIC
+  // delivers at the window end plus receiver dispatch.
+  EXPECT_GE(handled_at, 1 * kMillisecond);
+  EXPECT_LT(handled_at, 1 * kMillisecond + 10 * kMicrosecond);
+}
+
+// --- typed failures ---------------------------------------------------------
+
+// A cluster whose node 1 is blacked out for the entire run.
+ClusterParams unreachable_peer_params() {
+  ClusterParams p = tiny_params();
+  p.fault.windows.push_back({1, 0, Time{3600} * 1000 * kMillisecond, true});
+  p.fault.rto_initial = 50 * kMicrosecond;
+  p.fault.max_retries = 3;
+  return p;
+}
+
+TEST(FaultTransport, BudgetExhaustionIsTypedAndNamesThePeer) {
+  Cluster c(unreachable_peer_params(), 2);
+  register_echo(c, 1);
+  RpcResult result;
+  Time failed_after = 0;
+  c.spawn_thread(0, "caller", [&] {
+    Buffer req;
+    req.put<std::uint32_t>(1);
+    const Time begin = c.engine().now();
+    result = c.call_result(0, 1, kEcho, std::move(req));
+    failed_after = c.engine().now() - begin;
+  });
+  c.run();
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status, RpcStatus::kBudgetExhausted);
+  EXPECT_EQ(result.error.from, 0);
+  EXPECT_EQ(result.error.to, 1);
+  EXPECT_EQ(result.error.service, kEcho);
+  EXPECT_EQ(result.error.retransmits, 3u);
+  EXPECT_NE(result.error.message.find("node 1"), std::string::npos);
+  EXPECT_NE(result.error.message.find("echo_test"), std::string::npos);
+  EXPECT_NE(result.error.message.find("retry budget exhausted"), std::string::npos);
+  // rto 50us with 2x backoff: retransmits at +50, +150, +350; give-up ~+750.
+  EXPECT_GE(failed_after, 700 * kMicrosecond);
+  const Stats s = c.total_stats();
+  EXPECT_EQ(s.get(Counter::kRpcTimeouts), 1u);
+  EXPECT_EQ(s.get(Counter::kRetransmits), 3u);
+}
+
+TEST(FaultTransportDeath, CallAbortsWithPeerNamingDiagnostic) {
+  Cluster c(unreachable_peer_params(), 2);
+  register_echo(c, 1);
+  c.spawn_thread(0, "caller", [&] {
+    Buffer req;
+    req.put<std::uint32_t>(1);
+    c.call(0, 1, kEcho, std::move(req));
+  });
+  EXPECT_DEATH(c.run(), "retry budget exhausted");
+}
+
+TEST(FaultTransport, CallTimeoutFiresWhenServiceNeverReplies) {
+  ClusterParams p = tiny_params();
+  // A window on an uninvolved node engages the transport without touching
+  // the 0<->1 traffic; the deadline alone must fail the call.
+  p.fault.windows.push_back({3, 0, 1 * kMicrosecond, true});
+  p.fault.call_timeout = 500 * kMicrosecond;
+  Cluster c(p, 4);
+  c.node(1).register_service(kBlackHole, "black_hole", [](Incoming&) {});
+  RpcResult result;
+  c.spawn_thread(0, "caller", [&] {
+    Buffer req;
+    req.put<std::uint32_t>(1);
+    result = c.call_result(0, 1, kBlackHole, std::move(req));
+  });
+  c.run();
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status, RpcStatus::kTimeout);
+  EXPECT_NE(result.error.message.find("timed out"), std::string::npos);
+  EXPECT_NE(result.error.message.find("black_hole"), std::string::npos);
+}
+
+// --- 4. full VM under chaos -------------------------------------------------
+
+TEST(FaultVm, SynchronizedCounterIsExactUnderChaos) {
+  // The lost-update litmus from hyperion_monitor_test, now on a lossy
+  // network: monitor grants, DSM page fetches and update flushes all ride
+  // the reliable transport, and the answer must still be exact.
+  for (auto kind : {dsm::ProtocolKind::kJavaIc, dsm::ProtocolKind::kJavaPf}) {
+    hyperion::VmConfig cfg;
+    cfg.cluster = ClusterParams::myrinet200();
+    cfg.cluster.fault = FaultProfile::parse("drop5%,dup2%,reorder2us,seed=11");
+    cfg.nodes = 4;
+    cfg.protocol = kind;
+    cfg.region_bytes = std::size_t{16} << 20;
+    hyperion::HyperionVM vm(cfg);
+    std::int64_t result = -1;
+    dsm::with_policy(kind, [&](auto policy) {
+      using P = decltype(policy);
+      vm.run_main([&](hyperion::JavaEnv& main) {
+        auto counter = main.new_cell<std::int64_t>(0);
+        std::vector<hyperion::JThread> workers;
+        for (int w = 0; w < 6; ++w) {
+          workers.push_back(
+              main.start_thread("w" + std::to_string(w), [=](hyperion::JavaEnv& env) {
+                hyperion::Mem<P> mem(env.ctx());
+                for (int i = 0; i < 10; ++i) {
+                  env.synchronized(counter.addr,
+                                   [&] { mem.put(counter, mem.get(counter) + 1); });
+                }
+              }));
+        }
+        for (auto& w : workers) main.join(w);
+        hyperion::Mem<P> mem(main.ctx());
+        result = mem.get(counter);
+      });
+    });
+    EXPECT_EQ(result, 60) << dsm::protocol_name(kind);
+    // The chaos must have actually engaged the transport.
+    EXPECT_GT(vm.stats().get(Counter::kNetDrops) + vm.stats().get(Counter::kNetDupes), 0u)
+        << dsm::protocol_name(kind);
+    EXPECT_GT(vm.stats().get(Counter::kAcksSent), 0u) << dsm::protocol_name(kind);
+  }
+}
+
+}  // namespace
+}  // namespace hyp::cluster
