@@ -63,6 +63,10 @@ SweepOptions sweep_from_cli(const Cli& cli);
 //   --fault-profile S   deterministic network fault injection for every run
 //                       (docs/FAULTS.md grammar, e.g.
 //                       "drop2%,dup1%,reorder5us,seed=7"; default off).
+//   --rpc-dedup-window N  overrides the profile's receiver-side dedup window
+//                       (dedupwin=N): how many out-of-order sequence numbers
+//                       each receiver remembers for duplicate suppression.
+//                       0 = unbounded exact dedup; -1 (default) = no override.
 //
 // run_figure() drives attach/capture/finish automatically when given a
 // recorder; binaries that build VmConfigs by hand (ablation_*, ext_*) call

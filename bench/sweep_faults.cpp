@@ -1,0 +1,192 @@
+// sweep_faults: answer stability and retry-latency under injected faults.
+//
+// Two sweeps over the Pi benchmark (monitor-guarded global accumulator — the
+// simplest workload that exercises both DSM updates and remote monitor RPCs):
+//
+//   1. drop-rate sweep — the answer must match the fault-free baseline at
+//      every drop rate (the reliable transport hides loss; only timing may
+//      move). One experiment point per (protocol, drop rate).
+//   2. rto sweep — at a fixed drop rate, vary the initial retransmit timeout
+//      and capture the per-point retry-latency histogram
+//      (retry_latency_ps in the metrics JSON): the paper-style trade-off
+//      between eager retransmits (more duplicate traffic) and patient ones
+//      (longer stalls behind each loss).
+//
+// Every point lands in the hyp-metrics-v1 JSON (--metrics-out), so two runs
+// are diffable with scripts/compare_metrics.py, e.g.
+//
+//   sweep_faults --metrics-out a.json && sweep_faults --metrics-out b.json
+//   scripts/compare_metrics.py a.json b.json          # bit-stable faults
+//
+// Exit code: 0 when every faulty answer equals its fault-free baseline,
+// 1 otherwise (the stability table shows which point diverged).
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "apps/pi.hpp"
+#include "common/table.hpp"
+#include "fig_common.hpp"
+
+namespace {
+
+using namespace hyp;
+
+// "0.5,1,2" -> {0.5, 1.0, 2.0}; panics (exit) on garbage.
+std::vector<double> parse_list(const std::string& spec, const char* flag) {
+  std::vector<double> out;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string tok = spec.substr(pos, comma - pos);
+    char* end = nullptr;
+    const double v = std::strtod(tok.c_str(), &end);
+    if (end == tok.c_str() || *end != '\0' || v < 0) {
+      std::fprintf(stderr, "sweep_faults: bad --%s entry '%s'\n", flag, tok.c_str());
+      std::exit(2);
+    }
+    out.push_back(v);
+    pos = comma + 1;
+  }
+  if (out.empty()) {
+    std::fprintf(stderr, "sweep_faults: --%s must name at least one value\n", flag);
+    std::exit(2);
+  }
+  return out;
+}
+
+struct Point {
+  std::string label;
+  std::string protocol;
+  double value = 0;
+  double baseline = 0;
+  Time elapsed = 0;
+  std::uint64_t retransmits = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t retry_count = 0;  // retry-latency histogram entries
+  Time retry_sum = 0;             // and their total wait
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli(
+      "sweep_faults — answer stability vs. drop rate and retry latency vs. "
+      "rto under the deterministic fault injector (docs/FAULTS.md)");
+  bench::ObsRecorder::add_flags(cli);
+  cli.flag_string("cluster", "myri200", "cluster preset (myri200 or sci450)")
+      .flag_int("nodes", 4, "cluster size for every point")
+      .flag_int("intervals", 200'000, "Pi Riemann intervals per run")
+      // Pi exchanges only a few dozen messages per run, so sub-percent rates
+      // rarely hit anything; the defaults are chosen to actually exercise the
+      // retransmit path at the default problem size.
+      .flag_string("drops", "2,5,10,20", "drop rates to sweep, in percent")
+      .flag_string("rtos", "100,200,500", "initial rto values to sweep, in us")
+      .flag_double("rto-drop", 10.0, "drop rate (percent) held fixed for the rto sweep")
+      .flag_int("seed", 7, "fault-injector seed shared by every faulty point");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const std::string cluster = cli.get_string("cluster");
+  const int nodes = cli.get_int("nodes");
+  apps::PiParams pi;
+  pi.intervals = cli.get_int("intervals");
+  const auto drops = parse_list(cli.get_string("drops"), "drops");
+  const auto rtos = parse_list(cli.get_string("rtos"), "rtos");
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+
+  bench::ObsRecorder obs;
+  obs.configure(cli, "sweep_faults");
+
+  std::printf("# sweep_faults — %s, %d nodes, %" PRId64 " Pi intervals, seed=%" PRIu64 "\n\n",
+              cluster.c_str(), nodes, static_cast<std::int64_t>(pi.intervals), seed);
+
+  // One run; the fault profile is the experiment variable. The recorder's
+  // own --fault-profile (if any) seeds the profile each point starts from,
+  // so chaos ingredients (dup/reorder/dedupwin) can be layered underneath.
+  auto run_point = [&](dsm::ProtocolKind kind, const cluster::FaultProfile& fault,
+                       const std::string& label) {
+    apps::VmConfig cfg = apps::make_config(cluster, kind, nodes);
+    obs.attach(cfg);          // trace/heat/phases (+ recorder's base profile)
+    cfg.cluster.fault = fault;  // the sweep variable wins
+    const apps::RunResult r = apps::pi_parallel(cfg, pi);
+    obs.capture_run(label, r, dsm::protocol_name(kind), nodes);
+    return r;
+  };
+
+  auto fault_for = [&](double drop_pct, Time rto) {
+    cluster::FaultProfile f = obs.fault();  // base ingredients from the flag
+    f.drop_ppm = static_cast<std::uint32_t>(drop_pct * 10'000.0 + 0.5);
+    f.seed = seed;
+    if (rto != 0) f.rto_initial = rto;
+    return f;
+  };
+
+  std::vector<Point> points;
+  bool stable = true;
+  for (auto kind : {dsm::ProtocolKind::kJavaIc, dsm::ProtocolKind::kJavaPf}) {
+    const std::string proto = dsm::protocol_name(kind);
+    const apps::RunResult base =
+        run_point(kind, cluster::FaultProfile{}, "baseline/" + proto);
+
+    auto record = [&](const apps::RunResult& r, const std::string& label) {
+      Point p;
+      p.label = label;
+      p.protocol = proto;
+      p.value = r.value;
+      p.baseline = base.value;
+      p.elapsed = r.elapsed;
+      const auto counters = r.stats.nonzero();
+      auto cnt = [&](const char* name) {
+        auto it = counters.find(name);
+        return it == counters.end() ? std::uint64_t{0} : it->second;
+      };
+      p.retransmits = cnt("retransmits");
+      p.timeouts = cnt("rpc_timeouts");
+      const auto& h = r.stats.hist(Hist::kRetryLatency);
+      p.retry_count = h.count();
+      p.retry_sum = static_cast<Time>(h.sum());
+      stable = stable && (p.value == p.baseline);
+      points.push_back(std::move(p));
+    };
+
+    // --- sweep 1: answer stability vs. drop rate ---------------------------
+    for (double d : drops) {
+      char label[64];
+      std::snprintf(label, sizeof(label), "drop%g%%", d);
+      record(run_point(kind, fault_for(d, 0), label), label);
+    }
+    // --- sweep 2: retry latency vs. rto ------------------------------------
+    for (double rto_us : rtos) {
+      const Time rto = static_cast<Time>(rto_us * kMicrosecond);
+      char label[64];
+      std::snprintf(label, sizeof(label), "drop%g%%/rto%gus", cli.get_double("rto-drop"),
+                    rto_us);
+      record(run_point(kind, fault_for(cli.get_double("rto-drop"), rto), label), label);
+    }
+  }
+
+  // --- answer-stability table ----------------------------------------------
+  Table table({"point", "protocol", "value", "baseline", "stable", "seconds", "retransmits",
+               "rpc_timeouts", "retries", "mean retry wait (us)"});
+  for (const auto& p : points) {
+    const double mean_us =
+        p.retry_count == 0 ? 0.0
+                           : static_cast<double>(p.retry_sum) /
+                                 (static_cast<double>(p.retry_count) * kMicrosecond);
+    table.add_row({p.label, p.protocol, fmt_double(p.value, 6), fmt_double(p.baseline, 6),
+                   p.value == p.baseline ? "yes" : "NO", fmt_double(to_seconds(p.elapsed), 6),
+                   fmt_u64(p.retransmits), fmt_u64(p.timeouts), fmt_u64(p.retry_count),
+                   fmt_double(mean_us, 3)});
+  }
+  table.write_pretty(std::cout);
+  std::printf("\nanswer stability: %s\n",
+              stable ? "every faulty point reproduced its fault-free value"
+                     : "DIVERGED — see table");
+
+  obs.finish();
+  return stable ? 0 : 1;
+}

@@ -1,0 +1,85 @@
+#!/usr/bin/env bash
+# Recovery smoke (the ctest `recovery_smoke` entry, docs/RECOVERY.md):
+# one figure benchmark with a mid-run node crash/restart must
+#
+#   1. actually exercise the HA path (the trace contains a home promotion
+#      and a rejoin),
+#   2. reproduce the fault-free answers exactly at every sweep point, both
+#      protocols, and
+#   3. be byte-identical on a same-seed rerun (kill-and-recover is as
+#      deterministic as a quiet run).
+#
+# Usage: scripts/recovery_smoke.sh [build-dir]       (default: build)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD="${1:-build}"
+FIG="$BUILD/bench/fig1_pi"
+[[ -x "$FIG" ]] || {
+  echo "recovery_smoke: $FIG not built (run cmake --build $BUILD)" >&2
+  exit 2
+}
+
+PROFILE='crash2@3ms+2ms,seed=7'
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+answers() {
+  awk -F, '/^fig[0-9]+,/ { print $2 "," $3 "," $4 "," $6 }' "$1"
+}
+
+run() {
+  local out="$1"
+  shift
+  local rc=0
+  "$@" > "$out" 2> "$out.err" || rc=$?
+  if [[ $rc -ne 0 ]]; then
+    echo "recovery_smoke: FAIL — '$*' exited $rc" >&2
+    sed 's/^/    stderr: /' "$out.err" | tail -n 20 >&2
+    exit 1
+  fi
+}
+
+# Myrinet sweep only: its --quick points (1, 4, 12 nodes) cover inert
+# (1 node: no node 2), mid-cluster and full-cluster crash placements.
+run "$WORK/base.txt" "$FIG" --quick --no-sci
+answers "$WORK/base.txt" > "$WORK/base.ans"
+n_points=$(wc -l < "$WORK/base.ans")
+
+run "$WORK/crash.txt" "$FIG" --quick --no-sci --fault-profile="$PROFILE" \
+    --trace-out "$WORK/crash_trace.json"
+answers "$WORK/crash.txt" > "$WORK/crash.ans"
+
+# 1. the crash really engaged HA on the multi-node points.
+for ev in node_crash home_promoted epoch_bump ha_rejoined node_restart; do
+  if ! grep -q "\"$ev\"" "$WORK/crash_trace.json"; then
+    echo "recovery_smoke: FAIL — trace is missing '$ev' (HA never engaged?)" >&2
+    exit 1
+  fi
+done
+
+# 2. exact fault-free answers.
+if ! cmp -s "$WORK/base.ans" "$WORK/crash.ans"; then
+  echo "recovery_smoke: FAIL — answers diverged under '$PROFILE'" >&2
+  diff "$WORK/base.ans" "$WORK/crash.ans" >&2 || true
+  exit 1
+fi
+
+# 3. same-seed kill-and-recover rerun is byte-identical — the stdout (modulo
+# the trace-file path line) AND the exported trace itself.
+run "$WORK/crash2.txt" "$FIG" --quick --no-sci --fault-profile="$PROFILE" \
+    --trace-out "$WORK/crash_trace2.json"
+grep -v '^trace written' "$WORK/crash.txt" > "$WORK/crash.cmp"
+grep -v '^trace written' "$WORK/crash2.txt" > "$WORK/crash2.cmp"
+if ! cmp -s "$WORK/crash.cmp" "$WORK/crash2.cmp"; then
+  echo "recovery_smoke: FAIL — same-seed rerun not byte-identical" >&2
+  diff "$WORK/crash.cmp" "$WORK/crash2.cmp" >&2 || true
+  exit 1
+fi
+if ! cmp -s "$WORK/crash_trace.json" "$WORK/crash_trace2.json"; then
+  echo "recovery_smoke: FAIL — same-seed rerun produced a different trace" >&2
+  exit 1
+fi
+
+echo "recovery_smoke: fig1 reproduced the fault-free answers through a" \
+     "kill-and-recover run ($n_points points, rerun byte-identical)"

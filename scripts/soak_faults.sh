@@ -1,15 +1,22 @@
 #!/usr/bin/env bash
 # Fault-injection soak: runs every paper-figure benchmark under several
-# deterministic fault profiles (docs/FAULTS.md) and asserts that
+# deterministic fault profiles (docs/FAULTS.md, docs/RECOVERY.md) and asserts
 #
 #   1. the computed answers (the CSV `value` column, keyed by
 #      cluster/protocol/nodes) are byte-identical to the fault-free run —
-#      faults may cost virtual time but must never change results; and
+#      faults may cost virtual time but must never change results;
 #   2. a same-seed rerun of each faulty sweep is byte-identical end to end
-#      (timings included) — the injection itself is deterministic.
+#      (timings included) — the injection itself is deterministic; and
+#   3. the benchmark binaries themselves exit 0 under every profile — a
+#      crash/panic inside a faulty run is a failure of that profile's row,
+#      not a silent abort of the whole soak.
+#
+# Every (figure, profile) pair is driven to completion even after a failure;
+# the per-profile pass/fail summary table at the end shows which combinations
+# broke, and the script's exit code is 1 iff any row failed.
 #
 # Usage: scripts/soak_faults.sh [build-dir]          (default: build)
-#        SOAK_SMOKE=1 scripts/soak_faults.sh         (fig1 only, one profile;
+#        SOAK_SMOKE=1 scripts/soak_faults.sh         (fig1 only, two profiles;
 #                                                     the ctest smoke entry)
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -25,10 +32,14 @@ PROFILES=(
   'drop2%,seed=7'
   'dup1%,reorder5us,seed=7'
   'drop1%,dup1%,corrupt0.5%,stall0@300us+150us,seed=9'
+  # Kill-and-recover: node 2 crashes mid-run and restarts 2ms later; the HA
+  # layer (docs/RECOVERY.md) must fail its homes over and still produce the
+  # exact fault-free answers. Inert on 1-node sweep points (no node 2).
+  'crash2@3ms+2ms,seed=7'
 )
 if [[ "${SOAK_SMOKE:-0}" == "1" ]]; then
   FIGS=(fig1_pi)
-  PROFILES=('drop2%,dup1%,reorder5us,seed=7')
+  PROFILES=('drop2%,dup1%,reorder5us,seed=7' 'crash2@3ms+2ms,seed=7')
 fi
 
 WORK="$(mktemp -d)"
@@ -39,33 +50,76 @@ answers() {
   awk -F, '/^fig[0-9]+,/ { print $2 "," $3 "," $4 "," $6 }' "$1"
 }
 
+# Runs one benchmark invocation without tripping `set -e`; captures stdout to
+# $1 and reports (but does not abort on) a non-zero exit.
+run_bench() {
+  local out="$1"
+  shift
+  local rc=0
+  "$@" > "$out" 2> "$out.err" || rc=$?
+  if [[ $rc -ne 0 ]]; then
+    echo "FAIL: '$*' exited $rc" >&2
+    sed 's/^/    stderr: /' "$out.err" | tail -n 20 >&2
+  fi
+  return $rc
+}
+
+declare -a SUMMARY=()
 fail=0
+
 for fig in "${FIGS[@]}"; do
   base="$WORK/$fig.base.txt"
-  "$BUILD"/bench/"$fig" --quick > "$base"
+  if ! run_bench "$base" "$BUILD"/bench/"$fig" --quick; then
+    # No baseline, no comparisons: every profile row for this figure fails.
+    for prof in "${PROFILES[@]}"; do
+      SUMMARY+=("$fig|$prof|FAIL (no fault-free baseline)")
+    done
+    fail=1
+    continue
+  fi
   answers "$base" > "$WORK/$fig.base.ans"
   n_points=$(wc -l < "$WORK/$fig.base.ans")
+
   for i in "${!PROFILES[@]}"; do
     prof="${PROFILES[$i]}"
     out="$WORK/$fig.p$i.txt"
-    "$BUILD"/bench/"$fig" --quick --fault-profile="$prof" > "$out"
+    if ! run_bench "$out" "$BUILD"/bench/"$fig" --quick --fault-profile="$prof"; then
+      SUMMARY+=("$fig|$prof|FAIL (non-zero exit)")
+      fail=1
+      continue
+    fi
     answers "$out" > "$WORK/$fig.p$i.ans"
     if ! cmp -s "$WORK/$fig.base.ans" "$WORK/$fig.p$i.ans"; then
       echo "FAIL: $fig answers diverged under '$prof'" >&2
       diff "$WORK/$fig.base.ans" "$WORK/$fig.p$i.ans" >&2 || true
+      SUMMARY+=("$fig|$prof|FAIL (answers diverged)")
       fail=1
       continue
     fi
     # Determinism: same seed, same bytes (including timings).
-    "$BUILD"/bench/"$fig" --quick --fault-profile="$prof" > "$out.rerun"
+    if ! run_bench "$out.rerun" "$BUILD"/bench/"$fig" --quick --fault-profile="$prof"; then
+      SUMMARY+=("$fig|$prof|FAIL (rerun non-zero exit)")
+      fail=1
+      continue
+    fi
     if ! cmp -s "$out" "$out.rerun"; then
       echo "FAIL: $fig same-seed rerun not byte-identical under '$prof'" >&2
       diff "$out" "$out.rerun" >&2 || true
+      SUMMARY+=("$fig|$prof|FAIL (rerun not byte-identical)")
       fail=1
       continue
     fi
     echo "ok: $fig under '$prof' ($n_points points, answers exact, rerun identical)"
+    SUMMARY+=("$fig|$prof|pass")
   done
+done
+
+echo
+echo "== soak_faults summary =="
+printf '%-12s %-52s %s\n' "figure" "profile" "result"
+for row in "${SUMMARY[@]}"; do
+  IFS='|' read -r f p r <<< "$row"
+  printf '%-12s %-52s %s\n' "$f" "$p" "$r"
 done
 
 if [[ $fail -ne 0 ]]; then

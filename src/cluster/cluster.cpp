@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "cluster/ha_hooks.hpp"
 #include "common/assert.hpp"
 #include "common/log.hpp"
 
@@ -192,7 +193,12 @@ void Cluster::deliver(TimeDelta depart_delay, NodeId from, NodeId to, ServiceId 
                       Buffer payload, std::uint64_t reply_token) {
   Node& src = node(from);
   Node& dst = node(to);
-  HYP_CHECK_MSG(from != to, "loopback RPC: callers handle the local case directly");
+  // Loopback is normally a protocol bug (callers short-circuit the local
+  // case), but after an HA promotion a node can be its own home and a retried
+  // op must still flow through the handler-side dedup — so it is allowed,
+  // through the transport, when HA is active.
+  HYP_CHECK_MSG(from != to || ha_ != nullptr,
+                "loopback RPC: callers handle the local case directly");
 
   if (lossy_) {
     tx_enqueue(depart_delay, from, to, service, reply_token, /*is_reply=*/false,
@@ -261,7 +267,8 @@ void Cluster::deliver_reply(TimeDelta depart_delay, NodeId from, NodeId to, std:
 std::uint64_t Cluster::tx_enqueue(TimeDelta depart_delay, NodeId from, NodeId to,
                                   ServiceId service, std::uint64_t token, bool is_reply,
                                   Buffer payload) {
-  HYP_CHECK_MSG(from != to, "loopback RPC: callers handle the local case directly");
+  HYP_CHECK_MSG(from != to || ha_ != nullptr,
+                "loopback RPC: callers handle the local case directly");
   PairState& ps = pair(from, to);
   const std::uint64_t seq = ps.next_seq++;
   TxPacket p;
@@ -284,6 +291,17 @@ void Cluster::tx_transmit(NodeId from, NodeId to, std::uint64_t seq, TimeDelta d
   auto it = ps.outstanding.find(seq);
   if (it == ps.outstanding.end()) return;  // acked or cancelled meanwhile
   TxPacket& p = it->second;
+
+  // A crashed node transmits nothing: its NIC holds every outbound packet
+  // until the restart instant (fibers, stacks and queued sends all survive a
+  // crash under the thread-checkpoint model — only home authority is lost).
+  if (ha_ != nullptr) {
+    const Time release = params_.fault.crash_release(from, engine_.now() + depart_delay);
+    if (release != 0) {
+      engine_.post(release, [this, from, to, seq]() { tx_transmit(from, to, seq, 0); });
+      return;
+    }
+  }
 
   Node& src = node(from);
   src.stats().add(Counter::kMessages);
@@ -360,6 +378,13 @@ void Cluster::tx_on_arrival(NodeId from, NodeId to, ServiceId service, std::uint
     }
   } else {
     ps.seen_above.insert(seq);
+    // Bounded dedup window (`dedupwin=N`): forget the oldest sparse seq once
+    // over budget. A forgotten seq can be re-delivered as a fresh message —
+    // the op-id / idempotence layers above absorb it (docs/FAULTS.md).
+    const std::uint32_t win = params_.fault.dedup_window;
+    if (win != 0 && ps.seen_above.size() > win) {
+      ps.seen_above.erase(ps.seen_above.begin());
+    }
   }
   tx_send_ack(to, from, seq);
 
@@ -435,7 +460,10 @@ void Cluster::tx_on_timer(NodeId from, NodeId to, std::uint64_t seq) {
   auto it = ps.outstanding.find(seq);
   if (it == ps.outstanding.end()) return;  // acked or cancelled: timer is moot
   TxPacket& p = it->second;
-  if (p.retransmits >= params_.fault.max_retries) {
+  // Fast give-up: once the failure detector confirmed the destination dead
+  // there is no point burning the rest of the retry budget against it.
+  if (p.retransmits >= params_.fault.max_retries ||
+      (ha_ != nullptr && ha_->confirmed_dead(to))) {
     TxPacket packet = std::move(p);
     ps.outstanding.erase(it);
     tx_give_up(std::move(packet));
@@ -457,6 +485,14 @@ void Cluster::tx_give_up(TxPacket packet) {
       if (it != pending_calls_.end() && !it->second->done) {
         fail_call(*it->second, packet.token, RpcStatus::kBudgetExhausted, packet.retransmits);
       }
+      return;
+    }
+    // One-way send to a node the detector has confirmed dead: the HA layer
+    // has already failed over its state, so the message is moot — discard it
+    // instead of declaring the cluster broken.
+    if (ha_ != nullptr && ha_->confirmed_dead(packet.to)) {
+      node(packet.from).stats().add(Counter::kHaDeadSendsDropped);
+      trace_event(packet.from, TraceKind::kRpcTimeout, packet.to, packet.service);
       return;
     }
     // One-way send: no caller to inform, and protocol state on the receiver
@@ -528,6 +564,37 @@ RpcError Cluster::make_error(RpcStatus status, NodeId from, NodeId to, ServiceId
   e.message = "rpc from node " + std::to_string(from) + " to node " + std::to_string(to) +
               " service " + service_label(service) + ": " + reason;
   return e;
+}
+
+void Cluster::ha_fail_traffic_to(NodeId dead) {
+  HYP_CHECK_MSG(ha_ != nullptr && ha_->confirmed_dead(dead),
+                "ha_fail_traffic_to wants a confirmed-dead node");
+  const int n = node_count();
+  for (NodeId other = 0; other < n; ++other) {
+    if (other == dead) continue;
+    // Everything still outstanding *to* the dead node gives up now: blocking
+    // calls wake with kBudgetExhausted and re-route; one-way sends are
+    // discarded (the confirmed_dead branch of tx_give_up).
+    PairState& to_dead = pair(other, dead);
+    while (!to_dead.outstanding.empty()) {
+      TxPacket packet = std::move(to_dead.outstanding.begin()->second);
+      to_dead.outstanding.erase(to_dead.outstanding.begin());
+      tx_give_up(std::move(packet));
+    }
+    // Replies the dead node still owed: fail the parked callers (kTimeout)
+    // so they re-route too. Its outstanding *requests* are left alone — the
+    // node itself is merely frozen and its sends resume after the restart.
+    PairState& from_dead = pair(dead, other);
+    for (auto it = from_dead.outstanding.begin(); it != from_dead.outstanding.end();) {
+      if (it->second.is_reply) {
+        TxPacket packet = std::move(it->second);
+        it = from_dead.outstanding.erase(it);
+        tx_give_up(std::move(packet));
+      } else {
+        ++it;
+      }
+    }
+  }
 }
 
 // ---------------------------------------------------------------------------

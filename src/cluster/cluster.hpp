@@ -38,6 +38,7 @@ namespace hyp::cluster {
 using ServiceId = int;
 
 class Cluster;
+struct HaHooks;
 
 // An incoming RPC invocation as seen by a handler.
 struct Incoming {
@@ -224,6 +225,22 @@ class Cluster {
   // True when the configured fault profile engages the reliable transport.
   bool transport_active() const { return lossy_; }
 
+  // --- high availability (optional; nullptr = off, docs/RECOVERY.md) -------
+  // With hooks installed the transport (1) holds a crashed node's outbound
+  // transmissions until its restart, (2) gives up fast on packets addressed
+  // to a confirmed-dead node, (3) discards rather than panics on one-way
+  // sends to a confirmed-dead node, and (4) permits loopback RPCs (after a
+  // promotion a node may be its own home and retried ops must still flow
+  // through the handler-side dedup).
+  void set_ha_hooks(HaHooks* ha) { ha_ = ha; }
+  HaHooks* ha_hooks() { return ha_; }
+  // Fails over in-flight traffic around a confirmed-dead node: every
+  // outstanding packet addressed to it gives up now (typed errors reach the
+  // parked callers, which re-route), and every reply packet it still owed
+  // fails its caller likewise. The dead node's own outstanding *requests*
+  // stay queued — they ride the outbound hold until its restart.
+  void ha_fail_traffic_to(NodeId dead);
+
   // Sends the reply for `incoming.reply_token`; `depart_delay` delays the
   // departure (e.g. until reserved service work completes).
   void reply(const Incoming& incoming, Buffer payload, TimeDelta depart_delay = 0);
@@ -360,6 +377,7 @@ class Cluster {
   std::uint64_t message_seq_ = 0;  // drives deterministic jitter
   TraceLog* trace_ = nullptr;
   obs::PhaseAccounting* phases_ = nullptr;
+  HaHooks* ha_ = nullptr;
 
   // Reliable-transport state (empty/idle unless lossy_).
   bool lossy_ = false;

@@ -1,0 +1,44 @@
+// The callback surface the high-availability subsystem (src/ha) installs on
+// the cluster transport and the DSM/monitor layers.
+//
+// The dependency points downward only: cluster/dsm/hyperion know this tiny
+// interface, src/ha implements it. With no hooks installed (the default, and
+// the only possibility when the fault profile schedules no crash windows)
+// every HA branch is a null-pointer test and the event sequence is
+// bit-identical to the goldens (docs/RECOVERY.md).
+#pragma once
+
+#include <cstdint>
+
+#include "cluster/params.hpp"
+
+namespace hyp::cluster {
+
+struct HaHooks {
+  virtual ~HaHooks() = default;
+
+  // Current owner of home zone `zone` (identity mapping until a promotion
+  // moves the dead node's zone to its ring successor).
+  virtual NodeId home_node(int zone) const = 0;
+
+  // True from the instant the failure detector confirmed `node` dead until
+  // the moment it rejoins after its restart.
+  virtual bool confirmed_dead(NodeId node) const = 0;
+
+  // Cluster-wide routing epoch; bumped on every promotion. Stale
+  // presence/routing decisions made under an older epoch must re-resolve.
+  virtual std::uint64_t epoch() const = 0;
+
+  // Absolute virtual time until which a failing-over caller should hold
+  // (sleep) before re-attempting an RPC whose last attempt failed against
+  // `target`; any value <= now means "retry immediately". Returns a future
+  // time while `target` is inside a crash window but not yet confirmed dead
+  // (re-routing would be premature; the detector needs silence time).
+  virtual Time retry_hold(NodeId target, Time now) const = 0;
+
+  // Accounts home-state replication traffic (incremental checkpoints from
+  // home `home` to its backup); bytes land in kHaCheckpointBytes.
+  virtual void note_checkpoint(NodeId home, std::uint64_t bytes) = 0;
+};
+
+}  // namespace hyp::cluster

@@ -10,13 +10,16 @@ namespace hyp::cluster {
 // FaultProfile grammar (docs/FAULTS.md)
 //
 //   profile   := token (',' token)*            (empty string = off)
-//   token     := rate | reorder | window | tuning
+//   token     := rate | reorder | window | crash | tuning
 //   rate      := ('drop'|'dup'|'corrupt') FLOAT '%'
 //   reorder   := 'reorder' FLOAT ('us'|'ms')
 //   window    := ('stall'|'blackout') INT '@' FLOAT ('us'|'ms')
 //                                       '+' FLOAT ('us'|'ms')
+//   crash     := 'crash' INT '@' FLOAT ('us'|'ms') '+' FLOAT ('us'|'ms')
 //   tuning    := 'seed=' INT | 'retries=' INT | 'backoff=' INT
 //              | 'rto=' FLOAT ('us'|'ms') | 'timeout=' FLOAT ('us'|'ms')
+//              | 'dedupwin=' INT | 'hb=' FLOAT ('us'|'ms')
+//              | 'suspect=' FLOAT ('us'|'ms') | 'confirm=' FLOAT ('us'|'ms')
 
 namespace {
 
@@ -24,7 +27,8 @@ namespace {
                               const char* why) {
   HYP_PANIC("malformed --fault-profile '" + spec + "' at token '" + token + "': " + why +
             "\n  grammar: drop2%,dup1%,corrupt0.5%,reorder5us,stall1@300us+200us,"
-            "blackout0@1ms+500us,seed=N,retries=N,backoff=N,rto=100us,timeout=5ms");
+            "blackout0@1ms+500us,crash2@1ms+800us,seed=N,retries=N,backoff=N,"
+            "rto=100us,timeout=5ms,dedupwin=N,hb=50us,suspect=200us,confirm=600us");
 }
 
 // Parses "<float><us|ms>" starting at `s`; panics via bad_profile on junk.
@@ -99,6 +103,37 @@ FaultProfile FaultProfile::parse(const std::string& spec) {
       const char* rest = nullptr;
       p.call_timeout = parse_duration(spec, token, token.c_str() + n, &rest);
       if (*rest != '\0') bad_profile(spec, token, "trailing junk");
+    } else if (starts_with(token, "dedupwin=", &n)) {
+      p.dedup_window = static_cast<std::uint32_t>(std::strtoul(token.c_str() + n, &end, 10));
+      if (*end != '\0' || p.dedup_window == 0) bad_profile(spec, token, "dedupwin wants >= 1");
+    } else if (starts_with(token, "hb=", &n)) {
+      const char* rest = nullptr;
+      p.hb_interval = parse_duration(spec, token, token.c_str() + n, &rest);
+      if (*rest != '\0' || p.hb_interval == 0) bad_profile(spec, token, "hb wants a duration > 0");
+    } else if (starts_with(token, "suspect=", &n)) {
+      const char* rest = nullptr;
+      p.suspect_after = parse_duration(spec, token, token.c_str() + n, &rest);
+      if (*rest != '\0' || p.suspect_after == 0) {
+        bad_profile(spec, token, "suspect wants a duration > 0");
+      }
+    } else if (starts_with(token, "confirm=", &n)) {
+      const char* rest = nullptr;
+      p.confirm_after = parse_duration(spec, token, token.c_str() + n, &rest);
+      if (*rest != '\0' || p.confirm_after == 0) {
+        bad_profile(spec, token, "confirm wants a duration > 0");
+      }
+    } else if (starts_with(token, "crash", &n)) {
+      FaultWindow w;
+      w.node = static_cast<NodeId>(std::strtol(token.c_str() + n, &end, 10));
+      if (end == token.c_str() + n || *end != '@' || w.node < 0) {
+        bad_profile(spec, token, "expected <node>@<start><us|ms>+<dur><us|ms>");
+      }
+      const char* rest = nullptr;
+      w.start = parse_duration(spec, token, end + 1, &rest);
+      if (*rest != '+') bad_profile(spec, token, "expected '+<dur>' after the window start");
+      w.duration = parse_duration(spec, token, rest + 1, &rest);
+      if (*rest != '\0' || w.duration <= 0) bad_profile(spec, token, "bad window duration");
+      p.crashes.push_back(w);
     } else if (starts_with(token, "drop", &n)) {
       p.drop_ppm = parse_percent_ppm(spec, token, token.c_str() + n);
     } else if (starts_with(token, "dup", &n)) {
@@ -159,12 +194,21 @@ std::string FaultProfile::to_string() const {
     add((w.blackout ? "blackout" : "stall") + std::to_string(w.node) + "@" + dur(w.start) +
         "+" + dur(w.duration));
   }
+  for (const FaultWindow& c : crashes) {
+    add("crash" + std::to_string(c.node) + "@" + dur(c.start) + "+" + dur(c.duration));
+  }
   if (seed != 0) add("seed=" + std::to_string(seed));
   if (lossy()) {
     add("rto=" + dur(rto_initial));
     add("retries=" + std::to_string(max_retries));
     if (rto_backoff != 2) add("backoff=" + std::to_string(rto_backoff));
     if (call_timeout != 0) add("timeout=" + dur(call_timeout));
+    if (dedup_window != 0) add("dedupwin=" + std::to_string(dedup_window));
+  }
+  if (!crashes.empty()) {
+    add("hb=" + dur(hb_interval));
+    add("suspect=" + dur(suspect_after));
+    add("confirm=" + dur(confirm_after));
   }
   return out.empty() ? "off" : out;
 }

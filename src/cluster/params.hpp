@@ -78,6 +78,11 @@ struct FaultProfile {
   Time reorder_max = 0;           // extra delivery delay in [0, reorder_max]
   std::uint64_t seed = 0;
   std::vector<FaultWindow> windows;  // node stall/blackout intervals
+  // Crash/restart windows: while open the node's CPU and NIC are dead — every
+  // arriving packet vanishes and the node executes nothing; at window end the
+  // node restarts with no home authority (docs/RECOVERY.md). Parsed from
+  // `crashN@Sus+Dus`. A crash window engages the HA subsystem (src/ha).
+  std::vector<FaultWindow> crashes;
 
   // Reliable-transport tuning (engaged only when lossy()).
   Time rto_initial = 200 * kMicrosecond;  // first retransmit timeout
@@ -88,10 +93,29 @@ struct FaultProfile {
   // granted arbitrarily late, so this is off by default).
   Time call_timeout = 0;
 
+  // Receiver-side duplicate-suppression window: how many out-of-order
+  // sequence numbers above the contiguous watermark each (src,dst) pair
+  // remembers. 0 = unbounded (exact dedup, the default). A too-small window
+  // can forget a seen seq and re-deliver a duplicate — the runtime stays
+  // correct (monitor op ids / idempotent DSM applies absorb it), which
+  // tests/fault_test.cpp pins. Token `dedupwin=N`; bench `--rpc-dedup-window`.
+  std::uint32_t dedup_window = 0;
+
+  // Failure-detector tuning (engaged only when crashes are scheduled).
+  // Heartbeats ride an out-of-band management path (not the faultable data
+  // transport); their latency is folded into suspect_after. Each node
+  // heartbeats its ring successor every hb_interval; the successor suspects
+  // its predecessor after suspect_after of silence and confirms it dead —
+  // promoting itself for the dead node's home zone — after confirm_after.
+  Time hb_interval = 50 * kMicrosecond;
+  Time suspect_after = 200 * kMicrosecond;
+  Time confirm_after = 600 * kMicrosecond;
+
   // Lossy features require the ack/retransmit transport; pure reorder (the
   // old jitter knob) is delay-only and keeps the one-event-per-message path.
   bool lossy() const {
-    return drop_ppm != 0 || dup_ppm != 0 || corrupt_ppm != 0 || !windows.empty();
+    return drop_ppm != 0 || dup_ppm != 0 || corrupt_ppm != 0 || !windows.empty() ||
+           !crashes.empty();
   }
   bool any() const { return lossy() || reorder_max != 0; }
 
@@ -129,14 +153,28 @@ struct FaultProfile {
   static constexpr Time kDropped = ~Time{0};
 
   // Window adjustment for a packet arriving at `node` at `arrival`.
-  // Returns the adjusted arrival time, or kDropped if a blackout eats it.
+  // Returns the adjusted arrival time, or kDropped if a blackout (or a crash
+  // window — a dead NIC receives nothing) eats it.
   Time apply_windows(NodeId node, Time arrival) const {
     for (const FaultWindow& w : windows) {
       if (w.node != node || !w.covers(arrival)) continue;
       if (w.blackout) return kDropped;
       arrival = w.end();  // stalled NICs deliver at window end; re-check
     }
+    for (const FaultWindow& c : crashes) {
+      if (c.node == node && c.covers(arrival)) return kDropped;
+    }
     return arrival;
+  }
+
+  // If `node` is inside a crash window at `at`, returns the window end (the
+  // restart instant); otherwise 0. Used to hold a crashed node's outbound
+  // transmissions and to pace failover retries.
+  Time crash_release(NodeId node, Time at) const {
+    for (const FaultWindow& c : crashes) {
+      if (c.node == node && c.covers(at)) return c.end();
+    }
+    return 0;
   }
 
   // Salts for the independent decision streams.

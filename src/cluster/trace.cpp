@@ -4,7 +4,7 @@
 
 namespace hyp::cluster {
 
-static_assert(static_cast<int>(TraceKind::kRpcTimeout) + 1 == kTraceKindCount,
+static_assert(static_cast<int>(TraceKind::kCheckpoint) + 1 == kTraceKindCount,
               "kTraceKindCount out of sync with TraceKind");
 
 const char* trace_kind_name(TraceKind kind) {
@@ -25,6 +25,15 @@ const char* trace_kind_name(TraceKind kind) {
     case TraceKind::kDupSuppressed: return "dup_suppressed";
     case TraceKind::kRetransmit: return "retransmit";
     case TraceKind::kRpcTimeout: return "rpc_timeout";
+    case TraceKind::kNodeCrash: return "node_crash";
+    case TraceKind::kNodeRestart: return "node_restart";
+    case TraceKind::kHaSuspected: return "ha_suspected";
+    case TraceKind::kHaDeadConfirmed: return "ha_dead_confirmed";
+    case TraceKind::kHomePromoted: return "home_promoted";
+    case TraceKind::kEpochBump: return "epoch_bump";
+    case TraceKind::kHaRejoined: return "ha_rejoined";
+    case TraceKind::kHaNack: return "ha_nack";
+    case TraceKind::kCheckpoint: return "checkpoint";
   }
   return "?";
 }

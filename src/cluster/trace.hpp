@@ -41,10 +41,20 @@ enum class TraceKind : std::uint8_t {
   kDupSuppressed,    // a=src node, b=pair seq (receiver dedup hit)
   kRetransmit,       // a=dst node, b=pair seq (sender timer fired)
   kRpcTimeout,       // a=peer node, b=service (call deadline or retry budget)
+  // --- high availability (docs/RECOVERY.md) --------------------------------
+  kNodeCrash,        // a=restart time (us), b=0 (node field = dying node)
+  kNodeRestart,      // a=epoch at restart
+  kHaSuspected,      // a=suspect node, b=silence (us) (node = watcher)
+  kHaDeadConfirmed,  // a=dead node, b=silence (us) (node = watcher)
+  kHomePromoted,     // a=dead node whose zone moved, b=zone bytes (node = backup)
+  kEpochBump,        // a=new epoch, b=dead node
+  kHaRejoined,       // a=epoch at rejoin (node = restarted node)
+  kHaNack,           // a=requesting node, b=service (stale-home request refused)
+  kCheckpoint,       // a=backup node, b=bytes (home-state replication traffic)
 };
 
 // Keep in sync with the enum above (drop accounting is per kind).
-inline constexpr int kTraceKindCount = 16;
+inline constexpr int kTraceKindCount = 25;
 
 const char* trace_kind_name(TraceKind kind);
 

@@ -29,6 +29,11 @@ const char* counter_name(Counter c) {
     case Counter::kRetransmits: return "retransmits";
     case Counter::kAcksSent: return "acks_sent";
     case Counter::kRpcTimeouts: return "rpc_timeouts";
+    case Counter::kHaHeartbeats: return "ha_heartbeats";
+    case Counter::kHaPromotions: return "ha_promotions";
+    case Counter::kHaReroutes: return "ha_reroutes";
+    case Counter::kHaCheckpointBytes: return "ha_checkpoint_bytes";
+    case Counter::kHaDeadSendsDropped: return "ha_dead_sends_dropped";
     case Counter::kCount_: break;
   }
   return "?";
@@ -40,6 +45,8 @@ const char* hist_name(Hist h) {
     case Hist::kMonitorAcquireWait: return "monitor_acquire_wait_ps";
     case Hist::kUpdatePayloadBytes: return "update_payload_bytes";
     case Hist::kRetryLatency: return "retry_latency_ps";
+    case Hist::kRecoveryLatency: return "recovery_latency_ps";
+    case Hist::kHaRerouteWait: return "ha_reroute_wait_ps";
     case Hist::kCount_: break;
   }
   return "?";

@@ -43,6 +43,13 @@ enum class Counter : int {
   kRetransmits,          // sender retransmissions (ack timer fired)
   kAcksSent,             // transport-level acknowledgements
   kRpcTimeouts,          // calls/replies that exhausted deadline or budget
+  // --- high availability (docs/RECOVERY.md). Zero unless a crash window is
+  // scheduled. ---------------------------------------------------------------
+  kHaHeartbeats,         // heartbeats sent on the management path
+  kHaPromotions,         // backup nodes that promoted for a dead home
+  kHaReroutes,           // RPC attempts re-routed after a home moved
+  kHaCheckpointBytes,    // home-state bytes realized at the backup
+  kHaDeadSendsDropped,   // one-way sends to a confirmed-dead node discarded
   kCount_,
 };
 
@@ -59,6 +66,8 @@ enum class Hist : int {
   kUpdatePayloadBytes,    // bytes per updateMainMemory message shipped home
   kRetryLatency,          // ps from first transmission to ack, for packets
                           // that needed >= 1 retransmit (faulty runs only)
+  kRecoveryLatency,       // ps from crash-window start to backup promotion
+  kHaRerouteWait,         // ps a failing-over RPC spent before its re-route
   kCount_,
 };
 

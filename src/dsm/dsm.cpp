@@ -58,7 +58,35 @@ std::unique_ptr<ThreadCtx> DsmSystem::make_thread(NodeId node) {
   t->stats = &cluster_->node(node).stats();
   // One processor per node: compute by this node's threads serializes.
   t->clock.bind_cpu(&cluster_->node(node).app_cpu());
+  threads_.push_back(t.get());
   return t;
+}
+
+ThreadCtx::~ThreadCtx() {
+  if (dsm != nullptr) dsm->unregister_thread(this);
+}
+
+void DsmSystem::unregister_thread(ThreadCtx* t) {
+  for (auto it = threads_.begin(); it != threads_.end(); ++it) {
+    if (*it == t) {
+      threads_.erase(it);
+      return;
+    }
+  }
+}
+
+void DsmSystem::replay_logged_writes(NodeId node, Gva begin, Gva end) {
+  NodeDsm& nd = node_dsm(node);
+  for (ThreadCtx* t : threads_) {
+    if (t->node != node) continue;
+    // Program order within a thread gives last-writer-wins; cross-thread
+    // conflicts on unflushed stores are data races (undefined under the JMM).
+    for (const WriteLogEntry& e : t->wlog.entries()) {
+      if (e.addr >= begin && e.addr < end) {
+        std::memcpy(nd.arena() + e.addr, &e.value, e.size);
+      }
+    }
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -89,6 +117,49 @@ Buffer DsmSystem::rpc_with_retry(NodeId from, NodeId to, cluster::ServiceId serv
   }
 }
 
+Buffer DsmSystem::ha_rpc_home(ThreadCtx& t, PageId p, cluster::ServiceId service,
+                              const Buffer& msg, bool reply_is_page, const char* what) {
+  HYP_DCHECK(ha_ != nullptr);
+  const std::size_t ok_size = reply_is_page ? layout_.page_bytes() : 0;
+  auto* eng = sim::Engine::current();
+  const Time started = cluster_->engine().now();
+  NodeId target = effective_home_of_page(p);
+  int attempts_at_target = 0;
+  bool rerouted = false;
+  // The guard bounds pathological NACK/re-resolve loops; a real failover
+  // converges in a handful of iterations (single-failure model).
+  for (int guard = 0; guard < 64; ++guard) {
+    const NodeId now_home = effective_home_of_page(p);
+    if (now_home != target) {
+      // The zone's home moved (promotion): fresh retry budget at the new one.
+      target = now_home;
+      attempts_at_target = 0;
+      rerouted = true;
+      t.stats->add(Counter::kHaReroutes);
+    }
+    ++attempts_at_target;
+    cluster::RpcResult r = cluster_->call_result(t.node, target, service, clone_payload(msg));
+    if (r.ok() && r.payload.size() == ok_size) {
+      if (rerouted) {
+        t.stats->record(Hist::kHaRerouteWait,
+                        static_cast<std::uint64_t>(cluster_->engine().now() - started));
+      }
+      return std::move(r.payload);
+    }
+    if (!r.ok() && attempts_at_target >= kRpcAttempts && !ha_->confirmed_dead(target)) {
+      HYP_PANIC(std::string(what) + " abandoned after " + std::to_string(attempts_at_target) +
+                " attempts: " + r.error.message);
+    }
+    // r.ok() with the wrong reply shape is a stale-home NACK: loop and
+    // re-resolve. A failed call against a down-but-unconfirmed target holds
+    // until the failure detector has had enough silence to decide.
+    const Time hold = ha_->retry_hold(target, cluster_->engine().now());
+    if (hold > cluster_->engine().now()) eng->sleep_until(hold);
+  }
+  HYP_PANIC(std::string(what) + ": home failover did not converge (epoch " +
+            std::to_string(ha_->epoch()) + ")");
+}
+
 // ---------------------------------------------------------------------------
 // Page transfer
 
@@ -103,13 +174,26 @@ void DsmSystem::fetch_page(ThreadCtx& t, PageId p) {
     return;
   }
 
-  const NodeId home = layout_.home_of_page(p);
+  NodeId home = effective_home_of_page(p);
   const std::size_t page_bytes = layout_.page_bytes();
   const auto& cpu = cluster_->params().cpu;
 
   Buffer req;
   req.put<std::uint32_t>(p);
-  Buffer reply = rpc_with_retry(t.node, home, svc::kPageRequest, std::move(req), "page fetch");
+  Buffer reply;
+  if (ha_ == nullptr) {
+    reply = rpc_with_retry(t.node, home, svc::kPageRequest, std::move(req), "page fetch");
+  } else {
+    reply = ha_rpc_home(t, p, svc::kPageRequest, req, /*reply_is_page=*/true, "page fetch");
+    home = effective_home_of_page(p);  // the node that actually served us
+    if (t.nd->present(p)) {
+      // A promotion made this node home for the page while we were failing
+      // over: the arena bytes are already authoritative — installing the
+      // reply as a "cached replica" would corrupt the presence table.
+      t.nd->finish_fetch(p);
+      return;
+    }
+  }
   HYP_CHECK_MSG(reply.size() == page_bytes, "page reply has wrong size");
 
   // Install the replica (real bytes) and charge the local copy-in.
@@ -141,6 +225,14 @@ void DsmSystem::fetch_until_present(ThreadCtx& t, PageId p) {
 void DsmSystem::handle_page_request(cluster::Incoming& in, NodeId self) {
   const auto p = in.reader.get<std::uint32_t>();
   NodeDsm& nd = node_dsm(self);
+  if (ha_ != nullptr && !nd.is_home(p)) {
+    // Stale-home straggler: a retransmit that outlived a promotion, or a
+    // request reaching a restarted (demoted) node. NACK with an empty reply
+    // (success replies are page_bytes long) so the caller re-resolves.
+    cluster_->trace_event(self, cluster::TraceKind::kHaNack, in.from, svc::kPageRequest);
+    cluster_->reply(in, Buffer{});
+    return;
+  }
   HYP_CHECK_MSG(nd.is_home(p), "page request reached a non-home node");
 
   const std::size_t page_bytes = layout_.page_bytes();
@@ -243,8 +335,11 @@ void DsmSystem::flush_ic(ThreadCtx& t) {
     bool fresh = false;
     IcDedupTable::Slot* slot = s.dedup.find_or_insert(e.addr, &fresh);
     if (fresh) {
-      const NodeId home = layout_.home_of(e.addr);
-      HYP_CHECK_MSG(home != t.node, "home-page writes are never logged");
+      // Under HA the effective home may be the local node (entries logged
+      // before a promotion made us home); they get a direct local apply in
+      // the send loop below.
+      const NodeId home = ha_ == nullptr ? layout_.home_of(e.addr) : effective_home_of(e.addr);
+      HYP_CHECK_MSG(home != t.node || ha_ != nullptr, "home-page writes are never logged");
       auto& vec = s.ic_by_home[static_cast<std::size_t>(home)];
       slot->home = static_cast<std::uint32_t>(home);
       slot->index = static_cast<std::uint32_t>(vec.size());
@@ -260,6 +355,16 @@ void DsmSystem::flush_ic(ThreadCtx& t) {
     auto& entries = s.ic_by_home[h];
     if (entries.empty()) continue;
     const NodeId home = static_cast<NodeId>(h);
+    if (ha_ != nullptr && home == t.node) {
+      // Post-promotion local apply: this node IS the home now; write the
+      // identical bytes the wire would have carried straight into the arena.
+      for (const auto& e : entries) {
+        std::memcpy(t.nd->arena() + e.addr, &e.value, e.size);
+      }
+      t.clock.charge(cpu.cycles(cpu.update_entry_cycles * entries.size()));
+      t.clock.flush();
+      continue;
+    }
     Buffer msg;
     WriteLog::encode(&msg, entries);
     t.stats->add(Counter::kUpdatesSent);
@@ -270,9 +375,17 @@ void DsmSystem::flush_ic(ThreadCtx& t) {
     }
     cluster_->trace_event(t.node, cluster::TraceKind::kUpdateSent, home,
                           static_cast<std::int64_t>(msg.size()));
-    Buffer ack =
-        rpc_with_retry(t.node, home, svc::kUpdateFields, std::move(msg), "write-log flush");
-    HYP_CHECK(ack.empty());
+    if (ha_ == nullptr) {
+      Buffer ack =
+          rpc_with_retry(t.node, home, svc::kUpdateFields, std::move(msg), "write-log flush");
+      HYP_CHECK(ack.empty());
+    } else {
+      // Re-resolution key: the first entry's page. Groups never mix zones
+      // with different owners (single-failure model, docs/RECOVERY.md).
+      Buffer ack = ha_rpc_home(t, layout_.page_of(entries.front().addr), svc::kUpdateFields,
+                               msg, /*reply_is_page=*/false, "write-log flush");
+      HYP_CHECK(ack.empty());
+    }
   }
   t.wlog.clear();
 }
@@ -280,10 +393,32 @@ void DsmSystem::flush_ic(ThreadCtx& t) {
 void DsmSystem::handle_update_fields(cluster::Incoming& in, NodeId self) {
   NodeDsm& nd = node_dsm(self);
   // Streaming apply: no per-message entry vector (zero-allocation path).
+  bool stale = false;
+  std::size_t applied_bytes = 0;
   const std::size_t count = WriteLog::decode_each(in.reader, [&](const WriteLogEntry& e) {
-    HYP_CHECK_MSG(nd.is_home(layout_.page_of(e.addr)), "update reached a non-home node");
+    const bool home = nd.is_home(layout_.page_of(e.addr));
+    if (ha_ != nullptr && !home) {
+      // Stale-home straggler (one group never mixes zones with different
+      // owners, so the whole message is stale together): NACK below.
+      stale = true;
+      return;
+    }
+    HYP_CHECK_MSG(home, "update reached a non-home node");
     std::memcpy(nd.arena() + e.addr, &e.value, e.size);
+    applied_bytes += e.size;
   });
+  if (stale) {
+    cluster_->trace_event(self, cluster::TraceKind::kHaNack, in.from, svc::kUpdateFields);
+    Buffer nack;
+    nack.put<std::uint8_t>(1);
+    cluster_->reply(in, std::move(nack));
+    return;
+  }
+  if (ha_ != nullptr && applied_bytes != 0) {
+    // Home state changed: incremental checkpoint traffic to the backup
+    // (field-granularity, piggybacked on this very update — docs/RECOVERY.md).
+    ha_->note_checkpoint(self, applied_bytes);
+  }
   const Time done_at = cluster_->node(self).extend_service(
       cluster_->params().cpu.cycles(cluster_->params().cpu.update_entry_cycles * count));
   // Home-side confirmation of the flush; pairs with the sender's kUpdateSent
@@ -335,7 +470,8 @@ void DsmSystem::flush_pf(ThreadCtx& t) {
     const std::byte* twin = t.nd->twin(p);
     const std::size_t words = page_bytes / 8;
     bool page_dirty = false;
-    auto& runs = s.pf_by_home[static_cast<std::size_t>(layout_.home_of_page(p))];
+    auto& runs = s.pf_by_home[static_cast<std::size_t>(
+        ha_ == nullptr ? layout_.home_of_page(p) : effective_home_of_page(p))];
     std::size_t w = 0;
     while (w < words) {
       if ((w & 7) == 0 && w + 8 <= words) {
@@ -372,6 +508,18 @@ void DsmSystem::flush_pf(ThreadCtx& t) {
     auto& runs = s.pf_by_home[h];
     if (runs.empty()) continue;
     const NodeId home = static_cast<NodeId>(h);
+    if (ha_ != nullptr && home == t.node) {
+      // Post-promotion local apply (normally unreachable: promotion strips
+      // the zone's pages from the cached list — kept for safety).
+      std::size_t bytes = 0;
+      for (const DiffRun& r : runs) {
+        std::memcpy(t.nd->arena() + r.addr, s.run_bytes.data() + r.offset, r.len);
+        bytes += r.len;
+      }
+      t.clock.charge(cpu.copy_cost(bytes));
+      t.clock.flush();
+      continue;
+    }
     Buffer msg;
     msg.put<std::uint32_t>(static_cast<std::uint32_t>(runs.size()));
     for (const DiffRun& r : runs) {
@@ -387,8 +535,14 @@ void DsmSystem::flush_pf(ThreadCtx& t) {
     }
     cluster_->trace_event(t.node, cluster::TraceKind::kUpdateSent, home,
                           static_cast<std::int64_t>(msg.size()));
-    Buffer ack = rpc_with_retry(t.node, home, svc::kUpdateRuns, std::move(msg), "diff flush");
-    HYP_CHECK(ack.empty());
+    if (ha_ == nullptr) {
+      Buffer ack = rpc_with_retry(t.node, home, svc::kUpdateRuns, std::move(msg), "diff flush");
+      HYP_CHECK(ack.empty());
+    } else {
+      Buffer ack = ha_rpc_home(t, layout_.page_of(runs.front().addr), svc::kUpdateRuns, msg,
+                               /*reply_is_page=*/false, "diff flush");
+      HYP_CHECK(ack.empty());
+    }
   }
 }
 
@@ -396,14 +550,28 @@ void DsmSystem::handle_update_runs(cluster::Incoming& in, NodeId self) {
   NodeDsm& nd = node_dsm(self);
   const auto runs = in.reader.get<std::uint32_t>();
   std::size_t total_bytes = 0;
+  bool stale = false;
   for (std::uint32_t i = 0; i < runs; ++i) {
     const auto addr = in.reader.get<std::uint64_t>();
     const auto len = in.reader.get<std::uint32_t>();
     auto bytes = in.reader.get_span(len);
-    HYP_CHECK_MSG(nd.is_home(layout_.page_of(addr)), "diff reached a non-home node");
+    const bool home = nd.is_home(layout_.page_of(addr));
+    if (ha_ != nullptr && !home) {
+      stale = true;  // keep consuming the reader; NACK the whole message
+      continue;
+    }
+    HYP_CHECK_MSG(home, "diff reached a non-home node");
     std::memcpy(nd.arena() + addr, bytes.data(), len);
     total_bytes += len;
   }
+  if (stale) {
+    cluster_->trace_event(self, cluster::TraceKind::kHaNack, in.from, svc::kUpdateRuns);
+    Buffer nack;
+    nack.put<std::uint8_t>(1);
+    cluster_->reply(in, std::move(nack));
+    return;
+  }
+  if (ha_ != nullptr && total_bytes != 0) ha_->note_checkpoint(self, total_bytes);
   const Time done_at =
       cluster_->node(self).extend_service(cluster_->params().cpu.copy_cost(total_bytes));
   cluster_->trace_event(self, cluster::TraceKind::kUpdateApplied, in.from,

@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "cluster/cluster.hpp"
+#include "cluster/ha_hooks.hpp"
 #include "common/stats.hpp"
 #include "dsm/address.hpp"
 #include "obs/heat.hpp"
@@ -75,6 +76,8 @@ struct ThreadCtx {
   Stats* stats = nullptr;  // the node's stats (single-threaded simulation)
 
   explicit ThreadCtx(const cluster::CpuParams* cpu) : clock(cpu) {}
+  // Deregisters from the DsmSystem thread registry (see make_thread).
+  ~ThreadCtx();
 
   void charge_cycles(std::uint64_t n) { clock.charge_cycles(n); }
 };
@@ -116,6 +119,29 @@ class DsmSystem {
   void miss_ic(ThreadCtx& t, PageId p);
   void miss_pf(ThreadCtx& t, PageId p);
 
+  // --- high availability (optional; nullptr = off, docs/RECOVERY.md) -------
+  // With hooks installed, home resolution goes through the HA routing table
+  // (a promotion moves a dead node's zone to its backup), stale-home
+  // requests are NACKed instead of tripping is_home asserts, failed calls
+  // re-resolve the home per attempt, and flushes whose effective home is the
+  // local node (post-promotion) apply directly.
+  void set_ha(cluster::HaHooks* ha) { ha_ = ha; }
+  // Effective home of a page: the layout's static zone owner, redirected by
+  // the HA routing table after a promotion.
+  NodeId effective_home_of_page(PageId p) const {
+    const NodeId zone = layout_.home_of_page(p);
+    return ha_ == nullptr ? zone : ha_->home_node(zone);
+  }
+  NodeId effective_home_of(Gva a) const { return effective_home_of_page(layout_.page_of(a)); }
+  // Replays the pending (unflushed) write-log entries of every live thread
+  // bound to `node` whose address falls in [begin, end) into that node's
+  // arena. Used by the HA promotion: realizing the dead home's zone bytes in
+  // the backup's arena must not clobber the backup threads' own logged-but-
+  // unflushed java_ic stores (read-own-writes inside a synchronized block).
+  void replay_logged_writes(NodeId node, Gva begin, Gva end);
+  // ThreadCtx destructor hook (threads deregister from the replay registry).
+  void unregister_thread(ThreadCtx* t);
+
   // --- page-heat attachment (optional; nullptr = off) ----------------------
   // Same discipline as Cluster::set_trace: one pointer test when detached;
   // when attached, record_*() is pure accumulation (obs/heat.hpp) so virtual
@@ -125,16 +151,18 @@ class DsmSystem {
   obs::PageHeatTable* heat() { return heat_; }
 
   // --- direct home-copy access (initialization and tests) -----------------
+  // Effective-home aware: after a promotion the reference copy lives in the
+  // backup's arena (identical to the static layout home when HA is off).
   template <typename T>
   T read_home(Gva a) const {
-    const NodeId home = layout_.home_of(a);
+    const NodeId home = effective_home_of(a);
     T v;
     std::memcpy(&v, nodes_[static_cast<std::size_t>(home)]->arena() + a, sizeof(T));
     return v;
   }
   template <typename T>
   void poke_home(Gva a, T v) {
-    const NodeId home = layout_.home_of(a);
+    const NodeId home = effective_home_of(a);
     std::memcpy(nodes_[static_cast<std::size_t>(home)]->arena() + a, &v, sizeof(T));
   }
 
@@ -163,12 +191,25 @@ class DsmSystem {
                         const char* what);
   static constexpr int kRpcAttempts = 3;
 
+  // HA-aware home RPC: re-resolves the effective home of `p`'s zone on every
+  // attempt (a failed call against a node the detector confirms dead gets a
+  // fresh budget against the promoted backup), treats a wrong-size reply as
+  // a stale-home NACK, and holds while the target is down-but-unconfirmed.
+  // `reply_is_page` selects the success shape: page_bytes (page fetch, NACK
+  // = empty) vs empty (update ack, NACK = 1 byte).
+  Buffer ha_rpc_home(ThreadCtx& t, PageId p, cluster::ServiceId service, const Buffer& msg,
+                     bool reply_is_page, const char* what);
+
   cluster::Cluster* cluster_;
   Layout layout_;
   ProtocolKind kind_;
   std::vector<std::unique_ptr<NodeDsm>> nodes_;
   std::uint64_t next_thread_uid_ = 1;
+  // Live-thread registry (registered by make_thread, removed by ~ThreadCtx);
+  // consulted only by the HA promotion's write-log replay.
+  std::vector<ThreadCtx*> threads_;
   obs::PageHeatTable* heat_ = nullptr;
+  cluster::HaHooks* ha_ = nullptr;
 };
 
 }  // namespace hyp::dsm

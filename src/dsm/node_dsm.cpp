@@ -54,6 +54,30 @@ std::size_t NodeDsm::invalidate_all() {
   return dropped;
 }
 
+void NodeDsm::promote_to_home(PageId first, PageId last) {
+  HYP_CHECK(first <= last && last <= presence_.size());
+  // Drop cached-replica status for any page of the range first.
+  cached_list_.erase(std::remove_if(cached_list_.begin(), cached_list_.end(),
+                                    [first, last](PageId p) {
+                                      return p >= first && p < last;
+                                    }),
+                     cached_list_.end());
+  for (PageId p = first; p < last; ++p) {
+    twins_[p].reset();
+    presence_[p] = kPresentBit | kHomeBit;
+  }
+}
+
+void NodeDsm::demote_home(PageId first, PageId last) {
+  HYP_CHECK(first <= last && last <= presence_.size());
+  for (PageId p = first; p < last; ++p) {
+    HYP_CHECK_MSG((presence_[p] & kHomeBit) != 0 || presence_[p] == 0,
+                  "demoting a page this node had cached");
+    twins_[p].reset();
+    presence_[p] = 0;
+  }
+}
+
 void NodeDsm::refresh_twin(PageId p) {
   HYP_CHECK(has_twin(p));
   std::memcpy(twins_[p].get(), page_ptr(p), layout_->page_bytes());

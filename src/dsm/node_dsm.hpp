@@ -85,6 +85,17 @@ class NodeDsm {
 
   const std::vector<PageId>& cached_pages() const { return cached_list_; }
 
+  // --- high availability (docs/RECOVERY.md) --------------------------------
+  // Takes home authority over [first, last): pages this node had cached stop
+  // being replicas (their twins are dropped and they leave the cached list —
+  // the arena bytes ARE now the reference copy), and every page in the range
+  // becomes present|home. Called on the backup at promotion, after the dead
+  // home's zone bytes have been realized into this arena.
+  void promote_to_home(PageId first, PageId last);
+  // Relinquishes home authority over [first, last): pages become absent (a
+  // restarted node rejoins as a cacher; its pre-crash copies are stale).
+  void demote_home(PageId first, PageId last);
+
   // --- allocation (only meaningful on the page's home node's zone) ---
   // Bump allocation from this node's zone; 8-byte aligned by default.
   Gva alloc(std::size_t bytes, std::size_t align = 8);

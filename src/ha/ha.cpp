@@ -1,0 +1,286 @@
+#include "ha/ha.hpp"
+
+#include <cstring>
+
+#include "common/assert.hpp"
+
+namespace hyp::ha {
+
+using cluster::FaultWindow;
+using cluster::NodeId;
+using cluster::TraceKind;
+
+HaManager::HaManager(cluster::Cluster* cluster, dsm::DsmSystem* dsm,
+                     hyperion::MonitorSubsystem* monitors)
+    : cluster_(cluster), dsm_(dsm), monitors_(monitors) {
+  const auto n = static_cast<std::size_t>(cluster_->node_count());
+  zone_home_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) zone_home_[i] = static_cast<NodeId>(i);
+  health_.resize(n);
+}
+
+void HaManager::zone_pages(NodeId node, dsm::PageId* first, dsm::PageId* last) const {
+  const dsm::Layout& layout = dsm_->layout();
+  *first = static_cast<dsm::PageId>(layout.zone_begin(node) / layout.page_bytes());
+  *last = static_cast<dsm::PageId>(layout.zone_end(node) / layout.page_bytes());
+}
+
+void HaManager::start() {
+  const auto& f = cluster_->params().fault;
+  const int count = cluster_->node_count();
+  // Windows naming nodes this run does not have are inert (sweeps reuse one
+  // profile across cluster sizes); exactly one window may apply.
+  const FaultWindow* applicable = nullptr;
+  int applying = 0;
+  for (const FaultWindow& c : f.crashes) {
+    HYP_CHECK_MSG(c.node != 0, "node 0 hosts the Java main thread and cannot crash");
+    if (c.node < count) {
+      applicable = &c;
+      ++applying;
+    }
+  }
+  HYP_CHECK_MSG(applying == 1,
+                "the HA subsystem implements the single-failure model: exactly one "
+                "applicable crash window per run (got " +
+                    std::to_string(applying) + ")");
+  const FaultWindow& c = *applicable;
+  HYP_CHECK_MSG(c.start > 0 && c.duration > 0, "crash window needs a positive start and duration");
+  HYP_CHECK_MSG(f.hb_interval > 0 && f.suspect_after >= f.hb_interval &&
+                    f.confirm_after > f.suspect_after,
+                "detector tuning wants hb <= suspect < confirm");
+
+  auto& eng = cluster_->engine();
+  const Time now = eng.now();
+  for (auto& h : health_) h.last_heard = now;
+  for (NodeId n = 0; n < count; ++n) {
+    eng.post(now + f.hb_interval, [this, n]() { tick(n); });
+  }
+  eng.post(c.start, [this, c]() { on_crash(c); });
+  eng.post(c.end(), [this, c]() { on_restart(c); });
+}
+
+void HaManager::stop() { stopped_ = true; }
+
+void HaManager::tick(NodeId n) {
+  if (stopped_) return;
+  auto& eng = cluster_->engine();
+  const Time now = eng.now();
+  const auto& f = cluster_->params().fault;
+  // A crashed node's CPU is dead: it neither heartbeats nor watches. Its
+  // silence is exactly what the successor's watcher duty measures.
+  if (f.crash_release(n, now) == 0) {
+    health_[static_cast<std::size_t>(n)].last_heard = now;
+    cluster_->node(n).stats().add(Counter::kHaHeartbeats);
+
+    const int count = cluster_->node_count();
+    const NodeId pred = (n - 1 + count) % count;
+    Health& h = health_[static_cast<std::size_t>(pred)];
+    if (!h.confirmed) {
+      const Time silence = now - h.last_heard;
+      if (silence >= f.suspect_after && !h.suspected) {
+        h.suspected = true;
+        cluster_->trace_event(n, TraceKind::kHaSuspected, pred,
+                              static_cast<std::int64_t>(silence / kMicrosecond));
+      }
+      if (h.suspected && silence >= f.confirm_after) {
+        promote(pred, n, silence);
+      }
+    }
+  }
+  eng.post(now + f.hb_interval, [this, n]() { tick(n); });
+}
+
+void HaManager::on_crash(const FaultWindow& c) {
+  auto& eng = cluster_->engine();
+  const Time now = eng.now();
+  crash_started_ = now;
+  cluster_->trace_event(c.node, TraceKind::kNodeCrash,
+                        static_cast<std::int64_t>(c.end() / kMicrosecond), 0);
+  // Freeze the node's execution resources until the restart: compute already
+  // queued behind the reservation lands after the window, so no virtual-time
+  // work is attributed to a dead CPU. (The transport side is handled by
+  // FaultProfile::apply_windows — arrivals vanish — and the outbound hold in
+  // Cluster::tx_transmit.)
+  auto freeze = [&](sim::FifoServer& server) {
+    const Time base = now > server.free_at() ? now : server.free_at();
+    if (base < c.end()) server.reserve(c.end() - base);
+  };
+  cluster::Node& node = cluster_->node(c.node);
+  freeze(node.app_cpu());
+  freeze(node.service_queue());
+}
+
+void HaManager::promote(NodeId dead, NodeId watcher, Time silence) {
+  if (promoted_for_ != -1) return;  // single-failure model
+  Health& h = health_[static_cast<std::size_t>(dead)];
+  h.confirmed = true;
+  promoted_for_ = dead;
+  ++epoch_;
+  const NodeId backup = backup_of(dead);
+  auto& eng = cluster_->engine();
+  const Time now = eng.now();
+
+  cluster_->trace_event(watcher, TraceKind::kHaDeadConfirmed, dead,
+                        static_cast<std::int64_t>(silence / kMicrosecond));
+  cluster_->trace_event(backup, TraceKind::kEpochBump, static_cast<std::int64_t>(epoch_), dead);
+
+  // Route the dead zone at its backup from this instant: stale presence is
+  // impossible to *hold* (the routing table is the single source of truth;
+  // java_ic checks and java_pf re-protection resolve through it on the next
+  // consistency action) and stale *requests* are NACKed by the handlers.
+  zone_home_[static_cast<std::size_t>(dead)] = backup;
+
+  // --- checkpoint realization ---------------------------------------------
+  // The incremental replication stream has been mirroring the dead home's
+  // state all along (note_checkpoint accounts it); the simulator realizes
+  // the mirrored copy here, in three steps that keep the backup's own
+  // unflushed working-memory modifications intact.
+  const dsm::Layout& layout = dsm_->layout();
+  dsm::PageId first = 0;
+  dsm::PageId last = 0;
+  zone_pages(dead, &first, &last);
+  const dsm::Gva zbegin = layout.zone_begin(dead);
+  const dsm::Gva zend = layout.zone_end(dead);
+  const std::size_t zbytes = static_cast<std::size_t>(zend - zbegin);
+  dsm::NodeDsm& dnd = dsm_->node_dsm(dead);
+  dsm::NodeDsm& bnd = dsm_->node_dsm(backup);
+
+  // (1) Extract the backup's pending java_pf diffs (cur vs twin) for cached
+  //     pages of the zone — promote_to_home drops the twins below.
+  struct SavedRun {
+    dsm::Gva at;
+    std::vector<std::byte> bytes;
+  };
+  std::vector<SavedRun> pending;
+  const std::size_t page_bytes = layout.page_bytes();
+  for (dsm::PageId p : bnd.cached_pages()) {
+    if (p < first || p >= last || !bnd.has_twin(p)) continue;
+    const std::byte* cur = bnd.page_ptr(p);
+    const std::byte* tw = bnd.twin(p);
+    std::size_t i = 0;
+    while (i < page_bytes) {
+      if (cur[i] == tw[i]) {
+        ++i;
+        continue;
+      }
+      std::size_t j = i + 1;
+      while (j < page_bytes && cur[j] != tw[j]) ++j;
+      pending.push_back({layout.page_base(p) + i, std::vector<std::byte>(cur + i, cur + j)});
+      i = j;
+    }
+  }
+
+  // (2) Realize the mirror and take home authority. The pristine snapshot
+  //     feeds the restart-side final-checkpoint diff (see on_restart).
+  zone_snapshot_.assign(dnd.arena() + zbegin, dnd.arena() + zend);
+  std::memcpy(bnd.arena() + zbegin, dnd.arena() + zbegin, zbytes);
+  bnd.promote_to_home(first, last);
+
+  // (3) The backup's own unflushed modifications win over the mirrored base
+  //     (they are exactly what its next updateMainMemory would apply here).
+  for (const SavedRun& r : pending) {
+    std::memcpy(bnd.arena() + r.at, r.bytes.data(), r.bytes.size());
+  }
+  dsm_->replay_logged_writes(backup, zbegin, zend);  // java_ic pending stores
+
+  // Monitor tables and the applied-op-id set move with the zone.
+  monitors_->fail_over_home(dead, backup);
+
+  cluster_->trace_event(backup, TraceKind::kHomePromoted, dead,
+                        static_cast<std::int64_t>(zbytes));
+
+  // Installing the final checkpoint delta occupies the backup's service
+  // queue: requests against the new home serve after it. Charged over the
+  // zone's *live* bytes — the page frames themselves were already mirrored.
+  const std::size_t live = dnd.allocated_bytes();
+  if (live > 0) {
+    cluster_->node(backup).service_queue().reserve(cluster_->params().cpu.copy_cost(live));
+  }
+
+  Stats& bs = cluster_->node(backup).stats();
+  bs.add(Counter::kHaPromotions);
+  bs.record(Hist::kRecoveryLatency, static_cast<std::uint64_t>(now - crash_started_));
+
+  // Wake every caller still parked on the dead node with a typed failure so
+  // it re-resolves under the new epoch. Runs last: by the time a woken fiber
+  // retries, the routing table above is already in place.
+  cluster_->ha_fail_traffic_to(dead);
+}
+
+void HaManager::on_restart(const FaultWindow& c) {
+  auto& eng = cluster_->engine();
+  const Time now = eng.now();
+  const NodeId n = c.node;
+  cluster_->trace_event(n, TraceKind::kNodeRestart, static_cast<std::int64_t>(epoch_), 0);
+
+  if (promoted_for_ == n) {
+    // Final incremental checkpoint: stores by the node's own threads whose
+    // compute was initiated before the crash can carry freeze-model
+    // timestamps inside the window; diff the zone against the promotion-time
+    // snapshot and fold the deltas into the new home. Under data-race-free
+    // programs these bytes are disjoint from anything the backup served in
+    // the meantime (the writers still hold their monitors).
+    const dsm::Layout& layout = dsm_->layout();
+    dsm::PageId first = 0;
+    dsm::PageId last = 0;
+    zone_pages(n, &first, &last);
+    const dsm::Gva zbegin = layout.zone_begin(n);
+    const std::size_t zbytes = zone_snapshot_.size();
+    dsm::NodeDsm& dnd = dsm_->node_dsm(n);
+    dsm::NodeDsm& bnd = dsm_->node_dsm(zone_home_[static_cast<std::size_t>(n)]);
+    const std::byte* cur = dnd.arena() + zbegin;
+    const std::byte* snap = zone_snapshot_.data();
+    std::size_t i = 0;
+    while (i < zbytes) {
+      if (cur[i] == snap[i]) {
+        ++i;
+        continue;
+      }
+      std::size_t j = i + 1;
+      while (j < zbytes && cur[j] != snap[j]) ++j;
+      std::memcpy(bnd.arena() + zbegin + i, cur + i, j - i);
+      i = j;
+    }
+    zone_snapshot_.clear();
+    zone_snapshot_.shrink_to_fit();
+
+    // The node rejoins with no home authority: its zone stays at the backup
+    // for the rest of the run and its pre-crash copies are stale — it
+    // resumes as a cacher and re-syncs on demand through ordinary fetches.
+    dnd.demote_home(first, last);
+    cluster_->trace_event(n, TraceKind::kHaRejoined, static_cast<std::int64_t>(epoch_), 0);
+  }
+
+  Health& h = health_[static_cast<std::size_t>(n)];
+  h.last_heard = now;
+  h.suspected = false;
+  h.confirmed = false;
+}
+
+Time HaManager::retry_hold(NodeId target, Time now) const {
+  if (health_[static_cast<std::size_t>(target)].confirmed) return 0;
+  const auto& f = cluster_->params().fault;
+  const Time release = f.crash_release(target, now);
+  if (release == 0) return 0;
+  // The target is inside a crash window but the detector has not confirmed it
+  // yet: re-routing would be premature (there is no new home), and retrying
+  // immediately burns whole-call budgets against a black hole. Hold until the
+  // detector can have confirmed (crash start + confirm_after, plus a tick of
+  // watcher slack) or the restart, whichever comes first.
+  Time confirmed_by = release;
+  for (const FaultWindow& c : f.crashes) {
+    if (c.node == target && c.covers(now)) {
+      confirmed_by = c.start + f.confirm_after + 2 * f.hb_interval;
+      break;
+    }
+  }
+  return confirmed_by < release ? confirmed_by : release;
+}
+
+void HaManager::note_checkpoint(NodeId home, std::uint64_t bytes) {
+  cluster_->node(home).stats().add(Counter::kHaCheckpointBytes, bytes);
+  cluster_->trace_event(home, TraceKind::kCheckpoint, backup_of(home),
+                        static_cast<std::int64_t>(bytes));
+}
+
+}  // namespace hyp::ha

@@ -1,0 +1,121 @@
+// High availability: failure detection, home-state replication, re-election.
+//
+// The paper's model is a dedicated, lossless cluster; this subsystem asks the
+// complementary question the roadmap leaves open: what must a *centralized*
+// home-based protocol add to survive the loss of a home node? The answer
+// implemented here (docs/RECOVERY.md):
+//
+//   1. Failure detection — every node heartbeats its ring successor on an
+//      out-of-band management path each `hb_interval`; the successor suspects
+//      its predecessor after `suspect_after` of silence and confirms it dead
+//      after `confirm_after`. All timeouts are virtual-time constants from
+//      the FaultProfile, so detection latency is deterministic.
+//   2. Replicated home state — each home zone (pages + monitor tables) has a
+//      deterministic backup: the ring successor B(N) = (N+1) mod n, the same
+//      node that watches N. Incremental checkpoints piggyback on the update/
+//      ack traffic the consistency protocol already generates (accounted via
+//      note_checkpoint -> kHaCheckpointBytes); the simulator realizes the
+//      mirrored state at promotion time, which is observationally equivalent
+//      to a synchronous mirror (zero loss).
+//   3. Home re-election — on confirmed death the backup promotes itself:
+//      cluster-wide epoch bump, the HA routing table points the dead zone at
+//      the backup, in-flight RPCs against the dead node fail over through the
+//      typed-error retry paths (same op id => the monitor reattach/dedup
+//      machinery absorbs previously applied attempts), and stale-home
+//      stragglers are NACKed.
+//   4. Restart/rejoin — at the crash window's end the node returns with no
+//      home authority (its zone stays at the backup for the rest of the run)
+//      and resumes as a cacher; its threads survive under the
+//      thread-checkpoint model (fibers, write logs and cached pages are part
+//      of the mirrored state).
+//
+// Single-failure model: exactly one crash window per run (HYP_CHECKed). This
+// is what makes per-message NACKs and representative-page re-resolution
+// sound; tolerating concurrent failures would need quorum placement.
+//
+// When the fault profile schedules no crash window the VM never constructs a
+// HaManager and every hook in cluster/dsm/hyperion is a null-pointer test —
+// the event sequence stays bit-identical to the goldens.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "cluster/ha_hooks.hpp"
+#include "dsm/dsm.hpp"
+#include "hyperion/monitor.hpp"
+
+namespace hyp::ha {
+
+class HaManager final : public cluster::HaHooks {
+ public:
+  HaManager(cluster::Cluster* cluster, dsm::DsmSystem* dsm,
+            hyperion::MonitorSubsystem* monitors);
+  HaManager(const HaManager&) = delete;
+  HaManager& operator=(const HaManager&) = delete;
+
+  // Validates the profile's crash schedule, posts the heartbeat tick chains
+  // and the crash/restart events. Call once, before Cluster::run().
+  void start();
+  // Ends the self-chaining detector ticks so the engine can quiesce. Called
+  // when the Java main thread finishes (HyperionVM::run_main).
+  void stop();
+
+  // Deterministic backup placement: the ring successor.
+  cluster::NodeId backup_of(cluster::NodeId n) const {
+    return (n + 1) % cluster_->node_count();
+  }
+
+  // --- cluster::HaHooks ----------------------------------------------------
+  cluster::NodeId home_node(int zone) const override {
+    return zone_home_[static_cast<std::size_t>(zone)];
+  }
+  bool confirmed_dead(cluster::NodeId node) const override {
+    return health_[static_cast<std::size_t>(node)].confirmed;
+  }
+  std::uint64_t epoch() const override { return epoch_; }
+  Time retry_hold(cluster::NodeId target, Time now) const override;
+  void note_checkpoint(cluster::NodeId home, std::uint64_t bytes) override;
+
+  // --- introspection (tests) ----------------------------------------------
+  bool promoted() const { return promoted_for_ != -1; }
+  cluster::NodeId promoted_for() const { return promoted_for_; }
+
+ private:
+  struct Health {
+    Time last_heard = 0;  // virtual time of the last heartbeat received
+    bool suspected = false;
+    bool confirmed = false;
+  };
+
+  // One self-chaining detector tick per node: emit the heartbeat to the ring
+  // successor (if alive), run watcher duty over the ring predecessor.
+  void tick(cluster::NodeId n);
+  void on_crash(const cluster::FaultWindow& c);
+  void on_restart(const cluster::FaultWindow& c);
+  // Confirmed death: epoch bump, routing-table update, checkpoint
+  // realization (zone bytes + monitor tables to the backup), in-flight
+  // traffic failover.
+  void promote(cluster::NodeId dead, cluster::NodeId watcher, Time silence);
+  // Zone page range of `node` as [first, last).
+  void zone_pages(cluster::NodeId node, dsm::PageId* first, dsm::PageId* last) const;
+
+  cluster::Cluster* cluster_;
+  dsm::DsmSystem* dsm_;
+  hyperion::MonitorSubsystem* monitors_;
+  std::vector<cluster::NodeId> zone_home_;  // routing table (identity until promotion)
+  std::vector<Health> health_;
+  std::uint64_t epoch_ = 0;
+  bool stopped_ = false;
+  cluster::NodeId promoted_for_ = -1;  // dead node whose zone moved; -1 = none
+  Time crash_started_ = 0;
+  // Pristine copy of the dead zone taken at promotion. The restart event
+  // diffs the dead node's arena against it to realize the *final* checkpoint:
+  // stores by the dead node's own threads that the engine's freeze model
+  // timestamps inside the crash window (compute initiated before the crash)
+  // still reach the mirrored copy, as they would on a real machine.
+  std::vector<std::byte> zone_snapshot_;
+};
+
+}  // namespace hyp::ha

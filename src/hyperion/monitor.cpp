@@ -1,5 +1,6 @@
 #include "hyperion/monitor.hpp"
 
+#include "cluster/ha_hooks.hpp"
 #include "common/assert.hpp"
 
 namespace hyp::hyperion {
@@ -46,14 +47,53 @@ Buffer MonitorSubsystem::remote_invoke(dsm::ThreadCtx& t, cluster::NodeId home,
     // wire format (no op id).
     return cluster_->call(t.node, home, service, build());
   }
-  for (int attempt = 1;; ++attempt) {
-    cluster::RpcResult r = cluster_->call_result(t.node, home, service, build());
-    if (r.ok()) return std::move(r.payload);
-    if (attempt >= kRpcAttempts) {
-      HYP_PANIC("monitor operation abandoned after " + std::to_string(attempt) +
-                " attempts: " + r.error.message);
+  if (ha_ == nullptr) {
+    for (int attempt = 1;; ++attempt) {
+      cluster::RpcResult r = cluster_->call_result(t.node, home, service, build());
+      if (r.ok()) return std::move(r.payload);
+      if (attempt >= kRpcAttempts) {
+        HYP_PANIC("monitor operation abandoned after " + std::to_string(attempt) +
+                  " attempts: " + r.error.message);
+      }
     }
   }
+  // HA path: re-resolve the monitor's home per attempt. Every attempt carries
+  // the SAME op id, so whichever home finally applies the op absorbs earlier
+  // attempts through its reattach/dedup machinery (a previously applied
+  // enter/wait re-grants or repoints; exit/notify re-ack). A 1-byte reply is
+  // a stale-home NACK: loop and re-resolve. Success is always an empty reply.
+  auto* eng = sim::Engine::current();
+  const Time started = eng->now();
+  cluster::NodeId target = home;
+  int attempts_at_target = 0;
+  bool rerouted = false;
+  for (int guard = 0; guard < 64; ++guard) {
+    const cluster::NodeId now_home = dsm_->effective_home_of(obj);
+    if (now_home != target) {
+      target = now_home;
+      attempts_at_target = 0;
+      rerouted = true;
+      t.stats->add(Counter::kHaReroutes);
+    }
+    ++attempts_at_target;
+    cluster::RpcResult r = cluster_->call_result(t.node, target, service, build());
+    if (r.ok() && r.payload.empty()) {
+      if (rerouted) t.stats->record(Hist::kHaRerouteWait, eng->now() - started);
+      return std::move(r.payload);
+    }
+    // r.ok() with a non-empty payload is a stale-home NACK; fall through to
+    // re-resolve. A typed failure against a node the detector has not (yet)
+    // confirmed dead is a genuine transport exhaustion: abort as before.
+    if (!r.ok() && attempts_at_target >= kRpcAttempts && !ha_->confirmed_dead(target)) {
+      HYP_PANIC("monitor operation abandoned after " + std::to_string(attempts_at_target) +
+                " attempts: " + r.error.message);
+    }
+    const Time now = eng->now();
+    const Time hold = ha_->retry_hold(target, now);
+    if (hold > now) eng->sleep_until(hold);
+  }
+  HYP_PANIC("monitor home failover did not converge (epoch " +
+            std::to_string(ha_->epoch()) + ")");
 }
 
 bool MonitorSubsystem::op_already_applied(cluster::Incoming& in, cluster::NodeId self) {
@@ -113,13 +153,45 @@ MonitorSubsystem::MonitorState& MonitorSubsystem::state(cluster::NodeId home, ds
 }
 
 // ---------------------------------------------------------------------------
+// High availability (docs/RECOVERY.md)
+
+bool MonitorSubsystem::nack_if_stale(cluster::Incoming& in, cluster::NodeId self, dsm::Gva obj,
+                                     cluster::ServiceId service) {
+  if (ha_ == nullptr || dsm_->effective_home_of(obj) == self) return false;
+  // A straggler routed under an older epoch. Answer with a 1-byte NACK (all
+  // monitor successes are empty replies) BEFORE the op id is recorded, so the
+  // caller's retry at the promoted home is a fresh apply, not a reattach.
+  cluster_->trace_event(self, cluster::TraceKind::kHaNack, in.from, service);
+  Buffer nack;
+  nack.put<std::uint8_t>(1);
+  cluster_->reply(in, std::move(nack));
+  return true;
+}
+
+void MonitorSubsystem::fail_over_home(cluster::NodeId dead, cluster::NodeId backup) {
+  auto& src = monitors_[static_cast<std::size_t>(dead)];
+  auto& dst = monitors_[static_cast<std::size_t>(backup)];
+  for (auto& [obj, m] : src) {
+    const bool fresh = dst.emplace(obj, std::move(m)).second;
+    HYP_CHECK_MSG(fresh, "monitor failover collision: backup already manages the object");
+  }
+  src.clear();
+  // The applied-op-id set moves with the tables so a retry of an op the dead
+  // home had applied (but whose ack was lost) re-attaches at the backup
+  // instead of double-applying.
+  auto& sops = applied_ops_[static_cast<std::size_t>(dead)];
+  applied_ops_[static_cast<std::size_t>(backup)].insert(sops.begin(), sops.end());
+  sops.clear();
+}
+
+// ---------------------------------------------------------------------------
 // Caller side
 
 void MonitorSubsystem::enter(dsm::ThreadCtx& t, dsm::Gva obj) {
   t.stats->add(Counter::kMonitorEnters);
   cluster_->trace_event(t.node, cluster::TraceKind::kMonitorEnter,
                         static_cast<std::int64_t>(obj), static_cast<std::int64_t>(t.uid));
-  const cluster::NodeId home = dsm_->layout().home_of(obj);
+  const cluster::NodeId home = dsm_->effective_home_of(obj);
   // Acquire-wait observation: measured from after the thread's batched
   // compute is materialized (so pending cycles are not misattributed to lock
   // contention) until the grant arrives. Recording is pure accumulation plus
@@ -158,7 +230,7 @@ void MonitorSubsystem::exit(dsm::ThreadCtx& t, dsm::Gva obj) {
   // Release semantics: modifications must reach central memory before the
   // lock can be taken by anyone else (§3.1, updateMainMemory on exit).
   dsm_->on_release(t);
-  const cluster::NodeId home = dsm_->layout().home_of(obj);
+  const cluster::NodeId home = dsm_->effective_home_of(obj);
   if (home == t.node) {
     t.clock.charge_cycles(kLocalLockCycles);
     t.clock.flush();
@@ -174,7 +246,7 @@ void MonitorSubsystem::wait(dsm::ThreadCtx& t, dsm::Gva obj) {
                         static_cast<std::int64_t>(obj), static_cast<std::int64_t>(t.uid));
   // wait() is a release followed (after notify) by an acquire.
   dsm_->on_release(t);
-  const cluster::NodeId home = dsm_->layout().home_of(obj);
+  const cluster::NodeId home = dsm_->effective_home_of(obj);
   // Object.wait is how every §4.1 application builds its barriers: the time
   // from release to re-grant is attributed to Phase::kBarrier.
   Time requested_at;
@@ -205,7 +277,7 @@ void MonitorSubsystem::wait(dsm::ThreadCtx& t, dsm::Gva obj) {
 void MonitorSubsystem::notify_one(dsm::ThreadCtx& t, dsm::Gva obj) {
   cluster_->trace_event(t.node, cluster::TraceKind::kMonitorNotify,
                         static_cast<std::int64_t>(obj), 0);
-  const cluster::NodeId home = dsm_->layout().home_of(obj);
+  const cluster::NodeId home = dsm_->effective_home_of(obj);
   if (home == t.node) {
     t.clock.charge_cycles(kLocalLockCycles);
     t.clock.flush();
@@ -220,7 +292,7 @@ void MonitorSubsystem::notify_one(dsm::ThreadCtx& t, dsm::Gva obj) {
 void MonitorSubsystem::notify_all(dsm::ThreadCtx& t, dsm::Gva obj) {
   cluster_->trace_event(t.node, cluster::TraceKind::kMonitorNotify,
                         static_cast<std::int64_t>(obj), 1);
-  const cluster::NodeId home = dsm_->layout().home_of(obj);
+  const cluster::NodeId home = dsm_->effective_home_of(obj);
   if (home == t.node) {
     t.clock.charge_cycles(kLocalLockCycles);
     t.clock.flush();
@@ -304,6 +376,7 @@ void MonitorSubsystem::grant(cluster::NodeId home, MonitorState&, Contender c) {
 void MonitorSubsystem::handle_enter(cluster::Incoming& in, cluster::NodeId self) {
   const auto obj = in.reader.get<std::uint64_t>();
   const auto uid = in.reader.get<std::uint64_t>();
+  if (nack_if_stale(in, self, obj, svc::kMonitorEnter)) return;
   const bool retry = op_already_applied(in, self);
   cluster_->node(self).extend_service(cluster_->params().cpu.cycles(kManagerCycles));
   if (retry) {
@@ -321,6 +394,7 @@ void MonitorSubsystem::handle_enter(cluster::Incoming& in, cluster::NodeId self)
 void MonitorSubsystem::handle_exit(cluster::Incoming& in, cluster::NodeId self) {
   const auto obj = in.reader.get<std::uint64_t>();
   const auto uid = in.reader.get<std::uint64_t>();
+  if (nack_if_stale(in, self, obj, svc::kMonitorExit)) return;
   const bool retry = op_already_applied(in, self);
   cluster_->node(self).extend_service(cluster_->params().cpu.cycles(kManagerCycles));
   if (!retry) do_exit(self, obj, uid);  // retry of an applied exit: just re-ack
@@ -330,6 +404,7 @@ void MonitorSubsystem::handle_exit(cluster::Incoming& in, cluster::NodeId self) 
 void MonitorSubsystem::handle_wait(cluster::Incoming& in, cluster::NodeId self) {
   const auto obj = in.reader.get<std::uint64_t>();
   const auto uid = in.reader.get<std::uint64_t>();
+  if (nack_if_stale(in, self, obj, svc::kMonitorWait)) return;
   const bool retry = op_already_applied(in, self);
   cluster_->node(self).extend_service(cluster_->params().cpu.cycles(kManagerCycles));
   if (retry) {
@@ -347,6 +422,7 @@ void MonitorSubsystem::handle_wait(cluster::Incoming& in, cluster::NodeId self) 
 void MonitorSubsystem::handle_notify(cluster::Incoming& in, cluster::NodeId self) {
   const auto obj = in.reader.get<std::uint64_t>();
   const auto uid = in.reader.get<std::uint64_t>();
+  if (nack_if_stale(in, self, obj, svc::kMonitorNotify)) return;
   const bool retry = op_already_applied(in, self);
   const bool all = in.reader.get<std::uint8_t>() != 0;
   cluster_->node(self).extend_service(cluster_->params().cpu.cycles(kManagerCycles));

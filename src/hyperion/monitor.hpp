@@ -48,6 +48,18 @@ class MonitorSubsystem {
   void notify_one(dsm::ThreadCtx& t, dsm::Gva obj);
   void notify_all(dsm::ThreadCtx& t, dsm::Gva obj);
 
+  // --- high availability (optional; nullptr = off, docs/RECOVERY.md) -------
+  // With hooks installed, monitor homes resolve through the HA routing table,
+  // remote ops re-resolve the home per attempt (carrying the SAME op id, so
+  // the new home's reattach/dedup absorbs a previously applied attempt), and
+  // stale-home requests are NACKed (1-byte reply) instead of asserting.
+  void set_ha(cluster::HaHooks* ha) { ha_ = ha; }
+  // Moves the dead node's monitor tables and applied-op-id set to the backup
+  // (the simulator realizes the checkpointed state the incremental
+  // replication stream has been mirroring). Local contenders' fiber pointers
+  // stay valid: fibers survive a crash under the thread-checkpoint model.
+  void fail_over_home(cluster::NodeId dead, cluster::NodeId backup);
+
  private:
   // A thread waiting for a grant: either a local fiber to unpark or a remote
   // caller to answer by token.
@@ -106,9 +118,14 @@ class MonitorSubsystem {
                       std::uint64_t uid);
   void reattach_wait(cluster::Incoming& in, cluster::NodeId self, dsm::Gva obj,
                      std::uint64_t uid);
+  // HA: answers a stale-home straggler with a 1-byte NACK (before the op id
+  // is recorded) and returns true; false = this node owns the monitor.
+  bool nack_if_stale(cluster::Incoming& in, cluster::NodeId self, dsm::Gva obj,
+                     cluster::ServiceId service);
 
   cluster::Cluster* cluster_;
   dsm::DsmSystem* dsm_;
+  cluster::HaHooks* ha_ = nullptr;
   // monitors_[home] maps object address -> state.
   std::vector<std::map<dsm::Gva, MonitorState>> monitors_;
   // Lossy-transport idempotence state (empty on quiet networks): the next

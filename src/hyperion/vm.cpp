@@ -4,6 +4,7 @@
 
 #include "common/assert.hpp"
 #include "common/log.hpp"
+#include "ha/ha.hpp"
 
 namespace hyp::hyperion {
 
@@ -124,7 +125,26 @@ HyperionVM::HyperionVM(VmConfig config)
     config_.phases->init(cluster_.node_count());
     cluster_.set_phases(config_.phases);
   }
+  // A scheduled crash window engages the HA subsystem (docs/RECOVERY.md);
+  // without one every HA branch below stays a null-pointer test and the
+  // event sequence is bit-identical to the goldens. Windows naming nodes this
+  // run does not have are inert (a figure sweep reuses one profile across
+  // cluster sizes), so HA engages only when a window actually applies.
+  bool crash_applies = false;
+  for (const auto& c : cluster_.params().fault.crashes) {
+    HYP_CHECK_MSG(c.node != 0, "node 0 hosts the Java main thread and cannot crash");
+    if (c.node < cluster_.node_count()) crash_applies = true;
+  }
+  if (crash_applies) {
+    ha_ = std::make_unique<ha::HaManager>(&cluster_, &dsm_, &monitors_);
+    cluster_.set_ha_hooks(ha_.get());
+    dsm_.set_ha(ha_.get());
+    monitors_.set_ha(ha_.get());
+    ha_->start();
+  }
 }
+
+HyperionVM::~HyperionVM() = default;
 
 Time HyperionVM::run_main(std::function<void(JavaEnv&)> main_fn) {
   threads_started_ = 0;
@@ -136,6 +156,8 @@ Time HyperionVM::run_main(std::function<void(JavaEnv&)> main_fn) {
     vm->cluster_.phase_add(env.ctx().node, obs::Phase::kCompute,
                            env.ctx().clock.total_charged());
     vm->elapsed_ = vm->cluster_.engine().now();
+    // End the failure detector's self-chaining ticks so the engine quiesces.
+    if (vm->ha_ != nullptr) vm->ha_->stop();
   });
   cluster_.run();
   return elapsed_;

@@ -19,6 +19,10 @@
 #include "hyperion/monitor.hpp"
 #include "hyperion/object.hpp"
 
+namespace hyp::ha {
+class HaManager;
+}
+
 namespace hyp::hyperion {
 
 using cluster::NodeId;
@@ -132,6 +136,7 @@ class JavaEnv {
 class HyperionVM {
  public:
   explicit HyperionVM(VmConfig config);
+  ~HyperionVM();  // out-of-line: ha_ holds a forward-declared HaManager
   HyperionVM(const HyperionVM&) = delete;
   HyperionVM& operator=(const HyperionVM&) = delete;
 
@@ -145,6 +150,9 @@ class HyperionVM {
   cluster::Cluster& cluster() { return cluster_; }
   dsm::DsmSystem& dsm() { return dsm_; }
   MonitorSubsystem& monitors() { return monitors_; }
+  // The high-availability manager; non-null iff the fault profile schedules
+  // a crash window (docs/RECOVERY.md). Constructed and wired automatically.
+  ha::HaManager* ha() { return ha_.get(); }
   LoadBalancer& balancer() { return *balancer_; }
   void set_balancer(std::unique_ptr<LoadBalancer> b) { balancer_ = std::move(b); }
 
@@ -157,6 +165,7 @@ class HyperionVM {
   cluster::Cluster cluster_;
   dsm::DsmSystem dsm_;
   MonitorSubsystem monitors_;
+  std::unique_ptr<ha::HaManager> ha_;
   std::unique_ptr<LoadBalancer> balancer_;
   int threads_started_ = 0;
   Time elapsed_ = 0;

@@ -76,6 +76,29 @@ std::string event_args(const TraceEvent& e) {
     case TraceKind::kRpcTimeout:
       std::snprintf(buf, sizeof(buf), "{\"peer\":%lld,\"service\":%lld}", a, b);
       break;
+    case TraceKind::kNodeCrash:
+      std::snprintf(buf, sizeof(buf), "{\"restart_us\":%lld}", a);
+      break;
+    case TraceKind::kNodeRestart:
+    case TraceKind::kHaRejoined:
+      std::snprintf(buf, sizeof(buf), "{\"epoch\":%lld}", a);
+      break;
+    case TraceKind::kHaSuspected:
+    case TraceKind::kHaDeadConfirmed:
+      std::snprintf(buf, sizeof(buf), "{\"peer\":%lld,\"silence_us\":%lld}", a, b);
+      break;
+    case TraceKind::kHomePromoted:
+      std::snprintf(buf, sizeof(buf), "{\"dead\":%lld,\"zone_bytes\":%lld}", a, b);
+      break;
+    case TraceKind::kEpochBump:
+      std::snprintf(buf, sizeof(buf), "{\"epoch\":%lld,\"dead\":%lld}", a, b);
+      break;
+    case TraceKind::kHaNack:
+      std::snprintf(buf, sizeof(buf), "{\"from\":%lld,\"service\":%lld}", a, b);
+      break;
+    case TraceKind::kCheckpoint:
+      std::snprintf(buf, sizeof(buf), "{\"backup\":%lld,\"bytes\":%lld}", a, b);
+      break;
     default:
       std::snprintf(buf, sizeof(buf), "{\"a\":%lld,\"b\":%lld}", a, b);
       break;
@@ -105,6 +128,16 @@ const char* event_category(TraceKind kind) {
     case TraceKind::kThreadStart:
     case TraceKind::kThreadMigrate:
       return "thread";
+    case TraceKind::kNodeCrash:
+    case TraceKind::kNodeRestart:
+    case TraceKind::kHaSuspected:
+    case TraceKind::kHaDeadConfirmed:
+    case TraceKind::kHomePromoted:
+    case TraceKind::kEpochBump:
+    case TraceKind::kHaRejoined:
+    case TraceKind::kHaNack:
+    case TraceKind::kCheckpoint:
+      return "ha";
   }
   return "protocol";
 }
@@ -151,6 +184,18 @@ class Emitter {
                   "\"pid\":%d,\"tid\":%d,\"args\":%s}",
                   name, cat, format_ts(begin).c_str(), format_ts(end - begin).c_str(), pid,
                   tid, args.c_str());
+    raw(buf);
+  }
+
+  // Counter track sample (ph "C"): one numeric series per (pid, name).
+  void counter(const char* name, Time at, int pid, const char* series,
+               std::int64_t value) {
+    char buf[192];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"name\":\"%s\",\"ph\":\"C\",\"ts\":%s,\"pid\":%d,"
+                  "\"args\":{\"%s\":%lld}}",
+                  name, format_ts(at).c_str(), pid, series,
+                  static_cast<long long>(value));
     raw(buf);
   }
 
@@ -234,7 +279,22 @@ void write_perfetto_trace(std::ostream& os, const TraceLog& log, const PerfettoO
   std::map<std::tuple<int, std::int64_t, std::int64_t>, Time> pending_enter;
   for (const TraceEvent& e : log.events()) {
     emit.instant(e);
+    // Epoch counter track: every kEpochBump bumps the cluster-wide routing
+    // epoch; a "C" sample on the promoting node's process makes the step
+    // visible as a staircase. HA-off runs record no such events, so the
+    // golden trace is unaffected.
+    if (e.kind == TraceKind::kEpochBump) {
+      emit.counter("cluster_epoch", e.at, e.node, "epoch", e.a);
+    }
     if (!opts.derive_slices) continue;
+    // node_down slice: kNodeCrash carries the scheduled restart time, so the
+    // whole outage window is known at crash time.
+    if (e.kind == TraceKind::kNodeCrash && e.a > 0) {
+      const Time up_at = static_cast<Time>(e.a) * kMicrosecond;
+      if (up_at > e.at) {
+        emit.slice("node_down", "ha", e.at, up_at, e.node, 0, event_args(e));
+      }
+    }
     if (e.kind == TraceKind::kUpdateSent) {
       const std::uint64_t id = next_flow_id++;
       update_flows[{e.node, static_cast<int>(e.a)}].push_back(id);

@@ -398,5 +398,85 @@ TEST(FaultVm, SynchronizedCounterIsExactUnderChaos) {
   }
 }
 
+// The shared-counter litmus, parameterized over the fault profile. When
+// `home_on_node` >= 0 the main thread migrates there to allocate the counter
+// (allocation home = allocating thread's node) so the profile's crash window
+// hits the object's home.
+std::int64_t synchronized_counter_run(dsm::ProtocolKind kind, const std::string& profile,
+                                      NodeId home_on_node, Stats* stats_out = nullptr) {
+  hyperion::VmConfig cfg;
+  cfg.cluster = ClusterParams::myrinet200();
+  cfg.cluster.fault = FaultProfile::parse(profile);
+  cfg.nodes = 4;
+  cfg.protocol = kind;
+  cfg.region_bytes = std::size_t{16} << 20;
+  hyperion::HyperionVM vm(cfg);
+  std::int64_t result = -1;
+  dsm::with_policy(kind, [&](auto policy) {
+    using P = decltype(policy);
+    vm.run_main([&](hyperion::JavaEnv& main) {
+      if (home_on_node > 0) main.migrate_to(home_on_node);
+      auto counter = main.new_cell<std::int64_t>(0);
+      if (home_on_node > 0) main.migrate_to(0);
+      std::vector<hyperion::JThread> workers;
+      for (int w = 0; w < 6; ++w) {
+        workers.push_back(
+            main.start_thread("w" + std::to_string(w), [=](hyperion::JavaEnv& env) {
+              hyperion::Mem<P> mem(env.ctx());
+              for (int i = 0; i < 40; ++i) {
+                env.synchronized(counter.addr,
+                                 [&] { mem.put(counter, mem.get(counter) + 1); });
+              }
+            }));
+      }
+      for (auto& w : workers) main.join(w);
+      hyperion::Mem<P> mem(main.ctx());
+      result = mem.get(counter);
+    });
+  });
+  if (stats_out != nullptr) *stats_out = vm.stats();
+  return result;
+}
+
+TEST(FaultVm, MonitorOpIdsAbsorbDupReorderAndCrashCombined) {
+  // The hardest combination for monitor exactly-once: duplicated and
+  // reordered packets AND the monitor's home dying mid-run. Grant requests
+  // replayed against the dead home must re-attach at the promoted home under
+  // the same op id — any double-apply shows up as a lost or extra increment.
+  for (auto kind : {dsm::ProtocolKind::kJavaIc, dsm::ProtocolKind::kJavaPf}) {
+    Stats stats;
+    const std::int64_t result = synchronized_counter_run(
+        kind, "dup2%,reorder3us,crash2@1ms+800us,seed=11", /*home_on_node=*/2, &stats);
+    EXPECT_EQ(result, 240) << dsm::protocol_name(kind);
+    // All three fault ingredients actually engaged.
+    EXPECT_GT(stats.get(Counter::kNetDupes), 0u) << dsm::protocol_name(kind);
+    EXPECT_EQ(stats.get(Counter::kHaPromotions), 1u) << dsm::protocol_name(kind);
+    EXPECT_GT(stats.get(Counter::kHaReroutes), 0u) << dsm::protocol_name(kind);
+  }
+}
+
+TEST(FaultVm, TinyDedupWindowStaysExact) {
+  // dedupwin=1 under heavy dup+reorder chaos: the bounded receiver window
+  // will forget sparse sequence numbers and re-deliver duplicates, so
+  // correctness must come from the layer above (monitor op ids, idempotent
+  // DSM applies) — the answer must still be exact.
+  for (auto kind : {dsm::ProtocolKind::kJavaIc, dsm::ProtocolKind::kJavaPf}) {
+    Stats stats;
+    const std::int64_t result = synchronized_counter_run(
+        kind, "dup20%,reorder5us,dedupwin=1,seed=13", /*home_on_node=*/-1, &stats);
+    EXPECT_EQ(result, 240) << dsm::protocol_name(kind);
+    EXPECT_GT(stats.get(Counter::kNetDupes), 0u) << dsm::protocol_name(kind);
+  }
+}
+
+TEST(FaultProfileParse, DedupWindowParsesAndRejectsZero) {
+  EXPECT_EQ(FaultProfile::parse("dedupwin=8").dedup_window, 8u);
+  EXPECT_EQ(FaultProfile::parse("drop1%,dedupwin=1,seed=2").dedup_window, 1u);
+}
+
+TEST(FaultProfileParseDeath, DedupWindowZeroIsRejected) {
+  EXPECT_DEATH(FaultProfile::parse("dedupwin=0"), "dedupwin");
+}
+
 }  // namespace
 }  // namespace hyp::cluster

@@ -1,0 +1,285 @@
+// High-availability subsystem tests (src/ha, docs/RECOVERY.md).
+//
+// Five layers of contract over a kill-and-recover run:
+//   1. detector timing — suspect/confirm latencies follow the FaultProfile's
+//      virtual-time constants exactly (trace-event deltas);
+//   2. backup promotion — the dead node's home zone moves to its ring
+//      successor, the epoch bumps, and shared state homed on the dead node
+//      stays readable and exact through the failover;
+//   3. monitor-table recovery — synchronized updates against an object homed
+//      on the crashed node lose nothing (the lost-update litmus, with the
+//      monitor's home failing over mid-run);
+//   4. restart/rejoin — the crashed node comes back without home authority
+//      and resumes as a cacher;
+//   5. determinism — a same-seed kill-and-recover run is byte-identical
+//      (tests/goldens/recovery_golden.txt; re-record only after a semantic
+//      change, with HYP_UPDATE_GOLDENS=1 ./ha_tests).
+//
+// The workload: the Java main thread migrates to the to-be-crashed node,
+// allocates the shared counter there (allocation home = allocating thread's
+// node), migrates back, and then six workers hammer it with synchronized
+// increments while the node dies and recovers underneath them.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cluster/trace.hpp"
+#include "dsm/access.hpp"
+#include "ha/ha.hpp"
+#include "hyperion/japi.hpp"
+#include "hyperion/vm.hpp"
+
+namespace hyp::ha {
+namespace {
+
+using cluster::TraceEvent;
+using cluster::TraceKind;
+
+constexpr cluster::NodeId kCrashNode = 2;
+constexpr int kNodes = 4;
+constexpr int kWorkers = 6;
+constexpr int kIncrements = 40;
+constexpr std::int64_t kExpected = std::int64_t{kWorkers} * kIncrements;
+
+struct HaRunResult {
+  std::int64_t counter = -1;
+  Time elapsed = 0;
+  Stats stats;
+  std::uint64_t events_processed = 0;
+  std::uint64_t context_switches = 0;
+  std::vector<TraceEvent> trace;
+  // Post-run HA state.
+  std::uint64_t epoch = 0;
+  cluster::NodeId promoted_for = -1;
+  cluster::NodeId zone2_home = -1;
+  bool backup_is_home = false;   // backup's presence says "home" for the page
+  bool crashed_is_home = true;   // crashed node's presence, after rejoin
+  dsm::Gva counter_addr = 0;
+};
+
+// One kill-and-recover run of the shared-counter workload. The crash window
+// (1ms + 800us) opens while the workers are mid-increment and closes before
+// they finish, so the run crosses crash -> suspect -> confirm -> promote ->
+// restart -> rejoin in-band.
+HaRunResult run_counter_with_crash(dsm::ProtocolKind kind, const std::string& profile) {
+  hyperion::VmConfig cfg;
+  cfg.cluster = cluster::ClusterParams::myrinet200();
+  cfg.cluster.fault = cluster::FaultProfile::parse(profile);
+  cfg.nodes = kNodes;
+  cfg.protocol = kind;
+  cfg.region_bytes = std::size_t{16} << 20;
+  cluster::TraceLog trace(1 << 16);
+  cfg.trace = &trace;
+
+  hyperion::HyperionVM vm(cfg);
+  HaRunResult out;
+  dsm::with_policy(kind, [&](auto policy) {
+    using P = decltype(policy);
+    vm.run_main([&](hyperion::JavaEnv& main) {
+      // Home the shared counter on the node that is about to die.
+      main.migrate_to(kCrashNode);
+      auto counter = main.new_cell<std::int64_t>(0);
+      out.counter_addr = counter.addr;
+      main.migrate_to(0);
+      std::vector<hyperion::JThread> workers;
+      for (int w = 0; w < kWorkers; ++w) {
+        workers.push_back(
+            main.start_thread("w" + std::to_string(w), [=](hyperion::JavaEnv& env) {
+              hyperion::Mem<P> mem(env.ctx());
+              for (int i = 0; i < kIncrements; ++i) {
+                env.synchronized(counter.addr,
+                                 [&] { mem.put(counter, mem.get(counter) + 1); });
+              }
+            }));
+      }
+      for (auto& w : workers) main.join(w);
+      hyperion::Mem<P> mem(main.ctx());
+      out.counter = mem.get(counter);
+    });
+  });
+
+  out.elapsed = vm.elapsed();
+  out.stats = vm.stats();
+  out.events_processed = vm.cluster().engine().events_processed();
+  out.context_switches = vm.cluster().engine().context_switches();
+  out.trace = trace.events();
+  EXPECT_NE(vm.ha(), nullptr) << "crash profile must engage the HA subsystem";
+  if (vm.ha() == nullptr) return out;
+  out.epoch = vm.ha()->epoch();
+  out.promoted_for = vm.ha()->promoted_for();
+  out.zone2_home = vm.ha()->home_node(kCrashNode);
+  const dsm::PageId page = vm.dsm().layout().page_of(out.counter_addr);
+  out.backup_is_home = vm.dsm().node_dsm(vm.ha()->backup_of(kCrashNode)).is_home(page);
+  out.crashed_is_home = vm.dsm().node_dsm(kCrashNode).is_home(page);
+  return out;
+}
+
+// First trace event of `kind`; fails the test when absent.
+const TraceEvent* find_event(const std::vector<TraceEvent>& events, TraceKind kind) {
+  for (const TraceEvent& e : events) {
+    if (e.kind == kind) return &e;
+  }
+  return nullptr;
+}
+
+std::uint64_t count_events(const std::vector<TraceEvent>& events, TraceKind kind) {
+  std::uint64_t n = 0;
+  for (const TraceEvent& e : events) n += e.kind == kind ? 1 : 0;
+  return n;
+}
+
+constexpr const char* kCrashProfile = "crash2@1ms+800us,seed=7";
+
+// --- 1. detector timing -----------------------------------------------------
+
+TEST(HaDetector, SuspectAndConfirmFollowConfiguredTimeouts) {
+  // Explicit tunables so the timing assertions are self-contained.
+  HaRunResult r = run_counter_with_crash(
+      dsm::ProtocolKind::kJavaPf,
+      "crash2@1ms+800us,hb=50us,suspect=200us,confirm=600us,seed=7");
+  const TraceEvent* crash = find_event(r.trace, TraceKind::kNodeCrash);
+  const TraceEvent* suspected = find_event(r.trace, TraceKind::kHaSuspected);
+  const TraceEvent* confirmed = find_event(r.trace, TraceKind::kHaDeadConfirmed);
+  ASSERT_NE(crash, nullptr);
+  ASSERT_NE(suspected, nullptr);
+  ASSERT_NE(confirmed, nullptr);
+  EXPECT_EQ(crash->node, kCrashNode);
+  EXPECT_EQ(crash->at, 1 * kMillisecond);
+  // The watcher is the ring successor. Silence is measured from the last
+  // heartbeat *before* the crash (up to hb_interval earlier than the crash
+  // itself) and verdicts land on the tick grid (up to hb_interval later), so
+  // each crash-relative latency is its timeout +/- one hb_interval.
+  EXPECT_EQ(suspected->node, kCrashNode + 1);
+  EXPECT_EQ(suspected->a, kCrashNode);
+  EXPECT_GE(suspected->at - crash->at, 150 * kMicrosecond);
+  EXPECT_LE(suspected->at - crash->at, 250 * kMicrosecond);
+  EXPECT_EQ(confirmed->node, kCrashNode + 1);
+  EXPECT_EQ(confirmed->a, kCrashNode);
+  EXPECT_GE(confirmed->at - crash->at, 550 * kMicrosecond);
+  EXPECT_LE(confirmed->at - crash->at, 650 * kMicrosecond);
+  // Exactly one failure, handled once.
+  EXPECT_EQ(count_events(r.trace, TraceKind::kHomePromoted), 1u);
+  EXPECT_EQ(count_events(r.trace, TraceKind::kEpochBump), 1u);
+  // Heartbeats flowed the whole run.
+  EXPECT_GT(r.stats.get(Counter::kHaHeartbeats), 0u);
+}
+
+// --- 2+3. promotion, epoch invalidation, monitor-table recovery -------------
+
+TEST(HaRecovery, CounterHomedOnCrashedNodeIsExactUnderBothProtocols) {
+  for (auto kind : {dsm::ProtocolKind::kJavaIc, dsm::ProtocolKind::kJavaPf}) {
+    HaRunResult r = run_counter_with_crash(kind, kCrashProfile);
+    // The lost-update litmus across a home failure: nothing lost, nothing
+    // double-applied (monitor op ids absorb replayed grant requests).
+    EXPECT_EQ(r.counter, kExpected) << dsm::protocol_name(kind);
+    // The failure was real and handled.
+    EXPECT_EQ(r.promoted_for, kCrashNode) << dsm::protocol_name(kind);
+    EXPECT_EQ(r.epoch, 1u) << dsm::protocol_name(kind);
+    EXPECT_EQ(r.stats.get(Counter::kHaPromotions), 1u) << dsm::protocol_name(kind);
+    // At least one blocked caller re-routed to the promoted home.
+    EXPECT_GT(r.stats.get(Counter::kHaReroutes), 0u) << dsm::protocol_name(kind);
+    // Recovery latency histogram: exactly one promotion, between the confirm
+    // timeout (minus one heartbeat of pre-crash silence) and the crash
+    // duration.
+    const auto& h = r.stats.hist(Hist::kRecoveryLatency);
+    ASSERT_EQ(h.count(), 1u) << dsm::protocol_name(kind);
+    EXPECT_GE(h.min(), 550 * kMicrosecond) << dsm::protocol_name(kind);
+    EXPECT_LE(h.max(), 800 * kMicrosecond) << dsm::protocol_name(kind);
+  }
+}
+
+// --- 4. restart / rejoin ----------------------------------------------------
+
+TEST(HaRecovery, RestartedNodeRejoinsAsCacherHomeStaysAtBackup) {
+  HaRunResult r = run_counter_with_crash(dsm::ProtocolKind::kJavaPf, kCrashProfile);
+  // Routing: the dead zone moved to the ring successor and stays there.
+  EXPECT_EQ(r.zone2_home, kCrashNode + 1);
+  // Presence: the backup holds the zone's pages as home; the restarted node
+  // demoted its copies (it may re-cache them, but without home authority).
+  EXPECT_TRUE(r.backup_is_home);
+  EXPECT_FALSE(r.crashed_is_home);
+  // The rejoin actually happened in-band (the run outlived the window).
+  EXPECT_EQ(count_events(r.trace, TraceKind::kNodeRestart), 1u);
+  EXPECT_EQ(count_events(r.trace, TraceKind::kHaRejoined), 1u);
+  const TraceEvent* rejoined = find_event(r.trace, TraceKind::kHaRejoined);
+  ASSERT_NE(rejoined, nullptr);
+  EXPECT_EQ(rejoined->node, kCrashNode);
+  EXPECT_EQ(rejoined->at, 1 * kMillisecond + 800 * kMicrosecond);
+  EXPECT_GT(r.elapsed, rejoined->at);  // workers finished after the rejoin
+}
+
+// --- 5. determinism golden ---------------------------------------------------
+
+#ifndef HYP_RECOVERY_GOLDEN_FILE
+#error "HYP_RECOVERY_GOLDEN_FILE must point at the recorded goldens"
+#endif
+
+std::string golden_line(dsm::ProtocolKind kind, const HaRunResult& r) {
+  std::uint64_t value_bits = 0;
+  const double value = static_cast<double>(r.counter);
+  static_assert(sizeof(value_bits) == sizeof(value));
+  std::memcpy(&value_bits, &value, sizeof(value_bits));
+  std::ostringstream os;
+  os << "counter_crash " << dsm::protocol_name(kind) << " n" << kNodes
+     << " value_bits=" << value_bits << " elapsed=" << r.elapsed
+     << " events=" << r.events_processed << " switches=" << r.context_switches;
+  for (const auto& [name, v] : r.stats.nonzero()) os << ' ' << name << '=' << v;
+  return os.str();
+}
+
+TEST(HaRecoveryGolden, SameSeedKillAndRecoverIsBitIdentical) {
+  std::vector<std::string> lines;
+  std::map<std::string, std::string> actual;
+  for (auto kind : {dsm::ProtocolKind::kJavaIc, dsm::ProtocolKind::kJavaPf}) {
+    // Two same-seed runs inside this binary must agree before either is
+    // compared to the recorded golden.
+    HaRunResult a = run_counter_with_crash(kind, kCrashProfile);
+    HaRunResult b = run_counter_with_crash(kind, kCrashProfile);
+    const std::string line = golden_line(kind, a);
+    ASSERT_EQ(line, golden_line(kind, b)) << "same-seed rerun diverged";
+    lines.push_back(line);
+    actual[std::string("counter_crash ") + dsm::protocol_name(kind)] = line;
+  }
+
+  if (std::getenv("HYP_UPDATE_GOLDENS") != nullptr) {
+    std::ofstream out(HYP_RECOVERY_GOLDEN_FILE);
+    ASSERT_TRUE(out.good()) << "cannot write " << HYP_RECOVERY_GOLDEN_FILE;
+    out << "# Recovery goldens: shared-counter workload (6 workers x 40\n"
+           "# synchronized increments, counter homed on node 2) on myri200 x4\n"
+           "# under crash2@1ms+800us,seed=7, both protocols. A same-seed\n"
+           "# kill-and-recover run must stay byte-identical; re-record with\n"
+           "# HYP_UPDATE_GOLDENS=1 ./ha_tests and justify the semantic change\n"
+           "# in the commit message.\n";
+    for (const auto& line : lines) out << line << '\n';
+    GTEST_SKIP() << "goldens re-recorded at " << HYP_RECOVERY_GOLDEN_FILE;
+  }
+
+  std::ifstream in(HYP_RECOVERY_GOLDEN_FILE);
+  ASSERT_TRUE(in.good()) << "missing goldens; record with HYP_UPDATE_GOLDENS=1";
+  std::map<std::string, std::string> expected;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream is(line);
+    std::string a, b;
+    is >> a >> b;
+    expected[a + ' ' + b] = line;
+  }
+  ASSERT_EQ(expected.size(), actual.size()) << "golden file is stale";
+  for (const auto& [key, want] : expected) {
+    auto it = actual.find(key);
+    ASSERT_NE(it, actual.end()) << "no run for golden point " << key;
+    EXPECT_EQ(it->second, want)
+        << "kill-and-recover drifted at " << key << "\n  expected: " << want
+        << "\n  actual:   " << it->second;
+  }
+}
+
+}  // namespace
+}  // namespace hyp::ha
