@@ -1,7 +1,8 @@
 // sweep_faults: answer stability and retry-latency under injected faults.
 //
-// Two sweeps over the Pi benchmark (monitor-guarded global accumulator — the
-// simplest workload that exercises both DSM updates and remote monitor RPCs):
+// Three sweeps over the Pi benchmark (monitor-guarded global accumulator —
+// the simplest workload that exercises both DSM updates and remote monitor
+// RPCs):
 //
 //   1. drop-rate sweep — the answer must match the fault-free baseline at
 //      every drop rate (the reliable transport hides loss; only timing may
@@ -11,6 +12,11 @@
 //      (retry_latency_ps in the metrics JSON): the paper-style trade-off
 //      between eager retransmits (more duplicate traffic) and patient ones
 //      (longer stalls behind each loss).
+//   3. replicas sweep — a fixed mid-run kill-and-recover, varying the chain
+//      backup depth K (docs/RECOVERY.md): checkpoint traffic grows with K
+//      (every zone streams to K backups) while the recovery overhead — the
+//      virtual time the crash costs over the fault-free baseline — stays a
+//      property of the crash window, not of K.
 //
 // Every point lands in the hyp-metrics-v1 JSON (--metrics-out), so two runs
 // are diffable with scripts/compare_metrics.py, e.g.
@@ -71,6 +77,19 @@ struct Point {
   Time retry_sum = 0;             // and their total wait
 };
 
+// One row of the replicas sweep (kill-and-recover with K chain backups).
+struct RecoveryPoint {
+  std::string label;
+  std::string protocol;
+  double value = 0;
+  double baseline = 0;
+  Time elapsed = 0;
+  Time base_elapsed = 0;  // fault-free run; overhead = elapsed - base_elapsed
+  std::uint64_t promotions = 0;
+  std::uint64_t ckpt_msgs = 0;
+  std::uint64_t ckpt_bytes = 0;
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -87,6 +106,9 @@ int main(int argc, char** argv) {
       .flag_string("drops", "2,5,10,20", "drop rates to sweep, in percent")
       .flag_string("rtos", "100,200,500", "initial rto values to sweep, in us")
       .flag_double("rto-drop", 10.0, "drop rate (percent) held fixed for the rto sweep")
+      .flag_string("replicas", "1,2,3", "chain backup depths K for the recovery sweep")
+      .flag_string("crash", "crash2@3ms+2ms",
+                   "kill-and-recover window held fixed for the replicas sweep")
       .flag_int("seed", 7, "fault-injector seed shared by every faulty point");
   if (!cli.parse(argc, argv)) return 0;
 
@@ -96,6 +118,13 @@ int main(int argc, char** argv) {
   pi.intervals = cli.get_int("intervals");
   const auto drops = parse_list(cli.get_string("drops"), "drops");
   const auto rtos = parse_list(cli.get_string("rtos"), "rtos");
+  const auto replicas = parse_list(cli.get_string("replicas"), "replicas");
+  for (double k : replicas) {
+    if (k < 1 || k != static_cast<double>(static_cast<std::uint32_t>(k))) {
+      std::fprintf(stderr, "sweep_faults: --replicas entries must be integers >= 1\n");
+      return 2;
+    }
+  }
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
 
   bench::ObsRecorder obs;
@@ -126,6 +155,7 @@ int main(int argc, char** argv) {
   };
 
   std::vector<Point> points;
+  std::vector<RecoveryPoint> recovery_points;
   bool stable = true;
   for (auto kind : {dsm::ProtocolKind::kJavaIc, dsm::ProtocolKind::kJavaPf}) {
     const std::string proto = dsm::protocol_name(kind);
@@ -167,6 +197,36 @@ int main(int argc, char** argv) {
                     rto_us);
       record(run_point(kind, fault_for(cli.get_double("rto-drop"), rto), label), label);
     }
+    // --- sweep 3: kill-and-recover vs. chain backup depth K ----------------
+    // The crash window is held fixed; K is the variable. Each point parses a
+    // fresh profile (the chaos ingredients of the recorder's base profile
+    // would perturb the recovery timing this sweep is isolating).
+    for (double k : replicas) {
+      char spec[128];
+      std::snprintf(spec, sizeof(spec), "replicas=%u,%s,seed=%" PRIu64,
+                    static_cast<unsigned>(k), cli.get_string("crash").c_str(), seed);
+      char label[64];
+      std::snprintf(label, sizeof(label), "recover/K=%u", static_cast<unsigned>(k));
+      const apps::RunResult r =
+          run_point(kind, cluster::FaultProfile::parse(spec), label);
+      RecoveryPoint p;
+      p.label = label;
+      p.protocol = proto;
+      p.value = r.value;
+      p.baseline = base.value;
+      p.elapsed = r.elapsed;
+      p.base_elapsed = base.elapsed;
+      const auto counters = r.stats.nonzero();
+      auto cnt = [&](const char* name) {
+        auto it = counters.find(name);
+        return it == counters.end() ? std::uint64_t{0} : it->second;
+      };
+      p.promotions = cnt("ha_promotions");
+      p.ckpt_msgs = cnt("ha_checkpoint_msgs");
+      p.ckpt_bytes = cnt("ha_checkpoint_bytes");
+      stable = stable && (p.value == p.baseline);
+      recovery_points.push_back(std::move(p));
+    }
   }
 
   // --- answer-stability table ----------------------------------------------
@@ -183,6 +243,21 @@ int main(int argc, char** argv) {
                    fmt_double(mean_us, 3)});
   }
   table.write_pretty(std::cout);
+
+  // --- recovery-vs-K table ---------------------------------------------------
+  Table rec({"point", "protocol", "value", "stable", "seconds", "recovery overhead (s)",
+             "promotions", "ckpt msgs", "ckpt bytes"});
+  for (const auto& p : recovery_points) {
+    const double overhead =
+        to_seconds(p.elapsed > p.base_elapsed ? p.elapsed - p.base_elapsed : 0);
+    rec.add_row({p.label, p.protocol, fmt_double(p.value, 6),
+                 p.value == p.baseline ? "yes" : "NO", fmt_double(to_seconds(p.elapsed), 6),
+                 fmt_double(overhead, 6), fmt_u64(p.promotions), fmt_u64(p.ckpt_msgs),
+                 fmt_u64(p.ckpt_bytes)});
+  }
+  std::printf("\n");
+  rec.write_pretty(std::cout);
+
   std::printf("\nanswer stability: %s\n",
               stable ? "every faulty point reproduced its fault-free value"
                      : "DIVERGED — see table");

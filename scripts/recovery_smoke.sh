@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Recovery smoke (the ctest `recovery_smoke` entry, docs/RECOVERY.md):
-# one figure benchmark with a mid-run node crash/restart must
+# one figure benchmark with mid-run node crash/restart must
 #
 #   1. actually exercise the HA path (the trace contains a home promotion
 #      and a rejoin),
@@ -8,6 +8,10 @@
 #      protocols, and
 #   3. be byte-identical on a same-seed rerun (kill-and-recover is as
 #      deterministic as a quiet run).
+#
+# Two phases: the historical single-crash profile (K=1 ring successor), then
+# a multi-failure profile — two distinct nodes dying in sequence under K=2
+# chain replication — with the same three assertions.
 #
 # Usage: scripts/recovery_smoke.sh [build-dir]       (default: build)
 set -euo pipefail
@@ -20,7 +24,6 @@ FIG="$BUILD/bench/fig1_pi"
   exit 2
 }
 
-PROFILE='crash2@3ms+2ms,seed=7'
 WORK="$(mktemp -d)"
 trap 'rm -rf "$WORK"' EXIT
 
@@ -41,45 +44,65 @@ run() {
 }
 
 # Myrinet sweep only: its --quick points (1, 4, 12 nodes) cover inert
-# (1 node: no node 2), mid-cluster and full-cluster crash placements.
+# (1 node: no crashed nodes), mid-cluster and full-cluster crash placements.
 run "$WORK/base.txt" "$FIG" --quick --no-sci
 answers "$WORK/base.txt" > "$WORK/base.ans"
 n_points=$(wc -l < "$WORK/base.ans")
 
-run "$WORK/crash.txt" "$FIG" --quick --no-sci --fault-profile="$PROFILE" \
-    --trace-out "$WORK/crash_trace.json"
-answers "$WORK/crash.txt" > "$WORK/crash.ans"
+# Runs one kill-and-recover profile through assertions 1–3. $1 is a label
+# used for scratch files, $2 the fault profile.
+check_profile() {
+  local tag="$1" profile="$2"
 
-# 1. the crash really engaged HA on the multi-node points.
-for ev in node_crash home_promoted epoch_bump ha_rejoined node_restart; do
-  if ! grep -q "\"$ev\"" "$WORK/crash_trace.json"; then
-    echo "recovery_smoke: FAIL — trace is missing '$ev' (HA never engaged?)" >&2
+  run "$WORK/$tag.txt" "$FIG" --quick --no-sci --fault-profile="$profile" \
+      --trace-out "$WORK/$tag.trace.json"
+  answers "$WORK/$tag.txt" > "$WORK/$tag.ans"
+
+  # 1. the crash really engaged HA on the multi-node points.
+  local ev
+  for ev in node_crash home_promoted epoch_bump ha_rejoined node_restart; do
+    if ! grep -q "\"$ev\"" "$WORK/$tag.trace.json"; then
+      echo "recovery_smoke: FAIL — '$profile' trace is missing '$ev'" \
+           "(HA never engaged?)" >&2
+      exit 1
+    fi
+  done
+
+  # 2. exact fault-free answers.
+  if ! cmp -s "$WORK/base.ans" "$WORK/$tag.ans"; then
+    echo "recovery_smoke: FAIL — answers diverged under '$profile'" >&2
+    diff "$WORK/base.ans" "$WORK/$tag.ans" >&2 || true
     exit 1
   fi
-done
 
-# 2. exact fault-free answers.
-if ! cmp -s "$WORK/base.ans" "$WORK/crash.ans"; then
-  echo "recovery_smoke: FAIL — answers diverged under '$PROFILE'" >&2
-  diff "$WORK/base.ans" "$WORK/crash.ans" >&2 || true
-  exit 1
-fi
+  # 3. same-seed kill-and-recover rerun is byte-identical — the stdout
+  # (modulo the trace-file path line) AND the exported trace itself.
+  run "$WORK/$tag.rerun.txt" "$FIG" --quick --no-sci --fault-profile="$profile" \
+      --trace-out "$WORK/$tag.trace2.json"
+  grep -v '^trace written' "$WORK/$tag.txt" > "$WORK/$tag.cmp"
+  grep -v '^trace written' "$WORK/$tag.rerun.txt" > "$WORK/$tag.rerun.cmp"
+  if ! cmp -s "$WORK/$tag.cmp" "$WORK/$tag.rerun.cmp"; then
+    echo "recovery_smoke: FAIL — same-seed rerun not byte-identical" \
+         "under '$profile'" >&2
+    diff "$WORK/$tag.cmp" "$WORK/$tag.rerun.cmp" >&2 || true
+    exit 1
+  fi
+  if ! cmp -s "$WORK/$tag.trace.json" "$WORK/$tag.trace2.json"; then
+    echo "recovery_smoke: FAIL — same-seed rerun produced a different trace" \
+         "under '$profile'" >&2
+    exit 1
+  fi
+  echo "recovery_smoke: '$profile' reproduced the fault-free answers" \
+       "($n_points points, rerun byte-identical)"
+}
 
-# 3. same-seed kill-and-recover rerun is byte-identical — the stdout (modulo
-# the trace-file path line) AND the exported trace itself.
-run "$WORK/crash2.txt" "$FIG" --quick --no-sci --fault-profile="$PROFILE" \
-    --trace-out "$WORK/crash_trace2.json"
-grep -v '^trace written' "$WORK/crash.txt" > "$WORK/crash.cmp"
-grep -v '^trace written' "$WORK/crash2.txt" > "$WORK/crash2.cmp"
-if ! cmp -s "$WORK/crash.cmp" "$WORK/crash2.cmp"; then
-  echo "recovery_smoke: FAIL — same-seed rerun not byte-identical" >&2
-  diff "$WORK/crash.cmp" "$WORK/crash2.cmp" >&2 || true
-  exit 1
-fi
-if ! cmp -s "$WORK/crash_trace.json" "$WORK/crash_trace2.json"; then
-  echo "recovery_smoke: FAIL — same-seed rerun produced a different trace" >&2
-  exit 1
-fi
+# Phase 1: the historical single crash (default replicas=1, ring successor).
+check_profile crash 'crash2@3ms+2ms,seed=7'
 
-echo "recovery_smoke: fig1 reproduced the fault-free answers through a" \
-     "kill-and-recover run ($n_points points, rerun byte-identical)"
+# Phase 2: sequential double failure under K=2 chain backups. Node 1 dies and
+# recovers, then node 2 dies; every zone keeps at least one of its three
+# copies alive, so the run must still land on the exact answers.
+check_profile multi 'replicas=2,crash1@3ms+2ms,crash2@8ms+2ms,seed=7'
+
+echo "recovery_smoke: fig1 survived single and multi-failure kill-and-recover" \
+     "runs ($n_points points each)"

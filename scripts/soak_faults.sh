@@ -36,10 +36,16 @@ PROFILES=(
   # layer (docs/RECOVERY.md) must fail its homes over and still produce the
   # exact fault-free answers. Inert on 1-node sweep points (no node 2).
   'crash2@3ms+2ms,seed=7'
+  # Multi-failure: two distinct nodes die in sequence under K=2 chain
+  # replication (docs/RECOVERY.md). No zone ever loses all three copies, so
+  # the answers must again be exactly fault-free. Windows naming absent
+  # nodes are inert on small sweep points.
+  'replicas=2,crash1@3ms+2ms,crash2@8ms+2ms,seed=7'
 )
 if [[ "${SOAK_SMOKE:-0}" == "1" ]]; then
   FIGS=(fig1_pi)
-  PROFILES=('drop2%,dup1%,reorder5us,seed=7' 'crash2@3ms+2ms,seed=7')
+  PROFILES=('drop2%,dup1%,reorder5us,seed=7' 'crash2@3ms+2ms,seed=7'
+            'replicas=2,crash1@3ms+2ms,crash2@8ms+2ms,seed=7')
 fi
 
 WORK="$(mktemp -d)"

@@ -37,8 +37,17 @@ struct HaHooks {
   virtual Time retry_hold(NodeId target, Time now) const = 0;
 
   // Accounts home-state replication traffic (incremental checkpoints from
-  // home `home` to its backup); bytes land in kHaCheckpointBytes.
+  // home `home` to its chain backups). In the classic piggyback mode the
+  // bytes land in kHaCheckpointBytes directly; with the modeled checkpoint
+  // stream enabled (replicas > 1 or ckpt_bw set) this emits real cluster
+  // messages down the chain instead (docs/RECOVERY.md).
   virtual void note_checkpoint(NodeId home, std::uint64_t bytes) = 0;
+
+  // Replication depth K (FaultProfile::replicas): each home's state is held
+  // by its K ring successors. 1 = the classic single-failure model. The DSM
+  // uses this to keep update batches zone-pure when K > 1 (two zones homed
+  // at one node today may be re-elected to *different* nodes tomorrow).
+  virtual std::uint32_t replicas() const = 0;
 };
 
 }  // namespace hyp::cluster

@@ -20,15 +20,25 @@ namespace hyp::cluster {
 //              | 'rto=' FLOAT ('us'|'ms') | 'timeout=' FLOAT ('us'|'ms')
 //              | 'dedupwin=' INT | 'hb=' FLOAT ('us'|'ms')
 //              | 'suspect=' FLOAT ('us'|'ms') | 'confirm=' FLOAT ('us'|'ms')
+//              | 'replicas=' INT | 'ckpt_bw=' FLOAT        (MB/s)
+//
+// Rejections are CLI errors: a diagnostic on stderr citing the grammar and
+// exit(2), never a mid-run abort — the profile is fully validated (including
+// the crash-schedule semantics the HA subsystem needs) before any simulation
+// state exists.
 
 namespace {
 
 [[noreturn]] void bad_profile(const std::string& spec, const std::string& token,
-                              const char* why) {
-  HYP_PANIC("malformed --fault-profile '" + spec + "' at token '" + token + "': " + why +
-            "\n  grammar: drop2%,dup1%,corrupt0.5%,reorder5us,stall1@300us+200us,"
-            "blackout0@1ms+500us,crash2@1ms+800us,seed=N,retries=N,backoff=N,"
-            "rto=100us,timeout=5ms,dedupwin=N,hb=50us,suspect=200us,confirm=600us");
+                              const std::string& why) {
+  std::fprintf(stderr,
+               "malformed --fault-profile '%s' at token '%s': %s\n"
+               "  grammar: drop2%%,dup1%%,corrupt0.5%%,reorder5us,stall1@300us+200us,"
+               "blackout0@1ms+500us,crash2@1ms+800us,seed=N,retries=N,backoff=N,"
+               "rto=100us,timeout=5ms,dedupwin=N,hb=50us,suspect=200us,confirm=600us,"
+               "replicas=K,ckpt_bw=8\n",
+               spec.c_str(), token.c_str(), why.c_str());
+  std::exit(2);
 }
 
 // Parses "<float><us|ms>" starting at `s`; panics via bad_profile on junk.
@@ -122,17 +132,32 @@ FaultProfile FaultProfile::parse(const std::string& spec) {
       if (*rest != '\0' || p.confirm_after == 0) {
         bad_profile(spec, token, "confirm wants a duration > 0");
       }
+    } else if (starts_with(token, "replicas=", &n)) {
+      p.replicas = static_cast<std::uint32_t>(std::strtoul(token.c_str() + n, &end, 10));
+      if (*end != '\0' || p.replicas == 0) bad_profile(spec, token, "replicas wants >= 1");
+    } else if (starts_with(token, "ckpt_bw=", &n)) {
+      const double mbps = std::strtod(token.c_str() + n, &end);
+      if (end == token.c_str() + n || *end != '\0' || mbps <= 0) {
+        bad_profile(spec, token, "ckpt_bw wants a bandwidth in MB/s > 0");
+      }
+      p.ckpt_bw = static_cast<std::uint64_t>(mbps * 1e6 + 0.5);
     } else if (starts_with(token, "crash", &n)) {
       FaultWindow w;
       w.node = static_cast<NodeId>(std::strtol(token.c_str() + n, &end, 10));
       if (end == token.c_str() + n || *end != '@' || w.node < 0) {
         bad_profile(spec, token, "expected <node>@<start><us|ms>+<dur><us|ms>");
       }
+      if (w.node == 0) {
+        bad_profile(spec, token, "node 0 hosts the Java main thread and cannot crash");
+      }
       const char* rest = nullptr;
       w.start = parse_duration(spec, token, end + 1, &rest);
       if (*rest != '+') bad_profile(spec, token, "expected '+<dur>' after the window start");
       w.duration = parse_duration(spec, token, rest + 1, &rest);
       if (*rest != '\0' || w.duration <= 0) bad_profile(spec, token, "bad window duration");
+      if (w.start <= 0) {
+        bad_profile(spec, token, "crash window needs a positive start and duration");
+      }
       p.crashes.push_back(w);
     } else if (starts_with(token, "drop", &n)) {
       p.drop_ppm = parse_percent_ppm(spec, token, token.c_str() + n);
@@ -157,8 +182,32 @@ FaultProfile FaultProfile::parse(const std::string& spec) {
       w.duration = parse_duration(spec, token, rest + 1, &rest);
       if (*rest != '\0' || w.duration <= 0) bad_profile(spec, token, "bad window duration");
       p.windows.push_back(w);
+    } else if (token == "off") {
+      // The display form of an empty profile (to_string of a default
+      // profile), accepted so every to_string() output parses back.
     } else {
       bad_profile(spec, token, "unknown token");
+    }
+  }
+
+  // --- cross-token semantic validation (still parse time: CLI error, not a
+  // mid-run abort). The crash schedule is what the HA subsystem will execute
+  // verbatim, so everything it used to HYP_CHECK in HaManager::start() is
+  // rejected here instead.
+  if (!p.crashes.empty()) {
+    if (!(p.hb_interval > 0 && p.suspect_after >= p.hb_interval &&
+          p.confirm_after > p.suspect_after)) {
+      bad_profile(spec, "crash", "detector tuning wants hb <= suspect < confirm");
+    }
+    for (std::size_t i = 0; i < p.crashes.size(); ++i) {
+      for (std::size_t j = i + 1; j < p.crashes.size(); ++j) {
+        const FaultWindow& a = p.crashes[i];
+        const FaultWindow& b = p.crashes[j];
+        if (a.node == b.node && a.start < b.end() && b.start < a.end()) {
+          bad_profile(spec, "crash" + std::to_string(a.node),
+                      "a node's crash windows must not overlap each other");
+        }
+      }
     }
   }
   return p;
@@ -175,6 +224,11 @@ std::string FaultProfile::to_string() const {
     if (t % kMillisecond == 0 && t >= kMillisecond) {
       std::snprintf(buf, sizeof(buf), "%llums",
                     static_cast<unsigned long long>(t / kMillisecond));
+    } else if (t % kMicrosecond == 0) {
+      // Exact integer microseconds: %g would lose precision on large values,
+      // breaking the to_string -> parse round-trip.
+      std::snprintf(buf, sizeof(buf), "%lluus",
+                    static_cast<unsigned long long>(t / kMicrosecond));
     } else {
       std::snprintf(buf, sizeof(buf), "%gus",
                     static_cast<double>(t) / static_cast<double>(kMicrosecond));
@@ -198,17 +252,30 @@ std::string FaultProfile::to_string() const {
     add("crash" + std::to_string(c.node) + "@" + dur(c.start) + "+" + dur(c.duration));
   }
   if (seed != 0) add("seed=" + std::to_string(seed));
-  if (lossy()) {
-    add("rto=" + dur(rto_initial));
+  // Emit every field that differs from a default-constructed profile, so
+  // parse(to_string()) reproduces the profile exactly for every token type
+  // (pinned by fault_test's round-trip cases). The defaults stay implicit:
+  // "off" round-trips to a default profile.
+  const FaultProfile defaults;
+  if (rto_initial != defaults.rto_initial || lossy()) add("rto=" + dur(rto_initial));
+  if (max_retries != defaults.max_retries || lossy()) {
     add("retries=" + std::to_string(max_retries));
-    if (rto_backoff != 2) add("backoff=" + std::to_string(rto_backoff));
-    if (call_timeout != 0) add("timeout=" + dur(call_timeout));
-    if (dedup_window != 0) add("dedupwin=" + std::to_string(dedup_window));
   }
-  if (!crashes.empty()) {
-    add("hb=" + dur(hb_interval));
+  if (rto_backoff != defaults.rto_backoff) add("backoff=" + std::to_string(rto_backoff));
+  if (call_timeout != 0) add("timeout=" + dur(call_timeout));
+  if (dedup_window != 0) add("dedupwin=" + std::to_string(dedup_window));
+  if (hb_interval != defaults.hb_interval || !crashes.empty()) add("hb=" + dur(hb_interval));
+  if (suspect_after != defaults.suspect_after || !crashes.empty()) {
     add("suspect=" + dur(suspect_after));
+  }
+  if (confirm_after != defaults.confirm_after || !crashes.empty()) {
     add("confirm=" + dur(confirm_after));
+  }
+  if (replicas != 1) add("replicas=" + std::to_string(replicas));
+  if (ckpt_bw != 0) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "ckpt_bw=%g", static_cast<double>(ckpt_bw) / 1e6);
+    add(buf);
   }
   return out.empty() ? "off" : out;
 }

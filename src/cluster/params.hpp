@@ -104,12 +104,26 @@ struct FaultProfile {
   // Failure-detector tuning (engaged only when crashes are scheduled).
   // Heartbeats ride an out-of-band management path (not the faultable data
   // transport); their latency is folded into suspect_after. Each node
-  // heartbeats its ring successor every hb_interval; the successor suspects
-  // its predecessor after suspect_after of silence and confirms it dead —
-  // promoting itself for the dead node's home zone — after confirm_after.
+  // heartbeats its ring successor every hb_interval; every chain watcher
+  // suspects a silent predecessor after suspect_after and confirms it dead —
+  // triggering re-election of its home zones — after confirm_after.
   Time hb_interval = 50 * kMicrosecond;
   Time suspect_after = 200 * kMicrosecond;
   Time confirm_after = 600 * kMicrosecond;
+
+  // Replication depth for HA home-state backups (docs/RECOVERY.md): each
+  // home's zone is checkpointed to its `replicas` ring successors in chain
+  // order, so any K simultaneous failures that leave one of the K+1 copies
+  // alive are survivable. 1 (the default) is the classic single-failure
+  // ring-successor model. Token `replicas=K` (K >= 1).
+  std::uint32_t replicas = 1;
+
+  // Checkpoint-stream bandwidth budget in bytes/second; 0 (default) keeps
+  // the incremental checkpoints as piggyback accounting on the consistency
+  // traffic. Non-zero (or replicas > 1) turns the checkpoint stream into
+  // real cluster messages — traced, faultable, and paced so consecutive
+  // checkpoints from one home never exceed this rate. Token `ckpt_bw=<MB/s>`.
+  std::uint64_t ckpt_bw = 0;
 
   // Lossy features require the ack/retransmit transport; pure reorder (the
   // old jitter knob) is delay-only and keeps the one-event-per-message path.
@@ -184,8 +198,12 @@ struct FaultProfile {
   static constexpr std::uint64_t kSaltReorder = 0x04;
   static constexpr std::uint64_t kSaltDupDelay = 0x05;
 
-  // Parses the --fault-profile grammar; HYP_PANICs on malformed specs with a
-  // message citing the grammar. An empty spec yields the default (off).
+  // Parses the --fault-profile grammar. Malformed or semantically invalid
+  // specs (crash on node 0, zero-start crash windows, detector tunings that
+  // violate hb <= suspect < confirm, overlapping same-node crash windows,
+  // replicas=0, ...) are rejected at parse time: a clear CLI diagnostic on
+  // stderr citing the grammar, then exit(2) — never a mid-run abort. An
+  // empty spec yields the default (off).
   static FaultProfile parse(const std::string& spec);
   // Canonical round-trippable rendering (diagnostics, bench banners).
   std::string to_string() const;

@@ -4,7 +4,7 @@
 
 namespace hyp::cluster {
 
-static_assert(static_cast<int>(TraceKind::kCheckpoint) + 1 == kTraceKindCount,
+static_assert(static_cast<int>(TraceKind::kCheckpointApplied) + 1 == kTraceKindCount,
               "kTraceKindCount out of sync with TraceKind");
 
 const char* trace_kind_name(TraceKind kind) {
@@ -34,6 +34,7 @@ const char* trace_kind_name(TraceKind kind) {
     case TraceKind::kHaRejoined: return "ha_rejoined";
     case TraceKind::kHaNack: return "ha_nack";
     case TraceKind::kCheckpoint: return "checkpoint";
+    case TraceKind::kCheckpointApplied: return "checkpoint_applied";
   }
   return "?";
 }

@@ -50,11 +50,15 @@ enum class TraceKind : std::uint8_t {
   kEpochBump,        // a=new epoch, b=dead node
   kHaRejoined,       // a=epoch at rejoin (node = restarted node)
   kHaNack,           // a=requesting node, b=service (stale-home request refused)
-  kCheckpoint,       // a=backup node, b=bytes (home-state replication traffic)
+  kCheckpoint,       // a=dest (chain member), b=message bytes (home-state
+                     // replication traffic; one event per checkpoint message
+                     // transmitted, or per piggyback batch in legacy mode)
+  kCheckpointApplied,// a=origin home, b=message bytes (chain member absorbed
+                     // a checkpoint message from the modeled stream)
 };
 
 // Keep in sync with the enum above (drop accounting is per kind).
-inline constexpr int kTraceKindCount = 25;
+inline constexpr int kTraceKindCount = 26;
 
 const char* trace_kind_name(TraceKind kind);
 

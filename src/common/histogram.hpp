@@ -16,9 +16,11 @@
 //   - exact merging: per-node histograms aggregate by bucket-wise addition.
 //
 // Bucketing: value 0 lands in bucket 0; a nonzero value v lands in bucket
-// bit_width(v), i.e. bucket k holds [2^(k-1), 2^k). The largest uint64 value
-// lands in bucket 64, so kBuckets = 65 covers the full domain with no
-// overflow bucket.
+// bit_width(v), i.e. bucket k (0 < k < 64) holds [2^(k-1), 2^k - 1] and the
+// top bucket 64 saturates to [2^63, UINT64_MAX] — both bounds *inclusive*,
+// so every bucket's bounds are themselves representable uint64 values and
+// record(UINT64_MAX) lands inside (not past) bucket_upper(64). kBuckets = 65
+// covers the full domain with no overflow bucket.
 #pragma once
 
 #include <bit>
@@ -33,16 +35,20 @@ class Log2Histogram {
   static constexpr int bucket_of(std::uint64_t v) {
     return v == 0 ? 0 : std::bit_width(v);
   }
-  // Inclusive lower bound of bucket i (0 for buckets 0 and... bucket 1 is
-  // exactly [1,2)); callers labeling buckets use [lower, upper) bounds.
+  // Inclusive lower bound of bucket i: bucket 0 holds exactly {0}, bucket
+  // k > 0 starts at 2^(k-1). Callers labeling buckets use the inclusive
+  // [lower, upper] pair below.
   static constexpr std::uint64_t bucket_lower(int i) {
     return i <= 0 ? 0 : (std::uint64_t{1} << (i - 1));
   }
-  // Exclusive upper bound; bucket 64's upper bound saturates to UINT64_MAX.
+  // Inclusive upper bound of bucket i. Bucket 0 holds exactly {0}; bucket
+  // k < 64 tops out at 2^k - 1; bucket 64 saturates to UINT64_MAX, which is
+  // where record(UINT64_MAX) itself lands — an *exclusive* top bound here
+  // used to claim UINT64_MAX was outside the bucket that counts it.
   static constexpr std::uint64_t bucket_upper(int i) {
-    if (i <= 0) return 1;
+    if (i <= 0) return 0;
     if (i >= 64) return ~std::uint64_t{0};
-    return std::uint64_t{1} << i;
+    return (std::uint64_t{1} << i) - 1;
   }
 
   void record(std::uint64_t v) {

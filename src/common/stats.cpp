@@ -34,6 +34,7 @@ const char* counter_name(Counter c) {
     case Counter::kHaReroutes: return "ha_reroutes";
     case Counter::kHaCheckpointBytes: return "ha_checkpoint_bytes";
     case Counter::kHaDeadSendsDropped: return "ha_dead_sends_dropped";
+    case Counter::kHaCheckpointMsgs: return "ha_checkpoint_msgs";
     case Counter::kCount_: break;
   }
   return "?";

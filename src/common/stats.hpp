@@ -48,8 +48,12 @@ enum class Counter : int {
   kHaHeartbeats,         // heartbeats sent on the management path
   kHaPromotions,         // backup nodes that promoted for a dead home
   kHaReroutes,           // RPC attempts re-routed after a home moved
-  kHaCheckpointBytes,    // home-state bytes realized at the backup
+  kHaCheckpointBytes,    // checkpoint traffic bytes (piggyback accounting, or
+                         // the exact sum of traced checkpoint message sizes
+                         // when the modeled stream is on — docs/RECOVERY.md)
   kHaDeadSendsDropped,   // one-way sends to a confirmed-dead node discarded
+  kHaCheckpointMsgs,     // checkpoint messages transmitted on the modeled
+                         // stream (0 in piggyback mode)
   kCount_,
 };
 

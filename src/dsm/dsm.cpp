@@ -26,6 +26,7 @@ DsmSystem::DsmSystem(cluster::Cluster* cluster, std::size_t region_bytes, Protoc
       layout_(region_bytes, cluster->params().page_bytes, cluster->node_count()),
       kind_(kind) {
   const int n = cluster->node_count();
+  applied_updates_.resize(static_cast<std::size_t>(n));
   nodes_.reserve(static_cast<std::size_t>(n));
   for (NodeId i = 0; i < n; ++i) {
     nodes_.push_back(std::make_unique<NodeDsm>(&layout_, i));
@@ -329,6 +330,13 @@ void DsmSystem::flush_ic(ThreadCtx& t) {
   // order for determinism. The scratch dedup table and per-home flat vectors
   // reproduce the old std::map semantics exactly — first-touch order within a
   // home, homes sent in ascending id order — without per-flush allocation.
+  // With K > 1 chain replicas, two zones homed at one node today may be
+  // re-elected to *different* nodes tomorrow, so groups must be zone-pure:
+  // key on the layout owner (== the zone id) instead of the current home.
+  // With K == 1 all zones at a node always move together, so keying on the
+  // effective home is safe and keeps the historical path byte-identical.
+  const bool zone_pure = ha_ != nullptr && ha_->replicas() > 1;
+
   FlushScratch& s = t.scratch;
   s.begin_ic(homes, t.wlog.size());
   for (const auto& e : t.wlog.entries()) {
@@ -338,7 +346,8 @@ void DsmSystem::flush_ic(ThreadCtx& t) {
       // Under HA the effective home may be the local node (entries logged
       // before a promotion made us home); they get a direct local apply in
       // the send loop below.
-      const NodeId home = ha_ == nullptr ? layout_.home_of(e.addr) : effective_home_of(e.addr);
+      const NodeId home = (ha_ == nullptr || zone_pure) ? layout_.home_of(e.addr)
+                                                        : effective_home_of(e.addr);
       HYP_CHECK_MSG(home != t.node || ha_ != nullptr, "home-page writes are never logged");
       auto& vec = s.ic_by_home[static_cast<std::size_t>(home)];
       slot->home = static_cast<std::uint32_t>(home);
@@ -354,7 +363,11 @@ void DsmSystem::flush_ic(ThreadCtx& t) {
   for (std::size_t h = 0; h < homes; ++h) {
     auto& entries = s.ic_by_home[h];
     if (entries.empty()) continue;
-    const NodeId home = static_cast<NodeId>(h);
+    // Zone-pure groups are keyed by layout owner; resolve the zone's CURRENT
+    // home for the local-apply test and the trace destination (ha_rpc_home
+    // re-resolves per attempt anyway, so a mid-flush promotion is absorbed).
+    const NodeId home = zone_pure ? effective_home_of(entries.front().addr)
+                                  : static_cast<NodeId>(h);
     if (ha_ != nullptr && home == t.node) {
       // Post-promotion local apply: this node IS the home now; write the
       // identical bytes the wire would have carried straight into the arena.
@@ -366,6 +379,9 @@ void DsmSystem::flush_ic(ThreadCtx& t) {
       continue;
     }
     Buffer msg;
+    // Bounded dedup window: tag the message so a late re-delivery of an
+    // evicted packet cannot stale-revert newer home bytes (see dsm.hpp).
+    if (update_ids_active()) msg.put<std::uint64_t>(next_update_id_++);
     WriteLog::encode(&msg, entries);
     t.stats->add(Counter::kUpdatesSent);
     t.stats->add(Counter::kUpdateBytes, msg.size());
@@ -381,7 +397,8 @@ void DsmSystem::flush_ic(ThreadCtx& t) {
       HYP_CHECK(ack.empty());
     } else {
       // Re-resolution key: the first entry's page. Groups never mix zones
-      // with different owners (single-failure model, docs/RECOVERY.md).
+      // with different owners: K == 1 moves all of a node's zones together,
+      // K > 1 uses zone-pure grouping above (docs/RECOVERY.md).
       Buffer ack = ha_rpc_home(t, layout_.page_of(entries.front().addr), svc::kUpdateFields,
                                msg, /*reply_is_page=*/false, "write-log flush");
       HYP_CHECK(ack.empty());
@@ -392,6 +409,19 @@ void DsmSystem::flush_ic(ThreadCtx& t) {
 
 void DsmSystem::handle_update_fields(cluster::Incoming& in, NodeId self) {
   NodeDsm& nd = node_dsm(self);
+  // Bounded dedup window: a re-delivered (window-evicted) update that was
+  // already applied must NOT re-apply — its bytes may be stale by now. Just
+  // re-ack (the original ack may be what got lost; a completed caller slot
+  // absorbs the second reply).
+  std::uint64_t update_id = 0;
+  if (update_ids_active()) {
+    update_id = in.reader.get<std::uint64_t>();
+    if (applied_updates_[static_cast<std::size_t>(self)].count(update_id) != 0) {
+      cluster_->node(self).stats().add_named("dsm_update_replays_absorbed");
+      cluster_->reply(in, Buffer{});
+      return;
+    }
+  }
   // Streaming apply: no per-message entry vector (zero-allocation path).
   bool stale = false;
   std::size_t applied_bytes = 0;
@@ -414,6 +444,9 @@ void DsmSystem::handle_update_fields(cluster::Incoming& in, NodeId self) {
     cluster_->reply(in, std::move(nack));
     return;
   }
+  // Record only on actual apply: a NACKed straggler was NOT applied here, and
+  // must stay replayable in case a later promotion makes this node home.
+  if (update_id != 0) applied_updates_[static_cast<std::size_t>(self)].insert(update_id);
   if (ha_ != nullptr && applied_bytes != 0) {
     // Home state changed: incremental checkpoint traffic to the backup
     // (field-granularity, piggybacked on this very update — docs/RECOVERY.md).
@@ -449,6 +482,9 @@ void DsmSystem::flush_pf(ThreadCtx& t) {
   const std::size_t page_bytes = layout_.page_bytes();
   const std::size_t homes = static_cast<std::size_t>(cluster_->node_count());
 
+  // Zone-pure grouping under K > 1 chain replicas (see flush_ic).
+  const bool zone_pure = ha_ != nullptr && ha_->replicas() > 1;
+
   FlushScratch& s = t.scratch;
   s.begin_pf(homes);
   std::uint64_t diff_words = 0;
@@ -471,7 +507,7 @@ void DsmSystem::flush_pf(ThreadCtx& t) {
     const std::size_t words = page_bytes / 8;
     bool page_dirty = false;
     auto& runs = s.pf_by_home[static_cast<std::size_t>(
-        ha_ == nullptr ? layout_.home_of_page(p) : effective_home_of_page(p))];
+        (ha_ == nullptr || zone_pure) ? layout_.home_of_page(p) : effective_home_of_page(p))];
     std::size_t w = 0;
     while (w < words) {
       if ((w & 7) == 0 && w + 8 <= words) {
@@ -507,7 +543,9 @@ void DsmSystem::flush_pf(ThreadCtx& t) {
   for (std::size_t h = 0; h < homes; ++h) {
     auto& runs = s.pf_by_home[h];
     if (runs.empty()) continue;
-    const NodeId home = static_cast<NodeId>(h);
+    // Zone-pure groups resolve the zone's CURRENT home here (see flush_ic).
+    const NodeId home =
+        zone_pure ? effective_home_of(runs.front().addr) : static_cast<NodeId>(h);
     if (ha_ != nullptr && home == t.node) {
       // Post-promotion local apply (normally unreachable: promotion strips
       // the zone's pages from the cached list — kept for safety).
@@ -521,6 +559,8 @@ void DsmSystem::flush_pf(ThreadCtx& t) {
       continue;
     }
     Buffer msg;
+    // Bounded dedup window: tag the message (see flush_ic / dsm.hpp).
+    if (update_ids_active()) msg.put<std::uint64_t>(next_update_id_++);
     msg.put<std::uint32_t>(static_cast<std::uint32_t>(runs.size()));
     for (const DiffRun& r : runs) {
       msg.put<std::uint64_t>(r.addr);
@@ -548,6 +588,17 @@ void DsmSystem::flush_pf(ThreadCtx& t) {
 
 void DsmSystem::handle_update_runs(cluster::Incoming& in, NodeId self) {
   NodeDsm& nd = node_dsm(self);
+  // Bounded dedup window: skip already-applied replays (see
+  // handle_update_fields).
+  std::uint64_t update_id = 0;
+  if (update_ids_active()) {
+    update_id = in.reader.get<std::uint64_t>();
+    if (applied_updates_[static_cast<std::size_t>(self)].count(update_id) != 0) {
+      cluster_->node(self).stats().add_named("dsm_update_replays_absorbed");
+      cluster_->reply(in, Buffer{});
+      return;
+    }
+  }
   const auto runs = in.reader.get<std::uint32_t>();
   std::size_t total_bytes = 0;
   bool stale = false;
@@ -571,6 +622,7 @@ void DsmSystem::handle_update_runs(cluster::Incoming& in, NodeId self) {
     cluster_->reply(in, std::move(nack));
     return;
   }
+  if (update_id != 0) applied_updates_[static_cast<std::size_t>(self)].insert(update_id);
   if (ha_ != nullptr && total_bytes != 0) ha_->note_checkpoint(self, total_bytes);
   const Time done_at =
       cluster_->node(self).extend_service(cluster_->params().cpu.copy_cost(total_bytes));

@@ -1,6 +1,8 @@
 #include "ha/ha.hpp"
 
+#include <algorithm>
 #include <cstring>
+#include <string>
 
 #include "common/assert.hpp"
 
@@ -10,6 +12,13 @@ using cluster::FaultWindow;
 using cluster::NodeId;
 using cluster::TraceKind;
 
+namespace {
+// Wire header of one checkpoint-stream message: origin home, hop index,
+// delta byte count, reserved. The delta itself rides as padding so the
+// network model charges the real checkpoint size (common/buffer.hpp).
+constexpr std::size_t kCkptHeaderBytes = 4 * sizeof(std::uint32_t);
+}  // namespace
+
 HaManager::HaManager(cluster::Cluster* cluster, dsm::DsmSystem* dsm,
                      hyperion::MonitorSubsystem* monitors)
     : cluster_(cluster), dsm_(dsm), monitors_(monitors) {
@@ -17,37 +26,57 @@ HaManager::HaManager(cluster::Cluster* cluster, dsm::DsmSystem* dsm,
   zone_home_.resize(n);
   for (std::size_t i = 0; i < n; ++i) zone_home_[i] = static_cast<NodeId>(i);
   health_.resize(n);
+  zone_snaps_.resize(n);
+  ckpt_busy_until_.resize(n, 0);
+  const auto& f = cluster_->params().fault;
+  const auto max_depth =
+      static_cast<std::uint32_t>(cluster_->node_count() > 0 ? cluster_->node_count() - 1 : 0);
+  chain_depth_ = std::min(f.replicas, max_depth);
+  // The stream gets its own identity as soon as it is given chain depth or a
+  // bandwidth budget; plain replicas=1 keeps the classic piggyback
+  // accounting (and the recovery golden) byte-identical.
+  stream_enabled_ = f.replicas > 1 || f.ckpt_bw != 0;
 }
 
-void HaManager::zone_pages(NodeId node, dsm::PageId* first, dsm::PageId* last) const {
+void HaManager::zone_pages(NodeId zone, dsm::PageId* first, dsm::PageId* last) const {
   const dsm::Layout& layout = dsm_->layout();
-  *first = static_cast<dsm::PageId>(layout.zone_begin(node) / layout.page_bytes());
-  *last = static_cast<dsm::PageId>(layout.zone_end(node) / layout.page_bytes());
+  *first = static_cast<dsm::PageId>(layout.zone_begin(zone) / layout.page_bytes());
+  *last = static_cast<dsm::PageId>(layout.zone_end(zone) / layout.page_bytes());
 }
 
 void HaManager::start() {
   const auto& f = cluster_->params().fault;
   const int count = cluster_->node_count();
-  // Windows naming nodes this run does not have are inert (sweeps reuse one
-  // profile across cluster sizes); exactly one window may apply.
-  const FaultWindow* applicable = nullptr;
-  int applying = 0;
+  // Profile validity (node 0, window shapes, detector tuning, same-node
+  // overlap) was enforced at parse time (cluster/params.cpp). What remains
+  // here is the one check that needs the actual cluster size and placement:
+  // a zone must never lose all of its K+1 copies at once. Windows naming
+  // nodes this run does not have are inert (sweeps reuse one profile across
+  // cluster sizes).
   for (const FaultWindow& c : f.crashes) {
-    HYP_CHECK_MSG(c.node != 0, "node 0 hosts the Java main thread and cannot crash");
-    if (c.node < count) {
-      applicable = &c;
-      ++applying;
+    if (c.node >= count) continue;
+    bool recoverable = chain_depth_ > 0;
+    if (recoverable) {
+      recoverable = false;
+      for (std::uint32_t i = 0; i < chain_depth_ && !recoverable; ++i) {
+        const NodeId m = chain_member(c.node, i);
+        bool covered = false;
+        for (const FaultWindow& w : f.crashes) {
+          if (w.node == m && w.node < count && w.start < c.end() && c.start < w.end()) {
+            covered = true;
+            break;
+          }
+        }
+        recoverable = !covered;
+      }
     }
+    HYP_CHECK_MSG(recoverable,
+                  "unrecoverable crash schedule: node " + std::to_string(c.node) +
+                      "'s home zone would lose all " + std::to_string(chain_depth_ + 1) +
+                      " copies (the home and its " + std::to_string(chain_depth_) +
+                      " chain backups are down together) — raise replicas= or separate "
+                      "the crash windows (docs/RECOVERY.md)");
   }
-  HYP_CHECK_MSG(applying == 1,
-                "the HA subsystem implements the single-failure model: exactly one "
-                "applicable crash window per run (got " +
-                    std::to_string(applying) + ")");
-  const FaultWindow& c = *applicable;
-  HYP_CHECK_MSG(c.start > 0 && c.duration > 0, "crash window needs a positive start and duration");
-  HYP_CHECK_MSG(f.hb_interval > 0 && f.suspect_after >= f.hb_interval &&
-                    f.confirm_after > f.suspect_after,
-                "detector tuning wants hb <= suspect < confirm");
 
   auto& eng = cluster_->engine();
   const Time now = eng.now();
@@ -55,8 +84,19 @@ void HaManager::start() {
   for (NodeId n = 0; n < count; ++n) {
     eng.post(now + f.hb_interval, [this, n]() { tick(n); });
   }
-  eng.post(c.start, [this, c]() { on_crash(c); });
-  eng.post(c.end(), [this, c]() { on_restart(c); });
+  for (const FaultWindow& c : f.crashes) {
+    if (c.node >= count) continue;
+    eng.post(c.start, [this, c]() { on_crash(c); });
+    eng.post(c.end(), [this, c]() { on_restart(c); });
+  }
+
+  if (stream_enabled_) {
+    for (NodeId n = 0; n < count; ++n) {
+      cluster_->node(n).register_service(
+          svc::kHaCheckpoint, "ha_checkpoint",
+          [this, n](cluster::Incoming& in) { handle_checkpoint(in, n); });
+    }
+  }
 }
 
 void HaManager::stop() { stopped_ = true; }
@@ -67,15 +107,21 @@ void HaManager::tick(NodeId n) {
   const Time now = eng.now();
   const auto& f = cluster_->params().fault;
   // A crashed node's CPU is dead: it neither heartbeats nor watches. Its
-  // silence is exactly what the successor's watcher duty measures.
+  // silence is exactly what its chain watchers measure.
   if (f.crash_release(n, now) == 0) {
     health_[static_cast<std::size_t>(n)].last_heard = now;
     cluster_->node(n).stats().add(Counter::kHaHeartbeats);
 
     const int count = cluster_->node_count();
-    const NodeId pred = (n - 1 + count) % count;
-    Health& h = health_[static_cast<std::size_t>(pred)];
-    if (!h.confirmed) {
+    // Watcher duty over the K watched ring predecessors: node n is chain
+    // member i of predecessor (n - 1 - i), so between them the chain
+    // members cover every node whose state they mirror. With replicas=1
+    // this is exactly the classic single-predecessor watch.
+    for (std::uint32_t i = 0; i < chain_depth_; ++i) {
+      const NodeId pred =
+          static_cast<NodeId>(((n - 1 - static_cast<int>(i)) % count + count) % count);
+      Health& h = health_[static_cast<std::size_t>(pred)];
+      if (h.confirmed) continue;
       const Time silence = now - h.last_heard;
       if (silence >= f.suspect_after && !h.suspected) {
         h.suspected = true;
@@ -83,7 +129,7 @@ void HaManager::tick(NodeId n) {
                               static_cast<std::int64_t>(silence / kMicrosecond));
       }
       if (h.suspected && silence >= f.confirm_after) {
-        promote(pred, n, silence);
+        confirm_death(pred, n, silence);
       }
     }
   }
@@ -93,7 +139,7 @@ void HaManager::tick(NodeId n) {
 void HaManager::on_crash(const FaultWindow& c) {
   auto& eng = cluster_->engine();
   const Time now = eng.now();
-  crash_started_ = now;
+  health_[static_cast<std::size_t>(c.node)].crash_started = now;
   cluster_->trace_event(c.node, TraceKind::kNodeCrash,
                         static_cast<std::int64_t>(c.end() / kMicrosecond), 0);
   // Freeze the node's execution resources until the restart: compute already
@@ -110,43 +156,95 @@ void HaManager::on_crash(const FaultWindow& c) {
   freeze(node.service_queue());
 }
 
-void HaManager::promote(NodeId dead, NodeId watcher, Time silence) {
-  if (promoted_for_ != -1) return;  // single-failure model
+cluster::NodeId HaManager::elect_home(NodeId zone, NodeId dead, Time now) const {
+  const auto& f = cluster_->params().fault;
+  for (std::uint32_t i = 0; i < chain_depth_; ++i) {
+    const NodeId cand = chain_member(dead, i);
+    if (health_[static_cast<std::size_t>(cand)].confirmed) continue;
+    if (f.crash_release(cand, now) != 0) continue;  // down, even if unconfirmed
+    return cand;
+  }
+  HYP_PANIC("HA: zone " + std::to_string(zone) + " lost all " +
+            std::to_string(chain_depth_ + 1) + " copies — home node " + std::to_string(dead) +
+            " and its " + std::to_string(chain_depth_) +
+            " chain backups are all down; raise replicas= or separate the crash windows "
+            "(docs/RECOVERY.md)");
+}
+
+void HaManager::confirm_death(NodeId dead, NodeId watcher, Time silence) {
   Health& h = health_[static_cast<std::size_t>(dead)];
+  if (h.confirmed) return;
   h.confirmed = true;
   promoted_for_ = dead;
+  ++promotions_;
   ++epoch_;
-  const NodeId backup = backup_of(dead);
   auto& eng = cluster_->engine();
   const Time now = eng.now();
 
   cluster_->trace_event(watcher, TraceKind::kHaDeadConfirmed, dead,
                         static_cast<std::int64_t>(silence / kMicrosecond));
-  cluster_->trace_event(backup, TraceKind::kEpochBump, static_cast<std::int64_t>(epoch_), dead);
 
-  // Route the dead zone at its backup from this instant: stale presence is
-  // impossible to *hold* (the routing table is the single source of truth;
-  // java_ic checks and java_pf re-protection resolve through it on the next
-  // consistency action) and stale *requests* are NACKed by the handlers.
-  zone_home_[static_cast<std::size_t>(dead)] = backup;
+  // Every zone currently homed at the dead node is re-elected to the first
+  // live member of the dead home's chain (ascending zone order keeps the
+  // event sequence hash-deterministic).
+  std::vector<NodeId> zones;
+  for (NodeId z = 0; z < cluster_->node_count(); ++z) {
+    if (zone_home_[static_cast<std::size_t>(z)] == dead) zones.push_back(z);
+  }
 
+  NodeId first_home = watcher;  // epoch-bump track when no zone moves
+  std::vector<NodeId> new_homes(zones.size());
+  for (std::size_t i = 0; i < zones.size(); ++i) {
+    new_homes[i] = elect_home(zones[i], dead, now);
+    if (i == 0) first_home = new_homes[0];
+  }
+
+  cluster_->trace_event(first_home, TraceKind::kEpochBump,
+                        static_cast<std::int64_t>(epoch_), dead);
+
+  for (std::size_t i = 0; i < zones.size(); ++i) {
+    // Route the zone at its new home from this instant: stale presence is
+    // impossible to *hold* (the routing table is the single source of truth;
+    // java_ic checks and java_pf re-protection resolve through it on the
+    // next consistency action) and stale *requests* are NACKed by the
+    // handlers.
+    zone_home_[static_cast<std::size_t>(zones[i])] = new_homes[i];
+    move_zone(zones[i], dead, new_homes[i]);
+  }
+
+  if (!zones.empty()) {
+    cluster_->node(first_home)
+        .stats()
+        .record(Hist::kRecoveryLatency, static_cast<std::uint64_t>(now - h.crash_started));
+  }
+
+  // Wake every caller still parked on the dead node with a typed failure so
+  // it re-resolves under the new epoch. Runs last: by the time a woken fiber
+  // retries, the routing table above is already in place.
+  cluster_->ha_fail_traffic_to(dead);
+}
+
+void HaManager::move_zone(NodeId zone, NodeId dead, NodeId new_home) {
   // --- checkpoint realization ---------------------------------------------
-  // The incremental replication stream has been mirroring the dead home's
-  // state all along (note_checkpoint accounts it); the simulator realizes
-  // the mirrored copy here, in three steps that keep the backup's own
-  // unflushed working-memory modifications intact.
+  // The incremental replication stream has been mirroring the dying home's
+  // state all along (note_checkpoint accounts it — piggybacked or as real
+  // chain messages); the simulator realizes the mirrored copy here, in three
+  // steps that keep the new home's own unflushed working-memory
+  // modifications intact.
   const dsm::Layout& layout = dsm_->layout();
   dsm::PageId first = 0;
   dsm::PageId last = 0;
-  zone_pages(dead, &first, &last);
-  const dsm::Gva zbegin = layout.zone_begin(dead);
-  const dsm::Gva zend = layout.zone_end(dead);
+  zone_pages(zone, &first, &last);
+  const dsm::Gva zbegin = layout.zone_begin(zone);
+  const dsm::Gva zend = layout.zone_end(zone);
   const std::size_t zbytes = static_cast<std::size_t>(zend - zbegin);
+  // The dying home's arena holds the zone's authoritative bytes (for a zone
+  // that had moved before, the previous promotion copied them there).
   dsm::NodeDsm& dnd = dsm_->node_dsm(dead);
-  dsm::NodeDsm& bnd = dsm_->node_dsm(backup);
+  dsm::NodeDsm& bnd = dsm_->node_dsm(new_home);
 
-  // (1) Extract the backup's pending java_pf diffs (cur vs twin) for cached
-  //     pages of the zone — promote_to_home drops the twins below.
+  // (1) Extract the new home's pending java_pf diffs (cur vs twin) for
+  //     cached pages of the zone — promote_to_home drops the twins below.
   struct SavedRun {
     dsm::Gva at;
     std::vector<std::byte> bytes;
@@ -172,39 +270,36 @@ void HaManager::promote(NodeId dead, NodeId watcher, Time silence) {
 
   // (2) Realize the mirror and take home authority. The pristine snapshot
   //     feeds the restart-side final-checkpoint diff (see on_restart).
-  zone_snapshot_.assign(dnd.arena() + zbegin, dnd.arena() + zend);
+  ZoneSnap& snap = zone_snaps_[static_cast<std::size_t>(zone)];
+  snap.from = dead;
+  snap.bytes.assign(dnd.arena() + zbegin, dnd.arena() + zend);
   std::memcpy(bnd.arena() + zbegin, dnd.arena() + zbegin, zbytes);
   bnd.promote_to_home(first, last);
 
-  // (3) The backup's own unflushed modifications win over the mirrored base
-  //     (they are exactly what its next updateMainMemory would apply here).
+  // (3) The new home's own unflushed modifications win over the mirrored
+  //     base (they are exactly what its next updateMainMemory would apply).
   for (const SavedRun& r : pending) {
     std::memcpy(bnd.arena() + r.at, r.bytes.data(), r.bytes.size());
   }
-  dsm_->replay_logged_writes(backup, zbegin, zend);  // java_ic pending stores
+  dsm_->replay_logged_writes(new_home, zbegin, zend);  // java_ic pending stores
 
-  // Monitor tables and the applied-op-id set move with the zone.
-  monitors_->fail_over_home(dead, backup);
+  // Monitor tables of objects in the zone (and the applied-op-id set) move
+  // with it.
+  monitors_->fail_over_home(dead, new_home, static_cast<std::uint64_t>(zbegin),
+                            static_cast<std::uint64_t>(zend));
 
-  cluster_->trace_event(backup, TraceKind::kHomePromoted, dead,
+  cluster_->trace_event(new_home, TraceKind::kHomePromoted, zone,
                         static_cast<std::int64_t>(zbytes));
 
-  // Installing the final checkpoint delta occupies the backup's service
-  // queue: requests against the new home serve after it. Charged over the
+  // Installing the final checkpoint delta occupies the new home's service
+  // queue: requests against it serve after the install. Charged over the
   // zone's *live* bytes — the page frames themselves were already mirrored.
-  const std::size_t live = dnd.allocated_bytes();
+  const std::size_t live = dsm_->node_dsm(zone).allocated_bytes();
   if (live > 0) {
-    cluster_->node(backup).service_queue().reserve(cluster_->params().cpu.copy_cost(live));
+    cluster_->node(new_home).service_queue().reserve(cluster_->params().cpu.copy_cost(live));
   }
 
-  Stats& bs = cluster_->node(backup).stats();
-  bs.add(Counter::kHaPromotions);
-  bs.record(Hist::kRecoveryLatency, static_cast<std::uint64_t>(now - crash_started_));
-
-  // Wake every caller still parked on the dead node with a typed failure so
-  // it re-resolves under the new epoch. Runs last: by the time a woken fiber
-  // retries, the routing table above is already in place.
-  cluster_->ha_fail_traffic_to(dead);
+  cluster_->node(new_home).stats().add(Counter::kHaPromotions);
 }
 
 void HaManager::on_restart(const FaultWindow& c) {
@@ -213,46 +308,57 @@ void HaManager::on_restart(const FaultWindow& c) {
   const NodeId n = c.node;
   cluster_->trace_event(n, TraceKind::kNodeRestart, static_cast<std::int64_t>(epoch_), 0);
 
-  if (promoted_for_ == n) {
+  bool rejoined = false;
+  for (NodeId z = 0; z < cluster_->node_count(); ++z) {
+    ZoneSnap& snap = zone_snaps_[static_cast<std::size_t>(z)];
+    if (snap.from != n) continue;
     // Final incremental checkpoint: stores by the node's own threads whose
     // compute was initiated before the crash can carry freeze-model
     // timestamps inside the window; diff the zone against the promotion-time
-    // snapshot and fold the deltas into the new home. Under data-race-free
-    // programs these bytes are disjoint from anything the backup served in
-    // the meantime (the writers still hold their monitors).
+    // snapshot and fold the deltas into the current home. Under
+    // data-race-free programs these bytes are disjoint from anything the new
+    // home served in the meantime (the writers still hold their monitors).
     const dsm::Layout& layout = dsm_->layout();
     dsm::PageId first = 0;
     dsm::PageId last = 0;
-    zone_pages(n, &first, &last);
-    const dsm::Gva zbegin = layout.zone_begin(n);
-    const std::size_t zbytes = zone_snapshot_.size();
+    zone_pages(z, &first, &last);
+    const dsm::Gva zbegin = layout.zone_begin(z);
+    const std::size_t zbytes = snap.bytes.size();
     dsm::NodeDsm& dnd = dsm_->node_dsm(n);
-    dsm::NodeDsm& bnd = dsm_->node_dsm(zone_home_[static_cast<std::size_t>(n)]);
+    dsm::NodeDsm& hnd = dsm_->node_dsm(zone_home_[static_cast<std::size_t>(z)]);
     const std::byte* cur = dnd.arena() + zbegin;
-    const std::byte* snap = zone_snapshot_.data();
+    const std::byte* base = snap.bytes.data();
     std::size_t i = 0;
     while (i < zbytes) {
-      if (cur[i] == snap[i]) {
+      if (cur[i] == base[i]) {
         ++i;
         continue;
       }
       std::size_t j = i + 1;
-      while (j < zbytes && cur[j] != snap[j]) ++j;
-      std::memcpy(bnd.arena() + zbegin + i, cur + i, j - i);
+      while (j < zbytes && cur[j] != base[j]) ++j;
+      std::memcpy(hnd.arena() + zbegin + i, cur + i, j - i);
       i = j;
     }
-    zone_snapshot_.clear();
-    zone_snapshot_.shrink_to_fit();
+    snap.from = -1;
+    snap.bytes.clear();
+    snap.bytes.shrink_to_fit();
 
-    // The node rejoins with no home authority: its zone stays at the backup
-    // for the rest of the run and its pre-crash copies are stale — it
-    // resumes as a cacher and re-syncs on demand through ordinary fetches.
+    // The node rejoins with no authority over this zone: it stays at the
+    // elected home for the rest of the run and the restarted node's
+    // pre-crash copies are stale — it resumes as a cacher and re-syncs on
+    // demand through ordinary fetches.
     dnd.demote_home(first, last);
+    rejoined = true;
+  }
+  if (rejoined) {
     cluster_->trace_event(n, TraceKind::kHaRejoined, static_cast<std::int64_t>(epoch_), 0);
   }
 
+  // Fresh detector state: a later crash window on this node is a new,
+  // independently detected failure.
   Health& h = health_[static_cast<std::size_t>(n)];
   h.last_heard = now;
+  h.crash_started = 0;
   h.suspected = false;
   h.confirmed = false;
 }
@@ -277,10 +383,82 @@ Time HaManager::retry_hold(NodeId target, Time now) const {
   return confirmed_by < release ? confirmed_by : release;
 }
 
+// ---------------------------------------------------------------------------
+// Checkpoint traffic (docs/RECOVERY.md §checkpoint bandwidth)
+
 void HaManager::note_checkpoint(NodeId home, std::uint64_t bytes) {
-  cluster_->node(home).stats().add(Counter::kHaCheckpointBytes, bytes);
-  cluster_->trace_event(home, TraceKind::kCheckpoint, backup_of(home),
-                        static_cast<std::int64_t>(bytes));
+  if (!stream_enabled_) {
+    // Classic piggyback accounting: the checkpoint rides the update/ack
+    // traffic the consistency protocol already generates; only the byte
+    // count (and one trace event toward the first chain member) is modeled.
+    cluster_->node(home).stats().add(Counter::kHaCheckpointBytes, bytes);
+    cluster_->trace_event(home, TraceKind::kCheckpoint, backup_of(home),
+                          static_cast<std::int64_t>(bytes));
+    return;
+  }
+  if (chain_depth_ == 0) return;
+  send_checkpoint(home, home, 0, static_cast<std::uint32_t>(bytes));
+}
+
+void HaManager::send_checkpoint(NodeId from, NodeId origin, std::uint32_t hop,
+                                std::uint32_t delta_bytes) {
+  const NodeId dest = chain_member(origin, hop);
+  Buffer msg(kCkptHeaderBytes + delta_bytes);
+  msg.put<std::uint32_t>(static_cast<std::uint32_t>(origin));
+  msg.put<std::uint32_t>(hop);
+  msg.put<std::uint32_t>(delta_bytes);
+  msg.put<std::uint32_t>(0);  // reserved
+  // The delta rides as payload padding so the bandwidth model and the fault
+  // injector charge/see the real checkpoint size.
+  static constexpr std::byte kZeros[256] = {};
+  for (std::size_t left = delta_bytes; left > 0;) {
+    const std::size_t chunk = left < sizeof(kZeros) ? left : sizeof(kZeros);
+    msg.put_bytes(kZeros, chunk);
+    left -= chunk;
+  }
+  const std::uint64_t size = msg.size();
+
+  // Invariant pinned by tests and the acceptance criteria: the
+  // ha_checkpoint_bytes counter equals the sum of traced checkpoint message
+  // sizes (one kCheckpoint event per transmitted message).
+  Stats& s = cluster_->node(from).stats();
+  s.add(Counter::kHaCheckpointBytes, size);
+  s.add(Counter::kHaCheckpointMsgs);
+  cluster_->trace_event(from, TraceKind::kCheckpoint, dest, static_cast<std::int64_t>(size));
+
+  // ckpt_bw pacing: consecutive checkpoints from one node serialize through
+  // its replication-stream budget; the message departs when the budget
+  // frees. Deterministic: pure arithmetic on virtual time.
+  Time depart_delay = 0;
+  const std::uint64_t bw = cluster_->params().fault.ckpt_bw;
+  if (bw != 0) {
+    const Time now = cluster_->engine().now();
+    Time& busy = ckpt_busy_until_[static_cast<std::size_t>(from)];
+    const Time start = busy > now ? busy : now;
+    depart_delay = start - now;
+    const Time tx = static_cast<Time>(size * 1'000'000'000'000ULL / bw);  // ps on the budget
+    busy = start + tx;
+  }
+  if (depart_delay == 0) {
+    cluster_->send(from, dest, svc::kHaCheckpoint, std::move(msg));
+  } else {
+    cluster_->send_after(depart_delay, from, dest, svc::kHaCheckpoint, std::move(msg));
+  }
+}
+
+void HaManager::handle_checkpoint(cluster::Incoming& in, NodeId self) {
+  const auto origin = static_cast<NodeId>(in.reader.get<std::uint32_t>());
+  const auto hop = in.reader.get<std::uint32_t>();
+  const auto delta_bytes = in.reader.get<std::uint32_t>();
+  (void)in.reader.get<std::uint32_t>();  // reserved
+  const std::uint64_t size = kCkptHeaderBytes + delta_bytes;
+  // Absorbing the delta into the mirror occupies the chain member's service
+  // queue like any other apply.
+  cluster_->node(self).extend_service(cluster_->params().cpu.copy_cost(delta_bytes));
+  cluster_->trace_event(self, TraceKind::kCheckpointApplied, origin,
+                        static_cast<std::int64_t>(size));
+  // Chain order: member i forwards to member i+1 until the chain is full.
+  if (hop + 1 < chain_depth_) send_checkpoint(self, origin, hop + 1, delta_bytes);
 }
 
 }  // namespace hyp::ha

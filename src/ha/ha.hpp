@@ -2,40 +2,48 @@
 //
 // The paper's model is a dedicated, lossless cluster; this subsystem asks the
 // complementary question the roadmap leaves open: what must a *centralized*
-// home-based protocol add to survive the loss of a home node? The answer
+// home-based protocol add to survive the loss of home nodes? The answer
 // implemented here (docs/RECOVERY.md):
 //
-//   1. Failure detection — every node heartbeats its ring successor on an
-//      out-of-band management path each `hb_interval`; the successor suspects
-//      its predecessor after `suspect_after` of silence and confirms it dead
-//      after `confirm_after`. All timeouts are virtual-time constants from
-//      the FaultProfile, so detection latency is deterministic.
-//   2. Replicated home state — each home zone (pages + monitor tables) has a
-//      deterministic backup: the ring successor B(N) = (N+1) mod n, the same
-//      node that watches N. Incremental checkpoints piggyback on the update/
-//      ack traffic the consistency protocol already generates (accounted via
-//      note_checkpoint -> kHaCheckpointBytes); the simulator realizes the
-//      mirrored state at promotion time, which is observationally equivalent
-//      to a synchronous mirror (zero loss).
-//   3. Home re-election — on confirmed death the backup promotes itself:
-//      cluster-wide epoch bump, the HA routing table points the dead zone at
-//      the backup, in-flight RPCs against the dead node fail over through the
+//   1. Failure detection — every node heartbeats on an out-of-band management
+//      path each `hb_interval`; each node runs watcher duty over its K ring
+//      predecessors (K = FaultProfile::replicas), suspecting a silent one
+//      after `suspect_after` and confirming it dead after `confirm_after`.
+//      All timeouts are virtual-time constants, so detection latency is
+//      deterministic.
+//   2. Replicated home state — every zone currently homed at node N has K
+//      chain backups: N's ring successors C(N, i) = (N+1+i) mod n, in chain
+//      order. Incremental checkpoints either piggyback on the update/ack
+//      traffic the consistency protocol already generates (the classic
+//      accounting via note_checkpoint -> kHaCheckpointBytes) or — when the
+//      stream is given its own identity (replicas > 1 or ckpt_bw set) —
+//      flow down the chain as *real cluster messages* on service
+//      svc::kHaCheckpoint: traced, faultable, byte-charged by the network
+//      model and paced by the ckpt_bw bandwidth budget. The simulator
+//      realizes the mirrored state at promotion time, which is
+//      observationally equivalent to a synchronous mirror (zero loss).
+//   3. Home re-election — on confirmed death of a home, every zone it owned
+//      is promoted to the *first live member of the home's chain*:
+//      cluster-wide epoch bump, the HA routing table repoints each zone,
+//      in-flight RPCs against the dead node fail over through the
 //      typed-error retry paths (same op id => the monitor reattach/dedup
 //      machinery absorbs previously applied attempts), and stale-home
-//      stragglers are NACKed.
-//   4. Restart/rejoin — at the crash window's end the node returns with no
-//      home authority (its zone stays at the backup for the rest of the run)
-//      and resumes as a cacher; its threads survive under the
-//      thread-checkpoint model (fibers, write logs and cached pages are part
-//      of the mirrored state).
+//      stragglers are NACKed. Multiple (sequential or overlapping) crash
+//      windows are tolerated as long as no zone loses all K+1 copies; a run
+//      that would lose a zone fails fast with a diagnosable error instead of
+//      hanging or computing a wrong answer.
+//   4. Restart/rejoin — at each crash window's end the node returns with no
+//      home authority (zones it owned stay at their new homes for the rest
+//      of the run) and resumes as a cacher; its threads survive under the
+//      thread-checkpoint model. Its detector state is reset, so a later
+//      crash window on the same node is a fresh failure.
 //
-// Single-failure model: exactly one crash window per run (HYP_CHECKed). This
-// is what makes per-message NACKs and representative-page re-resolution
-// sound; tolerating concurrent failures would need quorum placement.
-//
-// When the fault profile schedules no crash window the VM never constructs a
-// HaManager and every hook in cluster/dsm/hyperion is a null-pointer test —
-// the event sequence stays bit-identical to the goldens.
+// With replicas=1 (the default) the placement, detection and promotion paths
+// reduce exactly to the former single-failure ring-successor model — the
+// kill-and-recover golden (tests/goldens/recovery_golden.txt) is byte-
+// identical. When the fault profile schedules no crash window the VM never
+// constructs a HaManager and every hook in cluster/dsm/hyperion is a
+// null-pointer test — the event sequence stays bit-identical to the goldens.
 #pragma once
 
 #include <cstdint>
@@ -48,6 +56,12 @@
 
 namespace hyp::ha {
 
+// RPC service id used by the modeled checkpoint stream (registered on every
+// node only when the stream is enabled; see HaManager::stream_enabled()).
+namespace svc {
+inline constexpr cluster::ServiceId kHaCheckpoint = 30;
+}  // namespace svc
+
 class HaManager final : public cluster::HaHooks {
  public:
   HaManager(cluster::Cluster* cluster, dsm::DsmSystem* dsm,
@@ -55,17 +69,30 @@ class HaManager final : public cluster::HaHooks {
   HaManager(const HaManager&) = delete;
   HaManager& operator=(const HaManager&) = delete;
 
-  // Validates the profile's crash schedule, posts the heartbeat tick chains
-  // and the crash/restart events. Call once, before Cluster::run().
+  // Fails fast on statically unrecoverable crash schedules (a zone whose
+  // home and all chain backups are down at once), posts the heartbeat tick
+  // chains and every applicable crash/restart event, and registers the
+  // checkpoint-stream service when the stream is enabled. Call once, before
+  // Cluster::run(). (Profile *validity* — node 0, window shapes, detector
+  // tuning — is enforced at parse time in cluster/params.cpp.)
   void start();
   // Ends the self-chaining detector ticks so the engine can quiesce. Called
   // when the Java main thread finishes (HyperionVM::run_main).
   void stop();
 
-  // Deterministic backup placement: the ring successor.
-  cluster::NodeId backup_of(cluster::NodeId n) const {
-    return (n + 1) % cluster_->node_count();
+  // Deterministic chain placement: member i of node n's backup chain is its
+  // (i+1)-th ring successor. chain_depth() clamps replicas to the nodes
+  // actually available.
+  cluster::NodeId chain_member(cluster::NodeId n, std::uint32_t i) const {
+    const int count = cluster_->node_count();
+    return static_cast<cluster::NodeId>((n + 1 + static_cast<int>(i)) % count);
   }
+  std::uint32_t chain_depth() const { return chain_depth_; }
+  // The first chain member — the classic single-failure backup placement.
+  cluster::NodeId backup_of(cluster::NodeId n) const { return chain_member(n, 0); }
+  // True when checkpoints travel as real cluster messages instead of
+  // piggyback accounting (replicas > 1 or a ckpt_bw budget was given).
+  bool stream_enabled() const { return stream_enabled_; }
 
   // --- cluster::HaHooks ----------------------------------------------------
   cluster::NodeId home_node(int zone) const override {
@@ -77,45 +104,69 @@ class HaManager final : public cluster::HaHooks {
   std::uint64_t epoch() const override { return epoch_; }
   Time retry_hold(cluster::NodeId target, Time now) const override;
   void note_checkpoint(cluster::NodeId home, std::uint64_t bytes) override;
+  std::uint32_t replicas() const override { return chain_depth_; }
 
   // --- introspection (tests) ----------------------------------------------
-  bool promoted() const { return promoted_for_ != -1; }
+  bool promoted() const { return promotions_ != 0; }
+  // The dead node of the most recent confirmed failure; -1 = none yet.
   cluster::NodeId promoted_for() const { return promoted_for_; }
+  std::uint64_t promotions() const { return promotions_; }
 
  private:
   struct Health {
-    Time last_heard = 0;  // virtual time of the last heartbeat received
+    Time last_heard = 0;   // virtual time of the last heartbeat received
+    Time crash_started = 0;  // start of the current crash window (0 = alive)
     bool suspected = false;
     bool confirmed = false;
   };
 
-  // One self-chaining detector tick per node: emit the heartbeat to the ring
-  // successor (if alive), run watcher duty over the ring predecessor.
+  // Per-zone snapshot taken at promotion time from the dying home's arena;
+  // the restart event diffs against it to realize the *final* checkpoint
+  // (see on_restart). `from` is the node the zone moved away from.
+  struct ZoneSnap {
+    cluster::NodeId from = -1;
+    std::vector<std::byte> bytes;
+  };
+
+  // One self-chaining detector tick per node: emit the heartbeat (if alive),
+  // run watcher duty over the K watched ring predecessors.
   void tick(cluster::NodeId n);
   void on_crash(const cluster::FaultWindow& c);
   void on_restart(const cluster::FaultWindow& c);
-  // Confirmed death: epoch bump, routing-table update, checkpoint
-  // realization (zone bytes + monitor tables to the backup), in-flight
+  // Confirmed death of `dead`: epoch bump, re-election of every zone homed
+  // there to the first live chain member, checkpoint realization, in-flight
   // traffic failover.
-  void promote(cluster::NodeId dead, cluster::NodeId watcher, Time silence);
-  // Zone page range of `node` as [first, last).
-  void zone_pages(cluster::NodeId node, dsm::PageId* first, dsm::PageId* last) const;
+  void confirm_death(cluster::NodeId dead, cluster::NodeId watcher, Time silence);
+  // First live member of `dead`'s chain; fails fast (diagnosable HYP_PANIC)
+  // when the zone has lost all K+1 copies.
+  cluster::NodeId elect_home(cluster::NodeId zone, cluster::NodeId dead, Time now) const;
+  // Moves zone `zone` from dying home `dead` to `new_home`: realizes the
+  // mirrored bytes, transfers home authority + monitor tables, charges the
+  // final-checkpoint install on the new home's service queue.
+  void move_zone(cluster::NodeId zone, cluster::NodeId dead, cluster::NodeId new_home);
+  // Zone page range of `zone` as [first, last).
+  void zone_pages(cluster::NodeId zone, dsm::PageId* first, dsm::PageId* last) const;
+  // Emits (or forwards) one checkpoint message of the modeled stream:
+  // `from` -> chain_member(origin, hop), paced by the ckpt_bw budget.
+  void send_checkpoint(cluster::NodeId from, cluster::NodeId origin, std::uint32_t hop,
+                       std::uint32_t delta_bytes);
+  void handle_checkpoint(cluster::Incoming& in, cluster::NodeId self);
 
   cluster::Cluster* cluster_;
   dsm::DsmSystem* dsm_;
   hyperion::MonitorSubsystem* monitors_;
   std::vector<cluster::NodeId> zone_home_;  // routing table (identity until promotion)
   std::vector<Health> health_;
+  std::vector<ZoneSnap> zone_snaps_;  // indexed by zone
+  std::uint32_t chain_depth_ = 1;     // min(replicas, node_count - 1)
+  bool stream_enabled_ = false;
   std::uint64_t epoch_ = 0;
+  std::uint64_t promotions_ = 0;  // confirmed failures handled so far
   bool stopped_ = false;
-  cluster::NodeId promoted_for_ = -1;  // dead node whose zone moved; -1 = none
-  Time crash_started_ = 0;
-  // Pristine copy of the dead zone taken at promotion. The restart event
-  // diffs the dead node's arena against it to realize the *final* checkpoint:
-  // stores by the dead node's own threads that the engine's freeze model
-  // timestamps inside the crash window (compute initiated before the crash)
-  // still reach the mirrored copy, as they would on a real machine.
-  std::vector<std::byte> zone_snapshot_;
+  cluster::NodeId promoted_for_ = -1;  // most recent confirmed dead node
+  // Per-node virtual time until which the checkpoint stream's bandwidth
+  // budget is spoken for (ckpt_bw pacing; unused when ckpt_bw == 0).
+  std::vector<Time> ckpt_busy_until_;
 };
 
 }  // namespace hyp::ha

@@ -168,20 +168,23 @@ bool MonitorSubsystem::nack_if_stale(cluster::Incoming& in, cluster::NodeId self
   return true;
 }
 
-void MonitorSubsystem::fail_over_home(cluster::NodeId dead, cluster::NodeId backup) {
+void MonitorSubsystem::fail_over_home(cluster::NodeId dead, cluster::NodeId backup,
+                                      std::uint64_t zbegin, std::uint64_t zend) {
   auto& src = monitors_[static_cast<std::size_t>(dead)];
   auto& dst = monitors_[static_cast<std::size_t>(backup)];
-  for (auto& [obj, m] : src) {
-    const bool fresh = dst.emplace(obj, std::move(m)).second;
+  // Range-filtered move: only this zone's objects follow the promotion (other
+  // zones homed at `dead` may be elected to different chain members).
+  for (auto it = src.lower_bound(static_cast<dsm::Gva>(zbegin)); it != src.end();) {
+    if (it->first >= static_cast<dsm::Gva>(zend)) break;
+    const bool fresh = dst.emplace(it->first, std::move(it->second)).second;
     HYP_CHECK_MSG(fresh, "monitor failover collision: backup already manages the object");
+    it = src.erase(it);
   }
-  src.clear();
-  // The applied-op-id set moves with the tables so a retry of an op the dead
-  // home had applied (but whose ack was lost) re-attaches at the backup
-  // instead of double-applying.
+  // The applied-op-id set is copied (not cleared: another zone's promotion
+  // may still need it) so a retry of an op the dead home had applied (but
+  // whose ack was lost) re-attaches at the backup instead of double-applying.
   auto& sops = applied_ops_[static_cast<std::size_t>(dead)];
   applied_ops_[static_cast<std::size_t>(backup)].insert(sops.begin(), sops.end());
-  sops.clear();
 }
 
 // ---------------------------------------------------------------------------
@@ -207,6 +210,7 @@ void MonitorSubsystem::enter(dsm::ThreadCtx& t, dsm::Gva obj) {
     c.local = true;
     c.fiber = sim::Engine::current()->current_fiber();
     c.granted_flag = &granted;
+    c.from = t.node;  // the grant defers while this node is in a crash window
     do_enter(home, obj, std::move(c));
     while (!granted) sim::Engine::current()->park();
   } else {
@@ -260,6 +264,7 @@ void MonitorSubsystem::wait(dsm::ThreadCtx& t, dsm::Gva obj) {
     c.local = true;
     c.fiber = sim::Engine::current()->current_fiber();
     c.granted_flag = &granted;
+    c.from = t.node;  // the grant defers while this node is in a crash window
     do_wait(home, obj, std::move(c));
     while (!granted) sim::Engine::current()->park();
   } else {
@@ -362,6 +367,30 @@ void MonitorSubsystem::grant_next_if_free(cluster::NodeId home, MonitorState& m)
 }
 
 void MonitorSubsystem::grant(cluster::NodeId home, MonitorState&, Contender c) {
+  if (ha_ != nullptr && c.from >= 0) {
+    // A grant must never land on a node that is inside a crash window: a dead
+    // node processes nothing until its restart. This matters for contenders
+    // that were queued at a home which then died — the failover moves the
+    // queue to the elected home, which may reach this contender's turn while
+    // its node is still down (local contenders would otherwise be unparked
+    // directly, bypassing the network's crash windows entirely, read their
+    // node's stale demoted-at-restart arena as if it were still home, and
+    // feed the stale bytes back through the restart-side final-checkpoint
+    // fold — a lost-update bug caught by ha_test's multi-failure matrix).
+    // The contender already owns the monitor (grant order is decided by the
+    // caller); only the wake/reply is deferred to the window's end, which by
+    // the engine's (time, seq) order runs *after* the restart hook has
+    // demoted the node's stale home authority.
+    const Time now = cluster_->engine().now();
+    const Time release = cluster_->params().fault.crash_release(c.from, now);
+    if (release > now) {
+      cluster_->engine().post(release, [this, home, c]() mutable {
+        MonitorState unused;
+        grant(home, unused, std::move(c));  // re-checks a back-to-back window
+      });
+      return;
+    }
+  }
   if (c.local) {
     *c.granted_flag = true;
     sim::Engine::current()->unpark(c.fiber);

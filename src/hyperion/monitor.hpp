@@ -54,11 +54,18 @@ class MonitorSubsystem {
   // the new home's reattach/dedup absorbs a previously applied attempt), and
   // stale-home requests are NACKed (1-byte reply) instead of asserting.
   void set_ha(cluster::HaHooks* ha) { ha_ = ha; }
-  // Moves the dead node's monitor tables and applied-op-id set to the backup
-  // (the simulator realizes the checkpointed state the incremental
-  // replication stream has been mirroring). Local contenders' fiber pointers
-  // stay valid: fibers survive a crash under the thread-checkpoint model.
-  void fail_over_home(cluster::NodeId dead, cluster::NodeId backup);
+  // Moves the monitors of objects in the global-address range [zbegin, zend)
+  // from the dead node's table to the backup's (the simulator realizes the
+  // checkpointed state the incremental replication stream has been
+  // mirroring). Called once per re-elected zone: with replicas > 1 the dead
+  // node's zones may be promoted to *different* chain members, so the move is
+  // range-filtered rather than wholesale. The dead home's applied-op-id set
+  // is copied (not cleared) into the backup's so a retry of an op the dead
+  // home had applied re-attaches instead of double-applying. Local
+  // contenders' fiber pointers stay valid: fibers survive a crash under the
+  // thread-checkpoint model.
+  void fail_over_home(cluster::NodeId dead, cluster::NodeId backup,
+                      std::uint64_t zbegin, std::uint64_t zend);
 
  private:
   // A thread waiting for a grant: either a local fiber to unpark or a remote
@@ -68,7 +75,8 @@ class MonitorSubsystem {
     bool local;
     sim::Fiber* fiber = nullptr;       // local: fiber to unpark on grant
     bool* granted_flag = nullptr;      // local: set true on grant
-    cluster::NodeId from = -1;         // remote
+    cluster::NodeId from = -1;         // contender's node (grants defer while it
+                                       // is inside a crash window)
     std::uint64_t reply_token = 0;     // remote
     std::uint32_t grant_depth = 1;     // depth restored on grant (wait=saved)
   };

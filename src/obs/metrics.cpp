@@ -44,8 +44,10 @@ void write_histogram(std::ostream& os, const Log2Histogram& h) {
     if (h.bucket(i) == 0) continue;
     if (!first) os << ',';
     first = false;
+    // Inclusive bounds ("le", not "lt"): bucket 64's top bound is UINT64_MAX
+    // and values equal to it land *in* the bucket (histogram.hpp).
     os << "{\"ge\":" << Log2Histogram::bucket_lower(i)
-       << ",\"lt\":" << Log2Histogram::bucket_upper(i) << ",\"count\":" << h.bucket(i) << '}';
+       << ",\"le\":" << Log2Histogram::bucket_upper(i) << ",\"count\":" << h.bucket(i) << '}';
   }
   os << "]}";
 }

@@ -99,6 +99,9 @@ std::string event_args(const TraceEvent& e) {
     case TraceKind::kCheckpoint:
       std::snprintf(buf, sizeof(buf), "{\"backup\":%lld,\"bytes\":%lld}", a, b);
       break;
+    case TraceKind::kCheckpointApplied:
+      std::snprintf(buf, sizeof(buf), "{\"origin\":%lld,\"bytes\":%lld}", a, b);
+      break;
     default:
       std::snprintf(buf, sizeof(buf), "{\"a\":%lld,\"b\":%lld}", a, b);
       break;
@@ -137,6 +140,7 @@ const char* event_category(TraceKind kind) {
     case TraceKind::kHaRejoined:
     case TraceKind::kHaNack:
     case TraceKind::kCheckpoint:
+    case TraceKind::kCheckpointApplied:
       return "ha";
   }
   return "protocol";

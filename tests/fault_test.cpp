@@ -478,5 +478,170 @@ TEST(FaultProfileParseDeath, DedupWindowZeroIsRejected) {
   EXPECT_DEATH(FaultProfile::parse("dedupwin=0"), "dedupwin");
 }
 
+// --- replicas= / ckpt_bw= tokens (docs/RECOVERY.md) -------------------------
+
+TEST(FaultProfileParse, ReplicasAndCheckpointBandwidthTokens) {
+  EXPECT_EQ(FaultProfile::parse("").replicas, 1u);
+  EXPECT_EQ(FaultProfile::parse("").ckpt_bw, 0u);
+  const FaultProfile p = FaultProfile::parse("replicas=3,ckpt_bw=8,crash1@1ms+1ms");
+  EXPECT_EQ(p.replicas, 3u);
+  EXPECT_EQ(p.ckpt_bw, 8'000'000u);  // MB/s on the CLI -> bytes/sec internally
+  EXPECT_EQ(FaultProfile::parse("ckpt_bw=0.5").ckpt_bw, 500'000u);
+}
+
+// --- parse-time rejection of invalid crash schedules ------------------------
+//
+// Everything HaManager::start() used to HYP_CHECK mid-run is now a graceful
+// CLI error: a diagnostic naming the offending token on stderr and exit
+// status 2, before any simulation state exists.
+
+TEST(FaultProfileParseExit, CrashOnNodeZeroIsACliError) {
+  EXPECT_EXIT(FaultProfile::parse("crash0@1ms+1ms"), testing::ExitedWithCode(2),
+              "node 0 hosts the Java main thread");
+}
+
+TEST(FaultProfileParseExit, CrashWindowNeedsPositiveStartAndDuration) {
+  EXPECT_EXIT(FaultProfile::parse("crash1@0us+1ms"), testing::ExitedWithCode(2),
+              "positive start and duration");
+  EXPECT_EXIT(FaultProfile::parse("crash1@1ms+0us"), testing::ExitedWithCode(2),
+              "duration");
+}
+
+TEST(FaultProfileParseExit, DetectorTuningMustOrderHbSuspectConfirm) {
+  EXPECT_EXIT(FaultProfile::parse("crash1@1ms+1ms,hb=100us,suspect=50us"),
+              testing::ExitedWithCode(2), "hb <= suspect < confirm");
+  EXPECT_EXIT(FaultProfile::parse("crash1@1ms+1ms,suspect=200us,confirm=200us"),
+              testing::ExitedWithCode(2), "hb <= suspect < confirm");
+}
+
+TEST(FaultProfileParseExit, SameNodeCrashWindowsMustNotOverlap) {
+  EXPECT_EXIT(FaultProfile::parse("crash1@1ms+2ms,crash1@2ms+2ms"),
+              testing::ExitedWithCode(2), "must not overlap");
+  // Distinct nodes may overlap (the K-replica chain question); sequential
+  // windows on one node are fine.
+  FaultProfile ok = FaultProfile::parse("crash1@1ms+1ms,crash2@1ms+1ms");
+  EXPECT_EQ(ok.crashes.size(), 2u);
+  ok = FaultProfile::parse("crash1@1ms+1ms,crash1@5ms+1ms");
+  EXPECT_EQ(ok.crashes.size(), 2u);
+}
+
+TEST(FaultProfileParseExit, ReplicasAndCkptBwRejectNonPositive) {
+  EXPECT_EXIT(FaultProfile::parse("replicas=0"), testing::ExitedWithCode(2),
+              "replicas wants >= 1");
+  EXPECT_EXIT(FaultProfile::parse("ckpt_bw=0"), testing::ExitedWithCode(2), "ckpt_bw");
+  EXPECT_EXIT(FaultProfile::parse("ckpt_bw=nope"), testing::ExitedWithCode(2), "ckpt_bw");
+}
+
+// --- the full-grammar round-trip --------------------------------------------
+
+TEST(FaultProfileParse, ToStringRoundTripsEveryTokenType) {
+  // One spec exercising EVERY token type the grammar knows. parse ->
+  // to_string -> parse must reproduce each field exactly, and the second
+  // to_string must be a fixed point.
+  const std::string spec =
+      "drop2%,dup1%,corrupt0.5%,reorder5us,stall1@300us+200us,"
+      "blackout3@1ms+500us,crash2@3ms+2ms,crash1@8ms+2ms,seed=9,retries=6,"
+      "backoff=3,rto=100us,timeout=5ms,dedupwin=4,hb=50us,suspect=200us,"
+      "confirm=600us,replicas=2,ckpt_bw=8";
+  const FaultProfile a = FaultProfile::parse(spec);
+  const FaultProfile b = FaultProfile::parse(a.to_string());
+  EXPECT_EQ(a.to_string(), b.to_string());
+  EXPECT_EQ(a.drop_ppm, b.drop_ppm);
+  EXPECT_EQ(a.dup_ppm, b.dup_ppm);
+  EXPECT_EQ(a.corrupt_ppm, b.corrupt_ppm);
+  EXPECT_EQ(a.reorder_max, b.reorder_max);
+  EXPECT_EQ(a.seed, b.seed);
+  EXPECT_EQ(a.max_retries, b.max_retries);
+  EXPECT_EQ(a.rto_backoff, b.rto_backoff);
+  EXPECT_EQ(a.rto_initial, b.rto_initial);
+  EXPECT_EQ(a.call_timeout, b.call_timeout);
+  EXPECT_EQ(a.dedup_window, b.dedup_window);
+  EXPECT_EQ(a.hb_interval, b.hb_interval);
+  EXPECT_EQ(a.suspect_after, b.suspect_after);
+  EXPECT_EQ(a.confirm_after, b.confirm_after);
+  EXPECT_EQ(a.replicas, b.replicas);
+  EXPECT_EQ(a.ckpt_bw, b.ckpt_bw);
+  ASSERT_EQ(a.windows.size(), b.windows.size());
+  for (std::size_t i = 0; i < a.windows.size(); ++i) {
+    EXPECT_EQ(a.windows[i].node, b.windows[i].node);
+    EXPECT_EQ(a.windows[i].start, b.windows[i].start);
+    EXPECT_EQ(a.windows[i].duration, b.windows[i].duration);
+    EXPECT_EQ(a.windows[i].blackout, b.windows[i].blackout);
+  }
+  ASSERT_EQ(a.crashes.size(), b.crashes.size());
+  for (std::size_t i = 0; i < a.crashes.size(); ++i) {
+    EXPECT_EQ(a.crashes[i].node, b.crashes[i].node);
+    EXPECT_EQ(a.crashes[i].start, b.crashes[i].start);
+    EXPECT_EQ(a.crashes[i].duration, b.crashes[i].duration);
+  }
+}
+
+TEST(FaultProfileParse, DefaultProfileRoundTripsThroughOff) {
+  const FaultProfile d;
+  EXPECT_EQ(d.to_string(), "off");
+  const FaultProfile back = FaultProfile::parse(d.to_string());
+  EXPECT_FALSE(back.any());
+  EXPECT_FALSE(back.lossy());
+  EXPECT_EQ(back.replicas, 1u);
+  EXPECT_EQ(back.ckpt_bw, 0u);
+}
+
+// --- dedup-window eviction regression ---------------------------------------
+
+TEST(FaultTransport, DedupWindowEvictionActuallyRedelivers) {
+  // The other half of TinyDedupWindowStaysExact's story, proved at the
+  // transport layer where handler invocations are countable: dedupwin=1
+  // remembers a single sparse sequence number per flow, so under a dup storm
+  // with drops (the watermark stalls in the resulting holes) and heavy
+  // reordering, a duplicate of an evicted seq is re-delivered to the handler
+  // as a fresh message (cluster.cpp's window rollover). A non-idempotent
+  // service observes MORE invocations than sends — this is precisely the
+  // hazard the op-id/idempotence layers above must absorb.
+  ClusterParams p = tiny_params();
+  p.fault = FaultProfile::parse("drop10%,dup30%,reorder30us,dedupwin=1,seed=17");
+  Cluster c(p, 2);
+  int invocations = 0;
+  c.node(1).register_service(kOneWay, "one_way_test", [&](Incoming&) { ++invocations; });
+  constexpr int kSends = 60;
+  c.spawn_thread(0, "sender", [&] {
+    for (int i = 0; i < kSends; ++i) {
+      Buffer b;
+      b.put<std::uint8_t>(1);
+      c.send(0, 1, kOneWay, std::move(b));
+    }
+  });
+  c.run();
+  const Stats s = c.total_stats();
+  EXPECT_GT(s.get(Counter::kNetDupes), 0u);
+  EXPECT_GT(s.get(Counter::kDupSuppressed), 0u);  // the window still works...
+  EXPECT_GT(invocations, kSends);                 // ...but evictions leaked through
+}
+
+TEST(FaultVm, DedupEvictionRedeliveryIsAbsorbedByIdempotence) {
+  // The same eviction-prone storm against the full VM: re-delivered
+  // duplicates now hit BOTH service families — monitor enter/exit (absorbed
+  // by op ids) and DSM update/fetch (idempotent last-writer applies) — and
+  // the answer must still be exact.
+  std::uint64_t replays_absorbed = 0;
+  for (auto kind : {dsm::ProtocolKind::kJavaIc, dsm::ProtocolKind::kJavaPf}) {
+    Stats stats;
+    const std::int64_t result = synchronized_counter_run(
+        kind, "drop10%,dup25%,reorder8us,dedupwin=1,seed=17", /*home_on_node=*/2, &stats);
+    EXPECT_EQ(result, 240) << dsm::protocol_name(kind);
+    // The storm was real and the transport both suppressed and retransmitted.
+    EXPECT_GT(stats.get(Counter::kNetDupes), 0u) << dsm::protocol_name(kind);
+    EXPECT_GT(stats.get(Counter::kDupSuppressed), 0u) << dsm::protocol_name(kind);
+    EXPECT_GT(stats.get(Counter::kRetransmits), 0u) << dsm::protocol_name(kind);
+    // Both service families were exercised under the storm.
+    EXPECT_GT(stats.get(Counter::kUpdatesSent), 0u) << dsm::protocol_name(kind);
+    EXPECT_GT(stats.get(Counter::kMonitorEnters), 0u) << dsm::protocol_name(kind);
+    replays_absorbed += stats.get_named("dsm_update_replays_absorbed");
+  }
+  // At least one of the runs exercised the DSM update-id absorption path —
+  // without it an evicted-then-redelivered stale update reverts newer home
+  // bytes and the count above comes up short (the regression this pins).
+  EXPECT_GT(replays_absorbed, 0u);
+}
+
 }  // namespace
 }  // namespace hyp::cluster

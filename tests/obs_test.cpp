@@ -49,22 +49,50 @@ TEST(Log2HistogramEdges, ZeroOneAndMaxLandInTheRightBuckets) {
   EXPECT_EQ(h.max(), ~std::uint64_t{0});
 }
 
-TEST(Log2HistogramEdges, BucketBoundsAreHalfOpenPowerOfTwoRanges) {
-  // Bucket 0 = {0}, bucket k (k>=1) = [2^(k-1), 2^k).
+TEST(Log2HistogramEdges, BucketBoundsAreInclusivePowerOfTwoRanges) {
+  // Bucket 0 = {0}, bucket k (0 < k < 64) = [2^(k-1), 2^k - 1], bucket 64
+  // saturates to [2^63, UINT64_MAX] — both bounds inclusive, so every
+  // bucket's bounds are representable and the top bucket really contains
+  // record(UINT64_MAX) (the old exclusive contract claimed it did not).
   EXPECT_EQ(Log2Histogram::bucket_lower(0), 0u);
-  EXPECT_EQ(Log2Histogram::bucket_upper(0), 1u);
+  EXPECT_EQ(Log2Histogram::bucket_upper(0), 0u);
   EXPECT_EQ(Log2Histogram::bucket_lower(1), 1u);
-  EXPECT_EQ(Log2Histogram::bucket_upper(1), 2u);
+  EXPECT_EQ(Log2Histogram::bucket_upper(1), 1u);
   EXPECT_EQ(Log2Histogram::bucket_lower(10), 512u);
-  EXPECT_EQ(Log2Histogram::bucket_upper(10), 1024u);
+  EXPECT_EQ(Log2Histogram::bucket_upper(10), 1023u);
   EXPECT_EQ(Log2Histogram::bucket_lower(64), std::uint64_t{1} << 63);
   EXPECT_EQ(Log2Histogram::bucket_upper(64), ~std::uint64_t{0});
-  // Every representable value falls inside its own bucket's bounds.
+  // Every representable value falls inside its own bucket's bounds — now
+  // with no bucket-64 carve-out: the inclusive top bound holds everywhere.
   for (std::uint64_t v : {std::uint64_t{0}, std::uint64_t{1}, std::uint64_t{7},
-                          std::uint64_t{4096}, ~std::uint64_t{0} - 1}) {
+                          std::uint64_t{4096}, ~std::uint64_t{0} - 1, ~std::uint64_t{0}}) {
     const int b = Log2Histogram::bucket_of(v);
     EXPECT_GE(v, Log2Histogram::bucket_lower(b)) << v;
-    if (b < 64) EXPECT_LT(v, Log2Histogram::bucket_upper(b)) << v;
+    EXPECT_LE(v, Log2Histogram::bucket_upper(b)) << v;
+  }
+}
+
+TEST(Log2HistogramEdges, ExactBoundaryValuesLandInsideTheirLabeledBucket) {
+  // The satellite's pinned boundary set: 0, 1, 2^k-1, 2^k, UINT64_MAX. Each
+  // recorded value's bucket must be labeled with bounds that contain it.
+  auto contained = [](std::uint64_t v) {
+    Log2Histogram h;
+    h.record(v);
+    const int b = Log2Histogram::bucket_of(v);
+    EXPECT_EQ(h.bucket(b), 1u) << v;
+    EXPECT_GE(v, Log2Histogram::bucket_lower(b)) << v;
+    EXPECT_LE(v, Log2Histogram::bucket_upper(b)) << v;
+  };
+  contained(0);
+  contained(1);
+  for (int k : {1, 2, 10, 31, 32, 63}) {
+    contained((std::uint64_t{1} << k) - 1);
+    contained(std::uint64_t{1} << k);
+  }
+  contained(~std::uint64_t{0});
+  // Adjacent buckets never overlap and leave no gap: upper(k) + 1 == lower(k+1).
+  for (int k = 0; k < 64; ++k) {
+    EXPECT_EQ(Log2Histogram::bucket_upper(k) + 1, Log2Histogram::bucket_lower(k + 1)) << k;
   }
 }
 
