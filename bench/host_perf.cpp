@@ -28,6 +28,8 @@
 #include "dsm/dsm.hpp"
 #include "sim/engine.hpp"
 
+#include <sys/resource.h>
+
 namespace hyp::bench {
 namespace {
 
@@ -35,6 +37,14 @@ using Clock = std::chrono::steady_clock;
 
 double seconds_since(Clock::time_point t0) {
   return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+// Process-lifetime high-water RSS (KB on Linux); gated PR over PR by
+// scripts/compare_metrics.py --bench.
+std::uint64_t peak_rss_kb() {
+  rusage ru{};
+  getrusage(RUSAGE_SELF, &ru);
+  return static_cast<std::uint64_t>(ru.ru_maxrss);
 }
 
 // --- events/sec: N fibers, each sleeping `rounds` times -----------------------
@@ -193,7 +203,8 @@ int run(int argc, char** argv) {
      << ",\"jacobi_pf_wall_s\":" << e2e.jacobi_pf_s
      << ",\"asp_ic_wall_s\":" << e2e.asp_ic_s
      << ",\"asp_pf_wall_s\":" << e2e.asp_pf_s
-     << ",\"e2e_wall_s\":" << e2e.total() << "}";
+     << ",\"e2e_wall_s\":" << e2e.total()
+     << ",\"peak_rss_kb\":" << peak_rss_kb() << "}";
 
   std::cout << "host_perf [" << cli.get_string("label") << "]\n"
             << "  events/sec        : " << static_cast<std::uint64_t>(events_s) << "\n"
@@ -203,6 +214,7 @@ int run(int argc, char** argv) {
             << "  jacobi ic/pf wall : " << e2e.jacobi_ic_s << " / " << e2e.jacobi_pf_s << " s\n"
             << "  asp    ic/pf wall : " << e2e.asp_ic_s << " / " << e2e.asp_pf_s << " s\n"
             << "  e2e wall          : " << e2e.total() << " s\n"
+            << "  peak rss          : " << peak_rss_kb() << " KB\n"
             << js.str() << "\n";
 
   const std::string out = cli.get_string("out");

@@ -1,0 +1,71 @@
+#!/usr/bin/env bash
+# Scale smoke (the ctest `scale_smoke` entry, docs/SCALING.md): reduced
+# Jacobi + Barnes at N=256 — two orders of magnitude past the paper's node
+# counts — under a kill-and-recover profile with K=2 chain backups, must
+#
+#   1. land on the exact serial-reference answers for every point (the
+#      sweep_scale binary exits nonzero otherwise),
+#   2. actually exercise recovery at that scale: every point's metrics
+#      record exactly one promotion and a nonzero checkpoint stream, and
+#   3. be deterministic: a same-seed rerun produces an identical metrics
+#      file (host wall/rss fields excluded — those legitimately move).
+#
+# Usage: scripts/scale_smoke.sh [build-dir]       (default: build)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD="${1:-build}"
+SWEEP="$BUILD/bench/sweep_scale"
+[[ -x "$SWEEP" ]] || {
+  echo "scale_smoke: $SWEEP not built (run cmake --build $BUILD)" >&2
+  exit 2
+}
+
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+PROFILE='replicas=2,crash2@3ms+2ms,seed=7'
+ARGS=(--nodes 256 --jacobi-n 512 --jacobi-steps 2
+      --barnes-bodies 512 --barnes-steps 1
+      --fault-profile "$PROFILE")
+
+run() {
+  local out="$1" metrics="$2"
+  local rc=0
+  "$SWEEP" "${ARGS[@]}" --metrics-out "$metrics" > "$out" 2>&1 || rc=$?
+  if [[ $rc -ne 0 ]]; then
+    echo "scale_smoke: FAIL — sweep_scale exited $rc (answers diverged?)" >&2
+    tail -n 30 "$out" | sed 's/^/    /' >&2
+    exit 1
+  fi
+}
+
+run "$WORK/run.txt" "$WORK/run.json"
+
+# 2. recovery engaged at N=256: one promotion and checkpoint traffic on
+# every point.
+python3 - "$WORK/run.json" <<'EOF'
+import json, sys
+points = json.load(open(sys.argv[1]))["points"]
+assert points, "no metrics points recorded"
+for p in points:
+    who = f"{p['label']}/{p['protocol']}/N={p['nodes']}"
+    c = p["counters"]
+    assert c.get("ha_promotions") == 1, f"{who}: expected exactly 1 promotion, got {c.get('ha_promotions')}"
+    assert c.get("ha_checkpoint_msgs", 0) > 0, f"{who}: no checkpoint stream traffic"
+    assert c.get("ha_heartbeats", 0) > 0, f"{who}: detector never ticked"
+print(f"scale_smoke: {len(points)} points promoted exactly once with a live checkpoint stream")
+EOF
+
+# 3. same-seed rerun: identical virtual results (strip the host section —
+# wall clock and RSS are allowed to move).
+run "$WORK/rerun.txt" "$WORK/rerun.json"
+strip_host() { grep -v '"host":' "$1"; }
+if ! cmp -s <(strip_host "$WORK/run.json") <(strip_host "$WORK/rerun.json"); then
+  echo "scale_smoke: FAIL — same-seed rerun metrics differ" >&2
+  diff <(strip_host "$WORK/run.json") <(strip_host "$WORK/rerun.json") | head -n 20 >&2
+  exit 1
+fi
+
+echo "scale_smoke: N=256 kill-and-recover sweep reproduced serial answers," \
+     "rerun bit-identical"

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Builds Release and runs the node-count scaling sweep (bench/sweep_scale).
+#
+# Usage: scripts/sweep_scale.sh [extra sweep_scale flags...]
+#   scripts/sweep_scale.sh                       # full sweep, N up to 1024
+#   scripts/sweep_scale.sh --quick               # CI smoke (N in {8,64})
+#   scripts/sweep_scale.sh --fault-profile 'replicas=2,crash2@3ms+2ms,seed=7'
+#
+# The metrics JSON lands in sweep_scale_metrics.json at the repo root by
+# default (override with --metrics-out); gate two sweeps against each other
+# with scripts/compare_metrics.py (docs/SCALING.md).
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+
+metrics_out="$repo_root/sweep_scale_metrics.json"
+for arg in "$@"; do
+  case "$arg" in
+    --metrics-out|--metrics-out=*) metrics_out="" ;;
+  esac
+done
+
+build_dir="$repo_root/build-bench"
+cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release \
+  -DHYP_BUILD_TESTS=OFF -DHYP_BUILD_EXAMPLES=OFF
+cmake --build "$build_dir" -j "$(nproc)" --target sweep_scale
+
+if [ -n "$metrics_out" ]; then
+  "$build_dir/bench/sweep_scale" --metrics-out="$metrics_out" "$@"
+  echo "metrics written to $metrics_out"
+else
+  "$build_dir/bench/sweep_scale" "$@"
+fi

@@ -1,5 +1,6 @@
 #include "cluster/cluster.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "cluster/ha_hooks.hpp"
@@ -67,8 +68,71 @@ Cluster::Cluster(ClusterParams params, int nodes) : params_(std::move(params)) {
   // all network perturbation lives behind one seeded interface now.
   if (params_.fault.reorder_max == 0) params_.fault.reorder_max = params_.net.jitter_max;
   lossy_ = params_.fault.lossy();
-  if (lossy_) {
-    pairs_.resize(static_cast<std::size_t>(n) * static_cast<std::size_t>(n));
+  // Big clusters shard the event queue per node (no events exist yet — the
+  // engine was just constructed, so configure_shards' precondition holds).
+  sharded_ = n >= kShardNodeThreshold;
+  if (sharded_) engine_.configure_shards(static_cast<std::uint32_t>(n));
+}
+
+// ---------------------------------------------------------------------------
+// Sparse pair-state store (reliable transport; see the header comment).
+
+namespace {
+std::size_t pair_hash(std::uint64_t k) {
+  // splitmix64 finalizer: full-avalanche mix of the packed (from,to) key.
+  k ^= k >> 30;
+  k *= 0xbf58476d1ce4e5b9ull;
+  k ^= k >> 27;
+  k *= 0x94d049bb133111ebull;
+  k ^= k >> 31;
+  return static_cast<std::size_t>(k);
+}
+}  // namespace
+
+Cluster::PairState& Cluster::pair(NodeId from, NodeId to) {
+  if (pair_table_.empty()) pair_rehash(16);
+  const std::uint64_t key = pair_packed(from, to);
+  const std::size_t mask = pair_table_.size() - 1;
+  std::size_t i = pair_hash(key) & mask;
+  while (true) {
+    const std::uint32_t slot = pair_table_[i];
+    if (slot == 0) break;
+    PairState& ps = *pair_slots_[slot - 1];
+    if (ps.from == from && ps.to == to) return ps;
+    i = (i + 1) & mask;
+  }
+  auto created = std::make_unique<PairState>();
+  created->from = from;
+  created->to = to;
+  pair_slots_.push_back(std::move(created));
+  pair_table_[i] = static_cast<std::uint32_t>(pair_slots_.size());
+  if (pair_slots_.size() * 10 >= pair_table_.size() * 7) {
+    pair_rehash(pair_table_.size() * 2);  // keep the load factor under 0.7
+  }
+  return *pair_slots_.back();
+}
+
+Cluster::PairState* Cluster::pair_find(NodeId from, NodeId to) {
+  if (pair_table_.empty()) return nullptr;
+  const std::uint64_t key = pair_packed(from, to);
+  const std::size_t mask = pair_table_.size() - 1;
+  std::size_t i = pair_hash(key) & mask;
+  while (true) {
+    const std::uint32_t slot = pair_table_[i];
+    if (slot == 0) return nullptr;
+    PairState& ps = *pair_slots_[slot - 1];
+    if (ps.from == from && ps.to == to) return &ps;
+    i = (i + 1) & mask;
+  }
+}
+
+void Cluster::pair_rehash(std::size_t new_size) {
+  pair_table_.assign(new_size, 0);
+  const std::size_t mask = new_size - 1;
+  for (std::size_t s = 0; s < pair_slots_.size(); ++s) {
+    std::size_t i = pair_hash(pair_packed(pair_slots_[s]->from, pair_slots_[s]->to)) & mask;
+    while (pair_table_[i] != 0) i = (i + 1) & mask;
+    pair_table_[i] = static_cast<std::uint32_t>(s + 1);
   }
 }
 
@@ -148,7 +212,7 @@ RpcResult Cluster::call_result(NodeId from, NodeId to, ServiceId service, Buffer
   pc.req_seq = tx_enqueue(0, from, to, service, token, /*is_reply=*/false, std::move(payload));
 
   if (params_.fault.call_timeout > 0) {
-    engine_.post(pc.started + params_.fault.call_timeout, [this, token]() {
+    engine_.post_on(node_shard(from), pc.started + params_.fault.call_timeout, [this, token]() {
       auto it = pending_calls_.find(token);
       if (it == pending_calls_.end() || it->second->done) return;
       PendingCall& timed_out = *it->second;
@@ -214,8 +278,10 @@ void Cluster::deliver(TimeDelta depart_delay, NodeId from, NodeId to, ServiceId 
   const Time arrival =
       depart + params_.net.wire_time(payload.size()) + params_.fault.extra_delay(msg_seq);
 
-  engine_.post(arrival, [this, &dst, from, to, service, reply_token,
-                         moved = std::move(payload)]() mutable {
+  // Arrival and execution belong to the destination node: route them to its
+  // queue shard (the nested exec post inherits it via active_shard_).
+  engine_.post_on(node_shard(to), arrival, [this, &dst, from, to, service, reply_token,
+                                            moved = std::move(payload)]() mutable {
     // Arrived: contend for the receiving node's service queue.
     const Time begin = dst.service_queue().reserve(params_.net.recv_overhead);
     const Time exec_at = begin + params_.net.recv_overhead;
@@ -250,7 +316,7 @@ void Cluster::deliver_reply(TimeDelta depart_delay, NodeId from, NodeId to, std:
   const Time wakeup = depart + params_.net.wire_time(payload.size()) +
                       params_.net.recv_overhead + params_.fault.extra_delay(msg_seq);
 
-  engine_.post(wakeup, [this, token, moved = std::move(payload)]() mutable {
+  engine_.post_on(node_shard(to), wakeup, [this, token, moved = std::move(payload)]() mutable {
     HYP_CHECK_MSG(token >= 1 && token <= reply_slots_.size(),
                   "reply for unknown or completed call");
     PendingReply* slot = reply_slots_[token - 1];
@@ -298,7 +364,8 @@ void Cluster::tx_transmit(NodeId from, NodeId to, std::uint64_t seq, TimeDelta d
   if (ha_ != nullptr) {
     const Time release = params_.fault.crash_release(from, engine_.now() + depart_delay);
     if (release != 0) {
-      engine_.post(release, [this, from, to, seq]() { tx_transmit(from, to, seq, 0); });
+      engine_.post_on(node_shard(from), release,
+                      [this, from, to, seq]() { tx_transmit(from, to, seq, 0); });
       return;
     }
   }
@@ -313,7 +380,8 @@ void Cluster::tx_transmit(NodeId from, NodeId to, std::uint64_t seq, TimeDelta d
 
   // Arm the retransmit timer no matter what the wire does to this attempt:
   // the sender cannot observe drops, only missing acks.
-  engine_.post(depart + p.rto, [this, from, to, seq]() { tx_on_timer(from, to, seq); });
+  engine_.post_on(node_shard(from), depart + p.rto,
+                  [this, from, to, seq]() { tx_on_timer(from, to, seq); });
 
   // Corruption is detected by the receiver checksum and counts as a drop.
   if (f.roll(f.corrupt_ppm, key, FaultProfile::kSaltCorrupt) ||
@@ -349,10 +417,11 @@ void Cluster::tx_transmit(NodeId from, NodeId to, std::uint64_t seq, TimeDelta d
 void Cluster::tx_schedule_arrival(const TxPacket& p, Time arrival, bool /*injected_dup*/) {
   // The packet may be acked (erased) before this event fires; ship a copy.
   Buffer copy = clone_buffer(p.payload);
-  engine_.post(arrival, [this, from = p.from, to = p.to, service = p.service, token = p.token,
-                         is_reply = p.is_reply, seq = p.seq, moved = std::move(copy)]() mutable {
-    tx_on_arrival(from, to, service, token, is_reply, std::move(moved), seq);
-  });
+  engine_.post_on(node_shard(p.to), arrival,
+                  [this, from = p.from, to = p.to, service = p.service, token = p.token,
+                   is_reply = p.is_reply, seq = p.seq, moved = std::move(copy)]() mutable {
+                    tx_on_arrival(from, to, service, token, is_reply, std::move(moved), seq);
+                  });
 }
 
 void Cluster::tx_on_arrival(NodeId from, NodeId to, ServiceId service, std::uint64_t token,
@@ -439,8 +508,8 @@ void Cluster::tx_send_ack(NodeId from, NodeId to, std::uint64_t seq) {
     trace_event(from, TraceKind::kNetDrop, to, static_cast<std::int64_t>(seq));
     return;
   }
-  // Ack for data direction (to -> from).
-  engine_.post(arrival, [this, to, from, seq]() { tx_on_ack(to, from, seq); });
+  // Ack for data direction (to -> from); lands on the data sender's shard.
+  engine_.post_on(node_shard(to), arrival, [this, to, from, seq]() { tx_on_ack(to, from, seq); });
 }
 
 void Cluster::tx_on_ack(NodeId from, NodeId to, std::uint64_t seq) {
@@ -569,29 +638,45 @@ RpcError Cluster::make_error(RpcStatus status, NodeId from, NodeId to, ServiceId
 void Cluster::ha_fail_traffic_to(NodeId dead) {
   HYP_CHECK_MSG(ha_ != nullptr && ha_->confirmed_dead(dead),
                 "ha_fail_traffic_to wants a confirmed-dead node");
-  const int n = node_count();
-  for (NodeId other = 0; other < n; ++other) {
-    if (other == dead) continue;
+  // Collect peers with in-flight traffic involving the dead node from the
+  // sparse store's occupancy index — O(communicating pairs), not O(n) — then
+  // process them in ascending node order, which is exactly the order the old
+  // 0..n-1 full scan visited them in (pairs with empty outstanding were
+  // no-ops there), so the recovery goldens are byte-identical.
+  std::vector<NodeId> peers;
+  for (const auto& ps : pair_slots_) {
+    if (ps->outstanding.empty()) continue;
+    if (ps->to == dead && ps->from != dead) {
+      peers.push_back(ps->from);
+    } else if (ps->from == dead && ps->to != dead) {
+      peers.push_back(ps->to);
+    }
+  }
+  std::sort(peers.begin(), peers.end());
+  peers.erase(std::unique(peers.begin(), peers.end()), peers.end());
+  for (NodeId other : peers) {
     // Everything still outstanding *to* the dead node gives up now: blocking
     // calls wake with kBudgetExhausted and re-route; one-way sends are
     // discarded (the confirmed_dead branch of tx_give_up).
-    PairState& to_dead = pair(other, dead);
-    while (!to_dead.outstanding.empty()) {
-      TxPacket packet = std::move(to_dead.outstanding.begin()->second);
-      to_dead.outstanding.erase(to_dead.outstanding.begin());
-      tx_give_up(std::move(packet));
+    if (PairState* to_dead = pair_find(other, dead)) {
+      while (!to_dead->outstanding.empty()) {
+        TxPacket packet = std::move(to_dead->outstanding.begin()->second);
+        to_dead->outstanding.erase(to_dead->outstanding.begin());
+        tx_give_up(std::move(packet));
+      }
     }
     // Replies the dead node still owed: fail the parked callers (kTimeout)
     // so they re-route too. Its outstanding *requests* are left alone — the
     // node itself is merely frozen and its sends resume after the restart.
-    PairState& from_dead = pair(dead, other);
-    for (auto it = from_dead.outstanding.begin(); it != from_dead.outstanding.end();) {
-      if (it->second.is_reply) {
-        TxPacket packet = std::move(it->second);
-        it = from_dead.outstanding.erase(it);
-        tx_give_up(std::move(packet));
-      } else {
-        ++it;
+    if (PairState* from_dead = pair_find(dead, other)) {
+      for (auto it = from_dead->outstanding.begin(); it != from_dead->outstanding.end();) {
+        if (it->second.is_reply) {
+          TxPacket packet = std::move(it->second);
+          it = from_dead->outstanding.erase(it);
+          tx_give_up(std::move(packet));
+        } else {
+          ++it;
+        }
       }
     }
   }
@@ -602,7 +687,9 @@ void Cluster::ha_fail_traffic_to(NodeId dead) {
 sim::Fiber* Cluster::spawn_thread(NodeId on, std::string name, UniqueFunction<void()> body) {
   Node& target = node(on);
   target.stats().add(Counter::kRemoteThreadSpawns);
-  return engine_.spawn(std::move(name), std::move(body));
+  // Pin the fiber to its node's queue shard: all its sleeps/yields/wakeups
+  // stay in that node's heap.
+  return engine_.spawn_on(node_shard(on), std::move(name), std::move(body));
 }
 
 void Cluster::run() {

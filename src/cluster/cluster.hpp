@@ -225,6 +225,18 @@ class Cluster {
   // True when the configured fault profile engages the reliable transport.
   bool transport_active() const { return lossy_; }
 
+  // --- event-queue sharding (docs/SCALING.md) ------------------------------
+  // At/above this node count the constructor splits the engine's event queue
+  // into one shard per node and pins each node's handler executions, thread
+  // fibers and arrival events to its shard. Purely an executor-layout choice:
+  // the (at, seq) pop order — and therefore every golden — is bit-identical
+  // with or without sharding; small clusters keep the flat single-heap path.
+  static constexpr int kShardNodeThreshold = 64;
+  bool sharded() const { return sharded_; }
+  std::uint32_t node_shard(NodeId id) const {
+    return sharded_ ? static_cast<std::uint32_t>(id) : 0;
+  }
+
   // --- high availability (optional; nullptr = off, docs/RECOVERY.md) -------
   // With hooks installed the transport (1) holds a crashed node's outbound
   // transmissions until its restart, (2) gives up fast on packets addressed
@@ -331,6 +343,8 @@ class Cluster {
   };
 
   struct PairState {
+    NodeId from = -1;  // identity (the sparse store iterates slots)
+    NodeId to = -1;
     std::uint64_t next_seq = 0;  // sender side
     // seq -> packet, ordered (deterministic iteration for diagnostics).
     std::map<std::uint64_t, TxPacket> outstanding;
@@ -340,9 +354,14 @@ class Cluster {
     std::set<std::uint64_t> seen_above;
   };
 
-  PairState& pair(NodeId from, NodeId to) {
-    return pairs_[static_cast<std::size_t>(from) * nodes_.size() +
-                  static_cast<std::size_t>(to)];
+  // Sparse pair-state lookup: creates the (from,to) entry on first use.
+  // pair_find() never creates (recovery paths probing both directions).
+  PairState& pair(NodeId from, NodeId to);
+  PairState* pair_find(NodeId from, NodeId to);
+  void pair_rehash(std::size_t new_size);
+  static std::uint64_t pair_packed(NodeId from, NodeId to) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(from)) << 32) |
+           static_cast<std::uint32_t>(to);
   }
   // Enqueues a packet on the reliable transport and transmits it. Returns the
   // per-pair sequence number assigned (callers needing cancellation keep it).
@@ -379,9 +398,19 @@ class Cluster {
   obs::PhaseAccounting* phases_ = nullptr;
   HaHooks* ha_ = nullptr;
 
+  bool sharded_ = false;  // event queue split one-shard-per-node
+
   // Reliable-transport state (empty/idle unless lossy_).
+  //
+  // The pair store is sparse: slots are created on first communication, in
+  // creation order — that vector doubles as the occupancy index (exactly the
+  // pairs that have ever carried traffic), and an open-addressing table maps
+  // packed (from,to) to its slot. Memory is linear in communicating pairs,
+  // not quadratic in the node count; PairState references stay stable across
+  // insertions because slots are unique_ptrs.
   bool lossy_ = false;
-  std::vector<PairState> pairs_;  // [from * n + to]
+  std::vector<std::unique_ptr<PairState>> pair_slots_;  // creation order
+  std::vector<std::uint32_t> pair_table_;  // open addressing: slot+1, 0 empty
   // Lossy-mode call matching: monotonically increasing tokens are never
   // recycled, so a reply that limps in after its call failed can only miss
   // the map (and be suppressed) — it can never corrupt an unrelated call.

@@ -21,6 +21,7 @@ namespace hyp::cluster {
 //              | 'dedupwin=' INT | 'hb=' FLOAT ('us'|'ms')
 //              | 'suspect=' FLOAT ('us'|'ms') | 'confirm=' FLOAT ('us'|'ms')
 //              | 'replicas=' INT | 'ckpt_bw=' FLOAT        (MB/s)
+//              | 'hbcoalesce=' INT                  (0 = never, 1 = always)
 //
 // Rejections are CLI errors: a diagnostic on stderr citing the grammar and
 // exit(2), never a mid-run abort — the profile is fully validated (including
@@ -36,7 +37,7 @@ namespace {
                "  grammar: drop2%%,dup1%%,corrupt0.5%%,reorder5us,stall1@300us+200us,"
                "blackout0@1ms+500us,crash2@1ms+800us,seed=N,retries=N,backoff=N,"
                "rto=100us,timeout=5ms,dedupwin=N,hb=50us,suspect=200us,confirm=600us,"
-               "replicas=K,ckpt_bw=8\n",
+               "replicas=K,ckpt_bw=8,hbcoalesce=N\n",
                spec.c_str(), token.c_str(), why.c_str());
   std::exit(2);
 }
@@ -135,6 +136,11 @@ FaultProfile FaultProfile::parse(const std::string& spec) {
     } else if (starts_with(token, "replicas=", &n)) {
       p.replicas = static_cast<std::uint32_t>(std::strtoul(token.c_str() + n, &end, 10));
       if (*end != '\0' || p.replicas == 0) bad_profile(spec, token, "replicas wants >= 1");
+    } else if (starts_with(token, "hbcoalesce=", &n)) {
+      p.hb_coalesce = static_cast<std::uint32_t>(std::strtoul(token.c_str() + n, &end, 10));
+      if (*end != '\0' || end == token.c_str() + n) {
+        bad_profile(spec, token, "hbcoalesce wants an integer (0 = never, 1 = always)");
+      }
     } else if (starts_with(token, "ckpt_bw=", &n)) {
       const double mbps = std::strtod(token.c_str() + n, &end);
       if (end == token.c_str() + n || *end != '\0' || mbps <= 0) {
@@ -272,6 +278,9 @@ std::string FaultProfile::to_string() const {
     add("confirm=" + dur(confirm_after));
   }
   if (replicas != 1) add("replicas=" + std::to_string(replicas));
+  if (hb_coalesce != defaults.hb_coalesce) {
+    add("hbcoalesce=" + std::to_string(hb_coalesce));
+  }
   if (ckpt_bw != 0) {
     char buf[32];
     std::snprintf(buf, sizeof(buf), "ckpt_bw=%g", static_cast<double>(ckpt_bw) / 1e6);

@@ -111,6 +111,15 @@ struct FaultProfile {
   Time suspect_after = 200 * kMicrosecond;
   Time confirm_after = 600 * kMicrosecond;
 
+  // Detector coalescing threshold (docs/RECOVERY.md): clusters with at least
+  // this many nodes run ONE sweep event per hb_interval that ticks every node
+  // in ascending id order, instead of one self-chaining tick event per node —
+  // O(1) events per interval instead of O(n), same side effects in the same
+  // order. Below the threshold the classic per-node chains are kept (they are
+  // what the recovery goldens' event counts pin). 0 = never coalesce,
+  // 1 = always. Token `hbcoalesce=N`.
+  std::uint32_t hb_coalesce = 64;
+
   // Replication depth for HA home-state backups (docs/RECOVERY.md): each
   // home's zone is checkpointed to its `replicas` ring successors in chain
   // order, so any K simultaneous failures that leave one of the K+1 copies

@@ -1,0 +1,70 @@
+// Deterministic O(1) membership set over small non-negative integer ids
+// (node ids, page sharers, directory copysets).
+//
+// Two structures in lock-step: an insertion-ordered vector (the only thing
+// iteration ever touches, so the visit order is a pure function of the
+// insert sequence — exactly what the determinism goldens pin) and a lazily
+// grown bitmap for contains()/insert() in O(1). clear() is O(elements), not
+// O(universe): it unsets only the bits of current members, so a set that
+// drains and refills every round (the seqc directory copyset) never pays
+// for the id space.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace hyp {
+
+class NodeSet {
+ public:
+  using value_type = int;
+  using const_iterator = std::vector<int>::const_iterator;
+
+  // Adds `id` unless already present; returns true when newly inserted.
+  bool insert(int id) {
+    const std::size_t w = word(id);
+    if (w >= bits_.size()) bits_.resize(w + 1, 0);
+    const std::uint64_t m = mask(id);
+    if ((bits_[w] & m) != 0) return false;
+    bits_[w] |= m;
+    items_.push_back(id);
+    return true;
+  }
+
+  bool contains(int id) const {
+    const std::size_t w = word(id);
+    return w < bits_.size() && (bits_[w] & mask(id)) != 0;
+  }
+
+  // Members in insertion order.
+  const std::vector<int>& items() const { return items_; }
+  const_iterator begin() const { return items_.begin(); }
+  const_iterator end() const { return items_.end(); }
+  std::size_t size() const { return items_.size(); }
+  bool empty() const { return items_.empty(); }
+
+  void clear() {
+    for (int id : items_) bits_[word(id)] &= ~mask(id);
+    items_.clear();
+  }
+
+  // Moves the members (insertion order) into `out` and empties the set —
+  // the "swap the copyset out, then fan out invalidations" drain, without
+  // giving up the bitmap's capacity.
+  void drain_into(std::vector<int>& out) {
+    for (int id : items_) bits_[word(id)] &= ~mask(id);
+    out.clear();
+    out.swap(items_);
+  }
+
+ private:
+  static std::size_t word(int id) { return static_cast<std::size_t>(id) >> 6; }
+  static std::uint64_t mask(int id) {
+    return std::uint64_t{1} << (static_cast<unsigned>(id) & 63u);
+  }
+
+  std::vector<int> items_;           // insertion order; drives iteration
+  std::vector<std::uint64_t> bits_;  // membership; lazily sized to max id
+};
+
+}  // namespace hyp

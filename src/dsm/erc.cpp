@@ -73,10 +73,7 @@ void ErcDsm::fetch(ErcThreadCtx& t, PageId p) {
 void ErcDsm::handle_fetch(cluster::Incoming& in, NodeId self) {
   const auto p = in.reader.get<std::uint32_t>();
   HYP_CHECK_MSG(layout_.home_of_page(p) == self, "erc fetch reached a non-home node");
-  auto& list = sharers_[p];
-  bool known = false;
-  for (NodeId n : list) known = known || (n == in.from);
-  if (!known) list.push_back(in.from);
+  sharers_[p].insert(in.from);
   const Time done_at = cluster_->node(self).extend_service(
       cluster_->params().cpu.copy_cost(layout_.page_bytes()));
   Buffer out;
@@ -155,12 +152,10 @@ void ErcDsm::on_release(ErcThreadCtx& t) {
         entries[it->second] = e;
       }
     }
-    std::vector<NodeId> targets;
+    NodeSet targets;
     for (const auto& e : entries) {
       for (NodeId sharer : sharers_[layout_.page_of(e.addr)]) {
-        bool seen = false;
-        for (NodeId x : targets) seen = seen || (x == sharer);
-        if (!seen && sharer != t.node) targets.push_back(sharer);
+        if (sharer != t.node) targets.insert(sharer);
       }
     }
     for (NodeId target : targets) {
@@ -205,13 +200,10 @@ void ErcDsm::handle_release(cluster::Incoming& in, NodeId self) {
   cluster_->node(self).extend_service(cluster_->params().cpu.copy_cost(total_bytes));
 
   // Forward to every sharer of a touched page except the releaser.
-  std::vector<NodeId> targets;
+  NodeSet targets;
   for (PageId p : touched) {
     for (NodeId sharer : sharers_[p]) {
-      if (sharer == in.from) continue;
-      bool seen = false;
-      for (NodeId x : targets) seen = seen || (x == sharer);
-      if (!seen) targets.push_back(sharer);
+      if (sharer != in.from) targets.insert(sharer);
     }
   }
 

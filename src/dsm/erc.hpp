@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "cluster/cluster.hpp"
+#include "common/node_set.hpp"
 #include "dsm/address.hpp"
 #include "dsm/node_dsm.hpp"
 #include "dsm/write_log.hpp"
@@ -114,8 +115,8 @@ class ErcDsm {
     std::memcpy(nodes_[static_cast<std::size_t>(home)]->arena() + a, &v, sizeof(T));
   }
 
-  // Sharers of a page (test introspection).
-  const std::vector<NodeId>& sharers(PageId p) const { return sharers_[p]; }
+  // Sharers of a page, in first-fetch order (test introspection).
+  const NodeSet& sharers(PageId p) const { return sharers_[p]; }
 
  private:
   void fetch(ErcThreadCtx& t, PageId p);
@@ -133,7 +134,7 @@ class ErcDsm {
   cluster::Cluster* cluster_;
   Layout layout_;
   std::vector<std::unique_ptr<NodeDsm>> nodes_;
-  std::vector<std::vector<NodeId>> sharers_;  // [page] -> non-home replica holders
+  std::vector<NodeSet> sharers_;  // [page] -> non-home replica holders
   std::map<std::uint64_t, PendingRelease> pending_;  // release id -> state
   std::uint64_t next_release_id_ = 1;
 };

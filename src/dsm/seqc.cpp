@@ -168,7 +168,7 @@ void SeqDsm::write_complete(SeqThreadCtx& t, PageId p) {
           dir.in_service.wants_exclusive ? SeqMode::kInvalid : SeqMode::kRead;
       ++cs.inval_version[p];
       dir.exclusive_owner = -1;
-      if (!dir.in_service.wants_exclusive) dir.copyset.push_back(home);
+      if (!dir.in_service.wants_exclusive) dir.copyset.insert(home);
       finish_service(home, p);
     }
     return;
@@ -231,7 +231,7 @@ void SeqDsm::start_service(NodeId home, PageId p, Pending req) {
         req.wants_exclusive ? SeqMode::kInvalid : SeqMode::kRead;
     ++client(home).inval_version[p];
     dir.exclusive_owner = -1;
-    if (!req.wants_exclusive) dir.copyset.push_back(home);
+    if (!req.wants_exclusive) dir.copyset.insert(home);
   }
   finish_service(home, p);
 }
@@ -263,7 +263,7 @@ void SeqDsm::handle_recall_reply(NodeId home, PageId p, BufferReader& payload) {
   const NodeId old_owner = dir.exclusive_owner;
   dir.exclusive_owner = -1;
   if (!dir.in_service.wants_exclusive && old_owner >= 0) {
-    dir.copyset.push_back(old_owner);  // downgraded to a read replica
+    dir.copyset.insert(old_owner);  // downgraded to a read replica
   }
   finish_service(home, p);
 }
@@ -275,7 +275,7 @@ void SeqDsm::finish_service(NodeId home, PageId p) {
   if (req.wants_exclusive && dir.acks_outstanding == 0 && !dir.copyset.empty()) {
     // Step 2 (writes): invalidate every replica except the requester.
     std::vector<NodeId> readers;
-    readers.swap(dir.copyset);
+    dir.copyset.drain_into(readers);
     for (NodeId reader : readers) {
       if (reader == req.requester) continue;
       if (reader == home) {
@@ -321,9 +321,7 @@ void SeqDsm::grant(NodeId home, PageId p, const Pending& req) {
   if (req.wants_exclusive) {
     dir.exclusive_owner = req.requester;
   } else {
-    bool already = req.requester == home;
-    for (NodeId n : dir.copyset) already = already || (n == req.requester);
-    if (!already) dir.copyset.push_back(req.requester);
+    if (req.requester != home) dir.copyset.insert(req.requester);
   }
 
   if (req.local_fiber != nullptr) {

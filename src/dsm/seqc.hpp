@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "cluster/cluster.hpp"
+#include "common/node_set.hpp"
 #include "dsm/address.hpp"
 #include "dsm/node_dsm.hpp"
 
@@ -125,7 +126,7 @@ class SeqDsm {
     bool* local_granted = nullptr;
   };
   struct Directory {
-    std::vector<NodeId> copyset;   // nodes holding read replicas (home included
+    NodeSet copyset;               // nodes holding read replicas (home included
                                    // implicitly: the home copy is the master)
     NodeId exclusive_owner = -1;   // -1 = none (home copy authoritative)
     bool busy = false;             // a recall/invalidate round is in flight

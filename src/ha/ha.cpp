@@ -17,6 +17,13 @@ namespace {
 // delta byte count, reserved. The delta itself rides as padding so the
 // network model charges the real checkpoint size (common/buffer.hpp).
 constexpr std::size_t kCkptHeaderBytes = 4 * sizeof(std::uint32_t);
+
+// Sorted-unique insertion into an ascending zone list (the reverse indexes
+// iterate in ascending zone order, matching the old full scans).
+void insert_sorted(std::vector<NodeId>& v, NodeId x) {
+  auto it = std::lower_bound(v.begin(), v.end(), x);
+  if (it == v.end() || *it != x) v.insert(it, x);
+}
 }  // namespace
 
 HaManager::HaManager(cluster::Cluster* cluster, dsm::DsmSystem* dsm,
@@ -24,7 +31,12 @@ HaManager::HaManager(cluster::Cluster* cluster, dsm::DsmSystem* dsm,
     : cluster_(cluster), dsm_(dsm), monitors_(monitors) {
   const auto n = static_cast<std::size_t>(cluster_->node_count());
   zone_home_.resize(n);
-  for (std::size_t i = 0; i < n; ++i) zone_home_[i] = static_cast<NodeId>(i);
+  home_zones_.resize(n);
+  snap_zones_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    zone_home_[i] = static_cast<NodeId>(i);
+    home_zones_[i].push_back(static_cast<NodeId>(i));
+  }
   health_.resize(n);
   zone_snaps_.resize(n);
   ckpt_busy_until_.resize(n, 0);
@@ -81,8 +93,15 @@ void HaManager::start() {
   auto& eng = cluster_->engine();
   const Time now = eng.now();
   for (auto& h : health_) h.last_heard = now;
-  for (NodeId n = 0; n < count; ++n) {
-    eng.post(now + f.hb_interval, [this, n]() { tick(n); });
+  // Big clusters coalesce the detector into one sweep event per interval
+  // (same side effects in the same order — see sweep()); small clusters keep
+  // the per-node tick chains the recovery goldens' event counts pin.
+  if (f.hb_coalesce != 0 && static_cast<std::uint32_t>(count) >= f.hb_coalesce) {
+    eng.post(now + f.hb_interval, [this]() { sweep(); });
+  } else {
+    for (NodeId n = 0; n < count; ++n) {
+      eng.post(now + f.hb_interval, [this, n]() { tick(n); });
+    }
   }
   for (const FaultWindow& c : f.crashes) {
     if (c.node >= count) continue;
@@ -101,39 +120,54 @@ void HaManager::start() {
 
 void HaManager::stop() { stopped_ = true; }
 
+void HaManager::tick_node(NodeId n, Time now, const cluster::FaultProfile& f) {
+  // A crashed node's CPU is dead: it neither heartbeats nor watches. Its
+  // silence is exactly what its chain watchers measure.
+  if (f.crash_release(n, now) != 0) return;
+  health_[static_cast<std::size_t>(n)].last_heard = now;
+  cluster_->node(n).stats().add(Counter::kHaHeartbeats);
+
+  const int count = cluster_->node_count();
+  // Watcher duty over the K watched ring predecessors: node n is chain
+  // member i of predecessor (n - 1 - i), so between them the chain
+  // members cover every node whose state they mirror. With replicas=1
+  // this is exactly the classic single-predecessor watch.
+  for (std::uint32_t i = 0; i < chain_depth_; ++i) {
+    const NodeId pred =
+        static_cast<NodeId>(((n - 1 - static_cast<int>(i)) % count + count) % count);
+    Health& h = health_[static_cast<std::size_t>(pred)];
+    if (h.confirmed) continue;
+    const Time silence = now - h.last_heard;
+    if (silence >= f.suspect_after && !h.suspected) {
+      h.suspected = true;
+      cluster_->trace_event(n, TraceKind::kHaSuspected, pred,
+                            static_cast<std::int64_t>(silence / kMicrosecond));
+    }
+    if (h.suspected && silence >= f.confirm_after) {
+      confirm_death(pred, n, silence);
+    }
+  }
+}
+
 void HaManager::tick(NodeId n) {
   if (stopped_) return;
   auto& eng = cluster_->engine();
   const Time now = eng.now();
   const auto& f = cluster_->params().fault;
-  // A crashed node's CPU is dead: it neither heartbeats nor watches. Its
-  // silence is exactly what its chain watchers measure.
-  if (f.crash_release(n, now) == 0) {
-    health_[static_cast<std::size_t>(n)].last_heard = now;
-    cluster_->node(n).stats().add(Counter::kHaHeartbeats);
-
-    const int count = cluster_->node_count();
-    // Watcher duty over the K watched ring predecessors: node n is chain
-    // member i of predecessor (n - 1 - i), so between them the chain
-    // members cover every node whose state they mirror. With replicas=1
-    // this is exactly the classic single-predecessor watch.
-    for (std::uint32_t i = 0; i < chain_depth_; ++i) {
-      const NodeId pred =
-          static_cast<NodeId>(((n - 1 - static_cast<int>(i)) % count + count) % count);
-      Health& h = health_[static_cast<std::size_t>(pred)];
-      if (h.confirmed) continue;
-      const Time silence = now - h.last_heard;
-      if (silence >= f.suspect_after && !h.suspected) {
-        h.suspected = true;
-        cluster_->trace_event(n, TraceKind::kHaSuspected, pred,
-                              static_cast<std::int64_t>(silence / kMicrosecond));
-      }
-      if (h.suspected && silence >= f.confirm_after) {
-        confirm_death(pred, n, silence);
-      }
-    }
-  }
+  tick_node(n, now, f);
   eng.post(now + f.hb_interval, [this, n]() { tick(n); });
+}
+
+void HaManager::sweep() {
+  if (stopped_) return;
+  auto& eng = cluster_->engine();
+  const Time now = eng.now();
+  const auto& f = cluster_->params().fault;
+  const int count = cluster_->node_count();
+  // Ascending node order = the seq order the per-node tick chains fire in at
+  // every interval (posted ascending at start, re-posted in firing order).
+  for (NodeId n = 0; n < count; ++n) tick_node(n, now, f);
+  eng.post(now + f.hb_interval, [this]() { sweep(); });
 }
 
 void HaManager::on_crash(const FaultWindow& c) {
@@ -185,12 +219,11 @@ void HaManager::confirm_death(NodeId dead, NodeId watcher, Time silence) {
                         static_cast<std::int64_t>(silence / kMicrosecond));
 
   // Every zone currently homed at the dead node is re-elected to the first
-  // live member of the dead home's chain (ascending zone order keeps the
-  // event sequence hash-deterministic).
-  std::vector<NodeId> zones;
-  for (NodeId z = 0; z < cluster_->node_count(); ++z) {
-    if (zone_home_[static_cast<std::size_t>(z)] == dead) zones.push_back(z);
-  }
+  // live member of the dead home's chain. The incremental reverse index
+  // hands us the zones directly — in the ascending zone order the old
+  // all-zones scan produced, keeping the event sequence hash-deterministic.
+  std::vector<NodeId> zones = home_zones_[static_cast<std::size_t>(dead)];
+  home_zones_[static_cast<std::size_t>(dead)].clear();
 
   NodeId first_home = watcher;  // epoch-bump track when no zone moves
   std::vector<NodeId> new_homes(zones.size());
@@ -209,6 +242,7 @@ void HaManager::confirm_death(NodeId dead, NodeId watcher, Time silence) {
     // next consistency action) and stale *requests* are NACKed by the
     // handlers.
     zone_home_[static_cast<std::size_t>(zones[i])] = new_homes[i];
+    insert_sorted(home_zones_[static_cast<std::size_t>(new_homes[i])], zones[i]);
     move_zone(zones[i], dead, new_homes[i]);
   }
 
@@ -272,6 +306,7 @@ void HaManager::move_zone(NodeId zone, NodeId dead, NodeId new_home) {
   //     feeds the restart-side final-checkpoint diff (see on_restart).
   ZoneSnap& snap = zone_snaps_[static_cast<std::size_t>(zone)];
   snap.from = dead;
+  insert_sorted(snap_zones_[static_cast<std::size_t>(dead)], zone);
   snap.bytes.assign(dnd.arena() + zbegin, dnd.arena() + zend);
   std::memcpy(bnd.arena() + zbegin, dnd.arena() + zbegin, zbytes);
   bnd.promote_to_home(first, last);
@@ -309,7 +344,12 @@ void HaManager::on_restart(const FaultWindow& c) {
   cluster_->trace_event(n, TraceKind::kNodeRestart, static_cast<std::int64_t>(epoch_), 0);
 
   bool rejoined = false;
-  for (NodeId z = 0; z < cluster_->node_count(); ++z) {
+  // Only the zones snapshotted from this node (reverse index, ascending zone
+  // order like the old all-zones scan). An entry can be stale — the zone may
+  // have moved on to yet another home since — hence the snap.from re-check.
+  std::vector<NodeId> snapped;
+  snapped.swap(snap_zones_[static_cast<std::size_t>(n)]);
+  for (NodeId z : snapped) {
     ZoneSnap& snap = zone_snaps_[static_cast<std::size_t>(z)];
     if (snap.from != n) continue;
     // Final incremental checkpoint: stores by the node's own threads whose

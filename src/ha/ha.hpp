@@ -131,6 +131,15 @@ class HaManager final : public cluster::HaHooks {
   // One self-chaining detector tick per node: emit the heartbeat (if alive),
   // run watcher duty over the K watched ring predecessors.
   void tick(cluster::NodeId n);
+  // Coalesced detector (node_count >= FaultProfile::hb_coalesce): ONE
+  // self-chaining sweep event per hb_interval ticks every node in ascending
+  // id order — the exact order the per-node chains fire in (they are posted,
+  // and so seq-ordered, ascending at every interval) — so the side effects
+  // are identical while the event heap carries O(1) detector events per
+  // interval instead of O(n).
+  void sweep();
+  // The shared per-node tick body (heartbeat + watcher duty, no re-post).
+  void tick_node(cluster::NodeId n, Time now, const cluster::FaultProfile& f);
   void on_crash(const cluster::FaultWindow& c);
   void on_restart(const cluster::FaultWindow& c);
   // Confirmed death of `dead`: epoch bump, re-election of every zone homed
@@ -156,6 +165,12 @@ class HaManager final : public cluster::HaHooks {
   dsm::DsmSystem* dsm_;
   hyperion::MonitorSubsystem* monitors_;
   std::vector<cluster::NodeId> zone_home_;  // routing table (identity until promotion)
+  // Incremental reverse indexes so re-election and restart never scan all
+  // zones: home_zones_[n] = zones currently homed at n; snap_zones_[n] =
+  // zones whose promotion-time snapshot was taken from n. Both kept in
+  // ascending zone order — the order the old 0..n-1 full scans visited.
+  std::vector<std::vector<cluster::NodeId>> home_zones_;
+  std::vector<std::vector<cluster::NodeId>> snap_zones_;
   std::vector<Health> health_;
   std::vector<ZoneSnap> zone_snaps_;  // indexed by zone
   std::uint32_t chain_depth_ = 1;     // min(replicas, node_count - 1)

@@ -132,6 +132,15 @@ void write_point(std::ostream& os, const MetricsPoint& mp) {
     os << "\n      ]}";
   }
 
+  if (mp.has_host) {
+    char wall[48];
+    std::snprintf(wall, sizeof(wall), "%.3f", mp.host_wall_s);
+    field("\"host\":{\"wall_s\":" + std::string(wall) +
+          ",\"events\":" + std::to_string(mp.host_events) +
+          ",\"events_per_sec\":" + std::to_string(mp.host_events_per_sec) +
+          ",\"peak_rss_kb\":" + std::to_string(mp.host_peak_rss_kb) + '}');
+  }
+
   if (mp.has_trace) {
     std::string body = "\"trace\":{\"events\":" + std::to_string(mp.trace_events) +
                        ",\"dropped\":" + std::to_string(mp.trace_dropped);

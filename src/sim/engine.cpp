@@ -46,7 +46,10 @@ void Fiber::entry(void* self) {
 // ---------------------------------------------------------------------------
 // Engine
 
-Engine::Engine() = default;
+Engine::Engine() {
+  shards_.resize(1);
+  merge_pos_.assign(1, kNotInMerge);
+}
 
 Engine::~Engine() {
   HYP_CHECK_MSG(!running_, "engine destroyed while running");
@@ -54,13 +57,20 @@ Engine::~Engine() {
 
 Engine* Engine::current() { return t_current_engine; }
 
-Fiber* Engine::spawn(std::string name, UniqueFunction<void()> body, std::size_t stack_bytes) {
+Fiber* Engine::spawn_impl(std::uint32_t shard, std::string name, UniqueFunction<void()> body,
+                          std::size_t stack_bytes, bool daemon) {
   std::unique_ptr<Fiber> fiber(
-      new Fiber(this, std::move(name), std::move(body), stack_bytes, /*daemon=*/false));
+      new Fiber(this, std::move(name), std::move(body), stack_bytes, daemon));
   Fiber* raw = fiber.get();
+  raw->shard_ = shard;
   fibers_.push_back(std::move(fiber));
   schedule_wakeup(raw, now_, FiberState::kReadyQueued);
   return raw;
+}
+
+Fiber* Engine::spawn(std::string name, UniqueFunction<void()> body, std::size_t stack_bytes) {
+  return spawn_impl(active_shard_, std::move(name), std::move(body), stack_bytes,
+                    /*daemon=*/false);
 }
 
 Fiber* Engine::spawn_daemon(std::string name, UniqueFunction<void()> body,
@@ -68,6 +78,22 @@ Fiber* Engine::spawn_daemon(std::string name, UniqueFunction<void()> body,
   Fiber* raw = spawn(std::move(name), std::move(body), stack_bytes);
   raw->daemon_ = true;
   return raw;
+}
+
+Fiber* Engine::spawn_on(std::uint32_t shard, std::string name, UniqueFunction<void()> body,
+                        std::size_t stack_bytes) {
+  HYP_CHECK_MSG(shard < shards_.size(), "spawn_on: shard out of range");
+  return spawn_impl(shard, std::move(name), std::move(body), stack_bytes, /*daemon=*/false);
+}
+
+void Engine::configure_shards(std::uint32_t count) {
+  HYP_CHECK_MSG(count >= 1, "configure_shards: need at least one shard");
+  HYP_CHECK_MSG(!running_ && pending_total_ == 0 && next_seq_ == 0,
+                "configure_shards must be called before any event exists");
+  shards_.assign(count, Shard{});
+  merge_.clear();
+  merge_.reserve(count);
+  merge_pos_.assign(count, kNotInMerge);
 }
 
 // ---------------------------------------------------------------------------
@@ -80,11 +106,18 @@ Fiber* Engine::spawn_daemon(std::string name, UniqueFunction<void()> body,
 // pool recycled through a free list, so the steady-state event path is
 // allocation-free (docs/PERFORMANCE.md).
 
-Engine::Event Engine::heap_pop() {
-  const Event top = heap_.front();
-  const Event last = heap_.back();
-  heap_.pop_back();
-  const std::size_t n = heap_.size();
+Engine::Event Engine::pop_event() {
+  // Which shard holds the globally next (at, seq) event: with one shard it
+  // is trivially shard 0 (no merge layer at all); otherwise the merge heap's
+  // root. Sharding is pure executor layout — every event still carries a
+  // unique global seq, so this pop order is bit-identical to a flat heap.
+  const std::uint32_t s = shards_.size() > 1 ? merge_.front() : 0;
+  active_shard_ = s;
+  auto& heap = shards_[s].heap;
+  const Event top = heap.front();
+  const Event last = heap.back();
+  heap.pop_back();
+  const std::size_t n = heap.size();
   if (n != 0) {
     // Sift the former last element down from the root.
     std::size_t i = 0;
@@ -92,14 +125,66 @@ Engine::Event Engine::heap_pop() {
       const std::size_t l = 2 * i + 1;
       if (l >= n) break;
       const std::size_t r = l + 1;
-      std::size_t best = (r < n && event_before(heap_[r], heap_[l])) ? r : l;
-      if (!event_before(heap_[best], last)) break;
-      heap_[i] = heap_[best];
+      std::size_t best = (r < n && event_before(heap[r], heap[l])) ? r : l;
+      if (!event_before(heap[best], last)) break;
+      heap[i] = heap[best];
       i = best;
     }
-    heap_[i] = last;
+    heap[i] = last;
+  }
+  --pending_total_;
+  if (shards_.size() > 1) {
+    // The popped shard's key (its head) either disappeared or grew, so the
+    // fix-up is a removal or an O(log K) sift-down of the merge root.
+    if (heap.empty()) {
+      merge_remove_top();
+    } else {
+      merge_sift_down(0);
+    }
   }
   return top;
+}
+
+void Engine::merge_sift_up(std::size_t i) {
+  const std::uint32_t shard = merge_[i];
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (!merge_shard_before(shard, merge_[parent])) break;
+    merge_place(i, merge_[parent]);
+    i = parent;
+  }
+  merge_place(i, shard);
+}
+
+void Engine::merge_sift_down(std::size_t i) {
+  const std::uint32_t shard = merge_[i];
+  const std::size_t n = merge_.size();
+  while (true) {
+    const std::size_t l = 2 * i + 1;
+    if (l >= n) break;
+    const std::size_t r = l + 1;
+    const std::size_t best = (r < n && merge_shard_before(merge_[r], merge_[l])) ? r : l;
+    if (!merge_shard_before(merge_[best], shard)) break;
+    merge_place(i, merge_[best]);
+    i = best;
+  }
+  merge_place(i, shard);
+}
+
+void Engine::merge_insert(std::uint32_t shard) {
+  merge_.push_back(shard);
+  merge_pos_[shard] = static_cast<std::uint32_t>(merge_.size() - 1);
+  merge_sift_up(merge_.size() - 1);
+}
+
+void Engine::merge_remove_top() {
+  merge_pos_[merge_.front()] = kNotInMerge;
+  const std::uint32_t last = merge_.back();
+  merge_.pop_back();
+  if (!merge_.empty()) {
+    merge_place(0, last);
+    merge_sift_down(0);
+  }
 }
 
 std::vector<std::string> Engine::run() {
@@ -108,8 +193,8 @@ std::vector<std::string> Engine::run() {
   running_ = true;
   t_current_engine = this;
 
-  while (!heap_.empty()) {
-    const Event event = heap_pop();
+  while (pending_total_ != 0) {
+    const Event event = pop_event();
     HYP_CHECK(event.at >= now_);
     now_ = event.at;
     ++events_processed_;
@@ -131,6 +216,7 @@ std::vector<std::string> Engine::run() {
 
   running_ = false;
   t_current_engine = nullptr;
+  active_shard_ = 0;  // spawns/posts between runs go back to the default shard
 
   std::vector<std::string> stuck;
   for (const auto& fiber : fibers_) {

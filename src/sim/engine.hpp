@@ -8,6 +8,14 @@
 //
 // Determinism contract: events fire in (time, creation sequence) order; all
 // randomness flows through seeded hyp::Rng instances.
+//
+// The queue can be sharded (configure_shards): each shard keeps its own
+// binary min-heap and a top-level indexed heap merges the shard heads, so
+// the global pop order stays exactly (at, seq) — bit-identical to the flat
+// heap — while pushes and pops touch only one small heap plus an O(log K)
+// head fix-up. The cluster layer shards per node at large N
+// (docs/SCALING.md); the default single shard IS the historical flat heap,
+// same code path, same goldens.
 #pragma once
 
 #include <cstdint>
@@ -60,6 +68,7 @@ class Fiber {
   FiberState state_ = FiberState::kParked;
   bool permit_ = false;  // a wakeup that arrived while not parked
   bool daemon_ = false;  // daemons may be parked at quiescence without error
+  std::uint32_t shard_ = 0;  // event-queue shard its wakeups are pushed to
   std::vector<Fiber*> joiners_;
 };
 
@@ -83,6 +92,12 @@ class Engine {
   Fiber* spawn_daemon(std::string name, UniqueFunction<void()> body,
                       std::size_t stack_bytes = kDefaultStackBytes);
 
+  // spawn() pinned to an explicit queue shard: the fiber's wakeup events
+  // (sleep, yield, unpark) are pushed to that shard for its whole life.
+  // Plain spawn() inherits the shard of the event being dispatched.
+  Fiber* spawn_on(std::uint32_t shard, std::string name, UniqueFunction<void()> body,
+                  std::size_t stack_bytes = kDefaultStackBytes);
+
   // Schedules `fn` to run on the scheduler stack at time `at`. The callback
   // must not block; it typically deposits a message and unparks a fiber.
   //
@@ -93,8 +108,25 @@ class Engine {
   void post(Time at, UniqueFunction<void()> fn) {
     HYP_CHECK_MSG(at >= now_, "posting an event into the past (at=" + std::to_string(at) +
                                   " now=" + std::to_string(now_) + ")");
-    heap_push(Event{at, next_seq_++, nullptr, cb_acquire(std::move(fn))});
+    push_event(active_shard_, Event{at, next_seq_++, nullptr, cb_acquire(std::move(fn))});
   }
+
+  // Like post(), but targets an explicit queue shard. Sharding is purely an
+  // executor-layout choice: the (at, seq) pop order is identical no matter
+  // which shard an event lands in. Plain post() inherits the shard of the
+  // event currently being dispatched, so node-local chains stay node-local.
+  void post_on(std::uint32_t shard, Time at, UniqueFunction<void()> fn) {
+    HYP_CHECK_MSG(at >= now_, "posting an event into the past (at=" + std::to_string(at) +
+                                  " now=" + std::to_string(now_) + ")");
+    HYP_CHECK_MSG(shard < shards_.size(), "post_on: shard out of range");
+    push_event(shard, Event{at, next_seq_++, nullptr, cb_acquire(std::move(fn))});
+  }
+
+  // Splits the event queue into `count` shards (see the header comment).
+  // Must be called before any event is created; the engine starts with one
+  // shard, which is exactly the historical flat heap.
+  void configure_shards(std::uint32_t count);
+  std::uint32_t shard_count() const { return static_cast<std::uint32_t>(shards_.size()); }
 
   // Runs the simulation until no events remain. Returns the names of
   // non-daemon fibers that are still blocked (deadlock / lost wakeups);
@@ -133,8 +165,12 @@ class Engine {
   static Engine* current();
 
   // --- event-pool introspection (tests / host-perf diagnostics) -----------
-  std::size_t pending_events() const { return heap_.size(); }
-  std::size_t event_heap_capacity() const { return heap_.capacity(); }
+  std::size_t pending_events() const { return pending_total_; }
+  std::size_t event_heap_capacity() const {
+    std::size_t total = 0;
+    for (const Shard& s : shards_) total += s.heap.capacity();
+    return total;
+  }
   std::size_t callback_pool_slots() const { return cb_slots_.size(); }
   std::size_t callback_pool_free() const { return cb_free_.size(); }
 
@@ -157,17 +193,51 @@ class Engine {
     return a.seq < b.seq;  // the determinism tiebreak: creation order
   }
 
-  void heap_push(const Event& e) {
-    heap_.push_back(e);
-    std::size_t i = heap_.size() - 1;
+  // One shard = one binary min-heap ordered by event_before. merge_ is an
+  // indexed heap over the *non-empty* shards keyed by their head events, so
+  // the globally next event is shards_[merge_.front()].heap.front();
+  // merge_pos_[s] is shard s's slot in merge_ (kNotInMerge while empty).
+  // With a single shard the merge layer is skipped entirely — that is the
+  // historical flat-heap code path, instruction for instruction.
+  struct Shard {
+    std::vector<Event> heap;
+  };
+  static constexpr std::uint32_t kNotInMerge = 0xffffffffu;
+
+  void push_event(std::uint32_t shard, const Event& e) {
+    auto& heap = shards_[shard].heap;
+    heap.push_back(e);
+    std::size_t i = heap.size() - 1;
     while (i > 0) {
       const std::size_t parent = (i - 1) / 2;
-      if (!event_before(heap_[i], heap_[parent])) break;
-      std::swap(heap_[i], heap_[parent]);
+      if (!event_before(heap[i], heap[parent])) break;
+      std::swap(heap[i], heap[parent]);
       i = parent;
     }
+    ++pending_total_;
+    // A push can only *lower* a shard's key (its head event), so the merge
+    // fix-up is an O(log K) sift-up — and only when the head actually changed.
+    if (shards_.size() > 1) {
+      if (merge_pos_[shard] == kNotInMerge) {
+        merge_insert(shard);
+      } else if (i == 0) {
+        merge_sift_up(merge_pos_[shard]);
+      }
+    }
   }
-  Event heap_pop();
+  Event pop_event();  // also records the source shard in active_shard_
+
+  bool merge_shard_before(std::uint32_t a, std::uint32_t b) const {
+    return event_before(shards_[a].heap.front(), shards_[b].heap.front());
+  }
+  void merge_place(std::size_t i, std::uint32_t shard) {
+    merge_[i] = shard;
+    merge_pos_[shard] = static_cast<std::uint32_t>(i);
+  }
+  void merge_sift_up(std::size_t i);
+  void merge_sift_down(std::size_t i);
+  void merge_insert(std::uint32_t shard);
+  void merge_remove_top();
   std::uint32_t cb_acquire(UniqueFunction<void()> fn) {
     std::uint32_t idx;
     if (!cb_free_.empty()) {
@@ -185,9 +255,11 @@ class Engine {
     HYP_CHECK_MSG(at >= now_, "scheduling a wakeup into the past");
     HYP_CHECK_MSG(fiber->state_ == FiberState::kRunning || fiber->state_ == FiberState::kParked,
                   "fiber already has a pending wakeup");
-    heap_push(Event{at, next_seq_++, fiber, kNoCallback});
+    push_event(fiber->shard_, Event{at, next_seq_++, fiber, kNoCallback});
     fiber->state_ = pending_state;
   }
+  Fiber* spawn_impl(std::uint32_t shard, std::string name, UniqueFunction<void()> body,
+                    std::size_t stack_bytes, bool daemon);
   void switch_to(Fiber* fiber);
   void switch_out();  // fiber -> scheduler
   void require_fiber_context(const char* what) const {
@@ -202,8 +274,13 @@ class Engine {
   bool running_ = false;
   Fiber* current_ = nullptr;
   Context scheduler_context_{};
-  // Flat binary min-heap ordered by (at, seq); see event_before.
-  std::vector<Event> heap_;
+  // The event queue: one binary min-heap per shard plus the merge heap of
+  // shard heads. The engine starts with one shard (= the flat heap).
+  std::vector<Shard> shards_;
+  std::vector<std::uint32_t> merge_;      // heap of non-empty shard indices
+  std::vector<std::uint32_t> merge_pos_;  // [shard] -> slot in merge_
+  std::size_t pending_total_ = 0;         // events across all shards
+  std::uint32_t active_shard_ = 0;        // shard of the event being dispatched
   // Free-list pool of callback slots: a slot is acquired by post(), released
   // (and its UniqueFunction moved out) when the event fires. Steady state
   // recycles slots with no allocation; SBO callbacks never touch the heap.

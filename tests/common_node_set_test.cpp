@@ -1,0 +1,100 @@
+// NodeSet: O(1) membership with deterministic insertion-order iteration —
+// the structure behind the erc sharer lists and the seqc directory copyset.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/node_set.hpp"
+
+namespace hyp {
+namespace {
+
+TEST(NodeSet, InsertDedupsAndKeepsInsertionOrder) {
+  NodeSet s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_TRUE(s.insert(5));
+  EXPECT_TRUE(s.insert(1));
+  EXPECT_FALSE(s.insert(5));  // duplicate: ignored, order unchanged
+  EXPECT_TRUE(s.insert(900));
+  EXPECT_TRUE(s.insert(0));
+  EXPECT_EQ(s.size(), 4u);
+  EXPECT_EQ(s.items(), (std::vector<int>{5, 1, 900, 0}));
+}
+
+TEST(NodeSet, ContainsIsExactAcrossSparseIds) {
+  NodeSet s;
+  for (int id : {0, 63, 64, 127, 128, 4095}) s.insert(id);
+  for (int id : {0, 63, 64, 127, 128, 4095}) EXPECT_TRUE(s.contains(id)) << id;
+  for (int id : {1, 62, 65, 126, 129, 4094, 4096, 1 << 20}) {
+    EXPECT_FALSE(s.contains(id)) << id;
+  }
+}
+
+TEST(NodeSet, RangeForVisitsInsertionOrder) {
+  NodeSet s;
+  s.insert(7);
+  s.insert(3);
+  s.insert(11);
+  std::vector<int> seen;
+  for (int id : s) seen.push_back(id);
+  EXPECT_EQ(seen, (std::vector<int>{7, 3, 11}));
+}
+
+TEST(NodeSet, ClearForgetsMembersButStaysUsable) {
+  NodeSet s;
+  s.insert(2);
+  s.insert(200);
+  s.clear();
+  EXPECT_TRUE(s.empty());
+  EXPECT_FALSE(s.contains(2));
+  EXPECT_FALSE(s.contains(200));
+  EXPECT_TRUE(s.insert(200));  // reinsertion after clear works
+  EXPECT_EQ(s.items(), (std::vector<int>{200}));
+}
+
+TEST(NodeSet, DrainIntoMovesMembersAndEmptiesTheSet) {
+  NodeSet s;
+  s.insert(4);
+  s.insert(9);
+  s.insert(1);
+  std::vector<int> out{99, 98};  // stale contents must be discarded
+  s.drain_into(out);
+  EXPECT_EQ(out, (std::vector<int>{4, 9, 1}));
+  EXPECT_TRUE(s.empty());
+  EXPECT_FALSE(s.contains(4));
+  // The drained set refills cleanly (the copyset round-trip).
+  EXPECT_TRUE(s.insert(9));
+  EXPECT_EQ(s.items(), (std::vector<int>{9}));
+}
+
+TEST(NodeSet, InterleavedChurnMatchesReferenceSemantics) {
+  // Pseudo-random insert/clear churn cross-checked against the naive
+  // vector-scan implementation the set replaced.
+  NodeSet s;
+  std::vector<int> ref;
+  std::uint64_t x = 12345;
+  auto rng = [&] {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    return x;
+  };
+  for (int i = 0; i < 5000; ++i) {
+    const int id = static_cast<int>(rng() % 300);
+    const bool known = std::find(ref.begin(), ref.end(), id) != ref.end();
+    EXPECT_EQ(s.contains(id), known);
+    EXPECT_EQ(s.insert(id), !known);
+    if (!known) ref.push_back(id);
+    if (i % 997 == 0) {
+      EXPECT_EQ(s.items(), ref);
+      s.clear();
+      ref.clear();
+    }
+  }
+  EXPECT_EQ(s.items(), ref);
+}
+
+}  // namespace
+}  // namespace hyp

@@ -489,6 +489,15 @@ TEST(FaultProfileParse, ReplicasAndCheckpointBandwidthTokens) {
   EXPECT_EQ(FaultProfile::parse("ckpt_bw=0.5").ckpt_bw, 500'000u);
 }
 
+// --- hbcoalesce= token (docs/SCALING.md) ------------------------------------
+
+TEST(FaultProfileParse, HeartbeatCoalesceToken) {
+  EXPECT_EQ(FaultProfile::parse("").hb_coalesce, 64u);  // default threshold
+  EXPECT_EQ(FaultProfile::parse("hbcoalesce=0").hb_coalesce, 0u);  // never
+  EXPECT_EQ(FaultProfile::parse("hbcoalesce=1,crash1@1ms+1ms").hb_coalesce, 1u);
+  EXPECT_EQ(FaultProfile::parse("hbcoalesce=256").hb_coalesce, 256u);
+}
+
 // --- parse-time rejection of invalid crash schedules ------------------------
 //
 // Everything HaManager::start() used to HYP_CHECK mid-run is now a graceful
@@ -532,6 +541,11 @@ TEST(FaultProfileParseExit, ReplicasAndCkptBwRejectNonPositive) {
   EXPECT_EXIT(FaultProfile::parse("ckpt_bw=nope"), testing::ExitedWithCode(2), "ckpt_bw");
 }
 
+TEST(FaultProfileParseExit, HeartbeatCoalesceRejectsGarbage) {
+  EXPECT_EXIT(FaultProfile::parse("hbcoalesce=nope"), testing::ExitedWithCode(2),
+              "hbcoalesce");
+}
+
 // --- the full-grammar round-trip --------------------------------------------
 
 TEST(FaultProfileParse, ToStringRoundTripsEveryTokenType) {
@@ -542,7 +556,7 @@ TEST(FaultProfileParse, ToStringRoundTripsEveryTokenType) {
       "drop2%,dup1%,corrupt0.5%,reorder5us,stall1@300us+200us,"
       "blackout3@1ms+500us,crash2@3ms+2ms,crash1@8ms+2ms,seed=9,retries=6,"
       "backoff=3,rto=100us,timeout=5ms,dedupwin=4,hb=50us,suspect=200us,"
-      "confirm=600us,replicas=2,ckpt_bw=8";
+      "confirm=600us,replicas=2,ckpt_bw=8,hbcoalesce=128";
   const FaultProfile a = FaultProfile::parse(spec);
   const FaultProfile b = FaultProfile::parse(a.to_string());
   EXPECT_EQ(a.to_string(), b.to_string());
@@ -561,6 +575,7 @@ TEST(FaultProfileParse, ToStringRoundTripsEveryTokenType) {
   EXPECT_EQ(a.confirm_after, b.confirm_after);
   EXPECT_EQ(a.replicas, b.replicas);
   EXPECT_EQ(a.ckpt_bw, b.ckpt_bw);
+  EXPECT_EQ(a.hb_coalesce, b.hb_coalesce);
   ASSERT_EQ(a.windows.size(), b.windows.size());
   for (std::size_t i = 0; i < a.windows.size(); ++i) {
     EXPECT_EQ(a.windows[i].node, b.windows[i].node);

@@ -174,6 +174,24 @@ TEST(HaDetector, SuspectAndConfirmFollowConfiguredTimeouts) {
   EXPECT_GT(r.stats.get(Counter::kHaHeartbeats), 0u);
 }
 
+TEST(HaDetector, CoalescedSweepRecoversLikePerNodeChains) {
+  // hbcoalesce=1 forces the single self-chaining sweep (the >= 64-node
+  // detector, docs/SCALING.md); hbcoalesce=0 forces the historical per-node
+  // heartbeat chains. Event counts differ by design, but the recovery
+  // outcome must not.
+  const std::string base = "crash2@1ms+800us,seed=7,hbcoalesce=";
+  HaRunResult chains = run_counter_with_crash(dsm::ProtocolKind::kJavaPf, base + "0");
+  HaRunResult swept = run_counter_with_crash(dsm::ProtocolKind::kJavaPf, base + "1");
+  EXPECT_EQ(chains.counter, kExpected);
+  EXPECT_EQ(swept.counter, kExpected);
+  EXPECT_EQ(swept.promotions, chains.promotions);
+  EXPECT_EQ(swept.promoted_for, chains.promoted_for);
+  EXPECT_EQ(swept.epoch, chains.epoch);
+  EXPECT_EQ(swept.zone2_home, chains.zone2_home);
+  EXPECT_GT(chains.stats.get(Counter::kHaHeartbeats), 0u);
+  EXPECT_GT(swept.stats.get(Counter::kHaHeartbeats), 0u);
+}
+
 // --- 2+3. promotion, epoch invalidation, monitor-table recovery -------------
 
 TEST(HaRecovery, CounterHomedOnCrashedNodeIsExactUnderBothProtocols) {
