@@ -33,7 +33,15 @@ void ObsRecorder::add_flags(Cli& cli) {
       .flag_int("rpc-dedup-window", -1,
                 "receiver-side RPC dedup window size in sequence numbers "
                 "(>=1; 0 = unbounded exact dedup; -1 = keep the profile's "
-                "dedupwin=N or the default)");
+                "dedupwin=N or the default)")
+      .flag_bool("trace-stream", false,
+                 "stream the trace to --trace-out incrementally (no events "
+                 "are ever dropped; covers every attached run)")
+      .flag_string("race-detect", "",
+                   "vector-clock data-race detection: on|off[,racegran=field|page] "
+                   "(docs/RACES.md; default off)")
+      .flag_string("race-out", "",
+                   "write the race report to FILE (requires --race-detect on)");
 }
 
 void ObsRecorder::configure(const Cli& cli, std::string tool) {
@@ -56,9 +64,40 @@ void ObsRecorder::configure(const Cli& cli, std::string tool) {
   if (fault_.any()) {
     std::printf("# fault profile: %s\n", fault_.to_string().c_str());
   }
+  const std::string race_spec = cli.get_string("race-detect");
+  if (!race_spec.empty()) {
+    race_cfg_ = obs::RaceConfig::parse(race_spec);  // exits 2 on junk
+  }
+  race_path_ = cli.get_string("race-out");
+  if (!race_path_.empty() && !race_cfg_.enabled) {
+    std::fprintf(stderr, "obs: --race-out requires --race-detect on\n");
+    std::exit(2);
+  }
+  if (race_cfg_.enabled) {
+    race_det_ = std::make_unique<obs::RaceDetector>(race_cfg_);
+    std::printf("# race detection: %s\n", race_cfg_.to_string().c_str());
+  }
+  trace_stream_ = cli.get_bool("trace-stream");
+  if (trace_stream_ && !trace_wanted()) {
+    std::fprintf(stderr, "obs: --trace-stream requires --trace-out\n");
+    std::exit(2);
+  }
   if (trace_wanted()) {
     trace_ = std::make_unique<cluster::TraceLog>(
         static_cast<std::size_t>(cli.get_int("trace-capacity")));
+    if (trace_stream_) {
+      // Open the file up front: batches are appended as they are flushed, so
+      // a run larger than --trace-capacity streams instead of dropping.
+      stream_out_ = std::make_unique<std::ofstream>(trace_path_);
+      if (!*stream_out_) {
+        std::fprintf(stderr, "obs: cannot open --trace-out %s\n", trace_path_.c_str());
+        std::exit(2);
+      }
+      stream_writer_ = std::make_unique<obs::PerfettoStreamWriter>(*stream_out_);
+      trace_->set_sink([this](const std::vector<cluster::TraceEvent>& batch) {
+        stream_writer_->consume(batch);
+      });
+    }
   }
 }
 
@@ -70,9 +109,16 @@ void ObsRecorder::attach(hyperion::VmConfig& cfg) {
   // The fault profile is part of the experiment, not of the observation: it
   // must land in the ClusterParams even when no trace/metrics were requested.
   apply_fault(cfg.cluster);
+  // The race detector attaches regardless of trace/metrics: --race-detect
+  // with only --race-out is a valid way to run the zero-race oracle.
+  if (race_det_ != nullptr) cfg.race = race_det_.get();
   if (!active()) return;
   if (trace_ != nullptr) {
-    trace_->clear();  // the exported trace is the last attached run
+    if (trace_->streaming()) {
+      trace_->flush_sink();  // streamed export covers every attached run
+    } else {
+      trace_->clear();  // the one-shot export is the last attached run
+    }
     cfg.trace = trace_.get();
   }
   cfg.heat = &heat_;      // re-initialized by the VM constructor
@@ -80,12 +126,31 @@ void ObsRecorder::attach(hyperion::VmConfig& cfg) {
 }
 
 void ObsRecorder::capture(obs::MetricsPoint mp) {
+  if (race_det_ != nullptr) {
+    // Per-run tallies (the VM constructor reset the detector at attach);
+    // counters land in the metrics JSON, rows in the --race-out report.
+    mp.stats.add(Counter::kRacesDetected, race_det_->races());
+    mp.stats.add(Counter::kRaceAccessesChecked, race_det_->accesses_checked());
+    mp.stats.add(Counter::kRaceBenignSuppressed, race_det_->benign_suppressed());
+    mp.stats.add(Counter::kRaceClockMsgs, race_det_->clock_msgs());
+    mp.stats.add(Counter::kRaceClockBytes, race_det_->clock_bytes());
+    races_total_ += race_det_->races();
+    if (!race_path_.empty()) {
+      race_report_ << "== run: " << (mp.label.empty() ? mp.cluster : mp.label);
+      if (!mp.protocol.empty()) race_report_ << " " << mp.protocol;
+      if (mp.nodes >= 0) race_report_ << " nodes=" << mp.nodes;
+      race_report_ << " ==\n";
+      race_det_->write_report(race_report_);
+      race_report_ << "\n";
+    }
+  }
   if (!active()) return;
   if (heat_.initialized()) obs::fill_heat(mp, heat_, kHeatTopN);
   if (phases_.initialized()) obs::fill_phases(mp, phases_);
   if (trace_ != nullptr) {
     mp.has_trace = true;
-    mp.trace_events = trace_->events().size();
+    mp.trace_events = trace_->events().size() +
+                      (stream_writer_ != nullptr ? stream_writer_->events_written() : 0);
     mp.trace_dropped = trace_->dropped();
     for (int k = 0; k < cluster::kTraceKindCount; ++k) {
       const auto kind = static_cast<cluster::TraceKind>(k);
@@ -99,7 +164,7 @@ void ObsRecorder::capture(obs::MetricsPoint mp) {
 
 void ObsRecorder::capture_run(const std::string& label, const apps::RunResult& result,
                               const std::string& protocol, int nodes) {
-  if (!active()) return;
+  if (!active() && race_det_ == nullptr) return;
   obs::MetricsPoint mp;
   mp.label = label;
   mp.protocol = protocol;
@@ -149,7 +214,14 @@ void ObsRecorder::finish() {
       std::printf("metrics written: %s (%zu points)\n", metrics_path_.c_str(), points_.size());
     }
   }
-  if (trace_wanted()) {
+  if (trace_wanted() && trace_stream_) {
+    trace_->flush_sink();
+    stream_writer_->finish(*trace_);
+    stream_out_->flush();
+    std::printf("trace streamed: %s (%llu events, %llu dropped)\n", trace_path_.c_str(),
+                static_cast<unsigned long long>(stream_writer_->events_written()),
+                static_cast<unsigned long long>(trace_->dropped()));
+  } else if (trace_wanted()) {
     std::ofstream out(trace_path_);
     if (!out) {
       std::fprintf(stderr, "obs: cannot open --trace-out %s\n", trace_path_.c_str());
@@ -160,6 +232,16 @@ void ObsRecorder::finish() {
       std::printf("trace written: %s (%zu events, %llu dropped)\n", trace_path_.c_str(),
                   trace_->events().size(),
                   static_cast<unsigned long long>(trace_->dropped()));
+    }
+  }
+  if (!race_path_.empty()) {
+    std::ofstream out(race_path_);
+    if (!out) {
+      std::fprintf(stderr, "obs: cannot open --race-out %s\n", race_path_.c_str());
+    } else {
+      out << race_report_.str();
+      std::printf("race report written: %s (%llu races)\n", race_path_.c_str(),
+                  static_cast<unsigned long long>(races_total_));
     }
   }
 }

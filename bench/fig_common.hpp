@@ -8,8 +8,10 @@
 // summary quoted in §4.3.
 #pragma once
 
+#include <fstream>
 #include <functional>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -19,7 +21,9 @@
 #include "common/cli.hpp"
 #include "obs/heat.hpp"
 #include "obs/metrics.hpp"
+#include "obs/perfetto.hpp"
 #include "obs/phase.hpp"
+#include "obs/race.hpp"
 
 namespace hyp::bench {
 
@@ -67,6 +71,15 @@ SweepOptions sweep_from_cli(const Cli& cli);
 //                       (dedupwin=N): how many out-of-order sequence numbers
 //                       each receiver remembers for duplicate suppression.
 //                       0 = unbounded exact dedup; -1 (default) = no override.
+//   --trace-stream      stream the trace to --trace-out incrementally
+//                       (double-buffered sink; nothing is ever dropped and
+//                       the file covers *every* attached run, not just the
+//                       last one). Default off: the one-shot export below is
+//                       byte-identical to previous releases.
+//   --race-detect S     vector-clock data-race detection (docs/RACES.md);
+//                       grammar on|off[,racegran=field|page], default off.
+//   --race-out FILE     write the human-readable race report (one section
+//                       per attached run) to FILE; requires --race-detect on.
 //
 // run_figure() drives attach/capture/finish automatically when given a
 // recorder; binaries that build VmConfigs by hand (ablation_*, ext_*) call
@@ -84,6 +97,11 @@ class ObsRecorder {
   bool trace_wanted() const { return !trace_path_.empty(); }
   bool metrics_wanted() const { return !metrics_path_.empty(); }
   bool active() const { return trace_wanted() || metrics_wanted(); }
+
+  // True when --race-detect on was given; the detector is then attached to
+  // every run (and its tallies injected into the metrics counters).
+  bool race_wanted() const { return race_cfg_.enabled; }
+  obs::RaceDetector* race() { return race_det_.get(); }
 
   // True when --fault-profile was given (and is not "off").
   bool fault_wanted() const { return fault_.any(); }
@@ -124,10 +142,22 @@ class ObsRecorder {
   std::string tool_;
   std::string trace_path_;
   std::string metrics_path_;
+  std::string race_path_;
   cluster::FaultProfile fault_;  // default: off
+  obs::RaceConfig race_cfg_;     // default: off
+  bool trace_stream_ = false;
   std::unique_ptr<cluster::TraceLog> trace_;
+  // Streaming export (--trace-stream): the file is open for the whole sweep
+  // and batches are appended as the log's spare buffer fills.
+  std::unique_ptr<std::ofstream> stream_out_;
+  std::unique_ptr<obs::PerfettoStreamWriter> stream_writer_;
   obs::PageHeatTable heat_;
   obs::PhaseAccounting phases_;
+  std::unique_ptr<obs::RaceDetector> race_det_;
+  // The --race-out report: one section per captured run (the detector is
+  // reset by each VM construction, so tallies are per-run).
+  std::ostringstream race_report_;
+  std::uint64_t races_total_ = 0;
   std::vector<obs::MetricsPoint> points_;
   bool finished_ = false;
 };

@@ -7,6 +7,9 @@ Pairs experiment points by (cluster, protocol, nodes), then reports, per pair:
   * virtual elapsed time — relative delta against --threshold;
   * every counter present on either side — relative delta against --threshold
     (a counter absent on one side reads as 0);
+  * the races_detected counter (--race-detect runs, docs/RACES.md) — a
+    candidate reporting MORE races than its baseline fails outright,
+    regardless of --threshold and --ignore (a race verdict is not a drift);
   * histogram count/sum drift (informational unless --strict-histograms).
 
 Exit codes:  0 all deltas within threshold,  1 threshold exceeded or answers
@@ -219,7 +222,20 @@ def main():
                             f"> {args.threshold}%)")
 
         ca, cb = pa.get("counters", {}), pb.get("counters", {})
+
+        # Race verdicts are gated separately and unconditionally: new data
+        # races in the candidate fail no matter what --threshold or --ignore
+        # says (fewer races than the baseline is fine).
+        ra, rb = ca.get("races_detected", 0), cb.get("races_detected", 0)
+        if ra != rb:
+            rows.append((name, "races_detected", ra, rb, rel_delta(ra, rb)))
+        if rb > ra:
+            failures.append(f"{name}: races_detected {ra} -> {rb} "
+                            "(candidate introduces data races; never tolerated)")
+
         for c in sorted(set(ca) | set(cb)):
+            if c == "races_detected":
+                continue
             x, y = ca.get(c, 0), cb.get(c, 0)
             if x == y:
                 continue

@@ -99,7 +99,7 @@ double run(hyperion::HyperionVM& vm, const AspParams& params) {
 RunResult asp_parallel(const VmConfig& cfg, const AspParams& params) {
   hyperion::HyperionVM vm(cfg);
   RunResult out;
-  dsm::with_policy(cfg.protocol, [&](auto policy) {
+  dsm::with_policy(cfg.protocol, cfg.race != nullptr, [&](auto policy) {
     using P = decltype(policy);
     out.value = run<P>(vm, params);
   });

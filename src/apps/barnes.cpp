@@ -618,7 +618,7 @@ struct SerialBarnes {
 RunResult barnes_parallel(const VmConfig& cfg, const BarnesParams& params) {
   hyperion::HyperionVM vm(cfg);
   RunResult out;
-  dsm::with_policy(cfg.protocol, [&](auto policy) {
+  dsm::with_policy(cfg.protocol, cfg.race != nullptr, [&](auto policy) {
     using P = decltype(policy);
     out.value = run<P>(vm, params);
   });

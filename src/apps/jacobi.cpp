@@ -106,7 +106,7 @@ double run(hyperion::HyperionVM& vm, const JacobiParams& params) {
 RunResult jacobi_parallel(const VmConfig& cfg, const JacobiParams& params) {
   hyperion::HyperionVM vm(cfg);
   RunResult out;
-  dsm::with_policy(cfg.protocol, [&](auto policy) {
+  dsm::with_policy(cfg.protocol, cfg.race != nullptr, [&](auto policy) {
     using P = decltype(policy);
     out.value = run<P>(vm, params);
   });

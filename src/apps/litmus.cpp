@@ -1,0 +1,178 @@
+#include "apps/litmus.hpp"
+
+#include <algorithm>
+
+#include "hyperion/japi.hpp"
+
+namespace hyp::apps {
+
+namespace {
+
+using hyperion::japi::JBarrier;
+
+// Modeled per-operation app cost, so the programs advance virtual time.
+constexpr std::uint64_t kLitmusOpCycles = 50;
+
+// --- counters ---------------------------------------------------------------
+// Racy: read-modify-write on one shared cell with no ordering between the
+// workers (write-write and read-write conflicts). Clean twin: the same
+// increments inside the cell's own monitor.
+template <typename P>
+double counter(hyperion::HyperionVM& vm, const LitmusParams& p, bool locked) {
+  double result = 0;
+  vm.run_main([&](JavaEnv& main) {
+    Mem<P> mem(main.ctx());
+    auto cell = main.new_cell<std::int32_t>(0);
+    std::vector<JThread> threads;
+    for (int w = 0; w < p.workers; ++w) {
+      threads.push_back(main.start_thread("cnt" + std::to_string(w), [=](JavaEnv& env) {
+        Mem<P> m(env.ctx());
+        for (int i = 0; i < p.reps; ++i) {
+          env.charge_cycles(kLitmusOpCycles);
+          if (locked) {
+            env.synchronized(cell.addr, [&] { m.put(cell, m.get(cell) + 1); });
+          } else {
+            m.put(cell, m.get(cell) + 1);
+          }
+        }
+      }));
+    }
+    for (auto& t : threads) main.join(t);
+    result = mem.get(cell);
+  });
+  return result;
+}
+
+// --- stencil halo -----------------------------------------------------------
+// Each worker owns one page-sized block of a shared grid: phase 1 writes its
+// own cells, phase 2 reads the right neighbour's first cell (the halo).
+// Clean twin: a JBarrier between the phases orders write before read; the
+// racy variant omits it, so the neighbour's read races the owner's writes.
+// Blocks are page-strided, so the clean variant is quiet even at page
+// granularity (no two workers ever touch the same page concurrently).
+template <typename P>
+double halo(hyperion::HyperionVM& vm, const LitmusParams& p, bool barrier) {
+  double result = 0;
+  vm.run_main([&](JavaEnv& main) {
+    Mem<P> mem(main.ctx());
+    const auto stride = static_cast<std::int64_t>(vm.dsm().layout().page_bytes() /
+                                                  sizeof(std::int32_t));
+    const int writes = std::min(p.reps, static_cast<int>(stride));
+    auto grid = main.new_array<std::int32_t>(stride * p.workers);
+    auto bar = JBarrier::create(main, p.workers);
+    std::vector<JThread> threads;
+    for (int w = 0; w < p.workers; ++w) {
+      threads.push_back(main.start_thread("halo" + std::to_string(w), [=](JavaEnv& env) {
+        Mem<P> m(env.ctx());
+        for (int i = 0; i < writes; ++i) {
+          env.charge_cycles(kLitmusOpCycles);
+          m.aput(grid, static_cast<std::int64_t>(w) * stride + i, w * 1000 + i);
+        }
+        if (barrier) bar.template await<P>(env);
+        const int nb = (w + 1) % p.workers;
+        env.charge_cycles(kLitmusOpCycles);
+        (void)m.aget(grid, static_cast<std::int64_t>(nb) * stride);  // the halo read
+      }));
+    }
+    for (auto& t : threads) main.join(t);
+    for (int w = 0; w < p.workers; ++w) {
+      result += mem.aget(grid, static_cast<std::int64_t>(w) * stride);
+    }
+  });
+  return result;
+}
+
+// --- publication ------------------------------------------------------------
+// Racy: the publisher stores the payload then raises a plain flag; the
+// subscriber reads both with no monitor anywhere (write-read conflicts on
+// flag and payload). Clean twin: classic monitor wait/notify hand-off.
+template <typename P>
+double publication(hyperion::HyperionVM& vm, bool monitored) {
+  double result = 0;
+  vm.run_main([&](JavaEnv& main) {
+    Mem<P> mem(main.ctx());
+    auto payload = main.new_cell<std::int32_t>(0);
+    auto flag = main.new_cell<std::int32_t>(0);
+    const dsm::Gva lock = flag.addr;
+    auto pub = main.start_thread("pub", [=](JavaEnv& env) {
+      Mem<P> m(env.ctx());
+      env.charge_cycles(kLitmusOpCycles);
+      if (monitored) {
+        env.monitor_enter(lock);
+        m.put(payload, 42);
+        m.put(flag, 1);
+        env.notify_all(lock);
+        env.monitor_exit(lock);
+      } else {
+        m.put(payload, 42);
+        m.put(flag, 1);
+      }
+    });
+    auto sub = main.start_thread("sub", [=](JavaEnv& env) {
+      Mem<P> m(env.ctx());
+      env.charge_cycles(kLitmusOpCycles);
+      if (monitored) {
+        env.monitor_enter(lock);
+        while (m.get(flag) == 0) env.wait(lock);
+        (void)m.get(payload);
+        env.monitor_exit(lock);
+      } else {
+        (void)m.get(flag);     // may observe the raise mid-publication
+        (void)m.get(payload);  // may observe a torn hand-off
+      }
+    });
+    main.join(pub);
+    main.join(sub);
+    result = mem.get(payload) + mem.get(flag);
+  });
+  return result;
+}
+
+template <typename P>
+double dispatch(hyperion::HyperionVM& vm, const std::string& name, const LitmusParams& p) {
+  if (name == "unsync_counter") return counter<P>(vm, p, /*locked=*/false);
+  if (name == "sync_counter") return counter<P>(vm, p, /*locked=*/true);
+  if (name == "halo_no_barrier") return halo<P>(vm, p, /*barrier=*/false);
+  if (name == "halo_barrier") return halo<P>(vm, p, /*barrier=*/true);
+  if (name == "flag_no_monitor") return publication<P>(vm, /*monitored=*/false);
+  if (name == "wait_notify") return publication<P>(vm, /*monitored=*/true);
+  HYP_PANIC("unknown litmus program");
+}
+
+}  // namespace
+
+const std::vector<LitmusProgram>& litmus_programs() {
+  static const std::vector<LitmusProgram> kPrograms = {
+      {"unsync_counter", true, "N workers increment one cell, no monitor"},
+      {"sync_counter", false, "the same increments under the cell's monitor"},
+      {"halo_no_barrier", true, "stencil halo read with the barrier omitted"},
+      {"halo_barrier", false, "the same exchange through a JBarrier"},
+      {"flag_no_monitor", true, "publication via a plain flag, no monitor"},
+      {"wait_notify", false, "publication via monitor wait/notify"},
+  };
+  return kPrograms;
+}
+
+bool litmus_known(const std::string& name) {
+  for (const auto& prog : litmus_programs()) {
+    if (prog.name == name) return true;
+  }
+  return false;
+}
+
+RunResult litmus_run(const VmConfig& cfg, const std::string& name,
+                     const LitmusParams& params) {
+  HYP_CHECK_MSG(litmus_known(name), "unknown litmus program");
+  hyperion::HyperionVM vm(cfg);
+  RunResult out;
+  dsm::with_policy(cfg.protocol, cfg.race != nullptr, [&](auto policy) {
+    using P = decltype(policy);
+    out.value = dispatch<P>(vm, name, params);
+  });
+  out.elapsed = vm.elapsed();
+  out.stats = vm.stats();
+  capture_engine_tallies(out, vm);
+  return out;
+}
+
+}  // namespace hyp::apps

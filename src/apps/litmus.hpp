@@ -1,0 +1,48 @@
+// Data-race litmus programs (docs/RACES.md).
+//
+// Six tiny cluster-Java programs exercising the race detector: three that
+// race on purpose and, for each, the properly synchronized twin. The racy
+// variants are seeded and deterministic, so the detector's report for a
+// given config is byte-identical run-to-run; the race-free variants must
+// report zero races at BOTH granularities (their shared cells are laid out
+// so that even page-granularity detection sees no unordered same-page
+// accesses).
+//
+//   unsync_counter   racy   N workers increment one cell with no monitor
+//   sync_counter     clean  the same increments under the cell's monitor
+//   halo_no_barrier  racy   stencil halo read with the barrier omitted
+//   halo_barrier     clean  the same exchange through a JBarrier
+//   flag_no_monitor  racy   publication via a plain flag (no monitor)
+//   wait_notify      clean  publication via monitor wait/notify
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "apps/app_common.hpp"
+
+namespace hyp::apps {
+
+struct LitmusParams {
+  int workers = 4;  // started threads (round-robin over the nodes)
+  int reps = 64;    // per-worker operations where the program repeats
+};
+
+struct LitmusProgram {
+  std::string name;
+  bool racy = false;  // is the program *supposed* to be flagged?
+  const char* what = "";
+};
+
+// The program table, in a fixed order (CLI help, tests, race_smoke.sh).
+const std::vector<LitmusProgram>& litmus_programs();
+
+// True if `name` is a known program.
+bool litmus_known(const std::string& name);
+
+// Runs the named program; `value` is the program's checksum (identical with
+// and without an attached race detector). Unknown names abort via HYP_CHECK.
+RunResult litmus_run(const VmConfig& cfg, const std::string& name,
+                     const LitmusParams& params = {});
+
+}  // namespace hyp::apps

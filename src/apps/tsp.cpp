@@ -129,6 +129,10 @@ double run(hyperion::HyperionVM& vm, const TspParams& params) {
     }
     auto next_job = main.new_cell<std::int32_t>(0);
     auto best = main.new_cell<std::int32_t>(greedy_bound(d, n));
+    // Workers re-read `best` outside its monitor (the cached_bound refresh):
+    // a deliberate JMM race the pruning tolerates — a stale bound is only
+    // ever >= the true bound. Tallied, not reported (docs/RACES.md).
+    main.mark_benign(best.addr, sizeof(std::int32_t));
 
     std::vector<JThread> threads;
     for (int w = 0; w < workers; ++w) {
@@ -200,7 +204,7 @@ struct SerialTsp {
 RunResult tsp_parallel(const VmConfig& cfg, const TspParams& params) {
   hyperion::HyperionVM vm(cfg);
   RunResult out;
-  dsm::with_policy(cfg.protocol, [&](auto policy) {
+  dsm::with_policy(cfg.protocol, cfg.race != nullptr, [&](auto policy) {
     using P = decltype(policy);
     out.value = run<P>(vm, params);
   });

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "cluster/ha_hooks.hpp"
+#include "cluster/race_hooks.hpp"
 #include "common/assert.hpp"
 #include "common/log.hpp"
 
@@ -264,6 +265,8 @@ void Cluster::deliver(TimeDelta depart_delay, NodeId from, NodeId to, ServiceId 
   HYP_CHECK_MSG(from != to || ha_ != nullptr,
                 "loopback RPC: callers handle the local case directly");
 
+  if (race_ != nullptr) [[unlikely]] race_->on_message(from, to, service, payload.size());
+
   if (lossy_) {
     tx_enqueue(depart_delay, from, to, service, reply_token, /*is_reply=*/false,
                std::move(payload));
@@ -299,6 +302,7 @@ void Cluster::deliver(TimeDelta depart_delay, NodeId from, NodeId to, ServiceId 
 
 void Cluster::deliver_reply(TimeDelta depart_delay, NodeId from, NodeId to, std::uint64_t token,
                             Buffer payload) {
+  if (race_ != nullptr) [[unlikely]] race_->on_message(from, to, /*service=*/-1, payload.size());
   if (lossy_) {
     tx_enqueue(depart_delay, from, to, /*service=*/-1, token, /*is_reply=*/true,
                std::move(payload));

@@ -39,6 +39,7 @@ using ServiceId = int;
 
 class Cluster;
 struct HaHooks;
+struct RaceHooks;
 
 // An incoming RPC invocation as seen by a handler.
 struct Incoming {
@@ -281,6 +282,13 @@ class Cluster {
     }
   }
 
+  // --- race-detector message hook (optional; nullptr = off) ----------------
+  // Same attachment discipline as tracing: one pointer test when detached;
+  // an installed hook only accumulates (cluster/race_hooks.hpp), so the
+  // event sequence and every golden are unchanged either way.
+  void set_race_hooks(RaceHooks* race) { race_ = race; }
+  RaceHooks* race_hooks() { return race_; }
+
   // --- phase accounting (optional; nullptr = off) ---------------------------
   // Same attachment discipline as tracing: a nullptr pointer costs one test
   // on the hook path, and an attached table only *accumulates* (obs/phase.hpp)
@@ -397,6 +405,7 @@ class Cluster {
   TraceLog* trace_ = nullptr;
   obs::PhaseAccounting* phases_ = nullptr;
   HaHooks* ha_ = nullptr;
+  RaceHooks* race_ = nullptr;
 
   bool sharded_ = false;  // event queue split one-shard-per-node
 

@@ -1,0 +1,28 @@
+// The callback surface the race detector (src/obs/race.hpp) installs on the
+// cluster transport for message-carried vector-clock piggybacking.
+//
+// Same dependency discipline as ha_hooks.hpp: the cluster knows only this
+// tiny interface, obs implements it. With no hooks installed (the default)
+// the transport hook is a null-pointer test and the event sequence is
+// bit-identical to the goldens. An installed hook only *accumulates* — it
+// must never sleep, charge a clock or send messages of its own, so attaching
+// the detector cannot shift virtual time (tests/race_test.cpp pins this).
+#pragma once
+
+#include <cstddef>
+
+#include "cluster/params.hpp"
+
+namespace hyp::cluster {
+
+struct RaceHooks {
+  virtual ~RaceHooks() = default;
+
+  // One logical message (request or reply) departed `from` for `to`. The
+  // detector joins the receiving node's clock with the sender's and accounts
+  // the vector-clock piggyback bytes the message would carry on a real
+  // implementation (docs/RACES.md). `service` is -1 for replies.
+  virtual void on_message(NodeId from, NodeId to, int service, std::size_t bytes) = 0;
+};
+
+}  // namespace hyp::cluster

@@ -4,7 +4,7 @@
 
 namespace hyp::cluster {
 
-static_assert(static_cast<int>(TraceKind::kCheckpointApplied) + 1 == kTraceKindCount,
+static_assert(static_cast<int>(TraceKind::kRaceDetected) + 1 == kTraceKindCount,
               "kTraceKindCount out of sync with TraceKind");
 
 const char* trace_kind_name(TraceKind kind) {
@@ -35,6 +35,7 @@ const char* trace_kind_name(TraceKind kind) {
     case TraceKind::kHaNack: return "ha_nack";
     case TraceKind::kCheckpoint: return "checkpoint";
     case TraceKind::kCheckpointApplied: return "checkpoint_applied";
+    case TraceKind::kRaceDetected: return "race_detected";
   }
   return "?";
 }

@@ -13,8 +13,10 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <ostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/units.hpp"
@@ -55,10 +57,13 @@ enum class TraceKind : std::uint8_t {
                      // transmitted, or per piggyback batch in legacy mode)
   kCheckpointApplied,// a=origin home, b=message bytes (chain member absorbed
                      // a checkpoint message from the modeled stream)
+  // --- race detection (docs/RACES.md) --------------------------------------
+  kRaceDetected,     // a=address, b=(tid_prev<<34)|(tid_cur<<4)|kind; emitted
+                     // once per deduplicated race (node = detecting access)
 };
 
 // Keep in sync with the enum above (drop accounting is per kind).
-inline constexpr int kTraceKindCount = 26;
+inline constexpr int kTraceKindCount = 27;
 
 const char* trace_kind_name(TraceKind kind);
 
@@ -77,15 +82,48 @@ class TraceLog {
   // stops (and drops are counted, totals and per kind) so the beginning of
   // the run — usually what matters — is kept. The backing store is reserved
   // up front so record() never allocates (tests/obs_alloc_test.cpp).
+  //
+  // Streaming mode (set_sink) lifts the bound: when the front buffer fills,
+  // it is swapped with an equally pre-reserved back buffer and handed to the
+  // sink — the classic double-buffered logger shape (cf. rDSN's hpc_logger).
+  // Nothing is ever dropped in streaming mode, and record() still never
+  // allocates once both buffers are reserved.
   explicit TraceLog(std::size_t capacity = 1 << 16) : capacity_(capacity) {
     events_.reserve(capacity);
   }
 
+  using Sink = std::function<void(const std::vector<TraceEvent>&)>;
+
+  // Attaches an incremental consumer and reserves the back buffer. The sink
+  // is called with each full buffer in record order; flush_sink() hands over
+  // whatever remains. Call before recording starts.
+  void set_sink(Sink sink) {
+    sink_ = std::move(sink);
+    spare_.reserve(capacity_);
+  }
+  bool streaming() const { return static_cast<bool>(sink_); }
+
+  // Drains the partially-filled front buffer to the sink (end of run).
+  void flush_sink() {
+    if (!sink_ || events_.empty()) return;
+    events_.swap(spare_);
+    sink_(spare_);
+    spare_.clear();
+  }
+
   void record(Time at, int node, TraceKind kind, std::int64_t a, std::int64_t b) {
     if (events_.size() >= capacity_) {
-      ++dropped_;
-      ++dropped_by_kind_[static_cast<int>(kind)];
-      return;
+      if (sink_) {
+        // Swap-and-drain: the filled buffer goes out, recording continues
+        // into the (already reserved) other buffer.
+        events_.swap(spare_);
+        sink_(spare_);
+        spare_.clear();
+      } else {
+        ++dropped_;
+        ++dropped_by_kind_[static_cast<int>(kind)];
+        return;
+      }
     }
     events_.push_back({at, node, kind, a, b});
   }
@@ -98,6 +136,7 @@ class TraceLog {
   }
   void clear() {
     events_.clear();
+    spare_.clear();
     dropped_ = 0;
     for (auto& d : dropped_by_kind_) d = 0;
   }
@@ -117,6 +156,8 @@ class TraceLog {
  private:
   std::size_t capacity_;
   std::vector<TraceEvent> events_;
+  std::vector<TraceEvent> spare_;  // back buffer (streaming mode only)
+  Sink sink_;
   std::uint64_t dropped_ = 0;
   std::uint64_t dropped_by_kind_[kTraceKindCount] = {};
 };

@@ -35,6 +35,11 @@ const char* counter_name(Counter c) {
     case Counter::kHaCheckpointBytes: return "ha_checkpoint_bytes";
     case Counter::kHaDeadSendsDropped: return "ha_dead_sends_dropped";
     case Counter::kHaCheckpointMsgs: return "ha_checkpoint_msgs";
+    case Counter::kRacesDetected: return "races_detected";
+    case Counter::kRaceAccessesChecked: return "race_accesses_checked";
+    case Counter::kRaceBenignSuppressed: return "race_benign_suppressed";
+    case Counter::kRaceClockMsgs: return "race_clock_msgs";
+    case Counter::kRaceClockBytes: return "race_clock_bytes";
     case Counter::kCount_: break;
   }
   return "?";

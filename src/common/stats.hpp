@@ -54,6 +54,14 @@ enum class Counter : int {
   kHaDeadSendsDropped,   // one-way sends to a confirmed-dead node discarded
   kHaCheckpointMsgs,     // checkpoint messages transmitted on the modeled
                          // stream (0 in piggyback mode)
+  // --- race detection (docs/RACES.md). Zero unless --race-detect is on; the
+  // five paper figures must stay at zero races (scripts/race_smoke.sh and
+  // compare_metrics.py gate on it). --------------------------------------
+  kRacesDetected,        // deduplicated data races reported
+  kRaceAccessesChecked,  // get/put accesses the detector examined
+  kRaceBenignSuppressed, // conflicts inside mark_benign ranges (not reported)
+  kRaceClockMsgs,        // messages that would carry a piggybacked clock
+  kRaceClockBytes,       // modeled vector-clock piggyback payload bytes
   kCount_,
 };
 

@@ -38,8 +38,15 @@ concept DsmScalar = std::is_trivially_copyable_v<T> &&
 // shift with no dsm->layout() chase. The miss branches only ever run for
 // non-home pages (home pages are always present), so a presence byte loaded
 // before the miss still gives the correct home answer after it.
+//
+// Race-detector hooks are a compile-time variant (RaceHooks), not a runtime
+// pointer test: even a never-taken call site in these bodies measurably
+// slows the tight access loops (register pressure around the call), and the
+// detector-off contract is ZERO overhead. with_policy() picks the
+// instrumented instantiation only when a detector is attached.
 
-struct IcPolicy {
+template <bool RaceHooks = false>
+struct IcPolicyT {
   static constexpr ProtocolKind kKind = ProtocolKind::kJavaIc;
   static constexpr const char* kName = "java_ic";
 
@@ -53,6 +60,9 @@ struct IcPolicy {
     }
     T v;
     std::memcpy(&v, t.base + a, sizeof(T));
+    if constexpr (RaceHooks) {
+      if (t.race != nullptr) t.race->on_read(t.race_tid, a, sizeof(T));
+    }
     return v;
   }
 
@@ -73,10 +83,14 @@ struct IcPolicy {
       t.wlog.record(a, sizeof(T), value);
       t.stats->add(Counter::kWriteLogEntries);
     }
+    if constexpr (RaceHooks) {
+      if (t.race != nullptr) t.race->on_write(t.race_tid, a, sizeof(T));
+    }
   }
 };
 
-struct PfPolicy {
+template <bool RaceHooks = false>
+struct PfPolicyT {
   static constexpr ProtocolKind kKind = ProtocolKind::kJavaPf;
   static constexpr const char* kName = "java_pf";
 
@@ -88,6 +102,9 @@ struct PfPolicy {
     }
     T v;
     std::memcpy(&v, t.base + a, sizeof(T));
+    if constexpr (RaceHooks) {
+      if (t.race != nullptr) t.race->on_read(t.race_tid, a, sizeof(T));
+    }
     return v;
   }
 
@@ -99,8 +116,14 @@ struct PfPolicy {
     }
     // Direct store; updateMainMemory finds it by twin comparison.
     std::memcpy(t.base + a, &v, sizeof(T));
+    if constexpr (RaceHooks) {
+      if (t.race != nullptr) t.race->on_write(t.race_tid, a, sizeof(T));
+    }
   }
 };
+
+using IcPolicy = IcPolicyT<>;
+using PfPolicy = PfPolicyT<>;
 
 // Calls fn<Policy>() with the policy matching the DSM's configured protocol.
 // This is the one runtime dispatch, made once per program, mirroring how a
@@ -110,6 +133,19 @@ decltype(auto) with_policy(ProtocolKind kind, Fn&& fn) {
   switch (kind) {
     case ProtocolKind::kJavaIc: return fn(IcPolicy{});
     case ProtocolKind::kJavaPf: return fn(PfPolicy{});
+  }
+  HYP_PANIC("unreachable protocol kind");
+}
+
+// Same, but picks the race-instrumented instantiation when a detector is
+// attached (VmConfig::race != nullptr). Apps route through this so the
+// uninstrumented build of their kernels stays byte-for-byte the fast path.
+template <typename Fn>
+decltype(auto) with_policy(ProtocolKind kind, bool race_hooks, Fn&& fn) {
+  if (!race_hooks) return with_policy(kind, static_cast<Fn&&>(fn));
+  switch (kind) {
+    case ProtocolKind::kJavaIc: return fn(IcPolicyT<true>{});
+    case ProtocolKind::kJavaPf: return fn(PfPolicyT<true>{});
   }
   HYP_PANIC("unreachable protocol kind");
 }

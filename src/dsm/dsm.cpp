@@ -43,7 +43,9 @@ DsmSystem::DsmSystem(cluster::Cluster* cluster, std::size_t region_bytes, Protoc
 }
 
 Gva DsmSystem::alloc(NodeId node, std::size_t bytes, std::size_t align) {
-  return node_dsm(node).alloc(bytes, align);
+  const Gva base = node_dsm(node).alloc(bytes, align);
+  if (race_ != nullptr) [[unlikely]] race_->note_alloc(node, base, bytes);
+  return base;
 }
 
 std::unique_ptr<ThreadCtx> DsmSystem::make_thread(NodeId node) {
@@ -57,6 +59,11 @@ std::unique_ptr<ThreadCtx> DsmSystem::make_thread(NodeId node) {
   t->page_shift = layout_.page_shift();
   t->check_cost = cluster_->params().cpu.check_cost();
   t->stats = &cluster_->node(node).stats();
+  if (race_ != nullptr) {
+    t->race = race_;
+    t->race_tid = t->uid;
+    race_->register_thread(t->uid, node);
+  }
   // One processor per node: compute by this node's threads serializes.
   t->clock.bind_cpu(&cluster_->node(node).app_cpu());
   threads_.push_back(t.get());

@@ -34,6 +34,7 @@
 #include "common/stats.hpp"
 #include "dsm/address.hpp"
 #include "obs/heat.hpp"
+#include "obs/race.hpp"
 #include "dsm/flush_scratch.hpp"
 #include "dsm/node_dsm.hpp"
 #include "dsm/write_log.hpp"
@@ -75,6 +76,11 @@ struct ThreadCtx {
   WriteLog wlog;
   FlushScratch scratch;    // reusable updateMainMemory state (host-perf only)
   Stats* stats = nullptr;  // the node's stats (single-threaded simulation)
+  // Race-detector attachment (nullptr = off; docs/RACES.md). The access fast
+  // paths test this one pointer and hand (race_tid, addr, size) to the
+  // detector, which only accumulates — virtual time is unperturbed.
+  obs::RaceDetector* race = nullptr;
+  std::uint64_t race_tid = 0;  // == uid; cached for the hook call
 
   explicit ThreadCtx(const cluster::CpuParams* cpu) : clock(cpu) {}
   // Deregisters from the DsmSystem thread registry (see make_thread).
@@ -150,6 +156,13 @@ class DsmSystem {
   // layout().total_pages() before attaching.
   void set_heat(obs::PageHeatTable* heat) { heat_ = heat; }
   obs::PageHeatTable* heat() { return heat_; }
+
+  // --- race-detector attachment (optional; nullptr = off) ------------------
+  // Attached threads get their ThreadCtx::race pointer set by make_thread;
+  // alloc() reports allocation sites for report attribution. Attach before
+  // creating threads (docs/RACES.md).
+  void set_race(obs::RaceDetector* race) { race_ = race; }
+  obs::RaceDetector* race() { return race_; }
 
   // --- direct home-copy access (initialization and tests) -----------------
   // Effective-home aware: after a promotion the reference copy lives in the
@@ -228,6 +241,7 @@ class DsmSystem {
   // consulted only by the HA promotion's write-log replay.
   std::vector<ThreadCtx*> threads_;
   obs::PageHeatTable* heat_ = nullptr;
+  obs::RaceDetector* race_ = nullptr;
   cluster::HaHooks* ha_ = nullptr;
 };
 

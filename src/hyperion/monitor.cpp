@@ -224,6 +224,9 @@ void MonitorSubsystem::enter(dsm::ThreadCtx& t, dsm::Gva obj) {
   cluster_->phase_add(t.node, obs::Phase::kBlockedMonitor, waited);
   cluster_->trace_event(t.node, cluster::TraceKind::kMonitorAcquired,
                         static_cast<std::int64_t>(obj), static_cast<std::int64_t>(t.uid));
+  // Happens-before: the acquirer inherits the clock the last releaser left
+  // on this monitor (the detector only accumulates; docs/RACES.md).
+  if (t.race != nullptr) [[unlikely]] t.race->lock_acquire(t.race_tid, obj);
   dsm_->on_acquire(t);
 }
 
@@ -231,6 +234,9 @@ void MonitorSubsystem::exit(dsm::ThreadCtx& t, dsm::Gva obj) {
   t.stats->add(Counter::kMonitorExits);
   cluster_->trace_event(t.node, cluster::TraceKind::kMonitorExit,
                         static_cast<std::int64_t>(obj), static_cast<std::int64_t>(t.uid));
+  // Happens-before: publish this thread's clock on the monitor for the next
+  // acquirer, then advance the epoch.
+  if (t.race != nullptr) [[unlikely]] t.race->lock_release(t.race_tid, obj);
   // Release semantics: modifications must reach central memory before the
   // lock can be taken by anyone else (§3.1, updateMainMemory on exit).
   dsm_->on_release(t);
@@ -249,6 +255,7 @@ void MonitorSubsystem::wait(dsm::ThreadCtx& t, dsm::Gva obj) {
   cluster_->trace_event(t.node, cluster::TraceKind::kMonitorWait,
                         static_cast<std::int64_t>(obj), static_cast<std::int64_t>(t.uid));
   // wait() is a release followed (after notify) by an acquire.
+  if (t.race != nullptr) [[unlikely]] t.race->lock_release(t.race_tid, obj);
   dsm_->on_release(t);
   const cluster::NodeId home = dsm_->effective_home_of(obj);
   // Object.wait is how every §4.1 application builds its barriers: the time
@@ -276,6 +283,8 @@ void MonitorSubsystem::wait(dsm::ThreadCtx& t, dsm::Gva obj) {
   }
   cluster_->phase_add(t.node, obs::Phase::kBarrier,
                       cluster_->engine().now() - requested_at);
+  // Re-acquire side of wait(): inherit the notifier's released clock.
+  if (t.race != nullptr) [[unlikely]] t.race->lock_acquire(t.race_tid, obj);
   dsm_->on_acquire(t);
 }
 

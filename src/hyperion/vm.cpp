@@ -33,6 +33,10 @@ void JavaEnv::notify_all(dsm::Gva obj) { vm_->monitors_.notify_all(*ctx_, obj); 
 
 Time JavaEnv::now() const { return vm_->cluster_.engine().now(); }
 
+void JavaEnv::mark_benign(dsm::Gva addr, std::size_t bytes) {
+  if (ctx_->race != nullptr) ctx_->race->mark_benign(addr, addr + bytes);
+}
+
 void JavaEnv::migrate_to(NodeId target, std::size_t state_bytes) {
   HYP_CHECK_MSG(target >= 0 && target < vm_->nodes(), "migration target out of range");
   const NodeId source = ctx_->node;
@@ -61,6 +65,8 @@ void JavaEnv::migrate_to(NodeId target, std::size_t state_bytes) {
   ctx_->presence = ctx_->nd->presence_data();
   ctx_->stats = &vm_->cluster_.node(target).stats();
   ctx_->clock.bind_cpu(&vm_->cluster_.node(target).app_cpu());
+  // The thread's clock travels with it; only the report attribution moves.
+  if (ctx_->race != nullptr) ctx_->race->set_thread_node(ctx_->race_tid, target);
 
   // Arriving: start with a coherent view (and flush the empty log state).
   vm_->dsm_.on_acquire(*ctx_);
@@ -75,16 +81,25 @@ JThread JavaEnv::start_thread(std::string name, std::function<void(JavaEnv&)> bo
   HyperionVM* vm = vm_;
   JThread handle;
   handle.node_ = target;
+  // Fork edge for the race detector: snapshot the parent's clock into a
+  // token; the child joins it on startup, and publishes its final clock
+  // under the same token at exit for join() (docs/RACES.md).
+  obs::RaceDetector* race = vm_->dsm_.race();
+  const std::uint64_t token =
+      race != nullptr ? race->prepare_fork(ctx_->race_tid) : 0;
+  handle.race_token_ = token;
   handle.fiber_ = vm_->cluster_.spawn_thread(
-      target, std::move(name), [vm, target, fn = std::move(body)]() mutable {
+      target, std::move(name), [vm, target, token, fn = std::move(body)]() mutable {
         JavaEnv env(vm, vm->dsm_.make_thread(target));
         vm->cluster_.trace_event(target, cluster::TraceKind::kThreadStart,
                                  static_cast<std::int64_t>(env.ctx().uid));
+        if (env.ctx().race != nullptr) env.ctx().race->adopt_fork(token, env.ctx().race_tid);
         // Acquire side of the start() edge: begin with a clean cache.
         vm->dsm_.on_acquire(env.ctx());
         fn(env);
         // Thread termination happens-before join(): flush working memory.
         vm->dsm_.on_release(env.ctx());
+        if (env.ctx().race != nullptr) env.ctx().race->thread_exit(token, env.ctx().race_tid);
         // Everything this thread ever charged to its CPU clock is compute
         // (app cycles + protocol in-line costs); attributed to the node the
         // thread ended on (migration moves the attribution with the thread).
@@ -101,6 +116,8 @@ void JavaEnv::join(JThread& thread) {
   sim::Engine::current()->join(thread.fiber_);
   vm_->cluster_.phase_add(ctx_->node, obs::Phase::kBarrier,
                           vm_->cluster_.engine().now() - join_begin);
+  // Join edge for the race detector: inherit the joined thread's final clock.
+  if (ctx_->race != nullptr) ctx_->race->join(ctx_->race_tid, thread.race_token_);
   // Acquire side of the join() edge: see everything the thread wrote.
   vm_->dsm_.on_acquire(*ctx_);
 }
@@ -124,6 +141,13 @@ HyperionVM::HyperionVM(VmConfig config)
   if (config_.phases != nullptr) {
     config_.phases->init(cluster_.node_count());
     cluster_.set_phases(config_.phases);
+  }
+  if (config_.race != nullptr) {
+    // Attach before run_main creates the primary thread so thread 1 (main)
+    // is registered from its first access (docs/RACES.md).
+    config_.race->begin_run(&cluster_, dsm_.layout().page_shift());
+    dsm_.set_race(config_.race);
+    cluster_.set_race_hooks(config_.race);
   }
   // A scheduled crash window engages the HA subsystem (docs/RECOVERY.md);
   // without one every HA branch below stays a null-pointer test and the

@@ -42,6 +42,7 @@ struct VmConfig {
   cluster::TraceLog* trace = nullptr;     // protocol event log
   obs::PageHeatTable* heat = nullptr;     // per-page fetch/fault/update heat
   obs::PhaseAccounting* phases = nullptr; // per-node thread-time phase split
+  obs::RaceDetector* race = nullptr;      // vector-clock race detection
 };
 
 class HyperionVM;
@@ -59,6 +60,10 @@ class JThread {
   friend class HyperionVM;
   sim::Fiber* fiber_ = nullptr;
   NodeId node_ = -1;
+  // Race-detector fork token: the parent's clock snapshot the child adopts
+  // (start edge) and the child's final clock at exit (join edge). Only
+  // meaningful when a detector is attached (docs/RACES.md).
+  std::uint64_t race_token_ = 0;
 };
 
 // The execution environment of one running Java thread (its ThreadCtx plus
@@ -123,6 +128,13 @@ class JavaEnv {
   // exactly PM2's "pointer validity under migration" guarantee (§3.1).
   // `state_bytes` models the thread's stack + descriptor payload.
   void migrate_to(NodeId target, std::size_t state_bytes = 8192);
+
+  // --- race-detector annotation (no-op when no detector is attached) -------
+  // Declares [addr, addr + bytes) a deliberate benign race: TSP-style stale
+  // reads of a monotonic bound are real JMM races the program tolerates by
+  // design, and the detector tallies rather than reports them. Zero virtual
+  // time either way (docs/RACES.md).
+  void mark_benign(dsm::Gva addr, std::size_t bytes);
 
   // --- compute accounting ---------------------------------------------------
   void charge_cycles(std::uint64_t n) { ctx_->clock.charge_cycles(n); }

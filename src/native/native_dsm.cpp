@@ -98,6 +98,8 @@ NativeDsm::NativeDsm(int nodes, std::size_t region_bytes, Protocol protocol,
   present_.resize(n);
   twin_valid_.resize(n);
   alloc_next_.resize(n);
+  invalidate_epoch_ = std::make_unique<std::atomic<std::uint64_t>[]>(n);
+  for (std::size_t i = 0; i < n; ++i) invalidate_epoch_[i].store(0, std::memory_order_relaxed);
   for (std::size_t i = 0; i < n; ++i) {
     auto [access, service] = map_region_dual(region_bytes);
     arenas_[i] = access;
@@ -211,9 +213,20 @@ void NativeDsm::fetch_page(int node, PageId page, bool from_fault) {
   // Install the bytes through the always-RW service view FIRST, then open
   // the access view: a sibling thread either faults (and waits on the page
   // lock) or reads fully installed data — never a half-open page.
+  //
+  // The epoch sandwich around the copy kills a subtler window: if a sibling
+  // runs invalidate_cache while this memcpy is in flight, the copy may
+  // predate home applies that the sibling's monitor acquire must observe —
+  // installing it would set `present` back to 1 with stale bytes. Discard
+  // and let the caller retry (ic loops, pf re-faults); a fetch that starts
+  // after the bump reads the home copy happens-after that acquire.
+  const std::uint64_t epoch = invalidate_epoch_[ni].load(std::memory_order_acquire);
   std::memcpy(local_service,
               service_arenas_[static_cast<std::size_t>(home)] + layout_.page_base(page),
               page_bytes);
+  if (invalidate_epoch_[ni].load(std::memory_order_acquire) != epoch) {
+    return;  // raced an invalidation pass: not installed
+  }
   if (protocol_ == Protocol::kJavaPf) {
     std::memcpy(twin_arenas_[ni] + layout_.page_base(page), local_service, page_bytes);
     twin_valid_[ni][page].store(1, std::memory_order_release);
@@ -286,13 +299,56 @@ void NativeDsm::update_main_memory(NativeCtx& ctx) {
 void NativeDsm::invalidate_cache(NativeCtx& ctx) {
   const auto ni = static_cast<std::size_t>(ctx.node);
   const std::size_t page_bytes = layout_.page_bytes();
+  // Poison in-flight fetches first (see fetch_page): their home copies may
+  // miss applies this invalidation is entitled to, and they would otherwise
+  // re-install `present` after this pass cleared it.
+  invalidate_epoch_[ni].fetch_add(1, std::memory_order_acq_rel);
+  // Serialize with every in-flight fetch: a fetch holds its stripe mutex for
+  // the whole copy+install, so after this sweep each one has either fully
+  // installed (the scan below sees `present` and clears it) or will load the
+  // bumped epoch through the same mutex and discard.
+  for (auto& m : fetch_mutexes_) {
+    m.lock();
+    m.unlock();
+  }
   for (PageId p = 0; p < layout_.total_pages(); ++p) {
     if (present_[ni][p].load(std::memory_order_acquire) == 0) continue;
     std::lock_guard<std::mutex> lock(page_mutex(ctx.node, p));
     if (present_[ni][p].load(std::memory_order_relaxed) == 0) continue;
     if (protocol_ == Protocol::kJavaPf) {
+      // Protect FIRST, then drop the twin. A sibling thread inside its own
+      // critical section may store to this page between our flush's diff
+      // pass and this invalidation; once the page is PROT_NONE its next
+      // store faults and re-fetches (the fault waits on the page lock held
+      // here), so the residual diff below sees the final pre-protection
+      // bytes. Dropping the twin before the protection flip lost exactly
+      // those stores: the sibling's own flush found twin_valid == 0 and
+      // skipped the page, and the next fetch re-read stale home bytes.
       HYP_CHECK(mprotect(arenas_[ni] + layout_.page_base(p), page_bytes, PROT_NONE) == 0);
       bump(Counter::kMprotectCalls);
+      if (twin_valid_[ni][p].load(std::memory_order_acquire) != 0) {
+        const std::size_t words = page_bytes / 8;
+        auto* cur = reinterpret_cast<std::uint64_t*>(service_arenas_[ni] + layout_.page_base(p));
+        auto* twin = reinterpret_cast<std::uint64_t*>(twin_arenas_[ni] + layout_.page_base(p));
+        const int home = layout_.home_of_page(p);
+        auto* home_words =
+            reinterpret_cast<std::uint64_t*>(service_arenas_[static_cast<std::size_t>(home)] +
+                                             layout_.page_base(p));
+        bool locked_home = false;
+        for (std::size_t w = 0; w < words; ++w) {
+          const std::uint64_t value = cur[w];
+          if (value == twin[w]) continue;
+          if (!locked_home) {
+            home_apply_mutexes_[static_cast<std::size_t>(home)].lock();
+            locked_home = true;
+            bump(Counter::kUpdatesSent);
+          }
+          home_words[w] = value;
+          bump(Counter::kDiffWords);
+          bump(Counter::kUpdateBytes, 8);
+        }
+        if (locked_home) home_apply_mutexes_[static_cast<std::size_t>(home)].unlock();
+      }
       twin_valid_[ni][p].store(0, std::memory_order_release);
     }
     present_[ni][p].store(0, std::memory_order_release);

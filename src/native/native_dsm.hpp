@@ -144,6 +144,13 @@ class NativeDsm {
   // present_[node][page]: 1 when a non-home page holds a valid replica.
   std::vector<std::unique_ptr<std::atomic<std::uint8_t>[]>> present_;
   std::vector<std::unique_ptr<std::atomic<std::uint8_t>[]>> twin_valid_;
+  // Bumped at the start of every invalidate_cache pass. A fetch_page whose
+  // home-copy memcpy spans a bump discards its copy instead of installing
+  // it: the copy may predate the home applies the invalidating thread's
+  // monitor acquire is entitled to see, and installing it would resurrect
+  // the present bit with stale bytes (the second lost-update window behind
+  // the MonitorContentionAcrossManyObjects flake).
+  std::unique_ptr<std::atomic<std::uint64_t>[]> invalidate_epoch_;
   std::vector<std::mutex> fetch_mutexes_;  // striped page locks
   std::vector<std::mutex> home_apply_mutexes_;  // one per node, serializes updates
   std::vector<std::mutex> alloc_mutexes_;
@@ -159,7 +166,10 @@ T NativeCtx::get(Gva a) {
   if (dsm->protocol() == Protocol::kJavaIc) {
     dsm->bump(Counter::kInlineChecks);
     const PageId p = dsm->layout().page_of(a);
-    if (!dsm->page_present(node, p)) [[unlikely]] {
+    // Loop: a fetch that raced an invalidation pass discards its copy
+    // without installing (see invalidate_epoch_), so one call may not be
+    // enough. (java_pf gets the same retry for free — the access re-faults.)
+    while (!dsm->page_present(node, p)) [[unlikely]] {
       dsm->fetch_page(node, p, /*from_fault=*/false);
     }
   }
@@ -175,7 +185,7 @@ void NativeCtx::put(Gva a, T v) {
   const PageId p = dsm->layout().page_of(a);
   if (dsm->protocol() == Protocol::kJavaIc) {
     dsm->bump(Counter::kInlineChecks);
-    if (!dsm->page_present(node, p)) [[unlikely]] {
+    while (!dsm->page_present(node, p)) [[unlikely]] {
       dsm->fetch_page(node, p, /*from_fault=*/false);
     }
   }

@@ -102,6 +102,14 @@ std::string event_args(const TraceEvent& e) {
     case TraceKind::kCheckpointApplied:
       std::snprintf(buf, sizeof(buf), "{\"origin\":%lld,\"bytes\":%lld}", a, b);
       break;
+    case TraceKind::kRaceDetected:
+      // b packs (tid_prev << 34) | (tid_cur << 4) | kind (obs/race.cpp).
+      std::snprintf(buf, sizeof(buf),
+                    "{\"addr\":%lld,\"tid_prev\":%lld,\"tid_cur\":%lld,\"kind\":%lld}", a,
+                    static_cast<long long>(b >> 34),
+                    static_cast<long long>((b >> 4) & 0x3fffffff),
+                    static_cast<long long>(b & 0xf));
+      break;
     default:
       std::snprintf(buf, sizeof(buf), "{\"a\":%lld,\"b\":%lld}", a, b);
       break;
@@ -142,6 +150,8 @@ const char* event_category(TraceKind kind) {
     case TraceKind::kCheckpoint:
     case TraceKind::kCheckpointApplied:
       return "ha";
+    case TraceKind::kRaceDetected:
+      return "race";
   }
   return "protocol";
 }
@@ -343,5 +353,126 @@ void write_perfetto_trace(std::ostream& os, const TraceLog& log, const PerfettoO
 
   os << "\n]}\n";
 }
+
+// ---------------------------------------------------------------------------
+// PerfettoStreamWriter
+
+struct PerfettoStreamWriter::Impl {
+  Impl(std::ostream& out, PerfettoOptions options) : os(out), opts(options), emit(out) {
+    out << "{\"displayTimeUnit\":\"ns\",\n\"traceEvents\":[";
+  }
+
+  // Lazily announces tracks the one-shot writer pre-scans for: process/
+  // protocol-track names on first sight of a node, fetch/java-thread tracks
+  // on first sight of the events that populate them.
+  void ensure_node(int node) {
+    if (!nodes_seen.insert(node).second) return;
+    emit.metadata(node, -1, "process_name", "node " + std::to_string(node));
+    emit.metadata(node, 0, "thread_name", "protocol events");
+  }
+  void ensure_fetch_track(int node) {
+    if (!fetch_tracks_seen.insert(node).second) return;
+    emit.metadata(node, kFetchTid, "thread_name", "dsm fetch");
+  }
+  void ensure_java_thread(int node, std::int64_t uid) {
+    if (!monitor_threads_seen.insert({node, uid}).second) return;
+    emit.metadata(node, static_cast<int>(uid), "thread_name",
+                  "java thread " + std::to_string(uid));
+  }
+
+  void consume_one(const TraceEvent& e) {
+    ensure_node(e.node);
+    emit.instant(e);
+    ++events_written;
+    if (e.kind == TraceKind::kEpochBump) {
+      emit.counter("cluster_epoch", e.at, e.node, "epoch", e.a);
+    }
+    if (!opts.derive_slices) return;
+    if (e.kind == TraceKind::kNodeCrash && e.a > 0) {
+      const Time up_at = static_cast<Time>(e.a) * kMicrosecond;
+      if (up_at > e.at) {
+        emit.slice("node_down", "ha", e.at, up_at, e.node, 0, event_args(e));
+      }
+    }
+    if (e.kind == TraceKind::kUpdateSent) {
+      const std::uint64_t id = next_flow_id++;
+      update_flows[{e.node, static_cast<int>(e.a)}].push_back(id);
+      emit.flow("update_flow", "dsm", 's', id, e.at, e.node, 0);
+    } else if (e.kind == TraceKind::kUpdateApplied) {
+      auto it = update_flows.find({static_cast<int>(e.a), e.node});
+      if (it != update_flows.end() && !it->second.empty()) {
+        const std::uint64_t id = it->second.front();
+        it->second.pop_front();
+        emit.flow("update_flow", "dsm", 'f', id, e.at, e.node, 0);
+      }
+    }
+    switch (e.kind) {
+      case TraceKind::kPageFault:
+        pending_fault[{e.node, e.a}] = e.at;
+        break;
+      case TraceKind::kPageFetch: {
+        auto it = pending_fault.find({e.node, e.a});
+        if (it != pending_fault.end()) {
+          ensure_fetch_track(e.node);
+          emit.slice("page_fetch", "dsm", it->second, e.at, e.node, kFetchTid,
+                     event_args(e));
+          pending_fault.erase(it);
+        }
+        break;
+      }
+      case TraceKind::kMonitorEnter:
+        pending_enter[{e.node, e.a, e.b}] = e.at;
+        ensure_java_thread(e.node, e.b);
+        break;
+      case TraceKind::kMonitorAcquired: {
+        ensure_java_thread(e.node, e.b);
+        auto it = pending_enter.find({e.node, e.a, e.b});
+        if (it != pending_enter.end()) {
+          emit.slice("monitor_acquire", "monitor", it->second, e.at, e.node,
+                     static_cast<int>(e.b), event_args(e));
+          pending_enter.erase(it);
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+  std::ostream& os;
+  PerfettoOptions opts;
+  Emitter emit;
+  bool finished = false;
+  std::uint64_t events_written = 0;
+  std::set<int> nodes_seen;
+  std::set<int> fetch_tracks_seen;
+  std::set<std::pair<int, std::int64_t>> monitor_threads_seen;
+  std::map<std::pair<int, int>, std::deque<std::uint64_t>> update_flows;
+  std::uint64_t next_flow_id = 1;
+  std::map<std::pair<int, std::int64_t>, Time> pending_fault;
+  std::map<std::tuple<int, std::int64_t, std::int64_t>, Time> pending_enter;
+};
+
+PerfettoStreamWriter::PerfettoStreamWriter(std::ostream& os, PerfettoOptions opts)
+    : impl_(std::make_unique<Impl>(os, opts)) {}
+
+PerfettoStreamWriter::~PerfettoStreamWriter() = default;
+
+void PerfettoStreamWriter::consume(const std::vector<TraceEvent>& batch) {
+  for (const TraceEvent& e : batch) impl_->consume_one(e);
+}
+
+void PerfettoStreamWriter::finish(const TraceLog& log) {
+  if (impl_->finished) return;
+  impl_->finished = true;
+  std::ostream& os = impl_->os;
+  os << "\n],\n\"otherData\":{";
+  os << "\"generator\":\"hyperion-repro obs (virtual time, streamed)\"";
+  os << ",\"events_recorded\":" << impl_->events_written;
+  os << ",\"trace_dropped\":" << log.dropped();
+  os << "}}\n";
+}
+
+std::uint64_t PerfettoStreamWriter::events_written() const { return impl_->events_written; }
 
 }  // namespace hyp::obs

@@ -22,7 +22,10 @@
 // saturated trace is never mistaken for a quiet run.
 #pragma once
 
+#include <cstdint>
+#include <memory>
 #include <ostream>
+#include <vector>
 
 #include "cluster/trace.hpp"
 
@@ -34,5 +37,35 @@ struct PerfettoOptions {
 
 void write_perfetto_trace(std::ostream& os, const cluster::TraceLog& log,
                           const PerfettoOptions& opts = {});
+
+// Incremental writer for TraceLog's double-buffered sink mode (--trace-out
+// with --trace-stream): the JSON header goes out up front, each drained
+// buffer appends its events immediately (so memory stays bounded by the two
+// log buffers however long the run), and finish() closes the file with the
+// run totals. Track metadata is emitted lazily, the first time a node or
+// java thread appears; `otherData` trails the event array (its counts are
+// only known at the end). The one-shot write_perfetto_trace above is
+// untouched byte-for-byte — tests/goldens/perfetto_golden.json pins it.
+class PerfettoStreamWriter {
+ public:
+  explicit PerfettoStreamWriter(std::ostream& os, PerfettoOptions opts = {});
+  ~PerfettoStreamWriter();
+  PerfettoStreamWriter(const PerfettoStreamWriter&) = delete;
+  PerfettoStreamWriter& operator=(const PerfettoStreamWriter&) = delete;
+
+  // Sink target for TraceLog::set_sink: appends one drained buffer.
+  void consume(const std::vector<cluster::TraceEvent>& batch);
+
+  // Closes the JSON (call TraceLog::flush_sink() first so the tail buffer
+  // has been consumed). `log` supplies the drop counters for `otherData` —
+  // necessarily 0 in streaming mode, but emitted so consumers can assert it.
+  void finish(const cluster::TraceLog& log);
+
+  std::uint64_t events_written() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
 
 }  // namespace hyp::obs

@@ -1,0 +1,339 @@
+#include "obs/race.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "cluster/cluster.hpp"
+#include "common/assert.hpp"
+
+namespace hyp::obs {
+
+const char* race_gran_name(RaceGran g) {
+  switch (g) {
+    case RaceGran::kField: return "field";
+    case RaceGran::kPage: return "page";
+  }
+  return "?";
+}
+
+const char* race_kind_name(RaceRecord::Kind k) {
+  switch (k) {
+    case RaceRecord::Kind::kWriteWrite: return "write-write";
+    case RaceRecord::Kind::kReadWrite: return "read-write";
+    case RaceRecord::Kind::kWriteRead: return "write-read";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------------
+// RaceConfig
+
+namespace {
+
+[[noreturn]] void bad_race_spec(const std::string& spec, const std::string& token,
+                                const char* why) {
+  std::fprintf(stderr, "malformed --race-detect '%s' at token '%s': %s\n"
+                       "  grammar: on|off[,racegran=field|page]\n",
+               spec.c_str(), token.c_str(), why);
+  std::exit(2);
+}
+
+bool starts_with(const std::string& s, const char* prefix, std::size_t* n) {
+  const std::size_t len = std::strlen(prefix);
+  if (s.compare(0, len, prefix) != 0) return false;
+  *n = len;
+  return true;
+}
+
+}  // namespace
+
+RaceConfig RaceConfig::parse(const std::string& spec) {
+  RaceConfig cfg;
+  bool saw_mode = false;
+  if (!spec.empty() && spec.back() == ',') bad_race_spec(spec, "", "empty token");
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string token = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (token.empty()) bad_race_spec(spec, token, "empty token");
+    std::size_t n = 0;
+    if (token == "on") {
+      if (saw_mode) bad_race_spec(spec, token, "duplicate on/off");
+      cfg.enabled = true;
+      saw_mode = true;
+    } else if (token == "off") {
+      if (saw_mode) bad_race_spec(spec, token, "duplicate on/off");
+      cfg.enabled = false;
+      saw_mode = true;
+    } else if (starts_with(token, "racegran=", &n)) {
+      const std::string v = token.substr(n);
+      if (v == "field") {
+        cfg.gran = RaceGran::kField;
+      } else if (v == "page") {
+        cfg.gran = RaceGran::kPage;
+      } else {
+        bad_race_spec(spec, token, "expected racegran=field or racegran=page");
+      }
+    } else {
+      bad_race_spec(spec, token, "unknown token");
+    }
+  }
+  if (!saw_mode) bad_race_spec(spec, spec, "spec must start with on or off");
+  return cfg;
+}
+
+std::string RaceConfig::to_string() const {
+  if (!enabled) return "off";
+  return std::string("on,racegran=") + race_gran_name(gran);
+}
+
+// ---------------------------------------------------------------------------
+// RaceDetector
+
+void RaceDetector::begin_run(cluster::Cluster* cluster, unsigned page_shift) {
+  cluster_ = cluster;
+  page_shift_ = page_shift;
+  thread_vc_.clear();
+  thread_node_.clear();
+  lock_vc_.clear();
+  fork_tokens_.clear();
+  cells_.clear();
+  node_vc_.clear();
+  benign_.clear();
+  allocs_.clear();
+  races_.clear();
+  seen_.clear();
+  accesses_checked_ = 0;
+  benign_suppressed_ = 0;
+  clock_msgs_ = 0;
+  clock_bytes_ = 0;
+}
+
+RaceDetector::Vc& RaceDetector::clock_of(std::uint64_t tid) {
+  if (tid >= thread_vc_.size()) {
+    thread_vc_.resize(tid + 1);
+    thread_node_.resize(tid + 1, -1);
+  }
+  return thread_vc_[tid];
+}
+
+void RaceDetector::join_into(Vc& dst, const Vc& src) {
+  if (dst.size() < src.size()) dst.resize(src.size(), 0);
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    if (src[i] > dst[i]) dst[i] = src[i];
+  }
+}
+
+void RaceDetector::register_thread(std::uint64_t tid, int node) {
+  Vc& c = clock_of(tid);
+  if (c.size() <= tid) c.resize(tid + 1, 0);
+  if (c[tid] == 0) c[tid] = 1;  // epochs start at 1; clk 0 means "never"
+  thread_node_[tid] = node;
+}
+
+void RaceDetector::set_thread_node(std::uint64_t tid, int node) {
+  clock_of(tid);
+  thread_node_[tid] = node;
+}
+
+std::uint64_t RaceDetector::prepare_fork(std::uint64_t parent_tid) {
+  Vc& c = clock_of(parent_tid);
+  const std::uint64_t token = fork_tokens_.size();
+  fork_tokens_.push_back(c);  // snapshot
+  if (c.size() <= parent_tid) c.resize(parent_tid + 1, 0);
+  ++c[parent_tid];
+  return token;
+}
+
+void RaceDetector::adopt_fork(std::uint64_t token, std::uint64_t child_tid) {
+  HYP_CHECK(token < fork_tokens_.size());
+  join_into(clock_of(child_tid), fork_tokens_[token]);
+}
+
+void RaceDetector::thread_exit(std::uint64_t token, std::uint64_t tid) {
+  HYP_CHECK(token < fork_tokens_.size());
+  fork_tokens_[token] = clock_of(tid);  // publish the final clock
+}
+
+void RaceDetector::join(std::uint64_t joiner_tid, std::uint64_t token) {
+  HYP_CHECK(token < fork_tokens_.size());
+  join_into(clock_of(joiner_tid), fork_tokens_[token]);
+}
+
+void RaceDetector::lock_acquire(std::uint64_t tid, std::uint64_t obj) {
+  auto it = lock_vc_.find(obj);
+  if (it != lock_vc_.end()) join_into(clock_of(tid), it->second);
+}
+
+void RaceDetector::lock_release(std::uint64_t tid, std::uint64_t obj) {
+  Vc& c = clock_of(tid);
+  lock_vc_[obj] = c;
+  // Piggyback bookkeeping: the releasing thread's node clock advances with it
+  // (a real implementation ships this clock with the release message).
+  const int node = thread_node_[tid];
+  if (node >= 0) {
+    if (static_cast<std::size_t>(node) >= node_vc_.size()) node_vc_.resize(node + 1);
+    join_into(node_vc_[static_cast<std::size_t>(node)], c);
+  }
+  if (c.size() <= tid) c.resize(tid + 1, 0);
+  ++c[tid];
+}
+
+bool RaceDetector::is_benign(std::uint64_t addr) const {
+  for (const auto& [begin, end] : benign_) {
+    if (addr >= begin && addr < end) return true;
+  }
+  return false;
+}
+
+const RaceDetector::AllocSite* RaceDetector::alloc_of(std::uint64_t addr) const {
+  // allocs_ is sorted by base (allocation pointers are monotone per zone,
+  // and note_alloc keeps the vector sorted across zones).
+  auto it = std::upper_bound(allocs_.begin(), allocs_.end(), addr,
+                             [](std::uint64_t a, const AllocSite& s) { return a < s.base; });
+  if (it == allocs_.begin()) return nullptr;
+  --it;
+  return addr < it->base + it->bytes ? &*it : nullptr;
+}
+
+void RaceDetector::record_race(RaceRecord::Kind kind, std::uint64_t addr, std::uint64_t key,
+                               std::uint64_t tid_prev, std::uint64_t tid_cur, unsigned size) {
+  if (is_benign(addr)) {
+    ++benign_suppressed_;
+    return;
+  }
+  if (!seen_.emplace(key, static_cast<std::uint8_t>(kind), tid_prev, tid_cur).second) {
+    return;  // already reported this (cell, kind, thread-pair)
+  }
+  RaceRecord r;
+  r.addr = addr;
+  r.key = key;
+  r.kind = kind;
+  r.tid_prev = tid_prev;
+  r.tid_cur = tid_cur;
+  r.node_prev = tid_prev < thread_node_.size() ? thread_node_[tid_prev] : -1;
+  r.node_cur = tid_cur < thread_node_.size() ? thread_node_[tid_cur] : -1;
+  r.size = size;
+  r.at = cluster_ != nullptr ? cluster_->engine().now() : 0;
+  races_.push_back(r);
+  if (cluster_ != nullptr && r.node_cur >= 0) {
+    // b packs the participants: (tid_prev << 34) | (tid_cur << 4) | kind.
+    const auto packed = static_cast<std::int64_t>((tid_prev << 34) | (tid_cur << 4) |
+                                                  static_cast<std::uint64_t>(kind));
+    cluster_->trace_event(r.node_cur, cluster::TraceKind::kRaceDetected,
+                          static_cast<std::int64_t>(addr), packed);
+  }
+}
+
+void RaceDetector::on_read(std::uint64_t tid, std::uint64_t addr, unsigned size) {
+  ++accesses_checked_;
+  Vc& c = clock_of(tid);
+  CellState& cell = cells_[key_of(addr)];
+  if (cell.w_clk != 0 && cell.w_tid != tid &&
+      (cell.w_tid >= c.size() || c[cell.w_tid] < cell.w_clk)) {
+    record_race(RaceRecord::Kind::kWriteRead, addr, key_of(addr), cell.w_tid, tid, size);
+  }
+  if (cell.reads.size() <= tid) cell.reads.resize(tid + 1, 0);
+  cell.reads[tid] = tid < c.size() ? c[tid] : 0;
+}
+
+void RaceDetector::on_write(std::uint64_t tid, std::uint64_t addr, unsigned size) {
+  ++accesses_checked_;
+  Vc& c = clock_of(tid);
+  const std::uint64_t key = key_of(addr);
+  CellState& cell = cells_[key];
+  if (cell.w_clk != 0 && cell.w_tid != tid &&
+      (cell.w_tid >= c.size() || c[cell.w_tid] < cell.w_clk)) {
+    record_race(RaceRecord::Kind::kWriteWrite, addr, key, cell.w_tid, tid, size);
+  }
+  for (std::uint64_t u = 0; u < cell.reads.size(); ++u) {
+    if (cell.reads[u] == 0 || u == tid) continue;
+    if (u >= c.size() || c[u] < cell.reads[u]) {
+      record_race(RaceRecord::Kind::kReadWrite, addr, key, u, tid, size);
+    }
+  }
+  cell.w_tid = tid;
+  cell.w_clk = tid < c.size() ? c[tid] : 0;
+  cell.w_size = size;
+}
+
+void RaceDetector::mark_benign(std::uint64_t begin, std::uint64_t end) {
+  benign_.emplace_back(begin, end);
+}
+
+void RaceDetector::note_alloc(int home, std::uint64_t base, std::uint64_t bytes) {
+  AllocSite s;
+  s.base = base;
+  s.bytes = bytes;
+  s.home = home;
+  s.ordinal = allocs_.size();
+  // Per-zone bump allocation is monotone, but zones interleave: keep the
+  // vector sorted by base so attribution stays a binary search.
+  auto it = std::upper_bound(allocs_.begin(), allocs_.end(), s,
+                             [](const AllocSite& a, const AllocSite& b) {
+                               return a.base < b.base;
+                             });
+  allocs_.insert(it, s);
+}
+
+void RaceDetector::on_message(int from, int to, int /*service*/, std::size_t /*bytes*/) {
+  ++clock_msgs_;
+  // A real implementation piggybacks the sender node's vector clock on every
+  // protocol message: count (u32 entries header + one u64 per thread slot).
+  const std::size_t entries = thread_vc_.empty() ? 0 : thread_vc_.size() - 1;
+  clock_bytes_ += 4 + 8 * entries;
+  const auto hi = static_cast<std::size_t>(std::max(from, to));
+  if (hi >= node_vc_.size()) node_vc_.resize(hi + 1);
+  // Bookkeeping join only — deliberately NOT a happens-before edge: update
+  // application is protocol plumbing, not program synchronization, and an
+  // edge here would mask exactly the races being hunted (docs/RACES.md).
+  join_into(node_vc_[static_cast<std::size_t>(to)], node_vc_[static_cast<std::size_t>(from)]);
+}
+
+void RaceDetector::write_report(std::ostream& os) const {
+  std::vector<RaceRecord> rows = races_;
+  std::sort(rows.begin(), rows.end(), [](const RaceRecord& a, const RaceRecord& b) {
+    if (a.addr != b.addr) return a.addr < b.addr;
+    if (a.kind != b.kind) return static_cast<int>(a.kind) < static_cast<int>(b.kind);
+    if (a.tid_prev != b.tid_prev) return a.tid_prev < b.tid_prev;
+    return a.tid_cur < b.tid_cur;
+  });
+
+  char line[256];
+  std::snprintf(line, sizeof(line),
+                "race report (granularity: %s)\n"
+                "  races: %llu  accesses checked: %llu  benign suppressed: %llu\n"
+                "  clock piggyback: %llu msgs, %llu bytes\n",
+                race_gran_name(config_.gran), static_cast<unsigned long long>(rows.size()),
+                static_cast<unsigned long long>(accesses_checked_),
+                static_cast<unsigned long long>(benign_suppressed_),
+                static_cast<unsigned long long>(clock_msgs_),
+                static_cast<unsigned long long>(clock_bytes_));
+  os << line;
+  for (const RaceRecord& r : rows) {
+    const AllocSite* site = alloc_of(r.addr);
+    char attrib[64];
+    if (site != nullptr) {
+      std::snprintf(attrib, sizeof(attrib), "alloc #%llu+0x%llx home n%d",
+                    static_cast<unsigned long long>(site->ordinal),
+                    static_cast<unsigned long long>(r.addr - site->base), site->home);
+    } else {
+      std::snprintf(attrib, sizeof(attrib), "unattributed");
+    }
+    std::snprintf(line, sizeof(line),
+                  "  addr 0x%08llx page %llu  %-11s  T%llu@n%d vs T%llu@n%d  size %u  "
+                  "%s  first at %.3f us\n",
+                  static_cast<unsigned long long>(r.addr),
+                  static_cast<unsigned long long>(r.addr >> page_shift_),
+                  race_kind_name(r.kind), static_cast<unsigned long long>(r.tid_prev),
+                  r.node_prev, static_cast<unsigned long long>(r.tid_cur), r.node_cur,
+                  r.size, attrib, to_micros(r.at));
+    os << line;
+  }
+}
+
+}  // namespace hyp::obs

@@ -1,0 +1,202 @@
+// Vector-clock data-race detection over the DSM (docs/RACES.md).
+//
+// The paper's two detection mechanisms already materialize exactly what a
+// race detector needs — java_ic records every non-home store field-by-field
+// in a write log, java_pf's twin diffs recover modified words page-by-page —
+// and the JMM consistency actions (monitor enter/exit/wait, thread
+// start/join) are the *only* sources of happens-before order a cluster Java
+// program has. This detector reproduces the classic FastTrack shape on top
+// of that structure (see PAPERS.md, arXiv:1101.4193):
+//
+//   - one vector clock per Java thread, indexed by DSM thread uid;
+//   - one vector clock per monitor object: acquire joins it into the
+//     acquirer, release stores the releaser's clock and advances its epoch;
+//   - Thread.start/join carry fork/join edges through snapshot tokens;
+//   - every get/put is checked against the accessed cell's last-writer epoch
+//     and read clocks — at field granularity (exact address, what the
+//     java_ic write log sees) or page granularity (address >> page_shift,
+//     what a java_pf twin diff can attribute).
+//
+// DSM update application and message delivery deliberately do NOT create
+// happens-before edges: the home applying a flushed write is an artifact of
+// the consistency protocol, not of program synchronization, and treating it
+// as an edge would mask exactly the races the detector exists to find. The
+// per-node clocks joined at message delivery are pure piggyback-cost
+// bookkeeping (how many clock bytes a real implementation would ship).
+//
+// Attachment discipline matches heat/phases/trace: the detector only ever
+// accumulates — no clock access, no sleeps, no messages — so attaching it
+// cannot change the virtual time or the answers of a run, and the report of
+// a seeded run is byte-identical run-to-run (the simulation is
+// deterministic and report rows are sorted).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <ostream>
+#include <set>
+#include <string>
+#include <tuple>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/race_hooks.hpp"
+#include "common/units.hpp"
+
+namespace hyp::cluster {
+class Cluster;
+}
+
+namespace hyp::obs {
+
+// Detection granularity: field = the exact accessed address (java_ic
+// write-log precision); page = the containing page (the most a java_pf twin
+// diff can pin down; false sharing shows up as page-granularity conflicts).
+enum class RaceGran : std::uint8_t { kField = 0, kPage };
+
+const char* race_gran_name(RaceGran g);
+
+// Parsed form of --race-detect. Grammar (docs/RACES.md):
+//   on|off[,racegran=field|page]
+struct RaceConfig {
+  bool enabled = false;
+  RaceGran gran = RaceGran::kField;
+
+  // Parses a spec string; malformed input prints a diagnostic naming the
+  // offending token (plus the grammar) to stderr and exits with status 2 —
+  // same contract as FaultProfile::parse (cluster/params.cpp).
+  static RaceConfig parse(const std::string& spec);
+  std::string to_string() const;
+};
+
+// One detected (deduplicated) race. `prev`/`cur` name the two conflicting
+// accesses: prev is the access recorded in the cell state, cur the access
+// that found it unordered.
+struct RaceRecord {
+  enum class Kind : std::uint8_t {
+    kWriteWrite = 0,  // prev write vs cur write
+    kReadWrite,       // prev read  vs cur write
+    kWriteRead,       // prev write vs cur read
+  };
+
+  std::uint64_t addr = 0;  // representative conflicting address (first seen)
+  std::uint64_t key = 0;   // dedup key: addr (field) or page id (page gran)
+  Kind kind = Kind::kWriteWrite;
+  std::uint64_t tid_prev = 0;
+  std::uint64_t tid_cur = 0;
+  int node_prev = -1;
+  int node_cur = -1;
+  unsigned size = 0;  // access width of the detecting access
+  Time at = 0;        // virtual time of first detection
+};
+
+const char* race_kind_name(RaceRecord::Kind k);
+
+class RaceDetector : public cluster::RaceHooks {
+ public:
+  explicit RaceDetector(RaceConfig config) : config_(config) {}
+
+  const RaceConfig& config() const { return config_; }
+
+  // Binds the detector to a run: the cluster (trace events + node stats)
+  // and the region's page shift (page-granularity keys). Resets all state,
+  // so one detector object can observe several runs in sequence.
+  void begin_run(cluster::Cluster* cluster, unsigned page_shift);
+
+  // --- thread lifecycle (tids are DSM thread uids, dense from 1) -----------
+  void register_thread(std::uint64_t tid, int node);
+  void set_thread_node(std::uint64_t tid, int node);  // migration
+
+  // Thread.start(): the parent snapshots its clock into a token the child
+  // adopts (the fork edge), then advances its own epoch.
+  std::uint64_t prepare_fork(std::uint64_t parent_tid);
+  void adopt_fork(std::uint64_t token, std::uint64_t child_tid);
+
+  // Thread termination publishes the final clock under the thread's fork
+  // token; join() joins it into the joining thread (the join edge).
+  void thread_exit(std::uint64_t token, std::uint64_t tid);
+  void join(std::uint64_t joiner_tid, std::uint64_t token);
+
+  // --- happens-before edges from monitors ----------------------------------
+  void lock_acquire(std::uint64_t tid, std::uint64_t obj);
+  void lock_release(std::uint64_t tid, std::uint64_t obj);
+
+  // --- access checks (the hot path; pure accumulation) ---------------------
+  void on_read(std::uint64_t tid, std::uint64_t addr, unsigned size);
+  void on_write(std::uint64_t tid, std::uint64_t addr, unsigned size);
+
+  // --- annotations and attribution -----------------------------------------
+  // Declares [begin, end) a deliberate benign race (e.g. TSP's stale
+  // best-bound reads, §4.1): conflicts there are tallied, not reported.
+  void mark_benign(std::uint64_t begin, std::uint64_t end);
+  // Records an allocation for report attribution ("alloc #12 +0x40").
+  void note_alloc(int home, std::uint64_t base, std::uint64_t bytes);
+
+  // --- cluster::RaceHooks ---------------------------------------------------
+  void on_message(int from, int to, int service, std::size_t bytes) override;
+
+  // --- results --------------------------------------------------------------
+  std::uint64_t races() const { return static_cast<std::uint64_t>(races_.size()); }
+  const std::vector<RaceRecord>& race_records() const { return races_; }
+  std::uint64_t accesses_checked() const { return accesses_checked_; }
+  std::uint64_t benign_suppressed() const { return benign_suppressed_; }
+  std::uint64_t clock_msgs() const { return clock_msgs_; }
+  std::uint64_t clock_bytes() const { return clock_bytes_; }
+
+  // The human-readable --race-out table: a fixed header (config + tallies)
+  // followed by one row per race, sorted by (addr, kind, tids) — byte-
+  // identical for identical seeded runs.
+  void write_report(std::ostream& os) const;
+
+ private:
+  using Vc = std::vector<std::uint64_t>;  // indexed by tid
+
+  struct CellState {
+    std::uint64_t w_tid = 0;
+    std::uint64_t w_clk = 0;  // 0 = never written
+    unsigned w_size = 0;
+    Vc reads;  // reads[tid] = reader's epoch at its last read (0 = none)
+  };
+
+  struct AllocSite {
+    std::uint64_t base = 0;
+    std::uint64_t bytes = 0;
+    int home = -1;
+    std::uint64_t ordinal = 0;
+  };
+
+  std::uint64_t key_of(std::uint64_t addr) const {
+    return config_.gran == RaceGran::kField ? addr : addr >> page_shift_;
+  }
+  Vc& clock_of(std::uint64_t tid);
+  static void join_into(Vc& dst, const Vc& src);
+  bool is_benign(std::uint64_t addr) const;
+  const AllocSite* alloc_of(std::uint64_t addr) const;
+  void record_race(RaceRecord::Kind kind, std::uint64_t addr, std::uint64_t key,
+                   std::uint64_t tid_prev, std::uint64_t tid_cur, unsigned size);
+
+  RaceConfig config_;
+  cluster::Cluster* cluster_ = nullptr;
+  unsigned page_shift_ = 12;
+
+  std::vector<Vc> thread_vc_;       // [tid]
+  std::vector<int> thread_node_;    // [tid] current node (report attribution)
+  std::unordered_map<std::uint64_t, Vc> lock_vc_;  // [object gva]
+  std::vector<Vc> fork_tokens_;     // [token] snapshot (fork), final VC (exit)
+  std::unordered_map<std::uint64_t, CellState> cells_;  // [key]
+  std::vector<Vc> node_vc_;  // piggyback bookkeeping (see on_message)
+
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> benign_;  // [begin,end)
+  std::vector<AllocSite> allocs_;  // sorted by base (allocation is monotone)
+
+  std::vector<RaceRecord> races_;
+  // Dedup: one report row per (key, kind, tid_prev, tid_cur).
+  std::set<std::tuple<std::uint64_t, std::uint8_t, std::uint64_t, std::uint64_t>> seen_;
+
+  std::uint64_t accesses_checked_ = 0;
+  std::uint64_t benign_suppressed_ = 0;
+  std::uint64_t clock_msgs_ = 0;
+  std::uint64_t clock_bytes_ = 0;
+};
+
+}  // namespace hyp::obs

@@ -102,6 +102,49 @@ TEST_P(NativeStress, MonitorContentionAcrossManyObjects) {
   EXPECT_EQ(sum, static_cast<std::int64_t>(kThreads) * kReps);
 }
 
+TEST_P(NativeStress, FlushInvalidateVsConcurrentWriterLosesNoUpdates) {
+  // Regression test for the java_pf lost-update window that made
+  // MonitorContentionAcrossManyObjects flake: thread A's monitor acquire
+  // runs update_main_memory (twin diff) and then invalidate_cache on a page
+  // while sibling thread B — inside its own, unrelated critical section —
+  // stores to the same page. B's store landed after A's diff pass; the old
+  // invalidate then threw away the twin and the page, so B's flush skipped
+  // the page and the next fetch re-read stale home bytes.
+  //
+  // The program below is perfectly synchronized: every thread increments
+  // only its OWN cell under its OWN monitor. Cells share one node-0 home
+  // page, so the only way to lose an increment is the protocol-level window
+  // above. Pre-fix this failed in well under 100 runs; it must now pass
+  // 100 consecutive runs (scripts/race_smoke.sh repeats it).
+  static constexpr int kThreads = 6;
+  static constexpr int kReps = 2000;
+  NativeVm vm(cfg(GetParam(), 3));
+  std::int64_t finals[kThreads] = {};
+  vm.run_main([&](NativeEnv& env) {
+    const Gva page = env.alloc_raw(4096, 4096);  // node-0 home, one page
+    Gva cells[kThreads];
+    for (int t = 0; t < kThreads; ++t) {
+      cells[t] = page + static_cast<Gva>(t) * 64;
+      vm.dsm().poke_home<std::int64_t>(cells[t], 0);
+    }
+    for (int t = 0; t < kThreads; ++t) {
+      const Gva mine = cells[t];
+      vm.start_thread([mine](NativeEnv& worker) {
+        for (int i = 0; i < kReps; ++i) {
+          worker.synchronized(mine, [&] {
+            worker.put<std::int64_t>(mine, worker.get<std::int64_t>(mine) + 1);
+          });
+        }
+      });
+    }
+    vm.join_all(env);
+    for (int t = 0; t < kThreads; ++t) finals[t] = env.get<std::int64_t>(cells[t]);
+  });
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(finals[t], kReps) << "thread " << t << " lost increments";
+  }
+}
+
 TEST_P(NativeStress, WaitNotifyPipelineUnderLoad) {
   // A bounded "queue" of one slot: producers and consumers coordinate
   // entirely through wait/notify on the slot's monitor.
