@@ -17,6 +17,12 @@
 //      (every zone streams to K backups) while the recovery overhead — the
 //      virtual time the crash costs over the fault-free baseline — stays a
 //      property of the crash window, not of K.
+//   4. partition sweep — a fixed split window, varying the group topology
+//      (docs/PARTITIONS.md): a minority-isolated home promotes on the
+//      majority side, an even split parks both sides, and either way the
+//      answers must match the fault-free baseline exactly. The table shows
+//      the partition drops, kNoQuorum holds, epoch-fence rejects and quorum
+//      reads each topology produced.
 //
 // Every point lands in the hyp-metrics-v1 JSON (--metrics-out), so two runs
 // are diffable with scripts/compare_metrics.py, e.g.
@@ -90,6 +96,35 @@ struct RecoveryPoint {
   std::uint64_t ckpt_bytes = 0;
 };
 
+// One row of the partition sweep (split-brain topology under a fixed window).
+struct PartitionPoint {
+  std::string label;
+  std::string protocol;
+  double value = 0;
+  double baseline = 0;
+  Time elapsed = 0;
+  Time base_elapsed = 0;
+  std::uint64_t drops = 0;        // packets that died on a severed link
+  std::uint64_t holds = 0;        // kNoQuorum parks on the minority side
+  std::uint64_t fenced = 0;       // epoch-fenced stale requests/replies
+  std::uint64_t quorum_reads = 0; // suspected-home reads served by backups
+  std::uint64_t promotions = 0;
+};
+
+// "2|0.1.3,0.1|2.3" -> the individual a|b group specs (the specs themselves
+// contain no commas, so the flag list splits cleanly).
+std::vector<std::string> split_specs(const std::string& spec) {
+  std::vector<std::string> out;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    if (comma > pos) out.push_back(spec.substr(pos, comma - pos));
+    pos = comma + 1;
+  }
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -109,6 +144,11 @@ int main(int argc, char** argv) {
       .flag_string("replicas", "1,2,3", "chain backup depths K for the recovery sweep")
       .flag_string("crash", "crash2@3ms+2ms",
                    "kill-and-recover window held fixed for the replicas sweep")
+      .flag_string("partition", "2|0.1.3,0.1|2.3",
+                   "partition group topologies to sweep (a|b specs, "
+                   "comma-separated; empty disables the partition sweep)")
+      .flag_string("partition-window", "3ms+2ms",
+                   "split window held fixed for the partition sweep")
       .flag_int("seed", 7, "fault-injector seed shared by every faulty point");
   if (!cli.parse(argc, argv)) return 0;
 
@@ -125,6 +165,7 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
+  const auto partitions = split_specs(cli.get_string("partition"));
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
 
   bench::ObsRecorder obs;
@@ -156,6 +197,7 @@ int main(int argc, char** argv) {
 
   std::vector<Point> points;
   std::vector<RecoveryPoint> recovery_points;
+  std::vector<PartitionPoint> partition_points;
   bool stable = true;
   for (auto kind : {dsm::ProtocolKind::kJavaIc, dsm::ProtocolKind::kJavaPf}) {
     const std::string proto = dsm::protocol_name(kind);
@@ -227,6 +269,34 @@ int main(int argc, char** argv) {
       stable = stable && (p.value == p.baseline);
       recovery_points.push_back(std::move(p));
     }
+    // --- sweep 4: split-brain topology under a fixed partition window ------
+    for (const std::string& groups : partitions) {
+      char spec[160];
+      std::snprintf(spec, sizeof(spec), "partition@%s:%s,seed=%" PRIu64,
+                    cli.get_string("partition-window").c_str(), groups.c_str(), seed);
+      const std::string label = "partition/" + groups;
+      const apps::RunResult r =
+          run_point(kind, cluster::FaultProfile::parse(spec), label);
+      PartitionPoint p;
+      p.label = label;
+      p.protocol = proto;
+      p.value = r.value;
+      p.baseline = base.value;
+      p.elapsed = r.elapsed;
+      p.base_elapsed = base.elapsed;
+      const auto counters = r.stats.nonzero();
+      auto cnt = [&](const char* name) {
+        auto it = counters.find(name);
+        return it == counters.end() ? std::uint64_t{0} : it->second;
+      };
+      p.drops = cnt("ha_partition_drops");
+      p.holds = cnt("ha_no_quorum_holds");
+      p.fenced = cnt("ha_fenced_rejects");
+      p.quorum_reads = cnt("ha_quorum_reads");
+      p.promotions = cnt("ha_promotions");
+      stable = stable && (p.value == p.baseline);
+      partition_points.push_back(std::move(p));
+    }
   }
 
   // --- answer-stability table ----------------------------------------------
@@ -257,6 +327,23 @@ int main(int argc, char** argv) {
   }
   std::printf("\n");
   rec.write_pretty(std::cout);
+
+  // --- partition-topology table ----------------------------------------------
+  if (!partition_points.empty()) {
+    Table part({"point", "protocol", "value", "stable", "seconds", "split overhead (s)",
+                "drops", "noquorum holds", "fenced", "quorum reads", "promotions"});
+    for (const auto& p : partition_points) {
+      const double overhead =
+          to_seconds(p.elapsed > p.base_elapsed ? p.elapsed - p.base_elapsed : 0);
+      part.add_row({p.label, p.protocol, fmt_double(p.value, 6),
+                    p.value == p.baseline ? "yes" : "NO",
+                    fmt_double(to_seconds(p.elapsed), 6), fmt_double(overhead, 6),
+                    fmt_u64(p.drops), fmt_u64(p.holds), fmt_u64(p.fenced),
+                    fmt_u64(p.quorum_reads), fmt_u64(p.promotions)});
+    }
+    std::printf("\n");
+    part.write_pretty(std::cout);
+  }
 
   std::printf("\nanswer stability: %s\n",
               stable ? "every faulty point reproduced its fault-free value"

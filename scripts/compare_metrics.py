@@ -233,9 +233,26 @@ def main():
             failures.append(f"{name}: races_detected {ra} -> {rb} "
                             "(candidate introduces data races; never tolerated)")
 
+        # Partition-HA verdicts get the same unconditional treatment
+        # (docs/PARTITIONS.md): an epoch-fenced reject or a quorum read
+        # materializing where the baseline had none means stale-authority
+        # traffic reached a handler, or a home was suspected, in a run that
+        # is supposed to be partition-free — a split-brain symptom, not a
+        # tolerable drift.
+        for c in ("ha_fenced_rejects", "ha_quorum_reads"):
+            x, y = ca.get(c, 0), cb.get(c, 0)
+            if x == 0 and y > 0:
+                rows.append((name, c, x, y, rel_delta(x, y)))
+                failures.append(f"{name}: counter {c} 0 -> {y} (partition HA "
+                                "engaged where the baseline saw none; never "
+                                "tolerated)")
+
         for c in sorted(set(ca) | set(cb)):
             if c == "races_detected":
                 continue
+            if c in ("ha_fenced_rejects", "ha_quorum_reads") and \
+                    ca.get(c, 0) == 0 and cb.get(c, 0) > 0:
+                continue  # already failed unconditionally above
             x, y = ca.get(c, 0), cb.get(c, 0)
             if x == y:
                 continue

@@ -41,6 +41,12 @@ PROFILES=(
   # the answers must again be exactly fault-free. Windows naming absent
   # nodes are inert on small sweep points.
   'replicas=2,crash1@3ms+2ms,crash2@8ms+2ms,seed=7'
+  # Network split (docs/PARTITIONS.md): node 2 — a zone home — is cut off
+  # from {0,1,3} for 2ms. Where the silence is corroborated by a cluster
+  # majority the survivors promote its zones; elsewhere cross-cut accesses
+  # park and drain at the heal. Answers must stay exactly fault-free either
+  # way (scripts/partition_smoke.sh checks the trace-level behavior too).
+  'partition@3ms+2ms:2|0.1.3,seed=7'
 )
 if [[ "${SOAK_SMOKE:-0}" == "1" ]]; then
   FIGS=(fig1_pi)
@@ -78,7 +84,7 @@ for fig in "${FIGS[@]}"; do
   if ! run_bench "$base" "$BUILD"/bench/"$fig" --quick; then
     # No baseline, no comparisons: every profile row for this figure fails.
     for prof in "${PROFILES[@]}"; do
-      SUMMARY+=("$fig|$prof|FAIL (no fault-free baseline)")
+      SUMMARY+=("$fig;$prof;FAIL (no fault-free baseline)")
     done
     fail=1
     continue
@@ -90,7 +96,7 @@ for fig in "${FIGS[@]}"; do
     prof="${PROFILES[$i]}"
     out="$WORK/$fig.p$i.txt"
     if ! run_bench "$out" "$BUILD"/bench/"$fig" --quick --fault-profile="$prof"; then
-      SUMMARY+=("$fig|$prof|FAIL (non-zero exit)")
+      SUMMARY+=("$fig;$prof;FAIL (non-zero exit)")
       fail=1
       continue
     fi
@@ -98,25 +104,25 @@ for fig in "${FIGS[@]}"; do
     if ! cmp -s "$WORK/$fig.base.ans" "$WORK/$fig.p$i.ans"; then
       echo "FAIL: $fig answers diverged under '$prof'" >&2
       diff "$WORK/$fig.base.ans" "$WORK/$fig.p$i.ans" >&2 || true
-      SUMMARY+=("$fig|$prof|FAIL (answers diverged)")
+      SUMMARY+=("$fig;$prof;FAIL (answers diverged)")
       fail=1
       continue
     fi
     # Determinism: same seed, same bytes (including timings).
     if ! run_bench "$out.rerun" "$BUILD"/bench/"$fig" --quick --fault-profile="$prof"; then
-      SUMMARY+=("$fig|$prof|FAIL (rerun non-zero exit)")
+      SUMMARY+=("$fig;$prof;FAIL (rerun non-zero exit)")
       fail=1
       continue
     fi
     if ! cmp -s "$out" "$out.rerun"; then
       echo "FAIL: $fig same-seed rerun not byte-identical under '$prof'" >&2
       diff "$out" "$out.rerun" >&2 || true
-      SUMMARY+=("$fig|$prof|FAIL (rerun not byte-identical)")
+      SUMMARY+=("$fig;$prof;FAIL (rerun not byte-identical)")
       fail=1
       continue
     fi
     echo "ok: $fig under '$prof' ($n_points points, answers exact, rerun identical)"
-    SUMMARY+=("$fig|$prof|pass")
+    SUMMARY+=("$fig;$prof;pass")
   done
 done
 
@@ -124,7 +130,7 @@ echo
 echo "== soak_faults summary =="
 printf '%-12s %-52s %s\n' "figure" "profile" "result"
 for row in "${SUMMARY[@]}"; do
-  IFS='|' read -r f p r <<< "$row"
+  IFS=';' read -r f p r <<< "$row"
   printf '%-12s %-52s %s\n' "$f" "$p" "$r"
 done
 

@@ -27,6 +27,7 @@ const char* rpc_status_name(RpcStatus s) {
     case RpcStatus::kOk: return "ok";
     case RpcStatus::kBudgetExhausted: return "budget_exhausted";
     case RpcStatus::kTimeout: return "timeout";
+    case RpcStatus::kNoQuorum: return "no_quorum";
   }
   return "?";
 }
@@ -388,14 +389,25 @@ void Cluster::tx_transmit(NodeId from, NodeId to, std::uint64_t seq, TimeDelta d
                   [this, from, to, seq]() { tx_on_timer(from, to, seq); });
 
   // Corruption is detected by the receiver checksum and counts as a drop.
+  // Asymmetric linkdrop rates stack on the symmetric rate with their own
+  // decision stream.
   if (f.roll(f.corrupt_ppm, key, FaultProfile::kSaltCorrupt) ||
-      f.roll(f.drop_ppm, key, FaultProfile::kSaltDrop)) {
+      f.roll(f.drop_ppm, key, FaultProfile::kSaltDrop) ||
+      f.roll(f.linkdrop_ppm(from, to), key, FaultProfile::kSaltLinkDrop)) {
     src.stats().add(Counter::kNetDrops);
     trace_event(from, TraceKind::kNetDrop, to, static_cast<std::int64_t>(seq));
     return;
   }
 
   const Time base_arrival = depart + params_.net.wire_time(p.payload.size()) + f.extra_delay(key);
+  // An open partition window cuts the wire itself: judged at the departure
+  // instant (a packet cannot outrun the cut), deterministic by construction.
+  if (f.severed(from, to, depart)) {
+    src.stats().add(Counter::kNetDrops);
+    src.stats().add(Counter::kHaPartitionDrops);
+    trace_event(from, TraceKind::kNetDrop, to, static_cast<std::int64_t>(seq));
+    return;
+  }
   const Time arrival = f.apply_windows(to, base_arrival);
   if (arrival == FaultProfile::kDropped) {
     src.stats().add(Counter::kNetDrops);
@@ -499,8 +511,15 @@ void Cluster::tx_send_ack(NodeId from, NodeId to, std::uint64_t seq) {
   const std::uint64_t key =
       FaultProfile::packet_key(from, to, message_seq_++, /*attempt=*/0x80000000u);
   if (f.roll(f.corrupt_ppm, key, FaultProfile::kSaltCorrupt) ||
-      f.roll(f.drop_ppm, key, FaultProfile::kSaltDrop)) {
+      f.roll(f.drop_ppm, key, FaultProfile::kSaltDrop) ||
+      f.roll(f.linkdrop_ppm(from, to), key, FaultProfile::kSaltLinkDrop)) {
     src.stats().add(Counter::kNetDrops);
+    trace_event(from, TraceKind::kNetDrop, to, static_cast<std::int64_t>(seq));
+    return;
+  }
+  if (f.severed(from, to, engine_.now())) {
+    src.stats().add(Counter::kNetDrops);
+    src.stats().add(Counter::kHaPartitionDrops);
     trace_event(from, TraceKind::kNetDrop, to, static_cast<std::int64_t>(seq));
     return;
   }
@@ -533,13 +552,17 @@ void Cluster::tx_on_timer(NodeId from, NodeId to, std::uint64_t seq) {
   auto it = ps.outstanding.find(seq);
   if (it == ps.outstanding.end()) return;  // acked or cancelled: timer is moot
   TxPacket& p = it->second;
-  // Fast give-up: once the failure detector confirmed the destination dead
-  // there is no point burning the rest of the retry budget against it.
-  if (p.retransmits >= params_.fault.max_retries ||
+  // Fast give-up: once the failure detector confirmed the destination dead —
+  // or an open partition window severs the pair — there is no point burning
+  // the rest of the retry budget against it. The severed case surfaces the
+  // typed kNoQuorum status so callers park until the heal instant instead of
+  // treating the peer as gone.
+  const bool cut = ha_ != nullptr && params_.fault.severed(from, to, engine_.now());
+  if (cut || p.retransmits >= params_.fault.max_retries ||
       (ha_ != nullptr && ha_->confirmed_dead(to))) {
     TxPacket packet = std::move(p);
     ps.outstanding.erase(it);
-    tx_give_up(std::move(packet));
+    tx_give_up(std::move(packet), /*no_quorum=*/cut);
     return;
   }
   ++p.retransmits;
@@ -549,21 +572,24 @@ void Cluster::tx_on_timer(NodeId from, NodeId to, std::uint64_t seq) {
   tx_transmit(from, to, seq, /*depart_delay=*/0);
 }
 
-void Cluster::tx_give_up(TxPacket packet) {
+void Cluster::tx_give_up(TxPacket packet, bool no_quorum) {
   if (!packet.is_reply) {
     if (packet.token != 0) {
       // Request packet of a blocking call: surface a typed failure to the
       // parked caller instead of letting the run end in a generic deadlock.
       auto it = pending_calls_.find(packet.token);
       if (it != pending_calls_.end() && !it->second->done) {
-        fail_call(*it->second, packet.token, RpcStatus::kBudgetExhausted, packet.retransmits);
+        fail_call(*it->second, packet.token,
+                  no_quorum ? RpcStatus::kNoQuorum : RpcStatus::kBudgetExhausted,
+                  packet.retransmits);
       }
       return;
     }
-    // One-way send to a node the detector has confirmed dead: the HA layer
-    // has already failed over its state, so the message is moot — discard it
-    // instead of declaring the cluster broken.
-    if (ha_ != nullptr && ha_->confirmed_dead(packet.to)) {
+    // One-way send to a node the detector has confirmed dead — or sitting
+    // across an open partition window: the HA layer has (or will have)
+    // failed over its state, so the message is moot — discard it instead of
+    // declaring the cluster broken.
+    if (ha_ != nullptr && (no_quorum || ha_->confirmed_dead(packet.to))) {
       node(packet.from).stats().add(Counter::kHaDeadSendsDropped);
       trace_event(packet.from, TraceKind::kRpcTimeout, packet.to, packet.service);
       return;
@@ -582,7 +608,8 @@ void Cluster::tx_give_up(TxPacket packet) {
   auto it = pending_calls_.find(packet.token);
   if (it != pending_calls_.end() && !it->second->done) {
     PendingCall& pc = *it->second;
-    fail_call(pc, packet.token, RpcStatus::kTimeout, packet.retransmits);
+    fail_call(pc, packet.token, no_quorum ? RpcStatus::kNoQuorum : RpcStatus::kTimeout,
+              packet.retransmits);
     pc.error.message +=
         " (reply from node " + std::to_string(packet.from) + " was undeliverable)";
   } else {
@@ -629,6 +656,9 @@ RpcError Cluster::make_error(RpcStatus status, NodeId from, NodeId to, ServiceId
       break;
     case RpcStatus::kTimeout:
       reason = "timed out after " + std::to_string(to_micros(waited)) + " us";
+      break;
+    case RpcStatus::kNoQuorum:
+      reason = "peer unreachable across an open partition window";
       break;
     case RpcStatus::kOk:
       reason = "ok";

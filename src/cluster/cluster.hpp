@@ -61,6 +61,9 @@ enum class RpcStatus : std::uint8_t {
   kOk = 0,
   kBudgetExhausted,  // request packet unacked after max_retries retransmits
   kTimeout,          // FaultProfile::call_timeout elapsed without a reply
+  kNoQuorum,         // the peer sits across an open partition window; the
+                     // caller should park and retry at the heal instant
+                     // (docs/PARTITIONS.md)
 };
 
 const char* rpc_status_name(RpcStatus s);
@@ -383,7 +386,7 @@ class Cluster {
   void tx_send_ack(NodeId from, NodeId to, std::uint64_t seq);
   void tx_on_ack(NodeId from, NodeId to, std::uint64_t seq);
   void tx_on_timer(NodeId from, NodeId to, std::uint64_t seq);
-  void tx_give_up(TxPacket packet);
+  void tx_give_up(TxPacket packet, bool no_quorum = false);
   void complete_call(std::uint64_t token, Buffer payload);
   void fail_call(PendingCall& call, std::uint64_t token, RpcStatus status,
                  std::uint32_t retransmits);

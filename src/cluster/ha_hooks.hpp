@@ -48,6 +48,21 @@ struct HaHooks {
   // uses this to keep update batches zone-pure when K > 1 (two zones homed
   // at one node today may be re-elected to *different* nodes tomorrow).
   virtual std::uint32_t replicas() const = 0;
+
+  // --- partition tolerance (docs/PARTITIONS.md) ----------------------------
+  // The routing epoch as observed by `node`: epoch bumps propagate only to
+  // the side of a partition that performed the promotion, so a stale home
+  // keeps an older view until the heal catch-up. This is the fencing token
+  // the DSM/monitor wire formats carry when partitions are configured.
+  virtual std::uint64_t node_epoch(NodeId node) const = 0;
+
+  // True while some watcher suspects `node` silent but has not confirmed it
+  // dead — the window during which reads of its zones may be served by
+  // quorum from the chain backups instead of waiting out the detector.
+  virtual bool suspected(NodeId node) const = 0;
+
+  // The i-th chain backup (0 <= i < replicas()) holding `home`'s state.
+  virtual NodeId chain_backup(NodeId home, std::uint32_t i) const = 0;
 };
 
 }  // namespace hyp::cluster

@@ -10,12 +10,16 @@ namespace hyp::cluster {
 // FaultProfile grammar (docs/FAULTS.md)
 //
 //   profile   := token (',' token)*            (empty string = off)
-//   token     := rate | reorder | window | crash | tuning
+//   token     := rate | reorder | window | crash | partition | linkdrop
+//              | tuning
 //   rate      := ('drop'|'dup'|'corrupt') FLOAT '%'
 //   reorder   := 'reorder' FLOAT ('us'|'ms')
 //   window    := ('stall'|'blackout') INT '@' FLOAT ('us'|'ms')
 //                                       '+' FLOAT ('us'|'ms')
 //   crash     := 'crash' INT '@' FLOAT ('us'|'ms') '+' FLOAT ('us'|'ms')
+//   partition := 'partition@' FLOAT ('us'|'ms') '+' FLOAT ('us'|'ms')
+//                ':' group '|' group          group := INT ('.' INT)*
+//   linkdrop  := 'linkdrop=' INT '>' INT ':' FLOAT '%'
 //   tuning    := 'seed=' INT | 'retries=' INT | 'backoff=' INT
 //              | 'rto=' FLOAT ('us'|'ms') | 'timeout=' FLOAT ('us'|'ms')
 //              | 'dedupwin=' INT | 'hb=' FLOAT ('us'|'ms')
@@ -35,7 +39,8 @@ namespace {
   std::fprintf(stderr,
                "malformed --fault-profile '%s' at token '%s': %s\n"
                "  grammar: drop2%%,dup1%%,corrupt0.5%%,reorder5us,stall1@300us+200us,"
-               "blackout0@1ms+500us,crash2@1ms+800us,seed=N,retries=N,backoff=N,"
+               "blackout0@1ms+500us,crash2@1ms+800us,partition@2ms+1ms:0.1|2.3,"
+               "linkdrop=0>2:25%%,seed=N,retries=N,backoff=N,"
                "rto=100us,timeout=5ms,dedupwin=N,hb=50us,suspect=200us,confirm=600us,"
                "replicas=K,ckpt_bw=8,hbcoalesce=N\n",
                spec.c_str(), token.c_str(), why.c_str());
@@ -153,9 +158,6 @@ FaultProfile FaultProfile::parse(const std::string& spec) {
       if (end == token.c_str() + n || *end != '@' || w.node < 0) {
         bad_profile(spec, token, "expected <node>@<start><us|ms>+<dur><us|ms>");
       }
-      if (w.node == 0) {
-        bad_profile(spec, token, "node 0 hosts the Java main thread and cannot crash");
-      }
       const char* rest = nullptr;
       w.start = parse_duration(spec, token, end + 1, &rest);
       if (*rest != '+') bad_profile(spec, token, "expected '+<dur>' after the window start");
@@ -165,6 +167,68 @@ FaultProfile FaultProfile::parse(const std::string& spec) {
         bad_profile(spec, token, "crash window needs a positive start and duration");
       }
       p.crashes.push_back(w);
+    } else if (starts_with(token, "partition@", &n)) {
+      PartitionWindow w;
+      const char* rest = nullptr;
+      w.start = parse_duration(spec, token, token.c_str() + n, &rest);
+      if (*rest != '+') bad_profile(spec, token, "expected '+<dur>' after the window start");
+      w.duration = parse_duration(spec, token, rest + 1, &rest);
+      if (*rest != ':' || w.duration <= 0) {
+        bad_profile(spec, token, "expected ':<group>|<group>' after the window");
+      }
+      if (w.start <= 0) {
+        bad_profile(spec, token, "partition window needs a positive start and duration");
+      }
+      const char* s = rest + 1;
+      bool side_b = false;
+      while (true) {
+        const long v = std::strtol(s, &end, 10);
+        if (end == s || v < 0) {
+          bad_profile(spec, token, "partition groups want node ids like 0.1|2.3");
+        }
+        (side_b ? w.group_b : w.group_a).push_back(static_cast<NodeId>(v));
+        s = end;
+        if (*s == '.') {
+          ++s;
+          continue;
+        }
+        if (*s == '|') {
+          if (side_b) bad_profile(spec, token, "exactly two groups, separated by one '|'");
+          side_b = true;
+          ++s;
+          continue;
+        }
+        if (*s == '\0') break;
+        bad_profile(spec, token, "trailing junk in partition groups");
+      }
+      if (!side_b || w.group_a.empty() || w.group_b.empty()) {
+        bad_profile(spec, token, "both partition groups need at least one node");
+      }
+      std::vector<NodeId> all(w.group_a);
+      all.insert(all.end(), w.group_b.begin(), w.group_b.end());
+      for (std::size_t i = 0; i < all.size(); ++i) {
+        for (std::size_t j = i + 1; j < all.size(); ++j) {
+          if (all[i] == all[j]) {
+            bad_profile(spec, token,
+                        "a node may appear in at most one partition group, once");
+          }
+        }
+      }
+      p.partitions.push_back(w);
+    } else if (starts_with(token, "linkdrop=", &n)) {
+      LinkDrop l;
+      l.from = static_cast<NodeId>(std::strtol(token.c_str() + n, &end, 10));
+      if (end == token.c_str() + n || *end != '>' || l.from < 0) {
+        bad_profile(spec, token, "expected <from>><to>:<pct>%");
+      }
+      const char* s = end + 1;
+      l.to = static_cast<NodeId>(std::strtol(s, &end, 10));
+      if (end == s || *end != ':' || l.to < 0) {
+        bad_profile(spec, token, "expected <from>><to>:<pct>%");
+      }
+      if (l.from == l.to) bad_profile(spec, token, "linkdrop wants two distinct nodes");
+      l.ppm = parse_percent_ppm(spec, token, end + 1);
+      p.linkdrops.push_back(l);
     } else if (starts_with(token, "drop", &n)) {
       p.drop_ppm = parse_percent_ppm(spec, token, token.c_str() + n);
     } else if (starts_with(token, "dup", &n)) {
@@ -200,11 +264,17 @@ FaultProfile FaultProfile::parse(const std::string& spec) {
   // mid-run abort). The crash schedule is what the HA subsystem will execute
   // verbatim, so everything it used to HYP_CHECK in HaManager::start() is
   // rejected here instead.
-  if (!p.crashes.empty()) {
+  if (!p.crashes.empty() || !p.partitions.empty()) {
+    // Partitions, like crashes, run through the failure detector (a cut
+    // watcher is what confirms a cross-partition "death"), so both demand a
+    // coherent detector tuning.
     if (!(p.hb_interval > 0 && p.suspect_after >= p.hb_interval &&
           p.confirm_after > p.suspect_after)) {
-      bad_profile(spec, "crash", "detector tuning wants hb <= suspect < confirm");
+      bad_profile(spec, p.crashes.empty() ? "partition" : "crash",
+                  "detector tuning wants hb <= suspect < confirm");
     }
+  }
+  if (!p.crashes.empty()) {
     for (std::size_t i = 0; i < p.crashes.size(); ++i) {
       for (std::size_t j = i + 1; j < p.crashes.size(); ++j) {
         const FaultWindow& a = p.crashes[i];
@@ -257,6 +327,23 @@ std::string FaultProfile::to_string() const {
   for (const FaultWindow& c : crashes) {
     add("crash" + std::to_string(c.node) + "@" + dur(c.start) + "+" + dur(c.duration));
   }
+  for (const PartitionWindow& w : partitions) {
+    std::string tok = "partition@" + dur(w.start) + "+" + dur(w.duration) + ":";
+    for (std::size_t i = 0; i < w.group_a.size(); ++i) {
+      if (i != 0) tok += '.';
+      tok += std::to_string(w.group_a[i]);
+    }
+    tok += '|';
+    for (std::size_t i = 0; i < w.group_b.size(); ++i) {
+      if (i != 0) tok += '.';
+      tok += std::to_string(w.group_b[i]);
+    }
+    add(tok);
+  }
+  for (const LinkDrop& l : linkdrops) {
+    add("linkdrop=" + std::to_string(l.from) + ">" + std::to_string(l.to) + ":" +
+        pct(l.ppm));
+  }
   if (seed != 0) add("seed=" + std::to_string(seed));
   // Emit every field that differs from a default-constructed profile, so
   // parse(to_string()) reproduces the profile exactly for every token type
@@ -270,11 +357,12 @@ std::string FaultProfile::to_string() const {
   if (rto_backoff != defaults.rto_backoff) add("backoff=" + std::to_string(rto_backoff));
   if (call_timeout != 0) add("timeout=" + dur(call_timeout));
   if (dedup_window != 0) add("dedupwin=" + std::to_string(dedup_window));
-  if (hb_interval != defaults.hb_interval || !crashes.empty()) add("hb=" + dur(hb_interval));
-  if (suspect_after != defaults.suspect_after || !crashes.empty()) {
+  const bool detector = !crashes.empty() || !partitions.empty();
+  if (hb_interval != defaults.hb_interval || detector) add("hb=" + dur(hb_interval));
+  if (suspect_after != defaults.suspect_after || detector) {
     add("suspect=" + dur(suspect_after));
   }
-  if (confirm_after != defaults.confirm_after || !crashes.empty()) {
+  if (confirm_after != defaults.confirm_after || detector) {
     add("confirm=" + dur(confirm_after));
   }
   if (replicas != 1) add("replicas=" + std::to_string(replicas));

@@ -56,6 +56,45 @@ struct FaultWindow {
   bool covers(Time at) const { return at >= start && at < end(); }
 };
 
+// One scheduled network partition: while the window is open, every packet
+// between a node of group_a and a node of group_b (either direction) vanishes
+// on the wire; traffic within a group — and to/from nodes in neither group —
+// is untouched. Deterministic by construction: explicit virtual-time
+// intervals, not sampled (docs/PARTITIONS.md).
+struct PartitionWindow {
+  Time start = 0;
+  Time duration = 0;
+  std::vector<NodeId> group_a;
+  std::vector<NodeId> group_b;
+  Time end() const { return start + duration; }
+  bool covers(Time at) const { return at >= start && at < end(); }
+  // 0 = group_a, 1 = group_b, -1 = not named by this window.
+  int side_of(NodeId n) const {
+    for (NodeId a : group_a) {
+      if (a == n) return 0;
+    }
+    for (NodeId b : group_b) {
+      if (b == n) return 1;
+    }
+    return -1;
+  }
+  bool severs(NodeId from, NodeId to, Time at) const {
+    if (!covers(at)) return false;
+    const int sf = side_of(from);
+    const int st = side_of(to);
+    return sf >= 0 && st >= 0 && sf != st;
+  }
+};
+
+// A per-direction (asymmetric) link loss rate: packets from -> to drop with
+// probability ppm, independent of the symmetric drop_ppm. The reverse
+// direction is a separate token (docs/PARTITIONS.md).
+struct LinkDrop {
+  NodeId from = -1;
+  NodeId to = -1;
+  std::uint32_t ppm = 0;
+};
+
 // Deterministic fault-injection profile for the cluster's network layer.
 //
 // Every probabilistic decision is hash-derived (SplitMix64 finalizer) from
@@ -69,6 +108,7 @@ struct FaultWindow {
 //   drop2%,dup1%,reorder5us,seed=7
 //   corrupt0.5%,retries=6,rto=100us
 //   blackout2@300us+150us,stall0@1ms+200us
+//   partition@2ms+1ms:0.1|2.3,linkdrop=0>2:25%
 struct FaultProfile {
   // Per-transmission perturbation rates in parts-per-million (integers keep
   // parsing and cross-platform arithmetic exact).
@@ -83,6 +123,12 @@ struct FaultProfile {
   // node restarts with no home authority (docs/RECOVERY.md). Parsed from
   // `crashN@Sus+Dus`. A crash window engages the HA subsystem (src/ha).
   std::vector<FaultWindow> crashes;
+  // Network-partition windows (`partition@S+D:a.a|b.b`) and asymmetric link
+  // loss rates (`linkdrop=F>T:P%`); see docs/PARTITIONS.md. A partition that
+  // splits in-range nodes engages the HA subsystem with quorum promotion and
+  // epoch fencing.
+  std::vector<PartitionWindow> partitions;
+  std::vector<LinkDrop> linkdrops;
 
   // Reliable-transport tuning (engaged only when lossy()).
   Time rto_initial = 200 * kMicrosecond;  // first retransmit timeout
@@ -138,7 +184,7 @@ struct FaultProfile {
   // old jitter knob) is delay-only and keeps the one-event-per-message path.
   bool lossy() const {
     return drop_ppm != 0 || dup_ppm != 0 || corrupt_ppm != 0 || !windows.empty() ||
-           !crashes.empty();
+           !crashes.empty() || !partitions.empty() || !linkdrops.empty();
   }
   bool any() const { return lossy() || reorder_max != 0; }
 
@@ -200,19 +246,69 @@ struct FaultProfile {
     return 0;
   }
 
+  // True when a partition window open at `at` puts from/to on opposite sides:
+  // the wire between them is cut and the packet vanishes.
+  bool severed(NodeId from, NodeId to, Time at) const {
+    for (const PartitionWindow& p : partitions) {
+      if (p.severs(from, to, at)) return true;
+    }
+    return false;
+  }
+  // End of the last partition window severing from<->to that covers `at`
+  // (the deterministic heal instant); 0 when the pair is not severed at `at`.
+  Time severed_until(NodeId from, NodeId to, Time at) const {
+    Time until = 0;
+    for (const PartitionWindow& p : partitions) {
+      if (p.severs(from, to, at) && p.end() > until) until = p.end();
+    }
+    return until;
+  }
+  // Start of the earliest partition window severing from<->to that covers
+  // `at`; 0 when the pair is not severed at `at`. Paired with confirm_after
+  // to bound how long a caller parks before the surviving side has promoted.
+  Time severed_since(NodeId from, NodeId to, Time at) const {
+    Time since = 0;
+    for (const PartitionWindow& p : partitions) {
+      if (p.severs(from, to, at) && (since == 0 || p.start < since)) since = p.start;
+    }
+    return since;
+  }
+  // Latest heal instant among open partition windows naming `node`; 0 when no
+  // open window lists it. While such a window is open the node's routing
+  // epoch may be stale (the heal catch-up is what un-fences it), so a caller
+  // whose requests are being epoch-fenced holds until this instant instead of
+  // burning its retry budget against NACKs.
+  Time partition_release(NodeId node, Time at) const {
+    Time until = 0;
+    for (const PartitionWindow& p : partitions) {
+      if (p.covers(at) && p.side_of(node) >= 0 && p.end() > until) until = p.end();
+    }
+    return until;
+  }
+  // Asymmetric per-direction loss rate for from -> to (sums all matching
+  // linkdrop tokens, saturating at certain loss).
+  std::uint32_t linkdrop_ppm(NodeId from, NodeId to) const {
+    std::uint64_t ppm = 0;
+    for (const LinkDrop& l : linkdrops) {
+      if (l.from == from && l.to == to) ppm += l.ppm;
+    }
+    return static_cast<std::uint32_t>(ppm < 1000000u ? ppm : 1000000u);
+  }
+
   // Salts for the independent decision streams.
   static constexpr std::uint64_t kSaltDrop = 0x01;
   static constexpr std::uint64_t kSaltDup = 0x02;
   static constexpr std::uint64_t kSaltCorrupt = 0x03;
   static constexpr std::uint64_t kSaltReorder = 0x04;
   static constexpr std::uint64_t kSaltDupDelay = 0x05;
+  static constexpr std::uint64_t kSaltLinkDrop = 0x06;
 
   // Parses the --fault-profile grammar. Malformed or semantically invalid
-  // specs (crash on node 0, zero-start crash windows, detector tunings that
-  // violate hb <= suspect < confirm, overlapping same-node crash windows,
-  // replicas=0, ...) are rejected at parse time: a clear CLI diagnostic on
-  // stderr citing the grammar, then exit(2) — never a mid-run abort. An
-  // empty spec yields the default (off).
+  // specs (zero-start crash windows, detector tunings that violate
+  // hb <= suspect < confirm, overlapping same-node crash windows,
+  // replicas=0, partition groups that overlap or are empty, ...) are rejected
+  // at parse time: a clear CLI diagnostic on stderr citing the grammar, then
+  // exit(2) — never a mid-run abort. An empty spec yields the default (off).
   static FaultProfile parse(const std::string& spec);
   // Canonical round-trippable rendering (diagnostics, bench banners).
   std::string to_string() const;

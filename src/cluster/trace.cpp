@@ -4,7 +4,7 @@
 
 namespace hyp::cluster {
 
-static_assert(static_cast<int>(TraceKind::kRaceDetected) + 1 == kTraceKindCount,
+static_assert(static_cast<int>(TraceKind::kHaQuorumRead) + 1 == kTraceKindCount,
               "kTraceKindCount out of sync with TraceKind");
 
 const char* trace_kind_name(TraceKind kind) {
@@ -36,6 +36,9 @@ const char* trace_kind_name(TraceKind kind) {
     case TraceKind::kCheckpoint: return "checkpoint";
     case TraceKind::kCheckpointApplied: return "checkpoint_applied";
     case TraceKind::kRaceDetected: return "race_detected";
+    case TraceKind::kHaPartition: return "ha_partition";
+    case TraceKind::kHaFencedReject: return "ha_fenced_reject";
+    case TraceKind::kHaQuorumRead: return "ha_quorum_read";
   }
   return "?";
 }

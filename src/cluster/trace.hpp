@@ -60,10 +60,14 @@ enum class TraceKind : std::uint8_t {
   // --- race detection (docs/RACES.md) --------------------------------------
   kRaceDetected,     // a=address, b=(tid_prev<<34)|(tid_cur<<4)|kind; emitted
                      // once per deduplicated race (node = detecting access)
+  // --- network partitions (docs/PARTITIONS.md) -----------------------------
+  kHaPartition,      // a=1 open / 0 heal, b=partition window index
+  kHaFencedReject,   // a=stale epoch seen, b=service (node = rejecting side)
+  kHaQuorumRead,     // a=page, b=serving chain backup (node = reader)
 };
 
 // Keep in sync with the enum above (drop accounting is per kind).
-inline constexpr int kTraceKindCount = 27;
+inline constexpr int kTraceKindCount = 30;
 
 const char* trace_kind_name(TraceKind kind);
 

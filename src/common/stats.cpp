@@ -40,6 +40,10 @@ const char* counter_name(Counter c) {
     case Counter::kRaceBenignSuppressed: return "race_benign_suppressed";
     case Counter::kRaceClockMsgs: return "race_clock_msgs";
     case Counter::kRaceClockBytes: return "race_clock_bytes";
+    case Counter::kHaPartitionDrops: return "ha_partition_drops";
+    case Counter::kHaFencedRejects: return "ha_fenced_rejects";
+    case Counter::kHaQuorumReads: return "ha_quorum_reads";
+    case Counter::kHaNoQuorumHolds: return "ha_no_quorum_holds";
     case Counter::kCount_: break;
   }
   return "?";

@@ -62,6 +62,13 @@ enum class Counter : int {
   kRaceBenignSuppressed, // conflicts inside mark_benign ranges (not reported)
   kRaceClockMsgs,        // messages that would carry a piggybacked clock
   kRaceClockBytes,       // modeled vector-clock piggyback payload bytes
+  // --- network partitions (docs/PARTITIONS.md). Zero unless the profile
+  // schedules a partition/linkdrop; compare_metrics.py fails an A/B run whose
+  // baseline shows fenced rejects or quorum reads without a partition. -------
+  kHaPartitionDrops,     // packets eaten by an open partition window
+  kHaFencedRejects,      // stale-epoch messages NACKed by the fencing check
+  kHaQuorumReads,        // page reads served by quorum from chain backups
+  kHaNoQuorumHolds,      // caller parks on RpcError::kNoQuorum (minority side)
   kCount_,
 };
 

@@ -39,6 +39,9 @@ DsmSystem::DsmSystem(cluster::Cluster* cluster, std::size_t region_bytes, Protoc
     cluster_->node(i).register_service(
         svc::kUpdateRuns, "update_runs",
         [this, i](cluster::Incoming& in) { handle_update_runs(in, i); });
+    cluster_->node(i).register_service(
+        svc::kQuorumRead, "quorum_read",
+        [this, i](cluster::Incoming& in) { handle_quorum_read(in, i); });
   }
 }
 
@@ -128,7 +131,8 @@ Buffer DsmSystem::rpc_with_retry(NodeId from, NodeId to, cluster::ServiceId serv
 Buffer DsmSystem::ha_rpc_home(ThreadCtx& t, PageId p, cluster::ServiceId service,
                               const Buffer& msg, bool reply_is_page, const char* what) {
   HYP_DCHECK(ha_ != nullptr);
-  const std::size_t ok_size = reply_is_page ? layout_.page_bytes() : 0;
+  const std::size_t epoch_bytes = fencing_ ? sizeof(std::uint64_t) : 0;
+  const std::size_t ok_size = (reply_is_page ? layout_.page_bytes() : 0) + epoch_bytes;
   auto* eng = sim::Engine::current();
   const Time started = cluster_->engine().now();
   NodeId target = effective_home_of_page(p);
@@ -146,13 +150,55 @@ Buffer DsmSystem::ha_rpc_home(ThreadCtx& t, PageId p, cluster::ServiceId service
       t.stats->add(Counter::kHaReroutes);
     }
     ++attempts_at_target;
-    cluster::RpcResult r = cluster_->call_result(t.node, target, service, clone_payload(msg));
+    // The fencing epoch is prepended per attempt, not baked into msg: a retry
+    // after a local epoch bump must carry the fresh view, or the promoted
+    // home would fence the same stale request forever.
+    Buffer payload(msg.size() + epoch_bytes);
+    if (fencing_) payload.put<std::uint64_t>(ha_->node_epoch(t.node));
+    payload.put_bytes(msg.data(), msg.size());
+    cluster::RpcResult r = cluster_->call_result(t.node, target, service, std::move(payload));
     if (r.ok() && r.payload.size() == ok_size) {
+      if (fencing_) {
+        // The reply leads with the serving home's epoch view: a reply from a
+        // home this side has already fenced off is discarded like a NACK and
+        // the call re-resolves (transient — the next attempt either reaches
+        // the promoted home or sees the server's caught-up epoch).
+        std::uint64_t reply_epoch = 0;
+        std::memcpy(&reply_epoch, r.payload.data(), sizeof(reply_epoch));
+        if (reply_epoch < ha_->node_epoch(t.node)) {
+          t.stats->add(Counter::kHaFencedRejects);
+          cluster_->trace_event(t.node, cluster::TraceKind::kHaFencedReject,
+                                static_cast<std::int64_t>(reply_epoch), service);
+          continue;
+        }
+      }
       if (rerouted) {
         t.stats->record(Hist::kHaRerouteWait,
                         static_cast<std::uint64_t>(cluster_->engine().now() - started));
       }
-      return std::move(r.payload);
+      if (!fencing_) return std::move(r.payload);
+      Buffer out(r.payload.size() - epoch_bytes);
+      out.put_bytes(r.payload.data() + epoch_bytes, r.payload.size() - epoch_bytes);
+      return out;
+    }
+    if (!r.ok() && r.error.status == cluster::RpcStatus::kNoQuorum) {
+      // Minority-side degradation: the wire to the home is cut. Park with a
+      // fresh budget until the surviving side can have re-homed the zone
+      // (cut start + confirm + watcher slack — the call then re-resolves) or
+      // the heal instant, whichever comes first. Both are deterministic.
+      attempts_at_target = 0;
+      t.stats->add(Counter::kHaNoQuorumHolds);
+      const auto& f = cluster_->params().fault;
+      const Time at = cluster_->engine().now();
+      const Time heal = f.severed_until(t.node, target, at);
+      if (heal > at) {
+        Time wake = heal;
+        const Time confirm_by =
+            f.severed_since(t.node, target, at) + f.confirm_after + 2 * f.hb_interval;
+        if (confirm_by > at && confirm_by < wake) wake = confirm_by;
+        eng->sleep_until(wake);
+      }
+      continue;
     }
     if (!r.ok() && attempts_at_target >= kRpcAttempts && !ha_->confirmed_dead(target)) {
       HYP_PANIC(std::string(what) + " abandoned after " + std::to_string(attempts_at_target) +
@@ -161,8 +207,18 @@ Buffer DsmSystem::ha_rpc_home(ThreadCtx& t, PageId p, cluster::ServiceId service
     // r.ok() with the wrong reply shape is a stale-home NACK: loop and
     // re-resolve. A failed call against a down-but-unconfirmed target holds
     // until the failure detector has had enough silence to decide.
-    const Time hold = ha_->retry_hold(target, cluster_->engine().now());
-    if (hold > cluster_->engine().now()) eng->sleep_until(hold);
+    const Time at = cluster_->engine().now();
+    Time hold = ha_->retry_hold(target, at);
+    if (fencing_ && r.ok()) {
+      // The NACK may mean OUR epoch is stale (the empty reply cannot say):
+      // a node inside an open partition window catches up only at the heal,
+      // so retrying before then just burns the guard against more fences.
+      // Reaches here when the minority node addresses a bystander home that
+      // is outside every partition group but already on the new epoch.
+      const Time release = cluster_->params().fault.partition_release(t.node, at);
+      if (release > hold) hold = release;
+    }
+    if (hold > at) eng->sleep_until(hold);
   }
   HYP_PANIC(std::string(what) + ": home failover did not converge (epoch " +
             std::to_string(ha_->epoch()) + ")");
@@ -191,6 +247,9 @@ void DsmSystem::fetch_page(ThreadCtx& t, PageId p) {
   Buffer reply;
   if (ha_ == nullptr) {
     reply = rpc_with_retry(t.node, home, svc::kPageRequest, std::move(req), "page fetch");
+  } else if (fencing_ && ha_->suspected(home) && try_quorum_read(t, p, home, &reply)) {
+    // Suspected-home window: a majority of the home's chain backups served
+    // the read, so the fetch skips the detector's confirm wait entirely.
   } else {
     reply = ha_rpc_home(t, p, svc::kPageRequest, req, /*reply_is_page=*/true, "page fetch");
     home = effective_home_of_page(p);  // the node that actually served us
@@ -231,8 +290,20 @@ void DsmSystem::fetch_until_present(ThreadCtx& t, PageId p) {
 }
 
 void DsmSystem::handle_page_request(cluster::Incoming& in, NodeId self) {
+  std::uint64_t msg_epoch = 0;
+  if (fencing_) msg_epoch = in.reader.get<std::uint64_t>();
   const auto p = in.reader.get<std::uint32_t>();
   NodeDsm& nd = node_dsm(self);
+  if (fencing_ && msg_epoch < ha_->node_epoch(self)) {
+    // Epoch fence: the request was built under a routing view this node has
+    // already superseded (a promotion happened between send and receive).
+    // NACK so the caller re-resolves against the current home map.
+    cluster_->node(self).stats().add(Counter::kHaFencedRejects);
+    cluster_->trace_event(self, cluster::TraceKind::kHaFencedReject,
+                          static_cast<std::int64_t>(msg_epoch), svc::kPageRequest);
+    cluster_->reply(in, Buffer{});
+    return;
+  }
   if (ha_ != nullptr && !nd.is_home(p)) {
     // Stale-home straggler: a retransmit that outlived a promotion, or a
     // request reaching a restarted (demoted) node. NACK with an empty reply
@@ -249,7 +320,83 @@ void DsmSystem::handle_page_request(cluster::Incoming& in, NodeId self) {
   const Time done_at = cluster_->node(self).extend_service(
       cluster_->params().cpu.copy_cost(page_bytes));
   Buffer out;
+  if (fencing_) out.put<std::uint64_t>(ha_->node_epoch(self));
   out.put_bytes(nd.page_ptr(p), page_bytes);
+  cluster_->reply(in, std::move(out), done_at - cluster_->engine().now());
+}
+
+bool DsmSystem::try_quorum_read(ThreadCtx& t, PageId p, NodeId home, Buffer* out) {
+  const auto& f = cluster_->params().fault;
+  const Time now = cluster_->engine().now();
+  const std::uint32_t k = ha_->replicas();
+  // A strict majority of the home's K chain backups must be up and reachable
+  // (both directions) from the reader; with fewer votes this side cannot rule
+  // out that the "suspected" home is healthy and serving the far side of a
+  // cut, so the read falls back to the ordinary detector path.
+  std::uint32_t votes = 0;
+  NodeId backup = -1;
+  bool self_holds = false;
+  for (std::uint32_t i = 0; i < k; ++i) {
+    const NodeId b = ha_->chain_backup(home, i);
+    if (ha_->confirmed_dead(b) || f.crash_release(b, now) != 0) continue;
+    if (b == t.node) {
+      ++votes;
+      self_holds = true;
+      continue;
+    }
+    if (f.severed(t.node, b, now) || f.severed(b, t.node, now)) continue;
+    ++votes;
+    if (backup < 0) backup = b;
+  }
+  if (votes * 2 <= k) return false;
+
+  const std::size_t page_bytes = layout_.page_bytes();
+  if (backup < 0) {
+    if (!self_holds) return false;
+    backup = t.node;  // the reader itself carries the chain copy
+  }
+  if (backup == t.node) {
+    Buffer local(page_bytes);
+    local.put_bytes(node_dsm(effective_home_of_page(p)).page_ptr(p), page_bytes);
+    t.clock.charge(cluster_->params().cpu.copy_cost(page_bytes));
+    *out = std::move(local);
+  } else {
+    Buffer req;
+    req.put<std::uint64_t>(ha_->node_epoch(t.node));
+    req.put<std::uint32_t>(p);
+    cluster::RpcResult r =
+        cluster_->call_result(t.node, backup, svc::kQuorumRead, std::move(req));
+    if (!r.ok() || r.payload.size() != page_bytes + sizeof(std::uint64_t)) return false;
+    Buffer body(page_bytes);
+    body.put_bytes(r.payload.data() + sizeof(std::uint64_t), page_bytes);
+    *out = std::move(body);
+  }
+  t.stats->add(Counter::kHaQuorumReads);
+  cluster_->trace_event(t.node, cluster::TraceKind::kHaQuorumRead, p, backup);
+  return true;
+}
+
+void DsmSystem::handle_quorum_read(cluster::Incoming& in, NodeId self) {
+  const auto msg_epoch = in.reader.get<std::uint64_t>();
+  const auto p = in.reader.get<std::uint32_t>();
+  if (!fencing_ || msg_epoch < ha_->node_epoch(self)) {
+    cluster_->node(self).stats().add(Counter::kHaFencedRejects);
+    cluster_->trace_event(self, cluster::TraceKind::kHaFencedReject,
+                          static_cast<std::int64_t>(msg_epoch), svc::kQuorumRead);
+    cluster_->reply(in, Buffer{});
+    return;
+  }
+  // The chain backup serves the page from its replicated copy of the home's
+  // state. The modeled checkpoint stream keeps replicas current with every
+  // committed update (docs/RECOVERY.md), so the effective home's arena IS the
+  // replica's contents — the simulator reads it directly instead of keeping a
+  // second materialized copy per backup.
+  const std::size_t page_bytes = layout_.page_bytes();
+  const Time done_at = cluster_->node(self).extend_service(
+      cluster_->params().cpu.copy_cost(page_bytes));
+  Buffer out;
+  out.put<std::uint64_t>(ha_->node_epoch(self));
+  out.put_bytes(node_dsm(effective_home_of_page(p)).page_ptr(p), page_bytes);
   cluster_->reply(in, std::move(out), done_at - cluster_->engine().now());
 }
 
@@ -388,6 +535,7 @@ void DsmSystem::flush_ic(ThreadCtx& t) {
     Buffer msg;
     // Bounded dedup window: tag the message so a late re-delivery of an
     // evicted packet cannot stale-revert newer home bytes (see dsm.hpp).
+    // (When fencing is on, ha_rpc_home prepends the epoch per attempt.)
     if (update_ids_active()) msg.put<std::uint64_t>(next_update_id_++);
     WriteLog::encode(&msg, entries);
     t.stats->add(Counter::kUpdatesSent);
@@ -416,6 +564,28 @@ void DsmSystem::flush_ic(ThreadCtx& t) {
 
 void DsmSystem::handle_update_fields(cluster::Incoming& in, NodeId self) {
   NodeDsm& nd = node_dsm(self);
+  if (fencing_) {
+    const auto msg_epoch = in.reader.get<std::uint64_t>();
+    if (msg_epoch < ha_->node_epoch(self)) {
+      // Epoch fence: a stale-epoch writer must not mutate home state (its
+      // routing view predates a promotion). 1-byte NACK, like the stale-home
+      // case below — the caller re-resolves and re-sends under a fresh epoch.
+      cluster_->node(self).stats().add(Counter::kHaFencedRejects);
+      cluster_->trace_event(self, cluster::TraceKind::kHaFencedReject,
+                            static_cast<std::int64_t>(msg_epoch), svc::kUpdateFields);
+      Buffer nack;
+      nack.put<std::uint8_t>(1);
+      cluster_->reply(in, std::move(nack));
+      return;
+    }
+  }
+  // Success acks carry the home's epoch view when fencing is on (callers
+  // validate it); the historical ack is empty.
+  auto make_ack = [&] {
+    Buffer ack;
+    if (fencing_) ack.put<std::uint64_t>(ha_->node_epoch(self));
+    return ack;
+  };
   // Bounded dedup window: a re-delivered (window-evicted) update that was
   // already applied must NOT re-apply — its bytes may be stale by now. Just
   // re-ack (the original ack may be what got lost; a completed caller slot
@@ -425,7 +595,7 @@ void DsmSystem::handle_update_fields(cluster::Incoming& in, NodeId self) {
     update_id = in.reader.get<std::uint64_t>();
     if (applied_updates_[static_cast<std::size_t>(self)].count(update_id) != 0) {
       cluster_->node(self).stats().add_named("dsm_update_replays_absorbed");
-      cluster_->reply(in, Buffer{});
+      cluster_->reply(in, make_ack());
       return;
     }
   }
@@ -465,7 +635,7 @@ void DsmSystem::handle_update_fields(cluster::Incoming& in, NodeId self) {
   // for cross-node Perfetto flow arrows (docs/OBSERVABILITY.md).
   cluster_->trace_event(self, cluster::TraceKind::kUpdateApplied, in.from,
                         static_cast<std::int64_t>(count));
-  cluster_->reply(in, Buffer{}, done_at - cluster_->engine().now());
+  cluster_->reply(in, make_ack(), done_at - cluster_->engine().now());
 }
 
 // ---------------------------------------------------------------------------
@@ -566,7 +736,8 @@ void DsmSystem::flush_pf(ThreadCtx& t) {
       continue;
     }
     Buffer msg;
-    // Bounded dedup window: tag the message (see flush_ic / dsm.hpp).
+    // Bounded dedup window: tag the message (see flush_ic / dsm.hpp;
+    // ha_rpc_home prepends the fencing epoch per attempt).
     if (update_ids_active()) msg.put<std::uint64_t>(next_update_id_++);
     msg.put<std::uint32_t>(static_cast<std::uint32_t>(runs.size()));
     for (const DiffRun& r : runs) {
@@ -595,6 +766,24 @@ void DsmSystem::flush_pf(ThreadCtx& t) {
 
 void DsmSystem::handle_update_runs(cluster::Incoming& in, NodeId self) {
   NodeDsm& nd = node_dsm(self);
+  if (fencing_) {
+    const auto msg_epoch = in.reader.get<std::uint64_t>();
+    if (msg_epoch < ha_->node_epoch(self)) {
+      // Epoch fence (see handle_update_fields).
+      cluster_->node(self).stats().add(Counter::kHaFencedRejects);
+      cluster_->trace_event(self, cluster::TraceKind::kHaFencedReject,
+                            static_cast<std::int64_t>(msg_epoch), svc::kUpdateRuns);
+      Buffer nack;
+      nack.put<std::uint8_t>(1);
+      cluster_->reply(in, std::move(nack));
+      return;
+    }
+  }
+  auto make_ack = [&] {
+    Buffer ack;
+    if (fencing_) ack.put<std::uint64_t>(ha_->node_epoch(self));
+    return ack;
+  };
   // Bounded dedup window: skip already-applied replays (see
   // handle_update_fields).
   std::uint64_t update_id = 0;
@@ -602,7 +791,7 @@ void DsmSystem::handle_update_runs(cluster::Incoming& in, NodeId self) {
     update_id = in.reader.get<std::uint64_t>();
     if (applied_updates_[static_cast<std::size_t>(self)].count(update_id) != 0) {
       cluster_->node(self).stats().add_named("dsm_update_replays_absorbed");
-      cluster_->reply(in, Buffer{});
+      cluster_->reply(in, make_ack());
       return;
     }
   }
@@ -635,7 +824,7 @@ void DsmSystem::handle_update_runs(cluster::Incoming& in, NodeId self) {
       cluster_->node(self).extend_service(cluster_->params().cpu.copy_cost(total_bytes));
   cluster_->trace_event(self, cluster::TraceKind::kUpdateApplied, in.from,
                         static_cast<std::int64_t>(total_bytes));
-  cluster_->reply(in, Buffer{}, done_at - cluster_->engine().now());
+  cluster_->reply(in, make_ack(), done_at - cluster_->engine().now());
 }
 
 }  // namespace hyp::dsm

@@ -51,6 +51,7 @@ namespace svc {
 inline constexpr cluster::ServiceId kPageRequest = 10;
 inline constexpr cluster::ServiceId kUpdateFields = 11;  // java_ic write log
 inline constexpr cluster::ServiceId kUpdateRuns = 12;    // java_pf diff runs
+inline constexpr cluster::ServiceId kQuorumRead = 13;    // backup-served page read
 }  // namespace svc
 
 class DsmSystem;
@@ -132,7 +133,12 @@ class DsmSystem {
   // requests are NACKed instead of tripping is_home asserts, failed calls
   // re-resolve the home per attempt, and flushes whose effective home is the
   // local node (post-promotion) apply directly.
-  void set_ha(cluster::HaHooks* ha) { ha_ = ha; }
+  void set_ha(cluster::HaHooks* ha) {
+    ha_ = ha;
+    // Epoch fencing tokens ride the DSM wire formats only when the profile
+    // schedules partitions — crash-only runs keep the goldens' exact shapes.
+    fencing_ = ha != nullptr && !cluster_->params().fault.partitions.empty();
+  }
   // Effective home of a page: the layout's static zone owner, redirected by
   // the HA routing table after a promotion.
   NodeId effective_home_of_page(PageId p) const {
@@ -193,6 +199,14 @@ class DsmSystem {
   void handle_page_request(cluster::Incoming& in, NodeId self);
   void handle_update_fields(cluster::Incoming& in, NodeId self);
   void handle_update_runs(cluster::Incoming& in, NodeId self);
+  void handle_quorum_read(cluster::Incoming& in, NodeId self);
+
+  // Quorum read from the chain backups while `home` is suspected but not yet
+  // confirmed dead (docs/PARTITIONS.md): succeeds iff a strict majority of
+  // the K backups is alive and reachable, serving the page from the first
+  // such backup's mirror. Returns false (caller falls back to the normal,
+  // possibly parking path) when no quorum is available.
+  bool try_quorum_read(ThreadCtx& t, PageId p, NodeId home, Buffer* out);
 
   // Blocking RPC with whole-call re-request on typed transport failure
   // (docs/FAULTS.md). Every DSM RPC is idempotent — page reads obviously,
@@ -243,6 +257,7 @@ class DsmSystem {
   obs::PageHeatTable* heat_ = nullptr;
   obs::RaceDetector* race_ = nullptr;
   cluster::HaHooks* ha_ = nullptr;
+  bool fencing_ = false;  // epoch tokens on the wire (partitions configured)
 };
 
 }  // namespace hyp::dsm

@@ -48,6 +48,14 @@ HaManager::HaManager(cluster::Cluster* cluster, dsm::DsmSystem* dsm,
   // bandwidth budget; plain replicas=1 keeps the classic piggyback
   // accounting (and the recovery golden) byte-identical.
   stream_enabled_ = f.replicas > 1 || f.ckpt_bw != 0;
+  // Partition machinery (per-watcher heartbeat views, quorum promotion,
+  // per-node epochs) engages only when the profile schedules partitions;
+  // crash-only runs keep the exact detector the recovery goldens pin.
+  partitions_cfg_ = !f.partitions.empty();
+  node_epoch_.resize(n, 0);
+  if (partitions_cfg_) {
+    heard_.assign(n, std::vector<Time>(n, 0));
+  }
 }
 
 void HaManager::zone_pages(NodeId zone, dsm::PageId* first, dsm::PageId* last) const {
@@ -93,6 +101,9 @@ void HaManager::start() {
   auto& eng = cluster_->engine();
   const Time now = eng.now();
   for (auto& h : health_) h.last_heard = now;
+  for (auto& row : heard_) {
+    for (Time& t : row) t = now;
+  }
   // Big clusters coalesce the detector into one sweep event per interval
   // (same side effects in the same order — see sweep()); small clusters keep
   // the per-node tick chains the recovery goldens' event counts pin.
@@ -107,6 +118,19 @@ void HaManager::start() {
     if (c.node >= count) continue;
     eng.post(c.start, [this, c]() { on_crash(c); });
     eng.post(c.end(), [this, c]() { on_restart(c); });
+  }
+  // A partition window applies only if it actually splits this run's nodes:
+  // both groups need at least one in-range member (sweeps reuse one profile
+  // across cluster sizes, like the crash windows above).
+  for (std::size_t i = 0; i < f.partitions.size(); ++i) {
+    const cluster::PartitionWindow& w = f.partitions[i];
+    bool a_in = false;
+    bool b_in = false;
+    for (NodeId a : w.group_a) a_in = a_in || a < count;
+    for (NodeId b : w.group_b) b_in = b_in || b < count;
+    if (!a_in || !b_in) continue;
+    eng.post(w.start, [this, i]() { on_partition(i, /*open=*/true); });
+    eng.post(w.end(), [this, i]() { on_partition(i, /*open=*/false); });
   }
 
   if (stream_enabled_) {
@@ -126,6 +150,14 @@ void HaManager::tick_node(NodeId n, Time now, const cluster::FaultProfile& f) {
   if (f.crash_release(n, now) != 0) return;
   health_[static_cast<std::size_t>(n)].last_heard = now;
   cluster_->node(n).stats().add(Counter::kHaHeartbeats);
+  if (partitions_cfg_) {
+    // The management path is cut by partitions too: a heartbeat reaches only
+    // the chain watchers on the sender's side of every open window.
+    for (std::uint32_t i = 0; i < chain_depth_; ++i) {
+      const NodeId w = chain_member(n, i);
+      if (!f.severed(n, w, now)) heard_[static_cast<std::size_t>(w)][static_cast<std::size_t>(n)] = now;
+    }
+  }
 
   const int count = cluster_->node_count();
   // Watcher duty over the K watched ring predecessors: node n is chain
@@ -137,7 +169,18 @@ void HaManager::tick_node(NodeId n, Time now, const cluster::FaultProfile& f) {
         static_cast<NodeId>(((n - 1 - static_cast<int>(i)) % count + count) % count);
     Health& h = health_[static_cast<std::size_t>(pred)];
     if (h.confirmed) continue;
-    const Time silence = now - h.last_heard;
+    const Time heard = partitions_cfg_
+                           ? heard_[static_cast<std::size_t>(n)][static_cast<std::size_t>(pred)]
+                           : h.last_heard;
+    const Time silence = now - heard;
+    if (partitions_cfg_ && h.suspected && silence < f.suspect_after) {
+      // This watcher hears the suspect fine: the suspicion came from a cut
+      // watcher on the other side, not from a death. Keeping it cleared here
+      // is what blocks cross-cut confirmations when the suspect's chain is
+      // split (the chain-majority vote would fail anyway); a genuinely dead
+      // node is silent toward every watcher, so this never fires for one.
+      h.suspected = false;
+    }
     if (silence >= f.suspect_after && !h.suspected) {
       h.suspected = true;
       cluster_->trace_event(n, TraceKind::kHaSuspected, pred,
@@ -190,12 +233,19 @@ void HaManager::on_crash(const FaultWindow& c) {
   freeze(node.service_queue());
 }
 
-cluster::NodeId HaManager::elect_home(NodeId zone, NodeId dead, Time now) const {
+cluster::NodeId HaManager::elect_home(NodeId zone, NodeId dead, NodeId watcher,
+                                      Time now) const {
   const auto& f = cluster_->params().fault;
   for (std::uint32_t i = 0; i < chain_depth_; ++i) {
     const NodeId cand = chain_member(dead, i);
     if (health_[static_cast<std::size_t>(cand)].confirmed) continue;
     if (f.crash_release(cand, now) != 0) continue;  // down, even if unconfirmed
+    // Never elect a home the promoting side cannot reach: the promotion
+    // quorum guarantees at least one chain member is alive on this side.
+    if (partitions_cfg_ && cand != watcher &&
+        (f.severed(watcher, cand, now) || f.severed(cand, watcher, now))) {
+      continue;
+    }
     return cand;
   }
   HYP_PANIC("HA: zone " + std::to_string(zone) + " lost all " +
@@ -205,15 +255,81 @@ cluster::NodeId HaManager::elect_home(NodeId zone, NodeId dead, Time now) const 
             "(docs/RECOVERY.md)");
 }
 
+bool HaManager::promotion_quorum(NodeId dead, NodeId watcher, Time now) const {
+  if (!partitions_cfg_) return true;
+  const auto& f = cluster_->params().fault;
+  const int count = cluster_->node_count();
+  // (1) Corroborated majority: the watcher polls every peer it can reach
+  // (alive, both directions unsevered) and a strict majority of the CLUSTER
+  // must corroborate that it, too, cannot reach the suspect. Reaching a
+  // majority is not enough on its own: under an asymmetric cut the bystander
+  // links are whole, so BOTH sides of the cut reach a majority through them —
+  // a connectivity-only vote would let an isolated-but-alive watcher steal a
+  // healthy peer's zones (split brain). A peer's probe of the suspect
+  // succeeds iff the suspect is up and the link is whole both ways; a
+  // genuinely crashed node answers nobody, so for pure crash windows this is
+  // exactly the classic reach-majority vote. A minority or even split still
+  // cannot promote — its requests park with kNoQuorum and drain at heal.
+  int reach = 0;
+  int corroborate = 0;
+  for (NodeId m = 0; m < count; ++m) {
+    if (f.crash_release(m, now) != 0 || health_[static_cast<std::size_t>(m)].confirmed) {
+      continue;
+    }
+    if (m != watcher && (f.severed(watcher, m, now) || f.severed(m, watcher, now))) continue;
+    ++reach;
+    const bool probe_ok = f.crash_release(dead, now) == 0 && !f.severed(m, dead, now) &&
+                          !f.severed(dead, m, now);
+    if (!probe_ok) ++corroborate;
+  }
+  if (reach * 2 <= count) return false;
+  if (corroborate * 2 <= count) return false;
+  // (2) Chain acknowledgement: a majority of the dead home's replica chain —
+  // the nodes holding the mirrored state — must themselves have lost contact
+  // with it. One same-side chain member that still hears the "dead" node
+  // vetoes a chain of depth <= 2.
+  std::uint32_t votes = 0;
+  for (std::uint32_t i = 0; i < chain_depth_; ++i) {
+    const NodeId m = chain_member(dead, i);
+    if (f.crash_release(m, now) != 0 || health_[static_cast<std::size_t>(m)].confirmed) {
+      continue;
+    }
+    if (m != watcher && (f.severed(watcher, m, now) || f.severed(m, watcher, now))) continue;
+    if (now - heard_[static_cast<std::size_t>(m)][static_cast<std::size_t>(dead)] <
+        f.suspect_after) {
+      continue;  // this chain member still hears the suspect
+    }
+    ++votes;
+  }
+  return votes * 2 > chain_depth_;
+}
+
 void HaManager::confirm_death(NodeId dead, NodeId watcher, Time silence) {
   Health& h = health_[static_cast<std::size_t>(dead)];
   if (h.confirmed) return;
+  auto& eng = cluster_->engine();
+  const Time now = eng.now();
+  // Quorum gate (trivially true without partitions): an unconfirmable death
+  // stays suspected and is re-judged at the next watcher tick.
+  if (!promotion_quorum(dead, watcher, now)) return;
   h.confirmed = true;
   promoted_for_ = dead;
   ++promotions_;
   ++epoch_;
-  auto& eng = cluster_->engine();
-  const Time now = eng.now();
+  // Epoch fencing: the bump propagates to the promoting side only. Nodes
+  // severed from the watcher keep their stale view — their fenced wire
+  // messages are NACKed until the heal catch-up (docs/PARTITIONS.md).
+  if (!partitions_cfg_) {
+    for (std::uint64_t& e : node_epoch_) e = epoch_;
+  } else {
+    const auto& f = cluster_->params().fault;
+    const int count = cluster_->node_count();
+    for (NodeId m = 0; m < count; ++m) {
+      if (m == watcher || (!f.severed(watcher, m, now) && !f.severed(m, watcher, now))) {
+        node_epoch_[static_cast<std::size_t>(m)] = epoch_;
+      }
+    }
+  }
 
   cluster_->trace_event(watcher, TraceKind::kHaDeadConfirmed, dead,
                         static_cast<std::int64_t>(silence / kMicrosecond));
@@ -228,7 +344,7 @@ void HaManager::confirm_death(NodeId dead, NodeId watcher, Time silence) {
   NodeId first_home = watcher;  // epoch-bump track when no zone moves
   std::vector<NodeId> new_homes(zones.size());
   for (std::size_t i = 0; i < zones.size(); ++i) {
-    new_homes[i] = elect_home(zones[i], dead, now);
+    new_homes[i] = elect_home(zones[i], dead, watcher, now);
     if (i == 0) first_home = new_homes[0];
   }
 
@@ -246,7 +362,9 @@ void HaManager::confirm_death(NodeId dead, NodeId watcher, Time silence) {
     move_zone(zones[i], dead, new_homes[i]);
   }
 
-  if (!zones.empty()) {
+  if (!zones.empty() && h.crash_started != 0) {
+    // crash_started == 0 means a partition-confirmed node: it never crashed,
+    // so there is no crash-to-promotion latency to record.
     cluster_->node(first_home)
         .stats()
         .record(Hist::kRecoveryLatency, static_cast<std::uint64_t>(now - h.crash_started));
@@ -342,8 +460,14 @@ void HaManager::on_restart(const FaultWindow& c) {
   const Time now = eng.now();
   const NodeId n = c.node;
   cluster_->trace_event(n, TraceKind::kNodeRestart, static_cast<std::int64_t>(epoch_), 0);
+  rejoin_node(n, now);
+}
 
-  bool rejoined = false;
+void HaManager::rejoin_node(NodeId n, Time now) {
+  // A node that was confirmed dead rejoins even when it has no zone state to
+  // fold back (a re-confirmed node's authority already lives elsewhere); an
+  // unconfirmed restart only counts as a rejoin if a snapshot says otherwise.
+  bool rejoined = health_[static_cast<std::size_t>(n)].confirmed;
   // Only the zones snapshotted from this node (reverse index, ascending zone
   // order like the old all-zones scan). An entry can be stale — the zone may
   // have moved on to yet another home since — hence the snap.from re-check.
@@ -401,6 +525,62 @@ void HaManager::on_restart(const FaultWindow& c) {
   h.crash_started = 0;
   h.suspected = false;
   h.confirmed = false;
+  if (partitions_cfg_) {
+    // Re-arm every watcher's view of n so the pre-rejoin silence cannot
+    // instantly re-confirm it.
+    for (auto& row : heard_) row[static_cast<std::size_t>(n)] = now;
+  }
+}
+
+void HaManager::on_partition(std::size_t idx, bool open) {
+  auto& eng = cluster_->engine();
+  const Time now = eng.now();
+  const auto& f = cluster_->params().fault;
+  const int count = cluster_->node_count();
+  const cluster::PartitionWindow& w = f.partitions[idx];
+  // Trace on the first in-range node of group_a (the window applies, so one
+  // exists).
+  NodeId tn = 0;
+  for (NodeId a : w.group_a) {
+    if (a < count) {
+      tn = a;
+      break;
+    }
+  }
+  cluster_->trace_event(tn, TraceKind::kHaPartition, open ? 1 : 0,
+                        static_cast<std::int64_t>(idx));
+  if (open) return;
+
+  // --- heal ----------------------------------------------------------------
+  // (1) Nodes the cut made "dead" are actually alive: fold their
+  // post-promotion deltas into the current homes (final-checkpoint replay,
+  // same machinery as a crash restart), demote their stale authority and
+  // reset their detector state. A node still inside a crash window is
+  // skipped — its own on_restart handles it at the window end.
+  for (NodeId n = 0; n < count; ++n) {
+    Health& h = health_[static_cast<std::size_t>(n)];
+    if (f.crash_release(n, now) != 0) continue;
+    if (h.confirmed && h.crash_started == 0) {
+      rejoin_node(n, now);
+    } else if (h.suspected && !h.confirmed) {
+      // A suspicion created only by the cut heals with it.
+      h.suspected = false;
+    }
+  }
+  // (2) Detector re-arm: nothing crossed the cut, so every stale view would
+  // otherwise instantly re-suspect a healthy peer. A node inside a crash
+  // window is NOT re-armed — it sends no heartbeat at the heal, and bumping
+  // its column would mask a real death that overlaps the partition.
+  for (NodeId n = 0; n < count; ++n) {
+    if (f.crash_release(n, now) != 0) continue;
+    for (auto& row : heard_) {
+      Time& t = row[static_cast<std::size_t>(n)];
+      if (t < now) t = now;
+    }
+  }
+  // (3) Epoch catch-up: the healed side adopts the promoting side's routing
+  // epoch, un-fencing its traffic.
+  for (std::uint64_t& e : node_epoch_) e = epoch_;
 }
 
 Time HaManager::retry_hold(NodeId target, Time now) const {

@@ -37,6 +37,15 @@
 //      of the run) and resumes as a cacher; its threads survive under the
 //      thread-checkpoint model. Its detector state is reset, so a later
 //      crash window on the same node is a fresh failure.
+//   5. Partition tolerance (docs/PARTITIONS.md) — when the profile schedules
+//      partition windows the detector runs per-watcher heartbeat views (a
+//      cut watcher goes silent on its side only), promotions demand a quorum
+//      (the watcher must reach a strict majority of the live cluster AND a
+//      majority of the dead home's chain must ack the silence), epoch bumps
+//      propagate only to the promoting side so every fenced wire message
+//      from the stale side is NACKed, and the heal instant performs epoch
+//      catch-up plus checkpoint-replay rejoin of partition-"dead" nodes.
+//      Minority-side requests park on RpcError::kNoQuorum and drain at heal.
 //
 // With replicas=1 (the default) the placement, detection and promotion paths
 // reduce exactly to the former single-failure ring-successor model — the
@@ -71,10 +80,11 @@ class HaManager final : public cluster::HaHooks {
 
   // Fails fast on statically unrecoverable crash schedules (a zone whose
   // home and all chain backups are down at once), posts the heartbeat tick
-  // chains and every applicable crash/restart event, and registers the
-  // checkpoint-stream service when the stream is enabled. Call once, before
-  // Cluster::run(). (Profile *validity* — node 0, window shapes, detector
-  // tuning — is enforced at parse time in cluster/params.cpp.)
+  // chains, every applicable crash/restart event and every applicable
+  // partition open/heal event, and registers the checkpoint-stream service
+  // when the stream is enabled. Call once, before Cluster::run(). (Profile
+  // *validity* — window shapes, detector tuning, partition groups — is
+  // enforced at parse time in cluster/params.cpp.)
   void start();
   // Ends the self-chaining detector ticks so the engine can quiesce. Called
   // when the Java main thread finishes (HyperionVM::run_main).
@@ -105,6 +115,16 @@ class HaManager final : public cluster::HaHooks {
   Time retry_hold(cluster::NodeId target, Time now) const override;
   void note_checkpoint(cluster::NodeId home, std::uint64_t bytes) override;
   std::uint32_t replicas() const override { return chain_depth_; }
+  std::uint64_t node_epoch(cluster::NodeId node) const override {
+    return node_epoch_[static_cast<std::size_t>(node)];
+  }
+  bool suspected(cluster::NodeId node) const override {
+    const Health& h = health_[static_cast<std::size_t>(node)];
+    return h.suspected && !h.confirmed;
+  }
+  cluster::NodeId chain_backup(cluster::NodeId home, std::uint32_t i) const override {
+    return chain_member(home, i);
+  }
 
   // --- introspection (tests) ----------------------------------------------
   bool promoted() const { return promotions_ != 0; }
@@ -142,13 +162,29 @@ class HaManager final : public cluster::HaHooks {
   void tick_node(cluster::NodeId n, Time now, const cluster::FaultProfile& f);
   void on_crash(const cluster::FaultWindow& c);
   void on_restart(const cluster::FaultWindow& c);
+  // Partition window `idx` opening (open=true) or healing. The heal performs
+  // epoch catch-up, checkpoint-replay rejoin of partition-confirmed nodes
+  // that are actually alive, and a detector re-arm.
+  void on_partition(std::size_t idx, bool open);
+  // The rejoin body shared by crash restarts and partition heals: fold the
+  // node's post-snapshot deltas into the current homes, demote its stale
+  // authority, reset its detector state.
+  void rejoin_node(cluster::NodeId n, Time now);
   // Confirmed death of `dead`: epoch bump, re-election of every zone homed
   // there to the first live chain member, checkpoint realization, in-flight
   // traffic failover.
   void confirm_death(cluster::NodeId dead, cluster::NodeId watcher, Time silence);
-  // First live member of `dead`'s chain; fails fast (diagnosable HYP_PANIC)
-  // when the zone has lost all K+1 copies.
-  cluster::NodeId elect_home(cluster::NodeId zone, cluster::NodeId dead, Time now) const;
+  // Quorum gate for confirm_death under partitions: the watcher must reach a
+  // strict majority of the live cluster (no minority-side promotions) and a
+  // majority of the dead home's chain members must themselves have lost
+  // contact with it. Trivially true when no partitions are configured — the
+  // crash-only recovery goldens stay byte-identical.
+  bool promotion_quorum(cluster::NodeId dead, cluster::NodeId watcher, Time now) const;
+  // First live member of `dead`'s chain reachable from the promoting
+  // watcher; fails fast (diagnosable HYP_PANIC) when the zone has lost all
+  // K+1 copies.
+  cluster::NodeId elect_home(cluster::NodeId zone, cluster::NodeId dead,
+                             cluster::NodeId watcher, Time now) const;
   // Moves zone `zone` from dying home `dead` to `new_home`: realizes the
   // mirrored bytes, transfers home authority + monitor tables, charges the
   // final-checkpoint install on the new home's service queue.
@@ -175,6 +211,19 @@ class HaManager final : public cluster::HaHooks {
   std::vector<ZoneSnap> zone_snaps_;  // indexed by zone
   std::uint32_t chain_depth_ = 1;     // min(replicas, node_count - 1)
   bool stream_enabled_ = false;
+  // True when the profile schedules partition windows: per-watcher heartbeat
+  // views, quorum-gated promotion and per-node epoch propagation engage.
+  // False keeps every detector/promotion path byte-identical to the
+  // crash-only model the recovery goldens pin.
+  bool partitions_cfg_ = false;
+  // heard_[w][t]: the last virtual time watcher w received node t's
+  // heartbeat (allocated only when partitions_cfg_ — a cut watcher's view
+  // diverges from the global last_heard).
+  std::vector<std::vector<Time>> heard_;
+  // Per-node view of the routing epoch: promotions update only the nodes
+  // reachable from the promoting watcher; heals catch everyone up. This is
+  // the fencing token source (HaHooks::node_epoch).
+  std::vector<std::uint64_t> node_epoch_;
   std::uint64_t epoch_ = 0;
   std::uint64_t promotions_ = 0;  // confirmed failures handled so far
   bool stopped_ = false;

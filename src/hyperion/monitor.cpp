@@ -1,13 +1,18 @@
 #include "hyperion/monitor.hpp"
 
+#include <cstring>
+
 #include "cluster/ha_hooks.hpp"
 #include "common/assert.hpp"
 
 namespace hyp::hyperion {
 
-// Wire format: every monitor message starts (u64 obj, u64 uid); under an
-// active lossy transport a u64 op id follows (remote_invoke/op_already_applied
-// below); notify appends a one/all byte.
+// Wire format: every monitor message starts (u64 obj, u64 uid); with epoch
+// fencing on (partition windows scheduled) the caller's u64 epoch view
+// follows; under an active lossy transport a u64 op id follows that
+// (remote_invoke/op_already_applied below); notify appends a one/all byte.
+// Success replies are empty historically, the home's 8-byte epoch view under
+// fencing; a 1-byte reply is always a NACK.
 
 MonitorSubsystem::MonitorSubsystem(cluster::Cluster* cluster, dsm::DsmSystem* dsm)
     : cluster_(cluster),
@@ -38,6 +43,9 @@ Buffer MonitorSubsystem::remote_invoke(dsm::ThreadCtx& t, cluster::NodeId home,
     Buffer b;
     b.put<std::uint64_t>(obj);
     b.put<std::uint64_t>(t.uid);
+    // Per-attempt epoch token: a retry after a promotion carries the caller's
+    // caught-up view, so only genuinely stale attempts get fenced.
+    if (fencing_) b.put<std::uint64_t>(ha_->node_epoch(t.node));
     if (lossy) b.put<std::uint64_t>(op);
     if (all_flag >= 0) b.put<std::uint8_t>(static_cast<std::uint8_t>(all_flag));
     return b;
@@ -61,7 +69,9 @@ Buffer MonitorSubsystem::remote_invoke(dsm::ThreadCtx& t, cluster::NodeId home,
   // the SAME op id, so whichever home finally applies the op absorbs earlier
   // attempts through its reattach/dedup machinery (a previously applied
   // enter/wait re-grants or repoints; exit/notify re-ack). A 1-byte reply is
-  // a stale-home NACK: loop and re-resolve. Success is always an empty reply.
+  // a stale-home NACK: loop and re-resolve. Success is an empty reply, or the
+  // home's 8-byte epoch view under fencing.
+  const std::size_t ok_size = fencing_ ? sizeof(std::uint64_t) : 0;
   auto* eng = sim::Engine::current();
   const Time started = eng->now();
   cluster::NodeId target = home;
@@ -77,9 +87,39 @@ Buffer MonitorSubsystem::remote_invoke(dsm::ThreadCtx& t, cluster::NodeId home,
     }
     ++attempts_at_target;
     cluster::RpcResult r = cluster_->call_result(t.node, target, service, build());
-    if (r.ok() && r.payload.empty()) {
+    if (r.ok() && r.payload.size() == ok_size) {
+      if (fencing_) {
+        // A success reply stamped under an epoch this side has fenced off is
+        // discarded like a NACK: re-resolve and retry (the same op id makes
+        // the retry reattach if the op did land somewhere authoritative).
+        std::uint64_t reply_epoch = 0;
+        std::memcpy(&reply_epoch, r.payload.data(), sizeof(reply_epoch));
+        if (reply_epoch < ha_->node_epoch(t.node)) {
+          t.stats->add(Counter::kHaFencedRejects);
+          cluster_->trace_event(t.node, cluster::TraceKind::kHaFencedReject,
+                                static_cast<std::int64_t>(reply_epoch), service);
+          continue;
+        }
+      }
       if (rerouted) t.stats->record(Hist::kHaRerouteWait, eng->now() - started);
-      return std::move(r.payload);
+      return Buffer{};
+    }
+    if (!r.ok() && r.error.status == cluster::RpcStatus::kNoQuorum) {
+      // Minority-side degradation (see DsmSystem::ha_rpc_home): park until
+      // the surviving side can have re-homed the monitor or the heal instant.
+      attempts_at_target = 0;
+      t.stats->add(Counter::kHaNoQuorumHolds);
+      const auto& f = cluster_->params().fault;
+      const Time at = eng->now();
+      const Time heal = f.severed_until(t.node, target, at);
+      if (heal > at) {
+        Time wake = heal;
+        const Time confirm_by =
+            f.severed_since(t.node, target, at) + f.confirm_after + 2 * f.hb_interval;
+        if (confirm_by > at && confirm_by < wake) wake = confirm_by;
+        eng->sleep_until(wake);
+      }
+      continue;
     }
     // r.ok() with a non-empty payload is a stale-home NACK; fall through to
     // re-resolve. A typed failure against a node the detector has not (yet)
@@ -89,7 +129,13 @@ Buffer MonitorSubsystem::remote_invoke(dsm::ThreadCtx& t, cluster::NodeId home,
                 " attempts: " + r.error.message);
     }
     const Time now = eng->now();
-    const Time hold = ha_->retry_hold(target, now);
+    Time hold = ha_->retry_hold(target, now);
+    if (fencing_ && r.ok()) {
+      // The NACK may mean OUR epoch is stale (see DsmSystem::ha_rpc_home):
+      // a node inside an open partition window catches up only at the heal.
+      const Time release = cluster_->params().fault.partition_release(t.node, now);
+      if (release > hold) hold = release;
+    }
     if (hold > now) eng->sleep_until(hold);
   }
   HYP_PANIC("monitor home failover did not converge (epoch " +
@@ -108,7 +154,7 @@ void MonitorSubsystem::reattach_enter(cluster::Incoming& in, cluster::NodeId sel
   // off from the caller; the caller is still parked in the retried call.
   MonitorState& m = state(self, obj);
   if (m.owner_uid == uid) {
-    cluster_->reply(in, Buffer{});  // the lost grant, re-issued
+    cluster_->reply(in, make_ack(self));  // the lost grant, re-issued
     return;
   }
   for (Contender& c : m.queue) {
@@ -127,7 +173,7 @@ void MonitorSubsystem::reattach_wait(cluster::Incoming& in, cluster::NodeId self
                                      std::uint64_t uid) {
   MonitorState& m = state(self, obj);
   if (m.owner_uid == uid) {
-    cluster_->reply(in, Buffer{});  // notify + re-grant already happened
+    cluster_->reply(in, make_ack(self));  // notify + re-grant already happened
     return;
   }
   for (Contender& c : m.queue) {
@@ -166,6 +212,28 @@ bool MonitorSubsystem::nack_if_stale(cluster::Incoming& in, cluster::NodeId self
   nack.put<std::uint8_t>(1);
   cluster_->reply(in, std::move(nack));
   return true;
+}
+
+bool MonitorSubsystem::fenced(cluster::Incoming& in, cluster::NodeId self,
+                              cluster::ServiceId service) {
+  const auto msg_epoch = in.reader.get<std::uint64_t>();
+  if (msg_epoch >= ha_->node_epoch(self)) return false;
+  // The request was built under a routing view this node has superseded:
+  // reject it before it can touch monitor state or record its op id (the
+  // caller's retry under the fresh epoch is then an ordinary first apply).
+  cluster_->node(self).stats().add(Counter::kHaFencedRejects);
+  cluster_->trace_event(self, cluster::TraceKind::kHaFencedReject,
+                        static_cast<std::int64_t>(msg_epoch), service);
+  Buffer nack;
+  nack.put<std::uint8_t>(1);
+  cluster_->reply(in, std::move(nack));
+  return true;
+}
+
+Buffer MonitorSubsystem::make_ack(cluster::NodeId self) const {
+  Buffer ack;
+  if (fencing_) ack.put<std::uint64_t>(ha_->node_epoch(self));
+  return ack;
 }
 
 void MonitorSubsystem::fail_over_home(cluster::NodeId dead, cluster::NodeId backup,
@@ -404,7 +472,7 @@ void MonitorSubsystem::grant(cluster::NodeId home, MonitorState&, Contender c) {
     *c.granted_flag = true;
     sim::Engine::current()->unpark(c.fiber);
   } else {
-    cluster_->reply_to(home, c.from, c.reply_token, Buffer{});
+    cluster_->reply_to(home, c.from, c.reply_token, make_ack(home));
   }
 }
 
@@ -414,6 +482,7 @@ void MonitorSubsystem::grant(cluster::NodeId home, MonitorState&, Contender c) {
 void MonitorSubsystem::handle_enter(cluster::Incoming& in, cluster::NodeId self) {
   const auto obj = in.reader.get<std::uint64_t>();
   const auto uid = in.reader.get<std::uint64_t>();
+  if (fencing_ && fenced(in, self, svc::kMonitorEnter)) return;
   if (nack_if_stale(in, self, obj, svc::kMonitorEnter)) return;
   const bool retry = op_already_applied(in, self);
   cluster_->node(self).extend_service(cluster_->params().cpu.cycles(kManagerCycles));
@@ -432,16 +501,18 @@ void MonitorSubsystem::handle_enter(cluster::Incoming& in, cluster::NodeId self)
 void MonitorSubsystem::handle_exit(cluster::Incoming& in, cluster::NodeId self) {
   const auto obj = in.reader.get<std::uint64_t>();
   const auto uid = in.reader.get<std::uint64_t>();
+  if (fencing_ && fenced(in, self, svc::kMonitorExit)) return;
   if (nack_if_stale(in, self, obj, svc::kMonitorExit)) return;
   const bool retry = op_already_applied(in, self);
   cluster_->node(self).extend_service(cluster_->params().cpu.cycles(kManagerCycles));
   if (!retry) do_exit(self, obj, uid);  // retry of an applied exit: just re-ack
-  cluster_->reply(in, Buffer{});
+  cluster_->reply(in, make_ack(self));
 }
 
 void MonitorSubsystem::handle_wait(cluster::Incoming& in, cluster::NodeId self) {
   const auto obj = in.reader.get<std::uint64_t>();
   const auto uid = in.reader.get<std::uint64_t>();
+  if (fencing_ && fenced(in, self, svc::kMonitorWait)) return;
   if (nack_if_stale(in, self, obj, svc::kMonitorWait)) return;
   const bool retry = op_already_applied(in, self);
   cluster_->node(self).extend_service(cluster_->params().cpu.cycles(kManagerCycles));
@@ -460,12 +531,13 @@ void MonitorSubsystem::handle_wait(cluster::Incoming& in, cluster::NodeId self) 
 void MonitorSubsystem::handle_notify(cluster::Incoming& in, cluster::NodeId self) {
   const auto obj = in.reader.get<std::uint64_t>();
   const auto uid = in.reader.get<std::uint64_t>();
+  if (fencing_ && fenced(in, self, svc::kMonitorNotify)) return;
   if (nack_if_stale(in, self, obj, svc::kMonitorNotify)) return;
   const bool retry = op_already_applied(in, self);
   const bool all = in.reader.get<std::uint8_t>() != 0;
   cluster_->node(self).extend_service(cluster_->params().cpu.cycles(kManagerCycles));
   if (!retry) do_notify(self, obj, uid, all);  // applied already: just re-ack
-  cluster_->reply(in, Buffer{});
+  cluster_->reply(in, make_ack(self));
 }
 
 }  // namespace hyp::hyperion

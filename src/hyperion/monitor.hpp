@@ -53,7 +53,15 @@ class MonitorSubsystem {
   // remote ops re-resolve the home per attempt (carrying the SAME op id, so
   // the new home's reattach/dedup absorbs a previously applied attempt), and
   // stale-home requests are NACKed (1-byte reply) instead of asserting.
-  void set_ha(cluster::HaHooks* ha) { ha_ = ha; }
+  // When the fault profile also schedules partition windows, every remote op
+  // additionally carries the caller's epoch view and every success reply the
+  // home's (epoch fencing, docs/PARTITIONS.md): a stale-epoch request is
+  // NACKed before it can mutate monitor state, and a stale-epoch reply is
+  // discarded by the caller like a NACK.
+  void set_ha(cluster::HaHooks* ha) {
+    ha_ = ha;
+    fencing_ = ha != nullptr && !cluster_->params().fault.partitions.empty();
+  }
   // Moves the monitors of objects in the global-address range [zbegin, zend)
   // from the dead node's table to the backup's (the simulator realizes the
   // checkpointed state the incremental replication stream has been
@@ -130,10 +138,17 @@ class MonitorSubsystem {
   // is recorded) and returns true; false = this node owns the monitor.
   bool nack_if_stale(cluster::Incoming& in, cluster::NodeId self, dsm::Gva obj,
                      cluster::ServiceId service);
+  // Epoch fencing (partitions only): consumes the request's epoch token and,
+  // when it predates this node's view, NACKs (1 byte) and returns true.
+  bool fenced(cluster::Incoming& in, cluster::NodeId self, cluster::ServiceId service);
+  // Success reply body: empty historically, the home's 8-byte epoch view
+  // under fencing (the caller validates it against its own).
+  Buffer make_ack(cluster::NodeId self) const;
 
   cluster::Cluster* cluster_;
   dsm::DsmSystem* dsm_;
   cluster::HaHooks* ha_ = nullptr;
+  bool fencing_ = false;  // ha_ installed AND partition windows scheduled
   // monitors_[home] maps object address -> state.
   std::vector<std::map<dsm::Gva, MonitorState>> monitors_;
   // Lossy-transport idempotence state (empty on quiet networks): the next

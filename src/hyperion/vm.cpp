@@ -149,18 +149,28 @@ HyperionVM::HyperionVM(VmConfig config)
     dsm_.set_race(config_.race);
     cluster_.set_race_hooks(config_.race);
   }
-  // A scheduled crash window engages the HA subsystem (docs/RECOVERY.md);
-  // without one every HA branch below stays a null-pointer test and the
-  // event sequence is bit-identical to the goldens. Windows naming nodes this
-  // run does not have are inert (a figure sweep reuses one profile across
-  // cluster sizes), so HA engages only when a window actually applies.
-  // (Window validity — node 0, positive start/duration, detector tuning — is
-  // a parse-time CLI error in cluster/params.cpp, not a check here.)
+  // A scheduled crash window — or a partition window that actually splits
+  // this run's nodes — engages the HA subsystem (docs/RECOVERY.md,
+  // docs/PARTITIONS.md); without one every HA branch below stays a
+  // null-pointer test and the event sequence is bit-identical to the goldens.
+  // Windows naming nodes this run does not have are inert (a figure sweep
+  // reuses one profile across cluster sizes), so HA engages only when a
+  // window actually applies. (Window validity — positive start/duration,
+  // group shapes, detector tuning — is a parse-time CLI error in
+  // cluster/params.cpp, not a check here.)
   bool crash_applies = false;
   for (const auto& c : cluster_.params().fault.crashes) {
     if (c.node < cluster_.node_count()) crash_applies = true;
   }
-  if (crash_applies) {
+  bool partition_applies = false;
+  for (const auto& w : cluster_.params().fault.partitions) {
+    bool a = false;
+    bool b = false;
+    for (cluster::NodeId n : w.group_a) a = a || n < cluster_.node_count();
+    for (cluster::NodeId n : w.group_b) b = b || n < cluster_.node_count();
+    if (a && b) partition_applies = true;
+  }
+  if (crash_applies || partition_applies) {
     ha_ = std::make_unique<ha::HaManager>(&cluster_, &dsm_, &monitors_);
     cluster_.set_ha_hooks(ha_.get());
     dsm_.set_ha(ha_.get());

@@ -163,7 +163,9 @@ class HyperionVM {
   dsm::DsmSystem& dsm() { return dsm_; }
   MonitorSubsystem& monitors() { return monitors_; }
   // The high-availability manager; non-null iff the fault profile schedules
-  // a crash window (docs/RECOVERY.md). Constructed and wired automatically.
+  // a crash window or a partition window that splits this run's nodes
+  // (docs/RECOVERY.md, docs/PARTITIONS.md). Constructed and wired
+  // automatically.
   ha::HaManager* ha() { return ha_.get(); }
   LoadBalancer& balancer() { return *balancer_; }
   void set_balancer(std::unique_ptr<LoadBalancer> b) { balancer_ = std::move(b); }

@@ -110,6 +110,15 @@ std::string event_args(const TraceEvent& e) {
                     static_cast<long long>((b >> 4) & 0x3fffffff),
                     static_cast<long long>(b & 0xf));
       break;
+    case TraceKind::kHaPartition:
+      std::snprintf(buf, sizeof(buf), "{\"open\":%lld,\"window\":%lld}", a, b);
+      break;
+    case TraceKind::kHaFencedReject:
+      std::snprintf(buf, sizeof(buf), "{\"stale_epoch\":%lld,\"service\":%lld}", a, b);
+      break;
+    case TraceKind::kHaQuorumRead:
+      std::snprintf(buf, sizeof(buf), "{\"page\":%lld,\"backup\":%lld}", a, b);
+      break;
     default:
       std::snprintf(buf, sizeof(buf), "{\"a\":%lld,\"b\":%lld}", a, b);
       break;
@@ -149,6 +158,9 @@ const char* event_category(TraceKind kind) {
     case TraceKind::kHaNack:
     case TraceKind::kCheckpoint:
     case TraceKind::kCheckpointApplied:
+    case TraceKind::kHaPartition:
+    case TraceKind::kHaFencedReject:
+    case TraceKind::kHaQuorumRead:
       return "ha";
     case TraceKind::kRaceDetected:
       return "race";

@@ -504,9 +504,87 @@ TEST(FaultProfileParse, HeartbeatCoalesceToken) {
 // CLI error: a diagnostic naming the offending token on stderr and exit
 // status 2, before any simulation state exists.
 
-TEST(FaultProfileParseExit, CrashOnNodeZeroIsACliError) {
-  EXPECT_EXIT(FaultProfile::parse("crash0@1ms+1ms"), testing::ExitedWithCode(2),
-              "node 0 hosts the Java main thread");
+TEST(FaultProfileParse, CrashOnNodeZeroIsAccepted) {
+  // Node 0 hosts the Java main thread, but under the thread-checkpoint model
+  // its fibers survive a crash like any other node's: crash0 is a legal
+  // schedule (the HA matrix in ha_test.cpp pins the recovery), not a CLI
+  // error.
+  const FaultProfile p = FaultProfile::parse("crash0@1ms+1ms");
+  ASSERT_EQ(p.crashes.size(), 1u);
+  EXPECT_EQ(p.crashes[0].node, 0);
+  EXPECT_EQ(p.crashes[0].start, 1 * kMillisecond);
+  EXPECT_EQ(p.crashes[0].duration, 1 * kMillisecond);
+}
+
+// --- partition@ / linkdrop= tokens (docs/PARTITIONS.md) ---------------------
+
+TEST(FaultProfileParse, PartitionWindowToken) {
+  const FaultProfile p = FaultProfile::parse("partition@2ms+1ms:0.1|2.3");
+  ASSERT_EQ(p.partitions.size(), 1u);
+  const auto& w = p.partitions[0];
+  EXPECT_EQ(w.start, 2 * kMillisecond);
+  EXPECT_EQ(w.duration, 1 * kMillisecond);
+  ASSERT_EQ(w.group_a.size(), 2u);
+  ASSERT_EQ(w.group_b.size(), 2u);
+  EXPECT_EQ(w.group_a[0], 0);
+  EXPECT_EQ(w.group_a[1], 1);
+  EXPECT_EQ(w.group_b[0], 2);
+  EXPECT_EQ(w.group_b[1], 3);
+  // severs() only cuts cross-group pairs, only while the window is open.
+  const Time mid = 2 * kMillisecond + 500 * kMicrosecond;
+  EXPECT_TRUE(p.severed(0, 2, mid));
+  EXPECT_TRUE(p.severed(3, 1, mid));
+  EXPECT_FALSE(p.severed(0, 1, mid));                     // same side
+  EXPECT_FALSE(p.severed(2, 3, mid));                     // same side
+  EXPECT_FALSE(p.severed(0, 2, 1 * kMillisecond));        // before open
+  EXPECT_FALSE(p.severed(0, 2, 3 * kMillisecond));        // at heal ([s, e))
+  EXPECT_EQ(p.severed_until(0, 2, mid), 3 * kMillisecond);
+  EXPECT_EQ(p.severed_since(0, 2, mid), 2 * kMillisecond);
+  EXPECT_EQ(p.severed_until(0, 1, mid), 0u);
+  // A partition profile engages the reliable transport.
+  EXPECT_TRUE(p.lossy());
+}
+
+TEST(FaultProfileParse, LinkDropToken) {
+  const FaultProfile p = FaultProfile::parse("linkdrop=0>2:25%,linkdrop=2>0:1%");
+  ASSERT_EQ(p.linkdrops.size(), 2u);
+  EXPECT_EQ(p.linkdrop_ppm(0, 2), 250'000u);
+  EXPECT_EQ(p.linkdrop_ppm(2, 0), 10'000u);   // asymmetric: distinct tokens
+  EXPECT_EQ(p.linkdrop_ppm(1, 2), 0u);
+  EXPECT_TRUE(p.lossy());
+  // Repeated same-direction tokens sum (saturating at certain loss).
+  const FaultProfile s = FaultProfile::parse("linkdrop=1>3:80%,linkdrop=1>3:90%");
+  EXPECT_EQ(s.linkdrop_ppm(1, 3), 1'000'000u);
+}
+
+TEST(FaultProfileParseExit, PartitionRejectsMalformedGroups) {
+  EXPECT_EXIT(FaultProfile::parse("partition@2ms+1ms:0.1"), testing::ExitedWithCode(2),
+              "partition");
+  EXPECT_EXIT(FaultProfile::parse("partition@2ms+1ms:|2.3"), testing::ExitedWithCode(2),
+              "partition");
+  EXPECT_EXIT(FaultProfile::parse("partition@2ms+1ms:0.1|"), testing::ExitedWithCode(2),
+              "partition");
+  EXPECT_EXIT(FaultProfile::parse("partition@2ms+1ms:0|1|2"), testing::ExitedWithCode(2),
+              "partition");
+  // A node on both sides (or twice on one side) is a contradiction.
+  EXPECT_EXIT(FaultProfile::parse("partition@2ms+1ms:0.1|1.2"), testing::ExitedWithCode(2),
+              "both sides|once");
+  EXPECT_EXIT(FaultProfile::parse("partition@2ms+1ms:0.0|1"), testing::ExitedWithCode(2),
+              "both sides|once");
+  EXPECT_EXIT(FaultProfile::parse("partition@0us+1ms:0|1"), testing::ExitedWithCode(2),
+              "positive start");
+}
+
+TEST(FaultProfileParseExit, LinkDropRejectsSelfLoop) {
+  EXPECT_EXIT(FaultProfile::parse("linkdrop=2>2:10%"), testing::ExitedWithCode(2),
+              "linkdrop");
+}
+
+TEST(FaultProfileParseExit, PartitionRequiresDetectorTuningOrder) {
+  // The detector-tuning cross check fires for partition schedules exactly as
+  // it does for crash schedules (promotion runs the same detector).
+  EXPECT_EXIT(FaultProfile::parse("partition@2ms+1ms:0|1,hb=100us,suspect=50us"),
+              testing::ExitedWithCode(2), "hb <= suspect < confirm");
 }
 
 TEST(FaultProfileParseExit, CrashWindowNeedsPositiveStartAndDuration) {
@@ -554,7 +632,9 @@ TEST(FaultProfileParse, ToStringRoundTripsEveryTokenType) {
   // to_string must be a fixed point.
   const std::string spec =
       "drop2%,dup1%,corrupt0.5%,reorder5us,stall1@300us+200us,"
-      "blackout3@1ms+500us,crash2@3ms+2ms,crash1@8ms+2ms,seed=9,retries=6,"
+      "blackout3@1ms+500us,crash2@3ms+2ms,crash1@8ms+2ms,"
+      "partition@2ms+1ms:0.1|2.3,partition@6ms+500us:2|0.1.3,"
+      "linkdrop=0>2:25%,linkdrop=2>0:1%,seed=9,retries=6,"
       "backoff=3,rto=100us,timeout=5ms,dedupwin=4,hb=50us,suspect=200us,"
       "confirm=600us,replicas=2,ckpt_bw=8,hbcoalesce=128";
   const FaultProfile a = FaultProfile::parse(spec);
@@ -588,6 +668,21 @@ TEST(FaultProfileParse, ToStringRoundTripsEveryTokenType) {
     EXPECT_EQ(a.crashes[i].node, b.crashes[i].node);
     EXPECT_EQ(a.crashes[i].start, b.crashes[i].start);
     EXPECT_EQ(a.crashes[i].duration, b.crashes[i].duration);
+  }
+  ASSERT_EQ(a.partitions.size(), 2u);
+  ASSERT_EQ(a.partitions.size(), b.partitions.size());
+  for (std::size_t i = 0; i < a.partitions.size(); ++i) {
+    EXPECT_EQ(a.partitions[i].start, b.partitions[i].start);
+    EXPECT_EQ(a.partitions[i].duration, b.partitions[i].duration);
+    EXPECT_EQ(a.partitions[i].group_a, b.partitions[i].group_a);
+    EXPECT_EQ(a.partitions[i].group_b, b.partitions[i].group_b);
+  }
+  ASSERT_EQ(a.linkdrops.size(), 2u);
+  ASSERT_EQ(a.linkdrops.size(), b.linkdrops.size());
+  for (std::size_t i = 0; i < a.linkdrops.size(); ++i) {
+    EXPECT_EQ(a.linkdrops[i].from, b.linkdrops[i].from);
+    EXPECT_EQ(a.linkdrops[i].to, b.linkdrops[i].to);
+    EXPECT_EQ(a.linkdrops[i].ppm, b.linkdrops[i].ppm);
   }
 }
 
