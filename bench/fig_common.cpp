@@ -176,6 +176,27 @@ void ObsRecorder::capture_run(const std::string& label, const apps::RunResult& r
   capture(std::move(mp));
 }
 
+void ObsRecorder::capture_run_windowed(const std::string& label,
+                                       const apps::RunResult& result,
+                                       const std::string& protocol, int nodes,
+                                       Time window_start, Time window_end,
+                                       std::uint64_t excluded_ops) {
+  if (!active() && race_det_ == nullptr) return;
+  obs::MetricsPoint mp;
+  mp.label = label;
+  mp.protocol = protocol;
+  mp.nodes = nodes;
+  mp.elapsed = result.elapsed;
+  mp.value = result.value;
+  mp.has_value = true;
+  mp.stats = result.stats;
+  mp.has_window = true;
+  mp.window_start = window_start;
+  mp.window_end = window_end;
+  mp.window_excluded_ops = excluded_ops;
+  capture(std::move(mp));
+}
+
 void ObsRecorder::attach_cluster(cluster::Cluster& c, dsm::DsmSystem* d) {
   if (!active()) return;
   if (trace_ != nullptr) {

@@ -126,6 +126,16 @@ class ObsRecorder {
   void capture_run(const std::string& label, const apps::RunResult& result,
                    const std::string& protocol = "", int nodes = -1);
 
+  // capture_run plus the measurement window the point was measured under
+  // (warmup/cooldown trimmed, docs/SERVING.md), serialized as the optional
+  // "window" object in hyp-metrics-v1. Plain capture_run points carry none —
+  // the window annotation is strictly opt-in.
+  void capture_run_windowed(const std::string& label,
+                            const apps::RunResult& result,
+                            const std::string& protocol, int nodes,
+                            Time window_start, Time window_end,
+                            std::uint64_t excluded_ops);
+
   // For harnesses that drive a Cluster (+ optionally a DsmSystem) without a
   // HyperionVM (ablation_consistency): wires the trace and phase table into
   // the cluster and the heat table into the DSM.

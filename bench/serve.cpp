@@ -1,0 +1,213 @@
+// serve: the distributed KV/session store under open-loop Zipf traffic
+// (docs/SERVING.md).
+//
+// Sweeps protocol x theta x fault profile and prints an SLO table per cell:
+// measured throughput and p50/p99/p999/max latency, the share of measured ops
+// whose lifetime overlapped a crash/partition window (the tail-spike
+// attribution column), and the correctness verdict — the final store state
+// must match the host-side serial replay of the same deterministic op
+// streams *exactly*, i.e. zero lost acknowledged writes, under every cell
+// including mid-run crashes (with chain backups) and network partitions.
+//
+// Built-in fault cells (--profiles):
+//   none       the recorder's base --fault-profile (default: fault-free)
+//   crash      a mid-run kill-and-recover (--crash) with replicas=K
+//   partition  a minority split isolating node 1 (--partition-window)
+//
+// Every cell lands in the hyp-metrics-v1 JSON (--metrics-out) with the
+// serve_* counters/histograms plus the serve_p50_us/serve_p99_us/
+// serve_p999_us/serve_throughput_ops summary rows that
+// scripts/compare_metrics.py gates direction-aware (a p99 rise or a
+// throughput drop fails; improvements never do).
+//
+// Exit code: 0 when every cell verified (zero lost acked writes, exact final
+// state), 1 otherwise.
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+#include "fig_common.hpp"
+#include "serve/serve.hpp"
+
+namespace {
+
+using namespace hyp;
+
+std::vector<double> parse_list(const std::string& spec, const char* flag) {
+  std::vector<double> out;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string tok = spec.substr(pos, comma - pos);
+    char* end = nullptr;
+    const double v = std::strtod(tok.c_str(), &end);
+    if (end == tok.c_str() || *end != '\0' || v < 0) {
+      std::fprintf(stderr, "serve: bad --%s entry '%s'\n", flag, tok.c_str());
+      std::exit(2);
+    }
+    out.push_back(v);
+    pos = comma + 1;
+  }
+  if (out.empty()) {
+    std::fprintf(stderr, "serve: --%s must name at least one value\n", flag);
+    std::exit(2);
+  }
+  return out;
+}
+
+std::vector<std::string> split_names(const std::string& spec) {
+  std::vector<std::string> out;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    if (comma > pos) out.push_back(spec.substr(pos, comma - pos));
+    pos = comma + 1;
+  }
+  return out;
+}
+
+// "1|0.2.3...": isolate node 1 from everyone else.
+std::string minority_groups(int nodes) {
+  std::string rest;
+  for (int n = 0; n < nodes; ++n) {
+    if (n == 1) continue;
+    if (!rest.empty()) rest += '.';
+    rest += std::to_string(n);
+  }
+  return "1|" + rest;
+}
+
+struct Cell {
+  std::string label;
+  std::string protocol;
+  serve::ServeResult r;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli(
+      "serve — distributed KV store SLOs: protocol x theta x fault profile "
+      "under open-loop Zipf traffic (docs/SERVING.md)");
+  bench::ObsRecorder::add_flags(cli);
+  cli.flag_string("cluster", "myri200", "cluster preset (myri200 or sci450)")
+      .flag_int("nodes", 4, "cluster size for every cell")
+      .flag_int("keys", 4096, "key-space size")
+      .flag_int("shards-per-node", 4, "store shards per node")
+      .flag_string("thetas", "0,0.9,0.99", "Zipf theta values to sweep (0 = uniform)")
+      .flag_int("read-pct", 90, "reads per 100 ops")
+      .flag_int("clients-per-node", 2, "open-loop clients per node")
+      .flag_int("ops", 400, "operations per client")
+      .flag_double("rate", 4000, "per-client arrival rate, ops/s")
+      .flag_int("op-cycles", 2000, "modeled handler work per op, cycles")
+      .flag_string("profiles", "none,crash,partition",
+                   "fault cells to run (comma-separated subset of "
+                   "none,crash,partition)")
+      .flag_string("crash", "crash1@20ms+10ms",
+                   "kill-and-recover window for the crash cell")
+      .flag_int("replicas", 2, "chain backup depth K for the crash cell")
+      .flag_string("partition-window", "20ms+8ms",
+                   "split window for the partition cell (isolates node 1)")
+      .flag_double("warmup-us", 0, "exclude ops scheduled in the first N us")
+      .flag_double("cooldown-us", 0, "exclude ops scheduled in the last N us")
+      .flag_int("seed", 7, "workload + fault seed shared by every cell");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const std::string cluster = cli.get_string("cluster");
+  const int nodes = cli.get_int("nodes");
+  const auto thetas = parse_list(cli.get_string("thetas"), "thetas");
+  const auto profiles = split_names(cli.get_string("profiles"));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+
+  serve::ServeParams sp;
+  sp.keys = static_cast<std::uint64_t>(cli.get_int("keys"));
+  sp.shards_per_node = cli.get_int("shards-per-node");
+  sp.read_pct = cli.get_int("read-pct");
+  sp.clients_per_node = cli.get_int("clients-per-node");
+  sp.ops_per_client = static_cast<std::uint64_t>(cli.get_int("ops"));
+  sp.rate_ops_per_s = cli.get_double("rate");
+  sp.op_cycles = static_cast<std::uint64_t>(cli.get_int("op-cycles"));
+  sp.warmup = static_cast<Time>(cli.get_double("warmup-us") * kMicrosecond);
+  sp.cooldown = static_cast<Time>(cli.get_double("cooldown-us") * kMicrosecond);
+  sp.seed = seed;
+
+  bench::ObsRecorder obs;
+  obs.configure(cli, "serve");
+
+  std::printf("# serve — %s, %d nodes, %" PRIu64 " keys, %d clients x %" PRIu64
+              " ops @ %g ops/s, read%%=%d, seed=%" PRIu64 "\n\n",
+              cluster.c_str(), nodes, sp.keys, sp.clients_per_node * nodes,
+              sp.ops_per_client, sp.rate_ops_per_s, sp.read_pct, seed);
+
+  std::vector<Cell> cells;
+  bool all_ok = true;
+  for (auto kind : {dsm::ProtocolKind::kJavaIc, dsm::ProtocolKind::kJavaPf}) {
+    const std::string proto = dsm::protocol_name(kind);
+    for (double theta : thetas) {
+      sp.theta = theta;
+      for (const std::string& profile : profiles) {
+        apps::VmConfig cfg = apps::make_config(cluster, kind, nodes);
+        obs.attach(cfg);  // trace/heat/phases + the recorder's base profile
+        char spec[192];
+        if (profile == "crash") {
+          std::snprintf(spec, sizeof(spec), "replicas=%d,%s,seed=%" PRIu64,
+                        static_cast<int>(cli.get_int("replicas")),
+                        cli.get_string("crash").c_str(), seed);
+          cfg.cluster.fault = cluster::FaultProfile::parse(spec);
+        } else if (profile == "partition") {
+          std::snprintf(spec, sizeof(spec), "partition@%s:%s,seed=%" PRIu64,
+                        cli.get_string("partition-window").c_str(),
+                        minority_groups(nodes).c_str(), seed);
+          cfg.cluster.fault = cluster::FaultProfile::parse(spec);
+        } else if (profile != "none") {
+          std::fprintf(stderr, "serve: unknown --profiles entry '%s'\n",
+                       profile.c_str());
+          return 2;
+        }
+
+        char label[96];
+        std::snprintf(label, sizeof(label), "theta%g/%s", theta, profile.c_str());
+        Cell cell;
+        cell.label = label;
+        cell.protocol = proto;
+        cell.r = serve::run_serve(cfg, sp);
+        if (sp.warmup != 0 || sp.cooldown != 0) {
+          obs.capture_run_windowed(label, cell.r.run, proto, nodes,
+                                   cell.r.window_start, cell.r.window_end,
+                                   cell.r.excluded);
+        } else {
+          obs.capture_run(label, cell.r.run, proto, nodes);
+        }
+        all_ok = all_ok && cell.r.state_ok;
+        cells.push_back(std::move(cell));
+      }
+    }
+  }
+
+  Table table({"cell", "protocol", "ops", "acked writes", "tput (ops/s)",
+               "p50 (us)", "p99 (us)", "p999 (us)", "max (us)", "faultwin ops",
+               "lost", "state"});
+  for (const auto& c : cells) {
+    table.add_row({c.label, c.protocol, fmt_u64(c.r.ops), fmt_u64(c.r.updates),
+                   fmt_double(c.r.throughput_ops_s, 0),
+                   fmt_double(c.r.p50_us, 1), fmt_double(c.r.p99_us, 1),
+                   fmt_double(c.r.p999_us, 1), fmt_double(c.r.max_us, 1),
+                   fmt_u64(c.r.faultwin_ops), fmt_u64(c.r.lost_keys),
+                   c.r.state_ok ? "ok" : "DIVERGED"});
+  }
+  table.write_pretty(std::cout);
+
+  std::printf("\nverification: %s\n",
+              all_ok ? "PASS — every cell matched its serial reference "
+                       "(zero lost acked writes)"
+                     : "FAIL — a cell diverged from its serial reference");
+
+  obs.finish();
+  return all_ok ? 0 : 1;
+}

@@ -1,21 +1,28 @@
-// bank — monitors, wait/notify and the Java Memory Model in one scenario.
+// bank — monitors, wait/notify and the Java Memory Model in one scenario,
+// built on the serving store (src/serve/store.hpp, docs/SERVING.md).
 //
-// A bank with N accounts lives in the cluster-wide shared memory. Teller
-// threads on different nodes transfer money between accounts under the
-// bank's monitor; an auditor thread repeatedly locks the bank and verifies
-// the conservation invariant (total balance never changes); a "payday"
-// producer wakes blocked consumer threads with notify_all once it has
-// deposited their salaries — the classic guarded-wait idiom.
+// A bank with N accounts lives in a sharded serve::Store: account a is a key
+// whose balance sits in shard a % shards, each shard guarded by its own
+// monitor and home-placed round-robin across the nodes. Teller threads on
+// different nodes transfer money with with_shards() — the deadlock-free
+// ascending-order two-lock protocol — so transfers touching disjoint shards
+// run concurrently instead of serializing on one global bank monitor; an
+// auditor thread repeatedly takes *all* shard locks and verifies the
+// conservation invariant (total balance never changes); a "payday" producer
+// wakes blocked consumer threads with notify_all once it has deposited their
+// salaries — the classic guarded-wait idiom.
 //
 // Every invariant check passing demonstrates that release (flush home) and
 // acquire (invalidate + refetch) keep node caches coherent where the JMM
 // requires it, under either detection protocol.
 #include <cstdio>
+#include <vector>
 
 #include "common/cli.hpp"
 #include "common/rng.hpp"
 #include "hyperion/japi.hpp"
 #include "hyperion/vm.hpp"
+#include "serve/store.hpp"
 
 using namespace hyp;
 
@@ -34,39 +41,57 @@ Report run_bank(hyperion::HyperionVM& vm, int accounts, int tellers, int transfe
   constexpr std::int64_t kOpening = 10'000;
 
   vm.run_main([&](hyperion::JavaEnv& main) {
+    // The account table: a serve store keyed by account id. build_store must
+    // run before any other thread starts (its setup threads claim the
+    // round-robin balancer's first slots to pin shard homes).
+    const serve::StoreLayout layout = serve::build_store<P>(
+        main, static_cast<std::uint64_t>(accounts), /*shards_per_node=*/2);
+    serve::Store<P> bank(main, layout);
+    for (int a = 0; a < accounts; ++a) {
+      bank.write_in(static_cast<std::uint64_t>(a), kOpening);
+    }
+
     hyperion::Mem<P> mem(main.ctx());
-    auto balances = main.new_array<std::int64_t>(accounts);
-    for (int a = 0; a < accounts; ++a) mem.aput(balances, a, kOpening);
     auto paid = main.new_cell<std::int32_t>(0);  // payday flag (guarded wait)
-    const dsm::Gva bank_lock = balances.header;
+
+    // Every shard id, ascending — the auditor's whole-bank lock set.
+    std::vector<int> all_shards;
+    for (int s = 0; s < layout.shards; ++s) all_shards.push_back(s);
 
     std::vector<hyperion::JThread> threads;
 
-    // Tellers: random transfers under the bank monitor.
+    // Tellers: random transfers under the two accounts' shard monitors,
+    // acquired in ascending order (with_shards enforces it).
     for (int t = 0; t < tellers; ++t) {
       threads.push_back(main.start_thread("teller" + std::to_string(t),
                                           [=](hyperion::JavaEnv& env) {
-        hyperion::Mem<P> m(env.ctx());
+        serve::Store<P> store(env, layout);
         Rng rng(1000 + static_cast<std::uint64_t>(t));
         for (int i = 0; i < transfers; ++i) {
-          const auto from = static_cast<int>(rng.below(static_cast<std::uint64_t>(accounts)));
-          const auto to = static_cast<int>(rng.below(static_cast<std::uint64_t>(accounts)));
+          const auto from = rng.below(static_cast<std::uint64_t>(accounts));
+          const auto to = rng.below(static_cast<std::uint64_t>(accounts));
           const auto amount = static_cast<std::int64_t>(rng.range(1, 500));
-          env.synchronized(bank_lock, [&] {
-            m.aput(balances, from, m.aget(balances, from) - amount);
-            m.aput(balances, to, m.aget(balances, to) + amount);
+          int sa = store.shard_of(from);
+          int sb = store.shard_of(to);
+          if (sa > sb) std::swap(sa, sb);
+          store.with_shards({sa, sb}, [&] {
+            store.write_in(from, store.read_in(from) - amount);
+            store.write_in(to, store.read_in(to) + amount);
           });
         }
       }));
     }
 
-    // Auditor: conservation of money, checked under the monitor.
+    // Auditor: conservation of money, checked with every shard lock held —
+    // a consistent whole-bank snapshot even while tellers run.
     threads.push_back(main.start_thread("auditor", [=, &report](hyperion::JavaEnv& env) {
-      hyperion::Mem<P> m(env.ctx());
+      serve::Store<P> store(env, layout);
       for (int round = 0; round < 25; ++round) {
-        env.synchronized(bank_lock, [&] {
+        store.with_shards(all_shards, [&] {
           std::int64_t total = 0;
-          for (int a = 0; a < accounts; ++a) total += m.aget(balances, a);
+          for (int a = 0; a < accounts; ++a) {
+            total += store.read_in(static_cast<std::uint64_t>(a));
+          }
           ++report.audits;
           if (total != static_cast<std::int64_t>(accounts) * kOpening) ++report.audit_failures;
         });
@@ -101,7 +126,9 @@ Report run_bank(hyperion::HyperionVM& vm, int accounts, int tellers, int transfe
     // Salary deposits happen under `paid`'s monitor only; total conservation
     // is audited against the opening total (withdrawals modeled as
     // transfers, so the bank total is invariant).
-    for (int a = 0; a < accounts; ++a) report.final_total += mem.aget(balances, a);
+    for (int a = 0; a < accounts; ++a) {
+      report.final_total += bank.read_in(static_cast<std::uint64_t>(a));
+    }
   });
   return report;
 }
@@ -109,7 +136,7 @@ Report run_bank(hyperion::HyperionVM& vm, int accounts, int tellers, int transfe
 }  // namespace
 
 int main(int argc, char** argv) {
-  Cli cli("bank — monitors, wait/notify and JMM coherence across nodes");
+  Cli cli("bank — sharded-store transfers, wait/notify and JMM coherence across nodes");
   cli.flag_int("nodes", 4, "cluster nodes")
       .flag_string("protocol", "java_pf", "java_ic or java_pf")
       .flag_int("accounts", 16, "bank accounts")

@@ -94,6 +94,20 @@ BENCH_FIELDS = [
 ]
 
 
+# --- serve SLO rows (docs/SERVING.md): direction-aware counter gating -------
+#
+# The serving harness publishes its SLO summary as named counters. They are
+# performance verdicts, not event tallies, so they gate like --bench fields:
+# latency quantiles fail only when the candidate is *slower*, throughput only
+# when it *drops* — improvements never fail, whatever their magnitude.
+SERVE_FIELDS = {
+    "serve_p50_us": "down",
+    "serve_p99_us": "down",
+    "serve_p999_us": "down",
+    "serve_throughput_ops": "up",
+}
+
+
 def load_bench_rows(path):
     rows = []
     try:
@@ -259,6 +273,18 @@ def main():
             d = rel_delta(x, y)
             rows.append((name, c, x, y, d))
             if ignore and ignore.search(c):
+                continue
+            if c in SERVE_FIELDS:
+                if x == 0:
+                    continue  # row new in the candidate: informational
+                direction = SERVE_FIELDS[c]
+                regressed = ((x - y) / x * 100.0 if direction == "up"
+                             else (y - x) / x * 100.0)
+                if regressed > args.threshold:
+                    worse = "dropped" if direction == "up" else "rose"
+                    failures.append(f"{name}: counter {c} {x} -> {y} "
+                                    f"({worse} {regressed:+.2f}% "
+                                    f"> {args.threshold}%)")
                 continue
             if d > args.threshold:
                 failures.append(f"{name}: counter {c} {x} -> {y} "

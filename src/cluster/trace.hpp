@@ -64,10 +64,15 @@ enum class TraceKind : std::uint8_t {
   kHaPartition,      // a=1 open / 0 heal, b=partition window index
   kHaFencedReject,   // a=stale epoch seen, b=service (node = rejecting side)
   kHaQuorumRead,     // a=page, b=serving chain backup (node = reader)
+  // --- serving workload (docs/SERVING.md) ----------------------------------
+  kServeOp,          // a=key, b=(latency_ps<<1)|is_update; emitted at op
+                     // completion (node = client node) — the Perfetto
+                     // exporter turns this into a retrospective `serve` slice
+                     // spanning [scheduled arrival, completion]
 };
 
 // Keep in sync with the enum above (drop accounting is per kind).
-inline constexpr int kTraceKindCount = 30;
+inline constexpr int kTraceKindCount = 31;
 
 const char* trace_kind_name(TraceKind kind);
 

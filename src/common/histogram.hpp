@@ -76,6 +76,48 @@ class Log2Histogram {
     return count_ == 0 ? 0.0 : static_cast<double>(sum_) / static_cast<double>(count_);
   }
 
+  // Smallest value v such that at least ceil(q * count) recorded samples are
+  // <= v, estimated by linear interpolation within the covering bucket's
+  // *inclusive* [bucket_lower, bucket_upper] range (the PR 5 bound fix
+  // matters here: bucket 64's upper bound is UINT64_MAX itself, so
+  // record(UINT64_MAX) interpolates inside its bucket instead of past it).
+  // The estimate is clamped to the exact observed [min, max], which makes
+  // single-bucket and extreme-quantile answers tight. q outside [0, 1] is
+  // clamped; an empty histogram reports 0.
+  std::uint64_t value_at_quantile(double q) const {
+    if (count_ == 0) return 0;
+    if (q <= 0.0) return min_;
+    if (q >= 1.0) return max_;
+    // Rank of the sample we want, 1-based: ceil(q * count), at least 1.
+    std::uint64_t rank = static_cast<std::uint64_t>(q * static_cast<double>(count_));
+    if (static_cast<double>(rank) < q * static_cast<double>(count_)) ++rank;
+    if (rank == 0) rank = 1;
+    std::uint64_t seen = 0;
+    for (int i = 0; i < kBuckets; ++i) {
+      if (buckets_[i] == 0) continue;
+      if (seen + buckets_[i] < rank) {
+        seen += buckets_[i];
+        continue;
+      }
+      const std::uint64_t lo = bucket_lower(i);
+      const std::uint64_t hi = bucket_upper(i);
+      // Position of the target sample within this bucket, in (0, 1].
+      const double frac = static_cast<double>(rank - seen) /
+                          static_cast<double>(buckets_[i]);
+      std::uint64_t off = static_cast<std::uint64_t>(
+          static_cast<double>(hi - lo) * frac);
+      // double(hi - lo) rounds *up* for bucket 64 (2^63 - 1 -> 2^63), so the
+      // scaled offset can overshoot the span and lo + off would wrap past
+      // UINT64_MAX; clamp to the exact bucket width first.
+      if (off > hi - lo) off = hi - lo;
+      std::uint64_t v = lo + off;
+      if (v < min_) v = min_;
+      if (v > max_) v = max_;
+      return v;
+    }
+    return max_;  // unreachable when counts are consistent
+  }
+
   void merge(const Log2Histogram& other) {
     if (other.count_ == 0) return;
     for (int i = 0; i < kBuckets; ++i) buckets_[i] += other.buckets_[i];

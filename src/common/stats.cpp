@@ -44,6 +44,11 @@ const char* counter_name(Counter c) {
     case Counter::kHaFencedRejects: return "ha_fenced_rejects";
     case Counter::kHaQuorumReads: return "ha_quorum_reads";
     case Counter::kHaNoQuorumHolds: return "ha_no_quorum_holds";
+    case Counter::kServeOps: return "serve_ops";
+    case Counter::kServeReads: return "serve_reads";
+    case Counter::kServeUpdates: return "serve_updates";
+    case Counter::kServeExcluded: return "serve_excluded";
+    case Counter::kServeFaultWinOps: return "serve_faultwin_ops";
     case Counter::kCount_: break;
   }
   return "?";
@@ -57,6 +62,9 @@ const char* hist_name(Hist h) {
     case Hist::kRetryLatency: return "retry_latency_ps";
     case Hist::kRecoveryLatency: return "recovery_latency_ps";
     case Hist::kHaRerouteWait: return "ha_reroute_wait_ps";
+    case Hist::kServeReadLatency: return "serve_read_latency_ps";
+    case Hist::kServeUpdateLatency: return "serve_update_latency_ps";
+    case Hist::kServeFaultWinLatency: return "serve_faultwin_latency_ps";
     case Hist::kCount_: break;
   }
   return "?";

@@ -69,6 +69,14 @@ enum class Counter : int {
   kHaFencedRejects,      // stale-epoch messages NACKed by the fencing check
   kHaQuorumReads,        // page reads served by quorum from chain backups
   kHaNoQuorumHolds,      // caller parks on RpcError::kNoQuorum (minority side)
+  // --- serving workload (docs/SERVING.md). Zero unless a src/serve store
+  // run is attached; the batch figures and their goldens never bump these. --
+  kServeOps,             // store operations completed (reads + updates)
+  kServeReads,           // get() operations completed
+  kServeUpdates,         // update() operations completed (acked writes)
+  kServeExcluded,        // ops outside the warmup/cooldown measurement window
+  kServeFaultWinOps,     // ops whose lifetime overlapped a crash/partition
+                         // window (the HA latency-attribution bucket)
   kCount_,
 };
 
@@ -87,6 +95,10 @@ enum class Hist : int {
                           // that needed >= 1 retransmit (faulty runs only)
   kRecoveryLatency,       // ps from crash-window start to backup promotion
   kHaRerouteWait,         // ps a failing-over RPC spent before its re-route
+  kServeReadLatency,      // ps from scheduled (open-loop) arrival to get() done
+  kServeUpdateLatency,    // ps from scheduled arrival to update() acked
+  kServeFaultWinLatency,  // ps, the subset of op latencies that overlapped a
+                          // crash/partition window (tail-spike attribution)
   kCount_,
 };
 

@@ -141,6 +141,12 @@ void write_point(std::ostream& os, const MetricsPoint& mp) {
           ",\"peak_rss_kb\":" + std::to_string(mp.host_peak_rss_kb) + '}');
   }
 
+  if (mp.has_window) {
+    field("\"window\":{\"start_ps\":" + std::to_string(mp.window_start) +
+          ",\"end_ps\":" + std::to_string(mp.window_end) +
+          ",\"excluded_ops\":" + std::to_string(mp.window_excluded_ops) + '}');
+  }
+
   if (mp.has_trace) {
     std::string body = "\"trace\":{\"events\":" + std::to_string(mp.trace_events) +
                        ",\"dropped\":" + std::to_string(mp.trace_dropped);

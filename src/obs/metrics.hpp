@@ -56,6 +56,15 @@ struct MetricsPoint {
   std::uint64_t trace_dropped = 0;
   std::map<std::string, std::uint64_t> trace_dropped_by_kind;
 
+  // Measurement window (open-loop benches, docs/SERVING.md): the span of
+  // virtual time whose ops were *included* in the latency histograms, after
+  // warmup/cooldown exclusion, plus how many ops fell outside it. Off by
+  // default — batch figures never set it, so their JSON is byte-unchanged.
+  bool has_window = false;
+  Time window_start = 0;
+  Time window_end = 0;
+  std::uint64_t window_excluded_ops = 0;
+
   // Host-side measurements (bench/sweep_scale): wall clock, engine event
   // throughput and the process peak RSS after the point ran. ru_maxrss is a
   // process-lifetime high-water mark, so a sweep that wants per-point

@@ -21,6 +21,9 @@ using cluster::TraceLog;
 // which are small dense integers).
 constexpr int kFetchTid = 999;
 
+// tid hosting the derived serve-op slices (one track per client node).
+constexpr int kServeTid = 998;
+
 // ts in virtual microseconds with picosecond fraction, integer arithmetic
 // only: byte-stable across platforms/compilers.
 std::string format_ts(Time at) {
@@ -119,6 +122,13 @@ std::string event_args(const TraceEvent& e) {
     case TraceKind::kHaQuorumRead:
       std::snprintf(buf, sizeof(buf), "{\"page\":%lld,\"backup\":%lld}", a, b);
       break;
+    case TraceKind::kServeOp:
+      // b packs (latency_ps << 1) | is_update (src/serve/serve.cpp).
+      std::snprintf(buf, sizeof(buf),
+                    "{\"key\":%lld,\"latency_ps\":%lld,\"update\":%lld}", a,
+                    static_cast<long long>(b >> 1),
+                    static_cast<long long>(b & 1));
+      break;
     default:
       std::snprintf(buf, sizeof(buf), "{\"a\":%lld,\"b\":%lld}", a, b);
       break;
@@ -164,6 +174,8 @@ const char* event_category(TraceKind kind) {
       return "ha";
     case TraceKind::kRaceDetected:
       return "race";
+    case TraceKind::kServeOp:
+      return "serve";
   }
   return "protocol";
 }
@@ -270,9 +282,11 @@ void write_perfetto_trace(std::ostream& os, const TraceLog& log, const PerfettoO
   std::set<int> nodes;
   std::set<std::pair<int, std::int64_t>> monitor_threads;  // (node, uid)
   bool any_fault = false;
+  bool any_serve = false;
   for (const TraceEvent& e : log.events()) {
     nodes.insert(e.node);
     if (e.kind == TraceKind::kPageFault) any_fault = true;
+    if (e.kind == TraceKind::kServeOp) any_serve = true;
     if (e.kind == TraceKind::kMonitorEnter || e.kind == TraceKind::kMonitorAcquired) {
       monitor_threads.insert({e.node, e.b});
     }
@@ -282,6 +296,9 @@ void write_perfetto_trace(std::ostream& os, const TraceLog& log, const PerfettoO
     emit.metadata(n, 0, "thread_name", "protocol events");
     if (opts.derive_slices && any_fault) {
       emit.metadata(n, kFetchTid, "thread_name", "dsm fetch");
+    }
+    if (opts.derive_slices && any_serve) {
+      emit.metadata(n, kServeTid, "thread_name", "serve ops");
     }
   }
   if (opts.derive_slices) {
@@ -358,6 +375,15 @@ void write_perfetto_trace(std::ostream& os, const TraceLog& log, const PerfettoO
         }
         break;
       }
+      case TraceKind::kServeOp: {
+        // Retrospective: the completion event carries the open-loop latency,
+        // so the [scheduled arrival, completion] span is known here.
+        const Time latency = static_cast<Time>(e.b >> 1);
+        const Time begin = latency > e.at ? Time{0} : e.at - latency;
+        emit.slice((e.b & 1) ? "serve_put" : "serve_get", "serve", begin, e.at,
+                   e.node, kServeTid, event_args(e));
+        break;
+      }
       default:
         break;
     }
@@ -385,6 +411,10 @@ struct PerfettoStreamWriter::Impl {
   void ensure_fetch_track(int node) {
     if (!fetch_tracks_seen.insert(node).second) return;
     emit.metadata(node, kFetchTid, "thread_name", "dsm fetch");
+  }
+  void ensure_serve_track(int node) {
+    if (!serve_tracks_seen.insert(node).second) return;
+    emit.metadata(node, kServeTid, "thread_name", "serve ops");
   }
   void ensure_java_thread(int node, std::int64_t uid) {
     if (!monitor_threads_seen.insert({node, uid}).second) return;
@@ -446,6 +476,14 @@ struct PerfettoStreamWriter::Impl {
         }
         break;
       }
+      case TraceKind::kServeOp: {
+        ensure_serve_track(e.node);
+        const Time latency = static_cast<Time>(e.b >> 1);
+        const Time begin = latency > e.at ? Time{0} : e.at - latency;
+        emit.slice((e.b & 1) ? "serve_put" : "serve_get", "serve", begin, e.at,
+                   e.node, kServeTid, event_args(e));
+        break;
+      }
       default:
         break;
     }
@@ -458,6 +496,7 @@ struct PerfettoStreamWriter::Impl {
   std::uint64_t events_written = 0;
   std::set<int> nodes_seen;
   std::set<int> fetch_tracks_seen;
+  std::set<int> serve_tracks_seen;
   std::set<std::pair<int, std::int64_t>> monitor_threads_seen;
   std::map<std::pair<int, int>, std::deque<std::uint64_t>> update_flows;
   std::uint64_t next_flow_id = 1;

@@ -1,0 +1,187 @@
+#include "serve/serve.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "serve/store.hpp"
+#include "sim/engine.hpp"
+
+namespace hyp::serve {
+
+namespace {
+
+using hyperion::JavaEnv;
+using hyperion::JThread;
+
+// Fault windows relevant to latency attribution: any interval during which a
+// node is crashed/stalled or the network is split. An op whose
+// [scheduled arrival, completion] span overlaps one is tallied separately —
+// the SLO table's "where did the tail come from" column.
+struct Window {
+  Time start = 0;
+  Time end = 0;
+};
+
+std::vector<Window> fault_windows(const cluster::ClusterParams& cp) {
+  std::vector<Window> out;
+  for (const auto& w : cp.fault.crashes) out.push_back({w.start, w.end()});
+  for (const auto& w : cp.fault.windows) out.push_back({w.start, w.end()});
+  for (const auto& w : cp.fault.partitions) out.push_back({w.start, w.end()});
+  return out;
+}
+
+template <typename P>
+void run(hyperion::HyperionVM& vm, const cluster::ClusterParams& cp,
+         const ServeParams& p, const std::vector<std::vector<Op>>& streams,
+         Time horizon, ServeResult& out, std::vector<std::int64_t>& finals) {
+  const std::vector<Window> fwins = fault_windows(cp);
+  vm.run_main([&](JavaEnv& main) {
+    const StoreLayout layout = build_store<P>(main, p.keys, p.shards_per_node);
+
+    // Common epoch for every client's arrival schedule, a little past "now"
+    // so thread spawn latency doesn't put early arrivals in the past for the
+    // later clients. (If a client still starts late, its first ops simply run
+    // back-to-back and their open-loop latency includes the backlog.)
+    main.ctx().clock.flush();
+    const Time epoch = main.now() + 50 * kMicrosecond;
+    const Time win_start = epoch + p.warmup;
+    Time win_end = epoch + horizon;
+    win_end = win_end > p.cooldown ? win_end - p.cooldown : Time{0};
+    if (win_end < win_start) win_end = win_start;
+    out.window_start = win_start;
+    out.window_end = win_end;
+
+    std::vector<JThread> clients;
+    clients.reserve(streams.size());
+    for (std::size_t c = 0; c < streams.size(); ++c) {
+      clients.push_back(main.start_thread(
+          "serve-client" + std::to_string(c), [&, c](JavaEnv& env) {
+        Store<P> store(env, layout);
+        Stats& stats = *env.ctx().stats;
+        for (const Op& op : streams[c]) {
+          env.ctx().clock.flush();
+          const Time target = epoch + op.arrival;
+          const Time at = env.now();
+          if (target > at) sim::Engine::current()->sleep_for(target - at);
+          env.charge_cycles(p.op_cycles);
+          if (op.is_update) {
+            store.update(op.key, op.delta);  // returning = the write is acked
+          } else {
+            (void)store.get(op.key);
+          }
+          env.ctx().clock.flush();
+          const Time done = env.now();
+          const Time latency = done > target ? done - target : Time{0};
+          stats.add(Counter::kServeOps);
+          stats.add(op.is_update ? Counter::kServeUpdates : Counter::kServeReads);
+          env.vm().cluster().trace_event(
+              env.node(), cluster::TraceKind::kServeOp,
+              static_cast<std::int64_t>(op.key),
+              static_cast<std::int64_t>((latency << 1) |
+                                        (op.is_update ? 1u : 0u)));
+          if (target < win_start || target > win_end) {
+            stats.add(Counter::kServeExcluded);
+            continue;
+          }
+          stats.record(op.is_update ? Hist::kServeUpdateLatency
+                                    : Hist::kServeReadLatency,
+                       latency);
+          for (const Window& w : fwins) {
+            if (target < w.end && done > w.start) {
+              stats.add(Counter::kServeFaultWinOps);
+              stats.record(Hist::kServeFaultWinLatency, latency);
+              break;
+            }
+          }
+        }
+      }));
+    }
+    for (auto& t : clients) main.join(t);
+
+    // Final store state, read by main under the join happens-before edge.
+    Store<P> store(main, layout);
+    finals.assign(p.keys, 0);
+    for (std::uint64_t k = 0; k < p.keys; ++k) {
+      finals[k] = store.read_in(k);
+    }
+  });
+}
+
+}  // namespace
+
+ServeResult run_serve(const apps::VmConfig& cfg, const ServeParams& p) {
+  WorkloadParams wp;
+  wp.keys = p.keys;
+  wp.theta = p.theta;
+  wp.read_pct = p.read_pct;
+  wp.ops_per_client = p.ops_per_client;
+  wp.rate_ops_per_s = p.rate_ops_per_s;
+  wp.seed = p.seed;
+
+  hyperion::HyperionVM vm(cfg);
+  const int total_clients = p.clients_per_node * vm.nodes();
+  HYP_CHECK(total_clients > 0 && p.ops_per_client > 0);
+
+  std::vector<std::vector<Op>> streams;
+  streams.reserve(static_cast<std::size_t>(total_clients));
+  Time horizon = 0;
+  for (int c = 0; c < total_clients; ++c) {
+    streams.push_back(client_ops(wp, c));
+    const Time last = streams.back().back().arrival;
+    if (last > horizon) horizon = last;
+  }
+
+  ServeResult out;
+  std::vector<std::int64_t> finals;
+  dsm::with_policy(cfg.protocol, cfg.race != nullptr, [&](auto policy) {
+    using P = decltype(policy);
+    run<P>(vm, cfg.cluster, p, streams, horizon, out, finals);
+  });
+  out.run.elapsed = vm.elapsed();
+  out.run.stats = vm.stats();
+  apps::capture_engine_tallies(out.run, vm);
+
+  out.checksum = state_checksum(finals);
+  // The golden-friendly answer: exactly representable in a double.
+  out.run.value = static_cast<double>(out.checksum % 1000000007ULL);
+
+  if (p.verify) {
+    const Reference ref = serial_reference(wp, total_clients);
+    out.expected_checksum = ref.checksum();
+    for (std::uint64_t k = 0; k < p.keys; ++k) {
+      if (finals[k] != ref.final_value[k]) ++out.lost_keys;
+    }
+    out.state_ok = out.lost_keys == 0 && out.checksum == out.expected_checksum;
+  }
+
+  const Stats& st = out.run.stats;
+  out.ops = st.get(Counter::kServeOps);
+  out.reads = st.get(Counter::kServeReads);
+  out.updates = st.get(Counter::kServeUpdates);
+  out.excluded = st.get(Counter::kServeExcluded);
+  out.faultwin_ops = st.get(Counter::kServeFaultWinOps);
+
+  Log2Histogram merged = st.hist(Hist::kServeReadLatency);
+  merged.merge(st.hist(Hist::kServeUpdateLatency));
+  if (!merged.empty()) {
+    out.p50_us = static_cast<double>(merged.value_at_quantile(0.50)) / kMicrosecond;
+    out.p99_us = static_cast<double>(merged.value_at_quantile(0.99)) / kMicrosecond;
+    out.p999_us = static_cast<double>(merged.value_at_quantile(0.999)) / kMicrosecond;
+    out.max_us = static_cast<double>(merged.max()) / kMicrosecond;
+    const Time span = out.window_end - out.window_start;
+    if (span > 0) {
+      out.throughput_ops_s = static_cast<double>(merged.count()) / to_seconds(span);
+    }
+    // SLO summary as named counters so hyp-metrics-v1 carries the gateable
+    // rows (compare_metrics.py fails a p99 rise or a throughput drop).
+    Stats& mut = out.run.stats;
+    mut.add_named("serve_p50_us", static_cast<std::uint64_t>(std::llround(out.p50_us)));
+    mut.add_named("serve_p99_us", static_cast<std::uint64_t>(std::llround(out.p99_us)));
+    mut.add_named("serve_p999_us", static_cast<std::uint64_t>(std::llround(out.p999_us)));
+    mut.add_named("serve_throughput_ops",
+                  static_cast<std::uint64_t>(std::llround(out.throughput_ops_s)));
+  }
+  return out;
+}
+
+}  // namespace hyp::serve

@@ -1,0 +1,81 @@
+// The serving latency harness (docs/SERVING.md).
+//
+// run_serve() executes one serving experiment point: build the sharded store,
+// start clients_per_node open-loop clients on every node, replay their
+// deterministic op streams against the store, and measure per-op latency from
+// the *scheduled* Poisson arrival to completion — queueing delay included, so
+// a crash or partition window shows up as the tail spike it really is instead
+// of being absorbed by a coordinated-omission pause.
+//
+// Everything runs under the ordinary VmConfig knobs: protocol, fault profile
+// (crash / partition / linkdrop windows engage the HA subsystem exactly as in
+// the batch figures), replicas=K, race detection, trace/heat/phase
+// attachments. Same seed => byte-identical run (tests/serve_test.cpp golden).
+#pragma once
+
+#include <cstdint>
+
+#include "apps/app_common.hpp"
+#include "serve/workload.hpp"
+
+namespace hyp::serve {
+
+struct ServeParams {
+  // Workload shape (see WorkloadParams).
+  std::uint64_t keys = 4096;
+  double theta = 0.99;
+  int read_pct = 90;
+  int clients_per_node = 2;
+  std::uint64_t ops_per_client = 200;
+  double rate_ops_per_s = 20000;  // per client
+  std::uint64_t seed = 1;
+
+  // Store shape.
+  int shards_per_node = 4;
+
+  // Modeled per-op application work (request parse + handler), in cycles.
+  std::uint64_t op_cycles = 2000;
+
+  // Measurement window: ops *scheduled* inside the first `warmup` or the last
+  // `cooldown` of the run are executed but excluded from the latency
+  // histograms and throughput (counted under serve_excluded). Both 0 by
+  // default: everything is measured.
+  Time warmup = 0;
+  Time cooldown = 0;
+
+  // Verify the final store state against the host-side serial reference.
+  bool verify = true;
+};
+
+struct ServeResult {
+  apps::RunResult run;  // value = store-state checksum (for the goldens)
+
+  // Correctness vs the serial reference (verify=true).
+  std::uint64_t checksum = 0;
+  std::uint64_t expected_checksum = 0;
+  std::uint64_t lost_keys = 0;  // keys whose final value diverged
+  bool state_ok = false;
+
+  // Op accounting (whole-run totals; `excluded` is the subset outside the
+  // measurement window, which the latency histograms and throughput omit).
+  std::uint64_t ops = 0;
+  std::uint64_t reads = 0;
+  std::uint64_t updates = 0;
+  std::uint64_t excluded = 0;
+  std::uint64_t faultwin_ops = 0;  // measured ops overlapping a fault window
+
+  // Measurement window actually applied (virtual time).
+  Time window_start = 0;
+  Time window_end = 0;
+
+  // SLO summary over measured read+update latencies.
+  double p50_us = 0;
+  double p99_us = 0;
+  double p999_us = 0;
+  double max_us = 0;
+  double throughput_ops_s = 0;  // measured ops / window span
+};
+
+ServeResult run_serve(const apps::VmConfig& cfg, const ServeParams& params);
+
+}  // namespace hyp::serve

@@ -1,0 +1,170 @@
+// The distributed KV/session store (docs/SERVING.md).
+//
+// Layout: `shards` tables, each a GArray<int64> of value slots guarded by its
+// own monitor (the table's header Gva — the same object-as-lock idiom as
+// examples/bank.cpp). Key k lives in shard k % shards at slot k / shards, so
+// the Zipf-hot keys 0, 1, 2, ... land in *different* shards — skewed traffic
+// stresses the coherence protocol, not one global lock.
+//
+// Home placement: shard s belongs to node s % nodes. build_store() starts one
+// setup thread per node as the first N threads of the run — the round-robin
+// balancer therefore pins setup thread w to node w — and each allocates its
+// owned shards locally (allocation home = allocating thread's node, as in
+// Hyperion). Every node is home to an equal slice of the table, and with
+// `replicas=K` each shard's pages are chain-replicated like any other home
+// pages, which is what makes acked writes crash-survivable.
+//
+// Ack semantics: update() returns after monitor_exit, whose release flush
+// ships the modification home (and, with replicas, into the checkpoint
+// stream). That return is the client-visible acknowledgement — the serve
+// smoke asserts no acked write is ever lost across crash and partition
+// profiles.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "hyperion/japi.hpp"
+#include "hyperion/object.hpp"
+#include "hyperion/vm.hpp"
+
+namespace hyp::serve {
+
+using hyperion::GArray;
+using hyperion::JavaEnv;
+using hyperion::Mem;
+
+// Host-side description of a built store, shared by every client thread
+// (plain values: the Gvas were published under the setup threads' join edge,
+// so handing them to threads started afterwards is race-free).
+struct StoreLayout {
+  std::uint64_t keys = 0;
+  int shards = 0;
+  std::int64_t slots = 0;  // per shard (uniform, slightly over-provisioned)
+  std::vector<dsm::Gva> tables;  // shard -> GArray<int64> header Gva
+
+  int shard_of(std::uint64_t key) const {
+    return static_cast<int>(key % static_cast<std::uint64_t>(shards));
+  }
+  std::int64_t slot_of(std::uint64_t key) const {
+    return static_cast<std::int64_t>(key / static_cast<std::uint64_t>(shards));
+  }
+};
+
+// Builds the sharded table under `main`. MUST be called before any other
+// thread is started: it relies on the round-robin balancer placing the i-th
+// started thread on node i so shard homes land where intended.
+template <typename P>
+StoreLayout build_store(JavaEnv& main, std::uint64_t keys, int shards_per_node) {
+  const int nodes = main.vm().nodes();
+  StoreLayout layout;
+  layout.keys = keys;
+  layout.shards = shards_per_node * nodes;
+  HYP_CHECK(layout.shards > 0);
+  layout.slots =
+      static_cast<std::int64_t>((keys + static_cast<std::uint64_t>(layout.shards) - 1) /
+                                static_cast<std::uint64_t>(layout.shards));
+  if (layout.slots == 0) layout.slots = 1;
+
+  // Directory the setup threads publish into: shard -> table header Gva.
+  auto directory = main.new_array<std::uint64_t>(layout.shards);
+
+  std::vector<hyperion::JThread> setup;
+  setup.reserve(static_cast<std::size_t>(nodes));
+  for (int w = 0; w < nodes; ++w) {
+    const int shards = layout.shards;
+    const std::int64_t slots = layout.slots;
+    setup.push_back(main.start_thread("store-setup" + std::to_string(w),
+                                      [=](JavaEnv& env) {
+      Mem<P> mem(env.ctx());
+      for (int s = w; s < shards; s += nodes) {
+        auto table = env.new_array<std::int64_t>(slots);  // zeroed, home here
+        mem.aput(directory, static_cast<std::int64_t>(s),
+                 static_cast<std::uint64_t>(table.header));
+      }
+    }));
+  }
+  for (auto& t : setup) main.join(t);
+
+  Mem<P> mem(main.ctx());
+  layout.tables.reserve(static_cast<std::size_t>(layout.shards));
+  for (int s = 0; s < layout.shards; ++s) {
+    layout.tables.push_back(
+        static_cast<dsm::Gva>(mem.aget(directory, static_cast<std::int64_t>(s))));
+  }
+  return layout;
+}
+
+// Per-thread store handle: binds one client's DSM context to the layout.
+template <typename P>
+class Store {
+ public:
+  Store(JavaEnv& env, const StoreLayout& layout)
+      : env_(&env), mem_(env.ctx()), layout_(&layout) {}
+
+  std::int64_t get(std::uint64_t key) {
+    const int s = layout_->shard_of(key);
+    std::int64_t v = 0;
+    env_->synchronized(lock_of(s), [&] { v = read_in(key); });
+    return v;
+  }
+
+  // Read-modify-write under the shard monitor. Returns the new value; the
+  // return itself is the write acknowledgement (see the header comment).
+  std::int64_t update(std::uint64_t key, std::int64_t delta) {
+    const int s = layout_->shard_of(key);
+    std::int64_t v = 0;
+    env_->synchronized(lock_of(s), [&] {
+      v = read_in(key) + delta;
+      write_in(key, v);
+    });
+    return v;
+  }
+
+  // Multi-shard atomic section: acquires the monitors of `shards` (must be
+  // sorted ascending, duplicates allowed) in order — the classic deadlock-free
+  // total-order lock protocol — and runs fn with the locks held. Use the
+  // *_in accessors inside. examples/bank.cpp builds transfers on this.
+  template <typename Fn>
+  void with_shards(const std::vector<int>& shards, Fn&& fn) {
+    int prev = -1;
+    for (int s : shards) {
+      HYP_CHECK_MSG(s >= prev, "with_shards requires ascending shard ids");
+      if (s == prev) continue;
+      env_->monitor_enter(lock_of(s));
+      prev = s;
+    }
+    fn();
+    prev = -1;
+    for (int s : shards) {
+      if (s == prev) continue;
+      env_->monitor_exit(lock_of(s));
+      prev = s;
+    }
+  }
+
+  // Unlocked accessors: caller must hold the key's shard monitor (via
+  // with_shards) or otherwise own the happens-before edge (e.g. main after
+  // joining every client).
+  std::int64_t read_in(std::uint64_t key) {
+    return mem_.aget(table_of(key), layout_->slot_of(key));
+  }
+  void write_in(std::uint64_t key, std::int64_t v) {
+    mem_.aput(table_of(key), layout_->slot_of(key), v);
+  }
+
+  int shard_of(std::uint64_t key) const { return layout_->shard_of(key); }
+  dsm::Gva lock_of(int shard) const { return layout_->tables[static_cast<std::size_t>(shard)]; }
+
+ private:
+  GArray<std::int64_t> table_of(std::uint64_t key) const {
+    return GArray<std::int64_t>{layout_->tables[static_cast<std::size_t>(layout_->shard_of(key))]};
+  }
+
+  JavaEnv* env_;
+  Mem<P> mem_;
+  const StoreLayout* layout_;
+};
+
+}  // namespace hyp::serve

@@ -1,0 +1,145 @@
+#include "serve/workload.hpp"
+
+#include <cmath>  // frexp/ldexp only: exact exponent manipulation, no libm rounding
+
+#include "common/assert.hpp"
+
+namespace hyp::serve {
+
+namespace {
+
+// ln 2 to full double precision (hex literal: exact bits everywhere).
+constexpr double kLn2 = 0x1.62e42fefa39efp-1;
+
+// Mixes the run seed with a client id into an independent stream seed.
+std::uint64_t mix_seed(std::uint64_t seed, std::uint64_t stream) {
+  SplitMix64 sm(seed ^ (stream * 0x9e3779b97f4a7c15ULL + 0x7f4a7c15ULL));
+  return sm.next();
+}
+
+}  // namespace
+
+double det_ln(double x) {
+  HYP_CHECK_MSG(x > 0.0, "det_ln domain");
+  int k = 0;
+  double m = std::frexp(x, &k);  // x = m * 2^k, m in [0.5, 1)
+  // atanh series around 1: ln m = 2 * sum z^(2i+1)/(2i+1), z = (m-1)/(m+1).
+  // |z| <= 1/3 on [0.5, 1), so 27 odd terms reach below double epsilon.
+  const double z = (m - 1.0) / (m + 1.0);
+  const double z2 = z * z;
+  double term = z;
+  double sum = 0.0;
+  for (int i = 0; i < 27; ++i) {
+    sum += term / static_cast<double>(2 * i + 1);
+    term *= z2;
+  }
+  return static_cast<double>(k) * kLn2 + 2.0 * sum;
+}
+
+double det_exp(double x) {
+  // Range-reduce by ln 2: x = k*ln2 + r with |r| <= ln2/2, exp(x) =
+  // 2^k * exp(r); exp(r) by Taylor (|r| < 0.35, 18 terms are exact to ulp).
+  HYP_CHECK_MSG(x > -700.0 && x < 700.0, "det_exp range");
+  const double kd = x / kLn2;
+  // Nearest integer, away-from-zero ties (exact: double -> int -> double).
+  const int k = static_cast<int>(kd >= 0.0 ? kd + 0.5 : kd - 0.5);
+  const double r = x - static_cast<double>(k) * kLn2;
+  double term = 1.0;
+  double sum = 1.0;
+  for (int i = 1; i <= 18; ++i) {
+    term *= r / static_cast<double>(i);
+    sum += term;
+  }
+  return std::ldexp(sum, k);
+}
+
+double det_pow(double base, double exponent) {
+  if (exponent == 0.0) return 1.0;
+  if (base == 0.0) return 0.0;
+  HYP_CHECK_MSG(base > 0.0, "det_pow domain");
+  return det_exp(exponent * det_ln(base));
+}
+
+ZipfGenerator::ZipfGenerator(std::uint64_t n, double theta) : n_(n), theta_(theta) {
+  HYP_CHECK(n > 0);
+  HYP_CHECK_MSG(theta >= 0.0 && theta < 1.0, "zipf theta must be in [0, 1)");
+  if (theta == 0.0) return;  // uniform fast path needs no constants
+  double zeta2 = 0;
+  for (std::uint64_t i = 1; i <= n; ++i) {
+    zetan_ += 1.0 / det_pow(static_cast<double>(i), theta);
+    if (i == 2) zeta2 = zetan_;
+  }
+  if (n == 1) zeta2 = zetan_;
+  alpha_ = 1.0 / (1.0 - theta);
+  eta_ = (1.0 - det_pow(2.0 / static_cast<double>(n), 1.0 - theta)) /
+         (1.0 - zeta2 / zetan_);
+  half_pow_ = det_pow(0.5, theta);
+}
+
+std::uint64_t ZipfGenerator::next(Rng& rng) const {
+  if (theta_ == 0.0) return rng.below(n_);
+  const double u = rng.uniform();
+  const double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + half_pow_) return 1;
+  const double span = static_cast<double>(n_);
+  auto k = static_cast<std::uint64_t>(span * det_pow(eta_ * u - eta_ + 1.0, alpha_));
+  return k >= n_ ? n_ - 1 : k;
+}
+
+std::vector<Op> client_ops(const WorkloadParams& p, int client_id) {
+  HYP_CHECK(p.rate_ops_per_s > 0.0);
+  HYP_CHECK(p.read_pct >= 0 && p.read_pct <= 100);
+  Rng rng(mix_seed(p.seed, static_cast<std::uint64_t>(client_id) + 1));
+  const ZipfGenerator zipf(p.keys, p.theta);
+  const double mean_gap_ps = 1e12 / p.rate_ops_per_s;
+
+  std::vector<Op> ops;
+  ops.reserve(p.ops_per_client);
+  double at_ps = 0;
+  for (std::uint64_t i = 0; i < p.ops_per_client; ++i) {
+    // Exponential inter-arrival: -ln(u) * mean, u in (0, 1]. Setting the low
+    // mantissa bit keeps u strictly positive without biasing the draw.
+    const double u =
+        static_cast<double>((rng.next() >> 11) | 1) * 0x1.0p-53;
+    at_ps += -det_ln(u) * mean_gap_ps;
+    Op op;
+    op.arrival = static_cast<Time>(at_ps);
+    op.key = zipf.next(rng);
+    op.is_update = rng.below(100) >= static_cast<std::uint64_t>(p.read_pct);
+    op.delta = op.is_update ? static_cast<std::int64_t>(1 + (rng.next() & 0xff)) : 0;
+    ops.push_back(op);
+  }
+  return ops;
+}
+
+std::uint64_t state_checksum(const std::vector<std::int64_t>& values) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::size_t k = 0; k < values.size(); ++k) {
+    if (values[k] == 0) continue;
+    h = (h ^ k) * 0x100000001b3ULL;
+    h = (h ^ static_cast<std::uint64_t>(values[k])) * 0x100000001b3ULL;
+  }
+  return h;
+}
+
+Reference serial_reference(const WorkloadParams& p, int clients) {
+  Reference ref;
+  ref.final_value.assign(p.keys, 0);
+  for (int c = 0; c < clients; ++c) {
+    for (const Op& op : client_ops(p, c)) {
+      if (op.is_update) {
+        ref.final_value[op.key] += op.delta;
+        ++ref.updates;
+      } else {
+        ++ref.reads;
+      }
+      if (op.arrival > ref.last_arrival) ref.last_arrival = op.arrival;
+    }
+  }
+  return ref;
+}
+
+std::uint64_t Reference::checksum() const { return state_checksum(final_value); }
+
+}  // namespace hyp::serve

@@ -1,0 +1,95 @@
+// Open-loop workload generation for the serving benchmark (docs/SERVING.md).
+//
+// A serving run is defined entirely by (seed, keys, theta, read_pct, rate,
+// ops): every client derives its private op stream — Poisson arrival offsets,
+// Zipf-skewed keys, read/update mix, update deltas — from Rng(mix(seed,
+// client_id)) before any virtual time passes. The same streams are replayable
+// host-side, which gives the harness an exact serial reference for the final
+// store state (updates are commutative increments, so the expected per-key
+// sums are schedule-independent).
+//
+// Portability: the YCSB Zipf formula and exponential inter-arrivals need
+// pow/ln/exp, but libm is not correctly rounded and differs across libc
+// versions — enough to flip a sampled key and break the byte-identical
+// same-seed contract between hosts. det_ln/det_exp/det_pow below are built
+// from IEEE +,-,*,/ (plus exact frexp/ldexp), so every platform computes the
+// same bits (tests/serve_test.cpp pins the streams).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+
+namespace hyp::serve {
+
+// Deterministic natural log / exp / pow over positive doubles. Accuracy is a
+// few ulps — plenty for sampling — and the result bits depend only on IEEE
+// arithmetic, not on the host libm.
+double det_ln(double x);
+double det_exp(double x);
+double det_pow(double base, double exponent);
+
+// YCSB-style Zipf(theta) sampler over [0, n): key 0 is the hottest.
+// theta = 0 is special-cased to an exact uniform draw (rng.below(n)), so
+// "theta=0 degenerates to uniform" holds bit-for-bit, not just statistically.
+class ZipfGenerator {
+ public:
+  ZipfGenerator(std::uint64_t n, double theta);
+
+  std::uint64_t next(Rng& rng) const;
+
+  std::uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  std::uint64_t n_;
+  double theta_;
+  double zetan_ = 0;      // sum_{i=1..n} 1/i^theta
+  double alpha_ = 0;      // 1 / (1 - theta)
+  double eta_ = 0;
+  double half_pow_ = 0;   // 0.5^theta
+};
+
+// One generated client operation. `arrival` is the open-loop scheduled time
+// as an offset from the common epoch; the harness measures latency from it,
+// so queueing delay (a client behind schedule) is part of the tail — the
+// open-loop convention that avoids coordinated omission.
+struct Op {
+  Time arrival = 0;
+  std::uint64_t key = 0;
+  bool is_update = false;
+  std::int64_t delta = 0;  // commutative increment applied by updates
+};
+
+struct WorkloadParams {
+  std::uint64_t keys = 4096;
+  double theta = 0.99;             // Zipf skew; 0 = uniform
+  int read_pct = 90;               // reads per 100 ops
+  std::uint64_t ops_per_client = 200;
+  double rate_ops_per_s = 20000;   // per-client Poisson arrival rate
+  std::uint64_t seed = 1;
+};
+
+// The full deterministic op stream of one client, arrivals ascending.
+std::vector<Op> client_ops(const WorkloadParams& p, int client_id);
+
+// Host-side serial replay of all `clients` streams: the expected final store
+// state (per-key sums of update deltas) plus op-mix totals and the checksum
+// the harness compares against.
+struct Reference {
+  std::vector<std::int64_t> final_value;  // size = keys
+  std::uint64_t reads = 0;
+  std::uint64_t updates = 0;
+  Time last_arrival = 0;  // max scheduled arrival across every stream
+  std::uint64_t checksum() const;
+};
+
+Reference serial_reference(const WorkloadParams& p, int clients);
+
+// FNV-1a over (key, value) pairs with nonzero values — the store-state
+// checksum both the harness and the reference compute.
+std::uint64_t state_checksum(const std::vector<std::int64_t>& values);
+
+}  // namespace hyp::serve

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+
+#include "common/histogram.hpp"
+
 namespace hyp {
 namespace {
 
@@ -68,6 +72,84 @@ TEST(Stats, ToStringListsNonzero) {
   Stats s;
   s.add(Counter::kMonitorExits, 9);
   EXPECT_NE(s.to_string().find("monitor_exits=9"), std::string::npos);
+}
+
+TEST(Log2HistogramQuantile, EmptyReportsZero) {
+  Log2Histogram h;
+  EXPECT_EQ(h.value_at_quantile(0.5), 0u);
+}
+
+TEST(Log2HistogramQuantile, EdgeQuantilesClampToObservedMinMax) {
+  Log2Histogram h;
+  h.record(100);
+  h.record(7);
+  h.record(3000);
+  EXPECT_EQ(h.value_at_quantile(0.0), 7u);
+  EXPECT_EQ(h.value_at_quantile(-1.0), 7u);
+  EXPECT_EQ(h.value_at_quantile(1.0), 3000u);
+  EXPECT_EQ(h.value_at_quantile(2.0), 3000u);
+}
+
+TEST(Log2HistogramQuantile, SingleValueAnswersEveryQuantile) {
+  Log2Histogram h;
+  for (int i = 0; i < 100; ++i) h.record(42);
+  for (double q : {0.01, 0.5, 0.99, 0.999}) {
+    EXPECT_EQ(h.value_at_quantile(q), 42u) << "q=" << q;
+  }
+}
+
+TEST(Log2HistogramQuantile, RankSelectionAcrossBuckets) {
+  // 90 fast samples and 10 slow ones: the median must come from the fast
+  // bucket, p99 from the slow one — the fat-tail shape the serving SLOs read.
+  Log2Histogram h;
+  for (int i = 0; i < 90; ++i) h.record(1);
+  for (int i = 0; i < 10; ++i) h.record(1000000);
+  EXPECT_EQ(h.value_at_quantile(0.50), 1u);
+  EXPECT_EQ(h.value_at_quantile(0.90), 1u);  // rank 90 is the last fast sample
+  const std::uint64_t p99 = h.value_at_quantile(0.99);
+  EXPECT_GE(p99, Log2Histogram::bucket_lower(Log2Histogram::bucket_of(1000000)));
+  EXPECT_LE(p99, 1000000u);
+}
+
+TEST(Log2HistogramQuantile, MonotoneInQ) {
+  Log2Histogram h;
+  std::uint64_t x = 88172645463325252ull;
+  for (int i = 0; i < 1000; ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    h.record(x % 100000);
+  }
+  std::uint64_t prev = 0;
+  for (double q = 0.0; q <= 1.0; q += 0.01) {
+    const std::uint64_t v = h.value_at_quantile(q);
+    EXPECT_GE(v, prev) << "quantile not monotone at q=" << q;
+    prev = v;
+  }
+}
+
+// The PR 5 inclusive-upper-boundary contract: bucket 64's upper bound is
+// UINT64_MAX itself, so record(UINT64_MAX) interpolates *inside* its bucket.
+// The interpolation also must not wrap: double(2^64 - 1 - 2^63) rounds up to
+// 2^63, and an unclamped lo + offset would overflow to ~0 and get squashed to
+// min() — reporting the smallest sample for a top-bucket quantile.
+TEST(Log2HistogramQuantile, InclusiveUpperBoundaryOfBucket64) {
+  EXPECT_EQ(Log2Histogram::bucket_of(~std::uint64_t{0}), 64);
+  EXPECT_EQ(Log2Histogram::bucket_upper(64), ~std::uint64_t{0});
+
+  Log2Histogram h;
+  h.record(~std::uint64_t{0});
+  for (double q : {0.001, 0.5, 0.999, 1.0}) {
+    EXPECT_EQ(h.value_at_quantile(q), ~std::uint64_t{0}) << "q=" << q;
+  }
+
+  Log2Histogram mixed;
+  mixed.record(1);
+  mixed.record(~std::uint64_t{0});
+  EXPECT_EQ(mixed.value_at_quantile(0.5), 1u);
+  // Rank 2 lands in bucket 64 at frac=1.0 — the overflow-prone corner.
+  EXPECT_EQ(mixed.value_at_quantile(0.75), ~std::uint64_t{0});
+  EXPECT_EQ(mixed.value_at_quantile(1.0), ~std::uint64_t{0});
 }
 
 }  // namespace

@@ -1,0 +1,351 @@
+// Serving subsystem tests (docs/SERVING.md): the deterministic workload
+// generator, the store harness against its serial reference, the measurement
+// window, and the serve determinism golden — which pins a fault-free, a
+// mid-run-crash and a partition cell under both protocols to recorded bits
+// (byte-identical same-seed contract, including latency quantiles).
+//
+// Re-recording (only after an intentional semantic change — say why in the
+// commit message):
+//   HYP_UPDATE_GOLDENS=1 ./serve_tests
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cluster/params.hpp"
+#include "serve/serve.hpp"
+
+namespace hyp::serve {
+namespace {
+
+#ifndef HYP_SERVE_GOLDEN_FILE
+#error "HYP_SERVE_GOLDEN_FILE must point at the recorded goldens"
+#endif
+
+// ---------------------------------------------------------------- workload
+
+TEST(ServeWorkload, DetMathTracksLibm) {
+  for (double x : {1e-6, 0.1, 0.5, 0.9999, 1.0, 1.5, 2.0, 10.0, 12345.678}) {
+    const double want = std::log(x);
+    EXPECT_NEAR(det_ln(x), want, std::abs(want) * 1e-12 + 1e-12) << "ln " << x;
+  }
+  for (double x : {-20.0, -1.0, -0.1, 0.0, 0.1, 1.0, 5.0, 20.0}) {
+    const double want = std::exp(x);
+    EXPECT_NEAR(det_exp(x), want, want * 1e-12) << "exp " << x;
+  }
+  EXPECT_DOUBLE_EQ(det_pow(2.0, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(det_pow(0.0, 3.0), 0.0);
+  for (double b : {0.5, 2.0, 3.0, 4096.0}) {
+    for (double e : {-0.99, 0.01, 0.5, 1.0, 2.5}) {
+      const double want = std::pow(b, e);
+      EXPECT_NEAR(det_pow(b, e), want, want * 1e-12) << b << "^" << e;
+    }
+  }
+}
+
+TEST(ServeWorkload, ClientStreamsAreSeedDeterministic) {
+  WorkloadParams p;
+  p.keys = 256;
+  p.theta = 0.9;
+  p.read_pct = 80;
+  p.ops_per_client = 500;
+  p.rate_ops_per_s = 10000;
+  p.seed = 42;
+
+  const auto a = client_ops(p, 3);
+  const auto b = client_ops(p, 3);
+  ASSERT_EQ(a.size(), p.ops_per_client);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].arrival, b[i].arrival);
+    EXPECT_EQ(a[i].key, b[i].key);
+    EXPECT_EQ(a[i].is_update, b[i].is_update);
+    EXPECT_EQ(a[i].delta, b[i].delta);
+  }
+
+  // Arrivals are an ascending Poisson schedule over in-range keys; updates
+  // carry a positive delta, reads none.
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (i > 0) {
+      EXPECT_GE(a[i].arrival, a[i - 1].arrival);
+    }
+    EXPECT_LT(a[i].key, p.keys);
+    if (a[i].is_update) {
+      EXPECT_GT(a[i].delta, 0);
+    } else {
+      EXPECT_EQ(a[i].delta, 0);
+    }
+  }
+
+  // Different clients draw from independent streams.
+  const auto c = client_ops(p, 4);
+  bool differs = false;
+  for (std::size_t i = 0; i < a.size() && !differs; ++i) {
+    differs = a[i].key != c[i].key || a[i].arrival != c[i].arrival;
+  }
+  EXPECT_TRUE(differs) << "client 3 and client 4 generated identical streams";
+
+  // A different seed reshuffles a given client's stream.
+  WorkloadParams p2 = p;
+  p2.seed = 43;
+  const auto d = client_ops(p2, 3);
+  differs = false;
+  for (std::size_t i = 0; i < a.size() && !differs; ++i) {
+    differs = a[i].key != d[i].key || a[i].arrival != d[i].arrival;
+  }
+  EXPECT_TRUE(differs) << "seed change did not move client 3's stream";
+}
+
+TEST(ServeWorkload, ThetaZeroDegeneratesToExactUniform) {
+  // Not just statistically uniform: ZipfGenerator(n, 0) must consume the rng
+  // exactly like rng.below(n), bit for bit, draw for draw.
+  const std::uint64_t n = 1024;
+  const ZipfGenerator zipf(n, 0.0);
+  Rng a(99);
+  Rng b(99);
+  for (int i = 0; i < 20000; ++i) {
+    ASSERT_EQ(zipf.next(a), b.below(n)) << "draw " << i;
+  }
+}
+
+TEST(ServeWorkload, ZipfSkewConcentratesOnHotKeys) {
+  const std::uint64_t n = 1024;
+  const int draws = 20000;
+  const ZipfGenerator zipf(n, 0.99);
+  Rng rng(7);
+  std::vector<int> hits(n, 0);
+  for (int i = 0; i < draws; ++i) {
+    const std::uint64_t k = zipf.next(rng);
+    ASSERT_LT(k, n);
+    ++hits[k];
+  }
+  // Key 0 is the hottest: with theta=0.99 it draws >10% of the traffic, far
+  // above the uniform share of draws/n (~20 here).
+  EXPECT_GT(hits[0], 5 * draws / static_cast<int>(n));
+  EXPECT_GT(hits[0], hits[n - 1]);
+}
+
+TEST(ServeWorkload, SerialReferenceAccountsEveryOp) {
+  WorkloadParams p;
+  p.keys = 128;
+  p.theta = 0.99;
+  p.read_pct = 70;
+  p.ops_per_client = 300;
+  p.seed = 5;
+  const int clients = 4;
+
+  const Reference ref = serial_reference(p, clients);
+  EXPECT_EQ(ref.reads + ref.updates,
+            static_cast<std::uint64_t>(clients) * p.ops_per_client);
+
+  // The reference's final per-key sums are exactly the replayed deltas.
+  std::int64_t want_total = 0;
+  std::uint64_t want_updates = 0;
+  Time want_last = 0;
+  for (int c = 0; c < clients; ++c) {
+    for (const Op& op : client_ops(p, c)) {
+      if (op.is_update) {
+        want_total += op.delta;
+        ++want_updates;
+      }
+      if (op.arrival > want_last) want_last = op.arrival;
+    }
+  }
+  std::int64_t got_total = 0;
+  for (std::int64_t v : ref.final_value) got_total += v;
+  EXPECT_EQ(got_total, want_total);
+  EXPECT_EQ(ref.updates, want_updates);
+  EXPECT_EQ(ref.last_arrival, want_last);
+
+  EXPECT_EQ(ref.checksum(), serial_reference(p, clients).checksum());
+  EXPECT_EQ(ref.checksum(), state_checksum(ref.final_value));
+}
+
+// ----------------------------------------------------------------- harness
+
+// Small but loaded serving point: 512 keys over 2 nodes, 150 ops per client
+// at 4000 ops/s gives a ~37 ms horizon — long enough for the golden's crash
+// (10ms+8ms) and partition (10ms+6ms) windows to land mid-run.
+ServeParams small_params() {
+  ServeParams p;
+  p.keys = 512;
+  p.theta = 0.99;
+  p.read_pct = 80;
+  p.clients_per_node = 1;
+  p.ops_per_client = 150;
+  p.rate_ops_per_s = 4000;
+  p.shards_per_node = 2;
+  p.op_cycles = 2000;
+  p.seed = 7;
+  return p;
+}
+
+void expect_clean(const ServeResult& r, std::uint64_t total_ops) {
+  EXPECT_TRUE(r.state_ok) << r.lost_keys << " keys diverged from the serial "
+                          << "reference (lost acked writes)";
+  EXPECT_EQ(r.checksum, r.expected_checksum);
+  EXPECT_EQ(r.ops, total_ops);
+  EXPECT_EQ(r.reads + r.updates, r.ops);
+  EXPECT_GT(r.throughput_ops_s, 0.0);
+  EXPECT_LE(r.p50_us, r.p99_us);
+  EXPECT_LE(r.p99_us, r.p999_us);
+  EXPECT_LE(r.p999_us, r.max_us);
+}
+
+TEST(ServeHarness, FaultFreeMatchesSerialReferenceBothProtocols) {
+  for (auto kind : {dsm::ProtocolKind::kJavaIc, dsm::ProtocolKind::kJavaPf}) {
+    const auto cfg = apps::make_config("myri200", kind, 2);
+    const ServeParams p = small_params();
+    const ServeResult r = run_serve(cfg, p);
+    expect_clean(r, 2 * p.ops_per_client);
+    EXPECT_EQ(r.excluded, 0u) << "no window configured, nothing may be excluded";
+  }
+}
+
+TEST(ServeHarness, MeasurementWindowTrimsWarmupAndCooldown) {
+  const auto cfg = apps::make_config("myri200", dsm::ProtocolKind::kJavaIc, 2);
+  ServeParams p = small_params();
+  const ServeResult base = run_serve(cfg, p);
+  EXPECT_EQ(base.excluded, 0u);  // the window option is off by default
+
+  p.warmup = 8 * kMillisecond;
+  p.cooldown = 8 * kMillisecond;
+  const ServeResult win = run_serve(cfg, p);
+
+  // Trimming changes only what is *measured*: every op still executes, the
+  // final state still matches the serial reference.
+  EXPECT_TRUE(win.state_ok);
+  EXPECT_EQ(win.ops, base.ops);
+  EXPECT_GT(win.excluded, 0u);
+  EXPECT_LT(win.excluded, win.ops);
+  EXPECT_EQ(win.window_start, base.window_start + p.warmup);
+  EXPECT_EQ(win.window_end, base.window_end - p.cooldown);
+
+  // The latency histograms hold exactly the measured ops.
+  const Stats& st = win.run.stats;
+  EXPECT_EQ(st.hist(Hist::kServeReadLatency).count() +
+                st.hist(Hist::kServeUpdateLatency).count(),
+            win.ops - win.excluded);
+  EXPECT_EQ(win.run.stats.get(Counter::kServeExcluded), win.excluded);
+}
+
+// ------------------------------------------------------------------ golden
+
+struct ServePoint {
+  const char* profile;  // none | crash | partition
+  dsm::ProtocolKind protocol;
+};
+
+std::vector<ServePoint> golden_points() {
+  std::vector<ServePoint> pts;
+  for (const char* profile : {"none", "crash", "partition"}) {
+    for (auto kind : {dsm::ProtocolKind::kJavaIc, dsm::ProtocolKind::kJavaPf}) {
+      pts.push_back({profile, kind});
+    }
+  }
+  return pts;
+}
+
+ServeResult run_point(const ServePoint& pt) {
+  apps::VmConfig cfg = apps::make_config("myri200", pt.protocol, 4);
+  if (std::strcmp(pt.profile, "crash") == 0) {
+    cfg.cluster.fault =
+        cluster::FaultProfile::parse("replicas=2,crash1@10ms+8ms,seed=7");
+  } else if (std::strcmp(pt.profile, "partition") == 0) {
+    cfg.cluster.fault =
+        cluster::FaultProfile::parse("partition@10ms+6ms:1|0.2.3,seed=7");
+  }
+  return run_serve(cfg, small_params());
+}
+
+// One golden line:
+//   <profile> <protocol> value_bits=<u64> elapsed=<u64> events=<u64>
+//   switches=<u64> <counter>=<u64>...
+// value is the store-state checksum, and the stat counters include the
+// serve_p50_us/p99/p999/throughput summary rows — the golden therefore pins
+// the latency quantiles, not just the final state.
+std::string golden_line(const ServePoint& pt, const ServeResult& r) {
+  std::uint64_t value_bits = 0;
+  static_assert(sizeof(value_bits) == sizeof(r.run.value));
+  std::memcpy(&value_bits, &r.run.value, sizeof(value_bits));
+  std::ostringstream os;
+  os << pt.profile << ' ' << dsm::protocol_name(pt.protocol)
+     << " value_bits=" << value_bits << " elapsed=" << r.run.elapsed
+     << " events=" << r.run.events_processed
+     << " switches=" << r.run.context_switches;
+  for (const auto& [name, v] : r.run.stats.nonzero()) os << ' ' << name << '=' << v;
+  return os.str();
+}
+
+std::string point_key(const ServePoint& pt) {
+  return std::string(pt.profile) + ' ' + dsm::protocol_name(pt.protocol);
+}
+
+TEST(ServeGolden, AllCellsBitIdentical) {
+  std::vector<std::string> lines;
+  std::map<std::string, std::string> actual;
+  for (const auto& pt : golden_points()) {
+    const ServeResult r = run_point(pt);
+    // Every golden cell — including the crash and partition ones — must hold
+    // the zero-lost-acked-writes contract before its bits are worth pinning.
+    EXPECT_TRUE(r.state_ok) << point_key(pt) << ": " << r.lost_keys
+                            << " keys diverged";
+    const std::string line = golden_line(pt, r);
+    lines.push_back(line);
+    actual[point_key(pt)] = line;
+  }
+
+  if (std::getenv("HYP_UPDATE_GOLDENS") != nullptr) {
+    std::ofstream out(HYP_SERVE_GOLDEN_FILE);
+    ASSERT_TRUE(out.good()) << "cannot write " << HYP_SERVE_GOLDEN_FILE;
+    out << "# Serve determinism goldens: 512-key store on myri200 x 4 nodes,\n"
+           "# 4 clients x 150 ops @ 4000 ops/s, theta=0.99, read%=80, seed=7;\n"
+           "# cells = {fault-free, crash1@10ms+8ms K=2, partition@10ms+6ms\n"
+           "# 1|0.2.3} x both protocols. Regenerate with\n"
+           "# HYP_UPDATE_GOLDENS=1 ./serve_tests -- and justify the semantic\n"
+           "# change in the commit message.\n";
+    for (const auto& line : lines) out << line << '\n';
+    GTEST_SKIP() << "goldens re-recorded at " << HYP_SERVE_GOLDEN_FILE;
+  }
+
+  std::ifstream in(HYP_SERVE_GOLDEN_FILE);
+  ASSERT_TRUE(in.good()) << "missing goldens; record with HYP_UPDATE_GOLDENS=1";
+  std::map<std::string, std::string> expected;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    // Key = first two tokens (profile, protocol).
+    std::istringstream is(line);
+    std::string a, b;
+    is >> a >> b;
+    expected[a + ' ' + b] = line;
+  }
+  ASSERT_EQ(expected.size(), actual.size()) << "golden file is stale";
+  for (const auto& [key, want] : expected) {
+    auto it = actual.find(key);
+    ASSERT_NE(it, actual.end()) << "no run for golden point " << key;
+    EXPECT_EQ(it->second, want)
+        << "serving run drifted at " << key << "\n  expected: " << want
+        << "\n  actual:   " << it->second;
+  }
+}
+
+TEST(ServeGolden, BackToBackRunsIdentical) {
+  // Same seed, same bits within one binary run — catches host-address-
+  // dependent ordering leaking into the serving path. The crash cell is the
+  // most schedule-sensitive one.
+  const ServePoint pt{"crash", dsm::ProtocolKind::kJavaPf};
+  const ServeResult a = run_point(pt);
+  const ServeResult b = run_point(pt);
+  EXPECT_EQ(golden_line(pt, a), golden_line(pt, b));
+}
+
+}  // namespace
+}  // namespace hyp::serve
