@@ -318,7 +318,8 @@ std::vector<SweepPoint> run_figure(const FigureSpec& spec, const SweepOptions& o
   std::vector<SweepPoint> points;
   auto sweep_cluster = [&](const std::string& cluster, const std::vector<int>& node_counts) {
     for (int nodes : node_counts) {
-      for (auto kind : {dsm::ProtocolKind::kJavaIc, dsm::ProtocolKind::kJavaPf}) {
+      for (auto kind : {dsm::ProtocolKind::kJavaIc, dsm::ProtocolKind::kJavaPf,
+                        dsm::ProtocolKind::kHybrid}) {
         SweepPoint pt;
         pt.cluster = cluster;
         pt.protocol = dsm::protocol_name(kind);
@@ -381,7 +382,8 @@ std::vector<SweepPoint> run_figure(const FigureSpec& spec, const SweepOptions& o
     std::printf("%s (%s):\n", cluster.c_str(),
                 cluster == "myri200" ? "200 MHz Pentium Pro, Myrinet/BIP"
                                      : "450 MHz Pentium II, SCI/SISCI");
-    Table table({"nodes", "java_ic (s)", "java_pf (s)", "pf improvement"});
+    Table table({"nodes", "java_ic (s)", "java_pf (s)", "hybrid (s)", "pf improvement",
+                 "hybrid vs best"});
     double improvement_sum = 0;
     int improvement_count = 0;
     for (const auto& [nodes, series] : by_nodes) {
@@ -390,8 +392,17 @@ std::vector<SweepPoint> run_figure(const FigureSpec& spec, const SweepOptions& o
       const double improvement = ic > 0 ? 1.0 - pf / ic : 0.0;
       improvement_sum += improvement;
       ++improvement_count;
+      const auto hy_it = series.find("hybrid");
+      std::string hy_col = "-";
+      std::string hy_gain = "-";
+      if (hy_it != series.end()) {
+        const double best = ic < pf ? ic : pf;
+        hy_col = fmt_double(hy_it->second, 3);
+        hy_gain = fmt_percent(best > 0 ? 1.0 - hy_it->second / best : 0.0);
+      }
       table.add_row({fmt_u64(static_cast<std::uint64_t>(nodes)), fmt_double(ic, 3),
-                     fmt_double(pf, 3), fmt_percent(improvement)});
+                     fmt_double(pf, 3), std::move(hy_col), fmt_percent(improvement),
+                     std::move(hy_gain)});
     }
     table.write_pretty(std::cout);
     std::printf("average java_pf improvement on %s: %s\n\n", cluster.c_str(),
@@ -415,14 +426,15 @@ std::vector<SweepPoint> run_figure(const FigureSpec& spec, const SweepOptions& o
        << "set xlabel 'Number of nodes'\nset ylabel 'Execution time'\n"
        << "set key top right\nset grid\n"
        << "plot \\\n";
-    const char* styles[4] = {"lc 1 pt 5", "lc 1 pt 4", "lc 2 pt 7", "lc 2 pt 6"};
+    const char* styles[6] = {"lc 1 pt 5", "lc 1 pt 4", "lc 1 pt 3",
+                             "lc 2 pt 7", "lc 2 pt 6", "lc 2 pt 2"};
     int i = 0;
     for (const char* cl : {"myri200", "sci450"}) {
-      for (const char* proto : {"java_ic", "java_pf"}) {
+      for (const char* proto : {"java_ic", "java_pf", "hybrid"}) {
         gp << "  '" << spec.id << ".dat' using 3:(strcol(1) eq '" << cl
            << "' && strcol(2) eq '" << proto << "' ? $4 : 1/0) with linespoints "
            << styles[i] << " title '" << cl << ", " << proto << "'"
-           << (i == 3 ? "\n" : ", \\\n");
+           << (i == 5 ? "\n" : ", \\\n");
         ++i;
       }
     }

@@ -22,20 +22,19 @@ int main(int argc, char** argv) {
   cli.flag_string("program", "", "litmus program to run (see list above)")
       .flag_bool("all", false, "run every program and check detector verdicts")
       .flag_string("cluster", "myri200", "cluster preset (myri200 | sci450)")
-      .flag_string("protocol", "java_pf", "DSM protocol (java_ic | java_pf)")
+      .flag_string("protocol", "java_pf", "DSM protocol (java_ic | java_pf | hybrid)")
       .flag_int("nodes", 4, "cluster size")
       .flag_int("workers", 4, "worker threads")
       .flag_int("reps", 64, "per-worker operations");
   if (!cli.parse(argc, argv)) return 0;
 
   const std::string proto_name = cli.get_string("protocol");
-  if (proto_name != "java_ic" && proto_name != "java_pf") {
-    std::fprintf(stderr, "litmus: unknown --protocol '%s' (java_ic | java_pf)\n",
+  if (proto_name != "java_ic" && proto_name != "java_pf" && proto_name != "hybrid") {
+    std::fprintf(stderr, "litmus: unknown --protocol '%s' (java_ic | java_pf | hybrid)\n",
                  proto_name.c_str());
     return 2;
   }
-  const auto protocol =
-      proto_name == "java_ic" ? dsm::ProtocolKind::kJavaIc : dsm::ProtocolKind::kJavaPf;
+  const auto protocol = dsm::protocol_by_name(proto_name);
 
   apps::LitmusParams params;
   params.workers = cli.get_int("workers");

@@ -108,7 +108,10 @@ int main(int argc, char** argv) {
       .flag_int("op-cycles", 2000, "modeled handler work per op, cycles")
       .flag_string("profiles", "none,crash,partition",
                    "fault cells to run (comma-separated subset of "
-                   "none,crash,partition)")
+                   "none,crash,partition,skew,hot; skew = write-heavy dominant "
+                   "writer on node 1 (read%=10), the steady-state "
+                   "heat-migration cell; hot = skew plus the crash window "
+                   "killing the writer, the migration-revert stress cell)")
       .flag_string("crash", "crash1@20ms+10ms",
                    "kill-and-recover window for the crash cell")
       .flag_int("replicas", 2, "chain backup depth K for the crash cell")
@@ -147,25 +150,38 @@ int main(int argc, char** argv) {
 
   std::vector<Cell> cells;
   bool all_ok = true;
-  for (auto kind : {dsm::ProtocolKind::kJavaIc, dsm::ProtocolKind::kJavaPf}) {
+  for (auto kind : {dsm::ProtocolKind::kJavaIc, dsm::ProtocolKind::kJavaPf,
+                    dsm::ProtocolKind::kHybrid}) {
     const std::string proto = dsm::protocol_name(kind);
     for (double theta : thetas) {
       sp.theta = theta;
       for (const std::string& profile : profiles) {
         apps::VmConfig cfg = apps::make_config(cluster, kind, nodes);
         obs.attach(cfg);  // trace/heat/phases + the recorder's base profile
+        sp.writer_node = -1;
+        sp.read_pct = cli.get_int("read-pct");
+        if (profile == "skew" || profile == "hot") {
+          // Dominant writer: every update comes from node 1 (session
+          // affinity), and the mix is forced write-heavy — at the default
+          // read%=90 the hot pages never accumulate kMigMinBytes per epoch
+          // window and the migration policy would sit idle.
+          sp.writer_node = 1;
+          sp.read_pct = 10;
+        }
         char spec[192];
-        if (profile == "crash") {
+        if (profile == "crash" || profile == "hot") {
           std::snprintf(spec, sizeof(spec), "replicas=%d,%s,seed=%" PRIu64,
                         static_cast<int>(cli.get_int("replicas")),
                         cli.get_string("crash").c_str(), seed);
           cfg.cluster.fault = cluster::FaultProfile::parse(spec);
+          // hot: the dominant writer is then killed mid-run, forcing the
+          // migrated homes to revert without losing an acked write.
         } else if (profile == "partition") {
           std::snprintf(spec, sizeof(spec), "partition@%s:%s,seed=%" PRIu64,
                         cli.get_string("partition-window").c_str(),
                         minority_groups(nodes).c_str(), seed);
           cfg.cluster.fault = cluster::FaultProfile::parse(spec);
-        } else if (profile != "none") {
+        } else if (profile != "none" && profile != "skew") {
           std::fprintf(stderr, "serve: unknown --profiles entry '%s'\n",
                        profile.c_str());
           return 2;

@@ -199,7 +199,8 @@ int main(int argc, char** argv) {
   std::vector<RecoveryPoint> recovery_points;
   std::vector<PartitionPoint> partition_points;
   bool stable = true;
-  for (auto kind : {dsm::ProtocolKind::kJavaIc, dsm::ProtocolKind::kJavaPf}) {
+  for (auto kind : {dsm::ProtocolKind::kJavaIc, dsm::ProtocolKind::kJavaPf,
+                    dsm::ProtocolKind::kHybrid}) {
     const std::string proto = dsm::protocol_name(kind);
     const apps::RunResult base =
         run_point(kind, cluster::FaultProfile{}, "baseline/" + proto);

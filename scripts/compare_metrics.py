@@ -105,6 +105,14 @@ SERVE_FIELDS = {
     "serve_p99_us": "down",
     "serve_p999_us": "down",
     "serve_throughput_ops": "up",
+    # Adaptive-protocol decision tallies (docs/PROTOCOLS.md §hybrid): churn
+    # metrics, not event counts. A candidate that switches detection modes or
+    # migrates homes MORE than its baseline is thrashing — that gates like a
+    # latency rise; fewer decisions (a steadier policy) never fails. The same
+    # goes for crash-forced migration reverts.
+    "dsm_mode_switches": "down",
+    "dsm_home_migrations": "down",
+    "dsm_migrations_reverted": "down",
 }
 
 

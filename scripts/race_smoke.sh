@@ -48,14 +48,14 @@ run() {
 }
 
 # 1. Litmus verdicts (the binary exits non-zero on any verdict mismatch).
-for proto in java_pf java_ic; do
+for proto in java_pf java_ic hybrid; do
   for gran in field page; do
     run "$WORK/litmus.$proto.$gran.txt" "$LITMUS" --all --protocol "$proto" \
         --race-detect "on,racegran=$gran" \
         --race-out "$WORK/litmus.$proto.$gran.report"
   done
 done
-echo "race_smoke: litmus verdicts hold (2 protocols x 2 granularities)"
+echo "race_smoke: litmus verdicts hold (3 protocols x 2 granularities)"
 
 # 3. Same-seed determinism: rerun one litmus config, compare reports.
 run "$WORK/litmus.rerun.txt" "$LITMUS" --all --race-detect on \
@@ -68,6 +68,9 @@ fi
 echo "race_smoke: same-seed race report is byte-identical"
 
 # 2+4. Zero-race oracle over the five paper figures, plus non-perturbation.
+# Each figure binary sweeps all three protocols (java_ic, java_pf, hybrid)
+# per run, so the oracle covers the adaptive protocol's mode switches and
+# home migrations too.
 for fig in fig1_pi fig2_jacobi fig3_barnes fig4_tsp fig5_asp; do
   BIN="$BUILD/bench/$fig"
   [[ -x "$BIN" ]] || { echo "race_smoke: $BIN not built" >&2; exit 2; }

@@ -11,6 +11,11 @@
 #      crash/panic inside a faulty run is a failure of that profile's row,
 #      not a silent abort of the whole soak.
 #
+# The figure binaries sweep all three protocols (java_ic, java_pf, hybrid)
+# per invocation, so every profile row exercises the adaptive protocol's
+# mode switches and home migrations under faults too; the baseline check
+# below asserts the hybrid rows are actually present.
+#
 # Every (figure, profile) pair is driven to completion even after a failure;
 # the per-profile pass/fail summary table at the end shows which combinations
 # broke, and the script's exit code is 1 iff any row failed.
@@ -91,6 +96,14 @@ for fig in "${FIGS[@]}"; do
   fi
   answers "$base" > "$WORK/$fig.base.ans"
   n_points=$(wc -l < "$WORK/$fig.base.ans")
+  if ! grep -q ',hybrid,' "$WORK/$fig.base.ans"; then
+    echo "FAIL: $fig baseline has no hybrid rows — protocol matrix shrank" >&2
+    for prof in "${PROFILES[@]}"; do
+      SUMMARY+=("$fig;$prof;FAIL (no hybrid rows in baseline)")
+    done
+    fail=1
+    continue
+  fi
 
   for i in "${!PROFILES[@]}"; do
     prof="${PROFILES[$i]}"

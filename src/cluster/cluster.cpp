@@ -260,10 +260,11 @@ void Cluster::deliver(TimeDelta depart_delay, NodeId from, NodeId to, ServiceId 
   Node& src = node(from);
   Node& dst = node(to);
   // Loopback is normally a protocol bug (callers short-circuit the local
-  // case), but after an HA promotion a node can be its own home and a retried
-  // op must still flow through the handler-side dedup — so it is allowed,
-  // through the transport, when HA is active.
-  HYP_CHECK_MSG(from != to || ha_ != nullptr,
+  // case), but after an HA promotion or a heat-driven home migration a node
+  // can be its own home and a retried op must still flow through the
+  // handler-side dedup — so it is allowed, through the transport, when
+  // either machinery is active.
+  HYP_CHECK_MSG(from != to || ha_ != nullptr || loopback_ok_,
                 "loopback RPC: callers handle the local case directly");
 
   if (race_ != nullptr) [[unlikely]] race_->on_message(from, to, service, payload.size());
@@ -338,7 +339,7 @@ void Cluster::deliver_reply(TimeDelta depart_delay, NodeId from, NodeId to, std:
 std::uint64_t Cluster::tx_enqueue(TimeDelta depart_delay, NodeId from, NodeId to,
                                   ServiceId service, std::uint64_t token, bool is_reply,
                                   Buffer payload) {
-  HYP_CHECK_MSG(from != to || ha_ != nullptr,
+  HYP_CHECK_MSG(from != to || ha_ != nullptr || loopback_ok_,
                 "loopback RPC: callers handle the local case directly");
   PairState& ps = pair(from, to);
   const std::uint64_t seq = ps.next_seq++;

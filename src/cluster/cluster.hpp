@@ -250,6 +250,10 @@ class Cluster {
   // through the handler-side dedup).
   void set_ha_hooks(HaHooks* ha) { ha_ = ha; }
   HaHooks* ha_hooks() { return ha_; }
+  // Heat-driven home migration (hybrid protocol) can make a node its own
+  // home mid-call, exactly like an HA promotion — the reroute then needs the
+  // same loopback allowance even with no HA manager installed.
+  void allow_loopback() { loopback_ok_ = true; }
   // Fails over in-flight traffic around a confirmed-dead node: every
   // outstanding packet addressed to it gives up now (typed errors reach the
   // parked callers, which re-route), and every reply packet it still owed
@@ -409,6 +413,7 @@ class Cluster {
   obs::PhaseAccounting* phases_ = nullptr;
   HaHooks* ha_ = nullptr;
   RaceHooks* race_ = nullptr;
+  bool loopback_ok_ = false;  // see allow_loopback()
 
   bool sharded_ = false;  // event queue split one-shard-per-node
 

@@ -4,7 +4,7 @@
 
 namespace hyp::cluster {
 
-static_assert(static_cast<int>(TraceKind::kServeOp) + 1 == kTraceKindCount,
+static_assert(static_cast<int>(TraceKind::kHomeMigrated) + 1 == kTraceKindCount,
               "kTraceKindCount out of sync with TraceKind");
 
 const char* trace_kind_name(TraceKind kind) {
@@ -40,6 +40,8 @@ const char* trace_kind_name(TraceKind kind) {
     case TraceKind::kHaFencedReject: return "ha_fenced_reject";
     case TraceKind::kHaQuorumRead: return "ha_quorum_read";
     case TraceKind::kServeOp: return "serve_op";
+    case TraceKind::kModeSwitch: return "mode_switch";
+    case TraceKind::kHomeMigrated: return "home_migrated";
   }
   return "?";
 }

@@ -69,10 +69,14 @@ enum class TraceKind : std::uint8_t {
                      // completion (node = client node) — the Perfetto
                      // exporter turns this into a retrospective `serve` slice
                      // spanning [scheduled arrival, completion]
+  // --- adaptive hybrid protocol (docs/PROTOCOLS.md §hybrid) ----------------
+  kModeSwitch,       // a=page, b=1 switched to ic-mode / 0 to pf-mode
+                     // (node = the node whose per-page mode flipped)
+  kHomeMigrated,     // a=page, b=new home node (node = old home)
 };
 
 // Keep in sync with the enum above (drop accounting is per kind).
-inline constexpr int kTraceKindCount = 31;
+inline constexpr int kTraceKindCount = 33;
 
 const char* trace_kind_name(TraceKind kind);
 

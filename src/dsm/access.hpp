@@ -122,8 +122,86 @@ struct PfPolicyT {
   }
 };
 
+// hybrid: the per-page detection mode lives in the same presence byte
+// (NodeDsm::kIcModeBit), so the fast path is still one indexed load — pages
+// in ic mode charge the inline check, pages in pf mode (and home pages,
+// whose mode bit is never set) access bare. The windowed access tally
+// (ThreadCtx::awin) is a host-only indexed increment feeding the switch
+// decision on the miss cold path.
+template <bool RaceHooks = false>
+struct HybridPolicyT {
+  static constexpr ProtocolKind kKind = ProtocolKind::kHybrid;
+  static constexpr const char* kName = "hybrid";
+
+  template <DsmScalar T>
+  static T get(ThreadCtx& t, Gva a) {
+    const PageId p = static_cast<PageId>(a >> t.page_shift);
+    ++t.awin[p];
+    const std::uint8_t st = t.presence[p];
+    if ((st & NodeDsm::kIcModeBit) != 0) {
+      t.clock.charge(t.check_cost);
+      t.stats->add(Counter::kInlineChecks);
+      // Dense-generation escape: a present ic page whose raw tally has
+      // reached the break-even R has already paid a fault's worth of checks
+      // with no miss to re-decide at — flip it to pf now (yield-free; the
+      // present bit cannot change under us).
+      if ((st & NodeDsm::kPresentBit) != 0 && t.awin[p] >= t.ic_giveup)
+          [[unlikely]] {
+        t.dsm->give_up_ic(t, p);
+      }
+    }
+    if ((st & NodeDsm::kPresentBit) == 0) [[unlikely]] {
+      t.dsm->miss_hybrid(t, p);
+    }
+    T v;
+    std::memcpy(&v, t.base + a, sizeof(T));
+    if constexpr (RaceHooks) {
+      if (t.race != nullptr) t.race->on_read(t.race_tid, a, sizeof(T));
+    }
+    return v;
+  }
+
+  template <DsmScalar T>
+  static void put(ThreadCtx& t, Gva a, T v) {
+    const PageId p = static_cast<PageId>(a >> t.page_shift);
+    ++t.awin[p];
+    std::uint8_t st = t.presence[p];
+    if ((st & NodeDsm::kIcModeBit) != 0) {
+      t.clock.charge(t.check_cost);
+      t.stats->add(Counter::kInlineChecks);
+      if ((st & NodeDsm::kPresentBit) != 0 && t.awin[p] >= t.ic_giveup)
+          [[unlikely]] {
+        t.dsm->give_up_ic(t, p);
+        // The flip retired the ic bit: the store below must go bare and be
+        // found by the fresh twin, not double-logged.
+        st = t.presence[p];
+      }
+    }
+    if ((st & NodeDsm::kPresentBit) == 0) [[unlikely]] {
+      t.dsm->miss_hybrid(t, p);
+      // The miss may have flipped the page's mode (or migrated its home
+      // here): the logging decision must see the POST-miss byte, or a store
+      // could be neither logged nor twin-diffed — a lost update.
+      st = t.presence[p];
+    }
+    std::memcpy(t.base + a, &v, sizeof(T));
+    if ((st & (NodeDsm::kHomeBit | NodeDsm::kIcModeBit)) == NodeDsm::kIcModeBit) {
+      // Non-home page in ic mode: field-granularity write log (pf-mode pages
+      // are covered by their twin diff instead).
+      std::uint64_t value = 0;
+      std::memcpy(&value, &v, sizeof(T));
+      t.wlog.record(a, sizeof(T), value);
+      t.stats->add(Counter::kWriteLogEntries);
+    }
+    if constexpr (RaceHooks) {
+      if (t.race != nullptr) t.race->on_write(t.race_tid, a, sizeof(T));
+    }
+  }
+};
+
 using IcPolicy = IcPolicyT<>;
 using PfPolicy = PfPolicyT<>;
+using HybridPolicy = HybridPolicyT<>;
 
 // Calls fn<Policy>() with the policy matching the DSM's configured protocol.
 // This is the one runtime dispatch, made once per program, mirroring how a
@@ -133,6 +211,7 @@ decltype(auto) with_policy(ProtocolKind kind, Fn&& fn) {
   switch (kind) {
     case ProtocolKind::kJavaIc: return fn(IcPolicy{});
     case ProtocolKind::kJavaPf: return fn(PfPolicy{});
+    case ProtocolKind::kHybrid: return fn(HybridPolicy{});
   }
   HYP_PANIC("unreachable protocol kind");
 }
@@ -146,6 +225,7 @@ decltype(auto) with_policy(ProtocolKind kind, bool race_hooks, Fn&& fn) {
   switch (kind) {
     case ProtocolKind::kJavaIc: return fn(IcPolicyT<true>{});
     case ProtocolKind::kJavaPf: return fn(PfPolicyT<true>{});
+    case ProtocolKind::kHybrid: return fn(HybridPolicyT<true>{});
   }
   HYP_PANIC("unreachable protocol kind");
 }

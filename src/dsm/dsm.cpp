@@ -11,6 +11,7 @@ const char* protocol_name(ProtocolKind kind) {
   switch (kind) {
     case ProtocolKind::kJavaIc: return "java_ic";
     case ProtocolKind::kJavaPf: return "java_pf";
+    case ProtocolKind::kHybrid: return "hybrid";
   }
   return "?";
 }
@@ -18,7 +19,8 @@ const char* protocol_name(ProtocolKind kind) {
 ProtocolKind protocol_by_name(const std::string& name) {
   if (name == "java_ic") return ProtocolKind::kJavaIc;
   if (name == "java_pf") return ProtocolKind::kJavaPf;
-  HYP_PANIC("unknown protocol: " + name + " (expected java_ic or java_pf)");
+  if (name == "hybrid") return ProtocolKind::kHybrid;
+  HYP_PANIC("unknown protocol: " + name + " (expected java_ic, java_pf or hybrid)");
 }
 
 DsmSystem::DsmSystem(cluster::Cluster* cluster, std::size_t region_bytes, ProtocolKind kind)
@@ -43,6 +45,24 @@ DsmSystem::DsmSystem(cluster::Cluster* cluster, std::size_t region_bytes, Protoc
         svc::kQuorumRead, "quorum_read",
         [this, i](cluster::Incoming& in) { handle_quorum_read(in, i); });
   }
+  if (kind_ == ProtocolKind::kHybrid) {
+    // Mode break-even: a miss in pf mode costs (fault + mprotect) more than
+    // an ic miss, an ic hit costs one check more than a pf hit; pf therefore
+    // wins while the window shows at least R accesses per miss. Integer
+    // division of virtual-time constants — deterministic by construction.
+    const auto& cpu = cluster->params().cpu;
+    const Time check = cpu.check_cost();
+    hybrid_r_ = (cpu.page_fault_cost + cpu.mprotect_page_cost) / (check == 0 ? 1 : check);
+    if (hybrid_r_ == 0) hybrid_r_ = 1;
+    home_override_.assign(layout_.total_pages(), -1);
+    mig_.assign(layout_.total_pages(), MigStat{});
+    wheat_.reserve(static_cast<std::size_t>(n));
+    for (NodeId i = 0; i < n; ++i) {
+      nodes_[static_cast<std::size_t>(i)]->set_ic_default();
+      wheat_.push_back(std::make_unique<obs::WindowedHeat>());
+      wheat_.back()->init(layout_.total_pages());
+    }
+  }
 }
 
 Gva DsmSystem::alloc(NodeId node, std::size_t bytes, std::size_t align) {
@@ -61,6 +81,10 @@ std::unique_ptr<ThreadCtx> DsmSystem::make_thread(NodeId node) {
   t->presence = t->nd->presence_data();
   t->page_shift = layout_.page_shift();
   t->check_cost = cluster_->params().cpu.check_cost();
+  if (kind_ == ProtocolKind::kHybrid) {
+    t->awin = wheat_[static_cast<std::size_t>(node)]->raw_accesses();
+    t->ic_giveup = hybrid_r_;
+  }
   t->stats = &cluster_->node(node).stats();
   if (race_ != nullptr) {
     t->race = race_;
@@ -247,6 +271,19 @@ void DsmSystem::fetch_page(ThreadCtx& t, PageId p) {
   Buffer reply;
   if (ha_ == nullptr) {
     reply = rpc_with_retry(t.node, home, svc::kPageRequest, std::move(req), "page fetch");
+    // Migration reroute (hybrid, no HA): an empty reply is the old home's
+    // NACK — the page's home moved while our request was in flight. The
+    // override table is updated synchronously at migration, so re-resolving
+    // converges in one hop; the guard bounds a pathological ping-pong.
+    int guard = 0;
+    while (migrations_enabled() && reply.size() != page_bytes) {
+      HYP_CHECK_MSG(++guard < 64, "page fetch: migration reroute did not converge");
+      t.stats->add(Counter::kHaReroutes);
+      home = effective_home_of_page(p);
+      Buffer again;
+      again.put<std::uint32_t>(p);
+      reply = rpc_with_retry(t.node, home, svc::kPageRequest, std::move(again), "page fetch");
+    }
   } else if (fencing_ && ha_->suspected(home) && try_quorum_read(t, p, home, &reply)) {
     // Suspected-home window: a majority of the home's chain backups served
     // the read, so the fetch skips the detector's confirm wait entirely.
@@ -261,12 +298,21 @@ void DsmSystem::fetch_page(ThreadCtx& t, PageId p) {
       return;
     }
   }
+  if (migrations_enabled() && t.nd->present(p)) {
+    // The page migrated TO this node while the fetch was in flight (the old
+    // home served us, then picked this node as the dominant writer): the
+    // arena bytes are already authoritative — installing the reply as a
+    // cached replica would corrupt the presence table.
+    t.nd->finish_fetch(p);
+    return;
+  }
   HYP_CHECK_MSG(reply.size() == page_bytes, "page reply has wrong size");
 
   // Install the replica (real bytes) and charge the local copy-in.
   std::memcpy(t.nd->page_ptr(p), reply.data(), page_bytes);
   t.clock.charge(cpu.copy_cost(page_bytes));
-  const bool with_twin = kind_ == ProtocolKind::kJavaPf;
+  const bool with_twin = kind_ == ProtocolKind::kJavaPf ||
+                         (kind_ == ProtocolKind::kHybrid && !t.nd->ic_mode(p));
   t.nd->mark_cached(p, with_twin);
   if (with_twin) t.clock.charge(cpu.copy_cost(page_bytes));  // twin snapshot
   t.clock.flush();
@@ -304,10 +350,11 @@ void DsmSystem::handle_page_request(cluster::Incoming& in, NodeId self) {
     cluster_->reply(in, Buffer{});
     return;
   }
-  if (ha_ != nullptr && !nd.is_home(p)) {
-    // Stale-home straggler: a retransmit that outlived a promotion, or a
-    // request reaching a restarted (demoted) node. NACK with an empty reply
-    // (success replies are page_bytes long) so the caller re-resolves.
+  if ((ha_ != nullptr || migrations_enabled()) && !nd.is_home(p)) {
+    // Stale-home straggler: a retransmit that outlived a promotion, a
+    // request reaching a restarted (demoted) node, or a request that raced a
+    // hybrid home migration. NACK with an empty reply (success replies are
+    // page_bytes long) so the caller re-resolves.
     cluster_->trace_event(self, cluster::TraceKind::kHaNack, in.from, svc::kPageRequest);
     cluster_->reply(in, Buffer{});
     return;
@@ -424,6 +471,90 @@ void DsmSystem::miss_pf(ThreadCtx& t, PageId p) {
   t.clock.flush();
 }
 
+void DsmSystem::miss_hybrid(ThreadCtx& t, PageId p) {
+  const auto& cpu = cluster_->params().cpu;
+  const bool was_ic = t.nd->ic_mode(p);
+  if (!was_ic) {
+    // pf-mode pages sit behind page protection while absent, so this miss
+    // was a hardware trap (the paper's fault cost); ic-mode pages found the
+    // miss via the inline check the fast path already charged.
+    t.stats->add(Counter::kPageFaults);
+    if (heat_ != nullptr) [[unlikely]] heat_->record_fault(p);
+    cluster_->trace_event(t.node, cluster::TraceKind::kPageFault, p);
+    t.clock.charge(cpu.page_fault_cost);
+  }
+  t.clock.flush();
+  // Mode decision: made before the fetch (the fetch must know whether to
+  // twin) and only by the fiber that will start it — waiters inherit the
+  // decision already in flight. Between two misses the page served `acc`
+  // accesses: ic would have cost acc checks, pf one fault + mprotect = R
+  // checks — so ic wins below R accesses per miss. The rule is a hysteresis
+  // band around that break-even: leave ic once acc >= R * miss, but
+  // re-enter it only when clearly favorable (2 * acc < R * miss). Without
+  // the band, pages hovering near R oscillate — give up mid-generation,
+  // flip back at the next miss, and pay the flip overhead (twin snapshot +
+  // mprotect + the re-entry fault) every round on top of the checks.
+  // Inside the band both modes cost within 2x of each other, so staying
+  // put is the cheap choice. The at-miss decision is not the only escape:
+  // a page wrongly left in ic bleeds one check per access with no miss in
+  // sight (e.g. a read-once-then-scan page never misses again inside a
+  // generation), so the fast path bails out through give_up_ic once the
+  // raw tally crosses R — capping the wrong-ic loss at one
+  // fault-equivalent per generation. A wrongly-pf page already costs at
+  // most R per miss by construction. First touch (acc ~ 0, miss = 1)
+  // keeps the set_ic_default ic start: sparse pages never pay a blind
+  // fault.
+  if (!t.nd->fetch_inflight(p)) {
+    obs::WindowedHeat& w = *wheat_[static_cast<std::size_t>(t.node)];
+    const std::uint64_t epoch = cluster_->engine().now() / kModeEpoch;
+    w.note_miss(p, epoch);
+    const std::uint64_t acc = w.accesses(p);
+    const std::uint64_t miss = w.misses(p);  // >= 1: note_miss counted this one
+    const std::uint64_t breakeven = static_cast<std::uint64_t>(hybrid_r_) * miss;
+    const bool next_ic = was_ic ? acc < breakeven : 4 * acc < breakeven;
+    if (next_ic != was_ic) {
+      t.nd->set_ic_mode(p, next_ic);
+      t.stats->add_named("dsm_mode_switches");
+      cluster_->trace_event(t.node, cluster::TraceKind::kModeSwitch, p, next_ic ? 1 : 0);
+    }
+  }
+  fetch_until_present(t, p);
+  if (!was_ic) {
+    // Re-open the trapped page READ/WRITE, whatever mode it continues in.
+    t.stats->add(Counter::kMprotectCalls);
+    t.clock.charge(cpu.mprotect_page_cost);
+    t.clock.flush();
+  }
+}
+
+void DsmSystem::give_up_ic(ThreadCtx& t, PageId p) {
+  // The at-miss decision cannot help a page that stops missing: a page read
+  // once and then scanned densely (ASP's row-k broadcast is the archetype)
+  // would pay a check on every access forever. The fast path calls this once
+  // the raw tally since the last fold reaches R — the point where the checks
+  // already paid equal one fault + mprotect, so switching now caps the loss.
+  // Deliberately yield-free (no clock.flush): the caller re-reads the
+  // presence byte it already loaded and a park here could let another fiber
+  // invalidate the page under a half-done access.
+  if (!t.nd->ic_mode(p) || !t.nd->present(p)) return;
+  const auto& cpu = cluster_->params().cpu;
+  wheat_[static_cast<std::size_t>(t.node)]->fold(
+      p, cluster_->engine().now() / kModeEpoch);
+  if (!t.nd->is_home(p) && !t.nd->has_twin(p)) {
+    // pf-mode replicas are twin-diffed at flush; snapshot one now so bare
+    // stores made after the flip are still shipped home. Stores made before
+    // it are already in the write log — the two cover the generation with no
+    // gap and no double-send.
+    t.nd->ensure_twin(p);
+    t.clock.charge(cpu.copy_cost(layout_.page_bytes()));
+  }
+  t.nd->set_ic_mode(p, false);
+  t.stats->add(Counter::kMprotectCalls);
+  t.clock.charge(cpu.mprotect_page_cost);
+  t.stats->add_named("dsm_mode_switches");
+  cluster_->trace_event(t.node, cluster::TraceKind::kModeSwitch, p, 0);
+}
+
 // ---------------------------------------------------------------------------
 // Table 2 primitives
 
@@ -442,6 +573,18 @@ void DsmSystem::invalidate_cache(ThreadCtx& t) {
     // protection is set on each entry to a monitor").
     t.stats->add(Counter::kMprotectCalls);
     t.clock.charge(cpu.mprotect_region_cost);
+  } else if (kind_ == ProtocolKind::kHybrid) {
+    // Only pf-mode replicas (exactly the cached pages holding a twin) sit
+    // behind page protection; ic-mode pages are guarded by checks. When no
+    // pf-mode page is cached the region mprotect is skipped entirely — the
+    // structural saving over java_pf on check-heavy workloads.
+    for (PageId p : t.nd->cached_pages()) {
+      if (t.nd->has_twin(p)) {
+        t.stats->add(Counter::kMprotectCalls);
+        t.clock.charge(cpu.mprotect_region_cost);
+        break;
+      }
+    }
   }
   t.clock.charge(cpu.cycles(cpu.invalidate_page_cycles * cached));
   const std::size_t dropped = t.nd->invalidate_all();
@@ -458,8 +601,10 @@ void DsmSystem::update_main_memory(ThreadCtx& t) {
   t.clock.flush();
   if (kind_ == ProtocolKind::kJavaIc) {
     flush_ic(t);
-  } else {
+  } else if (kind_ == ProtocolKind::kJavaPf) {
     flush_pf(t);
+  } else {
+    flush_hybrid(t);
   }
 }
 
@@ -602,17 +747,33 @@ void DsmSystem::handle_update_fields(cluster::Incoming& in, NodeId self) {
   // Streaming apply: no per-message entry vector (zero-allocation path).
   bool stale = false;
   std::size_t applied_bytes = 0;
+  if (migrations_enabled()) mig_batch_.clear();
   const std::size_t count = WriteLog::decode_each(in.reader, [&](const WriteLogEntry& e) {
-    const bool home = nd.is_home(layout_.page_of(e.addr));
-    if (ha_ != nullptr && !home) {
-      // Stale-home straggler (one group never mixes zones with different
-      // owners, so the whole message is stale together): NACK below.
+    const PageId pg = layout_.page_of(e.addr);
+    const bool home = nd.is_home(pg);
+    if ((ha_ != nullptr || migrations_enabled()) && !home) {
+      // Stale-home straggler (one group never mixes pages with different
+      // routing fates, so the whole message is stale together): NACK below.
       stale = true;
       return;
     }
     HYP_CHECK_MSG(home, "update reached a non-home node");
     std::memcpy(nd.arena() + e.addr, &e.value, e.size);
     applied_bytes += e.size;
+    if (migrations_enabled()) {
+      // Per-page byte subtotals for the dominant-writer tracker (fed after
+      // the whole message has applied — migrating mid-decode would misroute
+      // the remaining entries).
+      bool found = false;
+      for (auto& pr : mig_batch_) {
+        if (pr.first == pg) {
+          pr.second += e.size;
+          found = true;
+          break;
+        }
+      }
+      if (!found) mig_batch_.emplace_back(pg, e.size);
+    }
   });
   if (stale) {
     cluster_->trace_event(self, cluster::TraceKind::kHaNack, in.from, svc::kUpdateFields);
@@ -628,6 +789,10 @@ void DsmSystem::handle_update_fields(cluster::Incoming& in, NodeId self) {
     // Home state changed: incremental checkpoint traffic to the backup
     // (field-granularity, piggybacked on this very update — docs/RECOVERY.md).
     ha_->note_checkpoint(self, applied_bytes);
+  }
+  if (migrations_enabled()) {
+    for (const auto& pr : mig_batch_) note_remote_update(self, pr.first, in.from, pr.second);
+    mig_batch_.clear();
   }
   const Time done_at = cluster_->node(self).extend_service(
       cluster_->params().cpu.cycles(cluster_->params().cpu.update_entry_cycles * count));
@@ -798,18 +963,31 @@ void DsmSystem::handle_update_runs(cluster::Incoming& in, NodeId self) {
   const auto runs = in.reader.get<std::uint32_t>();
   std::size_t total_bytes = 0;
   bool stale = false;
+  if (migrations_enabled()) mig_batch_.clear();
   for (std::uint32_t i = 0; i < runs; ++i) {
     const auto addr = in.reader.get<std::uint64_t>();
     const auto len = in.reader.get<std::uint32_t>();
     auto bytes = in.reader.get_span(len);
-    const bool home = nd.is_home(layout_.page_of(addr));
-    if (ha_ != nullptr && !home) {
+    const PageId pg = layout_.page_of(addr);
+    const bool home = nd.is_home(pg);
+    if ((ha_ != nullptr || migrations_enabled()) && !home) {
       stale = true;  // keep consuming the reader; NACK the whole message
       continue;
     }
     HYP_CHECK_MSG(home, "diff reached a non-home node");
     std::memcpy(nd.arena() + addr, bytes.data(), len);
     total_bytes += len;
+    if (migrations_enabled()) {
+      bool found = false;
+      for (auto& pr : mig_batch_) {
+        if (pr.first == pg) {
+          pr.second += len;
+          found = true;
+          break;
+        }
+      }
+      if (!found) mig_batch_.emplace_back(pg, static_cast<std::uint64_t>(len));
+    }
   }
   if (stale) {
     cluster_->trace_event(self, cluster::TraceKind::kHaNack, in.from, svc::kUpdateRuns);
@@ -820,11 +998,341 @@ void DsmSystem::handle_update_runs(cluster::Incoming& in, NodeId self) {
   }
   if (update_id != 0) applied_updates_[static_cast<std::size_t>(self)].insert(update_id);
   if (ha_ != nullptr && total_bytes != 0) ha_->note_checkpoint(self, total_bytes);
+  if (migrations_enabled()) {
+    for (const auto& pr : mig_batch_) note_remote_update(self, pr.first, in.from, pr.second);
+    mig_batch_.clear();
+  }
   const Time done_at =
       cluster_->node(self).extend_service(cluster_->params().cpu.copy_cost(total_bytes));
   cluster_->trace_event(self, cluster::TraceKind::kUpdateApplied, in.from,
                         static_cast<std::int64_t>(total_bytes));
   cluster_->reply(in, make_ack(), done_at - cluster_->engine().now());
+}
+
+// ---------------------------------------------------------------------------
+// hybrid: write-log + twin-diff flush with migration-aware routing
+//
+// Wire formats are exactly flush_ic's (svc::kUpdateFields) and flush_pf's
+// (svc::kUpdateRuns); only the grouping differs. Because a page's home can
+// move between building a message and its delivery, each send loop works on
+// a pending set: take the first pending item's routing key, peel off
+// everything sharing it, send; a NACK leaves the cohort pending and the next
+// iteration re-resolves against the (synchronously updated) override table.
+// Under HA the key is the page itself — page-pure cohorts, so ha_rpc_home's
+// internal re-resolve loop converges on a single moving page — while without
+// HA cohorts group by effective home, matching the paper protocols' message
+// counts whenever no migration is in flight.
+
+void DsmSystem::flush_hybrid(ThreadCtx& t) {
+  const auto& cpu = cluster_->params().cpu;
+  const std::size_t page_bytes = layout_.page_bytes();
+  FlushScratch& s = t.scratch;
+  s.begin_hybrid(t.wlog.size());
+
+  // Last-writer-wins dedup of the ic-mode write log into one flat vector,
+  // first-touch order (same semantics as flush_ic).
+  for (const auto& e : t.wlog.entries()) {
+    bool fresh = false;
+    IcDedupTable::Slot* slot = s.dedup.find_or_insert(e.addr, &fresh);
+    if (fresh) {
+      slot->home = 0;
+      slot->index = static_cast<std::uint32_t>(s.hy_pending.size());
+      s.hy_pending.push_back(e);
+    } else {
+      s.hy_pending[slot->index] = e;
+    }
+  }
+  if (!t.wlog.empty()) {
+    t.clock.charge(cpu.cycles(cpu.update_entry_cycles * t.wlog.size()));
+    t.clock.flush();
+  }
+
+  // Twin diffs of the pf-mode replicas (identical scan to flush_pf).
+  std::uint64_t diff_words = 0;
+  for (PageId p : t.nd->cached_pages()) {
+    if (!t.nd->has_twin(p)) continue;
+    t.clock.charge(cpu.diff_cost(page_bytes));
+    const std::byte* cur = t.nd->page_ptr(p);
+    const std::byte* twin = t.nd->twin(p);
+    const std::size_t words = page_bytes / 8;
+    bool page_dirty = false;
+    std::size_t w = 0;
+    while (w < words) {
+      if ((w & 7) == 0 && w + 8 <= words) {
+        std::uint64_t acc = 0;
+        for (std::size_t k = 0; k < 8; ++k) {
+          acc |= load_word(cur, w + k) ^ load_word(twin, w + k);
+        }
+        if (acc == 0) {
+          w += 8;
+          continue;
+        }
+      }
+      if (load_word(cur, w) == load_word(twin, w)) {
+        ++w;
+        continue;
+      }
+      const std::size_t run_begin = w;
+      while (w < words && load_word(cur, w) != load_word(twin, w)) ++w;
+      const std::size_t run_words = w - run_begin;
+      diff_words += run_words;
+      page_dirty = true;
+      const auto offset = static_cast<std::uint32_t>(s.run_bytes.size());
+      s.run_bytes.insert(s.run_bytes.end(), cur + run_begin * 8, cur + w * 8);
+      s.hy_runs_pending.push_back(DiffRun{layout_.page_base(p) + run_begin * 8, offset,
+                                          static_cast<std::uint32_t>(run_words * 8)});
+    }
+    if (page_dirty) t.nd->refresh_twin(p);
+  }
+  t.stats->add(Counter::kDiffWords, diff_words);
+  t.clock.flush();
+
+  const bool page_pure = ha_ != nullptr;
+
+  // --- ship the deduped write-log entries (svc::kUpdateFields) -------------
+  int guard = 0;
+  while (!s.hy_pending.empty()) {
+    HYP_CHECK_MSG(++guard < 256, "hybrid flush: field reroute did not converge");
+    s.hy_cohort.clear();
+    s.hy_rest.clear();
+    const PageId lead_page = layout_.page_of(s.hy_pending.front().addr);
+    const NodeId home = effective_home_of_page(lead_page);
+    for (const auto& e : s.hy_pending) {
+      const bool same = page_pure ? layout_.page_of(e.addr) == lead_page
+                                  : effective_home_of(e.addr) == home;
+      (same ? s.hy_cohort : s.hy_rest).push_back(e);
+    }
+    if (home == t.node) {
+      // A migration landed the home here: apply exactly the bytes the wire
+      // would have carried straight into the arena.
+      for (const auto& e : s.hy_cohort) {
+        std::memcpy(t.nd->arena() + e.addr, &e.value, e.size);
+      }
+      t.clock.charge(cpu.cycles(cpu.update_entry_cycles * s.hy_cohort.size()));
+      t.clock.flush();
+      s.hy_pending.swap(s.hy_rest);
+      continue;
+    }
+    Buffer msg;
+    if (update_ids_active()) msg.put<std::uint64_t>(next_update_id_++);
+    WriteLog::encode(&msg, s.hy_cohort);
+    t.stats->add(Counter::kUpdatesSent);
+    t.stats->add(Counter::kUpdateBytes, msg.size());
+    t.stats->record(Hist::kUpdatePayloadBytes, msg.size());
+    if (heat_ != nullptr) [[unlikely]] {
+      for (const auto& e : s.hy_cohort) heat_->record_update(layout_.page_of(e.addr), e.size);
+    }
+    cluster_->trace_event(t.node, cluster::TraceKind::kUpdateSent, home,
+                          static_cast<std::int64_t>(msg.size()));
+    if (ha_ == nullptr) {
+      Buffer ack =
+          rpc_with_retry(t.node, home, svc::kUpdateFields, std::move(msg), "write-log flush");
+      if (!ack.empty()) continue;  // migration NACK: re-resolve and resend
+    } else {
+      Buffer ack = ha_rpc_home(t, lead_page, svc::kUpdateFields, msg,
+                               /*reply_is_page=*/false, "write-log flush");
+      HYP_CHECK(ack.empty());
+    }
+    s.hy_pending.swap(s.hy_rest);
+  }
+  t.wlog.clear();
+
+  // --- ship the diff runs (svc::kUpdateRuns) -------------------------------
+  guard = 0;
+  while (!s.hy_runs_pending.empty()) {
+    HYP_CHECK_MSG(++guard < 256, "hybrid flush: run reroute did not converge");
+    s.hy_runs_cohort.clear();
+    s.hy_runs_rest.clear();
+    const PageId lead_page = layout_.page_of(s.hy_runs_pending.front().addr);
+    const NodeId home = effective_home_of_page(lead_page);
+    for (const DiffRun& r : s.hy_runs_pending) {
+      const bool same = page_pure ? layout_.page_of(r.addr) == lead_page
+                                  : effective_home_of(r.addr) == home;
+      (same ? s.hy_runs_cohort : s.hy_runs_rest).push_back(r);
+    }
+    if (home == t.node) {
+      std::size_t bytes = 0;
+      for (const DiffRun& r : s.hy_runs_cohort) {
+        std::memcpy(t.nd->arena() + r.addr, s.run_bytes.data() + r.offset, r.len);
+        bytes += r.len;
+      }
+      t.clock.charge(cpu.copy_cost(bytes));
+      t.clock.flush();
+      s.hy_runs_pending.swap(s.hy_runs_rest);
+      continue;
+    }
+    Buffer msg;
+    if (update_ids_active()) msg.put<std::uint64_t>(next_update_id_++);
+    msg.put<std::uint32_t>(static_cast<std::uint32_t>(s.hy_runs_cohort.size()));
+    for (const DiffRun& r : s.hy_runs_cohort) {
+      msg.put<std::uint64_t>(r.addr);
+      msg.put<std::uint32_t>(r.len);
+      msg.put_bytes(s.run_bytes.data() + r.offset, r.len);
+    }
+    t.stats->add(Counter::kUpdatesSent);
+    t.stats->add(Counter::kUpdateBytes, msg.size());
+    t.stats->record(Hist::kUpdatePayloadBytes, msg.size());
+    if (heat_ != nullptr) [[unlikely]] {
+      for (const DiffRun& r : s.hy_runs_cohort) {
+        heat_->record_update(layout_.page_of(r.addr), r.len);
+      }
+    }
+    cluster_->trace_event(t.node, cluster::TraceKind::kUpdateSent, home,
+                          static_cast<std::int64_t>(msg.size()));
+    if (ha_ == nullptr) {
+      Buffer ack = rpc_with_retry(t.node, home, svc::kUpdateRuns, std::move(msg), "diff flush");
+      if (!ack.empty()) continue;  // migration NACK: re-resolve and resend
+    } else {
+      Buffer ack = ha_rpc_home(t, lead_page, svc::kUpdateRuns, msg,
+                               /*reply_is_page=*/false, "diff flush");
+      HYP_CHECK(ack.empty());
+    }
+    s.hy_runs_pending.swap(s.hy_runs_rest);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// hybrid: heat-driven home migration (docs/PROTOCOLS.md §hybrid)
+
+void DsmSystem::note_remote_update(NodeId self, PageId p, NodeId from, std::uint64_t bytes) {
+  if (from < 0 || from == self) return;
+  MigStat& st = mig_[p];
+  const std::uint64_t e = cluster_->engine().now() / kMigEpoch;
+  if (e != st.epoch) {
+    // Close the open window. A clear byte-majority survivor extends the
+    // dominance streak only across strictly consecutive epochs — idle gaps
+    // break it, so sporadic traffic never accumulates into a migration.
+    const bool dom = st.cand >= 0 && st.total >= kMigMinBytes &&
+                     st.weight * 2 > static_cast<std::int64_t>(st.total);
+    if (!dom || e != st.epoch + 1) {
+      st.streak = 0;
+      st.last_dom = -1;
+    }
+    if (dom) {
+      if (st.cand == st.last_dom) {
+        ++st.streak;
+      } else {
+        st.last_dom = st.cand;
+        st.streak = 1;
+      }
+    }
+    const NodeId target = st.last_dom;
+    const bool fire = st.streak >= kMigStreak && target >= 0;
+    st.epoch = e;
+    st.cand = -1;
+    st.weight = 0;
+    st.total = 0;
+    if (fire) {
+      st.streak = 0;
+      st.last_dom = -1;
+      maybe_migrate(self, p, target);
+      if (effective_home_of_page(p) != self) return;  // moved: tracking restarts there
+    }
+  }
+  // Weighted Boyer–Moore vote into the open window: the survivor of
+  // byte-weighted pairwise cancellation is the only possible majority writer;
+  // the margin test at window close rejects accidental survivors.
+  st.total += bytes;
+  if (st.cand == from) {
+    st.weight += static_cast<std::int64_t>(bytes);
+  } else if (st.weight >= static_cast<std::int64_t>(bytes)) {
+    st.weight -= static_cast<std::int64_t>(bytes);
+  } else {
+    st.weight = static_cast<std::int64_t>(bytes) - st.weight;
+    st.cand = from;
+  }
+}
+
+void DsmSystem::maybe_migrate(NodeId self, PageId p, NodeId target) {
+  if (target < 0 || target >= cluster_->node_count() || target == self) return;
+  if (effective_home_of_page(p) != self) return;  // routing changed under us
+  const auto& f = cluster_->params().fault;
+  const Time now = cluster_->engine().now();
+  // Never migrate toward a node that is (or is about to be) unavailable, nor
+  // across an open cut — the handoff below is synchronous in the model.
+  if (ha_ != nullptr && (ha_->confirmed_dead(target) || ha_->suspected(target))) return;
+  if (f.crash_release(target, now) != 0) return;
+  if (f.severed(self, target, now) || f.severed(target, self, now)) return;
+
+  NodeDsm& snd = node_dsm(self);
+  NodeDsm& wnd = node_dsm(target);
+  const std::size_t page_bytes = layout_.page_bytes();
+  const Gva begin = layout_.page_base(p);
+
+  // Realize the authoritative bytes in the new home's arena. If the target
+  // holds a pf-mode replica, its unflushed local writes (cur != twin words)
+  // survive: only clean words take the home's bytes (cf. HaManager::move_zone
+  // preserving the backup's pending diffs during zone failover).
+  if (wnd.has_twin(p)) {
+    std::byte* cur = wnd.page_ptr(p);
+    const std::byte* twin = wnd.twin(p);
+    const std::byte* src = snd.page_ptr(p);
+    for (std::size_t w = 0; w < page_bytes / 8; ++w) {
+      if (load_word(cur, w) == load_word(twin, w)) {
+        std::memcpy(cur + w * 8, src + w * 8, 8);
+      }
+    }
+  } else {
+    std::memcpy(wnd.page_ptr(p), snd.page_ptr(p), page_bytes);
+  }
+  wnd.promote_to_home(p, p + 1);
+  // Unflushed ic-mode stores of the target's threads stay visible as well.
+  replay_logged_writes(target, begin, begin + page_bytes);
+  snd.demote_home(p, p + 1);
+  home_override_[p] = target;
+  mig_[p] = MigStat{};
+
+  ++home_migrations_;
+  cluster_->node(self).stats().add_named("dsm_home_migrations");
+  cluster_->trace_event(self, cluster::TraceKind::kHomeMigrated, p, target);
+  // Handoff cost: one page copy out of the old home's service queue and one
+  // into the new one's. The transfer itself rides the modeled checkpoint
+  // path (the same global-metadata idealization as quorum reads).
+  const auto& cpu = cluster_->params().cpu;
+  cluster_->node(self).extend_service(cpu.copy_cost(page_bytes));
+  cluster_->node(target).extend_service(cpu.copy_cost(page_bytes));
+  if (ha_ != nullptr) ha_->note_checkpoint(target, page_bytes);
+  if (home_moved_) home_moved_(self, target, begin, begin + page_bytes);
+}
+
+void DsmSystem::on_node_dead(NodeId dead) {
+  if (home_override_.empty()) return;
+  const std::size_t page_bytes = layout_.page_bytes();
+  NodeDsm& dnd = node_dsm(dead);
+  for (std::size_t i = 0; i < home_override_.size(); ++i) {
+    if (home_override_[i] != dead) continue;
+    const PageId p = static_cast<PageId>(i);
+    home_override_[i] = -1;
+    mig_[i] = MigStat{};
+    // Strip the dead node's authority now: when it restarts it must NACK
+    // stragglers for pages it no longer serves (demote leaves the arena
+    // bytes — the mirrored replica state — intact).
+    dnd.demote_home(p, p + 1);
+    const NodeId back = effective_home_of_page(p);
+    if (back == dead) continue;  // its own zone: confirm_death's failover realizes it
+    NodeDsm& bnd = node_dsm(back);
+    const Gva begin = layout_.page_base(p);
+    // Re-realize the page at the fallback home from the dead node's
+    // replicated state, preserving the fallback's own unflushed writes
+    // exactly as maybe_migrate does.
+    if (bnd.has_twin(p)) {
+      std::byte* cur = bnd.page_ptr(p);
+      const std::byte* twin = bnd.twin(p);
+      const std::byte* src = dnd.page_ptr(p);
+      for (std::size_t w = 0; w < page_bytes / 8; ++w) {
+        if (load_word(cur, w) == load_word(twin, w)) {
+          std::memcpy(cur + w * 8, src + w * 8, 8);
+        }
+      }
+    } else {
+      std::memcpy(bnd.page_ptr(p), dnd.page_ptr(p), page_bytes);
+    }
+    bnd.promote_to_home(p, p + 1);
+    replay_logged_writes(back, begin, begin + page_bytes);
+    cluster_->node(back).stats().add_named("dsm_migrations_reverted");
+    cluster_->trace_event(dead, cluster::TraceKind::kHomeMigrated, p, back);
+    if (home_moved_) home_moved_(dead, back, begin, begin + page_bytes);
+  }
 }
 
 }  // namespace hyp::dsm

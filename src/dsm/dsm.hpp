@@ -15,6 +15,13 @@
 //     ships the modified words home. Monitor entry re-protects everything
 //     with one region-wide mprotect.
 //
+//   hybrid (docs/PROTOCOLS.md §hybrid) — picks the detection mode per page
+//     online from windowed heat (obs::WindowedHeat): dense low-miss pages run
+//     pf-style bare access, sparse scattered pages run ic-style checks. On
+//     top of the same signals, homes migrate to a page's dominant remote
+//     writer (heat-driven generalization of bench/ext_migration); stale-home
+//     requests are NACKed and rerouted, reusing the HA machinery.
+//
 // Consistency actions (both protocols, per the paper):
 //   monitor exit  -> updateMainMemory (modifications reach the home copies
 //                    before the lock is released; each update is acked)
@@ -24,6 +31,7 @@
 #pragma once
 
 #include <cstring>
+#include <functional>
 #include <memory>
 #include <set>
 #include <string>
@@ -32,6 +40,7 @@
 #include "cluster/cluster.hpp"
 #include "cluster/ha_hooks.hpp"
 #include "common/stats.hpp"
+#include "common/units.hpp"
 #include "dsm/address.hpp"
 #include "obs/heat.hpp"
 #include "obs/race.hpp"
@@ -41,7 +50,7 @@
 
 namespace hyp::dsm {
 
-enum class ProtocolKind { kJavaIc, kJavaPf };
+enum class ProtocolKind { kJavaIc, kJavaPf, kHybrid };
 
 const char* protocol_name(ProtocolKind kind);
 ProtocolKind protocol_by_name(const std::string& name);
@@ -71,6 +80,17 @@ struct ThreadCtx {
   // layout().page_shift(), cached: the get/put fast paths compute the page
   // id with one shift instead of chasing dsm -> layout.
   unsigned page_shift = 0;
+  // hybrid only: the node's windowed raw access tally (obs::WindowedHeat),
+  // bumped unconditionally by the hybrid fast paths (host cost only) and
+  // folded into the decayed window on the miss cold path. nullptr under
+  // java_ic/java_pf, whose policies never touch it.
+  std::uint64_t* awin = nullptr;
+  // hybrid only: once a present ic-mode page has served this many accesses
+  // since its last window fold, the fast path gives up on ic mid-generation
+  // (DsmSystem::give_up_ic) instead of waiting for a miss that may never
+  // come. Equals the ic/pf break-even R, so the escape costs at most one
+  // fault-equivalent of checks. Zero under java_ic/java_pf.
+  std::uint64_t ic_giveup = 0;
   std::uint64_t uid = 0;  // unique thread id (monitor ownership)
   cluster::CpuClock clock;
   Time check_cost = 0;  // CpuParams::check_cost(), cached
@@ -126,6 +146,33 @@ class DsmSystem {
   // --- protocol cold paths (called from the access policies) --------------
   void miss_ic(ThreadCtx& t, PageId p);
   void miss_pf(ThreadCtx& t, PageId p);
+  void miss_hybrid(ThreadCtx& t, PageId p);
+  // Mid-generation ic escape (hybrid): flips a present ic-mode page to pf
+  // once its raw access tally proves the generation dense (see
+  // ThreadCtx::ic_giveup). Never yields — safe to call from the access fast
+  // paths between the presence load and the data access.
+  void give_up_ic(ThreadCtx& t, PageId p);
+
+  // --- hybrid home migration (docs/PROTOCOLS.md §hybrid) -------------------
+  // True when the heat-driven migration policy is live (hybrid protocol);
+  // home resolution then consults the per-page override table and every home
+  // handler NACKs requests for pages it no longer serves.
+  bool migrations_enabled() const { return kind_ == ProtocolKind::kHybrid; }
+  // Installed by the runtime so co-located state (monitor tables) moves with
+  // a migrated page: called as (old_home, new_home, gva_begin, gva_end).
+  using HomeMovedHook = std::function<void(NodeId, NodeId, Gva, Gva)>;
+  void set_home_moved_hook(HomeMovedHook hook) { home_moved_ = std::move(hook); }
+  // Clears migration overrides targeting a node the HA detector just
+  // confirmed dead, re-realizing each such page at its fallback home (the
+  // same global-metadata idealization as the HA promotion path). Called by
+  // HaManager::confirm_death before zone failover.
+  void on_node_dead(NodeId dead);
+  std::uint64_t home_migrations() const { return home_migrations_; }
+  // The node's raw access-window base (hybrid only): thread migration rebinds
+  // ThreadCtx::awin to the destination node's tally.
+  std::uint64_t* access_window(NodeId node) {
+    return wheat_[static_cast<std::size_t>(node)]->raw_accesses();
+  }
 
   // --- high availability (optional; nullptr = off, docs/RECOVERY.md) -------
   // With hooks installed, home resolution goes through the HA routing table
@@ -139,9 +186,15 @@ class DsmSystem {
     // schedules partitions — crash-only runs keep the goldens' exact shapes.
     fencing_ = ha != nullptr && !cluster_->params().fault.partitions.empty();
   }
-  // Effective home of a page: the layout's static zone owner, redirected by
-  // the HA routing table after a promotion.
+  // Effective home of a page: a live migration override wins; otherwise the
+  // layout's static zone owner, redirected by the HA routing table after a
+  // promotion. The override table is only allocated under hybrid, so the
+  // extra test costs one empty() check for the paper protocols.
   NodeId effective_home_of_page(PageId p) const {
+    if (!home_override_.empty()) {
+      const NodeId o = home_override_[p];
+      if (o >= 0) return o;
+    }
     const NodeId zone = layout_.home_of_page(p);
     return ha_ == nullptr ? zone : ha_->home_node(zone);
   }
@@ -195,6 +248,35 @@ class DsmSystem {
   void fetch_until_present(ThreadCtx& t, PageId p);
   void flush_ic(ThreadCtx& t);
   void flush_pf(ThreadCtx& t);
+  // hybrid flush: the write log covers ic-mode pages, twin diffs cover
+  // pf-mode pages; both are shipped grouped by *current* effective home with
+  // a rebuild-on-NACK loop so a mid-flight migration reroutes the remainder.
+  void flush_hybrid(ThreadCtx& t);
+
+  // --- hybrid mode switching + home migration ------------------------------
+  // Epoch lengths are virtual-time constants (decisions stay byte-identical
+  // for a given seed): the mode window halves per kModeEpoch; migration
+  // dominance is judged over closed kMigEpoch windows.
+  static constexpr Time kModeEpoch = 1 * kMillisecond;
+  static constexpr Time kMigEpoch = 5 * kMillisecond;
+  static constexpr int kMigStreak = 2;           // consecutive dominated epochs
+  static constexpr std::uint64_t kMigMinBytes = 64;  // per epoch, per page
+  // Per-page dominant-writer tracker (home side). Boyer–Moore voting weighted
+  // by update bytes within an epoch; a page becomes a migration candidate
+  // after kMigStreak consecutive closed epochs dominated by the same remote
+  // node with a clear byte majority.
+  struct MigStat {
+    std::uint64_t epoch = 0;   // epoch the open window belongs to
+    NodeId cand = -1;          // Boyer–Moore survivor of the open window
+    std::int64_t weight = 0;   // survivor margin (bytes)
+    std::uint64_t total = 0;   // total remote update bytes in the window
+    NodeId last_dom = -1;      // dominator of the last closed window
+    int streak = 0;            // consecutive closed windows won by last_dom
+  };
+  // Feeds `bytes` written by remote node `from` into page `p`'s tracker and
+  // migrates the page's home to a sustained dominant writer (see .cpp).
+  void note_remote_update(NodeId self, PageId p, NodeId from, std::uint64_t bytes);
+  void maybe_migrate(NodeId self, PageId p, NodeId target);
 
   void handle_page_request(cluster::Incoming& in, NodeId self);
   void handle_update_fields(cluster::Incoming& in, NodeId self);
@@ -258,6 +340,17 @@ class DsmSystem {
   obs::RaceDetector* race_ = nullptr;
   cluster::HaHooks* ha_ = nullptr;
   bool fencing_ = false;  // epoch tokens on the wire (partitions configured)
+
+  // --- hybrid-only state (all vectors empty under java_ic/java_pf) ---------
+  std::vector<std::unique_ptr<obs::WindowedHeat>> wheat_;  // per node
+  std::vector<NodeId> home_override_;  // per page; -1 = no migration
+  std::vector<MigStat> mig_;           // per page, tracked at the serving home
+  // Reusable per-message (page, bytes) subtotals for the update handlers
+  // (single-threaded simulation; cleared before each use).
+  std::vector<std::pair<PageId, std::uint64_t>> mig_batch_;
+  Time hybrid_r_ = 0;  // mode break-even: (fault + mprotect) / check cost
+  std::uint64_t home_migrations_ = 0;
+  HomeMovedHook home_moved_;
 };
 
 }  // namespace hyp::dsm

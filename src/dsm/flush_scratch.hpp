@@ -104,6 +104,14 @@ struct FlushScratch {
   std::vector<std::vector<DiffRun>> pf_by_home;
   std::vector<std::byte> run_bytes;  // shared payload arena, reset per flush
 
+  // --- hybrid --------------------------------------------------------------
+  // The hybrid flush reroutes on migration NACKs, repeatedly re-partitioning
+  // the not-yet-acked remainder by its *current* effective home. These hold
+  // the pending/cohort/rest splits across iterations (same recycling
+  // discipline as above; never visible in simulated time).
+  std::vector<WriteLogEntry> hy_pending, hy_cohort, hy_rest;
+  std::vector<DiffRun> hy_runs_pending, hy_runs_cohort, hy_runs_rest;
+
   // Clears per-home state for a new flush without releasing capacity.
   void begin_ic(std::size_t homes, std::size_t expected_entries) {
     if (ic_by_home.size() < homes) ic_by_home.resize(homes);
@@ -115,6 +123,17 @@ struct FlushScratch {
     if (pf_by_home.size() < homes) pf_by_home.resize(homes);
     for (auto& v : pf_by_home) v.clear();
     run_bytes.clear();
+  }
+
+  void begin_hybrid(std::size_t expected_entries) {
+    hy_pending.clear();
+    hy_cohort.clear();
+    hy_rest.clear();
+    hy_runs_pending.clear();
+    hy_runs_cohort.clear();
+    hy_runs_rest.clear();
+    run_bytes.clear();
+    dedup.begin(expected_entries);
   }
 };
 

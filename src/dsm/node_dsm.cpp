@@ -34,8 +34,8 @@ NodeDsm::~NodeDsm() {
 void NodeDsm::mark_cached(PageId p, bool with_twin) {
   HYP_DCHECK(p < presence_.size());
   HYP_CHECK_MSG(!is_home(p), "home pages are never 'cached'");
-  HYP_CHECK_MSG(presence_[p] == 0, "page already cached");
-  presence_[p] = kPresentBit;
+  HYP_CHECK_MSG((presence_[p] & kPresentBit) == 0, "page already cached");
+  presence_[p] |= kPresentBit;  // |= preserves a hybrid kIcModeBit
   cached_list_.push_back(p);
   if (with_twin) {
     auto twin = std::make_unique<std::byte[]>(layout_->page_bytes());
@@ -47,7 +47,9 @@ void NodeDsm::mark_cached(PageId p, bool with_twin) {
 std::size_t NodeDsm::invalidate_all() {
   const std::size_t dropped = cached_list_.size();
   for (PageId p : cached_list_) {
-    presence_[p] = 0;
+    // The hybrid mode bit survives invalidation (the page's learned detection
+    // mode outlives the replica); for java_ic/java_pf the mask is a no-op.
+    presence_[p] &= kIcModeBit;
     twins_[p].reset();
   }
   cached_list_.clear();
@@ -71,11 +73,26 @@ void NodeDsm::promote_to_home(PageId first, PageId last) {
 void NodeDsm::demote_home(PageId first, PageId last) {
   HYP_CHECK(first <= last && last <= presence_.size());
   for (PageId p = first; p < last; ++p) {
-    HYP_CHECK_MSG((presence_[p] & kHomeBit) != 0 || presence_[p] == 0,
+    HYP_CHECK_MSG((presence_[p] & kHomeBit) != 0 || (presence_[p] & kPresentBit) == 0,
                   "demoting a page this node had cached");
     twins_[p].reset();
-    presence_[p] = 0;
+    presence_[p] = ic_default_ ? kIcModeBit : 0;
   }
+}
+
+void NodeDsm::set_ic_default() {
+  ic_default_ = true;
+  for (PageId p = 0; p < presence_.size(); ++p) {
+    if ((presence_[p] & kHomeBit) == 0) presence_[p] |= kIcModeBit;
+  }
+}
+
+void NodeDsm::ensure_twin(PageId p) {
+  HYP_DCHECK(p < twins_.size());
+  if (twins_[p] != nullptr) return;
+  auto twin = std::make_unique<std::byte[]>(layout_->page_bytes());
+  std::memcpy(twin.get(), page_ptr(p), layout_->page_bytes());
+  twins_[p] = std::move(twin);
 }
 
 void NodeDsm::refresh_twin(PageId p) {

@@ -36,6 +36,15 @@ class NodeDsm {
   // division inside Layout::home_of_page on every access (docs/PERFORMANCE.md).
   static constexpr std::uint8_t kPresentBit = 1;
   static constexpr std::uint8_t kHomeBit = 2;
+  // hybrid protocol only: this node currently runs ic-style inline checks for
+  // the page (docs/PROTOCOLS.md §hybrid). The bit survives invalidation — a
+  // page's learned detection mode carries over to its next fetch — and is
+  // never set under java_ic/java_pf, keeping their presence bytes identical.
+  // Under hybrid (set_ic_default) non-home pages START with the bit set:
+  // checks are compiled in anyway, so first touch costs one check, never a
+  // blind fault — sparse pages pay no learning penalty at all, and a dense
+  // page flips to pf after one generation of window evidence.
+  static constexpr std::uint8_t kIcModeBit = 4;
 
   NodeDsm(const Layout* layout, NodeId node);
   ~NodeDsm();
@@ -79,11 +88,41 @@ class NodeDsm {
     return twins_[p].get();
   }
 
+  // Snapshots a twin of a cached page that was fetched without one (hybrid
+  // mid-generation ic -> pf flip). No-op if the twin already exists.
+  void ensure_twin(PageId p);
   // Refreshes the twin of a cached page to match the current arena contents
   // (after its diffs have been shipped home).
   void refresh_twin(PageId p);
 
   const std::vector<PageId>& cached_pages() const { return cached_list_; }
+
+  // --- hybrid per-page detection mode (docs/PROTOCOLS.md §hybrid) ----------
+  bool ic_mode(PageId p) const {
+    HYP_DCHECK(p < presence_.size());
+    return (presence_[p] & kIcModeBit) != 0;
+  }
+  void set_ic_mode(PageId p, bool ic) {
+    HYP_DCHECK(p < presence_.size());
+    if (ic) {
+      presence_[p] |= kIcModeBit;
+    } else {
+      presence_[p] &= static_cast<std::uint8_t>(~kIcModeBit);
+    }
+  }
+  // hybrid init: every non-home page starts in ic mode, and pages demoted
+  // from home authority later (migration handoff, HA failover) rejoin in ic
+  // mode too instead of pf.
+  void set_ic_default();
+
+  // True while some fiber on this node has a fetch of `p` outstanding (the
+  // hybrid mode decision defers to the fiber that started the fetch).
+  bool fetch_inflight(PageId p) const {
+    for (const auto& f : inflight_) {
+      if (f.page == p) return true;
+    }
+    return false;
+  }
 
   // --- high availability (docs/RECOVERY.md) --------------------------------
   // Takes home authority over [first, last): pages this node had cached stop
@@ -111,6 +150,7 @@ class NodeDsm {
  private:
   const Layout* layout_;
   NodeId node_;
+  bool ic_default_ = false;  // hybrid: demoted/fresh non-home pages start ic
   std::byte* arena_ = nullptr;
   std::vector<std::uint8_t> presence_;               // indexed by page; see bits above
   std::vector<PageId> cached_list_;                  // pages with presence_[p]==kPresentBit

@@ -334,6 +334,11 @@ void HaManager::confirm_death(NodeId dead, NodeId watcher, Time silence) {
   cluster_->trace_event(watcher, TraceKind::kHaDeadConfirmed, dead,
                         static_cast<std::int64_t>(silence / kMicrosecond));
 
+  // Heat-driven migration overrides pointing AT the dead node revert first
+  // (each page re-realizes at its fallback home), so the zone failover below
+  // never routes a page to a cleared-but-dead override target.
+  dsm_->on_node_dead(dead);
+
   // Every zone currently homed at the dead node is re-elected to the first
   // live member of the dead home's chain. The incremental reverse index
   // hands us the zones directly — in the ascending zone order the old

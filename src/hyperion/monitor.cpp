@@ -51,19 +51,48 @@ Buffer MonitorSubsystem::remote_invoke(dsm::ThreadCtx& t, cluster::NodeId home,
     return b;
   };
   if (!lossy) {
-    // Lossless network: the historical always-succeeds path, byte-identical
-    // wire format (no op id).
-    return cluster_->call(t.node, home, service, build());
+    if (!dsm_->migrations_enabled()) {
+      // Lossless network: the historical always-succeeds path, byte-identical
+      // wire format (no op id).
+      return cluster_->call(t.node, home, service, build());
+    }
+    // Heat-driven home migration (docs/PROTOCOLS.md §hybrid) can move the
+    // monitor while this call is in flight; the old home answers with a
+    // 1-byte NACK *before* touching monitor state, so a plain re-resolve and
+    // resend is a fresh first apply. The new home may be this node itself
+    // (the dominant writer), which the loopback path handles.
+    cluster::NodeId target = home;
+    for (int guard = 0; guard < 64; ++guard) {
+      Buffer reply = cluster_->call(t.node, target, service, build());
+      if (reply.size() != 1) return reply;
+      t.stats->add(Counter::kHaReroutes);
+      target = dsm_->effective_home_of(obj);
+    }
+    HYP_PANIC("monitor home migration reroute did not converge");
   }
   if (ha_ == nullptr) {
-    for (int attempt = 1;; ++attempt) {
-      cluster::RpcResult r = cluster_->call_result(t.node, home, service, build());
-      if (r.ok()) return std::move(r.payload);
-      if (attempt >= kRpcAttempts) {
-        HYP_PANIC("monitor operation abandoned after " + std::to_string(attempt) +
+    cluster::NodeId target = home;
+    int failures = 0;
+    for (int guard = 0; guard < 256; ++guard) {
+      cluster::RpcResult r = cluster_->call_result(t.node, target, service, build());
+      if (r.ok()) {
+        if (!dsm_->migrations_enabled() || r.payload.size() != 1) {
+          return std::move(r.payload);
+        }
+        // Migration NACK under a lossy transport: retry at the current home
+        // with the SAME op id, so an op an earlier home did apply (ack lost)
+        // reattaches instead of double-applying.
+        t.stats->add(Counter::kHaReroutes);
+        target = dsm_->effective_home_of(obj);
+        failures = 0;
+        continue;
+      }
+      if (++failures >= kRpcAttempts) {
+        HYP_PANIC("monitor operation abandoned after " + std::to_string(failures) +
                   " attempts: " + r.error.message);
       }
     }
+    HYP_PANIC("monitor home migration reroute did not converge");
   }
   // HA path: re-resolve the monitor's home per attempt. Every attempt carries
   // the SAME op id, so whichever home finally applies the op absorbs earlier
@@ -203,7 +232,11 @@ MonitorSubsystem::MonitorState& MonitorSubsystem::state(cluster::NodeId home, ds
 
 bool MonitorSubsystem::nack_if_stale(cluster::Incoming& in, cluster::NodeId self, dsm::Gva obj,
                                      cluster::ServiceId service) {
-  if (ha_ == nullptr || dsm_->effective_home_of(obj) == self) return false;
+  // Stale routing arises from HA promotions and from heat-driven home
+  // migration (the two share this NACK discipline); with neither active the
+  // static home can never be wrong and the check costs nothing.
+  if (ha_ == nullptr && !dsm_->migrations_enabled()) return false;
+  if (dsm_->effective_home_of(obj) == self) return false;
   // A straggler routed under an older epoch. Answer with a 1-byte NACK (all
   // monitor successes are empty replies) BEFORE the op id is recorded, so the
   // caller's retry at the promoted home is a fresh apply, not a reattach.
@@ -262,7 +295,7 @@ void MonitorSubsystem::enter(dsm::ThreadCtx& t, dsm::Gva obj) {
   t.stats->add(Counter::kMonitorEnters);
   cluster_->trace_event(t.node, cluster::TraceKind::kMonitorEnter,
                         static_cast<std::int64_t>(obj), static_cast<std::int64_t>(t.uid));
-  const cluster::NodeId home = dsm_->effective_home_of(obj);
+  cluster::NodeId home = dsm_->effective_home_of(obj);
   // Acquire-wait observation: measured from after the thread's batched
   // compute is materialized (so pending cycles are not misattributed to lock
   // contention) until the grant arrives. Recording is pure accumulation plus
@@ -271,6 +304,12 @@ void MonitorSubsystem::enter(dsm::ThreadCtx& t, dsm::Gva obj) {
   if (home == t.node) {
     t.clock.charge_cycles(kLocalLockCycles);
     t.clock.flush();
+    // flush() parks this fiber; a heat migration can move the monitor away
+    // meanwhile (an update handler fires it). Re-resolve, or the local path
+    // below would mutate the stale map whose state already moved.
+    if (dsm_->migrations_enabled()) home = dsm_->effective_home_of(obj);
+  }
+  if (home == t.node) {
     requested_at = cluster_->engine().now();
     bool granted = false;
     Contender c;
@@ -308,10 +347,14 @@ void MonitorSubsystem::exit(dsm::ThreadCtx& t, dsm::Gva obj) {
   // Release semantics: modifications must reach central memory before the
   // lock can be taken by anyone else (§3.1, updateMainMemory on exit).
   dsm_->on_release(t);
-  const cluster::NodeId home = dsm_->effective_home_of(obj);
+  cluster::NodeId home = dsm_->effective_home_of(obj);
   if (home == t.node) {
     t.clock.charge_cycles(kLocalLockCycles);
     t.clock.flush();
+    // Same mid-flush migration hazard as enter(): re-resolve after parking.
+    if (dsm_->migrations_enabled()) home = dsm_->effective_home_of(obj);
+  }
+  if (home == t.node) {
     do_exit(home, obj, t.uid);
   } else {
     Buffer ack = remote_invoke(t, home, svc::kMonitorExit, obj);
@@ -325,13 +368,17 @@ void MonitorSubsystem::wait(dsm::ThreadCtx& t, dsm::Gva obj) {
   // wait() is a release followed (after notify) by an acquire.
   if (t.race != nullptr) [[unlikely]] t.race->lock_release(t.race_tid, obj);
   dsm_->on_release(t);
-  const cluster::NodeId home = dsm_->effective_home_of(obj);
+  cluster::NodeId home = dsm_->effective_home_of(obj);
   // Object.wait is how every §4.1 application builds its barriers: the time
   // from release to re-grant is attributed to Phase::kBarrier.
   Time requested_at;
   if (home == t.node) {
     t.clock.charge_cycles(kLocalLockCycles);
     t.clock.flush();
+    // Same mid-flush migration hazard as enter(): re-resolve after parking.
+    if (dsm_->migrations_enabled()) home = dsm_->effective_home_of(obj);
+  }
+  if (home == t.node) {
     requested_at = cluster_->engine().now();
     bool granted = false;
     Contender c;
@@ -359,10 +406,14 @@ void MonitorSubsystem::wait(dsm::ThreadCtx& t, dsm::Gva obj) {
 void MonitorSubsystem::notify_one(dsm::ThreadCtx& t, dsm::Gva obj) {
   cluster_->trace_event(t.node, cluster::TraceKind::kMonitorNotify,
                         static_cast<std::int64_t>(obj), 0);
-  const cluster::NodeId home = dsm_->effective_home_of(obj);
+  cluster::NodeId home = dsm_->effective_home_of(obj);
   if (home == t.node) {
     t.clock.charge_cycles(kLocalLockCycles);
     t.clock.flush();
+    // Same mid-flush migration hazard as enter(): re-resolve after parking.
+    if (dsm_->migrations_enabled()) home = dsm_->effective_home_of(obj);
+  }
+  if (home == t.node) {
     do_notify(home, obj, t.uid, /*all=*/false);
   } else {
     t.clock.flush();
@@ -374,10 +425,14 @@ void MonitorSubsystem::notify_one(dsm::ThreadCtx& t, dsm::Gva obj) {
 void MonitorSubsystem::notify_all(dsm::ThreadCtx& t, dsm::Gva obj) {
   cluster_->trace_event(t.node, cluster::TraceKind::kMonitorNotify,
                         static_cast<std::int64_t>(obj), 1);
-  const cluster::NodeId home = dsm_->effective_home_of(obj);
+  cluster::NodeId home = dsm_->effective_home_of(obj);
   if (home == t.node) {
     t.clock.charge_cycles(kLocalLockCycles);
     t.clock.flush();
+    // Same mid-flush migration hazard as enter(): re-resolve after parking.
+    if (dsm_->migrations_enabled()) home = dsm_->effective_home_of(obj);
+  }
+  if (home == t.node) {
     do_notify(home, obj, t.uid, /*all=*/true);
   } else {
     t.clock.flush();

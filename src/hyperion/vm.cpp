@@ -64,6 +64,7 @@ void JavaEnv::migrate_to(NodeId target, std::size_t state_bytes) {
   ctx_->base = ctx_->nd->arena();
   ctx_->presence = ctx_->nd->presence_data();
   ctx_->stats = &vm_->cluster_.node(target).stats();
+  if (ctx_->awin != nullptr) ctx_->awin = vm_->dsm_.access_window(target);
   ctx_->clock.bind_cpu(&vm_->cluster_.node(target).app_cpu());
   // The thread's clock travels with it; only the report attribution moves.
   if (ctx_->race != nullptr) ctx_->race->set_thread_node(ctx_->race_tid, target);
@@ -148,6 +149,15 @@ HyperionVM::HyperionVM(VmConfig config)
     config_.race->begin_run(&cluster_, dsm_.layout().page_shift());
     dsm_.set_race(config_.race);
     cluster_.set_race_hooks(config_.race);
+  }
+  if (dsm_.migrations_enabled()) {
+    // Heat-driven home migration (hybrid protocol): monitor state moves with
+    // the page it lives on, and the old home NACKs stragglers exactly like a
+    // post-promotion HA home — which may make a node its own target mid-call.
+    cluster_.allow_loopback();
+    dsm_.set_home_moved_hook([this](NodeId from, NodeId to, dsm::Gva begin, dsm::Gva end) {
+      monitors_.fail_over_home(from, to, begin, end);
+    });
   }
   // A scheduled crash window — or a partition window that actually splits
   // this run's nodes — engages the HA subsystem (docs/RECOVERY.md,

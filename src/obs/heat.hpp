@@ -51,9 +51,18 @@ class PageHeatTable {
     if (page < update_bytes_.size()) update_bytes_[page] += bytes;
   }
 
-  std::uint64_t fetches(std::uint64_t page) const { return fetches_[page]; }
-  std::uint64_t faults(std::uint64_t page) const { return faults_[page]; }
-  std::uint64_t update_bytes(std::uint64_t page) const { return update_bytes_[page]; }
+  // Out-of-range pages read as 0 (mirroring the record_* guards): reading
+  // heat after a region resize — or for a page id from a stale report — must
+  // not index past the arrays.
+  std::uint64_t fetches(std::uint64_t page) const {
+    return page < fetches_.size() ? fetches_[page] : 0;
+  }
+  std::uint64_t faults(std::uint64_t page) const {
+    return page < faults_.size() ? faults_[page] : 0;
+  }
+  std::uint64_t update_bytes(std::uint64_t page) const {
+    return page < update_bytes_.size() ? update_bytes_[page] : 0;
+  }
 
   // The `n` hottest pages, hottest first. Ordering: coherence events
   // (fetches + faults) descending, then update_bytes descending, then page
@@ -69,6 +78,68 @@ class PageHeatTable {
   std::vector<std::uint64_t> faults_;
   std::vector<std::uint64_t> update_bytes_;
   std::size_t page_bytes_ = 0;
+};
+
+// Windowed per-page heat with epoch decay — the decision signal of the
+// `hybrid` protocol (docs/PROTOCOLS.md §hybrid).
+//
+// The flat PageHeatTable above accumulates run totals; switching decisions
+// must track *recent* behavior, so this table keeps per-page access and miss
+// counters that halve once per elapsed epoch. The fold is lazy: each page
+// carries the epoch its window was last touched in, and fold() shifts the
+// decayed counters by the number of epochs that passed since — integer-only,
+// so same-seed runs make byte-identical decisions.
+//
+// Hot-path discipline: the access fast paths bump raw_accesses()[page]
+// directly (one indexed increment, host cost only — same contract as
+// record_*); the raw tally is folded into the decayed window only on the
+// miss cold path, where the switching decision is made anyway.
+class WindowedHeat {
+ public:
+  void init(std::size_t total_pages) {
+    raw_.assign(total_pages, 0);
+    acc_.assign(total_pages, 0);
+    miss_.assign(total_pages, 0);
+    stamp_.assign(total_pages, 0);
+  }
+
+  std::size_t total_pages() const { return raw_.size(); }
+
+  // Raw access tally, indexed by page; cached on the access fast path.
+  std::uint64_t* raw_accesses() { return raw_.data(); }
+
+  // Folds the raw tally into the decayed window, decaying both counters by
+  // half per epoch elapsed since the page was last folded.
+  void fold(std::uint64_t page, std::uint64_t epoch) {
+    if (page >= raw_.size()) return;
+    const std::uint64_t last = stamp_[page];
+    if (epoch > last) {
+      const std::uint64_t shift = epoch - last < 63 ? epoch - last : 63;
+      acc_[page] >>= shift;
+      miss_[page] >>= shift;
+      stamp_[page] = epoch;
+    }
+    acc_[page] += raw_[page];
+    raw_[page] = 0;
+  }
+
+  void note_miss(std::uint64_t page, std::uint64_t epoch) {
+    fold(page, epoch);
+    if (page < miss_.size()) ++miss_[page];
+  }
+
+  std::uint64_t accesses(std::uint64_t page) const {
+    return page < acc_.size() ? acc_[page] : 0;
+  }
+  std::uint64_t misses(std::uint64_t page) const {
+    return page < miss_.size() ? miss_[page] : 0;
+  }
+
+ private:
+  std::vector<std::uint64_t> raw_;    // accesses since the last fold
+  std::vector<std::uint64_t> acc_;    // decayed access window
+  std::vector<std::uint64_t> miss_;   // decayed miss window
+  std::vector<std::uint64_t> stamp_;  // epoch of the last fold, per page
 };
 
 }  // namespace hyp::obs

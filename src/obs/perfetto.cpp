@@ -129,6 +129,12 @@ std::string event_args(const TraceEvent& e) {
                     static_cast<long long>(b >> 1),
                     static_cast<long long>(b & 1));
       break;
+    case TraceKind::kModeSwitch:
+      std::snprintf(buf, sizeof(buf), "{\"page\":%lld,\"to_ic\":%lld}", a, b);
+      break;
+    case TraceKind::kHomeMigrated:
+      std::snprintf(buf, sizeof(buf), "{\"page\":%lld,\"new_home\":%lld}", a, b);
+      break;
     default:
       std::snprintf(buf, sizeof(buf), "{\"a\":%lld,\"b\":%lld}", a, b);
       break;
@@ -143,6 +149,8 @@ const char* event_category(TraceKind kind) {
     case TraceKind::kInvalidate:
     case TraceKind::kUpdateSent:
     case TraceKind::kUpdateApplied:
+    case TraceKind::kModeSwitch:
+    case TraceKind::kHomeMigrated:
       return "dsm";
     case TraceKind::kNetDrop:
     case TraceKind::kDupSuppressed:

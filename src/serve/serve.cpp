@@ -130,6 +130,19 @@ ServeResult run_serve(const apps::VmConfig& cfg, const ServeParams& p) {
     const Time last = streams.back().back().arrival;
     if (last > horizon) horizon = last;
   }
+  if (p.writer_node >= 0) {
+    HYP_CHECK_MSG(p.writer_node < vm.nodes(), "writer_node out of range");
+    // Client c lands on node c % nodes (RoundRobinBalancer); demote every
+    // non-writer client's updates to reads so one node dominates the write
+    // traffic. The reference below replays the transformed streams.
+    for (int c = 0; c < total_clients; ++c) {
+      if (c % vm.nodes() == p.writer_node) continue;
+      for (Op& op : streams[static_cast<std::size_t>(c)]) {
+        op.is_update = false;
+        op.delta = 0;
+      }
+    }
+  }
 
   ServeResult out;
   std::vector<std::int64_t> finals;
@@ -146,7 +159,7 @@ ServeResult run_serve(const apps::VmConfig& cfg, const ServeParams& p) {
   out.run.value = static_cast<double>(out.checksum % 1000000007ULL);
 
   if (p.verify) {
-    const Reference ref = serial_reference(wp, total_clients);
+    const Reference ref = reference_from_streams(streams, p.keys);
     out.expected_checksum = ref.checksum();
     for (std::uint64_t k = 0; k < p.keys; ++k) {
       if (finals[k] != ref.final_value[k]) ++out.lost_keys;

@@ -33,6 +33,13 @@ struct ServeParams {
   // Store shape.
   int shards_per_node = 4;
 
+  // Session affinity: when >= 0, only clients placed on this node issue
+  // updates — every other client's update ops execute (and are verified) as
+  // reads. Models a dominant writer, the situation the hybrid protocol's
+  // heat-driven home migration targets (bench/serve "hot" profile). -1 keeps
+  // the historical uniform mix.
+  int writer_node = -1;
+
   // Modeled per-op application work (request parse + handler), in cycles.
   std::uint64_t op_cycles = 2000;
 

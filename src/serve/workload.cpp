@@ -64,26 +64,40 @@ ZipfGenerator::ZipfGenerator(std::uint64_t n, double theta) : n_(n), theta_(thet
   HYP_CHECK(n > 0);
   HYP_CHECK_MSG(theta >= 0.0 && theta < 1.0, "zipf theta must be in [0, 1)");
   if (theta == 0.0) return;  // uniform fast path needs no constants
+  // The constants are a pure function of (n, theta), but the zetan_ sum is
+  // O(n) in det_pow calls — constructing a fresh generator per client made
+  // workload setup O(clients * keys) (the serving harness builds one stream
+  // per client). Memoize per exact (n, theta-bits); the cached values are the
+  // very doubles a cold construction computes, so every op stream stays
+  // bit-identical (pinned by tests/serve_test.cpp).
+  static std::vector<std::pair<std::pair<std::uint64_t, double>, Constants>> cache;
+  for (const auto& e : cache) {
+    if (e.first.first == n && e.first.second == theta) {
+      c_ = e.second;
+      return;
+    }
+  }
   double zeta2 = 0;
   for (std::uint64_t i = 1; i <= n; ++i) {
-    zetan_ += 1.0 / det_pow(static_cast<double>(i), theta);
-    if (i == 2) zeta2 = zetan_;
+    c_.zetan += 1.0 / det_pow(static_cast<double>(i), theta);
+    if (i == 2) zeta2 = c_.zetan;
   }
-  if (n == 1) zeta2 = zetan_;
-  alpha_ = 1.0 / (1.0 - theta);
-  eta_ = (1.0 - det_pow(2.0 / static_cast<double>(n), 1.0 - theta)) /
-         (1.0 - zeta2 / zetan_);
-  half_pow_ = det_pow(0.5, theta);
+  if (n == 1) zeta2 = c_.zetan;
+  c_.alpha = 1.0 / (1.0 - theta);
+  c_.eta = (1.0 - det_pow(2.0 / static_cast<double>(n), 1.0 - theta)) /
+           (1.0 - zeta2 / c_.zetan);
+  c_.half_pow = det_pow(0.5, theta);
+  cache.emplace_back(std::make_pair(n, theta), c_);
 }
 
 std::uint64_t ZipfGenerator::next(Rng& rng) const {
   if (theta_ == 0.0) return rng.below(n_);
   const double u = rng.uniform();
-  const double uz = u * zetan_;
+  const double uz = u * c_.zetan;
   if (uz < 1.0) return 0;
-  if (uz < 1.0 + half_pow_) return 1;
+  if (uz < 1.0 + c_.half_pow) return 1;
   const double span = static_cast<double>(n_);
-  auto k = static_cast<std::uint64_t>(span * det_pow(eta_ * u - eta_ + 1.0, alpha_));
+  auto k = static_cast<std::uint64_t>(span * det_pow(c_.eta * u - c_.eta + 1.0, c_.alpha));
   return k >= n_ ? n_ - 1 : k;
 }
 
@@ -123,11 +137,12 @@ std::uint64_t state_checksum(const std::vector<std::int64_t>& values) {
   return h;
 }
 
-Reference serial_reference(const WorkloadParams& p, int clients) {
+Reference reference_from_streams(const std::vector<std::vector<Op>>& streams,
+                                 std::uint64_t keys) {
   Reference ref;
-  ref.final_value.assign(p.keys, 0);
-  for (int c = 0; c < clients; ++c) {
-    for (const Op& op : client_ops(p, c)) {
+  ref.final_value.assign(keys, 0);
+  for (const auto& stream : streams) {
+    for (const Op& op : stream) {
       if (op.is_update) {
         ref.final_value[op.key] += op.delta;
         ++ref.updates;
@@ -138,6 +153,13 @@ Reference serial_reference(const WorkloadParams& p, int clients) {
     }
   }
   return ref;
+}
+
+Reference serial_reference(const WorkloadParams& p, int clients) {
+  std::vector<std::vector<Op>> streams;
+  streams.reserve(static_cast<std::size_t>(clients));
+  for (int c = 0; c < clients; ++c) streams.push_back(client_ops(p, c));
+  return reference_from_streams(streams, p.keys);
 }
 
 std::uint64_t Reference::checksum() const { return state_checksum(final_value); }

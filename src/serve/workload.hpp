@@ -44,12 +44,19 @@ class ZipfGenerator {
   double theta() const { return theta_; }
 
  private:
+  // The derived sampling constants, memoized per exact (n, theta) in the
+  // constructor: the zetan sum is O(n) and the serving harness constructs one
+  // generator per client (see workload.cpp).
+  struct Constants {
+    double zetan = 0;     // sum_{i=1..n} 1/i^theta
+    double alpha = 0;     // 1 / (1 - theta)
+    double eta = 0;
+    double half_pow = 0;  // 0.5^theta
+  };
+
   std::uint64_t n_;
   double theta_;
-  double zetan_ = 0;      // sum_{i=1..n} 1/i^theta
-  double alpha_ = 0;      // 1 / (1 - theta)
-  double eta_ = 0;
-  double half_pow_ = 0;   // 0.5^theta
+  Constants c_;
 };
 
 // One generated client operation. `arrival` is the open-loop scheduled time
@@ -87,6 +94,12 @@ struct Reference {
 };
 
 Reference serial_reference(const WorkloadParams& p, int clients);
+
+// Same replay over already-materialized (possibly transformed) streams — the
+// serving harness edits op mixes per client (e.g. writer affinity) and the
+// reference must replay exactly what ran.
+Reference reference_from_streams(const std::vector<std::vector<Op>>& streams,
+                                 std::uint64_t keys);
 
 // FNV-1a over (key, value) pairs with nonzero values — the store-state
 // checksum both the harness and the reference compute.

@@ -162,6 +162,63 @@ TEST(PageHeat, OutOfRangePagesAreIgnoredNotFatal) {
   EXPECT_TRUE(heat.top(4).empty());
 }
 
+// Regression: the per-page getters used to index unchecked — a page id from a
+// stale report (or one recorded before a region re-init shrank the table)
+// read past the arrays. They now mirror the record_* guards and read as 0.
+TEST(PageHeat, OutOfRangeGettersReadZero) {
+  PageHeatTable heat;
+  heat.init(4, 4096);
+  heat.record_fetch(2);
+  heat.record_fault(2);
+  heat.record_update(2, 64);
+  EXPECT_EQ(heat.fetches(1000), 0u);
+  EXPECT_EQ(heat.faults(1000), 0u);
+  EXPECT_EQ(heat.update_bytes(1000), 0u);
+  EXPECT_EQ(heat.fetches(2), 1u);
+
+  heat.init(2, 4096);  // re-init shrinks: page 2 is now out of range
+  EXPECT_EQ(heat.fetches(2), 0u);
+  EXPECT_EQ(heat.faults(2), 0u);
+  EXPECT_EQ(heat.update_bytes(2), 0u);
+}
+
+// ---- windowed heat (the hybrid protocol's decision signal) ------------------
+
+TEST(WindowedHeat, FoldDecaysByHalfPerElapsedEpoch) {
+  WindowedHeat w;
+  w.init(8);
+  w.raw_accesses()[3] = 16;
+  w.note_miss(3, 10);  // folds raw into the window, then counts the miss
+  EXPECT_EQ(w.accesses(3), 16u);
+  EXPECT_EQ(w.misses(3), 1u);
+
+  // Two epochs later: both window counters halve twice before accumulating.
+  w.raw_accesses()[3] = 4;
+  w.note_miss(3, 12);
+  EXPECT_EQ(w.accesses(3), 16u / 4 + 4u);
+  EXPECT_EQ(w.misses(3), 1u);  // 1 >> 2 == 0, then the new miss
+
+  // Same epoch: no decay, raw still folds in.
+  w.raw_accesses()[3] = 1;
+  w.fold(3, 12);
+  EXPECT_EQ(w.accesses(3), 9u);
+}
+
+TEST(WindowedHeat, HugeEpochGapsClampAndOutOfRangeIsIgnored) {
+  WindowedHeat w;
+  w.init(2);
+  w.raw_accesses()[0] = 1;
+  w.note_miss(0, 1);
+  w.note_miss(0, 500);  // gap >> 63 epochs: shift clamps, window zeroes
+  EXPECT_EQ(w.accesses(0), 0u);
+  EXPECT_EQ(w.misses(0), 1u);
+
+  w.fold(1000, 5);      // out of range: no write, no crash
+  w.note_miss(1000, 5);
+  EXPECT_EQ(w.accesses(1000), 0u);
+  EXPECT_EQ(w.misses(1000), 0u);
+}
+
 // ---- phase accounting -------------------------------------------------------
 
 TEST(PhaseAccountingTest, PerNodeAndTotalsAccumulate) {

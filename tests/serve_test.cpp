@@ -115,6 +115,32 @@ TEST(ServeWorkload, ThetaZeroDegeneratesToExactUniform) {
   }
 }
 
+TEST(ServeWorkload, ZipfConstantCacheIsBitIdentical) {
+  // The constructor memoizes the O(n) zetan constants per exact (n, theta).
+  // The first generator computes cold and seeds the cache; later generators
+  // hit it — and must sample the very same bits, draw for draw.
+  const std::uint64_t n = 4099;  // an (n, theta) pair no other test uses
+  const double theta = 0.77;
+  const ZipfGenerator cold(n, theta);
+  const ZipfGenerator cached(n, theta);
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 20000; ++i) {
+    ASSERT_EQ(cold.next(a), cached.next(b)) << "draw " << i;
+  }
+
+  // Distinct (n, theta) entries don't cross-contaminate: constructing another
+  // shape in between leaves the original's cached stream untouched.
+  const ZipfGenerator other(n / 2, 0.5);
+  EXPECT_EQ(other.n(), n / 2);
+  const ZipfGenerator cached2(n, theta);
+  Rng d(123);
+  Rng e(123);
+  for (int i = 0; i < 5000; ++i) {
+    ASSERT_EQ(cold.next(d), cached2.next(e)) << "draw " << i;
+  }
+}
+
 TEST(ServeWorkload, ZipfSkewConcentratesOnHotKeys) {
   const std::uint64_t n = 1024;
   const int draws = 20000;
@@ -199,14 +225,44 @@ void expect_clean(const ServeResult& r, std::uint64_t total_ops) {
   EXPECT_LE(r.p999_us, r.max_us);
 }
 
-TEST(ServeHarness, FaultFreeMatchesSerialReferenceBothProtocols) {
-  for (auto kind : {dsm::ProtocolKind::kJavaIc, dsm::ProtocolKind::kJavaPf}) {
+TEST(ServeHarness, FaultFreeMatchesSerialReferenceAllProtocols) {
+  for (auto kind : {dsm::ProtocolKind::kJavaIc, dsm::ProtocolKind::kJavaPf,
+                    dsm::ProtocolKind::kHybrid}) {
     const auto cfg = apps::make_config("myri200", kind, 2);
     const ServeParams p = small_params();
     const ServeResult r = run_serve(cfg, p);
     expect_clean(r, 2 * p.ops_per_client);
     EXPECT_EQ(r.excluded, 0u) << "no window configured, nothing may be excluded";
   }
+}
+
+// The hybrid acceptance cell: a dominant writer concentrates the update
+// traffic on one node, heat migration moves the hot keys' homes there, and
+// then that very node is killed mid-run — the migrated homes must revert
+// (dsm::DsmSystem::on_node_dead) without losing a single acked write.
+TEST(ServeHarness, HotWriterMigrationSurvivesWriterCrash) {
+  apps::VmConfig cfg = apps::make_config("myri200", dsm::ProtocolKind::kHybrid, 4);
+  cfg.cluster.fault =
+      cluster::FaultProfile::parse("replicas=2,crash1@30ms+10ms,seed=7");
+  ServeParams p;
+  p.keys = 64;               // few keys: the Zipf head concentrates hard
+  p.theta = 0.99;
+  p.read_pct = 10;           // write-heavy, so heat accumulates fast
+  p.clients_per_node = 2;
+  p.ops_per_client = 300;
+  p.rate_ops_per_s = 10000;  // ~30 ms horizon: migration streak, then crash
+  p.shards_per_node = 2;
+  p.op_cycles = 2000;
+  p.seed = 7;
+  p.writer_node = 1;         // all updates come from the node that will die
+
+  const ServeResult r = run_serve(cfg, p);
+  EXPECT_TRUE(r.state_ok) << r.lost_keys << " keys diverged (lost acked writes)";
+  EXPECT_EQ(r.checksum, r.expected_checksum);
+  // The cell is only meaningful if homes actually migrated toward the writer
+  // before the crash forced them back.
+  EXPECT_GT(r.run.stats.get_named("dsm_home_migrations"), 0u);
+  EXPECT_GT(r.run.stats.get_named("dsm_migrations_reverted"), 0u);
 }
 
 TEST(ServeHarness, MeasurementWindowTrimsWarmupAndCooldown) {
